@@ -1,0 +1,30 @@
+//! # ga-archsim — emerging-architecture simulators
+//!
+//! Behavioural models of the two radically different machines the paper
+//! surveys in §V, plus the conventional baselines they are compared
+//! against. The paper's own evidence for both machines is
+//! prototype-level and proprietary; these simulators reproduce the
+//! *cost structure* each architecture exploits, so the headline ratios
+//! (≥10× for sparse SpGEMM, ≤½ network traffic for pointer-chasing,
+//! µs-scale streaming queries) can be regenerated from first principles.
+//!
+//! * [`sparse`] — the Fig. 4 sparse linear-algebra pipeline processor
+//!   (Song/Kepner, HPEC'16): address generators → irregular-access
+//!   memory → streaming sorter → MAC array, with CSR/CSC "hardwired".
+//!   Compared against a cache-hierarchy node that pays a full cache
+//!   line per random sparse access.
+//! * [`emu`] — the Fig. 5 Emu migrating-thread machine (Dysart et al.,
+//!   IA3'16): nodes × nodelets × Gossamer cores; threads migrate to
+//!   data on non-local reference; AMOs execute at memory; single-op
+//!   remote threads for fire-and-forget updates. Compared against a
+//!   remote-access model where every non-local reference is a
+//!   request/response round trip.
+//! * [`counters`] — the shared traffic/latency accounting both report.
+
+#![warn(missing_docs)]
+
+pub mod counters;
+pub mod emu;
+pub mod sparse;
+
+pub use counters::TrafficReport;

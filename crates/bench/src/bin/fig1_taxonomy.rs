@@ -1,0 +1,25 @@
+//! Regenerate Fig. 1: "The Spectrum of Existing kernels".
+//!
+//! ```sh
+//! cargo run -p ga-bench --bin fig1_taxonomy
+//! ```
+
+use ga_core::taxonomy;
+
+fn main() {
+    ga_bench::header("Fig. 1 — The Spectrum of Existing Kernels");
+    print!("{}", taxonomy::render_figure1());
+
+    let all = taxonomy::registry();
+    let streaming = taxonomy::streaming_kernels();
+    println!();
+    println!("kernels:            {}", all.len());
+    println!("with streaming use: {}", streaming.len());
+    println!(
+        "implemented here:   {}",
+        all.iter().filter(|k| !k.impl_path.is_empty()).count()
+    );
+    println!();
+    println!("Take-away (paper §II): no one kernel is universal, and");
+    println!("streaming and batch kernel sets differ significantly.");
+}

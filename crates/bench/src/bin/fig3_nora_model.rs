@@ -1,0 +1,104 @@
+//! Regenerate Fig. 3: "Performance Modeling of NORA Problem" — for each
+//! system configuration, a per-step bar group showing the time each of
+//! the four resources would need, with the peak marked as the bounding
+//! resource, plus total time and speedup vs the 2012 baseline.
+//!
+//! ```sh
+//! cargo run -p ga-bench --bin fig3_nora_model
+//! ```
+
+use ga_bench::{bar, header};
+use ga_core::model::{
+    all_but_cpu, all_upgrades, baseline2012, cpu_upgrade, disk_upgrade, evaluate, lightweight,
+    mem_upgrade, net_upgrade, nora_steps, stack_only_3d, xcaliber, Resource,
+};
+
+fn main() {
+    let steps = nora_steps();
+    let base = evaluate(&baseline2012(), &steps);
+
+    let configs = vec![
+        baseline2012(),
+        cpu_upgrade(),
+        mem_upgrade(),
+        disk_upgrade(),
+        net_upgrade(),
+        all_but_cpu(),
+        all_upgrades(),
+        lightweight(),
+        xcaliber(),
+        stack_only_3d(),
+    ];
+
+    header("Fig. 3 — Performance Modeling of the NORA Problem");
+    for cfg in &configs {
+        let e = evaluate(cfg, &steps);
+        println!(
+            "\n--- {} ---  total {:.1} h, speedup vs baseline {:.2}x",
+            cfg.name,
+            e.total_seconds / 3600.0,
+            e.speedup_over(&base)
+        );
+        // The per-step bars: one line per resource per step, peak marked.
+        let max = e
+            .steps
+            .iter()
+            .flat_map(|s| s.resource_seconds.iter().copied())
+            .fold(0.0, f64::max);
+        for s in &e.steps {
+            println!("  {}", s.name.trim());
+            for (i, r) in Resource::ALL.iter().enumerate() {
+                let t = s.resource_seconds[i];
+                let mark = if *r == s.bounding { "<- bound" } else { "" };
+                println!(
+                    "    {:<4} {:>8.2} h |{:<40}| {}",
+                    r.label(),
+                    t / 3600.0,
+                    bar(t, max),
+                    mark
+                );
+            }
+        }
+        // Resource attribution summary.
+        print!("  bound-by:");
+        for r in Resource::ALL {
+            print!(
+                " {}={} steps ({:.1} h)",
+                r.label(),
+                e.steps_bound_by(r),
+                e.seconds_bound_by(r) / 3600.0
+            );
+        }
+        println!();
+    }
+
+    header("Headline ratios (paper §IV)");
+    let ratio = |cfg: &ga_core::model::SystemConfig| evaluate(cfg, &steps).speedup_over(&base);
+    println!(
+        "cpu-platform upgrade alone:   {:.2}x   (paper: ~1.45x, 'only a 45% increase')",
+        ratio(&cpu_upgrade())
+    );
+    let product =
+        ratio(&mem_upgrade()) * ratio(&disk_upgrade()) * ratio(&net_upgrade());
+    println!(
+        "all-but-cpu:                  {:.2}x   (paper: 'over a 3X growth'; product of individual upgrades = {:.2}x)",
+        ratio(&all_but_cpu()),
+        product
+    );
+    println!(
+        "all upgrades:                 {:.2}x   (paper: '8X growth')",
+        ratio(&all_upgrades())
+    );
+    println!(
+        "lightweight (2 racks):        {:.2}x   (paper: 'near equal performance in 1/5th the hardware')",
+        ratio(&lightweight())
+    );
+    println!(
+        "x-caliber (3 racks):          {:.2}x   (paper: 'equal performance in only 3 racks')",
+        ratio(&xcaliber())
+    );
+    println!(
+        "3D stack-only (1 rack):       {:.0}x    (paper: 'possibly up to 200X performance in 1/10th the hardware')",
+        ratio(&stack_only_3d())
+    );
+}

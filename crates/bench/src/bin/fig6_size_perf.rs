@@ -1,0 +1,70 @@
+//! Regenerate Fig. 6: "Size-Performance Comparison for the NORA
+//! problem" — performance (relative to the 2012 baseline) against
+//! system size in racks, for the conventional configurations and the
+//! three Emu generations.
+//!
+//! ```sh
+//! cargo run -p ga-bench --bin fig6_size_perf
+//! ```
+
+use ga_bench::header;
+use ga_core::model::{
+    all_upgrades, baseline2012, emu1, emu2, emu3, evaluate, lightweight, nora_steps,
+    stack_only_3d, xcaliber,
+};
+
+fn main() {
+    let steps = nora_steps();
+    let base = evaluate(&baseline2012(), &steps);
+
+    header("Fig. 6 — Size-Performance Comparison for the NORA problem");
+    println!(
+        "{:<38} {:>6} {:>12} {:>14}",
+        "configuration", "racks", "perf (x)", "perf/rack (x)"
+    );
+    let configs = vec![
+        baseline2012(),
+        all_upgrades(),
+        lightweight(),
+        xcaliber(),
+        stack_only_3d(),
+        emu1(),
+        emu2(),
+        emu3(),
+    ];
+    for cfg in &configs {
+        let e = evaluate(cfg, &steps);
+        let s = e.speedup_over(&base);
+        println!(
+            "{:<38} {:>6.0} {:>12.2} {:>14.2}",
+            cfg.name,
+            cfg.racks,
+            s,
+            s / cfg.racks
+        );
+    }
+
+    header("Rack sweep (the Fig. 6 curves)");
+    print!("{:<38}", "racks:");
+    let rack_points = [1.0, 2.0, 4.0, 8.0, 10.0];
+    for r in rack_points {
+        print!(" {r:>8.0}");
+    }
+    println!();
+    for cfg in &configs {
+        print!("{:<38}", cfg.name);
+        for r in rack_points {
+            let e = evaluate(&cfg.with_racks(r), &steps);
+            print!(" {:>8.2}", e.speedup_over(&base));
+        }
+        println!();
+    }
+
+    header("Headline ratio (paper §V-B)");
+    let best_conv = evaluate(&all_upgrades(), &steps);
+    let e3 = evaluate(&emu3(), &steps);
+    println!(
+        "Emu3 (1 rack) vs best upgraded cluster (10 racks): {:.1}x   (paper: 'up to 60X ... in 1/10th the hardware')",
+        e3.speedup_over(&best_conv)
+    );
+}

@@ -1,0 +1,71 @@
+//! # ga-bench — the reproduction harness
+//!
+//! One binary per figure of the paper (see DESIGN.md §4 for the
+//! experiment index):
+//!
+//! | binary | regenerates |
+//! |---|---|
+//! | `fig1_taxonomy` | Fig. 1, the kernel/benchmark spectrum table |
+//! | `fig2_flow` | Fig. 2, the combined batch+streaming reference run with instrumentation |
+//! | `fig3_nora_model` | Fig. 3, per-step resource bars for every configuration |
+//! | `fig4_sparse` | Fig. 4 / §V-A, sparse pipeline vs cache node SpGEMM sweep |
+//! | `fig5_emu` | Fig. 5 / §V-B, migrating threads vs remote access |
+//! | `fig6_size_perf` | Fig. 6, size (racks) vs performance for all systems |
+//!
+//! plus Criterion benches (`kernels`, `streaming`, `linalg`, `archsim`)
+//! for wall-clock numbers on this machine.
+
+#![warn(missing_docs)]
+
+/// Format a floating value with engineering-style suffixes.
+pub fn eng(x: f64) -> String {
+    let ax = x.abs();
+    if ax >= 1e12 {
+        format!("{:.2}T", x / 1e12)
+    } else if ax >= 1e9 {
+        format!("{:.2}G", x / 1e9)
+    } else if ax >= 1e6 {
+        format!("{:.2}M", x / 1e6)
+    } else if ax >= 1e3 {
+        format!("{:.2}k", x / 1e3)
+    } else {
+        format!("{x:.3}")
+    }
+}
+
+/// Render a simple ASCII bar of `value` against `max` (width 40).
+pub fn bar(value: f64, max: f64) -> String {
+    let width = 40.0;
+    let n = if max > 0.0 {
+        ((value / max) * width).round() as usize
+    } else {
+        0
+    };
+    "#".repeat(n.min(60))
+}
+
+/// Print a header line.
+pub fn header(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eng_suffixes() {
+        assert_eq!(eng(1234.0), "1.23k");
+        assert_eq!(eng(2.5e9), "2.50G");
+        assert_eq!(eng(0.5), "0.500");
+        assert_eq!(eng(3.7e12), "3.70T");
+    }
+
+    #[test]
+    fn bar_scales() {
+        assert_eq!(bar(1.0, 1.0).len(), 40);
+        assert_eq!(bar(0.5, 1.0).len(), 20);
+        assert_eq!(bar(0.0, 1.0).len(), 0);
+        assert_eq!(bar(1.0, 0.0).len(), 0);
+    }
+}

@@ -1,0 +1,594 @@
+//! Fig. 2: the canonical graph-processing flow, with instrumentation.
+//!
+//! The paper's conclusion asks for exactly this artifact: "a reference
+//! implementation, with explicit instrumentation, of a combined
+//! benchmark would allow calibration of the model."
+//!
+//! [`FlowEngine`] wires the stages of Fig. 2 together around a
+//! persistent property graph:
+//!
+//! ```text
+//!   update stream ─▶ StreamEngine ─ monitors ─ events ─┐
+//!                         │                            ▼ (threshold)
+//!   bulk records ─▶ dedup ┴▶ persistent graph ◀─ property write-back
+//!                              │        ▲
+//!              selection criteria       │
+//!                seeds ─▶ subgraph extraction (+projection)
+//!                              │
+//!                       batch analytics ─▶ global metrics / alerts
+//! ```
+//!
+//! Every stage increments [`FlowStats`] — the calibration counters the
+//! NORA model (`crate::model`) prices.
+
+use ga_graph::sub::{extract_ball_dynamic, Subgraph};
+use ga_graph::{DynamicGraph, ExtractOptions, PropertyStore, VertexId};
+use ga_kernels::topk;
+use ga_stream::update::UpdateBatch;
+use ga_stream::{Event, StreamEngine};
+
+/// How the batch path picks its seed vertices (Fig. 2's "selection
+/// criteria" box).
+#[derive(Clone, Debug)]
+pub enum SelectionCriteria {
+    /// Explicit vertex list ("as simple as specifying some particular
+    /// vertex").
+    Explicit(Vec<VertexId>),
+    /// Scan for the top-k vertices of a property column ("scanning for
+    /// the top-k vertices with the highest values of some properties").
+    TopKProperty {
+        /// Property column name.
+        name: String,
+        /// Seed count.
+        k: usize,
+    },
+    /// Top-k by current out-degree.
+    TopKDegree {
+        /// Seed count.
+        k: usize,
+    },
+    /// All vertices whose property exceeds a threshold.
+    PropertyAbove {
+        /// Property column name.
+        name: String,
+        /// Threshold.
+        tau: f64,
+    },
+}
+
+/// What a batch analytic produced.
+#[derive(Clone, Debug, Default)]
+pub struct AnalyticOutput {
+    /// Global scalar metrics (name, value).
+    pub globals: Vec<(String, f64)>,
+    /// Per-vertex properties in *subgraph* ids, to be written back
+    /// through the back-map.
+    pub vertex_props: Vec<(String, Vec<f64>)>,
+    /// Human-readable alerts for the external system.
+    pub alerts: Vec<String>,
+}
+
+/// A batch analytic runnable on an extracted subgraph.
+pub trait BatchAnalytic {
+    /// Stable name (used in stats and write-back provenance).
+    fn name(&self) -> &'static str;
+    /// Run on the extracted subgraph.
+    fn run(&self, sub: &Subgraph) -> AnalyticOutput;
+}
+
+/// The instrumentation record (the paper's "explicit instrumentation").
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct FlowStats {
+    /// Raw records deduped into the graph.
+    pub records_ingested: usize,
+    /// Entities created by dedup.
+    pub entities_created: usize,
+    /// Batch runs executed.
+    pub batch_runs: usize,
+    /// Seeds selected across runs.
+    pub seeds_selected: usize,
+    /// Subgraphs extracted.
+    pub subgraphs_extracted: usize,
+    /// Vertices copied into extracted subgraphs.
+    pub vertices_extracted: usize,
+    /// Edges copied into extracted subgraphs.
+    pub edges_extracted: usize,
+    /// Property values written back to the persistent graph.
+    pub props_written_back: usize,
+    /// Global metrics produced.
+    pub globals_produced: usize,
+    /// Alerts raised.
+    pub alerts_raised: usize,
+    /// Streaming updates applied.
+    pub updates_applied: usize,
+    /// Streaming events observed.
+    pub events_observed: usize,
+    /// Streaming events that triggered a batch analytic.
+    pub triggers_fired: usize,
+}
+
+/// Report of one batch run.
+#[derive(Clone, Debug)]
+pub struct BatchRunReport {
+    /// The analytic that ran.
+    pub analytic: &'static str,
+    /// Seeds used.
+    pub seeds: Vec<VertexId>,
+    /// Extracted subgraph size (vertices, edges).
+    pub subgraph_size: (usize, usize),
+    /// Global metrics produced.
+    pub globals: Vec<(String, f64)>,
+    /// Alerts raised.
+    pub alerts: Vec<String>,
+}
+
+/// The Fig. 2 engine: a persistent graph with batch and streaming paths.
+pub struct FlowEngine {
+    stream: StreamEngine,
+    analytics: Vec<Box<dyn BatchAnalytic>>,
+    stats: FlowStats,
+    /// Extraction settings used by both paths.
+    pub extract: ExtractOptions,
+    /// Property columns projected into extracted subgraphs.
+    pub project_columns: Vec<String>,
+}
+
+impl FlowEngine {
+    /// Engine over an empty persistent graph of `num_vertices`.
+    pub fn new(num_vertices: usize) -> Self {
+        FlowEngine {
+            stream: StreamEngine::new(num_vertices),
+            analytics: Vec::new(),
+            stats: FlowStats::default(),
+            extract: ExtractOptions {
+                depth: 2,
+                max_vertices: 4096,
+                undirected_expand: false,
+            },
+            project_columns: Vec::new(),
+        }
+    }
+
+    /// Engine over an existing persistent graph.
+    pub fn with_graph(graph: DynamicGraph, props: PropertyStore) -> Self {
+        FlowEngine {
+            stream: StreamEngine::with_graph(graph, props),
+            analytics: Vec::new(),
+            stats: FlowStats::default(),
+            extract: ExtractOptions {
+                depth: 2,
+                max_vertices: 4096,
+                undirected_expand: false,
+            },
+            project_columns: Vec::new(),
+        }
+    }
+
+    /// Register a batch analytic; returns its index.
+    pub fn register_analytic(&mut self, a: Box<dyn BatchAnalytic>) -> usize {
+        self.analytics.push(a);
+        self.analytics.len() - 1
+    }
+
+    /// Attach a streaming monitor (incremental kernel).
+    pub fn register_monitor(&mut self, m: Box<dyn ga_stream::Monitor>) {
+        self.stream.register(m);
+    }
+
+    /// The persistent graph.
+    pub fn graph(&self) -> &DynamicGraph {
+        self.stream.graph()
+    }
+
+    /// The persistent property store.
+    pub fn props(&self) -> &PropertyStore {
+        self.stream.props()
+    }
+
+    /// Mutable property access (bulk write-back).
+    pub fn props_mut(&mut self) -> &mut PropertyStore {
+        self.stream.props_mut()
+    }
+
+    /// The instrumentation counters.
+    pub fn stats(&self) -> FlowStats {
+        self.stats
+    }
+
+    /// Record that `records → entities` dedup ingest happened (the
+    /// caller builds graph edges from the deduped entities; see the
+    /// NORA example for the full path).
+    pub fn note_ingest(&mut self, records: usize, entities: usize) {
+        self.stats.records_ingested += records;
+        self.stats.entities_created += entities;
+    }
+
+    /// Resolve selection criteria into seed vertices.
+    pub fn select_seeds(&self, criteria: &SelectionCriteria) -> Vec<VertexId> {
+        match criteria {
+            SelectionCriteria::Explicit(v) => v.clone(),
+            SelectionCriteria::TopKProperty { name, k } => {
+                topk::top_k_property(self.stream.props(), name, *k)
+                    .into_iter()
+                    .map(|(v, _)| v)
+                    .collect()
+            }
+            SelectionCriteria::TopKDegree { k } => {
+                let g = self.stream.graph();
+                topk::top_k_by(g.num_vertices(), *k, |v| Some(g.degree(v) as f64))
+                    .into_iter()
+                    .map(|(v, _)| v)
+                    .collect()
+            }
+            SelectionCriteria::PropertyAbove { name, tau } => {
+                let tau = *tau;
+                self.stream.props().select_f64(name, |x| x > tau)
+            }
+        }
+    }
+
+    /// The full batch path: select seeds → extract (with projection) →
+    /// run the analytic → write back vertex properties → collect
+    /// globals and alerts.
+    pub fn run_batch(
+        &mut self,
+        criteria: &SelectionCriteria,
+        analytic_idx: usize,
+    ) -> BatchRunReport {
+        let seeds = self.select_seeds(criteria);
+        self.stats.seeds_selected += seeds.len();
+        self.run_batch_on_seeds(&seeds, analytic_idx)
+    }
+
+    fn run_batch_on_seeds(&mut self, seeds: &[VertexId], analytic_idx: usize) -> BatchRunReport {
+        let cols: Vec<&str> = self.project_columns.iter().map(|s| s.as_str()).collect();
+        let props_ref = (!cols.is_empty()).then(|| (self.stream.props(), cols.as_slice()));
+        let sub = extract_ball_dynamic(self.stream.graph(), seeds, &self.extract, props_ref);
+        self.stats.subgraphs_extracted += 1;
+        self.stats.vertices_extracted += sub.num_vertices();
+        self.stats.edges_extracted += sub.graph.num_edges();
+
+        let analytic = &self.analytics[analytic_idx];
+        let name = analytic.name();
+        let out = analytic.run(&sub);
+        self.stats.batch_runs += 1;
+        self.stats.globals_produced += out.globals.len();
+        self.stats.alerts_raised += out.alerts.len();
+
+        // Write back per-vertex results through the back-map ("use of
+        // the analytic to compute/update properties of vertices ... sent
+        // back to update the original persistent graph").
+        for (prop_name, values) in &out.vertex_props {
+            assert_eq!(values.len(), sub.num_vertices());
+            for (local, &value) in values.iter().enumerate() {
+                let global = sub.back_map[local];
+                self.stream.props_mut().set(prop_name, global, value);
+                self.stats.props_written_back += 1;
+            }
+        }
+        BatchRunReport {
+            analytic: name,
+            seeds: seeds.to_vec(),
+            subgraph_size: (sub.num_vertices(), sub.graph.num_edges()),
+            globals: out.globals,
+            alerts: out.alerts,
+        }
+    }
+
+    /// The streaming path: apply a batch of updates, observe monitor
+    /// events, and for each event the `trigger` turns into seeds, run
+    /// the chosen analytic on the extracted neighborhood ("use the
+    /// modified vertices/edges as seeds into a subgraph extraction
+    /// process similar to that described for the batch process").
+    pub fn process_stream(
+        &mut self,
+        batch: &UpdateBatch,
+        trigger: impl Fn(&Event) -> Option<Vec<VertexId>>,
+        analytic_idx: Option<usize>,
+    ) -> Vec<BatchRunReport> {
+        self.stream.apply_batch(batch);
+        self.stats.updates_applied += batch.updates.len();
+        let events = self.stream.take_events();
+        self.stats.events_observed += events.len();
+        let mut reports = Vec::new();
+        for ev in &events {
+            if let Some(seeds) = trigger(ev) {
+                self.stats.triggers_fired += 1;
+                if let Some(idx) = analytic_idx {
+                    self.stats.seeds_selected += seeds.len();
+                    reports.push(self.run_batch_on_seeds(&seeds, idx));
+                }
+            }
+        }
+        reports
+    }
+}
+
+// ---------------------------------------------------------------------
+// Built-in analytics wrapping the kernel crate.
+// ---------------------------------------------------------------------
+
+/// PageRank over the extracted subgraph; writes `pagerank` back.
+pub struct PageRankAnalytic {
+    /// Damping factor (0.85 typical).
+    pub damping: f64,
+}
+
+impl BatchAnalytic for PageRankAnalytic {
+    fn name(&self) -> &'static str {
+        "pagerank"
+    }
+    fn run(&self, sub: &Subgraph) -> AnalyticOutput {
+        let r = ga_kernels::pagerank::pagerank_delta(&sub.graph, self.damping, 1e-3);
+        AnalyticOutput {
+            globals: vec![("pagerank_pushes".into(), r.work as f64)],
+            vertex_props: vec![("pagerank".into(), r.rank)],
+            alerts: vec![],
+        }
+    }
+}
+
+/// Connected components; writes `component` back and reports the count.
+pub struct ComponentsAnalytic;
+
+impl BatchAnalytic for ComponentsAnalytic {
+    fn name(&self) -> &'static str {
+        "components"
+    }
+    fn run(&self, sub: &Subgraph) -> AnalyticOutput {
+        let c = ga_kernels::cc::wcc_union_find(&sub.graph);
+        AnalyticOutput {
+            globals: vec![("num_components".into(), c.count as f64)],
+            vertex_props: vec![(
+                "component".into(),
+                c.label.iter().map(|&l| l as f64).collect(),
+            )],
+            alerts: vec![],
+        }
+    }
+}
+
+/// Triangle count + clustering; alerts when transitivity exceeds a
+/// threshold (a toy "dense neighborhood" detector).
+pub struct TriangleAnalytic {
+    /// Transitivity above which to raise an alert.
+    pub alert_transitivity: f64,
+}
+
+impl BatchAnalytic for TriangleAnalytic {
+    fn name(&self) -> &'static str {
+        "triangles"
+    }
+    fn run(&self, sub: &Subgraph) -> AnalyticOutput {
+        let c = ga_kernels::cluster::clustering_coefficients(&sub.graph);
+        let triangles = ga_kernels::triangles::count_global(&sub.graph);
+        let mut alerts = vec![];
+        if c.transitivity > self.alert_transitivity {
+            alerts.push(format!(
+                "dense neighborhood: transitivity {:.3} over {} vertices",
+                c.transitivity,
+                sub.num_vertices()
+            ));
+        }
+        AnalyticOutput {
+            globals: vec![
+                ("triangles".into(), triangles as f64),
+                ("transitivity".into(), c.transitivity),
+            ],
+            vertex_props: vec![("clustering".into(), c.local)],
+            alerts,
+        }
+    }
+}
+
+/// All-pairs Jaccard over the extracted subgraph — the NORA-class
+/// analytic (§III: "close to the Jaccard coefficient kernel"). Writes
+/// each vertex's best coefficient back as `jaccard_max` and alerts on
+/// pairs at or above `alert_tau`.
+pub struct JaccardAnalytic {
+    /// Pairs with J >= this threshold are reported.
+    pub tau: f64,
+    /// Pairs with J >= this (higher) threshold raise alerts.
+    pub alert_tau: f64,
+}
+
+impl BatchAnalytic for JaccardAnalytic {
+    fn name(&self) -> &'static str {
+        "jaccard"
+    }
+    fn run(&self, sub: &Subgraph) -> AnalyticOutput {
+        let pairs = ga_kernels::jaccard::all_pairs_above(&sub.graph, self.tau);
+        let mut best = vec![0.0f64; sub.num_vertices()];
+        let mut alerts = Vec::new();
+        for &(a, b, j) in &pairs {
+            best[a as usize] = best[a as usize].max(j);
+            best[b as usize] = best[b as usize].max(j);
+            if j >= self.alert_tau {
+                alerts.push(format!(
+                    "near-duplicate neighborhoods: {} and {} (J = {j:.3})",
+                    sub.to_source(a),
+                    sub.to_source(b)
+                ));
+            }
+        }
+        AnalyticOutput {
+            globals: vec![("jaccard_pairs".into(), pairs.len() as f64)],
+            vertex_props: vec![("jaccard_max".into(), best)],
+            alerts,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ga_graph::gen;
+    use ga_stream::update::{into_batches, Update};
+    use ga_stream::EventKind;
+
+    fn engine_with_ring(n: usize) -> FlowEngine {
+        let mut g = DynamicGraph::new(n);
+        g.insert_undirected(&gen::ring(n), 1);
+        FlowEngine::with_graph(g, PropertyStore::new(n))
+    }
+
+    #[test]
+    fn batch_path_writes_back_properties() {
+        let mut e = engine_with_ring(20);
+        let idx = e.register_analytic(Box::new(ComponentsAnalytic));
+        let report = e.run_batch(&SelectionCriteria::Explicit(vec![0]), idx);
+        assert_eq!(report.analytic, "components");
+        // depth-2 ball around 0 on a ring: {18,19,0,1,2}
+        assert_eq!(report.subgraph_size.0, 5);
+        assert_eq!(report.globals[0].1, 1.0); // one component
+        // Write-back landed on persistent (global) vertex ids.
+        assert!(e.props().get_f64("component", 0).is_some());
+        assert!(e.props().get_f64("component", 19).is_some());
+        assert!(e.props().get_f64("component", 10).is_none());
+        let s = e.stats();
+        assert_eq!(s.batch_runs, 1);
+        assert_eq!(s.props_written_back, 5);
+    }
+
+    #[test]
+    fn top_k_degree_selection() {
+        let mut g = DynamicGraph::new(10);
+        g.insert_undirected(&gen::star(10), 1);
+        let e = FlowEngine::with_graph(g, PropertyStore::new(10));
+        let seeds = e.select_seeds(&SelectionCriteria::TopKDegree { k: 1 });
+        assert_eq!(seeds, vec![0]);
+    }
+
+    #[test]
+    fn property_selection_paths() {
+        let mut e = engine_with_ring(6);
+        e.props_mut().set_column_f64("risk", &[0.1, 0.9, 0.2, 0.8, 0.0, 0.5]);
+        let top = e.select_seeds(&SelectionCriteria::TopKProperty {
+            name: "risk".into(),
+            k: 2,
+        });
+        assert_eq!(top, vec![1, 3]);
+        let above = e.select_seeds(&SelectionCriteria::PropertyAbove {
+            name: "risk".into(),
+            tau: 0.45,
+        });
+        assert_eq!(above, vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn projection_carries_columns_into_subgraph() {
+        let mut e = engine_with_ring(8);
+        e.props_mut().set_column_f64("score", &[0.0; 8]);
+        e.project_columns = vec!["score".into()];
+        let idx = e.register_analytic(Box::new(ComponentsAnalytic));
+        // Smoke: run succeeds with projection enabled.
+        let r = e.run_batch(&SelectionCriteria::Explicit(vec![3]), idx);
+        assert_eq!(r.subgraph_size.0, 5);
+    }
+
+    #[test]
+    fn pagerank_analytic_writes_ranks() {
+        let mut e = engine_with_ring(12);
+        e.extract.depth = 6;
+        let idx = e.register_analytic(Box::new(PageRankAnalytic { damping: 0.85 }));
+        e.run_batch(&SelectionCriteria::Explicit(vec![0]), idx);
+        let total: f64 = (0..12)
+            .filter_map(|v| e.props().get_f64("pagerank", v))
+            .sum();
+        assert!((total - 1.0).abs() < 1e-3, "ranks sum to {total}");
+    }
+
+    #[test]
+    fn triangle_analytic_alerts_on_dense_region() {
+        let mut g = DynamicGraph::new(5);
+        g.insert_undirected(&gen::complete(5), 1);
+        let mut e = FlowEngine::with_graph(g, PropertyStore::new(5));
+        let idx = e.register_analytic(Box::new(TriangleAnalytic {
+            alert_transitivity: 0.5,
+        }));
+        let r = e.run_batch(&SelectionCriteria::Explicit(vec![0]), idx);
+        assert_eq!(r.alerts.len(), 1);
+        assert_eq!(r.globals[0].1, 10.0); // C(5,3)
+        assert_eq!(e.stats().alerts_raised, 1);
+    }
+
+    #[test]
+    fn streaming_trigger_runs_analytic() {
+        let mut e = FlowEngine::new(16);
+        e.extract.depth = 1;
+        e.register_monitor(Box::new(ga_stream::jaccard_stream::JaccardMonitor::new(
+            0.99,
+        )));
+        let idx = e.register_analytic(Box::new(TriangleAnalytic {
+            alert_transitivity: 0.0,
+        }));
+        // Build two vertices with identical neighborhoods -> J = 1.0.
+        let ups = vec![
+            Update::EdgeInsert { src: 0, dst: 2, weight: 1.0 },
+            Update::EdgeInsert { src: 0, dst: 3, weight: 1.0 },
+            Update::EdgeInsert { src: 1, dst: 2, weight: 1.0 },
+            Update::EdgeInsert { src: 1, dst: 3, weight: 1.0 },
+        ];
+        let mut reports = Vec::new();
+        for b in into_batches(ups, 1, 0) {
+            reports.extend(e.process_stream(
+                &b,
+                |ev| match ev.kind {
+                    EventKind::PairThreshold { a, b, .. } => Some(vec![a, b]),
+                    _ => None,
+                },
+                Some(idx),
+            ));
+        }
+        assert!(!reports.is_empty(), "no triggered analytic runs");
+        let s = e.stats();
+        assert!(s.triggers_fired >= 1);
+        assert_eq!(s.updates_applied, 4);
+        assert!(s.events_observed >= 1);
+        // Triggered run extracted the pair's neighborhood.
+        assert!(reports[0].subgraph_size.0 >= 3);
+    }
+
+    #[test]
+    fn jaccard_analytic_reports_twin_neighborhoods() {
+        // Vertices 0 and 1 share exactly the same two neighbors.
+        let mut g = DynamicGraph::new(5);
+        for (u, v) in [(0, 2), (0, 3), (1, 2), (1, 3)] {
+            g.insert_edge(u, v, 1.0, 1);
+            g.insert_edge(v, u, 1.0, 1);
+        }
+        let mut e = FlowEngine::with_graph(g, PropertyStore::new(5));
+        let idx = e.register_analytic(Box::new(JaccardAnalytic {
+            tau: 0.3,
+            alert_tau: 0.99,
+        }));
+        let r = e.run_batch(&SelectionCriteria::Explicit(vec![0]), idx);
+        // Two perfect twins: (0,1) share {2,3} and (2,3) share {0,1}.
+        assert_eq!(r.alerts.len(), 2, "alerts: {:?}", r.alerts);
+        assert!(r.alerts.iter().all(|a| a.contains("J = 1.000")));
+        // Write-back landed in persistent ids.
+        assert_eq!(e.props().get_f64("jaccard_max", 0), Some(1.0));
+        assert_eq!(e.props().get_f64("jaccard_max", 1), Some(1.0));
+    }
+
+    #[test]
+    fn stats_accumulate_across_runs() {
+        let mut e = engine_with_ring(30);
+        let idx = e.register_analytic(Box::new(ComponentsAnalytic));
+        e.run_batch(&SelectionCriteria::Explicit(vec![0]), idx);
+        e.run_batch(&SelectionCriteria::Explicit(vec![15]), idx);
+        let s = e.stats();
+        assert_eq!(s.batch_runs, 2);
+        assert_eq!(s.subgraphs_extracted, 2);
+        assert_eq!(s.seeds_selected, 2);
+        assert_eq!(s.vertices_extracted, 10);
+    }
+
+    #[test]
+    fn note_ingest_counts() {
+        let mut e = FlowEngine::new(4);
+        e.note_ingest(100, 37);
+        assert_eq!(e.stats().records_ingested, 100);
+        assert_eq!(e.stats().entities_created, 37);
+    }
+}

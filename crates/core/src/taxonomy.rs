@@ -1,0 +1,439 @@
+//! Fig. 1: the spectrum of existing kernels, as a machine-readable
+//! registry.
+//!
+//! Every row of the paper's Fig. 1 table is a [`KernelEntry`]: the
+//! kernel, its kernel classes (columns 1–6), which benchmark suites use
+//! it in batch ("B") or streaming ("S") mode (columns 7–16), and its
+//! modification/output categories (columns 17–22). [`render_figure1`]
+//! regenerates the table; `impl_path` cross-links each row to the module
+//! in this workspace that implements it, and a test asserts the link is
+//! non-empty for every implementable row.
+
+/// The kernel-class columns (first column group of Fig. 1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum KernelClass {
+    /// Connectedness kernels (CCW, CCS, BFS...).
+    Connectedness,
+    /// Path analysis kernels (SSSP, APSP...).
+    PathAnalysis,
+    /// Centrality kernels (BC, PR...).
+    Centrality,
+    /// Clustering kernels (CCO, Jaccard...).
+    Clustering,
+    /// Subgraph isomorphism kernels (GTC, TL, SI).
+    SubgraphIsomorphism,
+    /// Everything else (anomaly detection, top-k search).
+    Other,
+}
+
+/// The benchmark-suite columns (second column group of Fig. 1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Suite {
+    /// Standalone kernel definitions.
+    Standalone,
+    /// Sandia Firehose.
+    Firehose,
+    /// Graph500.
+    Graph500,
+    /// GraphBLAS.
+    GraphBlas,
+    /// MIT/Amazon Graph Challenge.
+    GraphChallenge,
+    /// Berkeley GAP.
+    GraphAlgorithmPlatform,
+    /// HPC Graph Analysis (graphanalysis.org).
+    HpcGraphAnalysis,
+    /// Kepner & Gilbert's book kernels.
+    KeplerGilbert,
+    /// Georgia Tech STINGER.
+    Stinger,
+    /// The VAST challenge.
+    Vast,
+}
+
+/// Batch or streaming membership of a kernel in a suite.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mode {
+    /// Batch ("B" in Fig. 1).
+    Batch,
+    /// Streaming ("S").
+    Streaming,
+    /// Both ("B/S").
+    Both,
+}
+
+impl Mode {
+    /// The Fig. 1 cell text.
+    pub fn cell(&self) -> &'static str {
+        match self {
+            Mode::Batch => "B",
+            Mode::Streaming => "S",
+            Mode::Both => "B/S",
+        }
+    }
+}
+
+/// The modification/output columns (third column group of Fig. 1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OutputCol {
+    /// Modifies the graph itself.
+    GraphModification,
+    /// Computes a property per vertex.
+    ComputeVertexProperty,
+    /// Outputs a single global value.
+    OutputGlobalValue,
+    /// Emits O(1)-sized events.
+    OutputO1Events,
+    /// Emits lists up to O(|V|).
+    OutputOVList,
+    /// Emits lists up to O(|V|^k), k > 1.
+    OutputOVkList,
+}
+
+/// One row of Fig. 1.
+#[derive(Clone, Debug)]
+pub struct KernelEntry {
+    /// Row label (as printed in the paper).
+    pub name: &'static str,
+    /// Kernel classes it belongs to.
+    pub classes: &'static [KernelClass],
+    /// Suite membership with batch/streaming mode.
+    pub suites: &'static [(Suite, Mode)],
+    /// Output/modification categories.
+    pub outputs: &'static [OutputCol],
+    /// Where this workspace implements it ("" = survey-only row).
+    pub impl_path: &'static str,
+}
+
+use KernelClass::*;
+use Mode::*;
+use OutputCol::*;
+use Suite::*;
+
+/// The full Fig. 1 registry, row for row.
+pub fn registry() -> Vec<KernelEntry> {
+    vec![
+        KernelEntry {
+            name: "Anomaly - Fixed Key",
+            classes: &[Other],
+            suites: &[(Standalone, Streaming), (Firehose, Streaming)],
+            outputs: &[ComputeVertexProperty, OutputO1Events],
+            impl_path: "ga_stream::firehose::FixedKeyDetector",
+        },
+        KernelEntry {
+            name: "Anomaly - Unbounded Key",
+            classes: &[Other],
+            suites: &[(Standalone, Streaming), (Firehose, Streaming)],
+            outputs: &[ComputeVertexProperty, OutputO1Events],
+            impl_path: "ga_stream::firehose::UnboundedKeyDetector",
+        },
+        KernelEntry {
+            name: "Anomaly - Two-level Key",
+            classes: &[Other],
+            suites: &[(Standalone, Streaming), (Firehose, Streaming)],
+            outputs: &[OutputGlobalValue, OutputO1Events],
+            impl_path: "ga_stream::firehose::TwoLevelDetector",
+        },
+        KernelEntry {
+            name: "BC: Betweenness Centrality",
+            classes: &[Centrality],
+            suites: &[
+                (Graph500, Batch),
+                (GraphChallenge, Batch),
+                (HpcGraphAnalysis, Batch),
+                (KeplerGilbert, Streaming),
+            ],
+            outputs: &[ComputeVertexProperty],
+            impl_path: "ga_kernels::bc::brandes",
+        },
+        KernelEntry {
+            name: "BFS: Breadth First Search",
+            classes: &[Connectedness],
+            suites: &[
+                (Graph500, Batch),
+                (GraphBlas, Batch),
+                (GraphChallenge, Batch),
+                (GraphAlgorithmPlatform, Batch),
+                (HpcGraphAnalysis, Batch),
+                (KeplerGilbert, Batch),
+            ],
+            outputs: &[ComputeVertexProperty, OutputO1Events],
+            impl_path: "ga_kernels::bfs::bfs_direction_optimizing",
+        },
+        KernelEntry {
+            name: "Search for \"Largest\"",
+            classes: &[Other],
+            suites: &[(GraphChallenge, Batch)],
+            outputs: &[OutputO1Events],
+            impl_path: "ga_kernels::topk::top_k_by",
+        },
+        KernelEntry {
+            name: "CCW: Weakly Connected Components",
+            classes: &[Connectedness],
+            suites: &[
+                (GraphAlgorithmPlatform, Batch),
+                (HpcGraphAnalysis, Batch),
+                (KeplerGilbert, Streaming),
+            ],
+            outputs: &[ComputeVertexProperty, OutputO1Events],
+            impl_path: "ga_kernels::cc::wcc_union_find",
+        },
+        KernelEntry {
+            name: "CCS: Strongly Connected Components",
+            classes: &[Connectedness],
+            suites: &[(GraphAlgorithmPlatform, Batch), (HpcGraphAnalysis, Batch)],
+            outputs: &[OutputO1Events],
+            impl_path: "ga_kernels::cc::scc_tarjan",
+        },
+        KernelEntry {
+            name: "CCO: Clustering Coefficients",
+            classes: &[Centrality],
+            suites: &[(HpcGraphAnalysis, Batch), (KeplerGilbert, Streaming)],
+            outputs: &[ComputeVertexProperty],
+            impl_path: "ga_kernels::cluster::clustering_coefficients",
+        },
+        KernelEntry {
+            name: "CD: Community Detection",
+            classes: &[Connectedness, PathAnalysis],
+            suites: &[(HpcGraphAnalysis, Streaming)],
+            outputs: &[ComputeVertexProperty, OutputO1Events],
+            impl_path: "ga_kernels::community::louvain",
+        },
+        KernelEntry {
+            name: "GC: Graph Contraction",
+            classes: &[PathAnalysis],
+            suites: &[(GraphChallenge, Batch), (GraphAlgorithmPlatform, Batch)],
+            outputs: &[OutputGlobalValue],
+            impl_path: "ga_kernels::contract::contract_by_label",
+        },
+        KernelEntry {
+            name: "GP: Graph Partitioning",
+            classes: &[PathAnalysis],
+            suites: &[(GraphBlas, Both), (GraphAlgorithmPlatform, Batch)],
+            outputs: &[OutputGlobalValue],
+            impl_path: "ga_kernels::partition::bfs_grow",
+        },
+        KernelEntry {
+            name: "GTC: Global Triangle Counting",
+            classes: &[PathAnalysis, SubgraphIsomorphism],
+            suites: &[(GraphChallenge, Batch)],
+            outputs: &[OutputGlobalValue],
+            impl_path: "ga_kernels::triangles::count_global",
+        },
+        KernelEntry {
+            name: "Insert/Delete",
+            classes: &[Centrality],
+            suites: &[(HpcGraphAnalysis, Streaming)],
+            outputs: &[GraphModification],
+            impl_path: "ga_graph::dynamic::DynamicGraph",
+        },
+        KernelEntry {
+            name: "Jaccard",
+            classes: &[PathAnalysis, Clustering],
+            suites: &[(Standalone, Both)],
+            outputs: &[OutputOVList],
+            impl_path: "ga_kernels::jaccard::all_pairs_above",
+        },
+        KernelEntry {
+            name: "MIS: Maximally Independent Set",
+            classes: &[Other],
+            suites: &[(Firehose, Batch), (GraphChallenge, Batch)],
+            outputs: &[],
+            impl_path: "ga_kernels::mis::luby",
+        },
+        KernelEntry {
+            name: "PR: PageRank",
+            classes: &[Connectedness, Centrality],
+            suites: &[(GraphChallenge, Batch)],
+            outputs: &[ComputeVertexProperty],
+            impl_path: "ga_kernels::pagerank::pagerank",
+        },
+        KernelEntry {
+            name: "SSSP: Single Source Shortest Path",
+            classes: &[Connectedness, PathAnalysis],
+            suites: &[
+                (Firehose, Batch),
+                (GraphChallenge, Both),
+                (GraphAlgorithmPlatform, Batch),
+            ],
+            outputs: &[ComputeVertexProperty, OutputO1Events],
+            impl_path: "ga_kernels::sssp::delta_stepping",
+        },
+        KernelEntry {
+            name: "APSP: All pairs Shortest Path",
+            classes: &[Connectedness, PathAnalysis],
+            suites: &[(GraphAlgorithmPlatform, Batch)],
+            outputs: &[OutputOVList],
+            impl_path: "ga_kernels::apsp::repeated_sssp",
+        },
+        KernelEntry {
+            name: "SI: General Subgraph Isomorphism",
+            classes: &[PathAnalysis, SubgraphIsomorphism],
+            suites: &[(Graph500, Both)],
+            outputs: &[OutputOVkList],
+            impl_path: "ga_kernels::subiso::find_embeddings",
+        },
+        KernelEntry {
+            name: "TL: Triangle Listing",
+            classes: &[PathAnalysis, SubgraphIsomorphism],
+            suites: &[(Graph500, Both)],
+            outputs: &[OutputOVList],
+            impl_path: "ga_kernels::triangles::list_triangles",
+        },
+        KernelEntry {
+            name: "Geo & Temporal Correlation",
+            classes: &[Clustering],
+            suites: &[(KeplerGilbert, Both), (Vast, Both)],
+            outputs: &[OutputO1Events],
+            impl_path: "ga_stream::correlate::correlate_batch",
+        },
+    ]
+}
+
+/// Render the registry as a Fig. 1-style text table.
+pub fn render_figure1() -> String {
+    let rows = registry();
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<36} {:<14} {:<34} {}\n",
+        "Kernel", "Classes", "Suites (B=batch, S=streaming)", "Outputs"
+    ));
+    out.push_str(&"-".repeat(120));
+    out.push('\n');
+    for r in &rows {
+        let classes: Vec<&str> = r.classes.iter().map(class_label).collect();
+        let suites: Vec<String> = r
+            .suites
+            .iter()
+            .map(|(s, m)| format!("{}:{}", suite_label(*s), m.cell()))
+            .collect();
+        let outputs: Vec<&str> = r.outputs.iter().map(output_label).collect();
+        out.push_str(&format!(
+            "{:<36} {:<14} {:<34} {}\n",
+            r.name,
+            classes.join(","),
+            suites.join(" "),
+            outputs.join(",")
+        ));
+    }
+    out
+}
+
+fn class_label(c: &KernelClass) -> &'static str {
+    match c {
+        Connectedness => "Conn",
+        PathAnalysis => "Path",
+        Centrality => "Centr",
+        Clustering => "Clust",
+        SubgraphIsomorphism => "SubIso",
+        Other => "Other",
+    }
+}
+
+fn suite_label(s: Suite) -> &'static str {
+    match s {
+        Standalone => "Standalone",
+        Firehose => "Firehose",
+        Graph500 => "Graph500",
+        GraphBlas => "GraphBLAS",
+        GraphChallenge => "GraphChal",
+        GraphAlgorithmPlatform => "GAP",
+        HpcGraphAnalysis => "HPC-GA",
+        KeplerGilbert => "K&G",
+        Stinger => "STINGER",
+        Vast => "VAST",
+    }
+}
+
+fn output_label(o: &OutputCol) -> &'static str {
+    match o {
+        GraphModification => "graph-mod",
+        ComputeVertexProperty => "vertex-prop",
+        OutputGlobalValue => "global",
+        OutputO1Events => "O(1)-events",
+        OutputOVList => "O(V)-list",
+        OutputOVkList => "O(V^k)-list",
+    }
+}
+
+/// Streaming rows (any suite membership with an S).
+pub fn streaming_kernels() -> Vec<KernelEntry> {
+    registry()
+        .into_iter()
+        .filter(|k| {
+            k.suites
+                .iter()
+                .any(|(_, m)| matches!(m, Mode::Streaming | Mode::Both))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_count_matches_figure() {
+        // Fig. 1 has 22 kernel rows.
+        assert_eq!(registry().len(), 22);
+    }
+
+    #[test]
+    fn no_one_kernel_is_universal() {
+        // The paper's take-away: no kernel appears in every suite.
+        let all_suites = 10;
+        for k in registry() {
+            let mut suites: Vec<Suite> = k.suites.iter().map(|&(s, _)| s).collect();
+            suites.dedup();
+            assert!(
+                suites.len() < all_suites,
+                "{} claims universal suite coverage",
+                k.name
+            );
+        }
+    }
+
+    #[test]
+    fn streaming_and_batch_differ() {
+        // A significant difference between streaming and batch kernels:
+        // neither set contains the other.
+        let streaming: Vec<String> = streaming_kernels()
+            .iter()
+            .map(|k| k.name.to_string())
+            .collect();
+        assert!(!streaming.is_empty());
+        assert!(streaming.len() < registry().len());
+        assert!(streaming.iter().any(|n| n.contains("Anomaly")));
+        // BFS is batch-only in the figure.
+        assert!(!streaming.iter().any(|n| n.contains("BFS")));
+    }
+
+    #[test]
+    fn every_row_is_implemented() {
+        for k in registry() {
+            assert!(
+                !k.impl_path.is_empty(),
+                "{} has no implementation link",
+                k.name
+            );
+            assert!(k.impl_path.starts_with("ga_"), "{}", k.impl_path);
+        }
+    }
+
+    #[test]
+    fn every_row_has_a_class() {
+        for k in registry() {
+            assert!(!k.classes.is_empty(), "{} has no class", k.name);
+        }
+    }
+
+    #[test]
+    fn render_contains_all_rows() {
+        let table = render_figure1();
+        for k in registry() {
+            assert!(table.contains(k.name), "missing row {}", k.name);
+        }
+        assert!(table.contains("Graph500:B"));
+        assert!(table.contains("Firehose:S"));
+    }
+}

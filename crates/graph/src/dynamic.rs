@@ -1,0 +1,412 @@
+//! STINGER-inspired dynamic property graph.
+//!
+//! The paper's streaming path (Fig. 2, left side) needs a persistent
+//! graph that absorbs "an incoming stream of individually small-scale
+//! updates, such as additions or deletions to vertices or edges, or
+//! modification of their properties". [`DynamicGraph`] provides that:
+//!
+//! * per-vertex adjacency stored in growable blocks (amortized O(1)
+//!   insert, no global re-allocation storms),
+//! * **timestamps** on every edge (paper §II: "edges may have time-stamps
+//!   in addition to properties"),
+//! * **lazy deletion** — deleted slots are tombstoned and reused by later
+//!   inserts, with an explicit [`DynamicGraph::compact`] sweep,
+//! * cheap [`DynamicGraph::snapshot`] freezes into a [`CsrGraph`] for the
+//!   batch analytics on the right side of Fig. 2.
+
+use crate::{CsrBuilder, CsrGraph, Edge, Timestamp, VertexId, Weight};
+
+/// One live or tombstoned directed edge slot.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EdgeRecord {
+    /// Target vertex.
+    pub dst: VertexId,
+    /// Edge weight (1.0 when unweighted updates are applied).
+    pub weight: Weight,
+    /// Time the edge was inserted or last modified.
+    pub timestamp: Timestamp,
+    /// Tombstone flag; set by `delete_edge`, cleared on slot reuse.
+    pub deleted: bool,
+}
+
+/// A mutable directed multigraph-free graph with timestamps and lazy
+/// deletion.
+///
+/// ```
+/// use ga_graph::DynamicGraph;
+/// let mut g = DynamicGraph::new(3);
+/// g.insert_edge(0, 1, 1.0, 10);
+/// g.insert_edge(1, 2, 1.0, 11);
+/// assert_eq!(g.num_live_edges(), 2);
+/// g.delete_edge(0, 1, 12);
+/// assert_eq!(g.num_live_edges(), 1);
+/// assert!(!g.has_edge(0, 1));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct DynamicGraph {
+    adj: Vec<Vec<EdgeRecord>>,
+    live_edges: usize,
+    tombstones: usize,
+    last_update: Timestamp,
+}
+
+/// Result of applying a single edge update.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ApplyResult {
+    /// A brand-new edge was created.
+    Inserted,
+    /// The edge already existed; weight/timestamp were refreshed.
+    Updated,
+    /// A tombstoned or absent edge was deleted (no-op delete).
+    Missing,
+    /// An existing edge was tombstoned.
+    Deleted,
+}
+
+impl DynamicGraph {
+    /// Create a graph with `num_vertices` vertices and no edges.
+    pub fn new(num_vertices: usize) -> Self {
+        DynamicGraph {
+            adj: vec![Vec::new(); num_vertices],
+            live_edges: 0,
+            tombstones: 0,
+            last_update: 0,
+        }
+    }
+
+    /// Build from an existing snapshot (all edges timestamped `ts`).
+    pub fn from_csr(g: &CsrGraph, ts: Timestamp) -> Self {
+        let mut d = DynamicGraph::new(g.num_vertices());
+        for u in g.vertices() {
+            for (v, w) in g.weighted_neighbors(u) {
+                d.insert_edge(u, v, w, ts);
+            }
+        }
+        d
+    }
+
+    /// Number of vertices (including isolated ones).
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of live (non-tombstoned) directed edges.
+    #[inline]
+    pub fn num_live_edges(&self) -> usize {
+        self.live_edges
+    }
+
+    /// Number of tombstoned slots awaiting compaction.
+    #[inline]
+    pub fn num_tombstones(&self) -> usize {
+        self.tombstones
+    }
+
+    /// Timestamp of the most recent structural update.
+    #[inline]
+    pub fn last_update(&self) -> Timestamp {
+        self.last_update
+    }
+
+    /// Append `count` fresh isolated vertices, returning the id of the
+    /// first one. Covers the paper's "less frequently new vertices" case.
+    pub fn add_vertices(&mut self, count: usize) -> VertexId {
+        let first = self.adj.len() as VertexId;
+        self.adj.resize_with(self.adj.len() + count, Vec::new);
+        first
+    }
+
+    /// Insert or refresh the directed edge `u -> v`.
+    ///
+    /// Returns [`ApplyResult::Inserted`] for a new edge,
+    /// [`ApplyResult::Updated`] when the edge existed (its weight and
+    /// timestamp are overwritten — the paper's "updating some properties
+    /// associated with an existing edge").
+    pub fn insert_edge(
+        &mut self,
+        u: VertexId,
+        v: VertexId,
+        weight: Weight,
+        ts: Timestamp,
+    ) -> ApplyResult {
+        self.last_update = self.last_update.max(ts);
+        let row = &mut self.adj[u as usize];
+        let mut free: Option<usize> = None;
+        for (i, rec) in row.iter_mut().enumerate() {
+            if rec.dst == v {
+                if rec.deleted {
+                    rec.deleted = false;
+                    rec.weight = weight;
+                    rec.timestamp = ts;
+                    self.live_edges += 1;
+                    self.tombstones -= 1;
+                    return ApplyResult::Inserted;
+                }
+                rec.weight = weight;
+                rec.timestamp = ts;
+                return ApplyResult::Updated;
+            }
+            if rec.deleted && free.is_none() {
+                free = Some(i);
+            }
+        }
+        let rec = EdgeRecord {
+            dst: v,
+            weight,
+            timestamp: ts,
+            deleted: false,
+        };
+        match free {
+            Some(i) => {
+                row[i] = rec;
+                self.tombstones -= 1;
+            }
+            None => row.push(rec),
+        }
+        self.live_edges += 1;
+        ApplyResult::Inserted
+    }
+
+    /// Tombstone the directed edge `u -> v` if live.
+    pub fn delete_edge(&mut self, u: VertexId, v: VertexId, ts: Timestamp) -> ApplyResult {
+        self.last_update = self.last_update.max(ts);
+        for rec in &mut self.adj[u as usize] {
+            if rec.dst == v && !rec.deleted {
+                rec.deleted = true;
+                rec.timestamp = ts;
+                self.live_edges -= 1;
+                self.tombstones += 1;
+                return ApplyResult::Deleted;
+            }
+        }
+        ApplyResult::Missing
+    }
+
+    /// Remove a vertex by tombstoning every incident edge (both
+    /// directions). The id remains allocated; degree drops to zero.
+    pub fn delete_vertex(&mut self, v: VertexId, ts: Timestamp) -> usize {
+        let mut removed = 0;
+        let out: Vec<VertexId> = self.neighbors(v).map(|r| r.dst).collect();
+        for u in out {
+            if self.delete_edge(v, u, ts) == ApplyResult::Deleted {
+                removed += 1;
+            }
+        }
+        for u in 0..self.num_vertices() as VertexId {
+            if u != v && self.delete_edge(u, v, ts) == ApplyResult::Deleted {
+                removed += 1;
+            }
+        }
+        removed
+    }
+
+    /// True if a live edge `u -> v` exists.
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        self.adj[u as usize]
+            .iter()
+            .any(|r| r.dst == v && !r.deleted)
+    }
+
+    /// The live record for `u -> v`, if any.
+    pub fn edge(&self, u: VertexId, v: VertexId) -> Option<&EdgeRecord> {
+        self.adj[u as usize]
+            .iter()
+            .find(|r| r.dst == v && !r.deleted)
+    }
+
+    /// Live out-degree of `v`.
+    pub fn degree(&self, v: VertexId) -> usize {
+        self.adj[v as usize].iter().filter(|r| !r.deleted).count()
+    }
+
+    /// Iterate live out-edge records of `v`.
+    pub fn neighbors(&self, v: VertexId) -> impl Iterator<Item = &EdgeRecord> {
+        self.adj[v as usize].iter().filter(|r| !r.deleted)
+    }
+
+    /// Iterate live out-neighbor ids of `v`.
+    pub fn neighbor_ids(&self, v: VertexId) -> impl Iterator<Item = VertexId> + '_ {
+        self.neighbors(v).map(|r| r.dst)
+    }
+
+    /// Iterate all live edges as `(src, dst, weight, timestamp)`.
+    pub fn edges(&self) -> impl Iterator<Item = (VertexId, VertexId, Weight, Timestamp)> + '_ {
+        self.adj.iter().enumerate().flat_map(|(u, row)| {
+            row.iter()
+                .filter(|r| !r.deleted)
+                .map(move |r| (u as VertexId, r.dst, r.weight, r.timestamp))
+        })
+    }
+
+    /// Physically remove tombstones. Returns slots reclaimed.
+    pub fn compact(&mut self) -> usize {
+        let mut reclaimed = 0;
+        for row in &mut self.adj {
+            let before = row.len();
+            row.retain(|r| !r.deleted);
+            reclaimed += before - row.len();
+        }
+        self.tombstones = 0;
+        reclaimed
+    }
+
+    /// Freeze the live edges into an immutable weighted [`CsrGraph`]
+    /// snapshot — the hand-off from the streaming side of Fig. 2 to the
+    /// batch side.
+    pub fn snapshot(&self) -> CsrGraph {
+        CsrBuilder::new(self.num_vertices())
+            .weighted_edges(self.edges().map(|(u, v, w, _)| (u, v, w)))
+            .build()
+    }
+
+    /// Freeze only edges with `timestamp >= since` — a temporal window
+    /// view for "what changed recently" analytics.
+    pub fn snapshot_since(&self, since: Timestamp) -> CsrGraph {
+        CsrBuilder::new(self.num_vertices())
+            .weighted_edges(
+                self.edges()
+                    .filter(|&(_, _, _, ts)| ts >= since)
+                    .map(|(u, v, w, _)| (u, v, w)),
+            )
+            .build()
+    }
+
+    /// Apply the edge list of `g` as undirected inserts (helper for tests
+    /// and generators).
+    pub fn insert_undirected(&mut self, edges: &[Edge], ts: Timestamp) {
+        for &(u, v) in edges {
+            self.insert_edge(u, v, 1.0, ts);
+            self.insert_edge(v, u, 1.0, ts);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_update_delete_cycle() {
+        let mut g = DynamicGraph::new(3);
+        assert_eq!(g.insert_edge(0, 1, 1.0, 1), ApplyResult::Inserted);
+        assert_eq!(g.insert_edge(0, 1, 2.0, 2), ApplyResult::Updated);
+        assert_eq!(g.edge(0, 1).unwrap().weight, 2.0);
+        assert_eq!(g.edge(0, 1).unwrap().timestamp, 2);
+        assert_eq!(g.delete_edge(0, 1, 3), ApplyResult::Deleted);
+        assert_eq!(g.delete_edge(0, 1, 4), ApplyResult::Missing);
+        assert_eq!(g.num_live_edges(), 0);
+        assert_eq!(g.num_tombstones(), 1);
+    }
+
+    #[test]
+    fn tombstone_reuse() {
+        let mut g = DynamicGraph::new(3);
+        g.insert_edge(0, 1, 1.0, 1);
+        g.delete_edge(0, 1, 2);
+        // Re-inserting the same edge reuses the slot in place.
+        assert_eq!(g.insert_edge(0, 1, 5.0, 3), ApplyResult::Inserted);
+        assert_eq!(g.num_tombstones(), 0);
+        assert_eq!(g.num_live_edges(), 1);
+        // Different target reuses a *free* slot.
+        g.delete_edge(0, 1, 4);
+        g.insert_edge(0, 2, 1.0, 5);
+        assert_eq!(g.adj_len(0), 1);
+    }
+
+    impl DynamicGraph {
+        fn adj_len(&self, v: VertexId) -> usize {
+            self.adj[v as usize].len()
+        }
+    }
+
+    #[test]
+    fn degree_ignores_tombstones() {
+        let mut g = DynamicGraph::new(4);
+        g.insert_edge(0, 1, 1.0, 1);
+        g.insert_edge(0, 2, 1.0, 1);
+        g.insert_edge(0, 3, 1.0, 1);
+        g.delete_edge(0, 2, 2);
+        assert_eq!(g.degree(0), 2);
+        let ids: Vec<_> = g.neighbor_ids(0).collect();
+        assert_eq!(ids, vec![1, 3]);
+    }
+
+    #[test]
+    fn vertex_deletion_clears_both_directions() {
+        let mut g = DynamicGraph::new(3);
+        g.insert_edge(0, 1, 1.0, 1);
+        g.insert_edge(1, 2, 1.0, 1);
+        g.insert_edge(2, 1, 1.0, 1);
+        let removed = g.delete_vertex(1, 5);
+        assert_eq!(removed, 3);
+        assert_eq!(g.num_live_edges(), 0);
+        assert_eq!(g.degree(1), 0);
+    }
+
+    #[test]
+    fn add_vertices_extends() {
+        let mut g = DynamicGraph::new(2);
+        let first = g.add_vertices(3);
+        assert_eq!(first, 2);
+        assert_eq!(g.num_vertices(), 5);
+        g.insert_edge(4, 0, 1.0, 1);
+        assert!(g.has_edge(4, 0));
+    }
+
+    #[test]
+    fn compact_reclaims() {
+        let mut g = DynamicGraph::new(2);
+        for i in 0..10 {
+            g.insert_edge(0, 1, i as f32, i);
+            g.delete_edge(0, 1, i);
+        }
+        assert_eq!(g.num_tombstones(), 1);
+        assert_eq!(g.compact(), 1);
+        assert_eq!(g.num_tombstones(), 0);
+        assert_eq!(g.degree(0), 0);
+    }
+
+    #[test]
+    fn snapshot_matches_live_edges() {
+        let mut g = DynamicGraph::new(4);
+        g.insert_edge(0, 1, 2.0, 1);
+        g.insert_edge(1, 2, 3.0, 2);
+        g.insert_edge(2, 3, 4.0, 3);
+        g.delete_edge(1, 2, 4);
+        let s = g.snapshot();
+        assert_eq!(s.num_edges(), 2);
+        assert!(s.has_edge(0, 1));
+        assert!(!s.has_edge(1, 2));
+        assert_eq!(s.edge_weight(2, 3), Some(4.0));
+    }
+
+    #[test]
+    fn snapshot_since_windows() {
+        let mut g = DynamicGraph::new(3);
+        g.insert_edge(0, 1, 1.0, 10);
+        g.insert_edge(1, 2, 1.0, 20);
+        let recent = g.snapshot_since(15);
+        assert_eq!(recent.num_edges(), 1);
+        assert!(recent.has_edge(1, 2));
+    }
+
+    #[test]
+    fn from_csr_round_trip() {
+        let csr = CsrGraph::from_weighted_edges(3, &[(0, 1, 5.0), (1, 2, 6.0)]);
+        let dynamic = DynamicGraph::from_csr(&csr, 99);
+        assert_eq!(dynamic.num_live_edges(), 2);
+        assert_eq!(dynamic.edge(0, 1).unwrap().timestamp, 99);
+        let back = dynamic.snapshot();
+        assert_eq!(back.edge_weight(0, 1), Some(5.0));
+        assert_eq!(back.edge_weight(1, 2), Some(6.0));
+    }
+
+    #[test]
+    fn last_update_tracks_max() {
+        let mut g = DynamicGraph::new(2);
+        g.insert_edge(0, 1, 1.0, 7);
+        g.delete_edge(0, 1, 3); // out-of-order timestamp doesn't regress
+        assert_eq!(g.last_update(), 7);
+    }
+}

@@ -1,0 +1,266 @@
+//! Graph I/O: whitespace edge lists and a compact binary snapshot.
+//!
+//! The binary format is a hand-rolled little-endian codec (magic,
+//! version, counts, offsets, targets, optional weights) so the workspace
+//! needs no serialization dependency.
+
+use crate::{CsrBuilder, CsrGraph, VertexId, Weight};
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 4] = b"GAG1";
+
+/// Parse a whitespace/comment edge list: one `src dst [weight]` per
+/// line, `#` comments, blank lines ignored. Vertex count is
+/// `max(id) + 1` unless `num_vertices` is given.
+pub fn read_edge_list(r: impl Read, num_vertices: Option<usize>) -> io::Result<CsrGraph> {
+    let reader = BufReader::new(r);
+    let mut edges: Vec<(VertexId, VertexId, Weight)> = Vec::new();
+    let mut weighted = false;
+    let mut max_id: u64 = 0;
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let parse = |tok: Option<&str>, what: &str| -> io::Result<u64> {
+            tok.ok_or_else(|| bad_line(lineno, what))?
+                .parse::<u64>()
+                .map_err(|_| bad_line(lineno, what))
+        };
+        let u = parse(it.next(), "missing/invalid src")?;
+        let v = parse(it.next(), "missing/invalid dst")?;
+        let w = match it.next() {
+            Some(tok) => {
+                weighted = true;
+                tok.parse::<Weight>()
+                    .map_err(|_| bad_line(lineno, "invalid weight"))?
+            }
+            None => 1.0,
+        };
+        max_id = max_id.max(u).max(v);
+        edges.push((u as VertexId, v as VertexId, w));
+    }
+    let n = num_vertices.unwrap_or(if edges.is_empty() {
+        0
+    } else {
+        max_id as usize + 1
+    });
+    let b = CsrBuilder::new(n);
+    let g = if weighted {
+        b.weighted_edges(edges).build()
+    } else {
+        b.edges(edges.into_iter().map(|(u, v, _)| (u, v))).build()
+    };
+    Ok(g)
+}
+
+fn bad_line(lineno: usize, what: &str) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("edge list line {}: {what}", lineno + 1),
+    )
+}
+
+/// Write a graph as an edge list (weights included when present).
+pub fn write_edge_list(g: &CsrGraph, w: impl Write) -> io::Result<()> {
+    let mut out = BufWriter::new(w);
+    writeln!(out, "# {} vertices, {} edges", g.num_vertices(), g.num_edges())?;
+    if g.is_weighted() {
+        for (u, v, wt) in g.weighted_edges() {
+            writeln!(out, "{u} {v} {wt}")?;
+        }
+    } else {
+        for (u, v) in g.edges() {
+            writeln!(out, "{u} {v}")?;
+        }
+    }
+    out.flush()
+}
+
+/// Serialize a CSR snapshot to the compact binary format.
+pub fn write_binary(g: &CsrGraph, w: impl Write) -> io::Result<()> {
+    let mut out = BufWriter::new(w);
+    out.write_all(MAGIC)?;
+    let flags: u32 = if g.is_weighted() { 1 } else { 0 };
+    out.write_all(&flags.to_le_bytes())?;
+    out.write_all(&(g.num_vertices() as u64).to_le_bytes())?;
+    out.write_all(&(g.num_edges() as u64).to_le_bytes())?;
+    for &off in g.raw_offsets() {
+        out.write_all(&off.to_le_bytes())?;
+    }
+    for &t in g.raw_targets() {
+        out.write_all(&t.to_le_bytes())?;
+    }
+    if g.is_weighted() {
+        for u in g.vertices() {
+            for w in g.edge_weights(u).unwrap() {
+                out.write_all(&w.to_le_bytes())?;
+            }
+        }
+    }
+    out.flush()
+}
+
+/// Deserialize a CSR snapshot written by [`write_binary`].
+pub fn read_binary(r: impl Read) -> io::Result<CsrGraph> {
+    let mut input = BufReader::new(r);
+    let mut magic = [0u8; 4];
+    input.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad magic"));
+    }
+    let flags = read_u32(&mut input)?;
+    let n = read_u64(&mut input)? as usize;
+    let m = read_u64(&mut input)? as usize;
+    let mut offsets = Vec::with_capacity(n + 1);
+    for _ in 0..=n {
+        offsets.push(read_u64(&mut input)?);
+    }
+    if offsets.first() != Some(&0) || offsets.last() != Some(&(m as u64)) {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad offsets"));
+    }
+    let mut edges: Vec<(VertexId, VertexId, Weight)> = Vec::with_capacity(m);
+    let mut targets = Vec::with_capacity(m);
+    for _ in 0..m {
+        targets.push(read_u32(&mut input)? as VertexId);
+    }
+    let weighted = flags & 1 != 0;
+    let mut weights = Vec::new();
+    if weighted {
+        for _ in 0..m {
+            weights.push(read_f32(&mut input)?);
+        }
+    }
+    for u in 0..n {
+        for i in offsets[u] as usize..offsets[u + 1] as usize {
+            let w = if weighted { weights[i] } else { 1.0 };
+            edges.push((u as VertexId, targets[i], w));
+        }
+    }
+    let b = CsrBuilder::new(n);
+    Ok(if weighted {
+        b.weighted_edges(edges).build()
+    } else {
+        b.edges(edges.into_iter().map(|(u, v, _)| (u, v))).build()
+    })
+}
+
+/// Convenience: write binary snapshot to a file path.
+pub fn save(g: &CsrGraph, path: impl AsRef<Path>) -> io::Result<()> {
+    write_binary(g, std::fs::File::create(path)?)
+}
+
+/// Convenience: read binary snapshot from a file path.
+pub fn load(path: impl AsRef<Path>) -> io::Result<CsrGraph> {
+    read_binary(std::fs::File::open(path)?)
+}
+
+fn read_u32(r: &mut impl Read) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn read_u64(r: &mut impl Read) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+fn read_f32(r: &mut impl Read) -> io::Result<f32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(f32::from_le_bytes(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn edge_list_round_trip() {
+        let g = CsrGraph::from_edges(5, &gen::star(5));
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let g2 = read_edge_list(&buf[..], Some(5)).unwrap();
+        assert_eq!(g2.num_edges(), g.num_edges());
+        for v in g.vertices() {
+            assert_eq!(g.neighbors(v), g2.neighbors(v));
+        }
+    }
+
+    #[test]
+    fn edge_list_weighted_round_trip() {
+        let g = CsrGraph::from_weighted_edges(3, &[(0, 1, 2.5), (1, 2, 1.25)]);
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let g2 = read_edge_list(&buf[..], None).unwrap();
+        assert!(g2.is_weighted());
+        assert_eq!(g2.edge_weight(0, 1), Some(2.5));
+    }
+
+    #[test]
+    fn edge_list_comments_and_blanks() {
+        let text = "# a comment\n\n0 1\n 1 2 \n";
+        let g = read_edge_list(text.as_bytes(), None).unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn edge_list_rejects_garbage() {
+        assert!(read_edge_list("0 x".as_bytes(), None).is_err());
+        assert!(read_edge_list("0".as_bytes(), None).is_err());
+        assert!(read_edge_list("0 1 zzz".as_bytes(), None).is_err());
+    }
+
+    #[test]
+    fn binary_round_trip_unweighted() {
+        let edges = gen::rmat(8, 2000, gen::RmatParams::GRAPH500, 3);
+        let g = CsrGraph::from_edges(256, &edges);
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        let g2 = read_binary(&buf[..]).unwrap();
+        assert_eq!(g.num_vertices(), g2.num_vertices());
+        assert_eq!(g.num_edges(), g2.num_edges());
+        for v in g.vertices() {
+            assert_eq!(g.neighbors(v), g2.neighbors(v));
+        }
+        assert!(!g2.is_weighted());
+    }
+
+    #[test]
+    fn binary_round_trip_weighted() {
+        let edges = gen::with_random_weights(&gen::ring(50), 0.5, 2.0, 4);
+        let g = CsrGraph::from_weighted_edges(50, &edges);
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        let g2 = read_binary(&buf[..]).unwrap();
+        assert!(g2.is_weighted());
+        for v in g.vertices() {
+            assert_eq!(g.edge_weights(v), g2.edge_weights(v));
+        }
+    }
+
+    #[test]
+    fn binary_rejects_bad_magic() {
+        assert!(read_binary(&b"NOPE"[..]).is_err());
+        assert!(read_binary(&b"GA"[..]).is_err());
+    }
+
+    #[test]
+    fn file_save_load() {
+        let dir = std::env::temp_dir().join("ga_graph_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("g.bin");
+        let g = CsrGraph::from_edges(4, &[(0, 1), (2, 3)]);
+        save(&g, &p).unwrap();
+        let g2 = load(&p).unwrap();
+        assert_eq!(g2.num_edges(), 2);
+        std::fs::remove_file(p).ok();
+    }
+}

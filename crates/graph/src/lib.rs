@@ -1,0 +1,70 @@
+//! # ga-graph — graph substrate
+//!
+//! The storage layer underneath the whole reproduction of Kogge's
+//! *"Graph Analytics: Complexity, Scalability, and Architectures"*
+//! (IPDPSW 2017).
+//!
+//! The paper's canonical processing flow (its Fig. 2) needs two kinds of
+//! graph storage:
+//!
+//! * a **persistent, mutable property graph** that absorbs streaming
+//!   updates — [`DynamicGraph`] (a STINGER-inspired blocked adjacency
+//!   structure with timestamps and lazy deletion) together with a
+//!   [`PropertyStore`] holding arbitrarily many named, typed vertex
+//!   property columns ("thousands of properties per vertex" in the
+//!   paper's words), and
+//! * **frozen, compact snapshots** that batch analytics run against —
+//!   [`CsrGraph`], an immutable compressed-sparse-row graph with O(1)
+//!   neighbor slices, optional weights and optional reverse (in-edge)
+//!   index.
+//!
+//! On top of those sit deterministic workload generators ([`gen`]),
+//! subgraph extraction with property projection ([`sub`]), plain-text and
+//! binary I/O ([`io`]), and whole-graph statistics ([`stats`]).
+//!
+//! ```
+//! use ga_graph::{gen, CsrGraph};
+//!
+//! // A Graph500-style RMAT graph: 2^10 vertices, 16 edges per vertex.
+//! let edges = gen::rmat(10, 16 << 10, gen::RmatParams::GRAPH500, 42);
+//! let g = CsrGraph::from_edges(1 << 10, &edges);
+//! assert_eq!(g.num_vertices(), 1 << 10);
+//! assert!(g.num_edges() > 0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod csr;
+pub mod dynamic;
+pub mod gen;
+pub mod io;
+pub mod props;
+pub mod stats;
+pub mod sub;
+
+pub use csr::{CsrBuilder, CsrGraph};
+pub use dynamic::{DynamicGraph, EdgeRecord};
+pub use props::{PropValue, PropertyStore};
+pub use sub::{ExtractOptions, Subgraph};
+
+/// Dense vertex identifier.
+///
+/// Vertices are numbered `0..num_vertices`. A `u32` keeps adjacency
+/// arrays half the size of `usize` on 64-bit targets, which matters for
+/// the memory-bandwidth-bound kernels this workspace is about; graphs of
+/// more than 2^32 vertices are out of scope for a laptop-scale
+/// reproduction.
+pub type VertexId = u32;
+
+/// Edge weight type used by the weighted kernels (SSSP, APSP, ...).
+pub type Weight = f32;
+
+/// Timestamp attached to streamed edges (paper §II: "edges may have
+/// time-stamps in addition to properties").
+pub type Timestamp = u64;
+
+/// A directed edge `(src, dst)`.
+pub type Edge = (VertexId, VertexId);
+
+/// A directed weighted edge `(src, dst, weight)`.
+pub type WeightedEdge = (VertexId, VertexId, Weight);

@@ -1,0 +1,159 @@
+//! Whole-graph statistics.
+//!
+//! The paper's §I lists "properties of the graph as a whole (such as the
+//! diameter...)" among analytic outputs; these helpers compute the global
+//! metrics the flow engine and benchmarks report.
+
+use crate::{CsrGraph, VertexId};
+use rayon::prelude::*;
+use std::collections::VecDeque;
+
+/// Summary statistics of a snapshot.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GraphStats {
+    /// Vertex count.
+    pub num_vertices: usize,
+    /// Directed edge count.
+    pub num_edges: usize,
+    /// Vertices with no out-edges.
+    pub num_sinks: usize,
+    /// Minimum out-degree.
+    pub min_degree: usize,
+    /// Maximum out-degree.
+    pub max_degree: usize,
+    /// Mean out-degree.
+    pub mean_degree: f64,
+}
+
+/// Compute the degree summary (parallel over vertices).
+pub fn degree_stats(g: &CsrGraph) -> GraphStats {
+    let n = g.num_vertices();
+    if n == 0 {
+        return GraphStats {
+            num_vertices: 0,
+            num_edges: 0,
+            num_sinks: 0,
+            min_degree: 0,
+            max_degree: 0,
+            mean_degree: 0.0,
+        };
+    }
+    let (min_d, max_d, sinks) = (0..n as VertexId)
+        .into_par_iter()
+        .map(|v| {
+            let d = g.degree(v);
+            (d, d, usize::from(d == 0))
+        })
+        .reduce(
+            || (usize::MAX, 0, 0),
+            |a, b| (a.0.min(b.0), a.1.max(b.1), a.2 + b.2),
+        );
+    GraphStats {
+        num_vertices: n,
+        num_edges: g.num_edges(),
+        num_sinks: sinks,
+        min_degree: min_d,
+        max_degree: max_d,
+        mean_degree: g.num_edges() as f64 / n as f64,
+    }
+}
+
+/// Eccentricity of `src`: max BFS depth over reachable vertices, and the
+/// farthest vertex. Returns `(farthest, depth)`.
+pub fn eccentricity(g: &CsrGraph, src: VertexId) -> (VertexId, usize) {
+    let n = g.num_vertices();
+    let mut depth = vec![u32::MAX; n];
+    let mut q = VecDeque::new();
+    depth[src as usize] = 0;
+    q.push_back(src);
+    let mut far = (src, 0usize);
+    while let Some(u) = q.pop_front() {
+        let d = depth[u as usize] as usize;
+        if d > far.1 {
+            far = (u, d);
+        }
+        for &v in g.neighbors(u) {
+            if depth[v as usize] == u32::MAX {
+                depth[v as usize] = depth[u as usize] + 1;
+                q.push_back(v);
+            }
+        }
+    }
+    far
+}
+
+/// Double-sweep lower bound on the diameter: BFS from `start`, then BFS
+/// again from the farthest vertex found. Exact on trees, a good lower
+/// bound in general — the cheap "diameter" estimate real pipelines use.
+pub fn approx_diameter(g: &CsrGraph, start: VertexId) -> usize {
+    let (far, _) = eccentricity(g, start);
+    let (_, d) = eccentricity(g, far);
+    d
+}
+
+/// Log2-bucketed out-degree distribution: `dist[i]` = vertices with
+/// degree in `[2^i, 2^(i+1))`; `dist[0]` counts degrees 0 and 1.
+pub fn degree_distribution_log2(g: &CsrGraph) -> Vec<usize> {
+    let mut dist = Vec::new();
+    for v in g.vertices() {
+        let d = g.degree(v);
+        let bucket = if d <= 1 { 0 } else { (usize::BITS - d.leading_zeros()) as usize - 1 };
+        if bucket >= dist.len() {
+            dist.resize(bucket + 1, 0);
+        }
+        dist[bucket] += 1;
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn stats_on_star() {
+        let g = CsrGraph::from_edges(5, &gen::star(5));
+        let s = degree_stats(&g);
+        assert_eq!(s.num_vertices, 5);
+        assert_eq!(s.num_edges, 4);
+        assert_eq!(s.max_degree, 4);
+        assert_eq!(s.min_degree, 0);
+        assert_eq!(s.num_sinks, 4);
+        assert!((s.mean_degree - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_empty() {
+        let g = CsrGraph::from_edges(0, &[]);
+        let s = degree_stats(&g);
+        assert_eq!(s.num_vertices, 0);
+        assert_eq!(s.max_degree, 0);
+    }
+
+    #[test]
+    fn eccentricity_on_path() {
+        let g = CsrGraph::from_edges_undirected(6, &gen::path(6));
+        let (far, d) = eccentricity(&g, 0);
+        assert_eq!((far, d), (5, 5));
+        let (_, d_mid) = eccentricity(&g, 3);
+        assert_eq!(d_mid, 3);
+    }
+
+    #[test]
+    fn approx_diameter_exact_on_path() {
+        let g = CsrGraph::from_edges_undirected(9, &gen::path(9));
+        // Start from the middle; double sweep still finds 8.
+        assert_eq!(approx_diameter(&g, 4), 8);
+    }
+
+    #[test]
+    fn degree_distribution_buckets() {
+        // star(9): center degree 8 -> bucket 3; leaves degree 0 -> bucket 0
+        let g = CsrGraph::from_edges(9, &gen::star(9));
+        let dist = degree_distribution_log2(&g);
+        assert_eq!(dist[0], 8);
+        assert_eq!(dist[3], 1);
+        assert_eq!(dist.iter().sum::<usize>(), 9);
+    }
+}

@@ -1,0 +1,227 @@
+//! All-pairs shortest paths (Fig. 1 row "APSP") — the `O(|V|^k)`-output
+//! kernel class.
+//!
+//! Two engines: [`floyd_warshall`] for dense small graphs and
+//! [`repeated_sssp`] (one Dijkstra per source, parallel over sources) for
+//! sparse ones. Output is a dense `n x n` row-major distance matrix, so
+//! both are deliberately gated to small `n` — this is the kernel the
+//! paper flags as producing output that "may grow far faster" than |V|.
+
+use crate::sssp::dijkstra;
+use crate::INF;
+use ga_graph::{CsrGraph, Weight};
+use rayon::prelude::*;
+
+/// Dense distance matrix: `dist[u * n + v]`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DistMatrix {
+    /// Number of vertices.
+    pub n: usize,
+    /// Row-major distances; [`INF`] = unreachable.
+    pub dist: Vec<Weight>,
+}
+
+impl DistMatrix {
+    /// Distance from `u` to `v`.
+    #[inline]
+    pub fn get(&self, u: usize, v: usize) -> Weight {
+        self.dist[u * self.n + v]
+    }
+
+    /// Largest finite distance (the exact diameter when strongly
+    /// connected).
+    pub fn diameter(&self) -> Weight {
+        self.dist
+            .iter()
+            .copied()
+            .filter(|d| d.is_finite())
+            .fold(0.0, Weight::max)
+    }
+
+    /// Count of reachable (finite) ordered pairs, self-pairs included.
+    pub fn reachable_pairs(&self) -> usize {
+        self.dist.iter().filter(|d| d.is_finite()).count()
+    }
+}
+
+/// Floyd–Warshall. O(n^3) time, O(n^2) space.
+pub fn floyd_warshall(g: &CsrGraph) -> DistMatrix {
+    let n = g.num_vertices();
+    let mut dist = vec![INF; n * n];
+    for v in 0..n {
+        dist[v * n + v] = 0.0;
+    }
+    for (u, v, w) in g.weighted_edges() {
+        let idx = u as usize * n + v as usize;
+        if w < dist[idx] {
+            dist[idx] = w;
+        }
+    }
+    for k in 0..n {
+        for i in 0..n {
+            let dik = dist[i * n + k];
+            if dik == INF {
+                continue;
+            }
+            for j in 0..n {
+                let through = dik + dist[k * n + j];
+                if through < dist[i * n + j] {
+                    dist[i * n + j] = through;
+                }
+            }
+        }
+    }
+    DistMatrix { n, dist }
+}
+
+/// One Dijkstra per source, parallel over sources. Preferred when the
+/// graph is sparse (`m << n^2`).
+pub fn repeated_sssp(g: &CsrGraph) -> DistMatrix {
+    let n = g.num_vertices();
+    let rows: Vec<Vec<Weight>> = (0..n as u32)
+        .into_par_iter()
+        .map(|src| dijkstra(g, src).dist)
+        .collect();
+    let mut dist = Vec::with_capacity(n * n);
+    for row in rows {
+        dist.extend(row);
+    }
+    DistMatrix { n, dist }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ga_graph::gen;
+
+    #[test]
+    fn engines_agree() {
+        let edges = gen::with_random_weights(&gen::erdos_renyi(40, 200, 1), 0.5, 3.0, 2);
+        let g = CsrGraph::from_weighted_edges(40, &edges);
+        let a = floyd_warshall(&g);
+        let b = repeated_sssp(&g);
+        assert_eq!(a.n, b.n);
+        for i in 0..a.dist.len() {
+            let (x, y) = (a.dist[i], b.dist[i]);
+            assert!((x - y).abs() < 1e-3 || (x == INF && y == INF), "at {i}: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn path_distances() {
+        let g = CsrGraph::from_edges_undirected(5, &gen::path(5));
+        let d = floyd_warshall(&g);
+        assert_eq!(d.get(0, 4), 4.0);
+        assert_eq!(d.get(2, 2), 0.0);
+        assert_eq!(d.diameter(), 4.0);
+        assert_eq!(d.reachable_pairs(), 25);
+    }
+
+    #[test]
+    fn unreachable_pairs() {
+        let g = CsrGraph::from_edges(4, &[(0, 1), (2, 3)]);
+        let d = repeated_sssp(&g);
+        assert_eq!(d.get(0, 2), INF);
+        assert_eq!(d.get(0, 1), 1.0);
+        // 4 self + 2 edges
+        assert_eq!(d.reachable_pairs(), 6);
+    }
+
+    #[test]
+    fn directed_asymmetry() {
+        let g = CsrGraph::from_weighted_edges(2, &[(0, 1, 2.0)]);
+        let d = floyd_warshall(&g);
+        assert_eq!(d.get(0, 1), 2.0);
+        assert_eq!(d.get(1, 0), INF);
+    }
+
+    #[test]
+    fn parallel_edge_takes_min() {
+        let g = CsrGraph::from_weighted_edges(2, &[(0, 1, 5.0), (0, 1, 1.0)]);
+        let d = floyd_warshall(&g);
+        assert_eq!(d.get(0, 1), 1.0);
+    }
+}
+
+/// Johnson's algorithm: Bellman–Ford reweighting from a virtual source
+/// makes all weights non-negative, then one Dijkstra per source. Handles
+/// negative edges (no negative cycles) at repeated-Dijkstra cost.
+/// Returns `None` when a negative cycle exists.
+pub fn johnson(g: &CsrGraph) -> Option<DistMatrix> {
+    use crate::sssp::bellman_ford;
+    use ga_graph::CsrBuilder;
+    let n = g.num_vertices();
+    // Augmented graph: virtual source n with 0-weight edges to all.
+    let mut b = CsrBuilder::new(n + 1).weighted_edges(g.weighted_edges());
+    b = b.weighted_edges((0..n as u32).map(|v| (n as u32, v, 0.0)));
+    let aug = b.build();
+    let h = bellman_ford(&aug, n as u32).ok()?.dist;
+    // Reweight: w'(u, v) = w + h[u] - h[v]  (>= 0 by the BF invariant).
+    let reweighted = CsrBuilder::new(n)
+        .weighted_edges(
+            g.weighted_edges()
+                .map(|(u, v, w)| (u, v, w + h[u as usize] - h[v as usize])),
+        )
+        .build();
+    let prelim = repeated_sssp(&reweighted);
+    // Undo the reweighting per pair.
+    let mut dist = prelim.dist;
+    for u in 0..n {
+        for v in 0..n {
+            let d = &mut dist[u * n + v];
+            if d.is_finite() {
+                *d = *d - h[u] + h[v];
+            }
+        }
+    }
+    Some(DistMatrix { n, dist })
+}
+
+#[cfg(test)]
+mod johnson_tests {
+    use super::*;
+
+    #[test]
+    fn johnson_matches_floyd_on_negative_edges() {
+        // Negative edge 2->1, but the cycle 2->1->3->2 sums to +2.
+        let g = CsrGraph::from_weighted_edges(
+            4,
+            &[(0, 1, 3.0), (0, 2, 8.0), (1, 3, 1.0), (2, 1, -4.0), (3, 2, 5.0)],
+        );
+        let j = johnson(&g).unwrap();
+        let f = floyd_warshall(&g);
+        for i in 0..j.dist.len() {
+            let (a, b) = (j.dist[i], f.dist[i]);
+            assert!(
+                (a - b).abs() < 1e-3 || (a.is_infinite() && b.is_infinite()),
+                "at {i}: {a} vs {b}"
+            );
+        }
+        // 0->1->3 costs 4; the detour through the negative edge
+        // (0->2->1->3 = 8 - 4 + 1 = 5) doesn't beat it.
+        assert!((j.get(0, 3) - 4.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn johnson_detects_negative_cycle() {
+        let g = CsrGraph::from_weighted_edges(3, &[(0, 1, 1.0), (1, 2, -3.0), (2, 0, 1.0)]);
+        assert!(johnson(&g).is_none());
+    }
+
+    #[test]
+    fn johnson_matches_repeated_sssp_on_nonnegative() {
+        let edges = ga_graph::gen::with_random_weights(
+            &ga_graph::gen::erdos_renyi(30, 150, 2),
+            0.1,
+            2.0,
+            3,
+        );
+        let g = CsrGraph::from_weighted_edges(30, &edges);
+        let j = johnson(&g).unwrap();
+        let r = repeated_sssp(&g);
+        for i in 0..j.dist.len() {
+            let (a, b) = (j.dist[i], r.dist[i]);
+            assert!((a - b).abs() < 1e-3 || (a.is_infinite() && b.is_infinite()));
+        }
+    }
+}

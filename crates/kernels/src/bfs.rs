@@ -1,0 +1,369 @@
+//! Breadth-first search — the Graph500 kernel and the paper's canonical
+//! connectedness primitive.
+//!
+//! Three engines:
+//! * [`bfs`] — classic top-down queue BFS,
+//! * [`bfs_bottom_up`] — level-synchronous bottom-up sweep (each
+//!   unvisited vertex scans its in-neighbors for a frontier member),
+//! * [`bfs_direction_optimizing`] — Beamer-style hybrid that switches
+//!   bottom-up when the frontier grows past a fraction of the edges, the
+//!   strategy GRAPH500 winners use on skewed (R-MAT) graphs.
+//!
+//! All return a [`BfsResult`] with parent pointers and depths; the
+//! streaming O(1)-event variant in Fig. 1 corresponds to inspecting
+//! `depth[target]` after the sweep.
+
+use crate::UNREACHED;
+use ga_graph::{CsrGraph, VertexId};
+use rayon::prelude::*;
+use std::collections::VecDeque;
+
+/// Output of a BFS sweep.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BfsResult {
+    /// `depth[v]` = hops from the source, [`UNREACHED`] if unreachable.
+    pub depth: Vec<u32>,
+    /// `parent[v]` = BFS-tree parent; source's parent is itself;
+    /// `UNREACHED` (as id) for unreachable vertices.
+    pub parent: Vec<VertexId>,
+    /// Vertices reached (including the source).
+    pub reached: usize,
+}
+
+impl BfsResult {
+    /// Validate the BFS-tree invariants against `g` (Graph500-style
+    /// result check): parent edges exist, depths increase by exactly one
+    /// along parent links, unreachable vertices stay unmarked.
+    pub fn validate(&self, g: &CsrGraph, src: VertexId) -> Result<(), String> {
+        if self.depth[src as usize] != 0 || self.parent[src as usize] != src {
+            return Err("source not rooted at depth 0".into());
+        }
+        for v in g.vertices() {
+            let d = self.depth[v as usize];
+            let p = self.parent[v as usize];
+            if (d == UNREACHED) != (p == UNREACHED) {
+                return Err(format!("vertex {v}: depth/parent disagree"));
+            }
+            if d == UNREACHED || v == src {
+                continue;
+            }
+            if self.depth[p as usize] + 1 != d {
+                return Err(format!("vertex {v}: depth not parent+1"));
+            }
+            if !g.has_edge(p, v) {
+                return Err(format!("vertex {v}: parent edge {p}->{v} missing"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Top-down queue BFS from `src`.
+pub fn bfs(g: &CsrGraph, src: VertexId) -> BfsResult {
+    let n = g.num_vertices();
+    let mut depth = vec![UNREACHED; n];
+    let mut parent = vec![UNREACHED as VertexId; n];
+    let mut q = VecDeque::new();
+    depth[src as usize] = 0;
+    parent[src as usize] = src;
+    q.push_back(src);
+    let mut reached = 1;
+    while let Some(u) = q.pop_front() {
+        for &v in g.neighbors(u) {
+            if depth[v as usize] == UNREACHED {
+                depth[v as usize] = depth[u as usize] + 1;
+                parent[v as usize] = u;
+                reached += 1;
+                q.push_back(v);
+            }
+        }
+    }
+    BfsResult {
+        depth,
+        parent,
+        reached,
+    }
+}
+
+/// Level-synchronous bottom-up BFS. Requires the reverse index (or an
+/// undirected graph, where out-neighbors suffice); falls back to
+/// out-neighbors when no reverse index is present.
+pub fn bfs_bottom_up(g: &CsrGraph, src: VertexId) -> BfsResult {
+    let n = g.num_vertices();
+    let mut depth = vec![UNREACHED; n];
+    let mut parent = vec![UNREACHED as VertexId; n];
+    let mut in_frontier = vec![false; n];
+    depth[src as usize] = 0;
+    parent[src as usize] = src;
+    in_frontier[src as usize] = true;
+    let mut reached = 1;
+    let mut level = 0u32;
+    loop {
+        let mut next = vec![false; n];
+        let mut any = false;
+        for v in 0..n as VertexId {
+            if depth[v as usize] != UNREACHED {
+                continue;
+            }
+            let preds: &[VertexId] = if g.has_reverse() {
+                g.in_neighbors(v)
+            } else {
+                g.neighbors(v)
+            };
+            for &u in preds {
+                if in_frontier[u as usize] {
+                    depth[v as usize] = level + 1;
+                    parent[v as usize] = u;
+                    next[v as usize] = true;
+                    reached += 1;
+                    any = true;
+                    break;
+                }
+            }
+        }
+        if !any {
+            break;
+        }
+        in_frontier = next;
+        level += 1;
+    }
+    BfsResult {
+        depth,
+        parent,
+        reached,
+    }
+}
+
+/// Direction-optimizing BFS (Beamer): top-down while the frontier is
+/// small, bottom-up once `frontier_edges > total_edges / alpha`.
+///
+/// `alpha` controls the switch threshold; 15 matches the GAP benchmark
+/// suite default.
+pub fn bfs_direction_optimizing(g: &CsrGraph, src: VertexId, alpha: usize) -> BfsResult {
+    let n = g.num_vertices();
+    let m = g.num_edges().max(1);
+    let mut depth = vec![UNREACHED; n];
+    let mut parent = vec![UNREACHED as VertexId; n];
+    depth[src as usize] = 0;
+    parent[src as usize] = src;
+    let mut reached = 1;
+    let mut frontier: Vec<VertexId> = vec![src];
+    let mut level = 0u32;
+    while !frontier.is_empty() {
+        let frontier_edges: usize = frontier.iter().map(|&v| g.degree(v)).sum();
+        let bottom_up = frontier_edges * alpha > m && g.has_reverse();
+        let mut next = Vec::new();
+        if bottom_up {
+            let mut in_frontier = vec![false; n];
+            for &v in &frontier {
+                in_frontier[v as usize] = true;
+            }
+            for v in 0..n as VertexId {
+                if depth[v as usize] != UNREACHED {
+                    continue;
+                }
+                for &u in g.in_neighbors(v) {
+                    if in_frontier[u as usize] {
+                        depth[v as usize] = level + 1;
+                        parent[v as usize] = u;
+                        next.push(v);
+                        reached += 1;
+                        break;
+                    }
+                }
+            }
+        } else {
+            for &u in &frontier {
+                for &v in g.neighbors(u) {
+                    if depth[v as usize] == UNREACHED {
+                        depth[v as usize] = level + 1;
+                        parent[v as usize] = u;
+                        next.push(v);
+                        reached += 1;
+                    }
+                }
+            }
+        }
+        frontier = next;
+        level += 1;
+    }
+    BfsResult {
+        depth,
+        parent,
+        reached,
+    }
+}
+
+/// Depths only, via the engine best suited to the graph (hybrid when a
+/// reverse index exists, top-down otherwise).
+pub fn bfs_depths(g: &CsrGraph, src: VertexId) -> Vec<u32> {
+    if g.has_reverse() {
+        bfs_direction_optimizing(g, src, 15).depth
+    } else {
+        bfs(g, src).depth
+    }
+}
+
+/// Level-synchronous parallel BFS: each level's frontier is expanded
+/// with rayon, vertices claimed by atomic compare-exchange on the
+/// parent array (the standard shared-memory formulation; parents may
+/// differ from the sequential engines but depths are identical).
+pub fn bfs_parallel(g: &CsrGraph, src: VertexId) -> BfsResult {
+    use std::sync::atomic::{AtomicU32, Ordering};
+    let n = g.num_vertices();
+    let parent: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(UNREACHED)).collect();
+    let depth_atomic: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(UNREACHED)).collect();
+    parent[src as usize].store(src, Ordering::Relaxed);
+    depth_atomic[src as usize].store(0, Ordering::Relaxed);
+    let mut frontier = vec![src];
+    let mut level = 0u32;
+    while !frontier.is_empty() {
+        level += 1;
+        let parent_ref = &parent;
+        let depth_ref = &depth_atomic;
+        let next: Vec<VertexId> = frontier
+            .par_iter()
+            .flat_map_iter(move |&u| {
+                g.neighbors(u).iter().filter_map(move |&v| {
+                    // Claim v exactly once across threads.
+                    parent_ref[v as usize]
+                        .compare_exchange(UNREACHED, u, Ordering::Relaxed, Ordering::Relaxed)
+                        .ok()
+                        .map(|_| {
+                            depth_ref[v as usize].store(level, Ordering::Relaxed);
+                            v
+                        })
+                })
+            })
+            .collect();
+        frontier = next;
+    }
+    let depth: Vec<u32> = depth_atomic
+        .into_iter()
+        .map(|d| d.into_inner())
+        .collect();
+    let parent: Vec<VertexId> = parent.into_iter().map(|p| p.into_inner()).collect();
+    let reached = depth.iter().filter(|&&d| d != UNREACHED).count();
+    BfsResult {
+        depth,
+        parent,
+        reached,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ga_graph::{gen, CsrBuilder};
+
+    fn rmat_graph(scale: u32) -> CsrGraph {
+        let edges = gen::rmat(scale, (1usize << scale) * 8, gen::RmatParams::GRAPH500, 5);
+        CsrBuilder::new(1 << scale)
+            .edges(edges.iter().copied())
+            .symmetrize(true)
+            .dedup(true)
+            .drop_self_loops(true)
+            .reverse(true)
+            .build()
+    }
+
+    #[test]
+    fn depths_on_path() {
+        let g = CsrGraph::from_edges_undirected(5, &gen::path(5));
+        let r = bfs(&g, 0);
+        assert_eq!(r.depth, vec![0, 1, 2, 3, 4]);
+        assert_eq!(r.reached, 5);
+        r.validate(&g, 0).unwrap();
+    }
+
+    #[test]
+    fn unreachable_marked() {
+        let g = CsrGraph::from_edges(4, &[(0, 1), (2, 3)]);
+        let r = bfs(&g, 0);
+        assert_eq!(r.depth[2], UNREACHED);
+        assert_eq!(r.parent[3], UNREACHED as VertexId);
+        assert_eq!(r.reached, 2);
+        r.validate(&g, 0).unwrap();
+    }
+
+    #[test]
+    fn directed_respects_direction() {
+        let g = CsrGraph::from_edges(3, &[(0, 1), (2, 1)]);
+        let r = bfs(&g, 0);
+        assert_eq!(r.depth[1], 1);
+        assert_eq!(r.depth[2], UNREACHED);
+    }
+
+    #[test]
+    fn three_engines_agree_on_depths() {
+        let g = rmat_graph(9);
+        for &src in &[0u32, 7, 100] {
+            let a = bfs(&g, src);
+            let b = bfs_bottom_up(&g, src);
+            let c = bfs_direction_optimizing(&g, src, 15);
+            assert_eq!(a.depth, b.depth, "bottom-up mismatch src={src}");
+            assert_eq!(a.depth, c.depth, "hybrid mismatch src={src}");
+            assert_eq!(a.reached, c.reached);
+            a.validate(&g, src).unwrap();
+            b.validate(&g, src).unwrap();
+            c.validate(&g, src).unwrap();
+        }
+    }
+
+    #[test]
+    fn hybrid_switches_bottom_up_on_star() {
+        // Star from center: frontier after level 0 is all leaves.
+        let g = CsrBuilder::new(64)
+            .edges(gen::star(64))
+            .symmetrize(true)
+            .reverse(true)
+            .build();
+        let r = bfs_direction_optimizing(&g, 0, 1);
+        assert_eq!(r.reached, 64);
+        assert!(r.depth.iter().all(|&d| d <= 1));
+        r.validate(&g, 0).unwrap();
+    }
+
+    #[test]
+    fn validate_catches_corruption() {
+        let g = CsrGraph::from_edges_undirected(4, &gen::path(4));
+        let mut r = bfs(&g, 0);
+        r.depth[3] = 9;
+        assert!(r.validate(&g, 0).is_err());
+    }
+
+    #[test]
+    fn single_vertex() {
+        let g = CsrGraph::from_edges(1, &[]);
+        let r = bfs(&g, 0);
+        assert_eq!(r.reached, 1);
+        assert_eq!(r.depth, vec![0]);
+    }
+}
+
+#[cfg(test)]
+mod parallel_tests {
+    use super::*;
+    use ga_graph::gen;
+
+    #[test]
+    fn parallel_matches_sequential_depths() {
+        let edges = gen::rmat(10, 8 << 10, gen::RmatParams::GRAPH500, 6);
+        let g = CsrGraph::from_edges_undirected(1 << 10, &edges);
+        for &src in &[0u32, 5, 99] {
+            let seq = bfs(&g, src);
+            let par = bfs_parallel(&g, src);
+            assert_eq!(seq.depth, par.depth, "src {src}");
+            assert_eq!(seq.reached, par.reached);
+            par.validate(&g, src).unwrap();
+        }
+    }
+
+    #[test]
+    fn parallel_on_disconnected() {
+        let g = CsrGraph::from_edges(5, &[(0, 1), (3, 4)]);
+        let r = bfs_parallel(&g, 0);
+        assert_eq!(r.reached, 2);
+        assert_eq!(r.depth[3], UNREACHED);
+    }
+}

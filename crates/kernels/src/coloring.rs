@@ -1,0 +1,160 @@
+//! Greedy graph coloring — the classic companion to MIS (a coloring is
+//! a partition into independent sets; MIS-based parallel colorers
+//! Jones–Plassmann style use exactly the [`crate::mis`] machinery).
+//! Expects an undirected snapshot.
+
+use ga_graph::{CsrGraph, VertexId};
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// A proper vertex coloring.
+#[derive(Clone, Debug)]
+pub struct Coloring {
+    /// `color[v]` in `0..num_colors`.
+    pub color: Vec<u32>,
+    /// Number of colors used.
+    pub num_colors: u32,
+}
+
+/// Check properness: no edge joins two same-colored vertices.
+pub fn validate_coloring(g: &CsrGraph, c: &Coloring) -> Result<(), String> {
+    for (u, v) in g.edges() {
+        if u != v && c.color[u as usize] == c.color[v as usize] {
+            return Err(format!("edge {u}-{v} monochromatic"));
+        }
+    }
+    for &col in &c.color {
+        if col >= c.num_colors {
+            return Err(format!("color {col} out of range"));
+        }
+    }
+    Ok(())
+}
+
+fn greedy_in_order(g: &CsrGraph, order: &[VertexId]) -> Coloring {
+    let n = g.num_vertices();
+    let mut color = vec![u32::MAX; n];
+    let mut used = Vec::new();
+    let mut num_colors = 0;
+    for &v in order {
+        used.clear();
+        for &u in g.neighbors(v) {
+            if color[u as usize] != u32::MAX {
+                used.push(color[u as usize]);
+            }
+        }
+        used.sort_unstable();
+        used.dedup();
+        // Smallest color absent among neighbors.
+        let mut c = 0u32;
+        for &taken in &used {
+            if taken == c {
+                c += 1;
+            } else if taken > c {
+                break;
+            }
+        }
+        color[v as usize] = c;
+        num_colors = num_colors.max(c + 1);
+    }
+    Coloring { color, num_colors }
+}
+
+/// Greedy coloring in vertex-id order.
+pub fn greedy(g: &CsrGraph) -> Coloring {
+    let order: Vec<VertexId> = (0..g.num_vertices() as VertexId).collect();
+    greedy_in_order(g, &order)
+}
+
+/// Greedy coloring in descending-degree (Welsh–Powell) order — usually
+/// fewer colors than id order.
+pub fn welsh_powell(g: &CsrGraph) -> Coloring {
+    let mut order: Vec<VertexId> = (0..g.num_vertices() as VertexId).collect();
+    order.sort_by_key(|&v| std::cmp::Reverse(g.degree(v)));
+    greedy_in_order(g, &order)
+}
+
+/// Greedy coloring in a seeded random order (the baseline parallel
+/// colorers randomize against).
+pub fn randomized(g: &CsrGraph, seed: u64) -> Coloring {
+    let mut order: Vec<VertexId> = (0..g.num_vertices() as VertexId).collect();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    order.shuffle(&mut rng);
+    greedy_in_order(g, &order)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ga_graph::gen;
+
+    #[test]
+    fn path_needs_two_colors() {
+        let g = CsrGraph::from_edges_undirected(6, &gen::path(6));
+        let c = greedy(&g);
+        assert_eq!(c.num_colors, 2);
+        validate_coloring(&g, &c).unwrap();
+    }
+
+    #[test]
+    fn odd_cycle_needs_three() {
+        let g = CsrGraph::from_edges_undirected(5, &gen::ring(5));
+        let c = welsh_powell(&g);
+        assert_eq!(c.num_colors, 3);
+        validate_coloring(&g, &c).unwrap();
+    }
+
+    #[test]
+    fn complete_graph_needs_n() {
+        let g = CsrGraph::from_edges_undirected(6, &gen::complete(6));
+        for c in [greedy(&g), welsh_powell(&g), randomized(&g, 3)] {
+            assert_eq!(c.num_colors, 6);
+            validate_coloring(&g, &c).unwrap();
+        }
+    }
+
+    #[test]
+    fn star_needs_two() {
+        let g = CsrGraph::from_edges_undirected(10, &gen::star(10));
+        let c = welsh_powell(&g);
+        assert_eq!(c.num_colors, 2);
+    }
+
+    #[test]
+    fn all_orders_proper_on_random() {
+        for seed in 0..4 {
+            let edges = gen::erdos_renyi(120, 500, seed);
+            let g = CsrGraph::from_edges_undirected(120, &edges);
+            for c in [greedy(&g), welsh_powell(&g), randomized(&g, seed)] {
+                validate_coloring(&g, &c).unwrap();
+                // Greedy never exceeds max-degree + 1 colors.
+                let max_deg = g.vertices().map(|v| g.degree(v)).max().unwrap() as u32;
+                assert!(c.num_colors <= max_deg + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn colors_partition_into_independent_sets() {
+        let edges = gen::erdos_renyi(60, 200, 9);
+        let g = CsrGraph::from_edges_undirected(60, &edges);
+        let c = welsh_powell(&g);
+        for color in 0..c.num_colors {
+            let members: Vec<_> = (0..60u32)
+                .filter(|&v| c.color[v as usize] == color)
+                .collect();
+            for (i, &a) in members.iter().enumerate() {
+                for &b in &members[i + 1..] {
+                    assert!(!g.has_edge(a, b));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_graph_zero_colors() {
+        let g = CsrGraph::from_edges(0, &[]);
+        assert_eq!(greedy(&g).num_colors, 0);
+    }
+}

@@ -1,0 +1,296 @@
+//! Community detection (Fig. 1 row "CD").
+//!
+//! [`label_propagation`] is the cheap near-linear pass; [`louvain`] is
+//! greedy modularity maximization with multi-level contraction (built on
+//! the [`crate::contract`] kernel, demonstrating the kernel composition
+//! the paper's §III argues real pipelines need). [`modularity`] scores
+//! any assignment. All expect an undirected snapshot.
+
+use crate::contract::contract_by_label;
+use ga_graph::{CsrGraph, VertexId};
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Community assignment: `label[v]` identifies v's community.
+#[derive(Clone, Debug)]
+pub struct CommunityResult {
+    /// Per-vertex community label (not necessarily dense).
+    pub label: Vec<VertexId>,
+    /// Number of distinct communities.
+    pub count: usize,
+    /// Modularity of the assignment.
+    pub modularity: f64,
+}
+
+fn count_labels(label: &[VertexId]) -> usize {
+    let mut seen: Vec<VertexId> = label.to_vec();
+    seen.sort_unstable();
+    seen.dedup();
+    seen.len()
+}
+
+/// Newman modularity Q of an assignment over an undirected snapshot.
+///
+/// Q = (1/2m) Σ_ij [A_ij - k_i k_j / 2m] δ(c_i, c_j), computed per
+/// community from internal-edge and degree sums.
+pub fn modularity(g: &CsrGraph, label: &[VertexId]) -> f64 {
+    let two_m = g.num_edges() as f64; // symmetrized: num_edges = 2m
+    if two_m == 0.0 {
+        return 0.0;
+    }
+    use std::collections::HashMap;
+    let mut internal: HashMap<VertexId, f64> = HashMap::new();
+    let mut degree: HashMap<VertexId, f64> = HashMap::new();
+    for u in g.vertices() {
+        let cu = label[u as usize];
+        *degree.entry(cu).or_default() += g.degree(u) as f64;
+        for &v in g.neighbors(u) {
+            if label[v as usize] == cu {
+                *internal.entry(cu).or_default() += 1.0;
+            }
+        }
+    }
+    let mut q = 0.0;
+    for (&c, &deg) in &degree {
+        let inside = internal.get(&c).copied().unwrap_or(0.0);
+        q += inside / two_m - (deg / two_m).powi(2);
+    }
+    q
+}
+
+/// Asynchronous label propagation: each vertex repeatedly adopts the
+/// most frequent label among its neighbors (ties -> smallest label),
+/// visiting vertices in a seeded random order until a sweep changes
+/// nothing or `max_sweeps` elapse.
+pub fn label_propagation(g: &CsrGraph, seed: u64, max_sweeps: usize) -> CommunityResult {
+    let n = g.num_vertices();
+    let mut label: Vec<VertexId> = (0..n as VertexId).collect();
+    let mut order: Vec<VertexId> = (0..n as VertexId).collect();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut counts: std::collections::HashMap<VertexId, usize> = Default::default();
+    for _ in 0..max_sweeps {
+        order.shuffle(&mut rng);
+        let mut changed = false;
+        for &v in &order {
+            if g.degree(v) == 0 {
+                continue;
+            }
+            counts.clear();
+            for &u in g.neighbors(v) {
+                *counts.entry(label[u as usize]).or_default() += 1;
+            }
+            let best = counts
+                .iter()
+                .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(a.0)))
+                .map(|(&l, _)| l)
+                .unwrap();
+            if best != label[v as usize] {
+                label[v as usize] = best;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    let q = modularity(g, &label);
+    CommunityResult {
+        count: count_labels(&label),
+        modularity: q,
+        label,
+    }
+}
+
+/// One Louvain level: greedy single-vertex moves maximizing modularity
+/// gain until no move improves. Returns the local assignment (dense
+/// labels) and whether anything moved.
+fn louvain_level(g: &CsrGraph, weight: &[f64]) -> (Vec<VertexId>, bool) {
+    let n = g.num_vertices();
+    // Weighted degree per vertex and total weight.
+    let wdeg: Vec<f64> = (0..n as VertexId)
+        .map(|v| {
+            g.neighbors(v)
+                .iter()
+                .enumerate()
+                .map(|(i, _)| edge_w(g, weight, v, i))
+                .sum()
+        })
+        .collect();
+    let two_m: f64 = wdeg.iter().sum();
+    if two_m == 0.0 {
+        return ((0..n as VertexId).collect(), false);
+    }
+    let mut label: Vec<VertexId> = (0..n as VertexId).collect();
+    let mut comm_deg = wdeg.clone(); // total degree per community
+    let mut moved_any = false;
+    let mut improved = true;
+    let mut link_to: std::collections::HashMap<VertexId, f64> = Default::default();
+    while improved {
+        improved = false;
+        for v in 0..n as VertexId {
+            let cv = label[v as usize];
+            // Weights from v to each neighboring community.
+            link_to.clear();
+            for (i, &u) in g.neighbors(v).iter().enumerate() {
+                if u != v {
+                    *link_to.entry(label[u as usize]).or_default() +=
+                        edge_w(g, weight, v, i);
+                }
+            }
+            // Remove v from its community.
+            comm_deg[cv as usize] -= wdeg[v as usize];
+            let mut best = (cv, 0.0f64);
+            for (&c, &w_vc) in &link_to {
+                let gain = w_vc - comm_deg[c as usize] * wdeg[v as usize] / two_m;
+                if gain > best.1 + 1e-12 || (c == cv && gain >= best.1) {
+                    best = (c, gain);
+                }
+            }
+            comm_deg[best.0 as usize] += wdeg[v as usize];
+            if best.0 != cv {
+                label[v as usize] = best.0;
+                improved = true;
+                moved_any = true;
+            }
+        }
+    }
+    (label, moved_any)
+}
+
+#[inline]
+fn edge_w(g: &CsrGraph, weight: &[f64], v: VertexId, i: usize) -> f64 {
+    let off = g.raw_offsets()[v as usize] as usize + i;
+    weight[off]
+}
+
+/// Multi-level Louvain. `max_levels` bounds the contraction depth.
+/// Returns labels in the *original* graph's vertex space.
+pub fn louvain(g: &CsrGraph, max_levels: usize) -> CommunityResult {
+    let mut current = g.clone();
+    let mut weight: Vec<f64> = vec![1.0; current.num_edges()];
+    // map[v] = community of original vertex v in the current level.
+    let mut map: Vec<VertexId> = (0..g.num_vertices() as VertexId).collect();
+    for _ in 0..max_levels {
+        let (label, moved) = louvain_level(&current, &weight);
+        if !moved {
+            break;
+        }
+        // Contract: communities become vertices; parallel edges merge
+        // with summed weights (self-loops keep internal weight).
+        let contraction = contract_by_label(&current, &label, &weight);
+        for m in &mut map {
+            *m = contraction.dense_label[label[*m as usize] as usize];
+        }
+        current = contraction.graph;
+        weight = contraction.weight;
+        if current.num_vertices() <= 1 {
+            break;
+        }
+    }
+    let q = modularity(g, &map);
+    CommunityResult {
+        count: count_labels(&map),
+        modularity: q,
+        label: map,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ga_graph::gen;
+
+    fn two_cliques() -> CsrGraph {
+        // Two K4s joined by one edge.
+        let mut e = Vec::new();
+        for u in 0..4u32 {
+            for v in (u + 1)..4 {
+                e.push((u, v));
+                e.push((u + 4, v + 4));
+            }
+        }
+        e.push((0, 4));
+        CsrGraph::from_edges_undirected(8, &e)
+    }
+
+    #[test]
+    fn modularity_of_perfect_split() {
+        let g = two_cliques();
+        let split = vec![0, 0, 0, 0, 1, 1, 1, 1];
+        let together = vec![0; 8];
+        assert!(modularity(&g, &split) > modularity(&g, &together));
+        assert!(modularity(&g, &split) > 0.3);
+    }
+
+    #[test]
+    fn modularity_single_community_zero_ish() {
+        let g = two_cliques();
+        let q = modularity(&g, &vec![0; 8]);
+        assert!(q.abs() < 1e-9);
+    }
+
+    #[test]
+    fn label_prop_finds_cliques() {
+        let g = two_cliques();
+        let r = label_propagation(&g, 3, 50);
+        assert_eq!(r.label[0], r.label[1]);
+        assert_eq!(r.label[1], r.label[2]);
+        assert_eq!(r.label[4], r.label[5]);
+        // The two cliques may or may not merge over the bridge, but a
+        // valid run should find >= 1 and <= 2 communities among clique
+        // members, with high modularity if 2.
+        assert!(r.count <= 3);
+    }
+
+    #[test]
+    fn louvain_on_planted_partition() {
+        let edges = gen::planted_partition(4, 20, 0.6, 0.02, 5);
+        let g = CsrGraph::from_edges_undirected(80, &edges);
+        let r = louvain(&g, 5);
+        assert!(
+            r.modularity > 0.5,
+            "expected strong community structure, got Q={}",
+            r.modularity
+        );
+        // Most same-group pairs should share a label.
+        let mut agree = 0;
+        let mut total = 0;
+        for u in 0..80usize {
+            for v in (u + 1)..80 {
+                if u / 20 == v / 20 {
+                    total += 1;
+                    if r.label[u] == r.label[v] {
+                        agree += 1;
+                    }
+                }
+            }
+        }
+        assert!(agree * 10 >= total * 8, "only {agree}/{total} intra pairs agree");
+    }
+
+    #[test]
+    fn louvain_beats_or_matches_label_prop_modularity() {
+        let edges = gen::planted_partition(5, 16, 0.5, 0.03, 9);
+        let g = CsrGraph::from_edges_undirected(80, &edges);
+        let lp = label_propagation(&g, 1, 50);
+        let lv = louvain(&g, 5);
+        assert!(lv.modularity >= lp.modularity - 0.05);
+    }
+
+    #[test]
+    fn isolated_vertices_keep_own_label() {
+        let g = CsrGraph::from_edges_undirected(5, &[(0, 1)]);
+        let r = label_propagation(&g, 0, 10);
+        assert_eq!(r.label[3], 3);
+        assert_eq!(r.label[4], 4);
+    }
+
+    #[test]
+    fn empty_graph_modularity() {
+        let g = CsrGraph::from_edges(3, &[]);
+        assert_eq!(modularity(&g, &[0, 1, 2]), 0.0);
+        let r = louvain(&g, 3);
+        assert_eq!(r.count, 3);
+    }
+}

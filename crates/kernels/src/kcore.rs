@@ -1,0 +1,163 @@
+//! k-core decomposition — the peeling kernel the flow engine uses for
+//! seed selection ("top-k vertices with the highest values of some
+//! properties" where the property is coreness). Expects an undirected
+//! snapshot.
+
+use ga_graph::{CsrGraph, VertexId};
+
+/// Coreness of every vertex via the O(m) bucket-peeling algorithm
+/// (Batagelj–Zaveršnik).
+pub fn core_numbers(g: &CsrGraph) -> Vec<u32> {
+    let n = g.num_vertices();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut degree: Vec<u32> = (0..n as VertexId).map(|v| g.degree(v) as u32).collect();
+    let max_deg = *degree.iter().max().unwrap() as usize;
+    // Bucket sort vertices by degree.
+    let mut bin = vec![0usize; max_deg + 2];
+    for &d in &degree {
+        bin[d as usize + 1] += 1;
+    }
+    for i in 1..bin.len() {
+        bin[i] += bin[i - 1];
+    }
+    let mut pos = vec![0usize; n];
+    let mut vert = vec![0 as VertexId; n];
+    {
+        let mut cursor = bin.clone();
+        for v in 0..n {
+            let d = degree[v] as usize;
+            pos[v] = cursor[d];
+            vert[pos[v]] = v as VertexId;
+            cursor[d] += 1;
+        }
+    }
+    // Peel in degree order.
+    for i in 0..n {
+        let v = vert[i];
+        for &u in g.neighbors(v) {
+            if degree[u as usize] > degree[v as usize] {
+                let du = degree[u as usize] as usize;
+                // Swap u to the front of its bin, then decrement.
+                let pu = pos[u as usize];
+                let pw = bin[du];
+                let w = vert[pw];
+                if u != w {
+                    vert[pu] = w;
+                    vert[pw] = u;
+                    pos[u as usize] = pw;
+                    pos[w as usize] = pu;
+                }
+                bin[du] += 1;
+                degree[u as usize] -= 1;
+            }
+        }
+    }
+    degree
+}
+
+/// Vertices in the `k`-core (coreness >= k), sorted.
+pub fn k_core_members(g: &CsrGraph, k: u32) -> Vec<VertexId> {
+    core_numbers(g)
+        .iter()
+        .enumerate()
+        .filter_map(|(v, &c)| (c >= k).then_some(v as VertexId))
+        .collect()
+}
+
+/// The degeneracy of the graph (max coreness).
+pub fn degeneracy(g: &CsrGraph) -> u32 {
+    core_numbers(g).into_iter().max().unwrap_or(0)
+}
+
+/// Naive iterative-peeling reference for tests.
+pub fn core_numbers_naive(g: &CsrGraph) -> Vec<u32> {
+    let n = g.num_vertices();
+    let mut alive = vec![true; n];
+    let mut core = vec![0u32; n];
+    let mut degree: Vec<i64> = (0..n as VertexId).map(|v| g.degree(v) as i64).collect();
+    let mut k = 0u32;
+    let mut remaining = n;
+    while remaining > 0 {
+        loop {
+            let peel: Vec<VertexId> = (0..n as VertexId)
+                .filter(|&v| alive[v as usize] && degree[v as usize] <= k as i64)
+                .collect();
+            if peel.is_empty() {
+                break;
+            }
+            for v in peel {
+                alive[v as usize] = false;
+                core[v as usize] = k;
+                remaining -= 1;
+                for &u in g.neighbors(v) {
+                    if alive[u as usize] {
+                        degree[u as usize] -= 1;
+                    }
+                }
+            }
+        }
+        k += 1;
+    }
+    core
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ga_graph::gen;
+
+    #[test]
+    fn clique_coreness() {
+        let g = CsrGraph::from_edges_undirected(5, &gen::complete(5));
+        assert_eq!(core_numbers(&g), vec![4; 5]);
+        assert_eq!(degeneracy(&g), 4);
+    }
+
+    #[test]
+    fn path_coreness_one() {
+        let g = CsrGraph::from_edges_undirected(6, &gen::path(6));
+        assert_eq!(core_numbers(&g), vec![1; 6]);
+    }
+
+    #[test]
+    fn clique_with_tail() {
+        // K4 on {0..3} plus tail 3-4-5.
+        let mut e = gen::complete(4);
+        e.push((3, 4));
+        e.push((4, 5));
+        let g = CsrGraph::from_edges_undirected(6, &e);
+        let c = core_numbers(&g);
+        assert_eq!(&c[0..4], &[3, 3, 3, 3]);
+        assert_eq!(c[4], 1);
+        assert_eq!(c[5], 1);
+        assert_eq!(k_core_members(&g, 3), vec![0, 1, 2, 3]);
+        assert_eq!(k_core_members(&g, 1).len(), 6);
+    }
+
+    #[test]
+    fn matches_naive_on_random() {
+        for seed in 0..4 {
+            let edges = gen::erdos_renyi(80, 300, seed);
+            let g = CsrGraph::from_edges_undirected(80, &edges);
+            assert_eq!(core_numbers(&g), core_numbers_naive(&g), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn isolated_zero_core() {
+        let g = CsrGraph::from_edges_undirected(4, &[(0, 1)]);
+        let c = core_numbers(&g);
+        assert_eq!(c[2], 0);
+        assert_eq!(c[3], 0);
+        assert_eq!(c[0], 1);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = CsrGraph::from_edges(0, &[]);
+        assert!(core_numbers(&g).is_empty());
+        assert_eq!(degeneracy(&g), 0);
+    }
+}

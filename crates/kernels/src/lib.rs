@@ -1,0 +1,62 @@
+//! # ga-kernels — batch graph-analytics kernels
+//!
+//! One module per kernel row of the paper's Fig. 1 ("The Spectrum of
+//! Existing kernels"):
+//!
+//! | Fig. 1 row | module |
+//! |---|---|
+//! | BFS: Breadth First Search | [`bfs`] (top-down, bottom-up, direction-optimizing) |
+//! | SSSP: Single Source Shortest Path | [`sssp`] (Dijkstra, Bellman–Ford, delta-stepping) |
+//! | APSP: All Pairs Shortest Path | [`apsp`] |
+//! | CCW / CCS: Connected Components | [`cc`] (union-find, label propagation; Tarjan, Kosaraju) |
+//! | PR: PageRank | [`pagerank`] |
+//! | BC: Betweenness Centrality | [`bc`] (Brandes exact + sampled) |
+//! | CCO: Clustering Coefficients | [`cluster`] |
+//! | GTC / TL: Triangle Counting & Listing | [`triangles`] |
+//! | Jaccard | [`jaccard`] |
+//! | CD: Community Detection | [`community`] (label propagation, Louvain) |
+//! | GC: Graph Contraction | [`contract`] |
+//! | GP: Graph Partitioning | [`partition`] |
+//! | MIS: Maximally Independent Set | [`mis`] |
+//! | SI: Subgraph Isomorphism | [`subiso`] (VF2-style) |
+//! | Search for "Largest" | [`topk`] |
+//! | (seed selection support) | [`kcore`] |
+//!
+//! The streaming (S-column) forms live in the `ga-stream` crate; the
+//! linear-algebra formulations (Kepner–Gilbert) live in `ga-linalg` and
+//! are cross-checked against these implementations in tests.
+//!
+//! All kernels operate on [`ga_graph::CsrGraph`] snapshots. Kernels whose
+//! mathematical definition assumes an undirected graph (triangles,
+//! clustering, Jaccard, communities, MIS, k-core) expect a symmetrized
+//! snapshot (`CsrGraph::from_edges_undirected` or a symmetric stream's
+//! `DynamicGraph::snapshot`) and say so in their docs.
+
+#![warn(missing_docs)]
+
+pub mod apsp;
+pub mod bc;
+pub mod bfs;
+pub mod cc;
+pub mod cluster;
+pub mod coloring;
+pub mod community;
+pub mod contract;
+pub mod jaccard;
+pub mod kcore;
+pub mod mis;
+pub mod pagerank;
+pub mod partition;
+pub mod sssp;
+pub mod subiso;
+pub mod topk;
+pub mod triangles;
+pub mod union_find;
+
+pub use union_find::UnionFind;
+
+/// Distance value used by SSSP results; `f32::INFINITY` marks unreachable.
+pub const INF: f32 = f32::INFINITY;
+
+/// Depth marker for unreached vertices in BFS results.
+pub const UNREACHED: u32 = u32::MAX;

@@ -1,0 +1,153 @@
+//! Maximal independent set (Fig. 1 row "MIS").
+//!
+//! [`luby`] is the classic parallel-style randomized rounds algorithm
+//! (deterministic here via seeded priorities); [`greedy`] is the
+//! sequential min-id sweep. Both return a *maximal* (not maximum) set.
+//! Expects an undirected snapshot.
+
+use ga_graph::{CsrGraph, VertexId};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Check that `set` is independent and maximal in `g`.
+pub fn validate_mis(g: &CsrGraph, set: &[bool]) -> Result<(), String> {
+    for u in g.vertices() {
+        if set[u as usize] {
+            for &v in g.neighbors(u) {
+                if set[v as usize] {
+                    return Err(format!("edge {u}-{v} inside the set"));
+                }
+            }
+        } else {
+            let covered = g.neighbors(u).iter().any(|&v| set[v as usize]);
+            if !covered {
+                return Err(format!("vertex {u} could be added (not maximal)"));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Luby's algorithm with seeded random priorities: each round, every
+/// live vertex whose priority beats all live neighbors joins the set;
+/// joined vertices and their neighbors leave the graph.
+pub fn luby(g: &CsrGraph, seed: u64) -> Vec<bool> {
+    let n = g.num_vertices();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut in_set = vec![false; n];
+    let mut live = vec![true; n];
+    let mut remaining: usize = n;
+    while remaining > 0 {
+        let priority: Vec<u64> = (0..n).map(|_| rng.gen()).collect();
+        let mut winners = Vec::new();
+        for v in 0..n as VertexId {
+            if !live[v as usize] {
+                continue;
+            }
+            let pv = (priority[v as usize], v);
+            let beaten = g
+                .neighbors(v)
+                .iter()
+                .any(|&u| live[u as usize] && (priority[u as usize], u) > pv);
+            if !beaten {
+                winners.push(v);
+            }
+        }
+        for v in winners {
+            if !live[v as usize] {
+                continue; // a neighbor won earlier this round
+            }
+            in_set[v as usize] = true;
+            live[v as usize] = false;
+            remaining -= 1;
+            for &u in g.neighbors(v) {
+                if live[u as usize] {
+                    live[u as usize] = false;
+                    remaining -= 1;
+                }
+            }
+        }
+    }
+    in_set
+}
+
+/// Greedy min-id MIS: sweep vertices in id order, add if no neighbor is
+/// in the set already.
+pub fn greedy(g: &CsrGraph) -> Vec<bool> {
+    let n = g.num_vertices();
+    let mut in_set = vec![false; n];
+    let mut blocked = vec![false; n];
+    for v in 0..n as VertexId {
+        if blocked[v as usize] {
+            continue;
+        }
+        in_set[v as usize] = true;
+        for &u in g.neighbors(v) {
+            blocked[u as usize] = true;
+        }
+    }
+    in_set
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ga_graph::gen;
+
+    #[test]
+    fn greedy_on_path() {
+        let g = CsrGraph::from_edges_undirected(5, &gen::path(5));
+        let s = greedy(&g);
+        assert_eq!(s, vec![true, false, true, false, true]);
+        validate_mis(&g, &s).unwrap();
+    }
+
+    #[test]
+    fn complete_graph_single_member() {
+        let g = CsrGraph::from_edges_undirected(6, &gen::complete(6));
+        for s in [greedy(&g), luby(&g, 1)] {
+            assert_eq!(s.iter().filter(|&&x| x).count(), 1);
+            validate_mis(&g, &s).unwrap();
+        }
+    }
+
+    #[test]
+    fn star_picks_leaves_or_center() {
+        let g = CsrGraph::from_edges_undirected(6, &gen::star(6));
+        let s = luby(&g, 7);
+        validate_mis(&g, &s).unwrap();
+        // Either {center} or all leaves.
+        if s[0] {
+            assert_eq!(s.iter().filter(|&&x| x).count(), 1);
+        } else {
+            assert_eq!(s.iter().filter(|&&x| x).count(), 5);
+        }
+    }
+
+    #[test]
+    fn luby_valid_on_random_graphs() {
+        for seed in 0..5 {
+            let edges = gen::erdos_renyi(120, 400, seed);
+            let g = CsrGraph::from_edges_undirected(120, &edges);
+            let s = luby(&g, seed * 13 + 1);
+            validate_mis(&g, &s).unwrap();
+        }
+    }
+
+    #[test]
+    fn isolated_vertices_always_in() {
+        let g = CsrGraph::from_edges_undirected(5, &[(0, 1)]);
+        for s in [greedy(&g), luby(&g, 3)] {
+            assert!(s[2] && s[3] && s[4]);
+            validate_mis(&g, &s).unwrap();
+        }
+    }
+
+    #[test]
+    fn luby_deterministic_per_seed() {
+        let edges = gen::erdos_renyi(60, 200, 2);
+        let g = CsrGraph::from_edges_undirected(60, &edges);
+        assert_eq!(luby(&g, 5), luby(&g, 5));
+    }
+}

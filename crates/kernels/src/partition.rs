@@ -1,0 +1,174 @@
+//! Graph partitioning (Fig. 1 row "GP").
+//!
+//! [`bfs_grow`] produces a balanced k-way partition by growing BFS
+//! regions from spread-out seeds — the cheap geometric heuristic used
+//! when a full multilevel partitioner is overkill. [`edge_cut`] and
+//! [`balance`] score any assignment (they are also what the NORA model
+//! uses to reason about network traffic between blades).
+
+use ga_graph::{CsrGraph, VertexId};
+use std::collections::VecDeque;
+
+/// A k-way partition assignment.
+#[derive(Clone, Debug)]
+pub struct Partition {
+    /// `part[v]` in `0..k`.
+    pub part: Vec<u32>,
+    /// Number of parts.
+    pub k: u32,
+}
+
+impl Partition {
+    /// Vertices per part.
+    pub fn sizes(&self) -> Vec<usize> {
+        let mut s = vec![0usize; self.k as usize];
+        for &p in &self.part {
+            s[p as usize] += 1;
+        }
+        s
+    }
+}
+
+/// Number of edges crossing parts (directed count).
+pub fn edge_cut(g: &CsrGraph, p: &Partition) -> usize {
+    let mut cut = 0;
+    for (u, v) in g.edges() {
+        if p.part[u as usize] != p.part[v as usize] {
+            cut += 1;
+        }
+    }
+    cut
+}
+
+/// Imbalance ratio: max part size / ideal size (1.0 = perfectly even).
+pub fn balance(p: &Partition) -> f64 {
+    let sizes = p.sizes();
+    let max = *sizes.iter().max().unwrap_or(&0) as f64;
+    let ideal = p.part.len() as f64 / p.k as f64;
+    if ideal == 0.0 {
+        1.0
+    } else {
+        max / ideal
+    }
+}
+
+/// Grow `k` BFS regions round-robin from evenly spaced seeds; any
+/// vertex unreached (disconnected graph) is assigned to the smallest
+/// part. Capacity-bounded so parts stay within `ceil(n/k)` during
+/// growth.
+#[allow(clippy::needless_range_loop)] // parallel arrays indexed by part id
+pub fn bfs_grow(g: &CsrGraph, k: u32) -> Partition {
+    let n = g.num_vertices();
+    assert!(k >= 1);
+    let mut part = vec![u32::MAX; n];
+    if n == 0 {
+        return Partition { part, k };
+    }
+    let cap = n.div_ceil(k as usize);
+    let mut queues: Vec<VecDeque<VertexId>> = Vec::with_capacity(k as usize);
+    let mut sizes = vec![0usize; k as usize];
+    // Seeds spaced across the id range.
+    for i in 0..k as usize {
+        let seed = ((i * n) / k as usize) as VertexId;
+        let mut q = VecDeque::new();
+        if part[seed as usize] == u32::MAX {
+            part[seed as usize] = i as u32;
+            sizes[i] += 1;
+            q.push_back(seed);
+        }
+        queues.push(q);
+    }
+    // Round-robin frontier growth.
+    let mut active = true;
+    while active {
+        active = false;
+        for i in 0..k as usize {
+            if sizes[i] >= cap {
+                continue;
+            }
+            if let Some(u) = queues[i].pop_front() {
+                active = true;
+                for &v in g.neighbors(u) {
+                    if part[v as usize] == u32::MAX && sizes[i] < cap {
+                        part[v as usize] = i as u32;
+                        sizes[i] += 1;
+                        queues[i].push_back(v);
+                    }
+                }
+                // Re-queue u if it still has unvisited neighbors and we
+                // hit the per-round budget (simple fairness).
+            }
+        }
+    }
+    // Sweep leftovers (disconnected or capacity-stranded) to the
+    // emptiest part.
+    for p in part.iter_mut() {
+        if *p == u32::MAX {
+            let i = (0..k as usize).min_by_key(|&i| sizes[i]).unwrap();
+            *p = i as u32;
+            sizes[i] += 1;
+        }
+    }
+    Partition { part, k }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ga_graph::gen;
+
+    #[test]
+    fn partition_covers_all_vertices() {
+        let g = CsrGraph::from_edges_undirected(100, &gen::erdos_renyi(100, 300, 1));
+        let p = bfs_grow(&g, 4);
+        assert!(p.part.iter().all(|&x| x < 4));
+        assert_eq!(p.sizes().iter().sum::<usize>(), 100);
+    }
+
+    #[test]
+    fn balance_reasonable() {
+        let g = CsrGraph::from_edges_undirected(128, &gen::grid2d(8, 16));
+        let p = bfs_grow(&g, 4);
+        assert!(balance(&p) <= 1.2, "balance {}", balance(&p));
+    }
+
+    #[test]
+    fn grid_partition_cut_beats_random() {
+        let g = CsrGraph::from_edges_undirected(256, &gen::grid2d(16, 16));
+        let p = bfs_grow(&g, 4);
+        let cut = edge_cut(&g, &p);
+        // Random assignment: expected 3/4 of edges cut.
+        let random = Partition {
+            part: (0..256).map(|v| (v % 4) as u32).collect(),
+            k: 4,
+        };
+        let random_cut = edge_cut(&g, &random);
+        assert!(
+            cut * 2 < random_cut,
+            "bfs-grow cut {cut} not much better than random {random_cut}"
+        );
+    }
+
+    #[test]
+    fn single_part_has_zero_cut() {
+        let g = CsrGraph::from_edges_undirected(30, &gen::ring(30));
+        let p = bfs_grow(&g, 1);
+        assert_eq!(edge_cut(&g, &p), 0);
+        assert_eq!(balance(&p), 1.0);
+    }
+
+    #[test]
+    fn disconnected_graph_still_assigned() {
+        let g = CsrGraph::from_edges(10, &[(0, 1), (5, 6)]);
+        let p = bfs_grow(&g, 3);
+        assert!(p.part.iter().all(|&x| x < 3));
+    }
+
+    #[test]
+    fn more_parts_than_vertices() {
+        let g = CsrGraph::from_edges(2, &[(0, 1)]);
+        let p = bfs_grow(&g, 5);
+        assert_eq!(p.part.len(), 2);
+        assert!(p.part.iter().all(|&x| x < 5));
+    }
+}

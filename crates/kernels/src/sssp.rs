@@ -1,0 +1,317 @@
+//! Single-source shortest paths (Fig. 1 row "SSSP").
+//!
+//! Three classic engines with different work/parallelism trade-offs:
+//! [`dijkstra`] (binary heap, non-negative weights), [`bellman_ford`]
+//! (handles negative edges, detects negative cycles), and
+//! [`delta_stepping`] (bucketed relaxation — the algorithm of choice on
+//! the parallel machines the paper surveys).
+
+use crate::INF;
+use ga_graph::{CsrGraph, VertexId, Weight};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Output of an SSSP run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SsspResult {
+    /// `dist[v]` = shortest distance from the source, [`INF`] if
+    /// unreachable.
+    pub dist: Vec<Weight>,
+    /// Shortest-path-tree parent; source maps to itself, unreachable to
+    /// `u32::MAX`.
+    pub parent: Vec<VertexId>,
+}
+
+impl SsspResult {
+    /// Check the relaxed-edge invariant: no edge can shorten any
+    /// distance, and parent links are tight.
+    pub fn validate(&self, g: &CsrGraph, src: VertexId) -> Result<(), String> {
+        if self.dist[src as usize] != 0.0 {
+            return Err("source distance not 0".into());
+        }
+        for u in g.vertices() {
+            if self.dist[u as usize] == INF {
+                continue;
+            }
+            for (v, w) in g.weighted_neighbors(u) {
+                if self.dist[u as usize] + w < self.dist[v as usize] - 1e-4 {
+                    return Err(format!("edge {u}->{v} violates triangle inequality"));
+                }
+            }
+        }
+        for v in g.vertices() {
+            let p = self.parent[v as usize];
+            if v == src || self.dist[v as usize] == INF {
+                continue;
+            }
+            // Multigraphs: the relaxed edge is the lightest parallel one.
+            let pw = g
+                .weighted_neighbors(p)
+                .filter(|&(u, _)| u == v)
+                .map(|(_, w)| w)
+                .fold(None, |acc: Option<Weight>, w| {
+                    Some(acc.map_or(w, |a| a.min(w)))
+                })
+                .ok_or_else(|| format!("parent edge {p}->{v} missing"))?;
+            if (self.dist[p as usize] + pw - self.dist[v as usize]).abs() > 1e-3 {
+                return Err(format!("parent edge {p}->{v} not tight"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[derive(PartialEq)]
+struct HeapItem {
+    dist: Weight,
+    v: VertexId,
+}
+impl Eq for HeapItem {}
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap on distance.
+        other
+            .dist
+            .partial_cmp(&self.dist)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.v.cmp(&self.v))
+    }
+}
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Dijkstra with a lazy-deletion binary heap. Weights must be
+/// non-negative.
+pub fn dijkstra(g: &CsrGraph, src: VertexId) -> SsspResult {
+    let n = g.num_vertices();
+    let mut dist = vec![INF; n];
+    let mut parent = vec![u32::MAX as VertexId; n];
+    let mut heap = BinaryHeap::new();
+    dist[src as usize] = 0.0;
+    parent[src as usize] = src;
+    heap.push(HeapItem { dist: 0.0, v: src });
+    while let Some(HeapItem { dist: d, v: u }) = heap.pop() {
+        if d > dist[u as usize] {
+            continue; // stale entry
+        }
+        for (v, w) in g.weighted_neighbors(u) {
+            debug_assert!(w >= 0.0, "dijkstra requires non-negative weights");
+            let nd = d + w;
+            if nd < dist[v as usize] {
+                dist[v as usize] = nd;
+                parent[v as usize] = u;
+                heap.push(HeapItem { dist: nd, v });
+            }
+        }
+    }
+    SsspResult { dist, parent }
+}
+
+/// Bellman–Ford. Returns `Err(())` if a negative cycle is reachable from
+/// `src` (the error carries no payload — the cycle itself is rarely
+/// wanted; callers that need it run a dedicated extraction).
+#[allow(clippy::result_unit_err)]
+pub fn bellman_ford(g: &CsrGraph, src: VertexId) -> Result<SsspResult, ()> {
+    let n = g.num_vertices();
+    let mut dist = vec![INF; n];
+    let mut parent = vec![u32::MAX as VertexId; n];
+    dist[src as usize] = 0.0;
+    parent[src as usize] = src;
+    for round in 0..n {
+        let mut changed = false;
+        for u in g.vertices() {
+            let du = dist[u as usize];
+            if du == INF {
+                continue;
+            }
+            for (v, w) in g.weighted_neighbors(u) {
+                if du + w < dist[v as usize] {
+                    dist[v as usize] = du + w;
+                    parent[v as usize] = u;
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            return Ok(SsspResult { dist, parent });
+        }
+        if round == n - 1 {
+            return Err(()); // still relaxing after n-1 full passes
+        }
+    }
+    Ok(SsspResult { dist, parent })
+}
+
+/// Delta-stepping: relax edges in distance buckets of width `delta`.
+/// Light edges (w < delta) are re-relaxed within a bucket; heavy edges
+/// are deferred — Meyer & Sanders' algorithm, sequential realization.
+pub fn delta_stepping(g: &CsrGraph, src: VertexId, delta: Weight) -> SsspResult {
+    assert!(delta > 0.0, "delta must be positive");
+    let n = g.num_vertices();
+    let mut dist = vec![INF; n];
+    let mut parent = vec![u32::MAX as VertexId; n];
+    let mut buckets: Vec<Vec<VertexId>> = Vec::new();
+    let bucket_of = |d: Weight| (d / delta) as usize;
+
+    let push = |buckets: &mut Vec<Vec<VertexId>>, v: VertexId, d: Weight| {
+        let b = bucket_of(d);
+        if b >= buckets.len() {
+            buckets.resize_with(b + 1, Vec::new);
+        }
+        buckets[b].push(v);
+    };
+
+    dist[src as usize] = 0.0;
+    parent[src as usize] = src;
+    push(&mut buckets, src, 0.0);
+
+    let mut i = 0;
+    while i < buckets.len() {
+        // Settle bucket i: repeatedly relax light edges of its members.
+        let mut settled: Vec<VertexId> = Vec::new();
+        while let Some(batch) = {
+            let b = std::mem::take(&mut buckets[i]);
+            if b.is_empty() {
+                None
+            } else {
+                Some(b)
+            }
+        } {
+            for u in batch {
+                if bucket_of(dist[u as usize]) != i {
+                    continue; // moved to an earlier bucket already
+                }
+                settled.push(u);
+                let du = dist[u as usize];
+                for (v, w) in g.weighted_neighbors(u) {
+                    if w < delta {
+                        let nd = du + w;
+                        if nd < dist[v as usize] {
+                            dist[v as usize] = nd;
+                            parent[v as usize] = u;
+                            push(&mut buckets, v, nd);
+                        }
+                    }
+                }
+            }
+        }
+        // Heavy edges once per settled vertex.
+        for u in settled {
+            let du = dist[u as usize];
+            for (v, w) in g.weighted_neighbors(u) {
+                if w >= delta {
+                    let nd = du + w;
+                    if nd < dist[v as usize] {
+                        dist[v as usize] = nd;
+                        parent[v as usize] = u;
+                        push(&mut buckets, v, nd);
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+    SsspResult { dist, parent }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ga_graph::gen;
+
+    fn weighted_random(scale: u32, seed: u64) -> CsrGraph {
+        let n = 1usize << scale;
+        let edges = gen::erdos_renyi(n, n * 6, seed);
+        let w = gen::with_random_weights(&edges, 0.1, 4.0, seed + 1);
+        CsrGraph::from_weighted_edges(n, &w)
+    }
+
+    #[test]
+    fn dijkstra_on_small_graph() {
+        // 0 -2-> 1 -2-> 2 ; 0 -5-> 2
+        let g = CsrGraph::from_weighted_edges(3, &[(0, 1, 2.0), (1, 2, 2.0), (0, 2, 5.0)]);
+        let r = dijkstra(&g, 0);
+        assert_eq!(r.dist, vec![0.0, 2.0, 4.0]);
+        assert_eq!(r.parent[2], 1);
+        r.validate(&g, 0).unwrap();
+    }
+
+    #[test]
+    fn unreachable_is_inf() {
+        let g = CsrGraph::from_weighted_edges(3, &[(0, 1, 1.0)]);
+        let r = dijkstra(&g, 0);
+        assert_eq!(r.dist[2], INF);
+        assert_eq!(r.parent[2], u32::MAX);
+    }
+
+    #[test]
+    fn engines_agree_on_random_graphs() {
+        for seed in 0..3 {
+            let g = weighted_random(8, seed);
+            let a = dijkstra(&g, 0);
+            let b = bellman_ford(&g, 0).unwrap();
+            let c = delta_stepping(&g, 0, 0.7);
+            for v in g.vertices() {
+                let (x, y, z) = (a.dist[v as usize], b.dist[v as usize], c.dist[v as usize]);
+                assert!(
+                    (x - y).abs() < 1e-3 || (x == INF && y == INF),
+                    "bf mismatch at {v}: {x} vs {y}"
+                );
+                assert!(
+                    (x - z).abs() < 1e-3 || (x == INF && z == INF),
+                    "ds mismatch at {v}: {x} vs {z}"
+                );
+            }
+            a.validate(&g, 0).unwrap();
+            c.validate(&g, 0).unwrap();
+        }
+    }
+
+    #[test]
+    fn delta_stepping_various_deltas() {
+        let g = weighted_random(7, 42);
+        let base = dijkstra(&g, 3);
+        for delta in [0.2, 1.0, 10.0] {
+            let r = delta_stepping(&g, 3, delta);
+            for v in g.vertices() {
+                let (x, y) = (base.dist[v as usize], r.dist[v as usize]);
+                assert!((x - y).abs() < 1e-3 || (x == INF && y == INF));
+            }
+        }
+    }
+
+    #[test]
+    fn bellman_ford_negative_edge_ok() {
+        let g = CsrGraph::from_weighted_edges(3, &[(0, 1, 4.0), (0, 2, 2.0), (2, 1, -1.0)]);
+        let r = bellman_ford(&g, 0).unwrap();
+        assert_eq!(r.dist[1], 1.0);
+        assert_eq!(r.parent[1], 2);
+    }
+
+    #[test]
+    fn bellman_ford_detects_negative_cycle() {
+        let g = CsrGraph::from_weighted_edges(2, &[(0, 1, 1.0), (1, 0, -3.0)]);
+        assert!(bellman_ford(&g, 0).is_err());
+    }
+
+    #[test]
+    fn unweighted_matches_bfs_depths() {
+        let g = CsrGraph::from_edges_undirected(20, &gen::path(20));
+        let d = dijkstra(&g, 0);
+        let b = crate::bfs::bfs(&g, 0);
+        for v in g.vertices() {
+            assert_eq!(d.dist[v as usize] as u32, b.depth[v as usize]);
+        }
+    }
+
+    #[test]
+    fn validate_rejects_wrong_distances() {
+        let g = CsrGraph::from_weighted_edges(2, &[(0, 1, 1.0)]);
+        let mut r = dijkstra(&g, 0);
+        r.dist[1] = 9.0;
+        assert!(r.validate(&g, 0).is_err());
+    }
+}

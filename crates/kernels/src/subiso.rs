@@ -1,0 +1,246 @@
+//! Subgraph isomorphism (Fig. 1 row "SI") — VF2-style backtracking.
+//!
+//! Finds embeddings of a small *pattern* graph inside a larger *target*
+//! (non-induced subgraph isomorphism: every pattern edge must map to a
+//! target edge; extra target edges are allowed). Triangle counting is
+//! the special case `pattern = K3`, which the tests exploit as a
+//! cross-check against [`crate::triangles`].
+//!
+//! Both graphs are treated as undirected (pass symmetrized snapshots).
+
+use ga_graph::{CsrGraph, VertexId};
+
+/// Count (and optionally collect) embeddings of `pattern` in `target`.
+///
+/// An embedding is an injective map pattern-vertex -> target-vertex
+/// preserving adjacency. `limit` bounds the number collected (0 = count
+/// only). Automorphic images count separately (e.g. a triangle pattern
+/// matches each target triangle 6 times); divide by the pattern's
+/// automorphism count for shape counts.
+pub fn find_embeddings(
+    target: &CsrGraph,
+    pattern: &CsrGraph,
+    limit: usize,
+) -> (u64, Vec<Vec<VertexId>>) {
+    let pn = pattern.num_vertices();
+    if pn == 0 || pn > target.num_vertices() {
+        return (0, Vec::new());
+    }
+    // Order pattern vertices so each (after the first) connects to an
+    // earlier one where possible — the standard VF2 search order.
+    let order = search_order(pattern);
+    let mut mapping: Vec<Option<VertexId>> = vec![None; pn];
+    let mut used = vec![false; target.num_vertices()];
+    let mut count = 0u64;
+    let mut found = Vec::new();
+    backtrack(
+        target,
+        pattern,
+        &order,
+        0,
+        &mut mapping,
+        &mut used,
+        &mut count,
+        &mut found,
+        limit,
+    );
+    (count, found)
+}
+
+fn search_order(pattern: &CsrGraph) -> Vec<VertexId> {
+    let pn = pattern.num_vertices();
+    let mut order: Vec<VertexId> = Vec::with_capacity(pn);
+    let mut placed = vec![false; pn];
+    // Start from the max-degree vertex (most constrained first).
+    let start = (0..pn as VertexId)
+        .max_by_key(|&v| pattern.degree(v))
+        .unwrap();
+    order.push(start);
+    placed[start as usize] = true;
+    while order.len() < pn {
+        // Prefer vertices adjacent to the placed prefix, max degree.
+        let next = (0..pn as VertexId)
+            .filter(|&v| !placed[v as usize])
+            .max_by_key(|&v| {
+                let attached = pattern
+                    .neighbors(v)
+                    .iter()
+                    .filter(|&&u| placed[u as usize])
+                    .count();
+                (attached, pattern.degree(v))
+            })
+            .unwrap();
+        order.push(next);
+        placed[next as usize] = true;
+    }
+    order
+}
+
+#[allow(clippy::too_many_arguments)]
+fn backtrack(
+    target: &CsrGraph,
+    pattern: &CsrGraph,
+    order: &[VertexId],
+    depth: usize,
+    mapping: &mut Vec<Option<VertexId>>,
+    used: &mut Vec<bool>,
+    count: &mut u64,
+    found: &mut Vec<Vec<VertexId>>,
+    limit: usize,
+) {
+    if depth == order.len() {
+        *count += 1;
+        if found.len() < limit {
+            found.push(mapping.iter().map(|m| m.unwrap()).collect());
+        }
+        return;
+    }
+    let p = order[depth];
+    // Candidates: neighbors of an already-mapped pattern neighbor, or
+    // all unused target vertices if p is disconnected from the prefix.
+    let anchor = pattern
+        .neighbors(p)
+        .iter()
+        .find_map(|&q| mapping[q as usize]);
+    let candidates: Vec<VertexId> = match anchor {
+        Some(t) => target.neighbors(t).to_vec(),
+        None => (0..target.num_vertices() as VertexId).collect(),
+    };
+    'cand: for c in candidates {
+        if used[c as usize] {
+            continue;
+        }
+        if target.degree(c) < pattern.degree(p) {
+            continue;
+        }
+        // Every mapped pattern neighbor must be a target neighbor of c.
+        for &q in pattern.neighbors(p) {
+            if let Some(t) = mapping[q as usize] {
+                if !target.has_edge(c, t) {
+                    continue 'cand;
+                }
+            }
+        }
+        mapping[p as usize] = Some(c);
+        used[c as usize] = true;
+        backtrack(
+            target, pattern, order, depth + 1, mapping, used, count, found, limit,
+        );
+        mapping[p as usize] = None;
+        used[c as usize] = false;
+    }
+}
+
+/// Count embeddings only.
+pub fn count_embeddings(target: &CsrGraph, pattern: &CsrGraph) -> u64 {
+    find_embeddings(target, pattern, 0).0
+}
+
+/// Common patterns.
+pub mod patterns {
+    use ga_graph::{gen, CsrGraph};
+
+    /// Triangle K3.
+    pub fn triangle() -> CsrGraph {
+        CsrGraph::from_edges_undirected(3, &[(0, 1), (1, 2), (2, 0)])
+    }
+
+    /// Path with `n` vertices.
+    pub fn path(n: usize) -> CsrGraph {
+        CsrGraph::from_edges_undirected(n, &gen::path(n))
+    }
+
+    /// Star with `leaves` leaves.
+    pub fn star(leaves: usize) -> CsrGraph {
+        CsrGraph::from_edges_undirected(leaves + 1, &gen::star(leaves + 1))
+    }
+
+    /// Clique K_n.
+    pub fn clique(n: usize) -> CsrGraph {
+        CsrGraph::from_edges_undirected(n, &gen::complete(n))
+    }
+
+    /// 4-cycle.
+    pub fn square() -> CsrGraph {
+        CsrGraph::from_edges_undirected(4, &[(0, 1), (1, 2), (2, 3), (3, 0)])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::triangles;
+    use ga_graph::gen;
+
+    #[test]
+    fn triangle_embeddings_match_triangle_count() {
+        for seed in 0..3 {
+            let edges = gen::erdos_renyi(30, 120, seed);
+            let g = CsrGraph::from_edges_undirected(30, &edges);
+            let tri = triangles::count_global(&g);
+            // 6 automorphic embeddings per triangle.
+            assert_eq!(count_embeddings(&g, &patterns::triangle()), 6 * tri);
+        }
+    }
+
+    #[test]
+    fn k4_in_k5() {
+        let g = patterns::clique(5);
+        // C(5,4) * 4! = 5 * 24 = 120 embeddings.
+        assert_eq!(count_embeddings(&g, &patterns::clique(4)), 120);
+    }
+
+    #[test]
+    fn square_in_grid() {
+        let g = CsrGraph::from_edges_undirected(4, &gen::grid2d(2, 2));
+        // One 4-cycle, 8 automorphisms.
+        assert_eq!(count_embeddings(&g, &patterns::square()), 8);
+    }
+
+    #[test]
+    fn star_counting() {
+        // Star-3 pattern in star-5 target: center must map to center;
+        // leaves: 5*4*3 ordered choices = 60.
+        let target = patterns::star(5);
+        assert_eq!(count_embeddings(&target, &patterns::star(3)), 60);
+    }
+
+    #[test]
+    fn path_in_triangle() {
+        let g = patterns::triangle();
+        // P3 (2 edges): 3 choices of center * 2 orders = 6.
+        assert_eq!(count_embeddings(&g, &patterns::path(3)), 6);
+    }
+
+    #[test]
+    fn no_match_when_pattern_larger() {
+        let g = patterns::triangle();
+        assert_eq!(count_embeddings(&g, &patterns::clique(4)), 0);
+    }
+
+    #[test]
+    fn collects_valid_mappings() {
+        let g = patterns::clique(4);
+        let (count, found) = find_embeddings(&g, &patterns::triangle(), 5);
+        assert_eq!(count, 24); // 4 triangles * 6
+        assert_eq!(found.len(), 5);
+        for m in &found {
+            // Each mapping is injective and edge-preserving.
+            assert_eq!(m.len(), 3);
+            let mut s = m.clone();
+            s.sort_unstable();
+            s.dedup();
+            assert_eq!(s.len(), 3);
+            assert!(g.has_edge(m[0], m[1]) && g.has_edge(m[1], m[2]) && g.has_edge(m[0], m[2]));
+        }
+    }
+
+    #[test]
+    fn disconnected_pattern() {
+        // Two isolated pattern vertices in a 3-vertex empty target:
+        // 3 * 2 = 6 injective placements.
+        let pattern = CsrGraph::from_edges(2, &[]);
+        let target = CsrGraph::from_edges(3, &[]);
+        assert_eq!(count_embeddings(&target, &pattern), 6);
+    }
+}

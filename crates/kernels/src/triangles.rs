@@ -1,0 +1,234 @@
+//! Triangle counting and listing (Fig. 1 rows "GTC" and "TL").
+//!
+//! The Graph Challenge kernels. All functions expect an **undirected**
+//! (symmetrized, deduplicated, loop-free) snapshot. The workhorse is the
+//! degree-ordered merge-intersection: each triangle {a,b,c} is counted
+//! exactly once at its lowest-ranked vertex, so global count needs no
+//! division and parallelizes cleanly.
+
+use ga_graph::{CsrGraph, VertexId};
+use rayon::prelude::*;
+
+/// Sorted-slice intersection size.
+#[inline]
+pub fn intersect_count(a: &[VertexId], b: &[VertexId]) -> usize {
+    let (mut i, mut j, mut c) = (0, 0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                c += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    c
+}
+
+/// Sorted-slice intersection contents.
+pub fn intersect(a: &[VertexId], b: &[VertexId]) -> Vec<VertexId> {
+    let mut out = Vec::new();
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Rank vertices by (degree, id); orienting edges low-rank -> high-rank
+/// turns the undirected graph into a DAG whose out-wedges are exactly
+/// the triangles, counted once each.
+fn rank_order(g: &CsrGraph) -> Vec<u32> {
+    let n = g.num_vertices();
+    let mut by_deg: Vec<VertexId> = (0..n as VertexId).collect();
+    by_deg.sort_by_key(|&v| (g.degree(v), v));
+    let mut rank = vec![0u32; n];
+    for (r, &v) in by_deg.iter().enumerate() {
+        rank[v as usize] = r as u32;
+    }
+    rank
+}
+
+/// Build the rank-oriented forward adjacency (sorted by rank then id).
+fn oriented(g: &CsrGraph, rank: &[u32]) -> Vec<Vec<VertexId>> {
+    let n = g.num_vertices();
+    let mut fwd: Vec<Vec<VertexId>> = vec![Vec::new(); n];
+    for u in g.vertices() {
+        for &v in g.neighbors(u) {
+            if rank[v as usize] > rank[u as usize] {
+                fwd[u as usize].push(v);
+            }
+        }
+    }
+    for row in &mut fwd {
+        row.sort_unstable();
+    }
+    fwd
+}
+
+/// Global triangle count via rank-ordered intersection (parallel).
+pub fn count_global(g: &CsrGraph) -> u64 {
+    let rank = rank_order(g);
+    let fwd = oriented(g, &rank);
+    (0..g.num_vertices())
+        .into_par_iter()
+        .map(|u| {
+            let fu = &fwd[u];
+            let mut c = 0u64;
+            for &v in fu {
+                c += intersect_count(fu, &fwd[v as usize]) as u64;
+            }
+            c
+        })
+        .sum()
+}
+
+/// Per-vertex triangle counts (each triangle increments all three
+/// corners). Uses full sorted neighborhoods so corners are credited.
+pub fn count_per_vertex(g: &CsrGraph) -> Vec<u64> {
+    let rank = rank_order(g);
+    let fwd = oriented(g, &rank);
+    let n = g.num_vertices();
+    let mut counts = vec![0u64; n];
+    for u in 0..n {
+        let fu = &fwd[u];
+        for &v in fu {
+            for &w in &intersect(fu, &fwd[v as usize]) {
+                counts[u] += 1;
+                counts[v as usize] += 1;
+                counts[w as usize] += 1;
+            }
+        }
+    }
+    counts
+}
+
+/// List all triangles as `(a, b, c)` with `a < b < c` (vertex ids),
+/// sorted lexicographically — the `O(|V|^k)` output row of Fig. 1.
+pub fn list_triangles(g: &CsrGraph) -> Vec<(VertexId, VertexId, VertexId)> {
+    let rank = rank_order(g);
+    let fwd = oriented(g, &rank);
+    let mut out = Vec::new();
+    for u in 0..g.num_vertices() as VertexId {
+        let fu = &fwd[u as usize];
+        for &v in fu {
+            for &w in &intersect(fu, &fwd[v as usize]) {
+                let mut t = [u, v, w];
+                t.sort_unstable();
+                out.push((t[0], t[1], t[2]));
+            }
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+/// Brute-force O(n^3) reference counter for tests.
+pub fn count_brute_force(g: &CsrGraph) -> u64 {
+    let n = g.num_vertices() as VertexId;
+    let mut c = 0u64;
+    for a in 0..n {
+        for b in (a + 1)..n {
+            if !g.has_edge(a, b) {
+                continue;
+            }
+            for x in (b + 1)..n {
+                if g.has_edge(a, x) && g.has_edge(b, x) {
+                    c += 1;
+                }
+            }
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ga_graph::gen;
+
+    fn und(n: usize, edges: &[(u32, u32)]) -> CsrGraph {
+        CsrGraph::from_edges_undirected(n, edges)
+    }
+
+    #[test]
+    fn single_triangle() {
+        let g = und(3, &[(0, 1), (1, 2), (2, 0)]);
+        assert_eq!(count_global(&g), 1);
+        assert_eq!(count_per_vertex(&g), vec![1, 1, 1]);
+        assert_eq!(list_triangles(&g), vec![(0, 1, 2)]);
+    }
+
+    #[test]
+    fn square_no_triangles() {
+        let g = und(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        assert_eq!(count_global(&g), 0);
+        assert!(list_triangles(&g).is_empty());
+    }
+
+    #[test]
+    fn k4_has_four() {
+        let g = und(4, &gen::complete(4));
+        assert_eq!(count_global(&g), 4);
+        assert_eq!(count_per_vertex(&g), vec![3, 3, 3, 3]);
+        assert_eq!(list_triangles(&g).len(), 4);
+    }
+
+    #[test]
+    fn kn_binomial() {
+        for n in [5usize, 6, 7] {
+            let g = und(n, &gen::complete(n));
+            let expect = (n * (n - 1) * (n - 2) / 6) as u64;
+            assert_eq!(count_global(&g), expect, "K{n}");
+        }
+    }
+
+    #[test]
+    fn matches_brute_force_on_random() {
+        for seed in 0..5 {
+            let edges = gen::erdos_renyi(40, 200, seed);
+            let g = und(40, &edges);
+            assert_eq!(count_global(&g), count_brute_force(&g), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn per_vertex_sums_to_three_times_global() {
+        let edges = gen::erdos_renyi(60, 400, 9);
+        let g = und(60, &edges);
+        let per = count_per_vertex(&g);
+        assert_eq!(per.iter().sum::<u64>(), 3 * count_global(&g));
+    }
+
+    #[test]
+    fn listing_matches_count_and_is_canonical() {
+        let edges = gen::erdos_renyi(30, 140, 4);
+        let g = und(30, &edges);
+        let list = list_triangles(&g);
+        assert_eq!(list.len() as u64, count_global(&g));
+        for &(a, b, c) in &list {
+            assert!(a < b && b < c);
+            assert!(g.has_edge(a, b) && g.has_edge(b, c) && g.has_edge(a, c));
+        }
+        let mut dedup = list.clone();
+        dedup.dedup();
+        assert_eq!(dedup.len(), list.len());
+    }
+
+    #[test]
+    fn intersect_helpers() {
+        assert_eq!(intersect_count(&[1, 3, 5], &[2, 3, 5, 7]), 2);
+        assert_eq!(intersect(&[1, 3, 5], &[2, 3, 5, 7]), vec![3, 5]);
+        assert_eq!(intersect_count(&[], &[1]), 0);
+    }
+}

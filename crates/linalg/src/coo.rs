@@ -1,0 +1,98 @@
+//! Coordinate-format sparse matrix — the construction/interchange format.
+
+use crate::csr::CsrMatrix;
+
+/// COO triplets `(row, col, val)`; duplicates allowed until
+/// [`CooMatrix::to_csr`], which combines them with ⊕ of the chosen
+/// combiner.
+#[derive(Clone, Debug)]
+pub struct CooMatrix<T> {
+    /// Row count.
+    pub nrows: usize,
+    /// Column count.
+    pub ncols: usize,
+    /// Triplets in arbitrary order.
+    pub entries: Vec<(u32, u32, T)>,
+}
+
+impl<T: Copy> CooMatrix<T> {
+    /// Empty matrix of the given shape.
+    pub fn new(nrows: usize, ncols: usize) -> Self {
+        CooMatrix {
+            nrows,
+            ncols,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Add a triplet.
+    pub fn push(&mut self, r: u32, c: u32, v: T) {
+        debug_assert!((r as usize) < self.nrows && (c as usize) < self.ncols);
+        self.entries.push((r, c, v));
+    }
+
+    /// Number of stored (pre-combine) entries.
+    pub fn nnz(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Convert to CSR, combining duplicate coordinates with `combine`.
+    pub fn to_csr(mut self, combine: impl Fn(T, T) -> T) -> CsrMatrix<T> {
+        self.entries.sort_by_key(|&(r, c, _)| (r, c));
+        let mut merged: Vec<(u32, u32, T)> = Vec::with_capacity(self.entries.len());
+        for (r, c, v) in self.entries {
+            match merged.last_mut() {
+                Some(&mut (lr, lc, ref mut lv)) if lr == r && lc == c => {
+                    *lv = combine(*lv, v);
+                }
+                _ => merged.push((r, c, v)),
+            }
+        }
+        let mut indptr = vec![0u64; self.nrows + 1];
+        for &(r, _, _) in &merged {
+            indptr[r as usize + 1] += 1;
+        }
+        for i in 0..self.nrows {
+            indptr[i + 1] += indptr[i];
+        }
+        let indices: Vec<u32> = merged.iter().map(|&(_, c, _)| c).collect();
+        let values: Vec<T> = merged.iter().map(|&(_, _, v)| v).collect();
+        CsrMatrix::from_raw(self.nrows, self.ncols, indptr, indices, values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_convert() {
+        let mut m = CooMatrix::new(3, 3);
+        m.push(0, 1, 2.0);
+        m.push(2, 0, 5.0);
+        m.push(0, 1, 3.0); // duplicate -> combined
+        let csr = m.to_csr(|a, b| a + b);
+        assert_eq!(csr.nnz(), 2);
+        assert_eq!(csr.get(0, 1), Some(5.0));
+        assert_eq!(csr.get(2, 0), Some(5.0));
+        assert_eq!(csr.get(1, 1), None);
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let m: CooMatrix<f64> = CooMatrix::new(2, 2);
+        let csr = m.to_csr(|a, _| a);
+        assert_eq!(csr.nnz(), 0);
+        assert_eq!(csr.nrows, 2);
+    }
+
+    #[test]
+    fn duplicate_combine_order_independent_for_sum() {
+        let mut a = CooMatrix::new(1, 1);
+        a.push(0, 0, 1.0);
+        a.push(0, 0, 2.0);
+        a.push(0, 0, 4.0);
+        let csr = a.to_csr(|x, y| x + y);
+        assert_eq!(csr.get(0, 0), Some(7.0));
+    }
+}

@@ -1,0 +1,101 @@
+//! Compressed-sparse-column matrix — the column-major twin the Fig. 4
+//! hardware also hardwires; used where column gathers dominate (SpMSpV
+//! pull, SpGEMM right operand).
+
+use crate::csr::CsrMatrix;
+
+/// CSC matrix over `T`; rows sorted within each column.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CscMatrix<T> {
+    /// Row count.
+    pub nrows: usize,
+    /// Column count.
+    pub ncols: usize,
+    /// `indptr[c]..indptr[c+1]` bounds column c.
+    pub indptr: Vec<u64>,
+    /// Row index per entry.
+    pub indices: Vec<u32>,
+    /// Value per entry.
+    pub values: Vec<T>,
+}
+
+impl<T: Copy> CscMatrix<T> {
+    /// Stored entries.
+    pub fn nnz(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Row indices of column `c`.
+    #[inline]
+    pub fn col_indices(&self, c: usize) -> &[u32] {
+        &self.indices[self.indptr[c] as usize..self.indptr[c + 1] as usize]
+    }
+
+    /// Values of column `c`.
+    #[inline]
+    pub fn col_values(&self, c: usize) -> &[T] {
+        &self.values[self.indptr[c] as usize..self.indptr[c + 1] as usize]
+    }
+
+    /// `(row, val)` pairs of column `c`.
+    pub fn col(&self, c: usize) -> impl Iterator<Item = (u32, T)> + '_ {
+        self.col_indices(c)
+            .iter()
+            .zip(self.col_values(c))
+            .map(|(&r, &v)| (r, v))
+    }
+
+    /// Entry `(r, c)` if stored.
+    pub fn get(&self, r: u32, c: usize) -> Option<T> {
+        let idx = self.col_indices(c).binary_search(&r).ok()?;
+        Some(self.col_values(c)[idx])
+    }
+
+    /// Convert back to CSR.
+    pub fn to_csr(&self) -> CsrMatrix<T> {
+        // CSC of A has the same raw arrays as CSR of Aᵀ; transpose fixes it.
+        CsrMatrix::from_raw(
+            self.ncols,
+            self.nrows,
+            self.indptr.clone(),
+            self.indices.clone(),
+            self.values.clone(),
+        )
+        .transpose()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+
+    use crate::coo::CooMatrix;
+
+    #[test]
+    fn csr_csc_round_trip() {
+        let mut m = CooMatrix::new(3, 4);
+        m.push(0, 3, 1.0);
+        m.push(2, 0, 2.0);
+        m.push(1, 3, 3.0);
+        let csr = m.to_csr(|a, b| a + b);
+        let csc = csr.to_csc();
+        assert_eq!(csc.nnz(), 3);
+        assert_eq!(csc.get(0, 3), Some(1.0));
+        assert_eq!(csc.get(1, 3), Some(3.0));
+        assert_eq!(csc.get(2, 3), None);
+        let back = csc.to_csr();
+        assert_eq!(back, csr);
+    }
+
+    #[test]
+    fn column_access() {
+        let mut m = CooMatrix::new(2, 2);
+        m.push(0, 0, 1.0);
+        m.push(1, 0, 2.0);
+        let csc = m.to_csr(|a, _| a).to_csc();
+        assert_eq!(csc.col_indices(0), &[0, 1]);
+        assert_eq!(csc.col_values(0), &[1.0, 2.0]);
+        assert!(csc.col_indices(1).is_empty());
+        let pairs: Vec<_> = csc.col(0).collect();
+        assert_eq!(pairs, vec![(0, 1.0), (1, 2.0)]);
+    }
+}

@@ -1,0 +1,294 @@
+//! Compressed-sparse-row matrix — the row-major format Fig. 4 hardwires.
+
+use crate::csc::CscMatrix;
+use ga_graph::CsrGraph;
+
+/// CSR matrix over `T`. Rows are sorted by column index; no explicit
+/// zeros are stored (the semiring's `zero()` is implicit).
+#[derive(Clone, Debug, PartialEq)]
+pub struct CsrMatrix<T> {
+    /// Row count.
+    pub nrows: usize,
+    /// Column count.
+    pub ncols: usize,
+    /// `indptr[r]..indptr[r+1]` bounds row r in `indices`/`values`.
+    pub indptr: Vec<u64>,
+    /// Column index per entry (sorted within a row).
+    pub indices: Vec<u32>,
+    /// Value per entry.
+    pub values: Vec<T>,
+}
+
+impl<T: Copy> CsrMatrix<T> {
+    /// Assemble from raw arrays (debug-checked invariants).
+    pub fn from_raw(
+        nrows: usize,
+        ncols: usize,
+        indptr: Vec<u64>,
+        indices: Vec<u32>,
+        values: Vec<T>,
+    ) -> Self {
+        debug_assert_eq!(indptr.len(), nrows + 1);
+        debug_assert_eq!(indices.len(), values.len());
+        debug_assert_eq!(*indptr.last().unwrap_or(&0) as usize, indices.len());
+        CsrMatrix {
+            nrows,
+            ncols,
+            indptr,
+            indices,
+            values,
+        }
+    }
+
+    /// Empty (all-zero) matrix.
+    pub fn zero(nrows: usize, ncols: usize) -> Self {
+        CsrMatrix {
+            nrows,
+            ncols,
+            indptr: vec![0; nrows + 1],
+            indices: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+
+    /// Identity-like diagonal matrix with `one` on the diagonal.
+    pub fn identity(n: usize, one: T) -> Self {
+        CsrMatrix {
+            nrows: n,
+            ncols: n,
+            indptr: (0..=n as u64).collect(),
+            indices: (0..n as u32).collect(),
+            values: vec![one; n],
+        }
+    }
+
+    /// Stored entries.
+    pub fn nnz(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Column indices of row `r`.
+    #[inline]
+    pub fn row_indices(&self, r: usize) -> &[u32] {
+        &self.indices[self.indptr[r] as usize..self.indptr[r + 1] as usize]
+    }
+
+    /// Values of row `r`.
+    #[inline]
+    pub fn row_values(&self, r: usize) -> &[T] {
+        &self.values[self.indptr[r] as usize..self.indptr[r + 1] as usize]
+    }
+
+    /// `(col, val)` pairs of row `r`.
+    pub fn row(&self, r: usize) -> impl Iterator<Item = (u32, T)> + '_ {
+        self.row_indices(r)
+            .iter()
+            .zip(self.row_values(r))
+            .map(|(&c, &v)| (c, v))
+    }
+
+    /// Entry `(r, c)` if stored.
+    pub fn get(&self, r: usize, c: u32) -> Option<T> {
+        let idx = self.row_indices(r).binary_search(&c).ok()?;
+        Some(self.row_values(r)[idx])
+    }
+
+    /// Transpose (CSR of the transpose = CSC of self, rebuilt as CSR).
+    pub fn transpose(&self) -> CsrMatrix<T> {
+        let mut indptr = vec![0u64; self.ncols + 1];
+        for &c in &self.indices {
+            indptr[c as usize + 1] += 1;
+        }
+        for i in 0..self.ncols {
+            indptr[i + 1] += indptr[i];
+        }
+        let mut cursor = indptr.clone();
+        let mut indices = vec![0u32; self.nnz()];
+        let mut values = self.values.clone();
+        for r in 0..self.nrows {
+            for (c, v) in self.row(r) {
+                let slot = cursor[c as usize] as usize;
+                indices[slot] = r as u32;
+                values[slot] = v;
+                cursor[c as usize] += 1;
+            }
+        }
+        CsrMatrix {
+            nrows: self.ncols,
+            ncols: self.nrows,
+            indptr,
+            indices,
+            values,
+        }
+    }
+
+    /// View as CSC (column-compressed) of the same logical matrix.
+    pub fn to_csc(&self) -> CscMatrix<T> {
+        let t = self.transpose();
+        CscMatrix {
+            nrows: self.nrows,
+            ncols: self.ncols,
+            indptr: t.indptr,
+            indices: t.indices,
+            values: t.values,
+        }
+    }
+
+    /// Apply `f` to every stored value.
+    pub fn map<U: Copy>(&self, f: impl Fn(T) -> U) -> CsrMatrix<U> {
+        CsrMatrix {
+            nrows: self.nrows,
+            ncols: self.ncols,
+            indptr: self.indptr.clone(),
+            indices: self.indices.clone(),
+            values: self.values.iter().map(|&v| f(v)).collect(),
+        }
+    }
+
+    /// Keep entries where `pred(row, col, val)` holds.
+    pub fn filter(&self, pred: impl Fn(usize, u32, T) -> bool) -> CsrMatrix<T> {
+        let mut indptr = vec![0u64; self.nrows + 1];
+        let mut indices = Vec::new();
+        let mut values = Vec::new();
+        for r in 0..self.nrows {
+            for (c, v) in self.row(r) {
+                if pred(r, c, v) {
+                    indices.push(c);
+                    values.push(v);
+                }
+            }
+            indptr[r + 1] = indices.len() as u64;
+        }
+        CsrMatrix {
+            nrows: self.nrows,
+            ncols: self.ncols,
+            indptr,
+            indices,
+            values,
+        }
+    }
+
+    /// Strict lower-triangular part (the `L` of triangle counting).
+    pub fn tril(&self) -> CsrMatrix<T> {
+        self.filter(|r, c, _| (c as usize) < r)
+    }
+
+    /// Strict upper-triangular part.
+    pub fn triu(&self) -> CsrMatrix<T> {
+        self.filter(|r, c, _| (c as usize) > r)
+    }
+
+    /// Reduce each row with ⊕-like `f`, seeded by `init`.
+    pub fn reduce_rows(&self, init: T, f: impl Fn(T, T) -> T) -> Vec<T> {
+        (0..self.nrows)
+            .map(|r| self.row_values(r).iter().fold(init, |acc, &v| f(acc, v)))
+            .collect()
+    }
+}
+
+impl CsrMatrix<f64> {
+    /// Adjacency matrix of a graph: `A[dst][src] = weight`, the
+    /// (i,j)=edge-from-j-to-i convention of the paper's footnote 3, so
+    /// `A · x` propagates values along edge direction.
+    pub fn adjacency_from_graph(g: &CsrGraph) -> CsrMatrix<f64> {
+        let mut coo = crate::coo::CooMatrix::new(g.num_vertices(), g.num_vertices());
+        for (u, v, w) in g.weighted_edges() {
+            coo.push(v, u, w as f64);
+        }
+        coo.to_csr(|a, b| a + b)
+    }
+
+    /// Row-major adjacency `A[src][dst] = weight` (the usual
+    /// out-neighbor orientation; `x · A` propagates along edges).
+    pub fn out_adjacency_from_graph(g: &CsrGraph) -> CsrMatrix<f64> {
+        let mut coo = crate::coo::CooMatrix::new(g.num_vertices(), g.num_vertices());
+        for (u, v, w) in g.weighted_edges() {
+            coo.push(u, v, w as f64);
+        }
+        coo.to_csr(|a, b| a + b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::CooMatrix;
+
+    fn sample() -> CsrMatrix<f64> {
+        // [1 0 2]
+        // [0 0 3]
+        // [4 5 0]
+        let mut m = CooMatrix::new(3, 3);
+        for &(r, c, v) in &[(0, 0, 1.0), (0, 2, 2.0), (1, 2, 3.0), (2, 0, 4.0), (2, 1, 5.0)] {
+            m.push(r, c, v);
+        }
+        m.to_csr(|a, b| a + b)
+    }
+
+    #[test]
+    fn shape_and_access() {
+        let m = sample();
+        assert_eq!((m.nrows, m.ncols, m.nnz()), (3, 3, 5));
+        assert_eq!(m.get(0, 2), Some(2.0));
+        assert_eq!(m.get(1, 0), None);
+        assert_eq!(m.row_indices(2), &[0, 1]);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let m = sample();
+        let t = m.transpose();
+        assert_eq!(t.get(2, 0), Some(2.0));
+        assert_eq!(t.get(0, 2), Some(4.0));
+        assert_eq!(t.transpose(), m);
+    }
+
+    #[test]
+    fn csc_matches_transpose() {
+        let m = sample();
+        let csc = m.to_csc();
+        // Column 2 of m = {0: 2.0, 1: 3.0}.
+        assert_eq!(csc.col_indices(2), &[0, 1]);
+        assert_eq!(csc.col_values(2), &[2.0, 3.0]);
+    }
+
+    #[test]
+    fn identity_and_zero() {
+        let i: CsrMatrix<f64> = CsrMatrix::identity(3, 1.0);
+        assert_eq!(i.nnz(), 3);
+        assert_eq!(i.get(1, 1), Some(1.0));
+        let z: CsrMatrix<f64> = CsrMatrix::zero(2, 5);
+        assert_eq!(z.nnz(), 0);
+    }
+
+    #[test]
+    fn tril_triu_partition_offdiagonal() {
+        let m = sample();
+        let l = m.tril();
+        let u = m.triu();
+        assert_eq!(l.nnz(), 2); // (2,0), (2,1)
+        assert_eq!(u.nnz(), 2); // (0,2), (1,2)
+        assert_eq!(l.nnz() + u.nnz() + 1, m.nnz()); // +1 diagonal (0,0)
+    }
+
+    #[test]
+    fn map_and_filter_and_reduce() {
+        let m = sample();
+        let doubled = m.map(|v| v * 2.0);
+        assert_eq!(doubled.get(2, 1), Some(10.0));
+        let big = m.filter(|_, _, v| v >= 3.0);
+        assert_eq!(big.nnz(), 3);
+        let sums = m.reduce_rows(0.0, |a, b| a + b);
+        assert_eq!(sums, vec![3.0, 3.0, 9.0]);
+    }
+
+    #[test]
+    fn adjacency_orientations() {
+        let g = CsrGraph::from_edges(3, &[(0, 1), (1, 2)]);
+        let a = CsrMatrix::adjacency_from_graph(&g);
+        assert_eq!(a.get(1, 0), Some(1.0)); // edge 0->1 => A[1][0]
+        let o = CsrMatrix::out_adjacency_from_graph(&g);
+        assert_eq!(o.get(0, 1), Some(1.0));
+        assert_eq!(a.transpose(), o);
+    }
+}

@@ -1,0 +1,39 @@
+//! # ga-linalg — GraphBLAS-style sparse linear algebra
+//!
+//! The substrate for the paper's §V-A architecture (the Lincoln Labs
+//! sparse graph processor, Fig. 4) and for the Kepner–Gilbert
+//! matrix-language kernels it accelerates ("graphs expressed as boolean
+//! adjacency matrices").
+//!
+//! * [`coo::CooMatrix`], [`csr::CsrMatrix`], [`csc::CscMatrix`] — the
+//!   three classic sparse formats; CSR/CSC are the ones the Fig. 4
+//!   hardware "hardwires".
+//! * [`semiring`] — the algebraic structures GraphBLAS substitutes for
+//!   (+, ×): plus-times, min-plus (shortest paths), or-and
+//!   (reachability) and friends.
+//! * [`ops`] — SpMV, sparse-vector SpMSpV, masked variants, element-wise
+//!   union/intersection, and Gustavson SpGEMM (the exact dataflow the
+//!   Fig. 4 pipeline implements in hardware).
+//! * [`algos`] — graph algorithms *in the language of linear algebra*:
+//!   BFS as masked SpMSpV, PageRank as SpMV iteration, triangle counting
+//!   as `L·L ⊙ L`, Bellman–Ford as min-plus SpMV. Each is cross-checked
+//!   against the direct implementations in `ga-kernels` by the
+//!   integration tests.
+
+#![warn(missing_docs)]
+
+pub mod algos;
+pub mod coo;
+pub mod csc;
+pub mod csr;
+pub mod kron;
+pub mod ops;
+pub mod semiring;
+
+pub use coo::CooMatrix;
+pub use csc::CscMatrix;
+pub use csr::CsrMatrix;
+pub use semiring::Semiring;
+
+/// Sparse vector: sorted `(index, value)` pairs, no explicit zeros.
+pub type SparseVec<T> = Vec<(u32, T)>;

@@ -1,0 +1,195 @@
+//! Semirings — the algebraic core of GraphBLAS-style graph algorithms.
+//!
+//! A [`Semiring`] supplies the (⊕, ⊗, 0) triple that replaces
+//! (+, ×, 0.0) in matrix products. Choosing the semiring chooses the
+//! graph algorithm: plus-times counts paths, min-plus computes shortest
+//! distances, or-and computes reachability — the observation at the
+//! heart of Kepner–Gilbert and of the paper's Fig. 4 machine.
+
+/// A semiring over `T`: `add` is associative+commutative with identity
+/// `zero()`; `mul` is associative and distributes over `add`; `zero`
+/// annihilates `mul`. Sparse code also relies on `zero` being the
+/// implicit value of absent entries.
+pub trait Semiring<T: Copy>: Copy {
+    /// The ⊕ identity / implicit sparse value.
+    fn zero(&self) -> T;
+    /// ⊕
+    fn add(&self, a: T, b: T) -> T;
+    /// ⊗
+    fn mul(&self, a: T, b: T) -> T;
+    /// Is this value the implicit zero (dropped from sparse output)?
+    fn is_zero(&self, a: T) -> bool;
+}
+
+/// Standard arithmetic (+, ×, 0): path counting, PageRank, SpGEMM.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PlusTimes;
+
+impl Semiring<f64> for PlusTimes {
+    fn zero(&self) -> f64 {
+        0.0
+    }
+    fn add(&self, a: f64, b: f64) -> f64 {
+        a + b
+    }
+    fn mul(&self, a: f64, b: f64) -> f64 {
+        a * b
+    }
+    fn is_zero(&self, a: f64) -> bool {
+        a == 0.0
+    }
+}
+
+impl Semiring<u64> for PlusTimes {
+    fn zero(&self) -> u64 {
+        0
+    }
+    fn add(&self, a: u64, b: u64) -> u64 {
+        a + b
+    }
+    fn mul(&self, a: u64, b: u64) -> u64 {
+        a * b
+    }
+    fn is_zero(&self, a: u64) -> bool {
+        a == 0
+    }
+}
+
+/// Tropical (min, +, ∞): shortest paths (Bellman–Ford as SpMV).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MinPlus;
+
+impl Semiring<f64> for MinPlus {
+    fn zero(&self) -> f64 {
+        f64::INFINITY
+    }
+    fn add(&self, a: f64, b: f64) -> f64 {
+        a.min(b)
+    }
+    fn mul(&self, a: f64, b: f64) -> f64 {
+        a + b
+    }
+    fn is_zero(&self, a: f64) -> bool {
+        a == f64::INFINITY
+    }
+}
+
+/// (max, min, -∞): bottleneck/widest paths.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MaxMin;
+
+impl Semiring<f64> for MaxMin {
+    fn zero(&self) -> f64 {
+        f64::NEG_INFINITY
+    }
+    fn add(&self, a: f64, b: f64) -> f64 {
+        a.max(b)
+    }
+    fn mul(&self, a: f64, b: f64) -> f64 {
+        a.min(b)
+    }
+    fn is_zero(&self, a: f64) -> bool {
+        a == f64::NEG_INFINITY
+    }
+}
+
+/// Boolean (∨, ∧, false): reachability, BFS frontiers.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct OrAnd;
+
+impl Semiring<bool> for OrAnd {
+    fn zero(&self) -> bool {
+        false
+    }
+    fn add(&self, a: bool, b: bool) -> bool {
+        a || b
+    }
+    fn mul(&self, a: bool, b: bool) -> bool {
+        a && b
+    }
+    fn is_zero(&self, a: bool) -> bool {
+        !a
+    }
+}
+
+/// (min, first, ∞-as-MAX) over u32: BFS parent selection — ⊗ keeps the
+/// row index (carried in the value), ⊕ keeps the smallest parent.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MinFirst;
+
+impl Semiring<u32> for MinFirst {
+    fn zero(&self) -> u32 {
+        u32::MAX
+    }
+    fn add(&self, a: u32, b: u32) -> u32 {
+        a.min(b)
+    }
+    fn mul(&self, a: u32, _b: u32) -> u32 {
+        a
+    }
+    fn is_zero(&self, a: u32) -> bool {
+        a == u32::MAX
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_axioms<T: Copy + PartialEq + std::fmt::Debug>(s: impl Semiring<T>, vals: &[T]) {
+        let z = s.zero();
+        for &a in vals {
+            assert_eq!(s.add(a, z), a, "additive identity");
+            assert_eq!(s.add(z, a), a, "additive identity (comm)");
+            assert!(s.is_zero(s.mul(a, z)), "zero annihilates");
+            assert!(s.is_zero(s.mul(z, a)), "zero annihilates (left)");
+            for &b in vals {
+                assert_eq!(s.add(a, b), s.add(b, a), "add commutes");
+                for &c in vals {
+                    assert_eq!(
+                        s.add(s.add(a, b), c),
+                        s.add(a, s.add(b, c)),
+                        "add associates"
+                    );
+                    assert_eq!(
+                        s.mul(s.mul(a, b), c),
+                        s.mul(a, s.mul(b, c)),
+                        "mul associates"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn plus_times_axioms() {
+        check_axioms::<f64>(PlusTimes, &[0.0, 1.0, 2.5, -3.0]);
+        check_axioms::<u64>(PlusTimes, &[0, 1, 7]);
+    }
+
+    #[test]
+    fn min_plus_axioms() {
+        check_axioms::<f64>(MinPlus, &[f64::INFINITY, 0.0, 1.5, 10.0]);
+        // Distributivity spot check: a + min(b,c) = min(a+b, a+c).
+        let s = MinPlus;
+        assert_eq!(s.mul(2.0, s.add(3.0, 5.0)), s.add(s.mul(2.0, 3.0), s.mul(2.0, 5.0)));
+    }
+
+    #[test]
+    fn max_min_axioms() {
+        check_axioms::<f64>(MaxMin, &[f64::NEG_INFINITY, 0.0, 2.0, 9.0]);
+    }
+
+    #[test]
+    fn or_and_axioms() {
+        check_axioms::<bool>(OrAnd, &[false, true]);
+    }
+
+    #[test]
+    fn min_first_keeps_left() {
+        let s = MinFirst;
+        assert_eq!(s.mul(4, 9), 4);
+        assert_eq!(s.add(4, 2), 2);
+        assert!(s.is_zero(u32::MAX));
+    }
+}

@@ -1,0 +1,201 @@
+//! Streaming top-n centrality tracking.
+//!
+//! §II: "Streaming forms of centrality metrics address questions such as
+//! 'if edge e is added, how does it change its associated vertex
+//! centrality metrics, and does that cause a change in the top-n
+//! vertices in terms of the metric.'"
+//!
+//! Exact incremental betweenness is expensive; production systems
+//! (STINGER's `streaming_bc`) re-evaluate a sampled approximation at a
+//! batch cadence. [`BcTopK`] does the same: at each batch end it
+//! recomputes source-sampled Brandes on a snapshot and emits a
+//! [`EventKind::TopKChange`] whenever the membership of the top-n set
+//! changed — the Fig. 1 "Output O(|V|) list" event shape.
+
+use crate::engine::Monitor;
+use crate::events::{Event, EventKind};
+use crate::update::Update;
+use ga_graph::dynamic::ApplyResult;
+use ga_graph::{DynamicGraph, Timestamp, VertexId};
+use ga_kernels::bc;
+
+/// Batch-cadence top-n betweenness tracker.
+pub struct BcTopK {
+    /// Size of the watched set.
+    pub k: usize,
+    /// Brandes source samples per refresh (0 = exact).
+    pub samples: usize,
+    seed: u64,
+    current: Vec<VertexId>,
+    dirty: bool,
+    /// Refreshes performed (instrumentation).
+    pub refreshes: usize,
+}
+
+impl BcTopK {
+    /// Track the top `k` vertices using `samples` BFS sources.
+    pub fn new(k: usize, samples: usize, seed: u64) -> Self {
+        BcTopK {
+            k,
+            samples,
+            seed,
+            current: Vec::new(),
+            dirty: false,
+            refreshes: 0,
+        }
+    }
+
+    /// The current top-k membership (sorted by id).
+    pub fn current(&self) -> &[VertexId] {
+        &self.current
+    }
+
+    fn compute(&mut self, g: &DynamicGraph) -> Vec<VertexId> {
+        let snap = g.snapshot();
+        let scores = if self.samples == 0 || self.samples >= snap.num_vertices() {
+            bc::brandes(&snap)
+        } else {
+            // Vary the sample seed per refresh to avoid a fixed bias.
+            self.seed = self.seed.wrapping_add(1);
+            bc::sampled(&snap, self.samples, self.seed)
+        };
+        let mut top: Vec<VertexId> = bc::top_k(&scores, self.k)
+            .into_iter()
+            .map(|(v, _)| v)
+            .collect();
+        top.sort_unstable();
+        top
+    }
+}
+
+impl Monitor for BcTopK {
+    fn name(&self) -> &'static str {
+        "bc_topk"
+    }
+
+    fn on_update(
+        &mut self,
+        _g: &DynamicGraph,
+        update: &Update,
+        result: ApplyResult,
+        _time: Timestamp,
+        _out: &mut Vec<Event>,
+    ) {
+        if matches!(update, Update::EdgeInsert { .. } | Update::EdgeDelete { .. })
+            && matches!(result, ApplyResult::Inserted | ApplyResult::Deleted)
+        {
+            self.dirty = true;
+        }
+    }
+
+    fn on_batch_end(&mut self, g: &DynamicGraph, time: Timestamp, out: &mut Vec<Event>) {
+        if !self.dirty {
+            return;
+        }
+        self.dirty = false;
+        self.refreshes += 1;
+        let new_top = self.compute(g);
+        if new_top != self.current {
+            let entered: Vec<VertexId> = new_top
+                .iter()
+                .copied()
+                .filter(|v| !self.current.contains(v))
+                .collect();
+            let left: Vec<VertexId> = self
+                .current
+                .iter()
+                .copied()
+                .filter(|v| !new_top.contains(v))
+                .collect();
+            out.push(Event {
+                time,
+                source: self.name(),
+                kind: EventKind::TopKChange {
+                    metric: "betweenness",
+                    entered,
+                    left,
+                },
+            });
+            self.current = new_top;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::StreamEngine;
+    use crate::update::UpdateBatch;
+
+    fn insert(src: VertexId, dst: VertexId) -> Update {
+        Update::EdgeInsert {
+            src,
+            dst,
+            weight: 1.0,
+        }
+    }
+
+    #[test]
+    fn detects_new_cut_vertex() {
+        let mut e = StreamEngine::new(7);
+        e.register(Box::new(BcTopK::new(1, 0, 1)));
+        // Path 0-1-2: vertex 1 is the top-1.
+        e.apply_batch(&UpdateBatch {
+            time: 0,
+            updates: vec![insert(0, 1), insert(1, 2)],
+        });
+        // Extend to 0-1-2-3-4-5-6: vertex 3 becomes the center.
+        e.apply_batch(&UpdateBatch {
+            time: 1,
+            updates: vec![insert(2, 3), insert(3, 4), insert(4, 5), insert(5, 6)],
+        });
+        let changes: Vec<_> = e
+            .events()
+            .iter()
+            .filter_map(|ev| match &ev.kind {
+                EventKind::TopKChange { entered, left, .. } => Some((entered.clone(), left.clone())),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(changes.len(), 2);
+        assert_eq!(changes[0].0, vec![1]); // 1 enters after batch 0
+        assert_eq!(changes[1].0, vec![3]); // 3 replaces 1
+        assert_eq!(changes[1].1, vec![1]);
+    }
+
+    #[test]
+    fn no_event_when_membership_stable() {
+        let mut e = StreamEngine::new(5);
+        e.register(Box::new(BcTopK::new(1, 0, 1)));
+        e.apply_batch(&UpdateBatch {
+            time: 0,
+            updates: vec![insert(0, 1), insert(1, 2)],
+        });
+        // Add a pendant that doesn't change the winner.
+        e.apply_batch(&UpdateBatch {
+            time: 1,
+            updates: vec![insert(1, 3)],
+        });
+        let changes = e
+            .events()
+            .iter()
+            .filter(|ev| matches!(ev.kind, EventKind::TopKChange { .. }))
+            .count();
+        assert_eq!(changes, 1); // only the initial establishment
+    }
+
+    #[test]
+    fn no_refresh_without_structural_change() {
+        let mut e = StreamEngine::new(4);
+        e.register(Box::new(BcTopK::new(2, 0, 1)));
+        e.apply_batch(&UpdateBatch {
+            time: 0,
+            updates: vec![Update::PropertySet {
+                vertex: 0,
+                name: "x",
+                value: 1.0,
+            }],
+        });
+        assert!(e.events().is_empty());
+    }
+}

@@ -1,0 +1,324 @@
+//! Geo & temporal correlation — the last row of Fig. 1 (the
+//! Kepner–Gilbert / VAST-style kernel).
+//!
+//! Given a stream of sightings `(entity, location, time)`, find entity
+//! pairs that co-occur — same location, within a time window — at least
+//! `min_events` times at `min_locations` distinct places. This is the
+//! VAST-challenge staple ("which vehicles were repeatedly parked
+//! together") and is structurally the temporal generalization of the
+//! NORA shared-address search.
+//!
+//! Both Fig. 1 modes:
+//! * **batch** — [`correlate_batch`] over a full sighting log,
+//! * **streaming** — [`CorrelationMonitor`] ingests sightings one at a
+//!   time, maintaining per-location recent windows and emitting an
+//!   O(1) [`EventKind::PairThreshold`] event the moment a pair crosses
+//!   the threshold.
+
+use crate::events::{Event, EventKind};
+use ga_graph::Timestamp;
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// One observation of an entity at a place and time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Sighting {
+    /// Observed entity.
+    pub entity: u32,
+    /// Location cell id (pre-discretized geography).
+    pub location: u32,
+    /// Observation time.
+    pub time: Timestamp,
+}
+
+/// A correlated entity pair.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Correlation {
+    /// Pair (a < b).
+    pub a: u32,
+    /// Second entity.
+    pub b: u32,
+    /// Co-occurrence events (same location, |Δt| <= window).
+    pub events: u32,
+    /// Distinct locations among those events.
+    pub locations: u32,
+}
+
+/// Batch correlation over a complete sighting log.
+///
+/// Two sightings co-occur when they share a location and their times
+/// differ by at most `window`. Pairs are reported when they have at
+/// least `min_events` co-occurrences spanning at least `min_locations`
+/// distinct locations, sorted by descending event count (ties by pair).
+pub fn correlate_batch(
+    sightings: &[Sighting],
+    window: Timestamp,
+    min_events: u32,
+    min_locations: u32,
+) -> Vec<Correlation> {
+    // Group by location, sort by time, sweep a time window.
+    let mut by_loc: HashMap<u32, Vec<(Timestamp, u32)>> = HashMap::new();
+    for s in sightings {
+        by_loc.entry(s.location).or_default().push((s.time, s.entity));
+    }
+    let mut events: HashMap<(u32, u32), u32> = HashMap::new();
+    let mut locs: HashMap<(u32, u32), HashSet<u32>> = HashMap::new();
+    for (&loc, list) in &mut by_loc {
+        let mut list = list.clone();
+        list.sort_unstable();
+        let mut start = 0usize;
+        for i in 0..list.len() {
+            let (t, e) = list[i];
+            while list[start].0 + window < t {
+                start += 1;
+            }
+            // Pair with every in-window earlier sighting of another entity.
+            for &(t2, e2) in &list[start..i] {
+                debug_assert!(t2 + window >= t);
+                if e2 != e {
+                    let key = (e.min(e2), e.max(e2));
+                    *events.entry(key).or_default() += 1;
+                    locs.entry(key).or_default().insert(loc);
+                }
+            }
+        }
+    }
+    let mut out: Vec<Correlation> = events
+        .into_iter()
+        .filter_map(|((a, b), ev)| {
+            let nl = locs[&(a, b)].len() as u32;
+            (ev >= min_events && nl >= min_locations).then_some(Correlation {
+                a,
+                b,
+                events: ev,
+                locations: nl,
+            })
+        })
+        .collect();
+    out.sort_by(|x, y| y.events.cmp(&x.events).then((x.a, x.b).cmp(&(y.a, y.b))));
+    out
+}
+
+/// Streaming correlation: bounded per-location memory, O(1) events on
+/// threshold crossing.
+pub struct CorrelationMonitor {
+    /// Co-occurrence time window.
+    pub window: Timestamp,
+    /// Events needed to report a pair.
+    pub min_events: u32,
+    /// Distinct locations needed to report a pair.
+    pub min_locations: u32,
+    /// Per-location recent sightings (time-ordered).
+    recent: HashMap<u32, VecDeque<(Timestamp, u32)>>,
+    events: HashMap<(u32, u32), u32>,
+    locs: HashMap<(u32, u32), HashSet<u32>>,
+    reported: HashSet<(u32, u32)>,
+}
+
+impl CorrelationMonitor {
+    /// Monitor with the given window and thresholds.
+    pub fn new(window: Timestamp, min_events: u32, min_locations: u32) -> Self {
+        CorrelationMonitor {
+            window,
+            min_events,
+            min_locations,
+            recent: HashMap::new(),
+            events: HashMap::new(),
+            locs: HashMap::new(),
+            reported: HashSet::new(),
+        }
+    }
+
+    /// Current co-occurrence count of a pair.
+    pub fn pair_events(&self, a: u32, b: u32) -> u32 {
+        self.events
+            .get(&(a.min(b), a.max(b)))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Ingest one sighting (sightings must arrive in non-decreasing
+    /// time per location for the window eviction to be exact).
+    pub fn ingest(&mut self, s: Sighting, out: &mut Vec<Event>) {
+        let q = self.recent.entry(s.location).or_default();
+        // Evict out-of-window sightings.
+        while let Some(&(t, _)) = q.front() {
+            if t + self.window < s.time {
+                q.pop_front();
+            } else {
+                break;
+            }
+        }
+        for &(_, other) in q.iter() {
+            if other == s.entity {
+                continue;
+            }
+            let key = (s.entity.min(other), s.entity.max(other));
+            let ev = self.events.entry(key).or_default();
+            *ev += 1;
+            let nl = {
+                let set = self.locs.entry(key).or_default();
+                set.insert(s.location);
+                set.len() as u32
+            };
+            if *ev >= self.min_events && nl >= self.min_locations && self.reported.insert(key) {
+                out.push(Event {
+                    time: s.time,
+                    source: "correlate",
+                    kind: EventKind::PairThreshold {
+                        metric: "geo_temporal_cooccurrence",
+                        a: key.0,
+                        b: key.1,
+                        value: *ev as f64,
+                    },
+                });
+            }
+        }
+        q.push_back((s.time, s.entity));
+    }
+}
+
+/// Deterministic sighting-stream generator with planted correlated
+/// pairs: `pairs` couples travel together (same location, ~same time)
+/// while `background` entities roam independently.
+pub fn sighting_stream(
+    background: u32,
+    pairs: u32,
+    locations: u32,
+    steps: u32,
+    seed: u64,
+) -> Vec<Sighting> {
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+    let mut out = Vec::new();
+    for t in 0..steps {
+        // Correlated pairs move together: entities (2i, 2i+1).
+        for i in 0..pairs {
+            let loc = rng.gen_range(0..locations);
+            out.push(Sighting {
+                entity: 2 * i,
+                location: loc,
+                time: t as Timestamp * 10,
+            });
+            out.push(Sighting {
+                entity: 2 * i + 1,
+                location: loc,
+                time: t as Timestamp * 10 + rng.gen_range(0..3),
+            });
+        }
+        // Background entities roam.
+        for b in 0..background {
+            out.push(Sighting {
+                entity: 2 * pairs + b,
+                location: rng.gen_range(0..locations),
+                time: t as Timestamp * 10 + rng.gen_range(0..10),
+            });
+        }
+    }
+    out.sort_by_key(|s| s.time);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_finds_planted_pairs() {
+        let stream = sighting_stream(40, 5, 30, 60, 1);
+        let found = correlate_batch(&stream, 5, 8, 3);
+        for i in 0..5u32 {
+            assert!(
+                found.iter().any(|c| (c.a, c.b) == (2 * i, 2 * i + 1)),
+                "planted pair {} missing; found {:?}",
+                i,
+                found.iter().map(|c| (c.a, c.b)).collect::<Vec<_>>()
+            );
+        }
+        // Background pairs shouldn't dominate: planted pairs rank first.
+        let planted_top = found
+            .iter()
+            .take(5)
+            .filter(|c| c.b == c.a + 1 && c.a % 2 == 0 && c.a < 10)
+            .count();
+        assert!(planted_top >= 4, "top-5: {:?}", &found[..5.min(found.len())]);
+    }
+
+    #[test]
+    fn batch_thresholds_filter() {
+        let stream = vec![
+            Sighting { entity: 1, location: 7, time: 0 },
+            Sighting { entity: 2, location: 7, time: 1 },
+            Sighting { entity: 1, location: 7, time: 100 },
+            Sighting { entity: 2, location: 7, time: 101 },
+        ];
+        // Two co-occurrences at one location.
+        let one_loc = correlate_batch(&stream, 5, 2, 1);
+        assert_eq!(one_loc.len(), 1);
+        assert_eq!(one_loc[0].events, 2);
+        assert_eq!(one_loc[0].locations, 1);
+        // Requiring 2 locations filters it out.
+        assert!(correlate_batch(&stream, 5, 2, 2).is_empty());
+        // Out-of-window sightings don't pair.
+        assert!(correlate_batch(&stream, 0, 2, 1).is_empty());
+    }
+
+    #[test]
+    fn streaming_matches_batch_counts() {
+        let stream = sighting_stream(20, 3, 15, 40, 7);
+        let batch = correlate_batch(&stream, 5, 1, 1);
+        let mut mon = CorrelationMonitor::new(5, u32::MAX, 1); // never report
+        let mut out = Vec::new();
+        for &s in &stream {
+            mon.ingest(s, &mut out);
+        }
+        for c in &batch {
+            assert_eq!(
+                mon.pair_events(c.a, c.b),
+                c.events,
+                "pair ({}, {})",
+                c.a,
+                c.b
+            );
+        }
+    }
+
+    #[test]
+    fn streaming_emits_once_at_threshold() {
+        let mut mon = CorrelationMonitor::new(5, 2, 1);
+        let mut out = Vec::new();
+        for t in [0u64, 10, 20] {
+            mon.ingest(
+                Sighting { entity: 1, location: 3, time: t },
+                &mut out,
+            );
+            mon.ingest(
+                Sighting { entity: 2, location: 3, time: t + 1 },
+                &mut out,
+            );
+        }
+        assert_eq!(out.len(), 1);
+        match &out[0].kind {
+            EventKind::PairThreshold { a, b, value, .. } => {
+                assert_eq!((*a, *b), (1, 2));
+                assert_eq!(*value, 2.0);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(mon.pair_events(1, 2), 3);
+    }
+
+    #[test]
+    fn window_eviction_bounds_memory() {
+        let mut mon = CorrelationMonitor::new(2, u32::MAX, 1);
+        let mut out = Vec::new();
+        for t in 0..1000u64 {
+            mon.ingest(
+                Sighting { entity: (t % 7) as u32, location: 0, time: t * 10 },
+                &mut out,
+            );
+        }
+        // All sightings are >2 apart: no co-occurrences, tiny window state.
+        assert!(mon.recent[&0].len() <= 1);
+        assert_eq!(mon.events.len(), 0);
+    }
+}

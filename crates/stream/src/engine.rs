@@ -1,0 +1,342 @@
+//! The streaming engine: updates in, events out.
+//!
+//! [`StreamEngine`] owns the persistent [`DynamicGraph`] plus a
+//! [`PropertyStore`], applies update batches, and drives registered
+//! [`Monitor`]s. Monitors see each update *after* it is applied (the
+//! post-state), which makes insert/delete deltas computable from local
+//! neighborhood intersections alone.
+
+use crate::events::Event;
+use crate::update::{Update, UpdateBatch};
+use ga_graph::dynamic::ApplyResult;
+use ga_graph::{DynamicGraph, PropertyStore, Timestamp, VertexId};
+
+/// An incremental analytic attached to the stream.
+pub trait Monitor {
+    /// Stable name used as the event source tag.
+    fn name(&self) -> &'static str;
+
+    /// Called once per applied update with the post-state graph.
+    fn on_update(
+        &mut self,
+        graph: &DynamicGraph,
+        update: &Update,
+        result: ApplyResult,
+        time: Timestamp,
+        out: &mut Vec<Event>,
+    );
+
+    /// Called at the end of each batch (for batch-granularity monitors
+    /// like warm-start PageRank or top-k trackers). Default: no-op.
+    fn on_batch_end(&mut self, _graph: &DynamicGraph, _time: Timestamp, _out: &mut Vec<Event>) {}
+}
+
+/// Running totals the engine keeps — the instrumentation Fig. 2's
+/// streaming side feeds into the performance model.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StreamStats {
+    /// Edge inserts that created a new edge.
+    pub edges_inserted: usize,
+    /// Edge inserts that refreshed an existing edge.
+    pub edges_updated: usize,
+    /// Edge deletes that removed a live edge.
+    pub edges_deleted: usize,
+    /// Deletes of absent edges (no-ops).
+    pub deletes_missed: usize,
+    /// Property updates applied.
+    pub props_set: usize,
+    /// Batches processed.
+    pub batches: usize,
+    /// Events emitted by all monitors.
+    pub events_emitted: usize,
+}
+
+/// Applies updates to the persistent graph and fans them out to
+/// monitors.
+pub struct StreamEngine {
+    graph: DynamicGraph,
+    props: PropertyStore,
+    monitors: Vec<Box<dyn Monitor>>,
+    events: Vec<Event>,
+    stats: StreamStats,
+    /// When true (the default), every edge insert/delete is mirrored in
+    /// the reverse direction, maintaining an undirected graph — the
+    /// setting the triangle/Jaccard monitors assume.
+    pub symmetrize: bool,
+}
+
+impl StreamEngine {
+    /// Engine over an empty graph of `num_vertices` vertices.
+    pub fn new(num_vertices: usize) -> Self {
+        StreamEngine {
+            graph: DynamicGraph::new(num_vertices),
+            props: PropertyStore::new(num_vertices),
+            monitors: Vec::new(),
+            events: Vec::new(),
+            stats: StreamStats::default(),
+            symmetrize: true,
+        }
+    }
+
+    /// Engine over an existing graph (e.g. a loaded persistent graph).
+    pub fn with_graph(graph: DynamicGraph, props: PropertyStore) -> Self {
+        StreamEngine {
+            graph,
+            props,
+            monitors: Vec::new(),
+            events: Vec::new(),
+            stats: StreamStats::default(),
+            symmetrize: true,
+        }
+    }
+
+    /// Attach a monitor.
+    pub fn register(&mut self, m: Box<dyn Monitor>) {
+        self.monitors.push(m);
+    }
+
+    /// The live graph.
+    pub fn graph(&self) -> &DynamicGraph {
+        &self.graph
+    }
+
+    /// The live property store.
+    pub fn props(&self) -> &PropertyStore {
+        &self.props
+    }
+
+    /// Mutable property store access (used by write-back).
+    pub fn props_mut(&mut self) -> &mut PropertyStore {
+        &mut self.props
+    }
+
+    /// Accumulated events (drain with [`Self::take_events`]).
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Remove and return all accumulated events.
+    pub fn take_events(&mut self) -> Vec<Event> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// Instrumentation counters.
+    pub fn stats(&self) -> StreamStats {
+        self.stats
+    }
+
+    /// Apply one batch: every update is applied to the graph, then each
+    /// monitor observes it; monitors' batch hooks run at the end.
+    pub fn apply_batch(&mut self, batch: &UpdateBatch) {
+        for u in &batch.updates {
+            self.apply_one(u, batch.time);
+        }
+        let mut out = Vec::new();
+        for m in &mut self.monitors {
+            m.on_batch_end(&self.graph, batch.time, &mut out);
+        }
+        self.stats.events_emitted += out.len();
+        self.events.extend(out);
+        self.stats.batches += 1;
+    }
+
+    fn ensure_capacity(&mut self, v: VertexId) {
+        if (v as usize) >= self.graph.num_vertices() {
+            let need = v as usize + 1 - self.graph.num_vertices();
+            self.graph.add_vertices(need);
+            self.props.grow(v as usize + 1);
+        }
+    }
+
+    fn apply_one(&mut self, u: &Update, time: Timestamp) {
+        let result = match *u {
+            Update::EdgeInsert { src, dst, weight } => {
+                self.ensure_capacity(src.max(dst));
+                let r = self.graph.insert_edge(src, dst, weight, time);
+                if self.symmetrize {
+                    self.graph.insert_edge(dst, src, weight, time);
+                }
+                match r {
+                    ApplyResult::Inserted => self.stats.edges_inserted += 1,
+                    ApplyResult::Updated => self.stats.edges_updated += 1,
+                    _ => {}
+                }
+                r
+            }
+            Update::EdgeDelete { src, dst } => {
+                if (src as usize) >= self.graph.num_vertices()
+                    || (dst as usize) >= self.graph.num_vertices()
+                {
+                    self.stats.deletes_missed += 1;
+                    return;
+                }
+                let r = self.graph.delete_edge(src, dst, time);
+                if self.symmetrize {
+                    self.graph.delete_edge(dst, src, time);
+                }
+                match r {
+                    ApplyResult::Deleted => self.stats.edges_deleted += 1,
+                    ApplyResult::Missing => self.stats.deletes_missed += 1,
+                    _ => {}
+                }
+                r
+            }
+            Update::PropertySet {
+                vertex,
+                name,
+                value,
+            } => {
+                self.ensure_capacity(vertex);
+                self.props.set(name, vertex, value);
+                self.stats.props_set += 1;
+                ApplyResult::Updated
+            }
+        };
+        let mut out = Vec::new();
+        for m in &mut self.monitors {
+            m.on_update(&self.graph, u, result, time, &mut out);
+        }
+        self.stats.events_emitted += out.len();
+        self.events.extend(out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::EventKind;
+    use crate::update::into_batches;
+
+    /// Counts edge events — a trivial monitor for engine plumbing tests.
+    struct CountingMonitor {
+        seen: usize,
+    }
+
+    impl Monitor for CountingMonitor {
+        fn name(&self) -> &'static str {
+            "counting"
+        }
+        fn on_update(
+            &mut self,
+            g: &DynamicGraph,
+            _u: &Update,
+            _r: ApplyResult,
+            time: Timestamp,
+            out: &mut Vec<Event>,
+        ) {
+            self.seen += 1;
+            out.push(Event {
+                time,
+                source: "counting",
+                kind: EventKind::GlobalValue {
+                    metric: "live_edges",
+                    value: g.num_live_edges() as f64,
+                },
+            });
+        }
+    }
+
+    #[test]
+    fn applies_and_notifies() {
+        let mut e = StreamEngine::new(4);
+        e.register(Box::new(CountingMonitor { seen: 0 }));
+        let ups = vec![
+            Update::EdgeInsert {
+                src: 0,
+                dst: 1,
+                weight: 1.0,
+            },
+            Update::EdgeInsert {
+                src: 1,
+                dst: 2,
+                weight: 1.0,
+            },
+            Update::EdgeDelete { src: 0, dst: 1 },
+        ];
+        for b in into_batches(ups, 2, 0) {
+            e.apply_batch(&b);
+        }
+        assert_eq!(e.stats().edges_inserted, 2);
+        assert_eq!(e.stats().edges_deleted, 1);
+        assert_eq!(e.stats().batches, 2);
+        assert_eq!(e.events().len(), 3);
+        // Symmetrized: live edges after = 1 logical edge * 2 directions.
+        assert_eq!(e.graph().num_live_edges(), 2);
+        assert!(e.graph().has_edge(2, 1));
+    }
+
+    #[test]
+    fn grows_vertex_space_on_demand() {
+        let mut e = StreamEngine::new(2);
+        e.apply_batch(&UpdateBatch {
+            time: 5,
+            updates: vec![Update::EdgeInsert {
+                src: 0,
+                dst: 9,
+                weight: 1.0,
+            }],
+        });
+        assert_eq!(e.graph().num_vertices(), 10);
+        assert!(e.graph().has_edge(0, 9));
+        assert_eq!(e.props().num_vertices(), 10);
+    }
+
+    #[test]
+    fn property_updates_land() {
+        let mut e = StreamEngine::new(3);
+        e.apply_batch(&UpdateBatch {
+            time: 1,
+            updates: vec![Update::PropertySet {
+                vertex: 2,
+                name: "score",
+                value: 7.5,
+            }],
+        });
+        assert_eq!(e.props().get_f64("score", 2), Some(7.5));
+        assert_eq!(e.stats().props_set, 1);
+    }
+
+    #[test]
+    fn missing_delete_counted() {
+        let mut e = StreamEngine::new(3);
+        e.apply_batch(&UpdateBatch {
+            time: 1,
+            updates: vec![Update::EdgeDelete { src: 0, dst: 1 }],
+        });
+        assert_eq!(e.stats().deletes_missed, 1);
+        assert_eq!(e.stats().edges_deleted, 0);
+    }
+
+    #[test]
+    fn directed_mode() {
+        let mut e = StreamEngine::new(3);
+        e.symmetrize = false;
+        e.apply_batch(&UpdateBatch {
+            time: 1,
+            updates: vec![Update::EdgeInsert {
+                src: 0,
+                dst: 1,
+                weight: 1.0,
+            }],
+        });
+        assert!(e.graph().has_edge(0, 1));
+        assert!(!e.graph().has_edge(1, 0));
+    }
+
+    #[test]
+    fn take_events_drains() {
+        let mut e = StreamEngine::new(2);
+        e.register(Box::new(CountingMonitor { seen: 0 }));
+        e.apply_batch(&UpdateBatch {
+            time: 0,
+            updates: vec![Update::EdgeInsert {
+                src: 0,
+                dst: 1,
+                weight: 1.0,
+            }],
+        });
+        assert_eq!(e.take_events().len(), 1);
+        assert!(e.events().is_empty());
+        assert_eq!(e.stats().events_emitted, 1);
+    }
+}

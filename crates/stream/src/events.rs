@@ -1,0 +1,129 @@
+//! Typed event outputs.
+//!
+//! Fig. 1's last column group classifies kernel outputs: graph
+//! modification, per-vertex property, global value, **O(1) events**,
+//! **O(|V|) lists**, and **O(|V|^k) lists**. [`Event`] carries that
+//! classification so the flow engine (and tests) can check that a
+//! monitor's output volume matches its declared class.
+
+use ga_graph::{Timestamp, VertexId};
+
+/// What a streaming monitor observed.
+#[derive(Clone, Debug, PartialEq)]
+pub enum EventKind {
+    /// A metric crossed a threshold at a vertex (O(1) payload).
+    Threshold {
+        /// Metric name.
+        metric: &'static str,
+        /// Vertex where the crossing happened.
+        vertex: VertexId,
+        /// The observed value.
+        value: f64,
+    },
+    /// A pair metric crossed a threshold (O(1) payload).
+    PairThreshold {
+        /// Metric name.
+        metric: &'static str,
+        /// First vertex.
+        a: VertexId,
+        /// Second vertex.
+        b: VertexId,
+        /// The observed value.
+        value: f64,
+    },
+    /// Two components merged (O(1) payload).
+    ComponentMerge {
+        /// Surviving component label.
+        kept: VertexId,
+        /// Absorbed component label.
+        absorbed: VertexId,
+    },
+    /// A deletion split state is unknown; a recompute was triggered.
+    RecomputeTriggered {
+        /// What was recomputed.
+        what: &'static str,
+    },
+    /// The top-k membership of a metric changed (top-k list payload).
+    TopKChange {
+        /// Metric name.
+        metric: &'static str,
+        /// Vertices that entered the top-k.
+        entered: Vec<VertexId>,
+        /// Vertices that left the top-k.
+        left: Vec<VertexId>,
+    },
+    /// An anomalous key was detected (O(1) payload).
+    Anomaly {
+        /// Detector name.
+        detector: &'static str,
+        /// The offending key.
+        key: u64,
+        /// Detection score (lower = more anomalous for Firehose).
+        score: f64,
+    },
+    /// A global scalar was (re)computed (global-value payload).
+    GlobalValue {
+        /// Metric name.
+        metric: &'static str,
+        /// Current value.
+        value: f64,
+    },
+}
+
+/// A timestamped event emitted by a monitor.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Event {
+    /// Stream time at emission.
+    pub time: Timestamp,
+    /// Emitting monitor's name.
+    pub source: &'static str,
+    /// Payload.
+    pub kind: EventKind,
+}
+
+/// Output-size class from Fig. 1's output columns.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OutputClass {
+    /// Fixed-size payload per event.
+    O1,
+    /// Payload may grow with |V| (top-k lists etc.).
+    OV,
+    /// Payload may grow superlinearly (pair/triple lists).
+    OVk,
+}
+
+impl EventKind {
+    /// The output-size class of this event kind.
+    pub fn output_class(&self) -> OutputClass {
+        match self {
+            EventKind::Threshold { .. }
+            | EventKind::PairThreshold { .. }
+            | EventKind::ComponentMerge { .. }
+            | EventKind::RecomputeTriggered { .. }
+            | EventKind::Anomaly { .. }
+            | EventKind::GlobalValue { .. } => OutputClass::O1,
+            EventKind::TopKChange { .. } => OutputClass::OV,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn output_classes() {
+        let e = EventKind::Threshold {
+            metric: "jaccard",
+            vertex: 3,
+            value: 0.5,
+        };
+        assert_eq!(e.output_class(), OutputClass::O1);
+        let t = EventKind::TopKChange {
+            metric: "bc",
+            entered: vec![1],
+            left: vec![2],
+        };
+        assert_eq!(t.output_class(), OutputClass::OV);
+    }
+}

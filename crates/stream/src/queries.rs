@@ -1,0 +1,294 @@
+//! The second streaming form of §II, in full generality: "many
+//! streaming applications have for each stream input a specification of
+//! some vertex to search for, and an operation to perform to some
+//! property(ies) of that vertex, once found."
+//!
+//! [`QueryServer`] answers a stream of independent [`VertexQuery`]s
+//! against the live graph + property store; each query may carry a
+//! *test* whose passing produces an [`crate::events::Event`] — the
+//! staged "basic operation, then a test that may trigger larger
+//! computations" structure.
+
+use crate::events::{Event, EventKind};
+use crate::jaccard_stream::for_vertex_dynamic;
+use ga_graph::{DynamicGraph, PropertyStore, Timestamp, VertexId};
+
+/// One query against the live graph.
+#[derive(Clone, Debug, PartialEq)]
+pub enum VertexQuery {
+    /// Read a named numeric property of a vertex.
+    GetProperty {
+        /// Target vertex.
+        vertex: VertexId,
+        /// Property column.
+        name: &'static str,
+    },
+    /// Out-degree of a vertex.
+    Degree {
+        /// Target vertex.
+        vertex: VertexId,
+    },
+    /// Live neighbor ids of a vertex (bounded).
+    Neighbors {
+        /// Target vertex.
+        vertex: VertexId,
+        /// Maximum neighbors to return.
+        limit: usize,
+    },
+    /// All vertices with Jaccard >= tau against the target (the NORA
+    /// quote-style query).
+    SimilarVertices {
+        /// Target vertex.
+        vertex: VertexId,
+        /// Similarity threshold.
+        tau: f64,
+    },
+}
+
+/// The answer to one query.
+#[derive(Clone, Debug, PartialEq)]
+pub enum QueryAnswer {
+    /// A scalar (property value or degree).
+    Scalar(f64),
+    /// The property was absent.
+    Missing,
+    /// A vertex list.
+    Vertices(Vec<VertexId>),
+    /// Scored vertices (similarity results).
+    Scored(Vec<(VertexId, f64)>),
+}
+
+/// Per-server counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct QueryStats {
+    /// Queries answered.
+    pub answered: usize,
+    /// Queries whose attached test fired an event.
+    pub tests_passed: usize,
+}
+
+/// Serves independent local queries against live state.
+pub struct QueryServer {
+    /// Optional threshold: `Scalar` answers above it emit a
+    /// [`EventKind::Threshold`] event ("a test of some sort that, if
+    /// passed, may trigger larger computations").
+    pub scalar_alert: Option<(&'static str, f64)>,
+    /// Counters.
+    pub stats: QueryStats,
+}
+
+impl QueryServer {
+    /// A server with no alerting configured.
+    pub fn new() -> Self {
+        QueryServer {
+            scalar_alert: None,
+            stats: QueryStats::default(),
+        }
+    }
+
+    /// Answer one query; any test event is appended to `out`.
+    pub fn answer(
+        &mut self,
+        g: &DynamicGraph,
+        props: &PropertyStore,
+        q: &VertexQuery,
+        time: Timestamp,
+        out: &mut Vec<Event>,
+    ) -> QueryAnswer {
+        self.stats.answered += 1;
+        let answer = match *q {
+            VertexQuery::GetProperty { vertex, name } => match props.get_f64(name, vertex) {
+                Some(x) => QueryAnswer::Scalar(x),
+                None => QueryAnswer::Missing,
+            },
+            VertexQuery::Degree { vertex } => QueryAnswer::Scalar(g.degree(vertex) as f64),
+            VertexQuery::Neighbors { vertex, limit } => {
+                QueryAnswer::Vertices(g.neighbor_ids(vertex).take(limit).collect())
+            }
+            VertexQuery::SimilarVertices { vertex, tau } => {
+                QueryAnswer::Scored(for_vertex_dynamic(g, vertex, tau))
+            }
+        };
+        if let (QueryAnswer::Scalar(x), Some((metric, tau))) = (&answer, self.scalar_alert) {
+            if *x >= tau {
+                self.stats.tests_passed += 1;
+                let vertex = match *q {
+                    VertexQuery::GetProperty { vertex, .. }
+                    | VertexQuery::Degree { vertex }
+                    | VertexQuery::Neighbors { vertex, .. }
+                    | VertexQuery::SimilarVertices { vertex, .. } => vertex,
+                };
+                out.push(Event {
+                    time,
+                    source: "query_server",
+                    kind: EventKind::Threshold {
+                        metric,
+                        vertex,
+                        value: *x,
+                    },
+                });
+            }
+        }
+        answer
+    }
+
+    /// Answer a whole query stream, collecting answers and events.
+    pub fn serve(
+        &mut self,
+        g: &DynamicGraph,
+        props: &PropertyStore,
+        queries: &[VertexQuery],
+        t0: Timestamp,
+    ) -> (Vec<QueryAnswer>, Vec<Event>) {
+        let mut events = Vec::new();
+        let answers = queries
+            .iter()
+            .enumerate()
+            .map(|(i, q)| self.answer(g, props, q, t0 + i as Timestamp, &mut events))
+            .collect();
+        (answers, events)
+    }
+}
+
+impl Default for QueryServer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fixture() -> (DynamicGraph, PropertyStore) {
+        let mut g = DynamicGraph::new(6);
+        // 0-1, 0-2, 3 shares both with 0.
+        for (u, v) in [(0, 1), (0, 2), (3, 1), (3, 2)] {
+            g.insert_edge(u, v, 1.0, 1);
+            g.insert_edge(v, u, 1.0, 1);
+        }
+        let mut p = PropertyStore::new(6);
+        p.set_column_f64("risk", &[0.1, 0.2, 0.3, 0.95, 0.0, 0.0]);
+        (g, p)
+    }
+
+    #[test]
+    fn scalar_queries() {
+        let (g, p) = fixture();
+        let mut s = QueryServer::new();
+        let mut out = Vec::new();
+        assert_eq!(
+            s.answer(&g, &p, &VertexQuery::Degree { vertex: 0 }, 0, &mut out),
+            QueryAnswer::Scalar(2.0)
+        );
+        assert_eq!(
+            s.answer(
+                &g,
+                &p,
+                &VertexQuery::GetProperty {
+                    vertex: 3,
+                    name: "risk"
+                },
+                0,
+                &mut out
+            ),
+            QueryAnswer::Scalar(0.95)
+        );
+        assert_eq!(
+            s.answer(
+                &g,
+                &p,
+                &VertexQuery::GetProperty {
+                    vertex: 5,
+                    name: "absent"
+                },
+                0,
+                &mut out
+            ),
+            QueryAnswer::Missing
+        );
+        assert_eq!(s.stats.answered, 3);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn neighbor_and_similarity_queries() {
+        let (g, p) = fixture();
+        let mut s = QueryServer::new();
+        let mut out = Vec::new();
+        let nbrs = s.answer(
+            &g,
+            &p,
+            &VertexQuery::Neighbors {
+                vertex: 0,
+                limit: 10,
+            },
+            0,
+            &mut out,
+        );
+        assert_eq!(nbrs, QueryAnswer::Vertices(vec![1, 2]));
+        let sim = s.answer(
+            &g,
+            &p,
+            &VertexQuery::SimilarVertices {
+                vertex: 0,
+                tau: 0.9,
+            },
+            0,
+            &mut out,
+        );
+        // Vertex 3 has identical neighborhood {1,2}: J = 1.0.
+        assert_eq!(sim, QueryAnswer::Scored(vec![(3, 1.0)]));
+    }
+
+    #[test]
+    fn threshold_test_fires_events() {
+        let (g, p) = fixture();
+        let mut s = QueryServer::new();
+        s.scalar_alert = Some(("risk", 0.9));
+        let queries = vec![
+            VertexQuery::GetProperty {
+                vertex: 0,
+                name: "risk",
+            },
+            VertexQuery::GetProperty {
+                vertex: 3,
+                name: "risk",
+            },
+        ];
+        let (answers, events) = s.serve(&g, &p, &queries, 100);
+        assert_eq!(answers.len(), 2);
+        assert_eq!(events.len(), 1);
+        assert!(matches!(
+            events[0].kind,
+            EventKind::Threshold {
+                vertex: 3,
+                metric: "risk",
+                ..
+            }
+        ));
+        assert_eq!(s.stats.tests_passed, 1);
+        assert_eq!(events[0].time, 101);
+    }
+
+    #[test]
+    fn neighbor_limit_respected() {
+        let (g, p) = fixture();
+        let mut s = QueryServer::new();
+        let mut out = Vec::new();
+        let a = s.answer(
+            &g,
+            &p,
+            &VertexQuery::Neighbors {
+                vertex: 0,
+                limit: 1,
+            },
+            0,
+            &mut out,
+        );
+        match a {
+            QueryAnswer::Vertices(v) => assert_eq!(v.len(), 1),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

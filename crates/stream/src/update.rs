@@ -1,0 +1,287 @@
+//! Update streams and their generators.
+
+use ga_graph::{gen::RmatParams, Timestamp, VertexId, Weight};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// One streamed graph modification (the paper's "individually
+/// small-scale updates").
+#[derive(Clone, Debug, PartialEq)]
+pub enum Update {
+    /// Insert (or refresh) a directed edge.
+    EdgeInsert {
+        /// Source vertex.
+        src: VertexId,
+        /// Destination vertex.
+        dst: VertexId,
+        /// Edge weight.
+        weight: Weight,
+    },
+    /// Delete a directed edge.
+    EdgeDelete {
+        /// Source vertex.
+        src: VertexId,
+        /// Destination vertex.
+        dst: VertexId,
+    },
+    /// Set a named numeric property of a vertex (the Firehose-style
+    /// "inputs may specify specific vertices and some update to one or
+    /// more of the vertex's properties").
+    PropertySet {
+        /// Target vertex.
+        vertex: VertexId,
+        /// Property column name.
+        name: &'static str,
+        /// New value.
+        value: f64,
+    },
+}
+
+/// A timestamped batch of updates.
+#[derive(Clone, Debug, Default)]
+pub struct UpdateBatch {
+    /// Timestamp applied to every update in the batch.
+    pub time: Timestamp,
+    /// The updates, in arrival order.
+    pub updates: Vec<Update>,
+}
+
+/// Deterministic R-MAT edge-update stream: `total` updates over `2^scale`
+/// vertices, of which a `delete_fraction` delete a previously inserted
+/// edge (Graph500-style insert-heavy streams use 0.0–0.1).
+pub fn rmat_edge_stream(
+    scale: u32,
+    total: usize,
+    delete_fraction: f64,
+    seed: u64,
+) -> Vec<Update> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let p = RmatParams::GRAPH500;
+    // `inserted` tracks currently-live edges (no duplicates) so every
+    // emitted delete targets a live edge; R-MAT naturally re-draws
+    // popular edges, which become weight-refreshing re-inserts.
+    let mut inserted: Vec<(VertexId, VertexId)> = Vec::new();
+    let mut live: std::collections::HashSet<(VertexId, VertexId)> = Default::default();
+    let mut out = Vec::with_capacity(total);
+    for _ in 0..total {
+        let do_delete = !inserted.is_empty() && rng.gen::<f64>() < delete_fraction;
+        if do_delete {
+            let i = rng.gen_range(0..inserted.len());
+            let (src, dst) = inserted.swap_remove(i);
+            live.remove(&(src, dst));
+            out.push(Update::EdgeDelete { src, dst });
+        } else {
+            // Draw one R-MAT edge (rejecting self-loops).
+            let (src, dst) = loop {
+                let e = rmat_one(scale, p, &mut rng);
+                if e.0 != e.1 {
+                    break e;
+                }
+            };
+            if live.insert((src, dst)) {
+                inserted.push((src, dst));
+            }
+            out.push(Update::EdgeInsert {
+                src,
+                dst,
+                weight: 1.0,
+            });
+        }
+    }
+    out
+}
+
+fn rmat_one(scale: u32, p: RmatParams, rng: &mut impl Rng) -> (VertexId, VertexId) {
+    let (mut u, mut v) = (0u64, 0u64);
+    for _ in 0..scale {
+        u <<= 1;
+        v <<= 1;
+        let r: f64 = rng.gen();
+        if r < p.a {
+        } else if r < p.a + p.b {
+            v |= 1;
+        } else if r < p.a + p.b + p.c {
+            u |= 1;
+        } else {
+            u |= 1;
+            v |= 1;
+        }
+    }
+    (u as VertexId, v as VertexId)
+}
+
+/// Group a flat update stream into fixed-size timestamped batches.
+pub fn into_batches(updates: Vec<Update>, batch_size: usize, t0: Timestamp) -> Vec<UpdateBatch> {
+    assert!(batch_size > 0);
+    updates
+        .chunks(batch_size)
+        .enumerate()
+        .map(|(i, chunk)| UpdateBatch {
+            time: t0 + i as Timestamp,
+            updates: chunk.to_vec(),
+        })
+        .collect()
+}
+
+/// A Firehose-style packet: a key and a one-bit value, plus ground truth
+/// for evaluating detectors.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Packet {
+    /// Stream key (vertex id / session id / ...).
+    pub key: u64,
+    /// The observed value bit.
+    pub bit: bool,
+    /// Ground truth: was this key planted as anomalous? (Not visible to
+    /// detectors; used only for scoring.)
+    pub truth_anomalous: bool,
+}
+
+/// Generate a Firehose-like biased-key packet stream.
+///
+/// `num_keys` keys; a fraction `anomaly_fraction` are planted anomalous.
+/// Normal keys emit bit=1 with probability `p_normal` (high); anomalous
+/// keys with `p_anomalous` (low). Keys are drawn with a skewed
+/// (power-ish) distribution so some keys reach the observation threshold
+/// quickly, like the real generator.
+pub fn firehose_stream(
+    num_keys: u64,
+    packets: usize,
+    anomaly_fraction: f64,
+    p_normal: f64,
+    p_anomalous: f64,
+    seed: u64,
+) -> Vec<Packet> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let anomalous_cutoff = (num_keys as f64 * anomaly_fraction) as u64;
+    let mut out = Vec::with_capacity(packets);
+    for _ in 0..packets {
+        // Skew: square a uniform draw to bias toward low key ids.
+        let r: f64 = rng.gen();
+        let key = ((r * r) * num_keys as f64) as u64;
+        let key = key.min(num_keys - 1);
+        // Scatter anomalous keys across the id space deterministically.
+        let truth_anomalous = key % 37 < anomalous_cutoff * 37 / num_keys.max(1);
+        let p = if truth_anomalous { p_anomalous } else { p_normal };
+        out.push(Packet {
+            key,
+            bit: rng.gen::<f64>() < p,
+            truth_anomalous,
+        });
+    }
+    out
+}
+
+/// Two-level packet for the third Firehose analytic: an outer key (e.g.
+/// destination) and an inner key (e.g. source).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TwoLevelPacket {
+    /// Outer aggregation key.
+    pub outer: u64,
+    /// Inner key whose distinct count is the metric.
+    pub inner: u64,
+}
+
+/// Generate a two-level stream where `hot_outers` outer keys receive
+/// packets from many distinct inners (the planted anomaly) and the rest
+/// see repeated traffic from few inners.
+pub fn two_level_stream(
+    num_outer: u64,
+    hot_outers: u64,
+    packets: usize,
+    seed: u64,
+) -> Vec<TwoLevelPacket> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(packets);
+    for i in 0..packets {
+        let outer = rng.gen_range(0..num_outer);
+        let inner = if outer < hot_outers {
+            // Hot outers: fresh inner almost every packet.
+            i as u64 * num_outer + outer
+        } else {
+            // Cold outers: one of 3 repeating inners.
+            rng.gen_range(0..3)
+        };
+        out.push(TwoLevelPacket { outer, inner });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rmat_stream_deterministic_and_balanced() {
+        let a = rmat_edge_stream(8, 1000, 0.2, 1);
+        let b = rmat_edge_stream(8, 1000, 0.2, 1);
+        assert_eq!(a, b);
+        let deletes = a
+            .iter()
+            .filter(|u| matches!(u, Update::EdgeDelete { .. }))
+            .count();
+        assert!(deletes > 100 && deletes < 320, "deletes {deletes}");
+    }
+
+    #[test]
+    fn deletes_only_touch_inserted_edges() {
+        let stream = rmat_edge_stream(6, 500, 0.3, 7);
+        let mut live: std::collections::HashSet<(u32, u32)> = Default::default();
+        for u in &stream {
+            match *u {
+                Update::EdgeInsert { src, dst, .. } => {
+                    live.insert((src, dst));
+                }
+                Update::EdgeDelete { src, dst } => {
+                    assert!(live.remove(&(src, dst)), "delete of non-live edge");
+                }
+                Update::PropertySet { .. } => {}
+            }
+        }
+    }
+
+    #[test]
+    fn batching_shapes() {
+        let stream = rmat_edge_stream(5, 10, 0.0, 2);
+        let batches = into_batches(stream, 4, 100);
+        assert_eq!(batches.len(), 3);
+        assert_eq!(batches[0].updates.len(), 4);
+        assert_eq!(batches[2].updates.len(), 2);
+        assert_eq!(batches[1].time, 101);
+    }
+
+    #[test]
+    fn firehose_truth_separates_bit_rates() {
+        let pkts = firehose_stream(1000, 50_000, 0.1, 0.9, 0.1, 3);
+        let (mut a_ones, mut a_tot, mut n_ones, mut n_tot) = (0, 0, 0, 0);
+        for p in &pkts {
+            if p.truth_anomalous {
+                a_tot += 1;
+                a_ones += p.bit as usize;
+            } else {
+                n_tot += 1;
+                n_ones += p.bit as usize;
+            }
+        }
+        assert!(a_tot > 0 && n_tot > 0);
+        let (ra, rn) = (a_ones as f64 / a_tot as f64, n_ones as f64 / n_tot as f64);
+        assert!(ra < 0.2 && rn > 0.8, "rates {ra} vs {rn}");
+    }
+
+    #[test]
+    fn two_level_hot_outers_have_many_inners() {
+        let pkts = two_level_stream(100, 3, 20_000, 5);
+        use std::collections::{HashMap, HashSet};
+        let mut inners: HashMap<u64, HashSet<u64>> = HashMap::new();
+        for p in &pkts {
+            inners.entry(p.outer).or_default().insert(p.inner);
+        }
+        for hot in 0..3u64 {
+            assert!(inners[&hot].len() > 50, "hot outer {hot}");
+        }
+        for cold in 10..20u64 {
+            if let Some(s) = inners.get(&cold) {
+                assert!(s.len() <= 3, "cold outer {cold} has {}", s.len());
+            }
+        }
+    }
+}

@@ -1,0 +1,345 @@
+//! Temporal sliding-window analytics.
+//!
+//! The paper (§II) notes real edges "may have time-stamps in addition
+//! to properties"; STINGER-class systems expose *windowed* views —
+//! "the graph as of the last W time units". [`SlidingWindow`] maintains
+//! exactly that over the update stream: edges older than `window`
+//! expire at batch boundaries, and window-level statistics (edge count,
+//! degree of watched vertices) emit [`EventKind::GlobalValue`] /
+//! [`EventKind::Threshold`] events.
+
+use crate::engine::Monitor;
+use crate::events::{Event, EventKind};
+use crate::update::Update;
+use ga_graph::dynamic::ApplyResult;
+use ga_graph::{DynamicGraph, Timestamp, VertexId};
+use std::collections::VecDeque;
+
+/// A sliding-window view maintained alongside the persistent graph.
+///
+/// The monitor tracks its own window membership (it cannot delete from
+/// the persistent graph — the window is a *view*); query methods report
+/// on the current window.
+pub struct SlidingWindow {
+    /// Window width in stream time units.
+    pub window: Timestamp,
+    /// Recent insertions: (time, src, dst), oldest first.
+    live: VecDeque<(Timestamp, VertexId, VertexId)>,
+    /// Per-vertex degree within the window.
+    degree: Vec<u32>,
+    /// Vertices whose windowed degree should raise an event when it
+    /// crosses this threshold (0 = disabled).
+    pub degree_alert: u32,
+    alerted: Vec<bool>,
+}
+
+impl SlidingWindow {
+    /// Window of width `window` over a graph of `n` vertices.
+    pub fn new(n: usize, window: Timestamp) -> Self {
+        SlidingWindow {
+            window,
+            live: VecDeque::new(),
+            degree: vec![0; n],
+            degree_alert: 0,
+            alerted: vec![false; n],
+        }
+    }
+
+    /// Directed edges currently inside the window.
+    pub fn edges_in_window(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Windowed out-degree of `v`.
+    pub fn degree(&self, v: VertexId) -> u32 {
+        self.degree.get(v as usize).copied().unwrap_or(0)
+    }
+
+    fn grow_to(&mut self, n: usize) {
+        if self.degree.len() < n {
+            self.degree.resize(n, 0);
+            self.alerted.resize(n, false);
+        }
+    }
+
+    fn expire(&mut self, now: Timestamp, out: &mut Vec<Event>) {
+        let cutoff = now.saturating_sub(self.window);
+        let mut expired = 0;
+        while let Some(&(t, src, _)) = self.live.front() {
+            if t >= cutoff {
+                break;
+            }
+            self.live.pop_front();
+            self.degree[src as usize] -= 1;
+            if self.degree[src as usize] < self.degree_alert {
+                self.alerted[src as usize] = false;
+            }
+            expired += 1;
+        }
+        if expired > 0 {
+            out.push(Event {
+                time: now,
+                source: "window",
+                kind: EventKind::GlobalValue {
+                    metric: "window_edges",
+                    value: self.live.len() as f64,
+                },
+            });
+        }
+    }
+}
+
+impl Monitor for SlidingWindow {
+    fn name(&self) -> &'static str {
+        "window"
+    }
+
+    fn on_update(
+        &mut self,
+        g: &DynamicGraph,
+        update: &Update,
+        result: ApplyResult,
+        time: Timestamp,
+        out: &mut Vec<Event>,
+    ) {
+        self.grow_to(g.num_vertices());
+        if let Update::EdgeInsert { src, dst, .. } = *update {
+            if matches!(result, ApplyResult::Inserted | ApplyResult::Updated) {
+                self.live.push_back((time, src, dst));
+                self.degree[src as usize] += 1;
+                if self.degree_alert > 0
+                    && self.degree[src as usize] >= self.degree_alert
+                    && !self.alerted[src as usize]
+                {
+                    self.alerted[src as usize] = true;
+                    out.push(Event {
+                        time,
+                        source: "window",
+                        kind: EventKind::Threshold {
+                            metric: "window_degree",
+                            vertex: src,
+                            value: self.degree[src as usize] as f64,
+                        },
+                    });
+                }
+            }
+        }
+    }
+
+    fn on_batch_end(&mut self, _g: &DynamicGraph, time: Timestamp, out: &mut Vec<Event>) {
+        self.expire(time, out);
+    }
+}
+
+/// Streaming "Search for Largest": maintain the top-k out-degree
+/// vertices of the *persistent* graph, emitting a
+/// [`EventKind::TopKChange`] at batch boundaries when membership moves.
+pub struct DegreeTopK {
+    /// Watched set size.
+    pub k: usize,
+    current: Vec<VertexId>,
+    dirty: bool,
+}
+
+impl DegreeTopK {
+    /// Track the `k` highest-degree vertices.
+    pub fn new(k: usize) -> Self {
+        DegreeTopK {
+            k,
+            current: Vec::new(),
+            dirty: false,
+        }
+    }
+
+    /// Current membership (sorted by id).
+    pub fn current(&self) -> &[VertexId] {
+        &self.current
+    }
+}
+
+impl Monitor for DegreeTopK {
+    fn name(&self) -> &'static str {
+        "degree_topk"
+    }
+
+    fn on_update(
+        &mut self,
+        _g: &DynamicGraph,
+        update: &Update,
+        result: ApplyResult,
+        _time: Timestamp,
+        _out: &mut Vec<Event>,
+    ) {
+        if matches!(update, Update::EdgeInsert { .. } | Update::EdgeDelete { .. })
+            && matches!(result, ApplyResult::Inserted | ApplyResult::Deleted)
+        {
+            self.dirty = true;
+        }
+    }
+
+    fn on_batch_end(&mut self, g: &DynamicGraph, time: Timestamp, out: &mut Vec<Event>) {
+        if !self.dirty {
+            return;
+        }
+        self.dirty = false;
+        let mut all: Vec<(usize, VertexId)> = (0..g.num_vertices() as VertexId)
+            .map(|v| (g.degree(v), v))
+            .collect();
+        all.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+        let mut top: Vec<VertexId> = all.into_iter().take(self.k).map(|(_, v)| v).collect();
+        top.sort_unstable();
+        if top != self.current {
+            let entered = top
+                .iter()
+                .copied()
+                .filter(|v| !self.current.contains(v))
+                .collect();
+            let left = self
+                .current
+                .iter()
+                .copied()
+                .filter(|v| !top.contains(v))
+                .collect();
+            out.push(Event {
+                time,
+                source: self.name(),
+                kind: EventKind::TopKChange {
+                    metric: "degree",
+                    entered,
+                    left,
+                },
+            });
+            self.current = top;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::StreamEngine;
+    use crate::update::UpdateBatch;
+
+    fn insert(src: VertexId, dst: VertexId) -> Update {
+        Update::EdgeInsert {
+            src,
+            dst,
+            weight: 1.0,
+        }
+    }
+
+    #[test]
+    fn window_expires_old_edges() {
+        let mut e = StreamEngine::new(8);
+        e.symmetrize = false;
+        let mut w = SlidingWindow::new(8, 5);
+        // Drive the monitor manually across timestamps.
+        let mut out = Vec::new();
+        let g = e.graph().clone();
+        for t in 0..10u64 {
+            w.on_update(
+                &g,
+                &insert(0, (t % 7 + 1) as u32),
+                ApplyResult::Inserted,
+                t,
+                &mut out,
+            );
+            w.on_batch_end(&g, t, &mut out);
+        }
+        // At t=9 the cutoff is 4: edges from t in 4..=9 remain = 6.
+        assert_eq!(w.edges_in_window(), 6);
+        assert_eq!(w.degree(0), 6);
+        assert!(out
+            .iter()
+            .any(|ev| matches!(ev.kind, EventKind::GlobalValue { metric: "window_edges", .. })));
+    }
+
+    #[test]
+    fn window_degree_alert_fires_once_per_burst() {
+        let mut w = SlidingWindow::new(4, 100);
+        w.degree_alert = 3;
+        let g = DynamicGraph::new(4);
+        let mut out = Vec::new();
+        for t in 0..5u64 {
+            w.on_update(&g, &insert(1, 2), ApplyResult::Updated, t, &mut out);
+        }
+        let alerts = out
+            .iter()
+            .filter(|ev| matches!(ev.kind, EventKind::Threshold { vertex: 1, .. }))
+            .count();
+        assert_eq!(alerts, 1);
+        assert_eq!(w.degree(1), 5);
+    }
+
+    #[test]
+    fn window_through_engine() {
+        let mut e = StreamEngine::new(16);
+        let mut w = SlidingWindow::new(16, 2);
+        w.degree_alert = 0;
+        e.register(Box::new(w));
+        for t in 0..6u64 {
+            e.apply_batch(&UpdateBatch {
+                time: t,
+                updates: vec![insert(0, (t + 1) as u32)],
+            });
+        }
+        // Expiry events appeared once the window slid.
+        assert!(e
+            .events()
+            .iter()
+            .any(|ev| ev.source == "window"));
+    }
+
+    #[test]
+    fn degree_topk_tracks_new_hub() {
+        let mut e = StreamEngine::new(10);
+        e.register(Box::new(DegreeTopK::new(1)));
+        e.apply_batch(&UpdateBatch {
+            time: 0,
+            updates: vec![insert(0, 1), insert(0, 2), insert(0, 3)],
+        });
+        // Vertex 5 overtakes vertex 0.
+        e.apply_batch(&UpdateBatch {
+            time: 1,
+            updates: vec![
+                insert(5, 1),
+                insert(5, 2),
+                insert(5, 3),
+                insert(5, 4),
+                insert(5, 6),
+            ],
+        });
+        let changes: Vec<_> = e
+            .events()
+            .iter()
+            .filter_map(|ev| match &ev.kind {
+                EventKind::TopKChange { entered, left, .. } => Some((entered.clone(), left.clone())),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(changes.len(), 2);
+        assert_eq!(changes[0].0, vec![0]);
+        assert_eq!(changes[1], (vec![5], vec![0]));
+    }
+
+    #[test]
+    fn degree_topk_quiet_when_stable() {
+        let mut e = StreamEngine::new(6);
+        e.register(Box::new(DegreeTopK::new(2)));
+        e.apply_batch(&UpdateBatch {
+            time: 0,
+            updates: vec![insert(0, 1), insert(0, 2), insert(1, 2)],
+        });
+        let n1 = e.events().len();
+        // Property updates don't dirty the tracker.
+        e.apply_batch(&UpdateBatch {
+            time: 1,
+            updates: vec![Update::PropertySet {
+                vertex: 3,
+                name: "x",
+                value: 1.0,
+            }],
+        });
+        assert_eq!(e.events().len(), n1);
+    }
+}

@@ -1,0 +1,31 @@
+//! # graph-analytics — facade crate
+//!
+//! A from-scratch Rust reproduction of Peter M. Kogge's *"Graph
+//! Analytics: Complexity, Scalability, and Architectures"* (IPDPS
+//! Workshops, 2017). This crate re-exports the whole workspace:
+//!
+//! * [`graph`] — CSR + dynamic property-graph substrate, generators, I/O.
+//! * [`kernels`] — batch kernels for every row of the paper's Fig. 1.
+//! * [`stream`] — streaming engine, incremental kernels, Firehose-style
+//!   anomaly detectors, event sinks.
+//! * [`linalg`] — GraphBLAS-style sparse linear algebra and
+//!   matrix-language graph algorithms (Kepner–Gilbert).
+//! * [`archsim`] — behavioural simulators for the paper's two emerging
+//!   architectures: the sparse pipeline processor (Fig. 4) and the Emu
+//!   migrating-thread machine (Fig. 5).
+//! * [`core`] — the paper's contribution itself: the Fig. 1 taxonomy,
+//!   the Fig. 2 canonical batch+streaming processing flow with
+//!   instrumentation, the NORA application, and the four-resource
+//!   performance model behind Figs. 3 and 6.
+//!
+//! See `README.md` for a tour, `DESIGN.md` for the system inventory, and
+//! `EXPERIMENTS.md` for the paper-vs-measured record of every figure.
+
+#![warn(missing_docs)]
+
+pub use ga_archsim as archsim;
+pub use ga_core as core;
+pub use ga_graph as graph;
+pub use ga_kernels as kernels;
+pub use ga_linalg as linalg;
+pub use ga_stream as stream;

@@ -1,0 +1,143 @@
+//! Cross-crate agreement: the direct kernel implementations
+//! (`ga-kernels`), the linear-algebra formulations (`ga-linalg`), and
+//! the streaming incremental forms (`ga-stream`) must all tell the same
+//! story about the same graph.
+
+use graph_analytics::graph::{gen, CsrBuilder, CsrGraph};
+use graph_analytics::kernels::{bfs, cc, pagerank, sssp, triangles, UNREACHED};
+use graph_analytics::linalg::algos;
+use graph_analytics::stream::tri_inc::IncrementalTriangles;
+use graph_analytics::stream::update::{into_batches, rmat_edge_stream};
+use graph_analytics::stream::StreamEngine;
+
+fn rmat_undirected(scale: u32, seed: u64) -> CsrGraph {
+    let edges = gen::rmat(scale, 12 << scale, gen::RmatParams::GRAPH500, seed);
+    CsrBuilder::new(1 << scale)
+        .edges(edges.iter().copied())
+        .symmetrize(true)
+        .dedup(true)
+        .drop_self_loops(true)
+        .reverse(true)
+        .build()
+}
+
+#[test]
+fn bfs_direct_vs_matrix_language() {
+    for seed in [1, 2] {
+        let g = rmat_undirected(9, seed);
+        let direct = bfs::bfs(&g, 0);
+        let matrix = algos::bfs_levels(&g, 0);
+        for v in g.vertices() {
+            let (d, m) = (direct.depth[v as usize], matrix[v as usize]);
+            assert_eq!(
+                d == UNREACHED,
+                m == u32::MAX,
+                "reachability disagrees at {v}"
+            );
+            if d != UNREACHED {
+                assert_eq!(d, m, "depth disagrees at {v}");
+            }
+        }
+    }
+}
+
+#[test]
+fn triangles_direct_vs_matrix_vs_streaming() {
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    /// Forwarding monitor that leaves the counter readable by the test.
+    struct Shared(Rc<RefCell<IncrementalTriangles>>);
+    impl graph_analytics::stream::Monitor for Shared {
+        fn name(&self) -> &'static str {
+            "tri_probe"
+        }
+        fn on_update(
+            &mut self,
+            g: &graph_analytics::graph::DynamicGraph,
+            u: &graph_analytics::stream::Update,
+            r: graph_analytics::graph::dynamic::ApplyResult,
+            t: u64,
+            out: &mut Vec<graph_analytics::stream::Event>,
+        ) {
+            self.0.borrow_mut().on_update(g, u, r, t, out);
+        }
+    }
+
+    // One R-MAT update stream; three independent counters must agree.
+    let scale = 8u32;
+    let counter = Rc::new(RefCell::new(IncrementalTriangles::new()));
+    let mut engine = StreamEngine::new(1 << scale);
+    engine.register(Box::new(Shared(counter.clone())));
+    for batch in into_batches(rmat_edge_stream(scale, 4_000, 0.1, 5), 256, 0) {
+        engine.apply_batch(&batch);
+    }
+    let snapshot = engine.graph().snapshot();
+
+    let direct = triangles::count_global(&snapshot);
+    let matrix = algos::triangle_count(&snapshot);
+    let streaming = counter.borrow().global();
+    assert_eq!(direct, matrix, "direct vs matrix-language");
+    assert_eq!(direct, streaming, "direct vs incremental");
+    assert!(direct > 0, "want a non-trivial instance");
+}
+
+#[test]
+fn sssp_unit_weights_match_bfs() {
+    let g = rmat_undirected(9, 3);
+    let b = bfs::bfs(&g, 5);
+    let d = sssp::dijkstra(&g, 5);
+    for v in g.vertices() {
+        if b.depth[v as usize] == UNREACHED {
+            assert!(d.dist[v as usize].is_infinite());
+        } else {
+            assert_eq!(b.depth[v as usize] as f32, d.dist[v as usize]);
+        }
+    }
+}
+
+#[test]
+fn bellman_ford_matrix_language_matches_dijkstra() {
+    let edges = gen::with_random_weights(&gen::erdos_renyi(150, 800, 4), 0.1, 3.0, 5);
+    let g = CsrGraph::from_weighted_edges(150, &edges);
+    let dij = sssp::dijkstra(&g, 0);
+    let bf = algos::bellman_ford(&g, 0);
+    for v in g.vertices() {
+        let (a, b) = (dij.dist[v as usize] as f64, bf[v as usize]);
+        assert!(
+            (a - b).abs() < 1e-3 || (a.is_infinite() && b.is_infinite()),
+            "v={v}: {a} vs {b}"
+        );
+    }
+}
+
+#[test]
+fn pagerank_direct_vs_matrix_language() {
+    let g = rmat_undirected(8, 9);
+    let direct = pagerank::pagerank(&g, 0.85, 1e-12, 300);
+    let matrix = algos::pagerank(&g, 0.85, 1e-12, 300);
+    for v in g.vertices() {
+        assert!(
+            (direct.rank[v as usize] - matrix[v as usize]).abs() < 1e-8,
+            "v={v}"
+        );
+    }
+}
+
+#[test]
+fn components_match_reachability_closure() {
+    // On an undirected graph, u and v share a WCC iff v is reachable
+    // from u in the boolean closure.
+    let edges = gen::erdos_renyi(60, 50, 6); // sparse -> several islands
+    let g = CsrGraph::from_edges_undirected(60, &edges);
+    let comps = cc::wcc_union_find(&g);
+    let closure = algos::reachability(&g);
+    for u in g.vertices() {
+        for v in g.vertices() {
+            let same = comps.label[u as usize] == comps.label[v as usize];
+            let reach = closure.get(u as usize, v).is_some();
+            assert_eq!(same, reach, "({u},{v})");
+        }
+    }
+    assert!(comps.count > 1, "want a disconnected test instance");
+}

@@ -1,0 +1,153 @@
+//! End-to-end Fig. 2 pipeline tests: records → dedup → persistent
+//! graph → streaming monitors → triggered analytics → write-back →
+//! property-seeded follow-up analytics, with the instrumentation
+//! counters checked for consistency at every stage.
+
+use graph_analytics::core::dedup::{dedup_batch, generate_records, InlineDeduper};
+use graph_analytics::core::flow::{
+    ComponentsAnalytic, FlowEngine, PageRankAnalytic, SelectionCriteria, TriangleAnalytic,
+};
+use graph_analytics::core::nora::{boil, NoraParams, NoraWorld, QuoteServer};
+use graph_analytics::stream::jaccard_stream::JaccardMonitor;
+use graph_analytics::stream::update::{into_batches, rmat_edge_stream, Update};
+use graph_analytics::stream::EventKind;
+
+#[test]
+fn full_combined_batch_and_streaming_run() {
+    let mut flow = FlowEngine::new(1 << 10);
+    flow.extract.depth = 2;
+    flow.extract.max_vertices = 256;
+    let pr = flow.register_analytic(Box::new(PageRankAnalytic { damping: 0.85 }));
+    let tri = flow.register_analytic(Box::new(TriangleAnalytic {
+        alert_transitivity: 0.0,
+    }));
+    flow.register_monitor(Box::new(JaccardMonitor::new(0.95)));
+
+    // Stream with triggers.
+    let mut triggered = 0;
+    for batch in into_batches(rmat_edge_stream(10, 8_000, 0.05, 3), 500, 0) {
+        triggered += flow
+            .process_stream(
+                &batch,
+                |ev| match ev.kind {
+                    EventKind::PairThreshold { a, b, .. } => Some(vec![a, b]),
+                    _ => None,
+                },
+                Some(tri),
+            )
+            .len();
+    }
+    assert!(triggered > 0, "no triggered analytics on an R-MAT stream");
+
+    // Batch run writes `pagerank` back; follow-up seeds from it.
+    flow.run_batch(&SelectionCriteria::TopKDegree { k: 3 }, pr);
+    let follow = flow.run_batch(
+        &SelectionCriteria::TopKProperty {
+            name: "pagerank".into(),
+            k: 2,
+        },
+        tri,
+    );
+    assert_eq!(follow.seeds.len(), 2);
+
+    let s = flow.stats();
+    assert_eq!(s.updates_applied, 8_000);
+    assert_eq!(s.triggers_fired, triggered);
+    assert_eq!(s.batch_runs, triggered + 2);
+    assert_eq!(s.subgraphs_extracted, s.batch_runs);
+    assert!(s.props_written_back > 0);
+    assert!(s.vertices_extracted >= s.subgraphs_extracted);
+}
+
+#[test]
+fn dedup_feeds_flow_counters() {
+    let records = generate_records(100, 500, 0.1, 1);
+    let dd = dedup_batch(&records, 0.78);
+    let mut flow = FlowEngine::new(dd.num_entities);
+    flow.note_ingest(records.len(), dd.num_entities);
+    assert_eq!(flow.stats().records_ingested, 500);
+    assert_eq!(flow.stats().entities_created, dd.num_entities);
+    // Inline dedup over the same stream lands near the batch count.
+    let mut inline = InlineDeduper::new(0.78);
+    for r in &records {
+        inline.ingest(r);
+    }
+    let (b, i) = (dd.num_entities as f64, inline.num_entities() as f64);
+    assert!((i - b).abs() / b < 0.4, "inline {i} vs batch {b}");
+}
+
+#[test]
+fn nora_boil_and_quotes_agree_end_to_end() {
+    let world = NoraWorld::generate(
+        NoraParams {
+            num_people: 1_000,
+            num_addresses: 700,
+            moves_per_person: 1.5,
+            num_rings: 6,
+            ring_size: 3,
+            ring_addresses: 3,
+        },
+        11,
+    );
+    let graph = world.build_graph();
+    let boiled = boil(&world, &graph);
+    assert!(boiled.ring_recall(&world) >= 0.99);
+
+    let mut server = QuoteServer::new(world.clone());
+    // Every ring member's live quote contains its ring partners.
+    for ring in &world.rings {
+        let live = server.quote(ring[0], 2);
+        for &other in &ring[1..] {
+            assert!(
+                live.iter()
+                    .any(|r| r.a == ring[0].min(other) && r.b == ring[0].max(other)),
+                "quote for {} missing partner {}",
+                ring[0],
+                other
+            );
+        }
+        // And matches the precomputed boil.
+        assert_eq!(live.len(), boiled.lookup(ring[0]).len());
+    }
+}
+
+#[test]
+fn streaming_property_updates_become_selection_criteria() {
+    // Firehose-style vertex property updates steering batch selection.
+    let mut flow = FlowEngine::new(64);
+    let comp = flow.register_analytic(Box::new(ComponentsAnalytic));
+    let mut updates = vec![];
+    // Ring structure + risk scores on three vertices.
+    for i in 0..64u32 {
+        updates.push(Update::EdgeInsert {
+            src: i,
+            dst: (i + 1) % 64,
+            weight: 1.0,
+        });
+    }
+    for (v, score) in [(7u32, 0.9), (21, 0.8), (40, 0.2)] {
+        updates.push(Update::PropertySet {
+            vertex: v,
+            name: "risk",
+            value: score,
+        });
+    }
+    for batch in into_batches(updates, 16, 0) {
+        flow.process_stream(&batch, |_| None, None);
+    }
+    let seeds = flow.select_seeds(&SelectionCriteria::PropertyAbove {
+        name: "risk".into(),
+        tau: 0.5,
+    });
+    assert_eq!(seeds, vec![7, 21]);
+    let report = flow.run_batch(
+        &SelectionCriteria::PropertyAbove {
+            name: "risk".into(),
+            tau: 0.5,
+        },
+        comp,
+    );
+    // Two depth-2 balls on a 64-ring: 2 balls x 5 vertices.
+    assert_eq!(report.subgraph_size.0, 10);
+    assert_eq!(report.globals[0].1, 2.0); // two components in the extraction
+}
