@@ -16,7 +16,16 @@ fn bench_emu_sim(c: &mut Criterion) {
         b.iter(|| pointer_chase(black_box(&cfg), ExecModel::Migrating, 100_000, 1))
     });
     c.bench_function("emu_gups_100k", |b| {
-        b.iter(|| gups(black_box(&cfg), ExecModel::Migrating, 1 << 20, 100_000, 1024, 1))
+        b.iter(|| {
+            gups(
+                black_box(&cfg),
+                ExecModel::Migrating,
+                1 << 20,
+                100_000,
+                1024,
+                1,
+            )
+        })
     });
 }
 

@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ga_graph::{gen, CsrBuilder, CsrGraph};
-use ga_kernels::{bc, bfs, cc, jaccard, kcore, pagerank, sssp, triangles};
+use ga_kernels::{bc, bfs, cc, jaccard, kcore, pagerank, sssp, triangles, KernelCtx};
 use std::hint::black_box;
 
 fn rmat_graph(scale: u32, deg: usize) -> CsrGraph {
@@ -52,8 +52,12 @@ fn bench_sssp(c: &mut Criterion) {
 fn bench_cc(c: &mut Criterion) {
     let mut group = c.benchmark_group("connected_components");
     let g = rmat_graph(14, 16);
-    group.bench_function("union_find", |b| b.iter(|| cc::wcc_union_find(black_box(&g))));
-    group.bench_function("label_prop", |b| b.iter(|| cc::wcc_label_prop(black_box(&g))));
+    group.bench_function("union_find", |b| {
+        b.iter(|| cc::wcc_union_find(black_box(&g)))
+    });
+    group.bench_function("label_prop", |b| {
+        b.iter(|| cc::wcc_label_prop(black_box(&g)))
+    });
     group.finish();
 }
 
@@ -103,6 +107,46 @@ fn bench_jaccard(c: &mut Criterion) {
     group.finish();
 }
 
+/// Serial vs parallel engine on the same input — the speedup points the
+/// issue's acceptance criteria read. Scale defaults to 18 (Graph500
+/// "toy" class); override with `GA_BENCH_SCALE` (CI smoke uses 10).
+fn bench_serial_vs_parallel(c: &mut Criterion) {
+    let scale: u32 = std::env::var("GA_BENCH_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(18);
+    let g = rmat_graph(scale, 16);
+    let wedges = gen::with_random_weights(
+        &gen::rmat(scale, 16 << scale, gen::RmatParams::GRAPH500, 7),
+        0.1,
+        2.0,
+        8,
+    );
+    let wg = CsrGraph::from_weighted_edges(1usize << scale, &wedges);
+    let (ser, par) = (KernelCtx::serial(), KernelCtx::parallel());
+
+    let mut group = c.benchmark_group("serial_vs_parallel");
+    group.sample_size(10);
+    for (mode, ctx) in [("serial", &ser), ("parallel", &par)] {
+        group.bench_function(BenchmarkId::new("bfs", mode), |b| {
+            b.iter(|| bfs::bfs_with(black_box(&g), 0, ctx))
+        });
+        group.bench_function(BenchmarkId::new("pagerank", mode), |b| {
+            b.iter(|| pagerank::pagerank_with(black_box(&g), 0.85, 1e-6, 20, ctx))
+        });
+        group.bench_function(BenchmarkId::new("cc", mode), |b| {
+            b.iter(|| cc::wcc_with(black_box(&g), ctx))
+        });
+        group.bench_function(BenchmarkId::new("triangles", mode), |b| {
+            b.iter(|| triangles::count_global_with(black_box(&g), ctx))
+        });
+        group.bench_function(BenchmarkId::new("sssp", mode), |b| {
+            b.iter(|| sssp::sssp_with(black_box(&wg), 0, 0.5, ctx))
+        });
+    }
+    group.finish();
+}
+
 fn bench_kcore(c: &mut Criterion) {
     let g = rmat_graph(14, 16);
     c.bench_function("kcore_peel_s14", |b| {
@@ -118,6 +162,6 @@ criterion_group!(
         .warm_up_time(std::time::Duration::from_millis(500))
         .measurement_time(std::time::Duration::from_secs(2))
         .sample_size(10);
-    targets = bench_bfs, bench_sssp, bench_cc, bench_pagerank, bench_triangles, bench_bc, bench_jaccard, bench_kcore
+    targets = bench_bfs, bench_sssp, bench_cc, bench_pagerank, bench_triangles, bench_bc, bench_jaccard, bench_kcore, bench_serial_vs_parallel
 );
 criterion_main!(benches);

@@ -40,7 +40,9 @@ fn main() {
         let marker = if b <= 0.5 { "  <= half" } else { "" };
         println!("{state:>12} {b:>12.3} {l:>14.3}{marker}");
     }
-    println!("(the claim inverts once a migration carries more bytes than the round trips it replaces)");
+    println!(
+        "(the claim inverts once a migration carries more bytes than the round trips it replaces)"
+    );
 
     header("Ablation B — inter-node hop latency");
     println!(

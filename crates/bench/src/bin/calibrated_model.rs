@@ -14,8 +14,8 @@ use ga_core::calibrate::{calibrate_with_comparisons, CostCoefficients, MeasuredR
 use ga_core::dedup::{dedup_batch, generate_records};
 use ga_core::flow::{FlowEngine, SelectionCriteria, TriangleAnalytic};
 use ga_core::model::{
-    all_but_cpu, all_upgrades, baseline2012, cpu_upgrade, emu3, evaluate, lightweight,
-    nora_steps, stack_only_3d, xcaliber,
+    all_but_cpu, all_upgrades, baseline2012, cpu_upgrade, emu3, evaluate, lightweight, nora_steps,
+    stack_only_3d, xcaliber,
 };
 use ga_core::nora::{relationships, NoraParams, NoraWorld};
 use ga_stream::jaccard_stream::JaccardMonitor;

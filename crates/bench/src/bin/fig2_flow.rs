@@ -126,5 +126,8 @@ fn main() {
     println!("props_written_back    {}", s.props_written_back);
     println!("globals_produced      {}", s.globals_produced);
     println!("alerts_raised         {}", s.alerts_raised);
+    println!("kernel_cpu_ops        {}", s.kernel_cpu_ops);
+    println!("kernel_mem_bytes      {}", s.kernel_mem_bytes);
+    println!("kernel_edges_touched  {}", s.kernel_edges_touched);
     println!("\ntotal wall time {:?}", t0.elapsed());
 }

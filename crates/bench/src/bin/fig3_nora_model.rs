@@ -78,8 +78,7 @@ fn main() {
         "cpu-platform upgrade alone:   {:.2}x   (paper: ~1.45x, 'only a 45% increase')",
         ratio(&cpu_upgrade())
     );
-    let product =
-        ratio(&mem_upgrade()) * ratio(&disk_upgrade()) * ratio(&net_upgrade());
+    let product = ratio(&mem_upgrade()) * ratio(&disk_upgrade()) * ratio(&net_upgrade());
     println!(
         "all-but-cpu:                  {:.2}x   (paper: 'over a 3X growth'; product of individual upgrades = {:.2}x)",
         ratio(&all_but_cpu()),

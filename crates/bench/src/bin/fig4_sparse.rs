@@ -39,7 +39,14 @@ fn main() {
 
     println!(
         "{:<8} {:>8} {:>12} {:>12} {:>12} {:>9} {:>9} {:>10}",
-        "n", "nnz/row", "FPGA MACs/s", "XT4 MACs/s", "ASIC MACs/s", "FPGA/XT4", "ASIC/XT4", "useful-B%"
+        "n",
+        "nnz/row",
+        "FPGA MACs/s",
+        "XT4 MACs/s",
+        "ASIC MACs/s",
+        "FPGA/XT4",
+        "ASIC/XT4",
+        "useful-B%"
     );
     for &(n, nnz) in &[
         (4096usize, 8usize),

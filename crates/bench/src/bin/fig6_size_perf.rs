@@ -9,8 +9,8 @@
 
 use ga_bench::header;
 use ga_core::model::{
-    all_upgrades, baseline2012, emu1, emu2, emu3, evaluate, lightweight, nora_steps,
-    stack_only_3d, xcaliber,
+    all_upgrades, baseline2012, emu1, emu2, emu3, evaluate, lightweight, nora_steps, stack_only_3d,
+    xcaliber,
 };
 
 fn main() {

@@ -80,7 +80,11 @@ pub struct MeasuredRun {
 /// 4. dedup/link      ← comparisons again (the union/merge pass)
 /// 5. join/merge      ← entity materialization (disk + memory)
 /// 6. graph build     ← edges extracted/inserted (memory)
-/// 7. NORA search     ← pair candidates scanned (CPU + memory)
+/// 7. NORA search     ← pair candidates scanned **plus the measured
+///    batch-kernel counters** ([`FlowStats::kernel_cpu_ops`],
+///    [`FlowStats::kernel_mem_bytes`]) drained from the kernels'
+///    [`ga_graph::OpCounters`] — the analytic step now prices what the
+///    instrumented kernels actually did, not an estimate
 /// 8. index build     ← relationships written (disk)
 /// 9. export/boil     ← events/alerts shipped (network)
 pub fn calibrate(run: &MeasuredRun, c: &CostCoefficients) -> Vec<StepDemand> {
@@ -149,8 +153,9 @@ pub fn calibrate(run: &MeasuredRun, c: &CostCoefficients) -> Vec<StepDemand> {
         d(
             "7 NORA search     ",
             pairs * c.ops_per_pair_candidate
-                + f.vertices_extracted as f64 * c.ops_per_extracted_vertex,
-            pairs * 32.0 + edges * c.mem_bytes_per_edge,
+                + f.vertices_extracted as f64 * c.ops_per_extracted_vertex
+                + f.kernel_cpu_ops as f64,
+            pairs * 32.0 + edges * c.mem_bytes_per_edge + f.kernel_mem_bytes as f64,
             0.0,
             0.0,
         ),
@@ -219,6 +224,9 @@ mod tests {
                 updates_applied: 60_000,
                 events_observed: 9_000,
                 triggers_fired: 50,
+                kernel_cpu_ops: 400_000,
+                kernel_mem_bytes: 3_200_000,
+                kernel_edges_touched: 200_000,
             },
             nora: NoraStats {
                 pair_candidates: 150_000,
@@ -273,6 +281,49 @@ mod tests {
         // Other steps untouched.
         assert_eq!(exact[0].cpu_ops, approx[0].cpu_ops);
         assert_eq!(exact[6].cpu_ops, approx[6].cpu_ops);
+    }
+
+    #[test]
+    fn kernel_counters_shift_nora_step() {
+        let base = sample_run();
+        let mut hot = base;
+        hot.flow.kernel_cpu_ops *= 100;
+        hot.flow.kernel_mem_bytes *= 100;
+        let c = CostCoefficients::default();
+        let a = calibrate(&base, &c);
+        let b = calibrate(&hot, &c);
+        assert!(b[6].cpu_ops > a[6].cpu_ops);
+        assert!(b[6].mem_bytes > a[6].mem_bytes);
+        // Only step 7 consumes the kernel counters.
+        for i in (0..9).filter(|&i| i != 6) {
+            assert_eq!(a[i].cpu_ops, b[i].cpu_ops, "step {i}");
+        }
+    }
+
+    #[test]
+    fn measured_flow_run_calibrates() {
+        // End-to-end: a real FlowEngine batch run drains nonzero kernel
+        // counters into FlowStats, and calibrate prices them.
+        use crate::flow::{FlowEngine, PageRankAnalytic, SelectionCriteria};
+        use ga_graph::{gen, DynamicGraph, PropertyStore};
+
+        let mut g = DynamicGraph::new(64);
+        g.insert_undirected(&gen::ring(64), 1);
+        let mut eng = FlowEngine::with_graph(g, PropertyStore::new(64));
+        let idx = eng.register_analytic(Box::new(PageRankAnalytic { damping: 0.85 }));
+        eng.run_batch(&SelectionCriteria::Explicit(vec![0, 16, 32]), idx);
+        let stats = eng.stats();
+        assert!(stats.kernel_cpu_ops > 0, "no kernel cpu ops measured");
+        assert!(stats.kernel_mem_bytes > 0, "no kernel mem traffic measured");
+        assert!(stats.kernel_edges_touched > 0, "no kernel edges measured");
+
+        let run = MeasuredRun {
+            flow: stats,
+            nora: NoraStats::default(),
+        };
+        let steps = calibrate(&run, &CostCoefficients::default());
+        assert!(steps[6].cpu_ops >= stats.kernel_cpu_ops as f64);
+        assert!(steps[6].mem_bytes >= stats.kernel_mem_bytes as f64);
     }
 
     #[test]

@@ -45,16 +45,54 @@ pub struct RawRecord {
 }
 
 const FIRST_NAMES: &[&str] = &[
-    "james", "mary", "robert", "patricia", "john", "jennifer", "michael", "linda", "david",
-    "elizabeth", "william", "barbara", "richard", "susan", "joseph", "jessica", "thomas", "karen",
+    "james",
+    "mary",
+    "robert",
+    "patricia",
+    "john",
+    "jennifer",
+    "michael",
+    "linda",
+    "david",
+    "elizabeth",
+    "william",
+    "barbara",
+    "richard",
+    "susan",
+    "joseph",
+    "jessica",
+    "thomas",
+    "karen",
 ];
 const LAST_NAMES: &[&str] = &[
-    "smith", "johnson", "williams", "brown", "jones", "garcia", "miller", "davis", "rodriguez",
-    "martinez", "hernandez", "lopez", "gonzalez", "wilson", "anderson", "thomas",
+    "smith",
+    "johnson",
+    "williams",
+    "brown",
+    "jones",
+    "garcia",
+    "miller",
+    "davis",
+    "rodriguez",
+    "martinez",
+    "hernandez",
+    "lopez",
+    "gonzalez",
+    "wilson",
+    "anderson",
+    "thomas",
 ];
 const STREETS: &[&str] = &[
-    "oak st", "maple ave", "cedar ln", "pine rd", "elm dr", "birch ct", "walnut blvd",
-    "chestnut way", "spruce ter", "willow pl",
+    "oak st",
+    "maple ave",
+    "cedar ln",
+    "pine rd",
+    "elm dr",
+    "birch ct",
+    "walnut blvd",
+    "chestnut way",
+    "spruce ter",
+    "willow pl",
 ];
 
 /// Generate `num_records` noisy records describing `num_entities`
@@ -374,10 +412,7 @@ mod tests {
             inline.ingest(r);
         }
         let (b, i) = (batch.num_entities as f64, inline.num_entities() as f64);
-        assert!(
-            (i - b).abs() / b < 0.35,
-            "inline {i} vs batch {b} entities"
-        );
+        assert!((i - b).abs() / b < 0.35, "inline {i} vs batch {b} entities");
     }
 
     #[test]

@@ -23,7 +23,7 @@
 
 use ga_graph::sub::{extract_ball_dynamic, Subgraph};
 use ga_graph::{DynamicGraph, ExtractOptions, PropertyStore, VertexId};
-use ga_kernels::topk;
+use ga_kernels::{topk, KernelCtx, Parallelism};
 use ga_stream::update::UpdateBatch;
 use ga_stream::{Event, StreamEngine};
 
@@ -72,8 +72,11 @@ pub struct AnalyticOutput {
 pub trait BatchAnalytic {
     /// Stable name (used in stats and write-back provenance).
     fn name(&self) -> &'static str;
-    /// Run on the extracted subgraph.
-    fn run(&self, sub: &Subgraph) -> AnalyticOutput;
+    /// Run on the extracted subgraph. The context selects serial vs
+    /// parallel kernel engines and collects the kernels' operation
+    /// counters, which the engine drains into [`FlowStats`] after each
+    /// run.
+    fn run(&self, sub: &Subgraph, ctx: &KernelCtx) -> AnalyticOutput;
 }
 
 /// The instrumentation record (the paper's "explicit instrumentation").
@@ -105,6 +108,12 @@ pub struct FlowStats {
     pub events_observed: usize,
     /// Streaming events that triggered a batch analytic.
     pub triggers_fired: usize,
+    /// CPU operations the batch kernels reported ([`ga_graph::OpCounters`]).
+    pub kernel_cpu_ops: usize,
+    /// Memory traffic (bytes) the batch kernels reported.
+    pub kernel_mem_bytes: usize,
+    /// Edges the batch kernels touched.
+    pub kernel_edges_touched: usize,
 }
 
 /// Report of one batch run.
@@ -131,6 +140,9 @@ pub struct FlowEngine {
     pub extract: ExtractOptions,
     /// Property columns projected into extracted subgraphs.
     pub project_columns: Vec<String>,
+    /// Kernel execution context handed to every analytic run; set its
+    /// `parallelism` to steer serial/parallel kernel dispatch.
+    pub kernel_ctx: KernelCtx,
 }
 
 impl FlowEngine {
@@ -146,6 +158,7 @@ impl FlowEngine {
                 undirected_expand: false,
             },
             project_columns: Vec::new(),
+            kernel_ctx: KernelCtx::new(Parallelism::Auto),
         }
     }
 
@@ -161,6 +174,7 @@ impl FlowEngine {
                 undirected_expand: false,
             },
             project_columns: Vec::new(),
+            kernel_ctx: KernelCtx::new(Parallelism::Auto),
         }
     }
 
@@ -250,7 +264,13 @@ impl FlowEngine {
 
         let analytic = &self.analytics[analytic_idx];
         let name = analytic.name();
-        let out = analytic.run(&sub);
+        let out = analytic.run(&sub, &self.kernel_ctx);
+        // Drain the kernels' operation counters into the run stats — the
+        // measured inputs model calibration consumes.
+        let ops = self.kernel_ctx.take();
+        self.stats.kernel_cpu_ops += ops.cpu_ops as usize;
+        self.stats.kernel_mem_bytes += ops.mem_bytes as usize;
+        self.stats.kernel_edges_touched += ops.edges_touched as usize;
         self.stats.batch_runs += 1;
         self.stats.globals_produced += out.globals.len();
         self.stats.alerts_raised += out.alerts.len();
@@ -318,8 +338,8 @@ impl BatchAnalytic for PageRankAnalytic {
     fn name(&self) -> &'static str {
         "pagerank"
     }
-    fn run(&self, sub: &Subgraph) -> AnalyticOutput {
-        let r = ga_kernels::pagerank::pagerank_delta(&sub.graph, self.damping, 1e-3);
+    fn run(&self, sub: &Subgraph, ctx: &KernelCtx) -> AnalyticOutput {
+        let r = ga_kernels::pagerank::pagerank_delta_with(&sub.graph, self.damping, 1e-3, ctx);
         AnalyticOutput {
             globals: vec![("pagerank_pushes".into(), r.work as f64)],
             vertex_props: vec![("pagerank".into(), r.rank)],
@@ -335,8 +355,8 @@ impl BatchAnalytic for ComponentsAnalytic {
     fn name(&self) -> &'static str {
         "components"
     }
-    fn run(&self, sub: &Subgraph) -> AnalyticOutput {
-        let c = ga_kernels::cc::wcc_union_find(&sub.graph);
+    fn run(&self, sub: &Subgraph, ctx: &KernelCtx) -> AnalyticOutput {
+        let c = ga_kernels::cc::wcc_with(&sub.graph, ctx);
         AnalyticOutput {
             globals: vec![("num_components".into(), c.count as f64)],
             vertex_props: vec![(
@@ -359,9 +379,9 @@ impl BatchAnalytic for TriangleAnalytic {
     fn name(&self) -> &'static str {
         "triangles"
     }
-    fn run(&self, sub: &Subgraph) -> AnalyticOutput {
+    fn run(&self, sub: &Subgraph, ctx: &KernelCtx) -> AnalyticOutput {
         let c = ga_kernels::cluster::clustering_coefficients(&sub.graph);
-        let triangles = ga_kernels::triangles::count_global(&sub.graph);
+        let triangles = ga_kernels::triangles::count_global_with(&sub.graph, ctx);
         let mut alerts = vec![];
         if c.transitivity > self.alert_transitivity {
             alerts.push(format!(
@@ -396,8 +416,13 @@ impl BatchAnalytic for JaccardAnalytic {
     fn name(&self) -> &'static str {
         "jaccard"
     }
-    fn run(&self, sub: &Subgraph) -> AnalyticOutput {
+    fn run(&self, sub: &Subgraph, ctx: &KernelCtx) -> AnalyticOutput {
         let pairs = ga_kernels::jaccard::all_pairs_above(&sub.graph, self.tau);
+        // The Jaccard kernel isn't internally instrumented yet; record
+        // the dominant traffic (every adjacency list read per probed
+        // pair's merge) analytically.
+        let m = sub.graph.num_edges() as u64;
+        ctx.counters.flush(2 * m, 8 * m, m);
         let mut best = vec![0.0f64; sub.num_vertices()];
         let mut alerts = Vec::new();
         for &(a, b, j) in &pairs {
@@ -441,7 +466,7 @@ mod tests {
         // depth-2 ball around 0 on a ring: {18,19,0,1,2}
         assert_eq!(report.subgraph_size.0, 5);
         assert_eq!(report.globals[0].1, 1.0); // one component
-        // Write-back landed on persistent (global) vertex ids.
+                                              // Write-back landed on persistent (global) vertex ids.
         assert!(e.props().get_f64("component", 0).is_some());
         assert!(e.props().get_f64("component", 19).is_some());
         assert!(e.props().get_f64("component", 10).is_none());
@@ -462,7 +487,8 @@ mod tests {
     #[test]
     fn property_selection_paths() {
         let mut e = engine_with_ring(6);
-        e.props_mut().set_column_f64("risk", &[0.1, 0.9, 0.2, 0.8, 0.0, 0.5]);
+        e.props_mut()
+            .set_column_f64("risk", &[0.1, 0.9, 0.2, 0.8, 0.0, 0.5]);
         let top = e.select_seeds(&SelectionCriteria::TopKProperty {
             name: "risk".into(),
             k: 2,
@@ -524,10 +550,26 @@ mod tests {
         }));
         // Build two vertices with identical neighborhoods -> J = 1.0.
         let ups = vec![
-            Update::EdgeInsert { src: 0, dst: 2, weight: 1.0 },
-            Update::EdgeInsert { src: 0, dst: 3, weight: 1.0 },
-            Update::EdgeInsert { src: 1, dst: 2, weight: 1.0 },
-            Update::EdgeInsert { src: 1, dst: 3, weight: 1.0 },
+            Update::EdgeInsert {
+                src: 0,
+                dst: 2,
+                weight: 1.0,
+            },
+            Update::EdgeInsert {
+                src: 0,
+                dst: 3,
+                weight: 1.0,
+            },
+            Update::EdgeInsert {
+                src: 1,
+                dst: 2,
+                weight: 1.0,
+            },
+            Update::EdgeInsert {
+                src: 1,
+                dst: 3,
+                weight: 1.0,
+            },
         ];
         let mut reports = Vec::new();
         for b in into_batches(ups, 1, 0) {
@@ -582,6 +624,22 @@ mod tests {
         assert_eq!(s.subgraphs_extracted, 2);
         assert_eq!(s.seeds_selected, 2);
         assert_eq!(s.vertices_extracted, 10);
+    }
+
+    #[test]
+    fn batch_runs_drain_kernel_counters_into_stats() {
+        let mut e = engine_with_ring(40);
+        let idx = e.register_analytic(Box::new(ComponentsAnalytic));
+        e.run_batch(&SelectionCriteria::Explicit(vec![0]), idx);
+        let s = e.stats();
+        assert!(s.kernel_cpu_ops > 0);
+        assert!(s.kernel_mem_bytes > 0);
+        assert!(s.kernel_edges_touched > 0);
+        // The engine-held counters were drained, not left accumulating.
+        assert!(e.kernel_ctx.snapshot().is_zero());
+        // A second run accumulates further.
+        e.run_batch(&SelectionCriteria::Explicit(vec![20]), idx);
+        assert!(e.stats().kernel_edges_touched > s.kernel_edges_touched);
     }
 
     #[test]

@@ -252,13 +252,7 @@ const BASE_MEM: f64 = 50e9 * 400.0;
 const BASE_DISK: f64 = 0.16e9 * 400.0;
 const BASE_NET: f64 = 0.1e9 * 400.0;
 
-const fn step(
-    name: &'static str,
-    cpu_h: f64,
-    mem_h: f64,
-    disk_h: f64,
-    net_h: f64,
-) -> StepDemand {
+const fn step(name: &'static str, cpu_h: f64, mem_h: f64, disk_h: f64, net_h: f64) -> StepDemand {
     StepDemand {
         name,
         cpu_ops: cpu_h * HOUR * BASE_CPU,
@@ -529,7 +523,12 @@ mod tests {
         let cpu = e.seconds_bound_by(Resource::Cpu);
         let mem = e.seconds_bound_by(Resource::Memory);
         assert!(disk > cpu, "disk {disk} vs cpu {cpu}");
-        assert!(disk + net > cpu + mem, "io {} vs compute {}", disk + net, cpu + mem);
+        assert!(
+            disk + net > cpu + mem,
+            "io {} vs compute {}",
+            disk + net,
+            cpu + mem
+        );
     }
 
     #[test]
@@ -592,7 +591,10 @@ mod tests {
         let e1 = eval(emu1()).speedup_over(&base);
         let e2 = eval(emu2()).speedup_over(&base);
         let e3 = eval(emu3()).speedup_over(&base);
-        assert!(e1 < e2 && e2 < e3, "generations not monotone: {e1} {e2} {e3}");
+        assert!(
+            e1 < e2 && e2 < e3,
+            "generations not monotone: {e1} {e2} {e3}"
+        );
         let vs_best = eval(emu3()).speedup_over(&best_conv);
         assert!(
             (20.0..90.0).contains(&vs_best),
@@ -643,13 +645,13 @@ mod tests {
     #[test]
     fn evaluation_bookkeeping_consistent() {
         let e = eval(baseline2012());
-        let by_resource: f64 = Resource::ALL
-            .iter()
-            .map(|&r| e.seconds_bound_by(r))
-            .sum();
+        let by_resource: f64 = Resource::ALL.iter().map(|&r| e.seconds_bound_by(r)).sum();
         assert!((by_resource - e.total_seconds).abs() < 1e-6);
         assert_eq!(
-            Resource::ALL.iter().map(|&r| e.steps_bound_by(r)).sum::<usize>(),
+            Resource::ALL
+                .iter()
+                .map(|&r| e.steps_bound_by(r))
+                .sum::<usize>(),
             9
         );
     }

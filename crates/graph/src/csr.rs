@@ -99,10 +99,7 @@ impl CsrGraph {
 
     /// `(neighbor, weight)` pairs for `v`; weight defaults to 1.0 on
     /// unweighted graphs so weighted kernels degrade gracefully.
-    pub fn weighted_neighbors(
-        &self,
-        v: VertexId,
-    ) -> impl Iterator<Item = (VertexId, Weight)> + '_ {
+    pub fn weighted_neighbors(&self, v: VertexId) -> impl Iterator<Item = (VertexId, Weight)> + '_ {
         let nbrs = self.neighbors(v);
         let ws = self.edge_weights(v);
         nbrs.iter().enumerate().map(move |(i, &u)| {

@@ -263,7 +263,9 @@ mod tests {
         let scale = 10;
         let edges = rmat(scale, 20_000, RmatParams::GRAPH500, 1);
         let n = 1usize << scale;
-        assert!(edges.iter().all(|&(u, v)| (u as usize) < n && (v as usize) < n));
+        assert!(edges
+            .iter()
+            .all(|&(u, v)| (u as usize) < n && (v as usize) < n));
         // Skew check: the max-degree vertex should far exceed the mean.
         let g = CsrGraph::from_edges(n, &edges);
         let max_deg = g.vertices().map(|v| g.degree(v)).max().unwrap();
@@ -335,10 +337,7 @@ mod tests {
     #[test]
     fn planted_partition_denser_inside() {
         let edges = planted_partition(4, 25, 0.5, 0.01, 9);
-        let intra = edges
-            .iter()
-            .filter(|&&(u, v)| u / 25 == v / 25)
-            .count();
+        let intra = edges.iter().filter(|&&(u, v)| u / 25 == v / 25).count();
         let inter = edges.len() - intra;
         assert!(intra > inter * 2, "intra {intra} vs inter {inter}");
     }

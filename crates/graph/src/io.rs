@@ -67,7 +67,12 @@ fn bad_line(lineno: usize, what: &str) -> io::Error {
 /// Write a graph as an edge list (weights included when present).
 pub fn write_edge_list(g: &CsrGraph, w: impl Write) -> io::Result<()> {
     let mut out = BufWriter::new(w);
-    writeln!(out, "# {} vertices, {} edges", g.num_vertices(), g.num_edges())?;
+    writeln!(
+        out,
+        "# {} vertices, {} edges",
+        g.num_vertices(),
+        g.num_edges()
+    )?;
     if g.is_weighted() {
         for (u, v, wt) in g.weighted_edges() {
             writeln!(out, "{u} {v} {wt}")?;

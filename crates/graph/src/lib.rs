@@ -34,14 +34,17 @@
 
 #![warn(missing_docs)]
 
+pub mod counters;
 pub mod csr;
 pub mod dynamic;
 pub mod gen;
 pub mod io;
+pub mod par;
 pub mod props;
 pub mod stats;
 pub mod sub;
 
+pub use counters::{OpCounters, OpSnapshot};
 pub use csr::{CsrBuilder, CsrGraph};
 pub use dynamic::{DynamicGraph, EdgeRecord};
 pub use props::{PropValue, PropertyStore};

@@ -1,0 +1,95 @@
+//! Parallel CSR iteration helpers.
+//!
+//! The batch kernels share three data-parallel access patterns over a
+//! [`CsrGraph`] snapshot: map a function over every vertex, expand a
+//! frontier by claiming undiscovered neighbors, and sum a per-vertex
+//! quantity (typically degrees). Centralizing them here keeps each
+//! kernel's parallel variant small and makes the work-partitioning
+//! strategy uniform across kernels.
+
+use crate::csr::CsrGraph;
+use crate::VertexId;
+use rayon::prelude::*;
+
+/// Map `f` over vertices `0..n` in parallel, collecting results in
+/// vertex order (identical to the sequential `(0..n).map(f).collect()`).
+pub fn par_vertex_map<T, F>(n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(VertexId) -> T + Send + Sync,
+{
+    (0..n as VertexId).into_par_iter().map(f).collect()
+}
+
+/// Expand `frontier` one level in parallel: for each frontier vertex `u`
+/// and each out-neighbor `v`, `claim(u, v)` decides (atomically, on the
+/// caller's state) whether this thread discovered `v`; claimed vertices
+/// form the next frontier. Discovery order within the frontier is
+/// preserved, so runs are deterministic up to claim races.
+pub fn par_frontier_expand<F>(g: &CsrGraph, frontier: &[VertexId], claim: F) -> Vec<VertexId>
+where
+    F: Fn(VertexId, VertexId) -> bool + Send + Sync,
+{
+    frontier
+        .par_iter()
+        .flat_map_iter(|&u| {
+            let claim = &claim;
+            g.neighbors(u)
+                .iter()
+                .filter_map(move |&v| claim(u, v).then_some(v))
+        })
+        .collect()
+}
+
+/// Sum of out-degrees over `frontier`, in parallel — the number of edges
+/// one expansion level will examine (used both for direction switching
+/// and for edge-traffic accounting).
+pub fn frontier_degree_sum(g: &CsrGraph, frontier: &[VertexId]) -> usize {
+    frontier.par_iter().map(|&v| g.degree(v)).sum()
+}
+
+/// Sum `f` over vertices `0..n` in parallel.
+pub fn par_vertex_sum<F>(n: usize, f: F) -> u64
+where
+    F: Fn(VertexId) -> u64 + Send + Sync,
+{
+    (0..n as VertexId).into_par_iter().map(f).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn vertex_map_matches_sequential() {
+        let par = par_vertex_map(100, |v| v * 2);
+        let seq: Vec<VertexId> = (0..100).map(|v| v * 2).collect();
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn frontier_expand_discovers_neighbors() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let g = CsrGraph::from_edges_undirected(6, &gen::star(6));
+        let seen: Vec<AtomicBool> = (0..6).map(|_| AtomicBool::new(false)).collect();
+        seen[0].store(true, Ordering::Relaxed);
+        let next = par_frontier_expand(&g, &[0], |_, v| {
+            !seen[v as usize].swap(true, Ordering::Relaxed)
+        });
+        let mut sorted = next.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn degree_sums() {
+        let g = CsrGraph::from_edges_undirected(5, &gen::path(5));
+        assert_eq!(frontier_degree_sum(&g, &[0, 2]), 3);
+        // Sum of out-degrees equals the directed edge count.
+        assert_eq!(
+            par_vertex_sum(5, |v| g.degree(v) as u64),
+            g.num_edges() as u64
+        );
+    }
+}

@@ -97,7 +97,11 @@ pub fn degree_distribution_log2(g: &CsrGraph) -> Vec<usize> {
     let mut dist = Vec::new();
     for v in g.vertices() {
         let d = g.degree(v);
-        let bucket = if d <= 1 { 0 } else { (usize::BITS - d.leading_zeros()) as usize - 1 };
+        let bucket = if d <= 1 {
+            0
+        } else {
+            (usize::BITS - d.leading_zeros()) as usize - 1
+        };
         if bucket >= dist.len() {
             dist.resize(bucket + 1, 0);
         }

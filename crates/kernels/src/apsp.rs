@@ -103,7 +103,10 @@ mod tests {
         assert_eq!(a.n, b.n);
         for i in 0..a.dist.len() {
             let (x, y) = (a.dist[i], b.dist[i]);
-            assert!((x - y).abs() < 1e-3 || (x == INF && y == INF), "at {i}: {x} vs {y}");
+            assert!(
+                (x - y).abs() < 1e-3 || (x == INF && y == INF),
+                "at {i}: {x} vs {y}"
+            );
         }
     }
 
@@ -186,7 +189,13 @@ mod johnson_tests {
         // Negative edge 2->1, but the cycle 2->1->3->2 sums to +2.
         let g = CsrGraph::from_weighted_edges(
             4,
-            &[(0, 1, 3.0), (0, 2, 8.0), (1, 3, 1.0), (2, 1, -4.0), (3, 2, 5.0)],
+            &[
+                (0, 1, 3.0),
+                (0, 2, 8.0),
+                (1, 3, 1.0),
+                (2, 1, -4.0),
+                (3, 2, 5.0),
+            ],
         );
         let j = johnson(&g).unwrap();
         let f = floyd_warshall(&g);

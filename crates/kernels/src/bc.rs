@@ -41,8 +41,7 @@ fn accumulate_from(g: &CsrGraph, s: VertexId, bc: &mut [f64]) {
     let mut delta = vec![0.0f64; n];
     for &w in order.iter().rev() {
         for &u in &preds[w as usize] {
-            delta[u as usize] +=
-                sigma[u as usize] / sigma[w as usize] * (1.0 + delta[w as usize]);
+            delta[u as usize] += sigma[u as usize] / sigma[w as usize] * (1.0 + delta[w as usize]);
         }
         if w != s {
             bc[w as usize] += delta[w as usize];
@@ -154,8 +153,8 @@ mod tests {
         normalize_undirected(&mut bc);
         // Center: all C(4,2) = 6 leaf pairs route through it.
         assert_eq!(bc[0], 6.0);
-        for leaf in 1..5 {
-            assert_eq!(bc[leaf], 0.0);
+        for &leaf_bc in &bc[1..5] {
+            assert_eq!(leaf_bc, 0.0);
         }
     }
 

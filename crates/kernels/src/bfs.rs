@@ -13,9 +13,10 @@
 //! streaming O(1)-event variant in Fig. 1 corresponds to inspecting
 //! `depth[target]` after the sweep.
 
+use crate::ctx::KernelCtx;
 use crate::UNREACHED;
+use ga_graph::par::{frontier_degree_sum, par_frontier_expand};
 use ga_graph::{CsrGraph, VertexId};
-use rayon::prelude::*;
 use std::collections::VecDeque;
 
 /// Output of a BFS sweep.
@@ -150,7 +151,7 @@ pub fn bfs_direction_optimizing(g: &CsrGraph, src: VertexId, alpha: usize) -> Bf
     let mut frontier: Vec<VertexId> = vec![src];
     let mut level = 0u32;
     while !frontier.is_empty() {
-        let frontier_edges: usize = frontier.iter().map(|&v| g.degree(v)).sum();
+        let frontier_edges = frontier_degree_sum(g, &frontier);
         let bottom_up = frontier_edges * alpha > m && g.has_reverse();
         let mut next = Vec::new();
         if bottom_up {
@@ -219,29 +220,18 @@ pub fn bfs_parallel(g: &CsrGraph, src: VertexId) -> BfsResult {
     let mut level = 0u32;
     while !frontier.is_empty() {
         level += 1;
-        let parent_ref = &parent;
-        let depth_ref = &depth_atomic;
-        let next: Vec<VertexId> = frontier
-            .par_iter()
-            .flat_map_iter(move |&u| {
-                g.neighbors(u).iter().filter_map(move |&v| {
-                    // Claim v exactly once across threads.
-                    parent_ref[v as usize]
-                        .compare_exchange(UNREACHED, u, Ordering::Relaxed, Ordering::Relaxed)
-                        .ok()
-                        .map(|_| {
-                            depth_ref[v as usize].store(level, Ordering::Relaxed);
-                            v
-                        })
-                })
-            })
-            .collect();
-        frontier = next;
+        frontier = par_frontier_expand(g, &frontier, |u, v| {
+            // Claim v exactly once across threads.
+            let claimed = parent[v as usize]
+                .compare_exchange(UNREACHED, u, Ordering::Relaxed, Ordering::Relaxed)
+                .is_ok();
+            if claimed {
+                depth_atomic[v as usize].store(level, Ordering::Relaxed);
+            }
+            claimed
+        });
     }
-    let depth: Vec<u32> = depth_atomic
-        .into_iter()
-        .map(|d| d.into_inner())
-        .collect();
+    let depth: Vec<u32> = depth_atomic.into_iter().map(|d| d.into_inner()).collect();
     let parent: Vec<VertexId> = parent.into_iter().map(|p| p.into_inner()).collect();
     let reached = depth.iter().filter(|&&d| d != UNREACHED).count();
     BfsResult {
@@ -249,6 +239,34 @@ pub fn bfs_parallel(g: &CsrGraph, src: VertexId) -> BfsResult {
         parent,
         reached,
     }
+}
+
+/// Instrumented, dispatching BFS: runs the serial queue engine or
+/// [`bfs_parallel`] per the context's [`crate::Parallelism`] and flushes
+/// the traversal's cost into the context counters.
+///
+/// Depths and reach counts are identical across both engines; parallel
+/// parent pointers may pick a different (equally valid) BFS tree.
+pub fn bfs_with(g: &CsrGraph, src: VertexId, ctx: &KernelCtx) -> BfsResult {
+    let r = if ctx.parallelism.use_parallel(g.num_edges()) {
+        bfs_parallel(g, src)
+    } else {
+        bfs(g, src)
+    };
+    // Top-down BFS scans every out-edge of every reached vertex once.
+    let edges: u64 = r
+        .depth
+        .iter()
+        .enumerate()
+        .filter(|&(_, &d)| d != UNREACHED)
+        .map(|(v, _)| g.degree(v as VertexId) as u64)
+        .sum();
+    let reached = r.reached as u64;
+    // Per edge: one id load + one depth check (~12 bytes, ~2 ops); per
+    // claimed vertex: depth+parent+queue writes (~16 bytes, ~3 ops).
+    ctx.counters
+        .flush(2 * edges + 3 * reached, 12 * edges + 16 * reached, edges);
+    r
 }
 
 #[cfg(test)]

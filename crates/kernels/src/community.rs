@@ -134,8 +134,7 @@ fn louvain_level(g: &CsrGraph, weight: &[f64]) -> (Vec<VertexId>, bool) {
             link_to.clear();
             for (i, &u) in g.neighbors(v).iter().enumerate() {
                 if u != v {
-                    *link_to.entry(label[u as usize]).or_default() +=
-                        edge_w(g, weight, v, i);
+                    *link_to.entry(label[u as usize]).or_default() += edge_w(g, weight, v, i);
                 }
             }
             // Remove v from its community.
@@ -226,7 +225,7 @@ mod tests {
     #[test]
     fn modularity_single_community_zero_ish() {
         let g = two_cliques();
-        let q = modularity(&g, &vec![0; 8]);
+        let q = modularity(&g, &[0; 8]);
         assert!(q.abs() < 1e-9);
     }
 
@@ -266,7 +265,10 @@ mod tests {
                 }
             }
         }
-        assert!(agree * 10 >= total * 8, "only {agree}/{total} intra pairs agree");
+        assert!(
+            agree * 10 >= total * 8,
+            "only {agree}/{total} intra pairs agree"
+        );
     }
 
     #[test]

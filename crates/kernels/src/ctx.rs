@@ -1,0 +1,110 @@
+//! Kernel execution context: the parallelism knob plus the operation
+//! counters every instrumented kernel flushes into.
+//!
+//! Every hot batch kernel has a `*_with(g, ..., &KernelCtx)` entry point
+//! that (a) dispatches between its serial and rayon-parallel engine
+//! according to [`Parallelism`], and (b) records the work it did in the
+//! context's [`OpCounters`]. The plain entry points (`bfs::bfs`,
+//! `pagerank::pagerank`, ...) remain unchanged for callers that don't
+//! care.
+//!
+//! Serial and parallel engines of the same kernel are interchangeable:
+//! BFS depths, component labels, and triangle counts are bit-identical,
+//! SSSP distances are exact, and PageRank ranks agree to well below 1e-9
+//! (the agreement suite in `tests/cross_kernel_agreement.rs` enforces
+//! this).
+
+use ga_graph::counters::{OpCounters, OpSnapshot};
+
+/// How a kernel invocation should execute.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Parallelism {
+    /// Always the sequential engine.
+    Serial,
+    /// Always the rayon-parallel engine.
+    Parallel,
+    /// Parallel when the thread pool has more than one thread and the
+    /// input is large enough to amortize coordination (the default).
+    #[default]
+    Auto,
+}
+
+/// Inputs smaller than this stay serial under [`Parallelism::Auto`]:
+/// below ~32k edges of work, thread spawn and chunk coordination cost
+/// more than they recover.
+pub const AUTO_WORK_CUTOFF: usize = 32_768;
+
+impl Parallelism {
+    /// Decide whether a kernel facing roughly `work` units (edges) of
+    /// work should take its parallel path.
+    pub fn use_parallel(self, work: usize) -> bool {
+        match self {
+            Parallelism::Serial => false,
+            Parallelism::Parallel => true,
+            Parallelism::Auto => rayon::current_num_threads() > 1 && work >= AUTO_WORK_CUTOFF,
+        }
+    }
+}
+
+/// Execution context threaded through instrumented kernel calls.
+#[derive(Debug, Default)]
+pub struct KernelCtx {
+    /// Serial/parallel dispatch policy.
+    pub parallelism: Parallelism,
+    /// Operation tally the kernels flush into.
+    pub counters: OpCounters,
+}
+
+impl KernelCtx {
+    /// Context with the given policy and fresh counters.
+    pub fn new(parallelism: Parallelism) -> Self {
+        KernelCtx {
+            parallelism,
+            counters: OpCounters::new(),
+        }
+    }
+
+    /// Always-serial context.
+    pub fn serial() -> Self {
+        Self::new(Parallelism::Serial)
+    }
+
+    /// Always-parallel context.
+    pub fn parallel() -> Self {
+        Self::new(Parallelism::Parallel)
+    }
+
+    /// Current counter tally.
+    pub fn snapshot(&self) -> OpSnapshot {
+        self.counters.snapshot()
+    }
+
+    /// Drain the counter tally (copy then reset).
+    pub fn take(&self) -> OpSnapshot {
+        self.counters.take()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_and_parallel_are_unconditional() {
+        assert!(!Parallelism::Serial.use_parallel(usize::MAX));
+        assert!(Parallelism::Parallel.use_parallel(0));
+    }
+
+    #[test]
+    fn auto_stays_serial_on_tiny_inputs() {
+        assert!(!Parallelism::Auto.use_parallel(10));
+    }
+
+    #[test]
+    fn ctx_counters_drain() {
+        let ctx = KernelCtx::serial();
+        ctx.counters.flush(1, 2, 3);
+        assert_eq!(ctx.take().edges_touched, 3);
+        assert!(ctx.snapshot().is_zero());
+    }
+}

@@ -42,6 +42,7 @@ pub mod cluster;
 pub mod coloring;
 pub mod community;
 pub mod contract;
+pub mod ctx;
 pub mod jaccard;
 pub mod kcore;
 pub mod mis;
@@ -53,6 +54,7 @@ pub mod topk;
 pub mod triangles;
 pub mod union_find;
 
+pub use ctx::{KernelCtx, Parallelism};
 pub use union_find::UnionFind;
 
 /// Distance value used by SSSP results; `f32::INFINITY` marks unreachable.

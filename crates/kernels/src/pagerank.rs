@@ -9,8 +9,9 @@
 //!   asynchronous formulation the streaming variant (`ga-stream`)
 //!   shares its update rule with.
 
+use crate::ctx::KernelCtx;
+use ga_graph::par::par_vertex_map;
 use ga_graph::{CsrGraph, VertexId};
-use rayon::prelude::*;
 
 /// Convergence/result record.
 #[derive(Clone, Debug)]
@@ -44,6 +45,23 @@ impl PageRankResult {
 /// Converges when the L1 change of a sweep drops below `tol`, or after
 /// `max_iters` sweeps.
 pub fn pagerank(g: &CsrGraph, damping: f64, tol: f64, max_iters: usize) -> PageRankResult {
+    pagerank_with(g, damping, tol, max_iters, &KernelCtx::default())
+}
+
+/// Instrumented, dispatching pull PageRank (see [`pagerank`]).
+///
+/// Serial and parallel execution produce **bit-identical** rank vectors:
+/// only the embarrassingly parallel per-vertex pull sweep is
+/// parallelized, while the dangling-mass and residual reductions — whose
+/// floating-point result depends on summation order — are computed
+/// serially in both modes.
+pub fn pagerank_with(
+    g: &CsrGraph,
+    damping: f64,
+    tol: f64,
+    max_iters: usize,
+    ctx: &KernelCtx,
+) -> PageRankResult {
     assert!(g.has_reverse(), "pull PageRank needs a reverse index");
     let n = g.num_vertices();
     if n == 0 {
@@ -53,6 +71,7 @@ pub fn pagerank(g: &CsrGraph, damping: f64, tol: f64, max_iters: usize) -> PageR
             residual: 0.0,
         };
     }
+    let parallel = ctx.parallelism.use_parallel(g.num_edges());
     let inv_n = 1.0 / n as f64;
     let mut rank = vec![inv_n; n];
     let out_deg: Vec<f64> = (0..n as VertexId).map(|v| g.degree(v) as f64).collect();
@@ -60,29 +79,33 @@ pub fn pagerank(g: &CsrGraph, damping: f64, tol: f64, max_iters: usize) -> PageR
     let mut residual = f64::INFINITY;
     while iters < max_iters && residual > tol {
         // Dangling vertices spread their rank uniformly.
-        let dangling: f64 = (0..n)
-            .into_par_iter()
-            .filter(|&v| out_deg[v] == 0.0)
-            .map(|v| rank[v])
-            .sum();
+        let dangling: f64 = (0..n).filter(|&v| out_deg[v] == 0.0).map(|v| rank[v]).sum();
         let base = (1.0 - damping) * inv_n + damping * dangling * inv_n;
-        let new_rank: Vec<f64> = (0..n as VertexId)
-            .into_par_iter()
-            .map(|v| {
-                let mut acc = 0.0;
-                for &u in g.in_neighbors(v) {
-                    acc += rank[u as usize] / out_deg[u as usize];
-                }
-                base + damping * acc
-            })
-            .collect();
-        residual = (0..n)
-            .into_par_iter()
-            .map(|v| (new_rank[v] - rank[v]).abs())
-            .sum();
+        let pull = |v: VertexId| {
+            let mut acc = 0.0;
+            for &u in g.in_neighbors(v) {
+                acc += rank[u as usize] / out_deg[u as usize];
+            }
+            base + damping * acc
+        };
+        let new_rank: Vec<f64> = if parallel {
+            par_vertex_map(n, pull)
+        } else {
+            (0..n as VertexId).map(pull).collect()
+        };
+        residual = (0..n).map(|v| (new_rank[v] - rank[v]).abs()).sum();
         rank = new_rank;
         iters += 1;
     }
+    // Per sweep: every in-edge pulled once (one div + one add, ~16 bytes
+    // read), every vertex read + written (~24 bytes, ~4 ops).
+    let sweeps = iters as u64;
+    let (m, nv) = (g.num_edges() as u64, n as u64);
+    ctx.counters.flush(
+        sweeps * (2 * m + 4 * nv),
+        sweeps * (16 * m + 24 * nv),
+        sweeps * m,
+    );
     PageRankResult {
         rank,
         work: iters,
@@ -95,6 +118,19 @@ pub fn pagerank(g: &CsrGraph, damping: f64, tol: f64, max_iters: usize) -> PageR
 /// forward edges only (no reverse index needed). Ranks are normalized to
 /// sum to 1 on return.
 pub fn pagerank_delta(g: &CsrGraph, damping: f64, tol: f64) -> PageRankResult {
+    pagerank_delta_with(g, damping, tol, &KernelCtx::serial())
+}
+
+/// Instrumented [`pagerank_delta`]. The Gauss–Southwell engine is
+/// inherently sequential (each push depends on the residuals left by the
+/// previous one), so the context's parallelism knob is ignored; its
+/// counters still receive the exact push/edge traffic.
+pub fn pagerank_delta_with(
+    g: &CsrGraph,
+    damping: f64,
+    tol: f64,
+    ctx: &KernelCtx,
+) -> PageRankResult {
     let n = g.num_vertices();
     if n == 0 {
         return PageRankResult {
@@ -113,6 +149,7 @@ pub fn pagerank_delta(g: &CsrGraph, damping: f64, tol: f64) -> PageRankResult {
     let mut queue: std::collections::VecDeque<VertexId> = (0..n as VertexId).collect();
     let mut queued = vec![true; n];
     let mut pushes = 0usize;
+    let mut edges_scanned = 0u64;
     while let Some(v) = queue.pop_front() {
         queued[v as usize] = false;
         let r = residual[v as usize];
@@ -126,6 +163,7 @@ pub fn pagerank_delta(g: &CsrGraph, damping: f64, tol: f64) -> PageRankResult {
         if deg == 0 {
             continue; // dangling mass handled by final normalization
         }
+        edges_scanned += deg as u64;
         let share = damping * r / deg as f64;
         for &u in g.neighbors(v) {
             residual[u as usize] += share;
@@ -142,6 +180,13 @@ pub fn pagerank_delta(g: &CsrGraph, damping: f64, tol: f64) -> PageRankResult {
         }
     }
     let max_res = residual.iter().cloned().fold(0.0, f64::max);
+    // Per push: residual/rank updates (~4 ops, 32 bytes); per edge
+    // scanned: one residual add + threshold check (~3 ops, 20 bytes).
+    ctx.counters.flush(
+        4 * pushes as u64 + 3 * edges_scanned,
+        32 * pushes as u64 + 20 * edges_scanned,
+        edges_scanned,
+    );
     PageRankResult {
         rank,
         work: pushes,

@@ -124,7 +124,15 @@ fn backtrack(
         mapping[p as usize] = Some(c);
         used[c as usize] = true;
         backtrack(
-            target, pattern, order, depth + 1, mapping, used, count, found, limit,
+            target,
+            pattern,
+            order,
+            depth + 1,
+            mapping,
+            used,
+            count,
+            found,
+            limit,
         );
         mapping[p as usize] = None;
         used[c as usize] = false;

@@ -43,7 +43,10 @@ pub fn top_k_by(
             }
         }
     }
-    let mut out: Vec<(VertexId, f64)> = heap.into_iter().map(|Reverse(Entry(m, v))| (v, m)).collect();
+    let mut out: Vec<(VertexId, f64)> = heap
+        .into_iter()
+        .map(|Reverse(Entry(m, v))| (v, m))
+        .collect();
     out.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
     out
 }
@@ -77,10 +80,8 @@ mod tests {
     fn topk_matches_full_sort() {
         let g = CsrGraph::from_edges_undirected(64, &gen::erdos_renyi(64, 500, 3));
         let top = top_k_degree(&g, 10);
-        let mut full: Vec<(VertexId, f64)> = g
-            .vertices()
-            .map(|v| (v, g.degree(v) as f64))
-            .collect();
+        let mut full: Vec<(VertexId, f64)> =
+            g.vertices().map(|v| (v, g.degree(v) as f64)).collect();
         full.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
         full.truncate(10);
         assert_eq!(top, full);

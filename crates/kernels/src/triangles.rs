@@ -6,6 +6,7 @@
 //! exactly once at its lowest-ranked vertex, so global count needs no
 //! division and parallelizes cleanly.
 
+use crate::ctx::KernelCtx;
 use ga_graph::{CsrGraph, VertexId};
 use rayon::prelude::*;
 
@@ -78,19 +79,41 @@ fn oriented(g: &CsrGraph, rank: &[u32]) -> Vec<Vec<VertexId>> {
 
 /// Global triangle count via rank-ordered intersection (parallel).
 pub fn count_global(g: &CsrGraph) -> u64 {
+    count_global_with(g, &KernelCtx::parallel())
+}
+
+/// Instrumented, dispatching global triangle count: serial or parallel
+/// rank-ordered intersection per the context's [`crate::Parallelism`].
+/// The count is an exact integer sum, so both engines return the
+/// identical value.
+pub fn count_global_with(g: &CsrGraph, ctx: &KernelCtx) -> u64 {
     let rank = rank_order(g);
     let fwd = oriented(g, &rank);
-    (0..g.num_vertices())
-        .into_par_iter()
-        .map(|u| {
-            let fu = &fwd[u];
-            let mut c = 0u64;
-            for &v in fu {
-                c += intersect_count(fu, &fwd[v as usize]) as u64;
-            }
-            c
-        })
-        .sum()
+    // Per oriented wedge (u, v): a merge intersection costing at most
+    // |fwd(u)| + |fwd(v)| comparisons. Tally comparisons alongside the
+    // count so the counters reflect the true (skew-dependent) work.
+    let body = |u: usize| {
+        let fu = &fwd[u];
+        let (mut c, mut ops) = (0u64, 0u64);
+        for &v in fu {
+            let fv = &fwd[v as usize];
+            c += intersect_count(fu, fv) as u64;
+            ops += (fu.len() + fv.len()) as u64;
+        }
+        (c, ops)
+    };
+    let n = g.num_vertices();
+    let (count, ops) = if ctx.parallelism.use_parallel(g.num_edges()) {
+        (0..n)
+            .into_par_iter()
+            .map(body)
+            .reduce(|| (0, 0), |a, b| (a.0 + b.0, a.1 + b.1))
+    } else {
+        (0..n).map(body).fold((0, 0), |a, b| (a.0 + b.0, a.1 + b.1))
+    };
+    // Each comparison reads one 4-byte id from each side.
+    ctx.counters.flush(ops, 8 * ops, g.num_edges() as u64 / 2);
+    count
 }
 
 /// Per-vertex triangle counts (each triangle increments all three

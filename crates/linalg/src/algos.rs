@@ -92,11 +92,7 @@ pub fn pagerank(g: &CsrGraph, damping: f64, tol: f64, max_iters: usize) -> Vec<f
         let base = (1.0 - damping) * inv_n + damping * dangling_mass * inv_n;
         let spread = spmv(PlusTimes, &m, &rank);
         let new_rank: Vec<f64> = spread.iter().map(|&x| base + damping * x).collect();
-        let residual: f64 = new_rank
-            .iter()
-            .zip(&rank)
-            .map(|(a, b)| (a - b).abs())
-            .sum();
+        let residual: f64 = new_rank.iter().zip(&rank).map(|(a, b)| (a - b).abs()).sum();
         rank = new_rank;
         if residual < tol {
             break;

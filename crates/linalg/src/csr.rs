@@ -219,7 +219,13 @@ mod tests {
         // [0 0 3]
         // [4 5 0]
         let mut m = CooMatrix::new(3, 3);
-        for &(r, c, v) in &[(0, 0, 1.0), (0, 2, 2.0), (1, 2, 3.0), (2, 0, 4.0), (2, 1, 5.0)] {
+        for &(r, c, v) in &[
+            (0, 0, 1.0),
+            (0, 2, 2.0),
+            (1, 2, 3.0),
+            (2, 0, 4.0),
+            (2, 1, 5.0),
+        ] {
             m.push(r, c, v);
         }
         m.to_csr(|a, b| a + b)

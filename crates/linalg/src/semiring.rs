@@ -172,7 +172,10 @@ mod tests {
         check_axioms::<f64>(MinPlus, &[f64::INFINITY, 0.0, 1.5, 10.0]);
         // Distributivity spot check: a + min(b,c) = min(a+b, a+c).
         let s = MinPlus;
-        assert_eq!(s.mul(2.0, s.add(3.0, 5.0)), s.add(s.mul(2.0, 3.0), s.mul(2.0, 5.0)));
+        assert_eq!(
+            s.mul(2.0, s.add(3.0, 5.0)),
+            s.add(s.mul(2.0, 3.0), s.mul(2.0, 5.0))
+        );
     }
 
     #[test]

@@ -81,8 +81,10 @@ impl Monitor for BcTopK {
         _time: Timestamp,
         _out: &mut Vec<Event>,
     ) {
-        if matches!(update, Update::EdgeInsert { .. } | Update::EdgeDelete { .. })
-            && matches!(result, ApplyResult::Inserted | ApplyResult::Deleted)
+        if matches!(
+            update,
+            Update::EdgeInsert { .. } | Update::EdgeDelete { .. }
+        ) && matches!(result, ApplyResult::Inserted | ApplyResult::Deleted)
         {
             self.dirty = true;
         }
@@ -153,7 +155,9 @@ mod tests {
             .events()
             .iter()
             .filter_map(|ev| match &ev.kind {
-                EventKind::TopKChange { entered, left, .. } => Some((entered.clone(), left.clone())),
+                EventKind::TopKChange { entered, left, .. } => {
+                    Some((entered.clone(), left.clone()))
+                }
                 _ => None,
             })
             .collect();

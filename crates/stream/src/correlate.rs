@@ -58,7 +58,10 @@ pub fn correlate_batch(
     // Group by location, sort by time, sweep a time window.
     let mut by_loc: HashMap<u32, Vec<(Timestamp, u32)>> = HashMap::new();
     for s in sightings {
-        by_loc.entry(s.location).or_default().push((s.time, s.entity));
+        by_loc
+            .entry(s.location)
+            .or_default()
+            .push((s.time, s.entity));
     }
     let mut events: HashMap<(u32, u32), u32> = HashMap::new();
     let mut locs: HashMap<(u32, u32), HashSet<u32>> = HashMap::new();
@@ -130,10 +133,7 @@ impl CorrelationMonitor {
 
     /// Current co-occurrence count of a pair.
     pub fn pair_events(&self, a: u32, b: u32) -> u32 {
-        self.events
-            .get(&(a.min(b), a.max(b)))
-            .copied()
-            .unwrap_or(0)
+        self.events.get(&(a.min(b), a.max(b))).copied().unwrap_or(0)
     }
 
     /// Ingest one sighting (sightings must arrive in non-decreasing
@@ -202,7 +202,7 @@ pub fn sighting_stream(
             out.push(Sighting {
                 entity: 2 * i + 1,
                 location: loc,
-                time: t as Timestamp * 10 + rng.gen_range(0..3),
+                time: t as Timestamp * 10 + rng.gen_range(0..3u64),
             });
         }
         // Background entities roam.
@@ -210,7 +210,7 @@ pub fn sighting_stream(
             out.push(Sighting {
                 entity: 2 * pairs + b,
                 location: rng.gen_range(0..locations),
-                time: t as Timestamp * 10 + rng.gen_range(0..10),
+                time: t as Timestamp * 10 + rng.gen_range(0..10u64),
             });
         }
     }
@@ -240,16 +240,36 @@ mod tests {
             .take(5)
             .filter(|c| c.b == c.a + 1 && c.a % 2 == 0 && c.a < 10)
             .count();
-        assert!(planted_top >= 4, "top-5: {:?}", &found[..5.min(found.len())]);
+        assert!(
+            planted_top >= 4,
+            "top-5: {:?}",
+            &found[..5.min(found.len())]
+        );
     }
 
     #[test]
     fn batch_thresholds_filter() {
         let stream = vec![
-            Sighting { entity: 1, location: 7, time: 0 },
-            Sighting { entity: 2, location: 7, time: 1 },
-            Sighting { entity: 1, location: 7, time: 100 },
-            Sighting { entity: 2, location: 7, time: 101 },
+            Sighting {
+                entity: 1,
+                location: 7,
+                time: 0,
+            },
+            Sighting {
+                entity: 2,
+                location: 7,
+                time: 1,
+            },
+            Sighting {
+                entity: 1,
+                location: 7,
+                time: 100,
+            },
+            Sighting {
+                entity: 2,
+                location: 7,
+                time: 101,
+            },
         ];
         // Two co-occurrences at one location.
         let one_loc = correlate_batch(&stream, 5, 2, 1);
@@ -288,11 +308,19 @@ mod tests {
         let mut out = Vec::new();
         for t in [0u64, 10, 20] {
             mon.ingest(
-                Sighting { entity: 1, location: 3, time: t },
+                Sighting {
+                    entity: 1,
+                    location: 3,
+                    time: t,
+                },
                 &mut out,
             );
             mon.ingest(
-                Sighting { entity: 2, location: 3, time: t + 1 },
+                Sighting {
+                    entity: 2,
+                    location: 3,
+                    time: t + 1,
+                },
                 &mut out,
             );
         }
@@ -313,7 +341,11 @@ mod tests {
         let mut out = Vec::new();
         for t in 0..1000u64 {
             mon.ingest(
-                Sighting { entity: (t % 7) as u32, location: 0, time: t * 10 },
+                Sighting {
+                    entity: (t % 7) as u32,
+                    location: 0,
+                    time: t * 10,
+                },
                 &mut out,
             );
         }

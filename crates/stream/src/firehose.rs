@@ -276,7 +276,10 @@ mod tests {
         for (i, p) in pkts.iter().enumerate() {
             det.ingest(p, i as u64, &mut out);
         }
-        assert!(det.inner.tracked_keys() <= 2 * 4_000 + 1, "state grew unbounded");
+        assert!(
+            det.inner.tracked_keys() <= 2 * 4_000 + 1,
+            "state grew unbounded"
+        );
         assert!(det.evictions > 0, "capacity never exercised");
         // Under pressure precision holds; recall may drop but should be
         // non-trivial on this skewed stream.

@@ -248,7 +248,10 @@ mod tests {
             .collect();
         assert!(hits.contains(&(0, 1, 1.0)), "events: {hits:?}");
         // No duplicate report for the same pair.
-        assert_eq!(hits.iter().filter(|&&(a, b, _)| (a, b) == (0, 1)).count(), 1);
+        assert_eq!(
+            hits.iter().filter(|&&(a, b, _)| (a, b) == (0, 1)).count(),
+            1
+        );
     }
 
     #[test]
@@ -263,10 +266,10 @@ mod tests {
             time: 0,
             updates: vec![insert(0, 2), insert(0, 3), insert(1, 2), insert(1, 4)],
         });
-        assert!(e.events().iter().all(|ev| !matches!(
-            ev.kind,
-            EventKind::PairThreshold { a: 0, b: 1, .. }
-        )));
+        assert!(e
+            .events()
+            .iter()
+            .all(|ev| !matches!(ev.kind, EventKind::PairThreshold { a: 0, b: 1, .. })));
     }
 
     #[test]

@@ -132,8 +132,10 @@ impl Monitor for IncrementalPageRank {
         _time: Timestamp,
         _out: &mut Vec<Event>,
     ) {
-        if matches!(update, Update::EdgeInsert { .. } | Update::EdgeDelete { .. })
-            && matches!(result, ApplyResult::Inserted | ApplyResult::Deleted)
+        if matches!(
+            update,
+            Update::EdgeInsert { .. } | Update::EdgeDelete { .. }
+        ) && matches!(result, ApplyResult::Inserted | ApplyResult::Deleted)
         {
             self.dirty = true;
         }
@@ -181,12 +183,12 @@ mod tests {
         let mut pr = IncrementalPageRank::new(0.85, 1e-8);
         pr.refresh(e.graph());
         let batch = batch_rank(e.graph(), 0.85);
-        for v in 0..batch.len() {
+        for (v, &bv) in batch.iter().enumerate() {
             assert!(
-                (pr.rank()[v] - batch[v]).abs() < 1e-4,
+                (pr.rank()[v] - bv).abs() < 1e-4,
                 "v {v}: {} vs {}",
                 pr.rank()[v],
-                batch[v]
+                bv
             );
         }
     }

@@ -49,12 +49,7 @@ pub struct UpdateBatch {
 /// Deterministic R-MAT edge-update stream: `total` updates over `2^scale`
 /// vertices, of which a `delete_fraction` delete a previously inserted
 /// edge (Graph500-style insert-heavy streams use 0.0–0.1).
-pub fn rmat_edge_stream(
-    scale: u32,
-    total: usize,
-    delete_fraction: f64,
-    seed: u64,
-) -> Vec<Update> {
+pub fn rmat_edge_stream(scale: u32, total: usize, delete_fraction: f64, seed: u64) -> Vec<Update> {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let p = RmatParams::GRAPH500;
     // `inserted` tracks currently-live edges (no duplicates) so every
@@ -161,7 +156,11 @@ pub fn firehose_stream(
         let key = key.min(num_keys - 1);
         // Scatter anomalous keys across the id space deterministically.
         let truth_anomalous = key % 37 < anomalous_cutoff * 37 / num_keys.max(1);
-        let p = if truth_anomalous { p_anomalous } else { p_normal };
+        let p = if truth_anomalous {
+            p_anomalous
+        } else {
+            p_normal
+        };
         out.push(Packet {
             key,
             bit: rng.gen::<f64>() < p,

@@ -170,8 +170,10 @@ impl Monitor for DegreeTopK {
         _time: Timestamp,
         _out: &mut Vec<Event>,
     ) {
-        if matches!(update, Update::EdgeInsert { .. } | Update::EdgeDelete { .. })
-            && matches!(result, ApplyResult::Inserted | ApplyResult::Deleted)
+        if matches!(
+            update,
+            Update::EdgeInsert { .. } | Update::EdgeDelete { .. }
+        ) && matches!(result, ApplyResult::Inserted | ApplyResult::Deleted)
         {
             self.dirty = true;
         }
@@ -249,9 +251,13 @@ mod tests {
         // At t=9 the cutoff is 4: edges from t in 4..=9 remain = 6.
         assert_eq!(w.edges_in_window(), 6);
         assert_eq!(w.degree(0), 6);
-        assert!(out
-            .iter()
-            .any(|ev| matches!(ev.kind, EventKind::GlobalValue { metric: "window_edges", .. })));
+        assert!(out.iter().any(|ev| matches!(
+            ev.kind,
+            EventKind::GlobalValue {
+                metric: "window_edges",
+                ..
+            }
+        )));
     }
 
     #[test]
@@ -284,10 +290,7 @@ mod tests {
             });
         }
         // Expiry events appeared once the window slid.
-        assert!(e
-            .events()
-            .iter()
-            .any(|ev| ev.source == "window"));
+        assert!(e.events().iter().any(|ev| ev.source == "window"));
     }
 
     #[test]
@@ -313,7 +316,9 @@ mod tests {
             .events()
             .iter()
             .filter_map(|ev| match &ev.kind {
-                EventKind::TopKChange { entered, left, .. } => Some((entered.clone(), left.clone())),
+                EventKind::TopKChange { entered, left, .. } => {
+                    Some((entered.clone(), left.clone()))
+                }
                 _ => None,
             })
             .collect();

@@ -59,7 +59,8 @@ fn main() {
             .map(|v| g.degree(v))
             .sum();
         teps.push(traversed as f64 / dt);
-        r.validate(&g, key).expect("BFS tree failed Graph500 validation");
+        r.validate(&g, key)
+            .expect("BFS tree failed Graph500 validation");
         validated += 1;
     }
     let harmonic: f64 = teps.len() as f64 / teps.iter().map(|t| 1.0 / t).sum::<f64>();

@@ -24,7 +24,11 @@ fn main() {
         .drop_self_loops(true)
         .reverse(true)
         .build();
-    println!("graph: {} vertices, {} edges", g.num_vertices(), g.num_edges());
+    println!(
+        "graph: {} vertices, {} edges",
+        g.num_vertices(),
+        g.num_edges()
+    );
 
     // (or, and): BFS as masked boolean frontier products.
     let lv = algos::bfs_levels(&g, 0);
@@ -59,7 +63,10 @@ fn main() {
     // (+, ×) on L·L ⊙ L: triangle counting.
     let t_m = algos::triangle_count(&g);
     let t_d = triangles::count_global(&g);
-    println!("(+,×)   tri = Σ(L·L)⊙L    == merge-intersect: {t_m} == {t_d}: {}", t_m == t_d);
+    println!(
+        "(+,×)   tri = Σ(L·L)⊙L    == merge-intersect: {t_m} == {t_d}: {}",
+        t_m == t_d
+    );
 
     // Kronecker powers: the Graph500 generator, exactly.
     let mut coo = CooMatrix::new(2, 2);

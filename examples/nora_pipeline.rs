@@ -52,7 +52,10 @@ fn main() {
         boiled.stats.pair_candidates,
         t.elapsed()
     );
-    println!("planted-ring recall: {:.1}%", boiled.ring_recall(&world) * 100.0);
+    println!(
+        "planted-ring recall: {:.1}%",
+        boiled.ring_recall(&world) * 100.0
+    );
 
     let strongest = &boiled.relationships[0];
     println!(

@@ -57,8 +57,5 @@ fn main() {
     );
     // Freeze a snapshot and confirm batch kernels run on it too.
     let snap = engine.graph().snapshot();
-    println!(
-        "snapshot components: {}",
-        cc::wcc_union_find(&snap).count
-    );
+    println!("snapshot components: {}", cc::wcc_union_find(&snap).count);
 }

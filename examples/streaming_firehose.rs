@@ -5,9 +5,7 @@
 //! cargo run --release --example streaming_firehose
 //! ```
 
-use graph_analytics::stream::firehose::{
-    FixedKeyDetector, TwoLevelDetector, UnboundedKeyDetector,
-};
+use graph_analytics::stream::firehose::{FixedKeyDetector, TwoLevelDetector, UnboundedKeyDetector};
 use graph_analytics::stream::jaccard_stream::JaccardQueryEngine;
 use graph_analytics::stream::tri_inc::IncrementalTriangles;
 use graph_analytics::stream::update::{

@@ -28,8 +28,7 @@ fn window_and_topk_monitors_ride_one_stream() {
         e.apply_batch(&batch);
     }
     // Both monitors produced events on a skewed stream.
-    let sources: std::collections::HashSet<&str> =
-        e.events().iter().map(|ev| ev.source).collect();
+    let sources: std::collections::HashSet<&str> = e.events().iter().map(|ev| ev.source).collect();
     assert!(sources.contains("window"), "no window events: {sources:?}");
     assert!(
         sources.contains("degree_topk"),
@@ -45,9 +44,7 @@ fn query_server_over_streamed_graph() {
     }
     let props = PropertyStore::new(e.graph().num_vertices());
     let mut server = QueryServer::new();
-    let queries: Vec<VertexQuery> = (0..32)
-        .map(|v| VertexQuery::Degree { vertex: v })
-        .collect();
+    let queries: Vec<VertexQuery> = (0..32).map(|v| VertexQuery::Degree { vertex: v }).collect();
     let (answers, events) = server.serve(e.graph(), &props, &queries, 0);
     assert_eq!(answers.len(), 32);
     assert!(events.is_empty());
@@ -131,6 +128,9 @@ fn calibration_is_deterministic_and_priceable() {
             globals_produced: 6,
             alerts_raised: 1,
             triggers_fired: 2,
+            kernel_cpu_ops: 60_000,
+            kernel_mem_bytes: 480_000,
+            kernel_edges_touched: 27_000,
         },
         nora: NoraStats {
             pair_candidates: 20_000,

@@ -7,9 +7,8 @@ use graph_analytics::archsim::sparse::{
     simulate_cache, simulate_pipeline, spgemm_work, CacheNode, PipelineNode,
 };
 use graph_analytics::core::model::{
-    all_but_cpu, all_upgrades, baseline2012, cpu_upgrade, disk_upgrade, emu1, emu2, emu3,
-    evaluate, lightweight, mem_upgrade, net_upgrade, nora_steps, stack_only_3d, xcaliber,
-    Resource,
+    all_but_cpu, all_upgrades, baseline2012, cpu_upgrade, disk_upgrade, emu1, emu2, emu3, evaluate,
+    lightweight, mem_upgrade, net_upgrade, nora_steps, stack_only_3d, xcaliber, Resource,
 };
 use graph_analytics::graph::{gen, CsrGraph};
 use graph_analytics::linalg::CooMatrix;
@@ -26,8 +25,7 @@ fn fig3_shape_claims() {
 
     // "disk and network bandwidth represent the tall poles for the baseline"
     let io = base.seconds_bound_by(Resource::Disk) + base.seconds_bound_by(Resource::Network);
-    let compute =
-        base.seconds_bound_by(Resource::Cpu) + base.seconds_bound_by(Resource::Memory);
+    let compute = base.seconds_bound_by(Resource::Cpu) + base.seconds_bound_by(Resource::Memory);
     assert!(io > compute);
 
     // "upgrading the microprocessor alone provided only a 45% increase"

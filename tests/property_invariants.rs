@@ -2,9 +2,7 @@
 //! structures and kernels — the invariants DESIGN.md §6 lists.
 
 use graph_analytics::graph::{io, CsrBuilder, CsrGraph, DynamicGraph};
-use graph_analytics::kernels::{
-    bfs, cc, jaccard, kcore, mis, pagerank, triangles, UnionFind,
-};
+use graph_analytics::kernels::{bfs, cc, jaccard, kcore, mis, pagerank, triangles, UnionFind};
 use graph_analytics::linalg::ops::{ewise_mul, spgemm, spmv};
 use graph_analytics::linalg::semiring::{OrAnd, PlusTimes};
 use graph_analytics::linalg::{CooMatrix, CsrMatrix};

@@ -1,0 +1,437 @@
+//! Vendored minimal benchmark harness exposing the `criterion` API
+//! surface this workspace uses (the build environment has no crates.io
+//! access). Statistical machinery is intentionally simple: per sample,
+//! time a batch of iterations and report min/mean/max per-iteration
+//! time. That is enough for the serial-vs-parallel comparison points and
+//! the CI smoke gate; it is not a publication-grade estimator.
+//!
+//! Behaviour knobs:
+//! * CLI args (forwarded by `cargo bench -- <args>`): any non-flag
+//!   argument is a substring filter on the full benchmark id; `--smoke`
+//!   caps warm-up/measurement to a few milliseconds.
+//! * `GA_BENCH_SMOKE=1` — same as `--smoke`, for CI jobs that cannot
+//!   easily thread args through.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` inputs are grouped. The vendored harness times
+/// each routine invocation individually, so the hint is accepted and
+/// ignored.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: function name plus optional parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Id with a function name and a parameter, rendered `name/param`.
+    pub fn new<P: Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId {
+            name: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Id carrying only a parameter.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+/// Things usable as a benchmark id (`&str` or [`BenchmarkId`]).
+pub trait IntoBenchmarkId {
+    /// Render to the display id.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.name
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher<'a> {
+    cfg: &'a Config,
+    /// Measured per-iteration times (seconds), filled by `iter*`.
+    samples: Vec<f64>,
+}
+
+impl Bencher<'_> {
+    /// Measure `routine` repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: estimate per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        loop {
+            black_box(routine());
+            warm_iters += 1;
+            if warm_start.elapsed() >= self.cfg.warm_up_time {
+                break;
+            }
+        }
+        let est = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+        let per_sample = self.cfg.measurement_time.as_secs_f64() / self.cfg.sample_size as f64;
+        let iters = ((per_sample / est.max(1e-9)) as u64).max(1);
+        self.samples.clear();
+        for _ in 0..self.cfg.sample_size {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            self.samples.push(t.elapsed().as_secs_f64() / iters as f64);
+        }
+    }
+
+    /// Measure `routine` on fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        // Warm-up (one measured pass to estimate cost).
+        let input = setup();
+        let t = Instant::now();
+        black_box(routine(input));
+        let est = t.elapsed().as_secs_f64();
+        let per_sample = self.cfg.measurement_time.as_secs_f64() / self.cfg.sample_size as f64;
+        let iters = ((per_sample / est.max(1e-9)) as u64).clamp(1, 1000);
+        self.samples.clear();
+        for _ in 0..self.cfg.sample_size {
+            let mut acc = 0.0;
+            for _ in 0..iters {
+                let input = setup();
+                let t = Instant::now();
+                black_box(routine(input));
+                acc += t.elapsed().as_secs_f64();
+            }
+            self.samples.push(acc / iters as f64);
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Config {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+}
+
+impl Config {
+    fn smoke() -> Self {
+        Config {
+            warm_up_time: Duration::from_millis(5),
+            measurement_time: Duration::from_millis(20),
+            sample_size: 2,
+        }
+    }
+}
+
+fn smoke_requested() -> bool {
+    std::env::var("GA_BENCH_SMOKE").is_ok_and(|v| v == "1")
+        || std::env::args().any(|a| a == "--smoke")
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    cfg: Config,
+    filters: Vec<String>,
+    smoke: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let filters = std::env::args()
+            .skip(1)
+            .filter(|a| !a.starts_with('-'))
+            .collect();
+        Criterion {
+            cfg: Config {
+                warm_up_time: Duration::from_secs(1),
+                measurement_time: Duration::from_secs(3),
+                sample_size: 50,
+            },
+            filters,
+            smoke: smoke_requested(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Set the warm-up duration.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.cfg.warm_up_time = d;
+        self
+    }
+
+    /// Set the target measurement duration per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.cfg.measurement_time = d;
+        self
+    }
+
+    /// Set the number of samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.cfg.sample_size = n;
+        self
+    }
+
+    fn effective(&self, overrides: Option<Config>) -> Config {
+        if self.smoke {
+            Config::smoke()
+        } else {
+            overrides.unwrap_or(self.cfg)
+        }
+    }
+
+    fn matches(&self, id: &str) -> bool {
+        self.filters.is_empty() || self.filters.iter().any(|f| id.contains(f.as_str()))
+    }
+
+    fn run_one(
+        &mut self,
+        id: &str,
+        cfg: Config,
+        throughput: Option<Throughput>,
+        f: &mut dyn FnMut(&mut Bencher),
+    ) {
+        if !self.matches(id) {
+            return;
+        }
+        let mut b = Bencher {
+            cfg: &cfg,
+            samples: Vec::new(),
+        };
+        f(&mut b);
+        report(id, &b.samples, throughput);
+    }
+
+    /// Run a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) {
+        let cfg = self.effective(None);
+        self.run_one(id, cfg, None, &mut f);
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            c: self,
+            name: name.to_string(),
+            cfg_override: None,
+            throughput: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and settings.
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+    name: String,
+    cfg_override: Option<Config>,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Override the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        let mut cfg = self.cfg_override.unwrap_or(self.c.cfg);
+        cfg.sample_size = n;
+        self.cfg_override = Some(cfg);
+        self
+    }
+
+    /// Override the measurement time for this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        let mut cfg = self.cfg_override.unwrap_or(self.c.cfg);
+        cfg.measurement_time = d;
+        self.cfg_override = Some(cfg);
+        self
+    }
+
+    /// Annotate throughput (reported as elements or bytes per second).
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run a benchmark inside the group.
+    pub fn bench_function<ID: IntoBenchmarkId, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: ID,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into_id());
+        let cfg = self.c.effective(self.cfg_override);
+        let tp = self.throughput;
+        self.c.run_one(&full, cfg, tp, &mut f);
+        self
+    }
+
+    /// Run a benchmark parameterized by a borrowed input.
+    pub fn bench_with_input<ID, I, F>(&mut self, id: ID, input: &I, mut f: F) -> &mut Self
+    where
+        ID: IntoBenchmarkId,
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.into_id());
+        let cfg = self.c.effective(self.cfg_override);
+        let tp = self.throughput;
+        self.c.run_one(&full, cfg, tp, &mut |b| f(b, input));
+        self
+    }
+
+    /// Close the group (kept for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+fn human_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+fn report(id: &str, samples: &[f64], throughput: Option<Throughput>) {
+    if samples.is_empty() {
+        println!("{id:<48} (no samples)");
+        return;
+    }
+    let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = samples.iter().cloned().fold(0.0f64, f64::max);
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    let tp = match throughput {
+        Some(Throughput::Elements(n)) if mean > 0.0 => {
+            format!("  {:>12.0} elem/s", n as f64 / mean)
+        }
+        Some(Throughput::Bytes(n)) if mean > 0.0 => {
+            format!("  {:>12.0} B/s", n as f64 / mean)
+        }
+        _ => String::new(),
+    };
+    println!(
+        "{id:<48} time: [{} {} {}]{tp}",
+        human_time(min),
+        human_time(mean),
+        human_time(max),
+    );
+}
+
+/// Define a benchmark group: either `criterion_group!(name, target...)`
+/// or the `name = ...; config = ...; targets = ...` form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c: $crate::Criterion = $config;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Define the benchmark binary's `main`, running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_samples() {
+        let cfg = Config::smoke();
+        let mut b = Bencher {
+            cfg: &cfg,
+            samples: Vec::new(),
+        };
+        let mut x = 0u64;
+        b.iter(|| {
+            x = x.wrapping_add(1);
+            x
+        });
+        assert_eq!(b.samples.len(), cfg.sample_size);
+        assert!(b.samples.iter().all(|&s| s >= 0.0));
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_per_iteration() {
+        let cfg = Config::smoke();
+        let mut b = Bencher {
+            cfg: &cfg,
+            samples: Vec::new(),
+        };
+        b.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::SmallInput);
+        assert_eq!(b.samples.len(), cfg.sample_size);
+    }
+
+    #[test]
+    fn benchmark_ids_render() {
+        assert_eq!(BenchmarkId::new("bfs", 12).into_id(), "bfs/12");
+        assert_eq!(BenchmarkId::from_parameter(64).into_id(), "64");
+    }
+
+    #[test]
+    fn human_time_units() {
+        assert!(human_time(2.0).ends_with(" s"));
+        assert!(human_time(2e-3).ends_with(" ms"));
+        assert!(human_time(2e-6).ends_with(" µs"));
+        assert!(human_time(2e-9).ends_with(" ns"));
+    }
+}

@@ -1,0 +1,335 @@
+//! Vendored minimal property-testing harness exposing the `proptest`
+//! API surface this workspace uses (the build environment has no
+//! crates.io access).
+//!
+//! Differences from upstream `proptest`: no shrinking (a failing case
+//! panics with the sampled value's debug output where available), and
+//! generation is plain pseudo-random sampling seeded deterministically
+//! from the test name, so failures are reproducible run-to-run.
+
+#![warn(missing_docs)]
+
+use std::ops::Range;
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// The RNG handed to strategies.
+pub type TestRng = SmallRng;
+
+/// A generator of random values for property tests.
+pub trait Strategy: Clone {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draw one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Chain: build a second strategy from each sampled value.
+    fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        S2: Strategy,
+        F: Fn(Self::Value) -> S2 + Clone,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Transform each sampled value.
+    fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+    where
+        F: Fn(Self::Value) -> T + Clone,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+#[derive(Clone)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, S2, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2 + Clone,
+{
+    type Value = S2::Value;
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        let v = self.inner.sample(rng);
+        (self.f)(v).sample(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, T, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> T + Clone,
+{
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategy!(u8, u16, u32, u64, usize, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+
+    fn sample(&self, rng: &mut TestRng) -> f32 {
+        rng.gen_range(self.clone())
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+
+/// Collection strategies (`prop::collection::vec`).
+pub mod prop {
+    /// Strategies over collections.
+    pub mod collection {
+        use super::super::{Strategy, TestRng};
+        use rand::Rng;
+        use std::ops::Range;
+
+        /// Strategy for `Vec`s with lengths drawn from `size`.
+        #[derive(Clone)]
+        pub struct VecStrategy<S> {
+            element: S,
+            size: Range<usize>,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+
+            fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let len = if self.size.is_empty() {
+                    self.size.start
+                } else {
+                    rng.gen_range(self.size.clone())
+                };
+                (0..len).map(|_| self.element.sample(rng)).collect()
+            }
+        }
+
+        /// A vector of values from `element`, length in `size`.
+        pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+            VecStrategy { element, size }
+        }
+    }
+}
+
+/// Per-test configuration (`ProptestConfig`).
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(256);
+        ProptestConfig { cases }
+    }
+}
+
+impl ProptestConfig {
+    /// Config running `cases` random cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Build the deterministic RNG for one test (used by `proptest!`).
+pub fn new_rng(seed: u64) -> TestRng {
+    <TestRng as rand::SeedableRng>::seed_from_u64(seed)
+}
+
+/// Deterministic per-test seed derived from the test's name.
+pub fn seed_for(name: &str) -> u64 {
+    // FNV-1a, stable across runs and platforms.
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// Common imports for property tests.
+pub mod prelude {
+    pub use crate::{prop, prop_assert, prop_assert_eq, proptest, Just, ProptestConfig, Strategy};
+}
+
+/// Define property tests: each runs its body against `cases` sampled
+/// values from the given strategy.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $($(#[$meta:meta])* fn $name:ident($pat:pat in $strat:expr) $body:block)*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let strat = $strat;
+                let mut rng = $crate::new_rng($crate::seed_for(stringify!($name)));
+                for case in 0..config.cases {
+                    let $pat = $crate::Strategy::sample(&strat, &mut rng);
+                    let run = || -> () { $body };
+                    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(run));
+                    if let Err(payload) = outcome {
+                        eprintln!(
+                            "proptest case {}/{} of {} failed",
+                            case + 1,
+                            config.cases,
+                            stringify!($name),
+                        );
+                        std::panic::resume_unwind(payload);
+                    }
+                }
+            }
+        )*
+    };
+    (
+        $($(#[$meta:meta])* fn $name:ident($pat:pat in $strat:expr) $body:block)*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $($(#[$meta])* fn $name($pat in $strat) $body)*
+        }
+    };
+}
+
+/// Assert inside a property test body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Assert equality inside a property test body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Assert inequality inside a property test body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = crate::TestRng::seed_from_u64(7);
+        for _ in 0..200 {
+            let v = (3usize..9).sample(&mut rng);
+            assert!((3..9).contains(&v));
+        }
+    }
+
+    #[test]
+    fn flat_map_threads_values() {
+        let mut rng = crate::TestRng::seed_from_u64(11);
+        let strat = (2usize..10).prop_flat_map(|n| {
+            let items = prop::collection::vec(0..n as u32, 0..20);
+            (Just(n), items)
+        });
+        for _ in 0..100 {
+            let (n, items) = strat.sample(&mut rng);
+            assert!((2..10).contains(&n));
+            assert!(items.len() < 20);
+            assert!(items.iter().all(|&x| (x as usize) < n));
+        }
+    }
+
+    #[test]
+    fn seeds_are_name_stable() {
+        assert_eq!(crate::seed_for("abc"), crate::seed_for("abc"));
+        assert_ne!(crate::seed_for("abc"), crate::seed_for("abd"));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_form_works((n, xs) in (1usize..6).prop_flat_map(|n| {
+            (Just(n), prop::collection::vec(0..n as u32, 0..10))
+        })) {
+            prop_assert!(n >= 1);
+            for x in xs {
+                prop_assert!((x as usize) < n);
+            }
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! Sequence sampling: slice shuffling/choosing and index sampling
+//! without replacement (the `rand::seq` subset this workspace uses).
+
+use crate::{Rng, RngCore};
+
+/// Slice extension trait mirroring `rand::seq::SliceRandom`.
+pub trait SliceRandom {
+    /// Element type.
+    type Item;
+
+    /// Uniform random element, `None` on an empty slice.
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+
+    /// In-place Fisher–Yates shuffle.
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[rng.gen_range(0..self.len())])
+        }
+    }
+
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            self.swap(i, rng.gen_range(0..=i));
+        }
+    }
+}
+
+/// Index sampling without replacement (`rand::seq::index`).
+pub mod index {
+    use crate::{Rng, RngCore};
+
+    /// A set of sampled indices (always the "vec of usize" representation;
+    /// upstream's u32 compaction is an internal optimization we skip).
+    #[derive(Clone, Debug)]
+    pub struct IndexVec(Vec<usize>);
+
+    impl IndexVec {
+        /// Number of sampled indices.
+        pub fn len(&self) -> usize {
+            self.0.len()
+        }
+
+        /// Whether the sample is empty.
+        pub fn is_empty(&self) -> bool {
+            self.0.is_empty()
+        }
+
+        /// Iterate the sampled indices.
+        pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+            self.0.iter().copied()
+        }
+
+        /// Convert into a plain vector.
+        pub fn into_vec(self) -> Vec<usize> {
+            self.0
+        }
+    }
+
+    impl IntoIterator for IndexVec {
+        type Item = usize;
+        type IntoIter = std::vec::IntoIter<usize>;
+        fn into_iter(self) -> Self::IntoIter {
+            self.0.into_iter()
+        }
+    }
+
+    /// Sample `amount` distinct indices from `0..length`, uniformly.
+    ///
+    /// Panics if `amount > length`, matching upstream.
+    pub fn sample<R: RngCore + ?Sized>(rng: &mut R, length: usize, amount: usize) -> IndexVec {
+        assert!(
+            amount <= length,
+            "cannot sample {amount} from {length} without replacement"
+        );
+        if amount == 0 {
+            return IndexVec(Vec::new());
+        }
+        // Floyd's algorithm when the sample is small relative to the
+        // population; partial Fisher–Yates otherwise.
+        if amount * 4 <= length {
+            let mut chosen = std::collections::HashSet::with_capacity(amount);
+            let mut out = Vec::with_capacity(amount);
+            for j in (length - amount)..length {
+                let t = rng.gen_range(0..=j);
+                let pick = if chosen.insert(t) { t } else { j };
+                chosen.insert(pick);
+                out.push(pick);
+            }
+            IndexVec(out)
+        } else {
+            let mut pool: Vec<usize> = (0..length).collect();
+            for i in 0..amount {
+                let j = rng.gen_range(i..length);
+                pool.swap(i, j);
+            }
+            pool.truncate(amount);
+            IndexVec(pool)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::index::sample;
+    use super::*;
+    use crate::rngs::SmallRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let mut v: Vec<u32> = (0..100).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "shuffle left 100 elements in order");
+    }
+
+    #[test]
+    fn choose_from_empty_and_nonempty() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let empty: [u8; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+        let v = [1, 2, 3];
+        assert!(v.contains(v.choose(&mut rng).unwrap()));
+    }
+
+    #[test]
+    fn sample_distinct_in_range() {
+        let mut rng = SmallRng::seed_from_u64(6);
+        for &(len, k) in &[(100usize, 5usize), (50, 40), (10, 10), (7, 0)] {
+            let s = sample(&mut rng, len, k);
+            assert_eq!(s.len(), k);
+            let mut seen = s.clone().into_vec();
+            seen.sort_unstable();
+            seen.dedup();
+            assert_eq!(seen.len(), k, "duplicates in sample({len},{k})");
+            assert!(s.iter().all(|i| i < len));
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn sample_more_than_population_panics() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        sample(&mut rng, 3, 4);
+    }
+}

@@ -1,0 +1,164 @@
+//! Vendored ChaCha generators over the workspace's `rand` traits.
+//!
+//! Implements the real ChaCha block function (IETF layout, 64-bit
+//! counter) at 8, 12, and 20 rounds. Output is a deterministic pure
+//! function of the seed — the property every generator/experiment in
+//! this repo relies on — though the exact word stream is not guaranteed
+//! to match the upstream `rand_chacha` crate's buffering order.
+
+#![warn(missing_docs)]
+
+use rand::{RngCore, SeedableRng};
+
+/// One ChaCha quarter round.
+#[inline(always)]
+fn quarter(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+/// Compute one 16-word ChaCha block with `rounds` rounds.
+fn block(key: &[u32; 8], counter: u64, rounds: usize) -> [u32; 16] {
+    let mut s = [0u32; 16];
+    // "expand 32-byte k"
+    s[0] = 0x6170_7865;
+    s[1] = 0x3320_646e;
+    s[2] = 0x7962_2d32;
+    s[3] = 0x6b20_6574;
+    s[4..12].copy_from_slice(key);
+    s[12] = counter as u32;
+    s[13] = (counter >> 32) as u32;
+    s[14] = 0;
+    s[15] = 0;
+    let input = s;
+    for _ in 0..rounds / 2 {
+        // Column round.
+        quarter(&mut s, 0, 4, 8, 12);
+        quarter(&mut s, 1, 5, 9, 13);
+        quarter(&mut s, 2, 6, 10, 14);
+        quarter(&mut s, 3, 7, 11, 15);
+        // Diagonal round.
+        quarter(&mut s, 0, 5, 10, 15);
+        quarter(&mut s, 1, 6, 11, 12);
+        quarter(&mut s, 2, 7, 8, 13);
+        quarter(&mut s, 3, 4, 9, 14);
+    }
+    for (o, i) in s.iter_mut().zip(input) {
+        *o = o.wrapping_add(i);
+    }
+    s
+}
+
+macro_rules! chacha_rng {
+    ($(#[$doc:meta])* $name:ident, $rounds:expr) => {
+        $(#[$doc])*
+        #[derive(Clone, Debug)]
+        pub struct $name {
+            key: [u32; 8],
+            counter: u64,
+            buf: [u32; 16],
+            pos: usize,
+        }
+
+        impl SeedableRng for $name {
+            type Seed = [u8; 32];
+
+            fn from_seed(seed: Self::Seed) -> Self {
+                let mut key = [0u32; 8];
+                for (k, chunk) in key.iter_mut().zip(seed.chunks(4)) {
+                    *k = u32::from_le_bytes(chunk.try_into().unwrap());
+                }
+                $name { key, counter: 0, buf: [0; 16], pos: 16 }
+            }
+        }
+
+        impl RngCore for $name {
+            fn next_u32(&mut self) -> u32 {
+                if self.pos >= 16 {
+                    self.buf = block(&self.key, self.counter, $rounds);
+                    self.counter = self.counter.wrapping_add(1);
+                    self.pos = 0;
+                }
+                let w = self.buf[self.pos];
+                self.pos += 1;
+                w
+            }
+
+            fn next_u64(&mut self) -> u64 {
+                let lo = self.next_u32() as u64;
+                let hi = self.next_u32() as u64;
+                lo | (hi << 32)
+            }
+        }
+    };
+}
+
+chacha_rng!(
+    /// ChaCha with 8 rounds — the fast statistical generator.
+    ChaCha8Rng,
+    8
+);
+chacha_rng!(
+    /// ChaCha with 12 rounds.
+    ChaCha12Rng,
+    12
+);
+chacha_rng!(
+    /// ChaCha with 20 rounds — the full-strength variant.
+    ChaCha20Rng,
+    20
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chacha20_rfc7539_block_one() {
+        // RFC 7539 §2.3.2 test vector: key 00..1f, counter 1, but with a
+        // zero nonce (our stream layout); instead check the all-zero key
+        // known-answer for the raw block function at counter 0.
+        let key = [0u32; 8];
+        let out = block(&key, 0, 20);
+        // First word of ChaCha20 keystream for zero key/nonce/counter.
+        assert_eq!(out[0], u32::from_le_bytes([0x76, 0xb8, 0xe0, 0xad]));
+        assert_eq!(out[1], u32::from_le_bytes([0xa0, 0xf1, 0x3d, 0x90]));
+    }
+
+    #[test]
+    fn deterministic_and_seed_sensitive() {
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        let mut b = ChaCha8Rng::seed_from_u64(42);
+        let mut c = ChaCha8Rng::seed_from_u64(43);
+        let xs: Vec<u64> = (0..64).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..64).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..64).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn blocks_advance() {
+        let mut r = ChaCha8Rng::seed_from_u64(1);
+        let first: Vec<u32> = (0..16).map(|_| r.next_u32()).collect();
+        let second: Vec<u32> = (0..16).map(|_| r.next_u32()).collect();
+        assert_ne!(first, second);
+    }
+
+    #[test]
+    fn rough_uniformity() {
+        let mut r = ChaCha8Rng::seed_from_u64(9);
+        let mut ones = 0u32;
+        for _ in 0..1000 {
+            ones += r.next_u32().count_ones();
+        }
+        // 32k bits, expect ~16k ones.
+        assert!((14_000..18_000).contains(&ones), "ones = {ones}");
+    }
+}

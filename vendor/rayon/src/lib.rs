@@ -1,0 +1,630 @@
+//! Vendored minimal data-parallelism library exposing the `rayon` API
+//! surface this workspace uses. The build environment has no crates.io
+//! access, so the workspace ships its own implementation.
+//!
+//! Model: every parallel iterator is an *indexed* pipeline over a base
+//! range `0..len` (ranges and slices are the only sources here). A
+//! terminal operation splits the base range into chunks, executes the
+//! chunks on `std::thread::scope` workers pulling chunk ids from an
+//! atomic counter (dynamic load balancing, which matters on power-law
+//! graphs), and recombines per-chunk results in base order — so
+//! order-sensitive terminals like `collect` match their sequential
+//! equivalents exactly.
+//!
+//! Thread count comes from `RAYON_NUM_THREADS` (if set and nonzero) or
+//! `std::thread::available_parallelism`. Inputs below a small cutoff run
+//! inline on the calling thread: scoped threads are spawned per terminal
+//! call, so tiny inputs would otherwise pay more in spawn latency than
+//! the work is worth.
+
+#![warn(missing_docs)]
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+pub mod prelude {
+    //! Glob-import surface mirroring `rayon::prelude`.
+    pub use crate::{
+        FromParallelIterator, IntoParallelIterator, IntoParallelRefIterator, ParallelIterator,
+        ParallelSliceMut,
+    };
+}
+
+/// Inputs shorter than this run inline — thread spawn latency would
+/// dominate. Deliberately small so tests exercise the threaded path.
+const SEQ_CUTOFF: usize = 1024;
+
+/// Number of worker threads a terminal call will use.
+pub fn current_num_threads() -> usize {
+    match std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+    {
+        Some(n) if n > 0 => n,
+        _ => std::thread::available_parallelism().map_or(1, |n| n.get()),
+    }
+}
+
+/// Split `0..n` into chunks and run `work` on each, on up to
+/// [`current_num_threads`] scoped workers with dynamic chunk claiming.
+/// Returns per-chunk results in base order.
+fn run_chunked<R, F>(n: usize, work: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(Range<usize>) -> R + Sync,
+{
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = current_num_threads();
+    if threads == 1 || n < SEQ_CUTOFF {
+        return vec![work(0..n)];
+    }
+    // More chunks than threads so a straggler chunk (a high-degree hub's
+    // neighborhood, say) doesn't idle the rest of the pool.
+    let num_chunks = (threads * 4).min(n);
+    let chunk_size = n.div_ceil(num_chunks);
+    let num_chunks = n.div_ceil(chunk_size);
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = (0..num_chunks).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..threads.min(num_chunks) {
+            s.spawn(|| loop {
+                let c = next.fetch_add(1, Ordering::Relaxed);
+                if c >= num_chunks {
+                    break;
+                }
+                let lo = c * chunk_size;
+                let hi = (lo + chunk_size).min(n);
+                let r = work(lo..hi);
+                *slots[c].lock().unwrap() = Some(r);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| m.into_inner().unwrap().expect("worker skipped a chunk"))
+        .collect()
+}
+
+/// A parallel iterator: an indexed pipeline over a base range.
+///
+/// `drive` pushes every item whose base index falls in `range` into
+/// `sink`, in base order. Adapters wrap `drive`; terminals call
+/// [`run_chunked`] over `0..self.len()`.
+pub trait ParallelIterator: Sized + Send + Sync {
+    /// Item type produced by the pipeline.
+    type Item: Send;
+
+    /// Number of base indices.
+    fn len(&self) -> usize;
+
+    /// Whether the base range is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Produce the items for base indices in `range`, in order.
+    fn drive(&self, range: Range<usize>, sink: &mut dyn FnMut(Self::Item));
+
+    /// Map each item through `f`.
+    fn map<T, F>(self, f: F) -> Map<Self, F>
+    where
+        T: Send,
+        F: Fn(Self::Item) -> T + Sync + Send,
+    {
+        Map { base: self, f }
+    }
+
+    /// Keep items satisfying `pred`.
+    fn filter<F>(self, pred: F) -> Filter<Self, F>
+    where
+        F: Fn(&Self::Item) -> bool + Sync + Send,
+    {
+        Filter { base: self, pred }
+    }
+
+    /// Map each item to a serial iterator and flatten (rayon's
+    /// `flat_map_iter`: the inner iterators run sequentially within a
+    /// chunk, which is exactly what frontier expansion wants).
+    fn flat_map_iter<I, F>(self, f: F) -> FlatMapIter<Self, F>
+    where
+        I: IntoIterator,
+        I::Item: Send,
+        F: Fn(Self::Item) -> I + Sync + Send,
+    {
+        FlatMapIter { base: self, f }
+    }
+
+    /// Parallel fold: each chunk starts from `identity()` and folds its
+    /// items with `fold_op`, yielding one accumulator per chunk.
+    fn fold<T, ID, F>(self, identity: ID, fold_op: F) -> Fold<Self, ID, F>
+    where
+        T: Send,
+        ID: Fn() -> T + Sync + Send,
+        F: Fn(T, Self::Item) -> T + Sync + Send,
+    {
+        Fold {
+            base: self,
+            identity,
+            fold_op,
+        }
+    }
+
+    /// Reduce all items with `op`, seeding each chunk with `identity()`.
+    fn reduce<ID, OP>(self, identity: ID, op: OP) -> Self::Item
+    where
+        ID: Fn() -> Self::Item + Sync,
+        OP: Fn(Self::Item, Self::Item) -> Self::Item + Sync,
+    {
+        let parts = run_chunked(self.len(), |range| {
+            let mut acc = Some(identity());
+            self.drive(range, &mut |item| {
+                acc = Some(op(acc.take().expect("reduce accumulator"), item));
+            });
+            acc.expect("reduce accumulator")
+        });
+        parts.into_iter().fold(identity(), &op)
+    }
+
+    /// Sum the items (`sum of per-chunk sums`, like rayon).
+    fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<Self::Item> + std::iter::Sum<S> + Send,
+    {
+        let parts = run_chunked(self.len(), |range| {
+            let mut buf = Vec::new();
+            self.drive(range, &mut |item| buf.push(item));
+            buf.into_iter().sum::<S>()
+        });
+        parts.into_iter().sum()
+    }
+
+    /// Count the items.
+    fn count(self) -> usize {
+        run_chunked(self.len(), |range| {
+            let mut c = 0usize;
+            self.drive(range, &mut |_| c += 1);
+            c
+        })
+        .into_iter()
+        .sum()
+    }
+
+    /// Run `f` on every item.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync,
+    {
+        run_chunked(self.len(), |range| self.drive(range, &mut |item| f(item)));
+    }
+
+    /// Collect into a container; for `Vec` the result order matches the
+    /// sequential pipeline.
+    fn collect<C>(self) -> C
+    where
+        C: FromParallelIterator<Self::Item>,
+    {
+        C::from_par_iter(self)
+    }
+}
+
+/// Containers buildable from a parallel iterator.
+pub trait FromParallelIterator<T: Send> {
+    /// Build from the pipeline's items (in base order).
+    fn from_par_iter<P: ParallelIterator<Item = T>>(iter: P) -> Self;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_par_iter<P: ParallelIterator<Item = T>>(iter: P) -> Self {
+        let parts = run_chunked(iter.len(), |range| {
+            let mut buf = Vec::with_capacity(range.len());
+            iter.drive(range, &mut |item| buf.push(item));
+            buf
+        });
+        let total = parts.iter().map(Vec::len).sum();
+        let mut out = Vec::with_capacity(total);
+        for p in parts {
+            out.extend(p);
+        }
+        out
+    }
+}
+
+/// Conversion into a parallel iterator (`rayon::iter::IntoParallelIterator`).
+pub trait IntoParallelIterator {
+    /// The produced iterator.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Item type.
+    type Item: Send;
+    /// Convert.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// `.par_iter()` on referenced collections.
+pub trait IntoParallelRefIterator<'a> {
+    /// The produced iterator.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Item type (a reference).
+    type Item: Send + 'a;
+    /// Borrowing conversion.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+// --------------------------------------------------------------------
+// Sources
+// --------------------------------------------------------------------
+
+/// Parallel iterator over an integer range.
+#[derive(Clone)]
+pub struct RangePar<T> {
+    start: T,
+    len: usize,
+}
+
+macro_rules! range_source {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for Range<$t> {
+            type Iter = RangePar<$t>;
+            type Item = $t;
+            fn into_par_iter(self) -> RangePar<$t> {
+                let len = if self.end > self.start {
+                    (self.end - self.start) as usize
+                } else {
+                    0
+                };
+                RangePar { start: self.start, len }
+            }
+        }
+
+        impl ParallelIterator for RangePar<$t> {
+            type Item = $t;
+            fn len(&self) -> usize {
+                self.len
+            }
+            fn drive(&self, range: Range<usize>, sink: &mut dyn FnMut($t)) {
+                for i in range {
+                    sink(self.start + i as $t);
+                }
+            }
+        }
+    )*};
+}
+range_source!(u32, u64, usize);
+
+/// Parallel iterator over `&[T]`.
+pub struct SlicePar<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Iter = SlicePar<'a, T>;
+    type Item = &'a T;
+    fn par_iter(&'a self) -> SlicePar<'a, T> {
+        SlicePar { slice: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Iter = SlicePar<'a, T>;
+    type Item = &'a T;
+    fn par_iter(&'a self) -> SlicePar<'a, T> {
+        SlicePar { slice: self }
+    }
+}
+
+impl<'a, T: Sync> ParallelIterator for SlicePar<'a, T> {
+    type Item = &'a T;
+    fn len(&self) -> usize {
+        self.slice.len()
+    }
+    fn drive(&self, range: Range<usize>, sink: &mut dyn FnMut(&'a T)) {
+        for item in &self.slice[range] {
+            sink(item);
+        }
+    }
+}
+
+// --------------------------------------------------------------------
+// Adapters
+// --------------------------------------------------------------------
+
+/// See [`ParallelIterator::map`].
+pub struct Map<B, F> {
+    base: B,
+    f: F,
+}
+
+impl<B, T, F> ParallelIterator for Map<B, F>
+where
+    B: ParallelIterator,
+    T: Send,
+    F: Fn(B::Item) -> T + Sync + Send,
+{
+    type Item = T;
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+    fn drive(&self, range: Range<usize>, sink: &mut dyn FnMut(T)) {
+        self.base.drive(range, &mut |item| sink((self.f)(item)));
+    }
+}
+
+/// See [`ParallelIterator::filter`].
+pub struct Filter<B, F> {
+    base: B,
+    pred: F,
+}
+
+impl<B, F> ParallelIterator for Filter<B, F>
+where
+    B: ParallelIterator,
+    F: Fn(&B::Item) -> bool + Sync + Send,
+{
+    type Item = B::Item;
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+    fn drive(&self, range: Range<usize>, sink: &mut dyn FnMut(B::Item)) {
+        self.base.drive(range, &mut |item| {
+            if (self.pred)(&item) {
+                sink(item);
+            }
+        });
+    }
+}
+
+/// See [`ParallelIterator::flat_map_iter`].
+pub struct FlatMapIter<B, F> {
+    base: B,
+    f: F,
+}
+
+impl<B, I, F> ParallelIterator for FlatMapIter<B, F>
+where
+    B: ParallelIterator,
+    I: IntoIterator,
+    I::Item: Send,
+    F: Fn(B::Item) -> I + Sync + Send,
+{
+    type Item = I::Item;
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+    fn drive(&self, range: Range<usize>, sink: &mut dyn FnMut(I::Item)) {
+        self.base.drive(range, &mut |item| {
+            for sub in (self.f)(item) {
+                sink(sub);
+            }
+        });
+    }
+}
+
+/// See [`ParallelIterator::fold`]. Yields one accumulator per driven
+/// chunk (`len` reports the base length; terminals see one item per
+/// chunk because `drive` folds the whole range into a single value).
+pub struct Fold<B, ID, F> {
+    base: B,
+    identity: ID,
+    fold_op: F,
+}
+
+impl<B, T, ID, F> ParallelIterator for Fold<B, ID, F>
+where
+    B: ParallelIterator,
+    T: Send,
+    ID: Fn() -> T + Sync + Send,
+    F: Fn(T, B::Item) -> T + Sync + Send,
+{
+    type Item = T;
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+    fn drive(&self, range: Range<usize>, sink: &mut dyn FnMut(T)) {
+        let mut acc = Some((self.identity)());
+        self.base.drive(range, &mut |item| {
+            acc = Some((self.fold_op)(acc.take().expect("fold accumulator"), item));
+        });
+        sink(acc.expect("fold accumulator"));
+    }
+}
+
+// --------------------------------------------------------------------
+// Mutable slice operations
+// --------------------------------------------------------------------
+
+/// Parallel operations on mutable slices (`rayon::slice::ParallelSliceMut`
+/// subset).
+pub trait ParallelSliceMut<T> {
+    /// Parallel unstable sort by comparator: chunks sort on worker
+    /// threads, then a pairwise merge combines them. `T: Copy` keeps the
+    /// merge trivially panic-safe (graph edge tuples are `Copy`).
+    fn par_sort_unstable_by<F>(&mut self, cmp: F)
+    where
+        T: Copy + Send + Sync,
+        F: Fn(&T, &T) -> std::cmp::Ordering + Sync;
+}
+
+impl<T> ParallelSliceMut<T> for [T] {
+    fn par_sort_unstable_by<F>(&mut self, cmp: F)
+    where
+        T: Copy + Send + Sync,
+        F: Fn(&T, &T) -> std::cmp::Ordering + Sync,
+    {
+        let n = self.len();
+        let threads = current_num_threads();
+        if threads == 1 || n < SEQ_CUTOFF * 4 {
+            self.sort_unstable_by(cmp);
+            return;
+        }
+        let chunk = n.div_ceil(threads);
+        std::thread::scope(|s| {
+            for part in self.chunks_mut(chunk) {
+                s.spawn(|| part.sort_unstable_by(|a, b| cmp(a, b)));
+            }
+        });
+        // Pairwise merge of sorted runs until one run remains.
+        let mut run = chunk;
+        let mut scratch: Vec<T> = Vec::with_capacity(n);
+        while run < n {
+            let mut lo = 0;
+            while lo + run < n {
+                let mid = lo + run;
+                let hi = (mid + run).min(n);
+                scratch.clear();
+                {
+                    let (a, b) = (&self[lo..mid], &self[mid..hi]);
+                    let (mut i, mut j) = (0, 0);
+                    while i < a.len() && j < b.len() {
+                        if cmp(&a[i], &b[j]) != std::cmp::Ordering::Greater {
+                            scratch.push(a[i]);
+                            i += 1;
+                        } else {
+                            scratch.push(b[j]);
+                            j += 1;
+                        }
+                    }
+                    scratch.extend_from_slice(&a[i..]);
+                    scratch.extend_from_slice(&b[j..]);
+                }
+                self[lo..hi].copy_from_slice(&scratch);
+                lo = hi;
+            }
+            run *= 2;
+        }
+    }
+}
+
+/// Run two closures, potentially in parallel, returning both results
+/// (`rayon::join`).
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() == 1 {
+        return (a(), b());
+    }
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        (ra, hb.join().expect("joined closure panicked"))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    /// Big enough to cross `SEQ_CUTOFF` and exercise real threads.
+    const N: usize = 10_000;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let out: Vec<usize> = (0..N).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(out, (0..N).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn filter_map_sum_matches_sequential() {
+        let par: usize = (0..N)
+            .into_par_iter()
+            .filter(|&i| i % 3 == 0)
+            .map(|i| i * i)
+            .sum();
+        let seq: usize = (0..N).filter(|&i| i % 3 == 0).map(|i| i * i).sum();
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn flat_map_iter_order_and_content() {
+        let v: Vec<u32> = (0..2_000u32)
+            .into_par_iter()
+            .flat_map_iter(|i| [i, i + 1])
+            .collect();
+        let seq: Vec<u32> = (0..2_000u32).flat_map(|i| [i, i + 1]).collect();
+        assert_eq!(v, seq);
+    }
+
+    #[test]
+    fn fold_reduce_vector_accumulation() {
+        // The Brandes pattern: per-chunk vector accumulators reduced by
+        // element-wise addition.
+        let acc = (0..N)
+            .into_par_iter()
+            .fold(
+                || vec![0u64; 8],
+                |mut acc, i| {
+                    acc[i % 8] += 1;
+                    acc
+                },
+            )
+            .reduce(
+                || vec![0u64; 8],
+                |mut a, b| {
+                    for (x, y) in a.iter_mut().zip(b) {
+                        *x += y;
+                    }
+                    a
+                },
+            );
+        assert_eq!(acc.iter().sum::<u64>(), N as u64);
+        assert!(acc.iter().all(|&c| c == N as u64 / 8));
+    }
+
+    #[test]
+    fn slice_par_iter() {
+        let data: Vec<u64> = (0..N as u64).collect();
+        let s: u64 = data.par_iter().map(|&x| x).sum();
+        assert_eq!(s, (N as u64 - 1) * N as u64 / 2);
+    }
+
+    #[test]
+    fn reduce_with_min() {
+        let m = (0..N)
+            .into_par_iter()
+            .map(|i| (i as i64 - 5_000).abs())
+            .reduce(|| i64::MAX, i64::min);
+        assert_eq!(m, 0);
+    }
+
+    #[test]
+    fn count_and_for_each() {
+        assert_eq!((0..N).into_par_iter().filter(|&i| i < 10).count(), 10);
+        let total = std::sync::atomic::AtomicUsize::new(0);
+        (0..N).into_par_iter().for_each(|_| {
+            total.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(total.into_inner(), N);
+    }
+
+    #[test]
+    fn par_sort_matches_sequential_sort() {
+        // Deterministic pseudo-random permutation.
+        let mut v: Vec<(u32, u32)> = (0..50_000u32)
+            .map(|i| (i.wrapping_mul(2_654_435_761) % 1_000, i))
+            .collect();
+        let mut expect = v.clone();
+        expect.sort_unstable();
+        v.par_sort_unstable_by(|a, b| a.cmp(b));
+        assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let out: Vec<u32> = (0..0u32).into_par_iter().map(|i| i).collect();
+        assert!(out.is_empty());
+        assert_eq!((0..0usize).into_par_iter().sum::<usize>(), 0);
+    }
+
+    #[test]
+    fn join_runs_both() {
+        let (a, b) = join(|| 1 + 1, || "x".repeat(3));
+        assert_eq!(a, 2);
+        assert_eq!(b, "xxx");
+    }
+}
