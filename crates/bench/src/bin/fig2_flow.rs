@@ -14,6 +14,15 @@
 //! ```sh
 //! cargo run --release -p ga-bench --bin fig2_flow
 //! ```
+//!
+//! Durability demo (WAL + checkpoints + crash/recovery):
+//!
+//! ```sh
+//! # Run with durability on, crash partway through the stream:
+//! fig2_flow --checkpoint-dir /tmp/fig2 --crash-after 20
+//! # Pick up where the crash left off (checkpoint + WAL replay):
+//! fig2_flow --checkpoint-dir /tmp/fig2 --recover
+//! ```
 
 use ga_bench::header;
 use ga_core::dedup::{dedup_batch, generate_records};
@@ -26,7 +35,45 @@ use ga_stream::update::{into_batches, rmat_edge_stream};
 use ga_stream::EventKind;
 use std::time::Instant;
 
+/// `--checkpoint-dir DIR [--crash-after N] [--recover]`, parsed by hand
+/// (no CLI dependency in this workspace).
+struct Args {
+    checkpoint_dir: Option<String>,
+    crash_after: Option<usize>,
+    recover: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        checkpoint_dir: None,
+        crash_after: None,
+        recover: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--checkpoint-dir" => args.checkpoint_dir = it.next(),
+            "--crash-after" => {
+                args.crash_after = it.next().and_then(|v| v.parse().ok());
+            }
+            "--recover" => args.recover = true,
+            other => {
+                eprintln!(
+                    "unknown flag {other}; flags: --checkpoint-dir DIR --crash-after N --recover"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    if (args.crash_after.is_some() || args.recover) && args.checkpoint_dir.is_none() {
+        eprintln!("--crash-after/--recover require --checkpoint-dir");
+        std::process::exit(2);
+    }
+    args
+}
+
 fn main() {
+    let args = parse_args();
     let t0 = Instant::now();
     header("Fig. 2 — Canonical Graph Processing Flow (reference run)");
 
@@ -48,8 +95,27 @@ fn main() {
     // relation stream below; the NORA example exercises the true
     // person-address build.
     let n = 1usize << 12;
-    let mut flow = FlowEngine::new(n);
-    flow.note_ingest(records.len(), dedup.num_entities);
+    let mut resume_from = 0usize;
+    let mut flow = if args.recover {
+        let dir = args.checkpoint_dir.as_deref().unwrap();
+        let flow = FlowEngine::recover(dir).expect("recover from checkpoint dir");
+        // WAL frame i (1-based) carries stream batch i-1.
+        resume_from = (flow.next_wal_seq().unwrap() - 1) as usize;
+        println!(
+            "recovered from {dir}: {} updates already applied, {} quarantined; resuming at stream batch {resume_from}",
+            flow.stats().updates_applied,
+            flow.stats().updates_quarantined,
+        );
+        flow
+    } else {
+        let mut flow = FlowEngine::new(n);
+        flow.note_ingest(records.len(), dedup.num_entities);
+        if let Some(dir) = args.checkpoint_dir.as_deref() {
+            flow.enable_durability(dir).expect("enable durability");
+            println!("durability on: WAL + checkpoints under {dir}");
+        }
+        flow
+    };
     flow.extract.depth = 2;
     flow.extract.max_vertices = 1024;
 
@@ -68,20 +134,38 @@ fn main() {
     let stream = rmat_edge_stream(12, 60_000, 0.05, 23);
     let t_stream = Instant::now();
     let mut triggered_runs = 0;
+    let mut processed_this_run = 0usize;
     let budget = std::cell::Cell::new(50usize);
-    for batch in into_batches(stream, 1_000, 0) {
-        let reports = flow.process_stream(
-            &batch,
-            |ev| match ev.kind {
-                EventKind::PairThreshold { a, b, .. } if budget.get() > 0 => {
-                    budget.set(budget.get() - 1);
-                    Some(vec![a, b])
-                }
-                _ => None,
-            },
-            Some(tri),
-        );
+    for (i, batch) in into_batches(stream, 1_000, 0).into_iter().enumerate() {
+        if i < resume_from {
+            continue; // already durable and replayed by recovery
+        }
+        if Some(processed_this_run) == args.crash_after {
+            println!("simulated crash after {processed_this_run} batches; recover with --recover");
+            std::process::exit(1);
+        }
+        let trigger = |ev: &ga_stream::Event| match ev.kind {
+            EventKind::PairThreshold { a, b, .. } if budget.get() > 0 => {
+                budget.set(budget.get() - 1);
+                Some(vec![a, b])
+            }
+            _ => None,
+        };
+        let reports = if flow.is_durable() {
+            flow.process_stream_durable(&batch, trigger, Some(tri))
+                .expect("durable ingest")
+        } else {
+            flow.process_stream(&batch, trigger, Some(tri))
+        };
         triggered_runs += reports.len();
+        processed_this_run += 1;
+        if flow.is_durable() && processed_this_run.is_multiple_of(10) {
+            flow.checkpoint().expect("checkpoint");
+        }
+    }
+    if flow.is_durable() {
+        let path = flow.checkpoint().expect("final checkpoint");
+        println!("final checkpoint: {}", path.display());
     }
     println!(
         "streaming: {} updates applied, {} triggered analytic runs in {:?}",
@@ -116,6 +200,7 @@ fn main() {
     println!("records_ingested      {}", s.records_ingested);
     println!("entities_created      {}", s.entities_created);
     println!("updates_applied       {}", s.updates_applied);
+    println!("updates_quarantined   {}", s.updates_quarantined);
     println!("events_observed       {}", s.events_observed);
     println!("triggers_fired        {}", s.triggers_fired);
     println!("batch_runs            {}", s.batch_runs);

@@ -222,6 +222,7 @@ mod tests {
                 globals_produced: 20,
                 alerts_raised: 3,
                 updates_applied: 60_000,
+                updates_quarantined: 0,
                 events_observed: 9_000,
                 triggers_fired: 50,
                 kernel_cpu_ops: 400_000,

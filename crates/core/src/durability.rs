@@ -1,0 +1,669 @@
+//! Checkpoints + WAL management: the durable half of the flow engine.
+//!
+//! A durable [`crate::flow::FlowEngine`] directs every update batch
+//! through a write-ahead log (`ga_stream::wal`) and periodically
+//! serializes its full state into a *checkpoint* file:
+//!
+//! ```text
+//! GAC1 | version | symmetrize | vertex_limit | last_batch_time
+//!      | next_wal_seq | GAD1 graph | GAP1 props | FlowStats
+//!      | StreamStats | crc32
+//! ```
+//!
+//! `next_wal_seq` is the recovery cursor: every WAL frame with a
+//! sequence number below it is already reflected in the checkpoint, so
+//! recovery = *newest checkpoint that passes its CRC* + *replay of the
+//! WAL suffix at or past the cursor*. Checkpoints are written to a
+//! temporary file and renamed into place, the body carries a whole-file
+//! CRC32, and recovery transparently falls back to the previous
+//! checkpoint when the newest is torn or unreadable — so a crash at any
+//! byte of any write leaves a recoverable directory.
+//!
+//! Retention keeps the last two checkpoints; a WAL segment is deleted
+//! only once it is fully covered by the *older* retained checkpoint, so
+//! the fallback path always has the frames it needs.
+//!
+//! Fault sites: `"checkpoint.write"` (veto or tear the file) and
+//! `"checkpoint.load"` (veto a candidate during recovery); WAL appends
+//! carry their own `"wal.append"` site.
+
+use crate::faults;
+use crate::flow::FlowStats;
+use ga_graph::io::{self as gio, crc32};
+use ga_graph::{DynamicGraph, PropertyStore, Timestamp};
+use ga_stream::engine::StreamStats;
+use ga_stream::update::UpdateBatch;
+use ga_stream::wal::{self, Wal};
+use std::fs;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+const MAGIC: &[u8; 4] = b"GAC1";
+const VERSION: u16 = 1;
+
+/// A complete, self-contained snapshot of engine state.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Checkpoint {
+    /// The persistent graph, slot-exact (tombstones + timestamps).
+    pub graph: DynamicGraph,
+    /// The property columns.
+    pub props: PropertyStore,
+    /// Flow-level instrumentation counters.
+    pub flow: FlowStats,
+    /// Stream-level instrumentation counters.
+    pub stream: StreamStats,
+    /// The stream engine's symmetrize setting (replay must mirror it).
+    pub symmetrize: bool,
+    /// The quarantine bound for vertex ids (replay must mirror it).
+    pub vertex_limit: u64,
+    /// Batch-time watermark (replay must face the same monotonicity
+    /// checks as the original run).
+    pub last_batch_time: Timestamp,
+    /// First WAL sequence number NOT reflected in this checkpoint.
+    pub next_wal_seq: u64,
+}
+
+fn corrupt(what: impl std::fmt::Display) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, format!("GAC1: {what}"))
+}
+
+fn push_flow_stats(out: &mut Vec<u8>, s: &FlowStats) {
+    let fields = [
+        s.records_ingested,
+        s.entities_created,
+        s.batch_runs,
+        s.seeds_selected,
+        s.subgraphs_extracted,
+        s.vertices_extracted,
+        s.edges_extracted,
+        s.props_written_back,
+        s.globals_produced,
+        s.alerts_raised,
+        s.updates_applied,
+        s.updates_quarantined,
+        s.events_observed,
+        s.triggers_fired,
+        s.kernel_cpu_ops,
+        s.kernel_mem_bytes,
+        s.kernel_edges_touched,
+    ];
+    out.extend_from_slice(&(fields.len() as u32).to_le_bytes());
+    for f in fields {
+        out.extend_from_slice(&(f as u64).to_le_bytes());
+    }
+}
+
+fn push_stream_stats(out: &mut Vec<u8>, s: &StreamStats) {
+    let fields = [
+        s.edges_inserted,
+        s.edges_updated,
+        s.edges_deleted,
+        s.deletes_missed,
+        s.props_set,
+        s.batches,
+        s.events_emitted,
+        s.updates_quarantined,
+    ];
+    out.extend_from_slice(&(fields.len() as u32).to_le_bytes());
+    for f in fields {
+        out.extend_from_slice(&(f as u64).to_le_bytes());
+    }
+}
+
+fn take_stats(r: &mut &[u8], expect: usize, what: &str) -> io::Result<Vec<usize>> {
+    let count = take_u32(r, what)? as usize;
+    if count != expect {
+        return Err(corrupt(format!(
+            "{what}: {count} fields on disk, this build expects {expect}"
+        )));
+    }
+    (0..count)
+        .map(|_| Ok(take_u64(r, what)? as usize))
+        .collect()
+}
+
+fn take_array<const N: usize>(r: &mut &[u8], what: &str) -> io::Result<[u8; N]> {
+    if r.len() < N {
+        return Err(corrupt(format!("truncated in {what}")));
+    }
+    let (head, rest) = r.split_at(N);
+    *r = rest;
+    Ok(head.try_into().unwrap())
+}
+
+fn take_u32(r: &mut &[u8], what: &str) -> io::Result<u32> {
+    Ok(u32::from_le_bytes(take_array(r, what)?))
+}
+
+fn take_u64(r: &mut &[u8], what: &str) -> io::Result<u64> {
+    Ok(u64::from_le_bytes(take_array(r, what)?))
+}
+
+/// Serialize a checkpoint (including the trailing CRC32).
+pub fn encode_checkpoint(c: &Checkpoint) -> io::Result<Vec<u8>> {
+    let mut out = Vec::new();
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.extend_from_slice(&0u16.to_le_bytes()); // reserved
+    out.push(c.symmetrize as u8);
+    out.extend_from_slice(&c.vertex_limit.to_le_bytes());
+    out.extend_from_slice(&c.last_batch_time.to_le_bytes());
+    out.extend_from_slice(&c.next_wal_seq.to_le_bytes());
+    let mut graph_buf = Vec::new();
+    gio::write_dynamic(&c.graph, &mut graph_buf)?;
+    out.extend_from_slice(&(graph_buf.len() as u64).to_le_bytes());
+    out.extend_from_slice(&graph_buf);
+    let mut props_buf = Vec::new();
+    gio::write_props(&c.props, &mut props_buf)?;
+    out.extend_from_slice(&(props_buf.len() as u64).to_le_bytes());
+    out.extend_from_slice(&props_buf);
+    push_flow_stats(&mut out, &c.flow);
+    push_stream_stats(&mut out, &c.stream);
+    let crc = crc32(&out);
+    out.extend_from_slice(&crc.to_le_bytes());
+    Ok(out)
+}
+
+/// Deserialize and CRC-verify a checkpoint.
+pub fn decode_checkpoint(bytes: &[u8]) -> io::Result<Checkpoint> {
+    if bytes.len() < 4 {
+        return Err(corrupt("file shorter than its checksum"));
+    }
+    let (body, crc_bytes) = bytes.split_at(bytes.len() - 4);
+    let stored = u32::from_le_bytes(crc_bytes.try_into().unwrap());
+    if crc32(body) != stored {
+        return Err(corrupt("checksum mismatch (torn or corrupt file)"));
+    }
+    let mut r = body;
+    let magic: [u8; 4] = take_array(&mut r, "magic")?;
+    if &magic != MAGIC {
+        return Err(corrupt(format!(
+            "bad magic {:?}",
+            String::from_utf8_lossy(&magic)
+        )));
+    }
+    let version = u16::from_le_bytes(take_array(&mut r, "version")?);
+    if version != VERSION {
+        return Err(corrupt(format!(
+            "unsupported version {version} (this build reads version {VERSION})"
+        )));
+    }
+    let _reserved = u16::from_le_bytes(take_array::<2>(&mut r, "header")?);
+    let symmetrize = match take_array::<1>(&mut r, "symmetrize flag")?[0] {
+        0 => false,
+        1 => true,
+        x => return Err(corrupt(format!("invalid symmetrize flag {x}"))),
+    };
+    let vertex_limit = take_u64(&mut r, "vertex_limit")?;
+    let last_batch_time = take_u64(&mut r, "last_batch_time")?;
+    let next_wal_seq = take_u64(&mut r, "next_wal_seq")?;
+    let graph_len = take_u64(&mut r, "graph section length")? as usize;
+    if r.len() < graph_len {
+        return Err(corrupt("truncated in graph section"));
+    }
+    let (graph_bytes, rest) = r.split_at(graph_len);
+    r = rest;
+    let graph = gio::read_dynamic(graph_bytes)?;
+    let props_len = take_u64(&mut r, "props section length")? as usize;
+    if r.len() < props_len {
+        return Err(corrupt("truncated in props section"));
+    }
+    let (props_bytes, rest) = r.split_at(props_len);
+    r = rest;
+    let props = gio::read_props(props_bytes)?;
+    let f = take_stats(&mut r, 17, "FlowStats")?;
+    let flow = FlowStats {
+        records_ingested: f[0],
+        entities_created: f[1],
+        batch_runs: f[2],
+        seeds_selected: f[3],
+        subgraphs_extracted: f[4],
+        vertices_extracted: f[5],
+        edges_extracted: f[6],
+        props_written_back: f[7],
+        globals_produced: f[8],
+        alerts_raised: f[9],
+        updates_applied: f[10],
+        updates_quarantined: f[11],
+        events_observed: f[12],
+        triggers_fired: f[13],
+        kernel_cpu_ops: f[14],
+        kernel_mem_bytes: f[15],
+        kernel_edges_touched: f[16],
+    };
+    let s = take_stats(&mut r, 8, "StreamStats")?;
+    let stream = StreamStats {
+        edges_inserted: s[0],
+        edges_updated: s[1],
+        edges_deleted: s[2],
+        deletes_missed: s[3],
+        props_set: s[4],
+        batches: s[5],
+        events_emitted: s[6],
+        updates_quarantined: s[7],
+    };
+    if !r.is_empty() {
+        return Err(corrupt(format!("{} trailing bytes", r.len())));
+    }
+    Ok(Checkpoint {
+        graph,
+        props,
+        flow,
+        stream,
+        symmetrize,
+        vertex_limit,
+        last_batch_time,
+        next_wal_seq,
+    })
+}
+
+fn ckpt_path(dir: &Path, seq: u64) -> PathBuf {
+    dir.join(format!("ckpt-{seq:020}.gac"))
+}
+
+fn wal_path(dir: &Path, start_seq: u64) -> PathBuf {
+    dir.join(format!("wal-{start_seq:020}.log"))
+}
+
+fn list_numbered(dir: &Path, prefix: &str, suffix: &str) -> io::Result<Vec<(u64, PathBuf)>> {
+    let mut out = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if let Some(num) = name
+            .strip_prefix(prefix)
+            .and_then(|s| s.strip_suffix(suffix))
+        {
+            if let Ok(n) = num.parse::<u64>() {
+                out.push((n, entry.path()));
+            }
+        }
+    }
+    out.sort_by_key(|(n, _)| *n);
+    Ok(out)
+}
+
+/// How many checkpoints [`Durability`] retains (the newest plus one
+/// fallback for torn-checkpoint recovery).
+pub const CHECKPOINTS_RETAINED: usize = 2;
+
+/// Owns a durability directory: the open WAL segment plus checkpoint
+/// rotation/retention.
+pub struct Durability {
+    dir: PathBuf,
+    wal: Wal,
+    /// Sequence of the newest successfully written checkpoint.
+    last_checkpoint_seq: u64,
+}
+
+impl Durability {
+    /// Initialize a fresh durability directory with `initial` as
+    /// checkpoint zero. Fails if `dir` already holds engine state
+    /// (recover instead of silently clobbering it).
+    pub fn create(dir: impl AsRef<Path>, initial: &Checkpoint) -> io::Result<Durability> {
+        let dir = dir.as_ref().to_path_buf();
+        fs::create_dir_all(&dir)?;
+        if !list_numbered(&dir, "ckpt-", ".gac")?.is_empty()
+            || !list_numbered(&dir, "wal-", ".log")?.is_empty()
+        {
+            return Err(io::Error::new(
+                io::ErrorKind::AlreadyExists,
+                format!(
+                    "{} already contains engine state; use recover",
+                    dir.display()
+                ),
+            ));
+        }
+        let seq = initial.next_wal_seq;
+        write_checkpoint_file(&dir, initial)?;
+        let wal = Wal::create(wal_path(&dir, seq), seq)?;
+        Ok(Durability {
+            dir,
+            wal,
+            last_checkpoint_seq: seq,
+        })
+    }
+
+    /// The directory this manager owns.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Sequence number the next WAL append will carry.
+    pub fn next_wal_seq(&self) -> u64 {
+        self.wal.next_seq()
+    }
+
+    /// Sequence recorded by the newest successfully written checkpoint.
+    pub fn last_checkpoint_seq(&self) -> u64 {
+        self.last_checkpoint_seq
+    }
+
+    /// Append a batch to the WAL (fsynced). Returns its sequence.
+    pub fn append(&mut self, batch: &UpdateBatch) -> io::Result<u64> {
+        self.wal.append(batch)
+    }
+
+    /// Write `ckpt` durably, rotate the WAL, and prune per retention.
+    /// On success returns the checkpoint's path.
+    pub fn checkpoint(&mut self, ckpt: &Checkpoint) -> io::Result<PathBuf> {
+        let seq = ckpt.next_wal_seq;
+        let path = write_checkpoint_file(&self.dir, ckpt)?;
+        // Rotate: new appends land in a fresh segment starting at the
+        // checkpoint cursor (no-op rename-over when seq already has a
+        // segment, i.e. a checkpoint with no intervening batches).
+        if wal_path(&self.dir, seq) != *self.wal.path() {
+            self.wal = Wal::create(wal_path(&self.dir, seq), seq)?;
+        }
+        self.last_checkpoint_seq = seq;
+        self.prune()?;
+        Ok(path)
+    }
+
+    /// Drop checkpoints beyond the retention window and WAL segments
+    /// fully covered by the *oldest retained* checkpoint.
+    fn prune(&self) -> io::Result<()> {
+        let ckpts = list_numbered(&self.dir, "ckpt-", ".gac")?;
+        if ckpts.len() > CHECKPOINTS_RETAINED {
+            for (_, path) in &ckpts[..ckpts.len() - CHECKPOINTS_RETAINED] {
+                fs::remove_file(path)?;
+            }
+        }
+        let keep_floor = ckpts
+            .iter()
+            .rev()
+            .take(CHECKPOINTS_RETAINED)
+            .map(|(n, _)| *n)
+            .min()
+            .unwrap_or(0);
+        let wals = list_numbered(&self.dir, "wal-", ".log")?;
+        // Segment [start_i, start_{i+1}) is disposable once even the
+        // fallback checkpoint no longer needs any frame in it.
+        for w in wals.windows(2) {
+            let (_, ref path) = w[0];
+            let (next_start, _) = w[1];
+            if next_start <= keep_floor {
+                fs::remove_file(path)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Load the newest usable checkpoint in `dir` and the WAL suffix
+    /// after it. Returns the manager (ready to append), the checkpoint,
+    /// and the `(seq, batch)` replay list in order.
+    #[allow(clippy::type_complexity)]
+    pub fn recover(
+        dir: impl AsRef<Path>,
+    ) -> io::Result<(Durability, Checkpoint, Vec<(u64, UpdateBatch)>)> {
+        let dir = dir.as_ref().to_path_buf();
+        let ckpts = list_numbered(&dir, "ckpt-", ".gac")?;
+        if ckpts.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("{}: no checkpoint files", dir.display()),
+            ));
+        }
+        let mut ckpt = None;
+        let mut last_err = None;
+        for (seq, path) in ckpts.iter().rev() {
+            // A vetoed or corrupt candidate falls through to the next
+            // older checkpoint; the WAL suffix covers the difference.
+            let attempt = faults::check("checkpoint.load")
+                .and_then(|()| fs::read(path))
+                .and_then(|bytes| decode_checkpoint(&bytes));
+            match attempt {
+                Ok(c) => {
+                    if c.next_wal_seq != *seq {
+                        last_err = Some(corrupt(format!(
+                            "{}: cursor {} disagrees with filename",
+                            path.display(),
+                            c.next_wal_seq
+                        )));
+                        continue;
+                    }
+                    ckpt = Some(c);
+                    break;
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        let Some(ckpt) = ckpt else {
+            return Err(last_err.unwrap_or_else(|| corrupt("no usable checkpoint")));
+        };
+
+        // Replay every intact frame at or past the cursor, in order,
+        // stopping at a sequence gap (nothing after a gap can be trusted).
+        let wals = list_numbered(&dir, "wal-", ".log")?;
+        let mut frames: Vec<(u64, UpdateBatch)> = Vec::new();
+        for (_, path) in &wals {
+            let scan = wal::replay(path)?;
+            frames.extend(scan.batches);
+        }
+        frames.sort_by_key(|(seq, _)| *seq);
+        let mut replayable = Vec::new();
+        let mut expect = ckpt.next_wal_seq;
+        for (seq, batch) in frames {
+            if seq < expect {
+                continue; // already inside the checkpoint
+            }
+            if seq != expect {
+                break; // gap: a vetoed append preceded the crash
+            }
+            replayable.push((seq, batch));
+            expect += 1;
+        }
+
+        // Reopen the newest segment for appending (truncating any torn
+        // tail); `expect` is where the durable history actually ends.
+        let wal = match wals.last() {
+            Some((start, path)) => {
+                let mut w = Wal::open_append(path, *start)?;
+                if w.next_seq() > expect {
+                    // The tail of this segment sits after a gap; a fresh
+                    // segment at the true cursor supersedes it.
+                    w = Wal::create(wal_path(&dir, expect), expect)?;
+                }
+                w
+            }
+            None => Wal::create(wal_path(&dir, expect), expect)?,
+        };
+        let last_checkpoint_seq = ckpt.next_wal_seq;
+        Ok((
+            Durability {
+                dir,
+                wal,
+                last_checkpoint_seq,
+            },
+            ckpt,
+            replayable,
+        ))
+    }
+}
+
+/// Encode + write one checkpoint file: temp file, fsync, atomic rename.
+/// Passes the `"checkpoint.write"` fault site; an injected short write
+/// tears the file at its *final* path, modelling a crash inside a
+/// non-atomic writer, which recovery must survive via fallback.
+fn write_checkpoint_file(dir: &Path, ckpt: &Checkpoint) -> io::Result<PathBuf> {
+    let bytes = encode_checkpoint(ckpt)?;
+    let path = ckpt_path(dir, ckpt.next_wal_seq);
+    match faults::intercept("checkpoint.write") {
+        faults::Intercept::Proceed => {}
+        faults::Intercept::Error => return Err(faults::injected("checkpoint.write")),
+        faults::Intercept::ShortWrite(k) => {
+            let k = k.min(bytes.len());
+            let mut f = fs::File::create(&path)?;
+            f.write_all(&bytes[..k])?;
+            f.sync_data()?;
+            return Err(faults::injected("checkpoint.write"));
+        }
+    }
+    let tmp = path.with_extension("gac.tmp");
+    {
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(&bytes)?;
+        f.sync_data()?;
+    }
+    fs::rename(&tmp, &path)?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ga_stream::update::{into_batches, rmat_edge_stream, Update};
+    use std::sync::Mutex;
+
+    static LOCK: Mutex<()> = Mutex::new(());
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("ga_durability_tests").join(name);
+        fs::remove_dir_all(&dir).ok();
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn sample_checkpoint() -> Checkpoint {
+        let mut graph = DynamicGraph::new(6);
+        graph.insert_edge(0, 1, 1.5, 3);
+        graph.insert_edge(1, 2, 2.5, 4);
+        graph.delete_edge(0, 1, 5);
+        let mut props = PropertyStore::new(6);
+        props.set("score", 2, 0.75);
+        props.set("label", 0, "seed");
+        Checkpoint {
+            graph,
+            props,
+            flow: FlowStats {
+                updates_applied: 40,
+                updates_quarantined: 2,
+                events_observed: 7,
+                ..FlowStats::default()
+            },
+            stream: StreamStats {
+                edges_inserted: 2,
+                edges_deleted: 1,
+                batches: 5,
+                updates_quarantined: 2,
+                ..StreamStats::default()
+            },
+            symmetrize: false,
+            vertex_limit: 1 << 20,
+            last_batch_time: 5,
+            next_wal_seq: 6,
+        }
+    }
+
+    #[test]
+    fn checkpoint_codec_round_trip() {
+        let c = sample_checkpoint();
+        let bytes = encode_checkpoint(&c).unwrap();
+        let back = decode_checkpoint(&bytes).unwrap();
+        assert_eq!(c, back);
+    }
+
+    #[test]
+    fn checkpoint_codec_rejects_any_truncation_or_bitflip() {
+        let bytes = encode_checkpoint(&sample_checkpoint()).unwrap();
+        for cut in 0..bytes.len() {
+            assert!(decode_checkpoint(&bytes[..cut]).is_err(), "prefix {cut}");
+        }
+        for i in (0..bytes.len()).step_by(17) {
+            let mut flipped = bytes.clone();
+            flipped[i] ^= 0x40;
+            assert!(decode_checkpoint(&flipped).is_err(), "flip at {i}");
+        }
+    }
+
+    #[test]
+    fn create_then_recover_with_wal_suffix() {
+        let _g = LOCK.lock().unwrap();
+        faults::clear_all();
+        let dir = tmpdir("basic");
+        let init = Checkpoint {
+            graph: DynamicGraph::new(4),
+            props: PropertyStore::new(4),
+            flow: FlowStats::default(),
+            stream: StreamStats::default(),
+            symmetrize: true,
+            vertex_limit: 1 << 20,
+            last_batch_time: 0,
+            next_wal_seq: 1,
+        };
+        let mut d = Durability::create(&dir, &init).unwrap();
+        // Double-create is refused.
+        assert!(Durability::create(&dir, &init).is_err());
+        let batches = into_batches(rmat_edge_stream(4, 30, 0.1, 3), 10, 1);
+        for b in &batches {
+            d.append(b).unwrap();
+        }
+        drop(d);
+        let (d2, ckpt, replay) = Durability::recover(&dir).unwrap();
+        assert_eq!(ckpt, init);
+        assert_eq!(replay.len(), 3);
+        assert_eq!(replay[0].0, 1);
+        assert_eq!(replay[0].1.updates, batches[0].updates);
+        assert_eq!(d2.next_wal_seq(), 4);
+    }
+
+    #[test]
+    fn torn_checkpoint_falls_back_to_previous() {
+        let _g = LOCK.lock().unwrap();
+        faults::clear_all();
+        let dir = tmpdir("torn_ckpt");
+        let mut c = sample_checkpoint();
+        c.next_wal_seq = 1;
+        let mut d = Durability::create(&dir, &c).unwrap();
+        let batch = UpdateBatch {
+            time: 9,
+            updates: vec![Update::EdgeInsert {
+                src: 0,
+                dst: 3,
+                weight: 1.0,
+            }],
+        };
+        d.append(&batch).unwrap();
+        // Second checkpoint is torn at the final path.
+        faults::arm("checkpoint.write", faults::FaultMode::ShortWrite(40));
+        let mut c2 = c.clone();
+        c2.next_wal_seq = 2;
+        assert!(d.checkpoint(&c2).is_err());
+        faults::clear_all();
+        drop(d);
+        // Recovery skips the torn file, lands on checkpoint 1, and the
+        // WAL suffix still has the batch.
+        let (_, ckpt, replay) = Durability::recover(&dir).unwrap();
+        assert_eq!(ckpt.next_wal_seq, 1);
+        assert_eq!(replay.len(), 1);
+        assert_eq!(replay[0].1.updates, batch.updates);
+    }
+
+    #[test]
+    fn retention_keeps_fallback_replayable() {
+        let _g = LOCK.lock().unwrap();
+        faults::clear_all();
+        let dir = tmpdir("retention");
+        let mut c = sample_checkpoint();
+        c.next_wal_seq = 1;
+        let mut d = Durability::create(&dir, &c).unwrap();
+        let batches = into_batches(rmat_edge_stream(4, 40, 0.0, 5), 10, 10);
+        for (i, b) in batches.iter().enumerate() {
+            d.append(b).unwrap();
+            let mut ci = c.clone();
+            ci.next_wal_seq = i as u64 + 2;
+            d.checkpoint(&ci).unwrap();
+        }
+        let ckpts = list_numbered(&dir, "ckpt-", ".gac").unwrap();
+        assert_eq!(ckpts.len(), CHECKPOINTS_RETAINED);
+        // The newest checkpoint fails to load -> fallback to the older
+        // one, whose replay frames must still exist.
+        faults::arm("checkpoint.load", faults::FaultMode::FailOnce);
+        let (_, ckpt, replay) = Durability::recover(&dir).unwrap();
+        faults::clear_all();
+        assert_eq!(ckpt.next_wal_seq, batches.len() as u64);
+        assert_eq!(replay.len(), 1);
+        assert_eq!(replay[0].1.updates, batches.last().unwrap().updates);
+    }
+}

@@ -1,0 +1,164 @@
+//! Fault injection, re-exported at the flow-engine level, plus the
+//! seeded fault *matrix* the crash-recovery suite iterates.
+//!
+//! The registry itself lives in [`ga_graph::faults`] (the bottom of the
+//! dependency stack, so both the WAL in `ga-stream` and the checkpoint
+//! writer here can reach it); this module re-exports it and adds the
+//! deterministic seed → fault-scenario mapping driven by the
+//! `GA_FAULT_SEED` environment variable in CI.
+
+pub use ga_graph::faults::{
+    arm, check, clear_all, fired_count, injected, intercept, is_injected, FaultMode, Intercept,
+};
+
+/// One point of the crash-recovery fault matrix: which site misbehaves,
+/// how, and after how many successfully processed batches the simulated
+/// crash happens.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Seed this plan was derived from.
+    pub seed: u64,
+    /// Fault site to arm (`None` = clean crash, no injected I/O fault).
+    pub site: Option<&'static str>,
+    /// How the armed site misbehaves.
+    pub mode: Option<FaultMode>,
+    /// Crash (abandon the engine) after this many batches have been
+    /// offered to the durable path.
+    pub crash_after_batches: usize,
+    /// Force a checkpoint right before the crash point (exercises
+    /// recovery from a just-written checkpoint and checkpoint-time
+    /// faults).
+    pub checkpoint_before_crash: bool,
+}
+
+/// Number of distinct scenarios [`FaultPlan::from_seed`] generates
+/// before wrapping (CI loops `GA_FAULT_SEED` over `0..MATRIX_SIZE`).
+pub const MATRIX_SIZE: u64 = 8;
+
+impl FaultPlan {
+    /// Deterministically map a seed to a fault scenario. Seeds beyond
+    /// [`MATRIX_SIZE`] wrap, so any `GA_FAULT_SEED` value is valid.
+    pub fn from_seed(seed: u64) -> FaultPlan {
+        let point = seed % MATRIX_SIZE;
+        // Vary the crash point a little with the wrap count so large
+        // seeds still add coverage, deterministically.
+        let wave = (seed / MATRIX_SIZE) as usize % 3;
+        match point {
+            // Crash during a WAL append: the frame is vetoed entirely.
+            0 => FaultPlan {
+                seed,
+                site: Some("wal.append"),
+                mode: Some(FaultMode::FailOnce),
+                crash_after_batches: 3 + wave,
+                checkpoint_before_crash: false,
+            },
+            // Crash mid-WAL-append: a torn frame of 5 bytes.
+            1 => FaultPlan {
+                seed,
+                site: Some("wal.append"),
+                mode: Some(FaultMode::ShortWrite(5)),
+                crash_after_batches: 4 + wave,
+                checkpoint_before_crash: false,
+            },
+            // Torn frame that cuts inside the payload, not the header.
+            2 => FaultPlan {
+                seed,
+                site: Some("wal.append"),
+                mode: Some(FaultMode::ShortWrite(21)),
+                crash_after_batches: 6 + wave,
+                checkpoint_before_crash: false,
+            },
+            // Checkpoint write fails outright; WAL must carry recovery.
+            3 => FaultPlan {
+                seed,
+                site: Some("checkpoint.write"),
+                mode: Some(FaultMode::FailOnce),
+                crash_after_batches: 5 + wave,
+                checkpoint_before_crash: true,
+            },
+            // Checkpoint write is torn at the final path; recovery must
+            // skip the corrupt file and fall back.
+            4 => FaultPlan {
+                seed,
+                site: Some("checkpoint.write"),
+                mode: Some(FaultMode::ShortWrite(64)),
+                crash_after_batches: 5 + wave,
+                checkpoint_before_crash: true,
+            },
+            // Loading the newest checkpoint fails; recovery falls back
+            // to an older one and replays more WAL.
+            5 => FaultPlan {
+                seed,
+                site: Some("checkpoint.load"),
+                mode: Some(FaultMode::FailOnce),
+                crash_after_batches: 5 + wave,
+                checkpoint_before_crash: true,
+            },
+            // Clean crash between batches, no injected fault.
+            6 => FaultPlan {
+                seed,
+                site: None,
+                mode: None,
+                crash_after_batches: 4 + wave,
+                checkpoint_before_crash: false,
+            },
+            // Crash immediately after a successful checkpoint.
+            _ => FaultPlan {
+                seed,
+                site: None,
+                mode: None,
+                crash_after_batches: 4 + wave,
+                checkpoint_before_crash: true,
+            },
+        }
+    }
+
+    /// Arm this plan's fault (if any) in the global registry.
+    pub fn arm(&self) {
+        if let (Some(site), Some(mode)) = (self.site, self.mode) {
+            arm(site, mode);
+        }
+    }
+}
+
+/// The plan selected by the `GA_FAULT_SEED` environment variable, or
+/// `None` when unset/unparsable (test drivers then iterate the full
+/// matrix themselves).
+pub fn plan_from_env() -> Option<FaultPlan> {
+    std::env::var("GA_FAULT_SEED")
+        .ok()?
+        .trim()
+        .parse::<u64>()
+        .ok()
+        .map(FaultPlan::from_seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeds_are_deterministic_and_cover_all_sites() {
+        let plans: Vec<FaultPlan> = (0..MATRIX_SIZE).map(FaultPlan::from_seed).collect();
+        assert_eq!(
+            plans,
+            (0..MATRIX_SIZE)
+                .map(FaultPlan::from_seed)
+                .collect::<Vec<_>>()
+        );
+        let sites: std::collections::HashSet<_> = plans.iter().filter_map(|p| p.site).collect();
+        assert!(sites.contains("wal.append"));
+        assert!(sites.contains("checkpoint.write"));
+        assert!(sites.contains("checkpoint.load"));
+        // And at least one clean-crash point.
+        assert!(plans.iter().any(|p| p.site.is_none()));
+    }
+
+    #[test]
+    fn large_seeds_wrap_with_varied_crash_points() {
+        let a = FaultPlan::from_seed(0);
+        let b = FaultPlan::from_seed(MATRIX_SIZE);
+        assert_eq!(a.site, b.site);
+        assert_ne!(a.crash_after_batches, b.crash_after_batches);
+    }
+}

@@ -21,11 +21,15 @@
 //! Every stage increments [`FlowStats`] — the calibration counters the
 //! NORA model (`crate::model`) prices.
 
+use crate::durability::{Checkpoint, Durability};
 use ga_graph::sub::{extract_ball_dynamic, Subgraph};
 use ga_graph::{DynamicGraph, ExtractOptions, PropertyStore, VertexId};
 use ga_kernels::{topk, KernelCtx, Parallelism};
+use ga_stream::engine::QuarantinedUpdate;
 use ga_stream::update::UpdateBatch;
 use ga_stream::{Event, StreamEngine};
+use std::io;
+use std::path::{Path, PathBuf};
 
 /// How the batch path picks its seed vertices (Fig. 2's "selection
 /// criteria" box).
@@ -104,6 +108,9 @@ pub struct FlowStats {
     pub alerts_raised: usize,
     /// Streaming updates applied.
     pub updates_applied: usize,
+    /// Malformed streaming updates quarantined to the dead-letter queue
+    /// instead of applied.
+    pub updates_quarantined: usize,
     /// Streaming events observed.
     pub events_observed: usize,
     /// Streaming events that triggered a batch analytic.
@@ -136,6 +143,7 @@ pub struct FlowEngine {
     stream: StreamEngine,
     analytics: Vec<Box<dyn BatchAnalytic>>,
     stats: FlowStats,
+    durability: Option<Durability>,
     /// Extraction settings used by both paths.
     pub extract: ExtractOptions,
     /// Property columns projected into extracted subgraphs.
@@ -148,18 +156,10 @@ pub struct FlowEngine {
 impl FlowEngine {
     /// Engine over an empty persistent graph of `num_vertices`.
     pub fn new(num_vertices: usize) -> Self {
-        FlowEngine {
-            stream: StreamEngine::new(num_vertices),
-            analytics: Vec::new(),
-            stats: FlowStats::default(),
-            extract: ExtractOptions {
-                depth: 2,
-                max_vertices: 4096,
-                undirected_expand: false,
-            },
-            project_columns: Vec::new(),
-            kernel_ctx: KernelCtx::new(Parallelism::Auto),
-        }
+        Self::with_graph(
+            DynamicGraph::new(num_vertices),
+            PropertyStore::new(num_vertices),
+        )
     }
 
     /// Engine over an existing persistent graph.
@@ -168,6 +168,7 @@ impl FlowEngine {
             stream: StreamEngine::with_graph(graph, props),
             analytics: Vec::new(),
             stats: FlowStats::default(),
+            durability: None,
             extract: ExtractOptions {
                 depth: 2,
                 max_vertices: 4096,
@@ -207,6 +208,12 @@ impl FlowEngine {
     /// The instrumentation counters.
     pub fn stats(&self) -> FlowStats {
         self.stats
+    }
+
+    /// The stream layer's own counters (persisted in checkpoints and
+    /// restored by recovery alongside [`FlowStats`]).
+    pub fn stream_stats(&self) -> ga_stream::engine::StreamStats {
+        self.stream.stats()
     }
 
     /// Record that `records → entities` dedup ingest happened (the
@@ -306,8 +313,9 @@ impl FlowEngine {
         trigger: impl Fn(&Event) -> Option<Vec<VertexId>>,
         analytic_idx: Option<usize>,
     ) -> Vec<BatchRunReport> {
-        self.stream.apply_batch(batch);
-        self.stats.updates_applied += batch.updates.len();
+        let quarantined = self.stream.apply_batch(batch);
+        self.stats.updates_applied += batch.updates.len() - quarantined;
+        self.stats.updates_quarantined += quarantined;
         let events = self.stream.take_events();
         self.stats.events_observed += events.len();
         let mut reports = Vec::new();
@@ -321,6 +329,142 @@ impl FlowEngine {
             }
         }
         reports
+    }
+
+    // -----------------------------------------------------------------
+    // Durability: WAL + checkpoint/recovery (crate::durability).
+    // -----------------------------------------------------------------
+
+    /// Make this engine durable: every subsequent
+    /// [`Self::process_stream_durable`] batch is written ahead to a log
+    /// in `dir`, and [`Self::checkpoint`] snapshots full state there.
+    ///
+    /// Writes an initial checkpoint capturing the *current* state, so
+    /// recovery always has a base — including any graph content or
+    /// analytic write-backs that predate durability (those are not in
+    /// the WAL and are only durable via checkpoints). Fails if `dir`
+    /// already holds engine state; use [`Self::recover`] for that.
+    pub fn enable_durability(&mut self, dir: impl AsRef<Path>) -> io::Result<()> {
+        let ckpt = self.snapshot(1);
+        self.durability = Some(Durability::create(dir, &ckpt)?);
+        Ok(())
+    }
+
+    /// Whether [`Self::enable_durability`] / [`Self::recover`] attached
+    /// a durability directory.
+    pub fn is_durable(&self) -> bool {
+        self.durability.is_some()
+    }
+
+    /// Sequence number the next WAL append will carry (1-based; frame
+    /// `i` holds the `i`-th durable batch). Recovery drivers use this to
+    /// know where to resume an input stream.
+    pub fn next_wal_seq(&self) -> Option<u64> {
+        self.durability.as_ref().map(|d| d.next_wal_seq())
+    }
+
+    /// Cursor of the newest successfully written checkpoint.
+    pub fn last_checkpoint_seq(&self) -> Option<u64> {
+        self.durability.as_ref().map(|d| d.last_checkpoint_seq())
+    }
+
+    /// Durable form of [`Self::process_stream`]: the batch is appended
+    /// to the write-ahead log (fsynced) *before* it touches the engine,
+    /// so a crash at any later point replays it on recovery.
+    ///
+    /// On a WAL error the engine state is untouched and the batch is
+    /// NOT applied — the caller decides whether to retry or crash.
+    pub fn process_stream_durable(
+        &mut self,
+        batch: &UpdateBatch,
+        trigger: impl Fn(&Event) -> Option<Vec<VertexId>>,
+        analytic_idx: Option<usize>,
+    ) -> io::Result<Vec<BatchRunReport>> {
+        let Some(d) = self.durability.as_mut() else {
+            return Err(io::Error::other(
+                "durability not enabled; call enable_durability or recover first",
+            ));
+        };
+        d.append(batch)?;
+        Ok(self.process_stream(batch, trigger, analytic_idx))
+    }
+
+    /// Snapshot current state as a checkpoint with the given cursor.
+    fn snapshot(&self, next_wal_seq: u64) -> Checkpoint {
+        Checkpoint {
+            graph: self.stream.graph().clone(),
+            props: self.stream.props().clone(),
+            flow: self.stats,
+            stream: self.stream.stats(),
+            symmetrize: self.stream.symmetrize,
+            vertex_limit: self.stream.vertex_limit() as u64,
+            last_batch_time: self.stream.last_batch_time(),
+            next_wal_seq,
+        }
+    }
+
+    /// Write a checkpoint of the current state, rotate the WAL, and
+    /// prune old files. Returns the checkpoint's path.
+    pub fn checkpoint(&mut self) -> io::Result<PathBuf> {
+        let Some(d) = self.durability.as_mut() else {
+            return Err(io::Error::other(
+                "durability not enabled; call enable_durability or recover first",
+            ));
+        };
+        let ckpt = Checkpoint {
+            graph: self.stream.graph().clone(),
+            props: self.stream.props().clone(),
+            flow: self.stats,
+            stream: self.stream.stats(),
+            symmetrize: self.stream.symmetrize,
+            vertex_limit: self.stream.vertex_limit() as u64,
+            last_batch_time: self.stream.last_batch_time(),
+            next_wal_seq: d.next_wal_seq(),
+        };
+        d.checkpoint(&ckpt)
+    }
+
+    /// Rebuild an engine from a durability directory: load the newest
+    /// usable checkpoint, replay the WAL suffix through the normal
+    /// ingest path (quarantine included), and reattach the log for
+    /// further appends.
+    ///
+    /// The recovered state — graph slots, property columns, stats,
+    /// batch-time watermark — is bit-identical to an uninterrupted run
+    /// over the same durable batches. Configuration that is not state
+    /// (registered analytics, monitors, extraction options, kernel
+    /// context) is NOT persisted; re-register after recovery.
+    pub fn recover(dir: impl AsRef<Path>) -> io::Result<FlowEngine> {
+        let (durability, ckpt, replay) = Durability::recover(dir)?;
+        let mut engine = FlowEngine::with_graph(ckpt.graph, ckpt.props);
+        engine.stats = ckpt.flow;
+        engine.stream.set_stats(ckpt.stream);
+        engine.stream.symmetrize = ckpt.symmetrize;
+        engine.stream.set_vertex_limit(ckpt.vertex_limit as usize);
+        engine.stream.set_last_batch_time(ckpt.last_batch_time);
+        engine.durability = Some(durability);
+        for (_seq, batch) in &replay {
+            // Replay through the plain path: the frames are already in
+            // the log, and re-validation re-quarantines deterministically.
+            engine.process_stream(batch, |_| None, None);
+        }
+        Ok(engine)
+    }
+
+    /// Quarantined updates, oldest first (bounded dead-letter queue).
+    pub fn dead_letters(&self) -> impl Iterator<Item = &QuarantinedUpdate> {
+        self.stream.dead_letters()
+    }
+
+    /// Set the vertex-id bound above which updates are quarantined.
+    pub fn set_vertex_limit(&mut self, limit: usize) {
+        self.stream.set_vertex_limit(limit);
+    }
+
+    /// Mirror edge updates in both directions (undirected mode). Must
+    /// match across crash/recovery for replay to reproduce state.
+    pub fn set_symmetrize(&mut self, symmetrize: bool) {
+        self.stream.symmetrize = symmetrize;
     }
 }
 

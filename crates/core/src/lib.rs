@@ -16,6 +16,10 @@
 //!   combined benchmark").
 //! * [`calibrate`] — the conclusion's proposal: turn the flow engine's
 //!   measured `FlowStats` into a demand table the model can price.
+//! * [`durability`] + [`faults`] — crash-consistency for the flow
+//!   engine: write-ahead logging, CRC-checked checkpoints, recovery
+//!   with torn-tail tolerance, and the deterministic fault-injection
+//!   matrix the crash-recovery suite drives.
 //! * [`dedup`] + [`nora`] — the motivating application (§III–IV): a
 //!   synthetic stand-in for the LexisNexis insurance NORA pipeline —
 //!   record dedup/linkage, the person–address graph, the "shared an
@@ -31,6 +35,8 @@
 
 pub mod calibrate;
 pub mod dedup;
+pub mod durability;
+pub mod faults;
 pub mod flow;
 pub mod model;
 pub mod nora;

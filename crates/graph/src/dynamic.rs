@@ -32,6 +32,10 @@ pub struct EdgeRecord {
 /// A mutable directed multigraph-free graph with timestamps and lazy
 /// deletion.
 ///
+/// Out-of-range vertex ids never panic: inserts grow the vertex space on
+/// demand, deletes report [`ApplyResult::Missing`], and queries return
+/// empty/`None` — the hardening the streaming ingest path relies on.
+///
 /// ```
 /// use ga_graph::DynamicGraph;
 /// let mut g = DynamicGraph::new(3);
@@ -42,7 +46,7 @@ pub struct EdgeRecord {
 /// assert_eq!(g.num_live_edges(), 1);
 /// assert!(!g.has_edge(0, 1));
 /// ```
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct DynamicGraph {
     adj: Vec<Vec<EdgeRecord>>,
     live_edges: usize,
@@ -122,7 +126,10 @@ impl DynamicGraph {
     /// Returns [`ApplyResult::Inserted`] for a new edge,
     /// [`ApplyResult::Updated`] when the edge existed (its weight and
     /// timestamp are overwritten — the paper's "updating some properties
-    /// associated with an existing edge").
+    /// associated with an existing edge"). Endpoints beyond the current
+    /// vertex range grow the graph instead of panicking; callers that
+    /// need a hard bound enforce it upstream (see the stream engine's
+    /// quarantine).
     pub fn insert_edge(
         &mut self,
         u: VertexId,
@@ -131,6 +138,10 @@ impl DynamicGraph {
         ts: Timestamp,
     ) -> ApplyResult {
         self.last_update = self.last_update.max(ts);
+        let hi = u.max(v) as usize;
+        if hi >= self.adj.len() {
+            self.adj.resize_with(hi + 1, Vec::new);
+        }
         let row = &mut self.adj[u as usize];
         let mut free: Option<usize> = None;
         for (i, rec) in row.iter_mut().enumerate() {
@@ -168,9 +179,13 @@ impl DynamicGraph {
         ApplyResult::Inserted
     }
 
-    /// Tombstone the directed edge `u -> v` if live.
+    /// Tombstone the directed edge `u -> v` if live. Out-of-range
+    /// endpoints are a no-op ([`ApplyResult::Missing`]), not a panic.
     pub fn delete_edge(&mut self, u: VertexId, v: VertexId, ts: Timestamp) -> ApplyResult {
         self.last_update = self.last_update.max(ts);
+        if u as usize >= self.adj.len() {
+            return ApplyResult::Missing;
+        }
         for rec in &mut self.adj[u as usize] {
             if rec.dst == v && !rec.deleted {
                 rec.deleted = true;
@@ -201,28 +216,30 @@ impl DynamicGraph {
         removed
     }
 
-    /// True if a live edge `u -> v` exists.
+    /// True if a live edge `u -> v` exists (false for out-of-range `u`).
     pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
-        self.adj[u as usize]
-            .iter()
-            .any(|r| r.dst == v && !r.deleted)
+        self.row(u).iter().any(|r| r.dst == v && !r.deleted)
     }
 
     /// The live record for `u -> v`, if any.
     pub fn edge(&self, u: VertexId, v: VertexId) -> Option<&EdgeRecord> {
-        self.adj[u as usize]
-            .iter()
-            .find(|r| r.dst == v && !r.deleted)
+        self.row(u).iter().find(|r| r.dst == v && !r.deleted)
     }
 
-    /// Live out-degree of `v`.
+    /// Live out-degree of `v` (0 for out-of-range ids).
     pub fn degree(&self, v: VertexId) -> usize {
-        self.adj[v as usize].iter().filter(|r| !r.deleted).count()
+        self.row(v).iter().filter(|r| !r.deleted).count()
     }
 
-    /// Iterate live out-edge records of `v`.
+    /// Iterate live out-edge records of `v` (empty for out-of-range ids).
     pub fn neighbors(&self, v: VertexId) -> impl Iterator<Item = &EdgeRecord> {
-        self.adj[v as usize].iter().filter(|r| !r.deleted)
+        self.row(v).iter().filter(|r| !r.deleted)
+    }
+
+    /// Adjacency row of `v`, empty when `v` is out of range.
+    #[inline]
+    fn row(&self, v: VertexId) -> &[EdgeRecord] {
+        self.adj.get(v as usize).map(Vec::as_slice).unwrap_or(&[])
     }
 
     /// Iterate live out-neighbor ids of `v`.
@@ -278,6 +295,35 @@ impl DynamicGraph {
         for &(u, v) in edges {
             self.insert_edge(u, v, 1.0, ts);
             self.insert_edge(v, u, 1.0, ts);
+        }
+    }
+
+    /// Raw adjacency rows *including tombstones*, in slot order — the
+    /// checkpoint codec serializes these verbatim so a recovered graph is
+    /// bit-identical (same slot layout, same tombstones) to the original.
+    pub(crate) fn raw_rows(&self) -> &[Vec<EdgeRecord>] {
+        &self.adj
+    }
+
+    /// Rebuild a graph from checkpointed rows; live/tombstone counts are
+    /// recomputed from the records.
+    pub(crate) fn from_raw_parts(adj: Vec<Vec<EdgeRecord>>, last_update: Timestamp) -> Self {
+        let mut live_edges = 0;
+        let mut tombstones = 0;
+        for row in &adj {
+            for rec in row {
+                if rec.deleted {
+                    tombstones += 1;
+                } else {
+                    live_edges += 1;
+                }
+            }
+        }
+        DynamicGraph {
+            adj,
+            live_edges,
+            tombstones,
+            last_update,
         }
     }
 }
@@ -400,6 +446,41 @@ mod tests {
         let back = dynamic.snapshot();
         assert_eq!(back.edge_weight(0, 1), Some(5.0));
         assert_eq!(back.edge_weight(1, 2), Some(6.0));
+    }
+
+    #[test]
+    fn out_of_range_ids_never_panic() {
+        let mut g = DynamicGraph::new(2);
+        // Queries on unknown vertices are empty, not a crash.
+        assert!(!g.has_edge(9, 0));
+        assert!(g.edge(9, 0).is_none());
+        assert_eq!(g.degree(9), 0);
+        assert_eq!(g.neighbors(9).count(), 0);
+        assert_eq!(g.neighbor_ids(9).count(), 0);
+        // Deletes of unknown vertices are missing, not a crash.
+        assert_eq!(g.delete_edge(9, 0, 1), ApplyResult::Missing);
+        assert_eq!(g.delete_edge(0, 9, 1), ApplyResult::Missing);
+        // Inserts grow the vertex space.
+        assert_eq!(g.insert_edge(5, 1, 1.0, 2), ApplyResult::Inserted);
+        assert_eq!(g.num_vertices(), 6);
+        assert!(g.has_edge(5, 1));
+        assert_eq!(g.insert_edge(0, 7, 1.0, 3), ApplyResult::Inserted);
+        assert_eq!(g.num_vertices(), 8);
+    }
+
+    #[test]
+    fn equality_sees_tombstones_and_timestamps() {
+        let build = |delete: bool| {
+            let mut g = DynamicGraph::new(3);
+            g.insert_edge(0, 1, 1.0, 1);
+            g.insert_edge(1, 2, 2.0, 2);
+            if delete {
+                g.delete_edge(0, 1, 3);
+            }
+            g
+        };
+        assert_eq!(build(false), build(false));
+        assert_ne!(build(false), build(true));
     }
 
     #[test]

@@ -1,0 +1,209 @@
+//! Deterministic fault injection for the durability layer.
+//!
+//! A FailPoint-style registry: tests arm named *sites* (e.g.
+//! `"wal.append"`) with a [`FaultMode`], and the I/O code asks the
+//! registry at each site whether to proceed, fail, or short-write.
+//! Everything is deterministic — a fault fires on an exact hit count,
+//! never on wall-clock or OS randomness — so crash/recovery tests can
+//! replay the same failure on every run.
+//!
+//! The registry is process-global (the code under test must not need a
+//! handle threaded through every call), guarded by a mutex, with an
+//! atomic fast path so un-armed production runs pay one relaxed load
+//! per site.
+//!
+//! Sites wired in this workspace:
+//!
+//! | site               | where it fires                                  |
+//! |--------------------|-------------------------------------------------|
+//! | `wal.append`       | before/while appending a WAL frame              |
+//! | `checkpoint.write` | before/while writing a checkpoint file          |
+//! | `checkpoint.load`  | before reading a checkpoint file during recovery |
+
+use std::collections::HashMap;
+use std::io;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// How an armed site misbehaves.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultMode {
+    /// Fail the next hit with an injected I/O error, then disarm.
+    FailOnce,
+    /// Fail every `n`-th hit (1-based: `FailEveryNth(3)` fails hits
+    /// 3, 6, 9, ...). Stays armed until [`clear_all`].
+    FailEveryNth(u64),
+    /// On the next hit, write only the first `n` bytes of the payload,
+    /// report an injected error, then disarm — a torn/truncated write.
+    ShortWrite(usize),
+}
+
+/// What the instrumented site should do for this hit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Intercept {
+    /// No fault: perform the operation normally.
+    Proceed,
+    /// Fail with an injected error without touching storage.
+    Error,
+    /// Write only this many bytes of the payload, then fail.
+    ShortWrite(usize),
+}
+
+struct FaultState {
+    mode: FaultMode,
+    hits: u64,
+    fired: u64,
+    disarmed: bool,
+}
+
+/// Count of armed sites; zero means every [`intercept`] is a no-op.
+static ARMED: AtomicUsize = AtomicUsize::new(0);
+
+fn registry() -> &'static Mutex<HashMap<String, FaultState>> {
+    static REGISTRY: OnceLock<Mutex<HashMap<String, FaultState>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Arm `site` with `mode` (replacing any previous arming of the site).
+pub fn arm(site: &str, mode: FaultMode) {
+    let mut reg = registry().lock().unwrap();
+    let prev = reg.insert(
+        site.to_string(),
+        FaultState {
+            mode,
+            hits: 0,
+            fired: 0,
+            disarmed: false,
+        },
+    );
+    if prev.is_none() {
+        ARMED.fetch_add(1, Ordering::SeqCst);
+    }
+}
+
+/// Disarm every site and forget all hit counts.
+pub fn clear_all() {
+    let mut reg = registry().lock().unwrap();
+    if !reg.is_empty() {
+        reg.clear();
+    }
+    ARMED.store(0, Ordering::SeqCst);
+}
+
+/// Ask whether `site` should misbehave on this hit. Counts the hit.
+pub fn intercept(site: &str) -> Intercept {
+    if ARMED.load(Ordering::Relaxed) == 0 {
+        return Intercept::Proceed;
+    }
+    let mut reg = registry().lock().unwrap();
+    let Some(state) = reg.get_mut(site) else {
+        return Intercept::Proceed;
+    };
+    if state.disarmed {
+        return Intercept::Proceed;
+    }
+    state.hits += 1;
+    match state.mode {
+        FaultMode::FailOnce => {
+            state.fired += 1;
+            state.disarmed = true;
+            Intercept::Error
+        }
+        FaultMode::FailEveryNth(n) => {
+            if n > 0 && state.hits % n == 0 {
+                state.fired += 1;
+                Intercept::Error
+            } else {
+                Intercept::Proceed
+            }
+        }
+        FaultMode::ShortWrite(k) => {
+            state.fired += 1;
+            state.disarmed = true;
+            Intercept::ShortWrite(k)
+        }
+    }
+}
+
+/// Convenience for sites with no payload to tear: `Err` when the site
+/// fires (a [`FaultMode::ShortWrite`] arming also maps to an error here).
+pub fn check(site: &str) -> io::Result<()> {
+    match intercept(site) {
+        Intercept::Proceed => Ok(()),
+        Intercept::Error | Intercept::ShortWrite(_) => Err(injected(site)),
+    }
+}
+
+/// The error an armed site reports when it fires.
+pub fn injected(site: &str) -> io::Error {
+    io::Error::other(format!("injected fault at {site}"))
+}
+
+/// True if `err` was produced by [`injected`] (tests use this to tell
+/// deliberate faults from real I/O failures).
+pub fn is_injected(err: &io::Error) -> bool {
+    err.to_string().starts_with("injected fault at ")
+}
+
+/// How many times `site` has actually fired since it was armed.
+pub fn fired_count(site: &str) -> u64 {
+    registry().lock().unwrap().get(site).map_or(0, |s| s.fired)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex as StdMutex;
+
+    // The registry is process-global; serialize the tests that use it.
+    static LOCK: StdMutex<()> = StdMutex::new(());
+
+    #[test]
+    fn unarmed_sites_proceed() {
+        let _g = LOCK.lock().unwrap();
+        clear_all();
+        assert_eq!(intercept("wal.append"), Intercept::Proceed);
+        assert!(check("checkpoint.write").is_ok());
+    }
+
+    #[test]
+    fn fail_once_fires_exactly_once() {
+        let _g = LOCK.lock().unwrap();
+        clear_all();
+        arm("wal.append", FaultMode::FailOnce);
+        assert_eq!(intercept("wal.append"), Intercept::Error);
+        assert_eq!(intercept("wal.append"), Intercept::Proceed);
+        assert_eq!(fired_count("wal.append"), 1);
+        clear_all();
+    }
+
+    #[test]
+    fn every_nth_is_periodic() {
+        let _g = LOCK.lock().unwrap();
+        clear_all();
+        arm("checkpoint.load", FaultMode::FailEveryNth(3));
+        let pattern: Vec<bool> = (0..7)
+            .map(|_| intercept("checkpoint.load") == Intercept::Error)
+            .collect();
+        assert_eq!(pattern, [false, false, true, false, false, true, false]);
+        clear_all();
+    }
+
+    #[test]
+    fn short_write_hands_back_budget_then_disarms() {
+        let _g = LOCK.lock().unwrap();
+        clear_all();
+        arm("wal.append", FaultMode::ShortWrite(5));
+        assert_eq!(intercept("wal.append"), Intercept::ShortWrite(5));
+        assert_eq!(intercept("wal.append"), Intercept::Proceed);
+        clear_all();
+    }
+
+    #[test]
+    fn injected_errors_are_recognizable() {
+        let _g = LOCK.lock().unwrap();
+        let e = injected("wal.append");
+        assert!(is_injected(&e));
+        assert!(!is_injected(&io::Error::other("disk on fire")));
+    }
+}

@@ -1,14 +1,84 @@
-//! Graph I/O: whitespace edge lists and a compact binary snapshot.
+//! Graph I/O: whitespace edge lists and compact binary codecs.
 //!
-//! The binary format is a hand-rolled little-endian codec (magic,
-//! version, counts, offsets, targets, optional weights) so the workspace
-//! needs no serialization dependency.
+//! Three hand-rolled little-endian formats (no serialization
+//! dependency), each `magic + version`-tagged and rejecting corrupt
+//! input with a descriptive [`io::Error`] instead of panicking or
+//! over-allocating from untrusted lengths:
+//!
+//! * `GAG1` — immutable [`CsrGraph`] snapshots (offsets, targets,
+//!   optional weights),
+//! * `GAD1` — full [`DynamicGraph`] state *including tombstones and
+//!   timestamps*, slot-exact so a checkpointed graph restores
+//!   bit-identical to the original,
+//! * `GAP1` — [`PropertyStore`] columns (u64/f64/string, with presence
+//!   masks).
+//!
+//! `GAD1` + `GAP1` are the section codecs underneath the flow engine's
+//! checkpoint files; [`crc32`] is the shared integrity checksum for
+//! those files and the write-ahead log.
 
-use crate::{CsrBuilder, CsrGraph, VertexId, Weight};
+use crate::dynamic::EdgeRecord;
+use crate::props::Column;
+use crate::{CsrBuilder, CsrGraph, DynamicGraph, PropertyStore, Timestamp, VertexId, Weight};
+use std::collections::BTreeMap;
 use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
 const MAGIC: &[u8; 4] = b"GAG1";
+const MAGIC_DYNAMIC: &[u8; 4] = b"GAD1";
+const MAGIC_PROPS: &[u8; 4] = b"GAP1";
+
+/// Current `GAG1` codec version. Version 2 added the explicit version
+/// field itself (version-less seed files are rejected).
+const CSR_VERSION: u16 = 2;
+/// Current `GAD1` codec version.
+const DYNAMIC_VERSION: u16 = 1;
+/// Current `GAP1` codec version.
+const PROPS_VERSION: u16 = 1;
+
+/// Upper bound on any element count read from an untrusted header. A
+/// corrupt length field must not turn into a multi-terabyte allocation.
+const MAX_ELEMS: u64 = 1 << 32;
+
+// ---------------------------------------------------------------------
+// CRC32 (IEEE, reflected) — integrity checksum for checkpoints + WAL.
+// ---------------------------------------------------------------------
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC32_TABLE: [u32; 256] = crc32_table();
+
+/// CRC32 (IEEE 802.3) of `data` — the frame/file checksum used by the
+/// WAL and checkpoint formats.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = !0u32;
+    for &b in data {
+        c = CRC32_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+// ---------------------------------------------------------------------
+// Plain-text edge lists.
+// ---------------------------------------------------------------------
 
 /// Parse a whitespace/comment edge list: one `src dst [weight]` per
 /// line, `#` comments, blank lines ignored. Vertex count is
@@ -32,6 +102,9 @@ pub fn read_edge_list(r: impl Read, num_vertices: Option<usize>) -> io::Result<C
         };
         let u = parse(it.next(), "missing/invalid src")?;
         let v = parse(it.next(), "missing/invalid dst")?;
+        if u >= VertexId::MAX as u64 || v >= VertexId::MAX as u64 {
+            return Err(bad_line(lineno, "vertex id exceeds u32 range"));
+        }
         let w = match it.next() {
             Some(tok) => {
                 weighted = true;
@@ -64,6 +137,10 @@ fn bad_line(lineno: usize, what: &str) -> io::Error {
     )
 }
 
+fn corrupt(format: &str, what: impl std::fmt::Display) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, format!("{format}: {what}"))
+}
+
 /// Write a graph as an edge list (weights included when present).
 pub fn write_edge_list(g: &CsrGraph, w: impl Write) -> io::Result<()> {
     let mut out = BufWriter::new(w);
@@ -85,11 +162,16 @@ pub fn write_edge_list(g: &CsrGraph, w: impl Write) -> io::Result<()> {
     out.flush()
 }
 
+// ---------------------------------------------------------------------
+// GAG1: CSR snapshots.
+// ---------------------------------------------------------------------
+
 /// Serialize a CSR snapshot to the compact binary format.
 pub fn write_binary(g: &CsrGraph, w: impl Write) -> io::Result<()> {
     let mut out = BufWriter::new(w);
     out.write_all(MAGIC)?;
-    let flags: u32 = if g.is_weighted() { 1 } else { 0 };
+    out.write_all(&CSR_VERSION.to_le_bytes())?;
+    let flags: u16 = if g.is_weighted() { 1 } else { 0 };
     out.write_all(&flags.to_le_bytes())?;
     out.write_all(&(g.num_vertices() as u64).to_le_bytes())?;
     out.write_all(&(g.num_edges() as u64).to_le_bytes())?;
@@ -101,7 +183,7 @@ pub fn write_binary(g: &CsrGraph, w: impl Write) -> io::Result<()> {
     }
     if g.is_weighted() {
         for u in g.vertices() {
-            for w in g.edge_weights(u).unwrap() {
+            for w in g.edge_weights(u).unwrap_or(&[]) {
                 out.write_all(&w.to_le_bytes())?;
             }
         }
@@ -109,36 +191,109 @@ pub fn write_binary(g: &CsrGraph, w: impl Write) -> io::Result<()> {
     out.flush()
 }
 
+fn read_magic(r: &mut impl Read, expect: &[u8; 4], format: &str) -> io::Result<()> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)
+        .map_err(|_| corrupt(format, "truncated before magic"))?;
+    if &magic != expect {
+        return Err(corrupt(
+            format,
+            format!(
+                "bad magic {:?} (expected {:?})",
+                String::from_utf8_lossy(&magic),
+                String::from_utf8_lossy(expect)
+            ),
+        ));
+    }
+    Ok(())
+}
+
+fn read_version(r: &mut impl Read, expect: u16, format: &str) -> io::Result<()> {
+    let v = read_u16(r).map_err(|_| corrupt(format, "truncated in version field"))?;
+    if v != expect {
+        return Err(corrupt(
+            format,
+            format!("unsupported version {v} (this build reads version {expect})"),
+        ));
+    }
+    Ok(())
+}
+
+fn checked_count(count: u64, what: &str, format: &str) -> io::Result<usize> {
+    if count > MAX_ELEMS {
+        return Err(corrupt(
+            format,
+            format!("{what} count {count} exceeds sanity bound {MAX_ELEMS}"),
+        ));
+    }
+    Ok(count as usize)
+}
+
 /// Deserialize a CSR snapshot written by [`write_binary`].
 pub fn read_binary(r: impl Read) -> io::Result<CsrGraph> {
+    const F: &str = "GAG1";
     let mut input = BufReader::new(r);
-    let mut magic = [0u8; 4];
-    input.read_exact(&mut magic)?;
-    if &magic != MAGIC {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad magic"));
+    read_magic(&mut input, MAGIC, F)?;
+    read_version(&mut input, CSR_VERSION, F)?;
+    let flags = read_u16(&mut input).map_err(|_| corrupt(F, "truncated in flags field"))?;
+    if flags & !1 != 0 {
+        return Err(corrupt(F, format!("unknown flag bits {flags:#x}")));
     }
-    let flags = read_u32(&mut input)?;
-    let n = read_u64(&mut input)? as usize;
-    let m = read_u64(&mut input)? as usize;
-    let mut offsets = Vec::with_capacity(n + 1);
-    for _ in 0..=n {
-        offsets.push(read_u64(&mut input)?);
+    let n = checked_count(
+        read_u64(&mut input).map_err(|_| corrupt(F, "truncated in vertex count"))?,
+        "vertex",
+        F,
+    )?;
+    let m = checked_count(
+        read_u64(&mut input).map_err(|_| corrupt(F, "truncated in edge count"))?,
+        "edge",
+        F,
+    )?;
+    let mut offsets = Vec::new();
+    for i in 0..=n {
+        let off =
+            read_u64(&mut input).map_err(|_| corrupt(F, format!("truncated in offset {i}")))?;
+        if let Some(&prev) = offsets.last() {
+            if off < prev {
+                return Err(corrupt(
+                    F,
+                    format!("offsets not monotone at vertex {i} ({off} < {prev})"),
+                ));
+            }
+        }
+        offsets.push(off);
     }
     if offsets.first() != Some(&0) || offsets.last() != Some(&(m as u64)) {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad offsets"));
+        return Err(corrupt(
+            F,
+            format!(
+                "offset range [{:?}..{:?}] does not span 0..{m}",
+                offsets.first(),
+                offsets.last()
+            ),
+        ));
     }
-    let mut edges: Vec<(VertexId, VertexId, Weight)> = Vec::with_capacity(m);
-    let mut targets = Vec::with_capacity(m);
-    for _ in 0..m {
-        targets.push(read_u32(&mut input)? as VertexId);
+    let mut targets: Vec<VertexId> = Vec::new();
+    for i in 0..m {
+        let t = read_u32(&mut input).map_err(|_| corrupt(F, format!("truncated in target {i}")))?;
+        if t as usize >= n {
+            return Err(corrupt(
+                F,
+                format!("target {t} at slot {i} out of range (n = {n})"),
+            ));
+        }
+        targets.push(t as VertexId);
     }
     let weighted = flags & 1 != 0;
     let mut weights = Vec::new();
     if weighted {
-        for _ in 0..m {
-            weights.push(read_f32(&mut input)?);
+        for i in 0..m {
+            weights.push(
+                read_f32(&mut input).map_err(|_| corrupt(F, format!("truncated in weight {i}")))?,
+            );
         }
     }
+    let mut edges: Vec<(VertexId, VertexId, Weight)> = Vec::with_capacity(m.min(1 << 20));
     for u in 0..n {
         for i in offsets[u] as usize..offsets[u + 1] as usize {
             let w = if weighted { weights[i] } else { 1.0 };
@@ -163,6 +318,264 @@ pub fn load(path: impl AsRef<Path>) -> io::Result<CsrGraph> {
     read_binary(std::fs::File::open(path)?)
 }
 
+// ---------------------------------------------------------------------
+// GAD1: DynamicGraph checkpoints (tombstones + timestamps included).
+// ---------------------------------------------------------------------
+
+/// Serialize the *complete* dynamic graph state — every adjacency slot
+/// in order, tombstones included — so that
+/// `read_dynamic(write_dynamic(g)) == g` holds structurally (slot
+/// layout, weights, timestamps, deletion flags, counters).
+pub fn write_dynamic(g: &DynamicGraph, w: impl Write) -> io::Result<()> {
+    let mut out = BufWriter::new(w);
+    out.write_all(MAGIC_DYNAMIC)?;
+    out.write_all(&DYNAMIC_VERSION.to_le_bytes())?;
+    out.write_all(&0u16.to_le_bytes())?; // reserved
+    out.write_all(&(g.num_vertices() as u64).to_le_bytes())?;
+    out.write_all(&g.last_update().to_le_bytes())?;
+    for row in g.raw_rows() {
+        out.write_all(&(row.len() as u64).to_le_bytes())?;
+        for rec in row {
+            out.write_all(&rec.dst.to_le_bytes())?;
+            out.write_all(&rec.weight.to_le_bytes())?;
+            out.write_all(&rec.timestamp.to_le_bytes())?;
+            out.write_all(&[rec.deleted as u8])?;
+        }
+    }
+    out.flush()
+}
+
+/// Deserialize a dynamic graph written by [`write_dynamic`].
+pub fn read_dynamic(r: impl Read) -> io::Result<DynamicGraph> {
+    const F: &str = "GAD1";
+    let mut input = BufReader::new(r);
+    read_magic(&mut input, MAGIC_DYNAMIC, F)?;
+    read_version(&mut input, DYNAMIC_VERSION, F)?;
+    let _reserved = read_u16(&mut input).map_err(|_| corrupt(F, "truncated in header"))?;
+    let n = checked_count(
+        read_u64(&mut input).map_err(|_| corrupt(F, "truncated in vertex count"))?,
+        "vertex",
+        F,
+    )?;
+    let last_update: Timestamp =
+        read_u64(&mut input).map_err(|_| corrupt(F, "truncated in last_update"))?;
+    let mut adj: Vec<Vec<EdgeRecord>> = Vec::with_capacity(n.min(1 << 20));
+    for u in 0..n {
+        let len = checked_count(
+            read_u64(&mut input).map_err(|_| corrupt(F, format!("truncated in row {u} length")))?,
+            "row",
+            F,
+        )?;
+        let mut row = Vec::with_capacity(len.min(1 << 16));
+        for s in 0..len {
+            let dst = read_u32(&mut input)
+                .map_err(|_| corrupt(F, format!("truncated in row {u} slot {s}")))?;
+            if dst as usize >= n {
+                return Err(corrupt(
+                    F,
+                    format!("row {u} slot {s}: target {dst} out of range (n = {n})"),
+                ));
+            }
+            let weight = read_f32(&mut input)
+                .map_err(|_| corrupt(F, format!("truncated in row {u} slot {s} weight")))?;
+            let timestamp = read_u64(&mut input)
+                .map_err(|_| corrupt(F, format!("truncated in row {u} slot {s} timestamp")))?;
+            let mut flag = [0u8; 1];
+            input
+                .read_exact(&mut flag)
+                .map_err(|_| corrupt(F, format!("truncated in row {u} slot {s} flags")))?;
+            if flag[0] > 1 {
+                return Err(corrupt(
+                    F,
+                    format!("row {u} slot {s}: invalid deletion flag {}", flag[0]),
+                ));
+            }
+            row.push(EdgeRecord {
+                dst,
+                weight,
+                timestamp,
+                deleted: flag[0] == 1,
+            });
+        }
+        adj.push(row);
+    }
+    Ok(DynamicGraph::from_raw_parts(adj, last_update))
+}
+
+// ---------------------------------------------------------------------
+// GAP1: PropertyStore checkpoints.
+// ---------------------------------------------------------------------
+
+const COL_TAG_U64: u8 = 0;
+const COL_TAG_F64: u8 = 1;
+const COL_TAG_STR: u8 = 2;
+
+/// Serialize every property column (names, types, presence masks,
+/// values).
+pub fn write_props(p: &PropertyStore, w: impl Write) -> io::Result<()> {
+    const F: &str = "GAP1";
+    let mut out = BufWriter::new(w);
+    out.write_all(MAGIC_PROPS)?;
+    out.write_all(&PROPS_VERSION.to_le_bytes())?;
+    out.write_all(&0u16.to_le_bytes())?; // reserved
+    out.write_all(&(p.num_vertices() as u64).to_le_bytes())?;
+    out.write_all(&(p.columns.len() as u32).to_le_bytes())?;
+    for (name, col) in &p.columns {
+        if name.len() > u16::MAX as usize {
+            return Err(corrupt(F, format!("column name longer than {}", u16::MAX)));
+        }
+        out.write_all(&(name.len() as u16).to_le_bytes())?;
+        out.write_all(name.as_bytes())?;
+        match col {
+            Column::U64(vals) => {
+                out.write_all(&[COL_TAG_U64])?;
+                for v in vals {
+                    match v {
+                        Some(x) => {
+                            out.write_all(&[1])?;
+                            out.write_all(&x.to_le_bytes())?;
+                        }
+                        None => out.write_all(&[0])?,
+                    }
+                }
+            }
+            Column::F64(vals) => {
+                out.write_all(&[COL_TAG_F64])?;
+                for v in vals {
+                    match v {
+                        Some(x) => {
+                            out.write_all(&[1])?;
+                            out.write_all(&x.to_le_bytes())?;
+                        }
+                        None => out.write_all(&[0])?,
+                    }
+                }
+            }
+            Column::Str(vals) => {
+                out.write_all(&[COL_TAG_STR])?;
+                for v in vals {
+                    match v {
+                        Some(s) => {
+                            out.write_all(&[1])?;
+                            out.write_all(&(s.len() as u32).to_le_bytes())?;
+                            out.write_all(s.as_bytes())?;
+                        }
+                        None => out.write_all(&[0])?,
+                    }
+                }
+            }
+        }
+    }
+    out.flush()
+}
+
+/// Deserialize a property store written by [`write_props`].
+pub fn read_props(r: impl Read) -> io::Result<PropertyStore> {
+    const F: &str = "GAP1";
+    let mut input = BufReader::new(r);
+    read_magic(&mut input, MAGIC_PROPS, F)?;
+    read_version(&mut input, PROPS_VERSION, F)?;
+    let _reserved = read_u16(&mut input).map_err(|_| corrupt(F, "truncated in header"))?;
+    let n = checked_count(
+        read_u64(&mut input).map_err(|_| corrupt(F, "truncated in vertex count"))?,
+        "vertex",
+        F,
+    )?;
+    let ncols = read_u32(&mut input).map_err(|_| corrupt(F, "truncated in column count"))?;
+    let ncols = checked_count(ncols as u64, "column", F)?;
+    let mut columns: BTreeMap<String, Column> = BTreeMap::new();
+    fn presence(input: &mut impl Read, what: &str) -> io::Result<bool> {
+        let mut b = [0u8; 1];
+        input
+            .read_exact(&mut b)
+            .map_err(|_| corrupt("GAP1", format!("truncated in {what} presence byte")))?;
+        match b[0] {
+            0 => Ok(false),
+            1 => Ok(true),
+            x => Err(corrupt(
+                "GAP1",
+                format!("{what}: invalid presence byte {x}"),
+            )),
+        }
+    }
+    for c in 0..ncols {
+        let name_len = read_u16(&mut input)
+            .map_err(|_| corrupt(F, format!("truncated in column {c} name length")))?
+            as usize;
+        let mut name_bytes = vec![0u8; name_len];
+        input
+            .read_exact(&mut name_bytes)
+            .map_err(|_| corrupt(F, format!("truncated in column {c} name")))?;
+        let name = String::from_utf8(name_bytes)
+            .map_err(|_| corrupt(F, format!("column {c} name is not UTF-8")))?;
+        let mut tag = [0u8; 1];
+        input
+            .read_exact(&mut tag)
+            .map_err(|_| corrupt(F, format!("truncated in column {name:?} type tag")))?;
+        let col = match tag[0] {
+            COL_TAG_U64 => {
+                let mut vals = Vec::with_capacity(n.min(1 << 20));
+                for _ in 0..n {
+                    vals.push(if presence(&mut input, &name)? {
+                        Some(read_u64(&mut input).map_err(|_| {
+                            corrupt(F, format!("truncated in column {name:?} value"))
+                        })?)
+                    } else {
+                        None
+                    });
+                }
+                Column::U64(vals)
+            }
+            COL_TAG_F64 => {
+                let mut vals = Vec::with_capacity(n.min(1 << 20));
+                for _ in 0..n {
+                    vals.push(if presence(&mut input, &name)? {
+                        Some(read_f64(&mut input).map_err(|_| {
+                            corrupt(F, format!("truncated in column {name:?} value"))
+                        })?)
+                    } else {
+                        None
+                    });
+                }
+                Column::F64(vals)
+            }
+            COL_TAG_STR => {
+                let mut vals = Vec::with_capacity(n.min(1 << 20));
+                for _ in 0..n {
+                    vals.push(if presence(&mut input, &name)? {
+                        let len = checked_count(
+                            read_u32(&mut input).map_err(|_| {
+                                corrupt(F, format!("truncated in column {name:?} string length"))
+                            })? as u64,
+                            "string",
+                            F,
+                        )?;
+                        let mut bytes = vec![0u8; len];
+                        input.read_exact(&mut bytes).map_err(|_| {
+                            corrupt(F, format!("truncated in column {name:?} string"))
+                        })?;
+                        Some(String::from_utf8(bytes).map_err(|_| {
+                            corrupt(F, format!("column {name:?} string is not UTF-8"))
+                        })?)
+                    } else {
+                        None
+                    });
+                }
+                Column::Str(vals)
+            }
+            x => return Err(corrupt(F, format!("column {name:?}: unknown type tag {x}"))),
+        };
+        columns.insert(name, col);
+    }
+    Ok(PropertyStore::from_raw_parts(n, columns))
+}
+
+fn read_u16(r: &mut impl Read) -> io::Result<u16> {
+    let mut b = [0u8; 2];
+    r.read_exact(&mut b)?;
+    Ok(u16::from_le_bytes(b))
+}
+
 fn read_u32(r: &mut impl Read) -> io::Result<u32> {
     let mut b = [0u8; 4];
     r.read_exact(&mut b)?;
@@ -181,10 +594,23 @@ fn read_f32(r: &mut impl Read) -> io::Result<f32> {
     Ok(f32::from_le_bytes(b))
 }
 
+fn read_f64(r: &mut impl Read) -> io::Result<f64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(f64::from_le_bytes(b))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::gen;
+
+    #[test]
+    fn crc32_known_vectors() {
+        // IEEE CRC32 of "123456789" is the classic check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
 
     #[test]
     fn edge_list_round_trip() {
@@ -221,6 +647,7 @@ mod tests {
         assert!(read_edge_list("0 x".as_bytes(), None).is_err());
         assert!(read_edge_list("0".as_bytes(), None).is_err());
         assert!(read_edge_list("0 1 zzz".as_bytes(), None).is_err());
+        assert!(read_edge_list("0 99999999999".as_bytes(), None).is_err());
     }
 
     #[test]
@@ -255,6 +682,64 @@ mod tests {
     fn binary_rejects_bad_magic() {
         assert!(read_binary(&b"NOPE"[..]).is_err());
         assert!(read_binary(&b"GA"[..]).is_err());
+        let err = read_binary(&b"GAD1"[..]).unwrap_err();
+        assert!(err.to_string().contains("bad magic"), "{err}");
+    }
+
+    #[test]
+    fn binary_rejects_wrong_version() {
+        let g = CsrGraph::from_edges(3, &[(0, 1)]);
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        buf[4] = 99; // version low byte
+        let err = read_binary(&buf[..]).unwrap_err();
+        assert!(err.to_string().contains("unsupported version"), "{err}");
+    }
+
+    #[test]
+    fn binary_rejects_truncation_in_every_section() {
+        let g = CsrGraph::from_weighted_edges(4, &[(0, 1, 1.5), (1, 2, 2.5), (2, 3, 3.5)]);
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        // Sanity: the full buffer parses.
+        assert!(read_binary(&buf[..]).is_ok());
+        // Every proper prefix must error out cleanly (no panic, no
+        // partial graph): magic, version, flags, counts, offsets,
+        // targets, weights.
+        for cut in 0..buf.len() {
+            let err = read_binary(&buf[..cut]);
+            assert!(err.is_err(), "prefix of {cut} bytes parsed");
+        }
+    }
+
+    #[test]
+    fn binary_rejects_corrupt_structure() {
+        let g = CsrGraph::from_edges(3, &[(0, 1), (1, 2)]);
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+
+        // Absurd vertex count: must reject, not allocate.
+        let mut huge = buf.clone();
+        huge[8..16].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(read_binary(&huge[..])
+            .unwrap_err()
+            .to_string()
+            .contains("sanity bound"));
+
+        // Non-monotone offsets.
+        let mut bad_off = buf.clone();
+        let off0 = 24; // magic(4) + version(2) + flags(2) + n(8) + m(8)
+        bad_off[off0..off0 + 8].copy_from_slice(&9u64.to_le_bytes());
+        assert!(read_binary(&bad_off[..]).is_err());
+
+        // Target out of range.
+        let mut bad_target = buf.clone();
+        let toff = 24 + 4 * 8; // offsets are (n + 1) = 4 u64s
+        bad_target[toff..toff + 4].copy_from_slice(&77u32.to_le_bytes());
+        assert!(read_binary(&bad_target[..])
+            .unwrap_err()
+            .to_string()
+            .contains("out of range"));
     }
 
     #[test]
@@ -267,5 +752,111 @@ mod tests {
         let g2 = load(&p).unwrap();
         assert_eq!(g2.num_edges(), 2);
         std::fs::remove_file(p).ok();
+    }
+
+    #[test]
+    fn dynamic_round_trip_preserves_tombstones_and_timestamps() {
+        let mut g = DynamicGraph::new(5);
+        g.insert_edge(0, 1, 1.5, 10);
+        g.insert_edge(0, 2, 2.5, 11);
+        g.insert_edge(3, 4, 0.5, 12);
+        g.delete_edge(0, 1, 13);
+        g.insert_edge(1, 0, 9.0, 14);
+        let mut buf = Vec::new();
+        write_dynamic(&g, &mut buf).unwrap();
+        let g2 = read_dynamic(&buf[..]).unwrap();
+        assert_eq!(g, g2);
+        assert_eq!(g2.num_tombstones(), 1);
+        assert_eq!(g2.last_update(), 14);
+        assert_eq!(g2.edge(0, 2).unwrap().timestamp, 11);
+    }
+
+    #[test]
+    fn dynamic_rejects_truncation_at_every_byte() {
+        let mut g = DynamicGraph::new(3);
+        g.insert_edge(0, 1, 1.0, 1);
+        g.delete_edge(0, 1, 2);
+        g.insert_edge(2, 0, 3.0, 3);
+        let mut buf = Vec::new();
+        write_dynamic(&g, &mut buf).unwrap();
+        for cut in 0..buf.len() {
+            assert!(read_dynamic(&buf[..cut]).is_err(), "prefix {cut} parsed");
+        }
+    }
+
+    #[test]
+    fn dynamic_rejects_bad_target_and_flag() {
+        let mut g = DynamicGraph::new(2);
+        g.insert_edge(0, 1, 1.0, 1);
+        let mut buf = Vec::new();
+        write_dynamic(&g, &mut buf).unwrap();
+        // Record layout after header(8) + n(8) + last_update(8) +
+        // row0 len(8): dst u32 | weight f32 | ts u64 | flag u8.
+        let rec = 8 + 8 + 8 + 8;
+        let mut bad_dst = buf.clone();
+        bad_dst[rec..rec + 4].copy_from_slice(&9u32.to_le_bytes());
+        assert!(read_dynamic(&bad_dst[..])
+            .unwrap_err()
+            .to_string()
+            .contains("out of range"));
+        let mut bad_flag = buf.clone();
+        bad_flag[rec + 16] = 7;
+        assert!(read_dynamic(&bad_flag[..])
+            .unwrap_err()
+            .to_string()
+            .contains("flag"));
+    }
+
+    #[test]
+    fn props_round_trip_all_types() {
+        let mut p = PropertyStore::new(4);
+        p.set("deg", 0, 7u64);
+        p.set("deg", 3, 9u64);
+        p.set("rank", 1, 0.25);
+        p.set("label", 2, "hub");
+        let mut buf = Vec::new();
+        write_props(&p, &mut buf).unwrap();
+        let p2 = read_props(&buf[..]).unwrap();
+        assert_eq!(p, p2);
+        assert_eq!(p2.get_f64("deg", 3), Some(9.0));
+        assert_eq!(
+            p2.get("label", 2),
+            Some(crate::PropValue::Str("hub".into()))
+        );
+        assert_eq!(p2.get("rank", 0), None);
+    }
+
+    #[test]
+    fn props_rejects_truncation_at_every_byte() {
+        let mut p = PropertyStore::new(3);
+        p.set("a", 0, 1u64);
+        p.set("b", 1, 2.0);
+        p.set("c", 2, "x");
+        let mut buf = Vec::new();
+        write_props(&p, &mut buf).unwrap();
+        for cut in 0..buf.len() {
+            assert!(read_props(&buf[..cut]).is_err(), "prefix {cut} parsed");
+        }
+    }
+
+    #[test]
+    fn props_rejects_unknown_tag_and_bad_presence() {
+        let mut p = PropertyStore::new(1);
+        p.set("a", 0, 1u64);
+        let mut buf = Vec::new();
+        write_props(&p, &mut buf).unwrap();
+        // header(8) + n(8) + ncols(4) + name len(2) + "a"(1) => tag at 23.
+        let mut bad_tag = buf.clone();
+        bad_tag[23] = 42;
+        assert!(read_props(&bad_tag[..])
+            .unwrap_err()
+            .to_string()
+            .contains("type tag"));
+        let mut bad_presence = buf.clone();
+        bad_presence[24] = 3;
+        assert!(read_props(&bad_presence[..])
+            .unwrap_err()
+            .to_string()
+            .contains("presence"));
     }
 }

@@ -37,6 +37,7 @@
 pub mod counters;
 pub mod csr;
 pub mod dynamic;
+pub mod faults;
 pub mod gen;
 pub mod io;
 pub mod par;

@@ -55,8 +55,8 @@ impl From<String> for PropValue {
 }
 
 /// One typed column, stored densely with a presence mask.
-#[derive(Clone, Debug)]
-enum Column {
+#[derive(Clone, Debug, PartialEq)]
+pub(crate) enum Column {
     U64(Vec<Option<u64>>),
     F64(Vec<Option<f64>>),
     Str(Vec<Option<String>>),
@@ -137,10 +137,10 @@ impl Column {
 /// let top = props.top_k_f64("pagerank", 1);
 /// assert_eq!(top, vec![(0, 0.4)]);
 /// ```
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct PropertyStore {
     num_vertices: usize,
-    columns: BTreeMap<String, Column>,
+    pub(crate) columns: BTreeMap<String, Column>,
 }
 
 impl PropertyStore {
@@ -157,9 +157,12 @@ impl PropertyStore {
         self.num_vertices
     }
 
-    /// Grow the vertex range (new slots have no values).
+    /// Grow the vertex range (new slots have no values). Shrinking is a
+    /// no-op — the store never loses data to a stale smaller size.
     pub fn grow(&mut self, num_vertices: usize) {
-        assert!(num_vertices >= self.num_vertices);
+        if num_vertices <= self.num_vertices {
+            return;
+        }
         self.num_vertices = num_vertices;
         for col in self.columns.values_mut() {
             col.resize(num_vertices);
@@ -168,9 +171,12 @@ impl PropertyStore {
 
     /// Set `name[v] = value`, creating the column (typed by the first
     /// value written) on demand. Returns false on a type mismatch with an
-    /// existing column.
+    /// existing column or an out-of-range vertex — never panics, so a
+    /// malformed streamed update can't take the ingest path down.
     pub fn set(&mut self, name: &str, v: VertexId, value: impl Into<PropValue>) -> bool {
-        assert!((v as usize) < self.num_vertices, "vertex {v} out of range");
+        if (v as usize) >= self.num_vertices {
+            return false;
+        }
         let value = value.into();
         let n = self.num_vertices;
         let col = self
@@ -240,7 +246,9 @@ impl PropertyStore {
         let mut all: Vec<(VertexId, f64)> = (0..self.num_vertices as VertexId)
             .filter_map(|v| self.get_f64(name, v).map(|x| (v, x)))
             .collect();
-        all.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        // total_cmp: a NaN smuggled into a column must not panic the
+        // selection path (it gets a deterministic position instead).
+        all.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         all.truncate(k);
         all
     }
@@ -269,6 +277,18 @@ impl PropertyStore {
             }
         }
         out
+    }
+
+    /// Rebuild a store from checkpointed columns (the io codec's entry
+    /// point).
+    pub(crate) fn from_raw_parts(
+        num_vertices: usize,
+        columns: BTreeMap<String, Column>,
+    ) -> PropertyStore {
+        PropertyStore {
+            num_vertices,
+            columns,
+        }
     }
 
     /// Merge values from a projected store back into this one (inverse of
@@ -377,6 +397,31 @@ mod tests {
         assert!(p.drop_column("x"));
         assert!(!p.drop_column("x"));
         assert!(!p.has_column("x"));
+    }
+
+    #[test]
+    fn out_of_range_set_is_rejected_not_fatal() {
+        let mut p = PropertyStore::new(2);
+        assert!(!p.set("x", 5, 1.0));
+        assert!(!p.has_column("x") || p.get("x", 5).is_none());
+        // Shrinking grow is ignored.
+        p.set("x", 1, 1.0);
+        p.grow(1);
+        assert_eq!(p.num_vertices(), 2);
+        assert_eq!(p.get_f64("x", 1), Some(1.0));
+    }
+
+    #[test]
+    fn nan_in_column_does_not_panic_selection() {
+        let mut p = PropertyStore::new(3);
+        p.set_column_f64("x", &[0.5, f64::NAN, 0.9]);
+        let top = p.top_k_f64("x", 3);
+        assert_eq!(top.len(), 3);
+        // The finite values keep their relative order.
+        let finite: Vec<_> = top.iter().filter(|(_, x)| x.is_finite()).collect();
+        assert_eq!(finite[0].0, 2);
+        assert_eq!(finite[1].0, 0);
+        assert_eq!(p.select_f64("x", |x| x > 0.4), vec![0, 2]);
     }
 
     #[test]

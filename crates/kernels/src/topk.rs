@@ -47,7 +47,7 @@ pub fn top_k_by(
         .into_iter()
         .map(|Reverse(Entry(m, v))| (v, m))
         .collect();
-    out.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+    out.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
     out
 }
 

@@ -196,7 +196,7 @@ mod tests {
             time: 0,
             updates: vec![Update::PropertySet {
                 vertex: 0,
-                name: "x",
+                name: "x".into(),
                 value: 1.0,
             }],
         });

@@ -10,6 +10,7 @@ use crate::events::Event;
 use crate::update::{Update, UpdateBatch};
 use ga_graph::dynamic::ApplyResult;
 use ga_graph::{DynamicGraph, PropertyStore, Timestamp, VertexId};
+use std::collections::VecDeque;
 
 /// An incremental analytic attached to the stream.
 pub trait Monitor {
@@ -49,7 +50,43 @@ pub struct StreamStats {
     pub batches: usize,
     /// Events emitted by all monitors.
     pub events_emitted: usize,
+    /// Malformed updates routed to the dead-letter queue instead of
+    /// being applied (out-of-range ids, non-finite weights,
+    /// non-monotonic batch timestamps).
+    pub updates_quarantined: usize,
 }
+
+/// Why an update was quarantined instead of applied.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QuarantineReason {
+    /// A vertex id at or beyond the engine's [`StreamEngine::vertex_limit`].
+    VertexOutOfRange,
+    /// A NaN or infinite edge weight / property value.
+    NonFiniteWeight,
+    /// The batch timestamp went backwards relative to the last applied
+    /// batch.
+    NonMonotonicTime,
+}
+
+/// A quarantined (dead-lettered) update, kept for inspection.
+#[derive(Clone, Debug, PartialEq)]
+pub struct QuarantinedUpdate {
+    /// The offending update, verbatim.
+    pub update: Update,
+    /// Timestamp of the batch it arrived in.
+    pub time: Timestamp,
+    /// Why it was rejected.
+    pub reason: QuarantineReason,
+}
+
+/// Dead-letter queue capacity; older entries are dropped first. The
+/// `updates_quarantined` counter keeps counting past the cap.
+pub const DEAD_LETTER_CAP: usize = 1024;
+
+/// Default [`StreamEngine::vertex_limit`]: ids at or beyond 2^26 are
+/// treated as corrupt rather than auto-grown (an accidental 4-billion-id
+/// update must not allocate the address space).
+pub const DEFAULT_VERTEX_LIMIT: usize = 1 << 26;
 
 /// Applies updates to the persistent graph and fans them out to
 /// monitors.
@@ -59,6 +96,11 @@ pub struct StreamEngine {
     monitors: Vec<Box<dyn Monitor>>,
     events: Vec<Event>,
     stats: StreamStats,
+    dead_letters: VecDeque<QuarantinedUpdate>,
+    /// Vertex ids at or beyond this bound are quarantined, not grown.
+    vertex_limit: usize,
+    /// Highest batch timestamp applied so far (0 before any batch).
+    last_batch_time: Timestamp,
     /// When true (the default), every edge insert/delete is mirrored in
     /// the reverse direction, maintaining an undirected graph — the
     /// setting the triangle/Jaccard monitors assume.
@@ -68,14 +110,10 @@ pub struct StreamEngine {
 impl StreamEngine {
     /// Engine over an empty graph of `num_vertices` vertices.
     pub fn new(num_vertices: usize) -> Self {
-        StreamEngine {
-            graph: DynamicGraph::new(num_vertices),
-            props: PropertyStore::new(num_vertices),
-            monitors: Vec::new(),
-            events: Vec::new(),
-            stats: StreamStats::default(),
-            symmetrize: true,
-        }
+        Self::with_graph(
+            DynamicGraph::new(num_vertices),
+            PropertyStore::new(num_vertices),
+        )
     }
 
     /// Engine over an existing graph (e.g. a loaded persistent graph).
@@ -86,6 +124,9 @@ impl StreamEngine {
             monitors: Vec::new(),
             events: Vec::new(),
             stats: StreamStats::default(),
+            dead_letters: VecDeque::new(),
+            vertex_limit: DEFAULT_VERTEX_LIMIT,
+            last_batch_time: 0,
             symmetrize: true,
         }
     }
@@ -125,11 +166,56 @@ impl StreamEngine {
         self.stats
     }
 
-    /// Apply one batch: every update is applied to the graph, then each
-    /// monitor observes it; monitors' batch hooks run at the end.
-    pub fn apply_batch(&mut self, batch: &UpdateBatch) {
-        for u in &batch.updates {
-            self.apply_one(u, batch.time);
+    /// Overwrite the counters (recovery restores the checkpointed
+    /// values so a recovered engine reports uninterrupted totals).
+    pub fn set_stats(&mut self, stats: StreamStats) {
+        self.stats = stats;
+    }
+
+    /// Quarantined updates, oldest first (bounded at [`DEAD_LETTER_CAP`]).
+    pub fn dead_letters(&self) -> impl Iterator<Item = &QuarantinedUpdate> {
+        self.dead_letters.iter()
+    }
+
+    /// The bound above which vertex ids are quarantined.
+    pub fn vertex_limit(&self) -> usize {
+        self.vertex_limit
+    }
+
+    /// Set the quarantine bound for vertex ids.
+    pub fn set_vertex_limit(&mut self, limit: usize) {
+        self.vertex_limit = limit;
+    }
+
+    /// Timestamp of the most recently applied batch.
+    pub fn last_batch_time(&self) -> Timestamp {
+        self.last_batch_time
+    }
+
+    /// Restore the batch-time watermark (recovery only — replayed
+    /// batches must face the same monotonicity checks as the original
+    /// run).
+    pub fn set_last_batch_time(&mut self, t: Timestamp) {
+        self.last_batch_time = t;
+    }
+
+    /// Apply one batch: every valid update is applied to the graph, then
+    /// each monitor observes it; malformed updates are quarantined;
+    /// monitors' batch hooks run at the end.
+    ///
+    /// Returns how many of the batch's updates were quarantined.
+    pub fn apply_batch(&mut self, batch: &UpdateBatch) -> usize {
+        let before = self.stats.updates_quarantined;
+        if batch.time < self.last_batch_time {
+            // Time went backwards: the whole batch is suspect.
+            for u in &batch.updates {
+                self.quarantine(u.clone(), batch.time, QuarantineReason::NonMonotonicTime);
+            }
+        } else {
+            self.last_batch_time = batch.time;
+            for u in &batch.updates {
+                self.apply_one(u, batch.time);
+            }
         }
         let mut out = Vec::new();
         for m in &mut self.monitors {
@@ -138,6 +224,51 @@ impl StreamEngine {
         self.stats.events_emitted += out.len();
         self.events.extend(out);
         self.stats.batches += 1;
+        self.stats.updates_quarantined - before
+    }
+
+    fn quarantine(&mut self, update: Update, time: Timestamp, reason: QuarantineReason) {
+        self.stats.updates_quarantined += 1;
+        if self.dead_letters.len() == DEAD_LETTER_CAP {
+            self.dead_letters.pop_front();
+        }
+        self.dead_letters.push_back(QuarantinedUpdate {
+            update,
+            time,
+            reason,
+        });
+    }
+
+    /// `Some(reason)` if `u` must not touch the graph.
+    fn validate(&self, u: &Update) -> Option<QuarantineReason> {
+        let limit = self.vertex_limit as u64;
+        match u {
+            Update::EdgeInsert { src, dst, weight } => {
+                if (*src as u64) >= limit || (*dst as u64) >= limit {
+                    Some(QuarantineReason::VertexOutOfRange)
+                } else if !weight.is_finite() {
+                    Some(QuarantineReason::NonFiniteWeight)
+                } else {
+                    None
+                }
+            }
+            Update::EdgeDelete { src, dst } => {
+                if (*src as u64) >= limit || (*dst as u64) >= limit {
+                    Some(QuarantineReason::VertexOutOfRange)
+                } else {
+                    None
+                }
+            }
+            Update::PropertySet { vertex, value, .. } => {
+                if (*vertex as u64) >= limit {
+                    Some(QuarantineReason::VertexOutOfRange)
+                } else if !value.is_finite() {
+                    Some(QuarantineReason::NonFiniteWeight)
+                } else {
+                    None
+                }
+            }
+        }
     }
 
     fn ensure_capacity(&mut self, v: VertexId) {
@@ -149,8 +280,12 @@ impl StreamEngine {
     }
 
     fn apply_one(&mut self, u: &Update, time: Timestamp) {
-        let result = match *u {
-            Update::EdgeInsert { src, dst, weight } => {
+        if let Some(reason) = self.validate(u) {
+            self.quarantine(u.clone(), time, reason);
+            return;
+        }
+        let result = match u {
+            &Update::EdgeInsert { src, dst, weight } => {
                 self.ensure_capacity(src.max(dst));
                 let r = self.graph.insert_edge(src, dst, weight, time);
                 if self.symmetrize {
@@ -163,7 +298,7 @@ impl StreamEngine {
                 }
                 r
             }
-            Update::EdgeDelete { src, dst } => {
+            &Update::EdgeDelete { src, dst } => {
                 if (src as usize) >= self.graph.num_vertices()
                     || (dst as usize) >= self.graph.num_vertices()
                 {
@@ -186,8 +321,8 @@ impl StreamEngine {
                 name,
                 value,
             } => {
-                self.ensure_capacity(vertex);
-                self.props.set(name, vertex, value);
+                self.ensure_capacity(*vertex);
+                self.props.set(name, *vertex, *value);
                 self.stats.props_set += 1;
                 ApplyResult::Updated
             }
@@ -288,7 +423,7 @@ mod tests {
             time: 1,
             updates: vec![Update::PropertySet {
                 vertex: 2,
-                name: "score",
+                name: "score".into(),
                 value: 7.5,
             }],
         });
@@ -321,6 +456,108 @@ mod tests {
         });
         assert!(e.graph().has_edge(0, 1));
         assert!(!e.graph().has_edge(1, 0));
+    }
+
+    #[test]
+    fn poisoned_updates_are_quarantined_not_applied() {
+        let mut e = StreamEngine::new(4);
+        e.set_vertex_limit(100);
+        let quarantined = e.apply_batch(&UpdateBatch {
+            time: 1,
+            updates: vec![
+                Update::EdgeInsert {
+                    src: 0,
+                    dst: 1,
+                    weight: 1.0,
+                },
+                Update::EdgeInsert {
+                    src: 0,
+                    dst: 5000, // beyond vertex_limit
+                    weight: 1.0,
+                },
+                Update::EdgeInsert {
+                    src: 1,
+                    dst: 2,
+                    weight: f32::NAN,
+                },
+                Update::PropertySet {
+                    vertex: 0,
+                    name: "x".into(),
+                    value: f64::INFINITY,
+                },
+                Update::EdgeDelete { src: 7000, dst: 0 },
+            ],
+        });
+        assert_eq!(quarantined, 4);
+        assert_eq!(e.stats().updates_quarantined, 4);
+        assert_eq!(e.stats().edges_inserted, 1);
+        assert_eq!(e.graph().num_vertices(), 4); // no growth from bad ids
+        let reasons: Vec<_> = e.dead_letters().map(|d| d.reason).collect();
+        assert_eq!(
+            reasons,
+            [
+                QuarantineReason::VertexOutOfRange,
+                QuarantineReason::NonFiniteWeight,
+                QuarantineReason::NonFiniteWeight,
+                QuarantineReason::VertexOutOfRange,
+            ]
+        );
+    }
+
+    #[test]
+    fn time_regression_quarantines_whole_batch() {
+        let mut e = StreamEngine::new(3);
+        e.apply_batch(&UpdateBatch {
+            time: 10,
+            updates: vec![Update::EdgeInsert {
+                src: 0,
+                dst: 1,
+                weight: 1.0,
+            }],
+        });
+        let q = e.apply_batch(&UpdateBatch {
+            time: 9, // older than the watermark
+            updates: vec![Update::EdgeInsert {
+                src: 1,
+                dst: 2,
+                weight: 1.0,
+            }],
+        });
+        assert_eq!(q, 1);
+        assert!(!e.graph().has_edge(1, 2));
+        assert_eq!(
+            e.dead_letters().next().unwrap().reason,
+            QuarantineReason::NonMonotonicTime
+        );
+        // Equal timestamps are fine (several batches may share a tick).
+        assert_eq!(
+            e.apply_batch(&UpdateBatch {
+                time: 10,
+                updates: vec![Update::EdgeInsert {
+                    src: 1,
+                    dst: 2,
+                    weight: 1.0,
+                }],
+            }),
+            0
+        );
+        assert_eq!(e.last_batch_time(), 10);
+    }
+
+    #[test]
+    fn dead_letter_queue_is_bounded() {
+        let mut e = StreamEngine::new(2);
+        e.set_vertex_limit(1);
+        for t in 0..(DEAD_LETTER_CAP + 10) {
+            e.apply_batch(&UpdateBatch {
+                time: t as Timestamp,
+                updates: vec![Update::EdgeDelete { src: 9, dst: 9 }],
+            });
+        }
+        assert_eq!(e.dead_letters().count(), DEAD_LETTER_CAP);
+        assert_eq!(e.stats().updates_quarantined, DEAD_LETTER_CAP + 10);
+        // Oldest entries were dropped.
+        assert_eq!(e.dead_letters().next().unwrap().time, 10);
     }
 
     #[test]

@@ -39,6 +39,8 @@
 //!   "Search for Largest" (top-k degree) tracker.
 //! * [`firehose`] — the three Firehose anomaly detectors: fixed key,
 //!   unbounded key, two-level key.
+//! * [`wal`] — CRC32-framed write-ahead log making the update stream
+//!   durable (torn-tail-tolerant replay for crash recovery).
 
 #![warn(missing_docs)]
 
@@ -53,6 +55,7 @@ pub mod pr_inc;
 pub mod queries;
 pub mod tri_inc;
 pub mod update;
+pub mod wal;
 pub mod window;
 
 pub use engine::{Monitor, StreamEngine};

@@ -30,8 +30,9 @@ pub enum Update {
     PropertySet {
         /// Target vertex.
         vertex: VertexId,
-        /// Property column name.
-        name: &'static str,
+        /// Property column name. Owned so updates can round-trip
+        /// through the write-ahead log.
+        name: String,
         /// New value.
         value: f64,
     },

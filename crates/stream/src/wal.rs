@@ -1,0 +1,439 @@
+//! Write-ahead log for update batches.
+//!
+//! Every [`UpdateBatch`] headed for the engine is first appended to the
+//! log as one CRC32-framed record:
+//!
+//! ```text
+//! [payload len: u32][seq: u64][payload: len bytes][crc32: u32]
+//! ```
+//!
+//! where the CRC covers `seq || payload`. The format is torn-tail
+//! tolerant: a crash mid-append leaves a short or corrupt final frame,
+//! and [`replay`] simply stops at the first frame that fails its length
+//! or checksum test — everything before it is intact (frames are only
+//! ever appended). [`Wal::open_append`] truncates such a tail away so
+//! the next append starts on a clean frame boundary.
+//!
+//! Batches are logged *before* validation: the quarantine filter is
+//! deterministic, so replaying the raw stream re-quarantines exactly
+//! the updates the original run rejected, keeping recovered counters
+//! identical to an uninterrupted run.
+//!
+//! Fault injection: appends pass through the `"wal.append"` site of
+//! [`ga_graph::faults`], which can veto the write entirely or tear it
+//! after a chosen number of bytes.
+
+use crate::update::{Update, UpdateBatch};
+use ga_graph::io::crc32;
+use ga_graph::{faults, Timestamp};
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// Upper bound on a frame payload; a corrupt length field must not
+/// drive a giant allocation during replay.
+const MAX_PAYLOAD: u32 = 1 << 28;
+
+const TAG_EDGE_INSERT: u8 = 0;
+const TAG_EDGE_DELETE: u8 = 1;
+const TAG_PROPERTY_SET: u8 = 2;
+
+/// Serialize one batch to the WAL payload encoding.
+pub fn encode_batch(batch: &UpdateBatch) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16 + batch.updates.len() * 13);
+    out.extend_from_slice(&batch.time.to_le_bytes());
+    out.extend_from_slice(&(batch.updates.len() as u32).to_le_bytes());
+    for u in &batch.updates {
+        match u {
+            &Update::EdgeInsert { src, dst, weight } => {
+                out.push(TAG_EDGE_INSERT);
+                out.extend_from_slice(&src.to_le_bytes());
+                out.extend_from_slice(&dst.to_le_bytes());
+                out.extend_from_slice(&weight.to_le_bytes());
+            }
+            &Update::EdgeDelete { src, dst } => {
+                out.push(TAG_EDGE_DELETE);
+                out.extend_from_slice(&src.to_le_bytes());
+                out.extend_from_slice(&dst.to_le_bytes());
+            }
+            Update::PropertySet {
+                vertex,
+                name,
+                value,
+            } => {
+                out.push(TAG_PROPERTY_SET);
+                out.extend_from_slice(&vertex.to_le_bytes());
+                let name_len = name.len().min(u16::MAX as usize) as u16;
+                out.extend_from_slice(&name_len.to_le_bytes());
+                out.extend_from_slice(&name.as_bytes()[..name_len as usize]);
+                out.extend_from_slice(&value.to_le_bytes());
+            }
+        }
+    }
+    out
+}
+
+/// Deserialize a WAL payload produced by [`encode_batch`].
+pub fn decode_batch(payload: &[u8]) -> io::Result<UpdateBatch> {
+    let mut r = payload;
+    let time: Timestamp = take_u64(&mut r, "batch time")?;
+    let count = take_u32(&mut r, "update count")?;
+    let mut updates = Vec::with_capacity((count as usize).min(1 << 20));
+    for i in 0..count {
+        let tag = take_u8(&mut r, "update tag")?;
+        let u = match tag {
+            TAG_EDGE_INSERT => Update::EdgeInsert {
+                src: take_u32(&mut r, "src")?,
+                dst: take_u32(&mut r, "dst")?,
+                weight: f32::from_le_bytes(take_array(&mut r, "weight")?),
+            },
+            TAG_EDGE_DELETE => Update::EdgeDelete {
+                src: take_u32(&mut r, "src")?,
+                dst: take_u32(&mut r, "dst")?,
+            },
+            TAG_PROPERTY_SET => {
+                let vertex = take_u32(&mut r, "vertex")?;
+                let name_len = u16::from_le_bytes(take_array(&mut r, "name length")?) as usize;
+                if r.len() < name_len {
+                    return Err(wal_corrupt("truncated in property name"));
+                }
+                let (name_bytes, rest) = r.split_at(name_len);
+                r = rest;
+                let name = String::from_utf8(name_bytes.to_vec())
+                    .map_err(|_| wal_corrupt("property name is not UTF-8"))?;
+                Update::PropertySet {
+                    vertex,
+                    name,
+                    value: f64::from_le_bytes(take_array(&mut r, "value")?),
+                }
+            }
+            x => return Err(wal_corrupt(format!("unknown update tag {x} at index {i}"))),
+        };
+        updates.push(u);
+    }
+    if !r.is_empty() {
+        return Err(wal_corrupt(format!("{} trailing payload bytes", r.len())));
+    }
+    Ok(UpdateBatch { time, updates })
+}
+
+fn wal_corrupt(what: impl std::fmt::Display) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, format!("WAL: {what}"))
+}
+
+fn take_array<const N: usize>(r: &mut &[u8], what: &str) -> io::Result<[u8; N]> {
+    if r.len() < N {
+        return Err(wal_corrupt(format!("truncated in {what}")));
+    }
+    let (head, rest) = r.split_at(N);
+    *r = rest;
+    Ok(head.try_into().unwrap())
+}
+
+fn take_u8(r: &mut &[u8], what: &str) -> io::Result<u8> {
+    Ok(take_array::<1>(r, what)?[0])
+}
+
+fn take_u32(r: &mut &[u8], what: &str) -> io::Result<u32> {
+    Ok(u32::from_le_bytes(take_array(r, what)?))
+}
+
+fn take_u64(r: &mut &[u8], what: &str) -> io::Result<u64> {
+    Ok(u64::from_le_bytes(take_array(r, what)?))
+}
+
+/// Build the full on-disk frame for (`seq`, `payload`).
+fn frame_bytes(seq: u64, payload: &[u8]) -> Vec<u8> {
+    let mut crc_input = Vec::with_capacity(8 + payload.len());
+    crc_input.extend_from_slice(&seq.to_le_bytes());
+    crc_input.extend_from_slice(payload);
+    let crc = crc32(&crc_input);
+    let mut frame = Vec::with_capacity(16 + payload.len());
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&crc_input);
+    frame.extend_from_slice(&crc.to_le_bytes());
+    frame
+}
+
+/// Result of scanning a WAL file.
+#[derive(Debug)]
+pub struct WalReplay {
+    /// The decoded `(sequence number, batch)` pairs, in file order.
+    pub batches: Vec<(u64, UpdateBatch)>,
+    /// Byte offset of the end of the last valid frame.
+    pub valid_len: u64,
+    /// True if bytes followed the last valid frame (a torn tail).
+    pub torn: bool,
+}
+
+/// Scan a WAL file, decoding every intact frame and stopping cleanly at
+/// the first short/corrupt one.
+pub fn replay(path: impl AsRef<Path>) -> io::Result<WalReplay> {
+    let mut bytes = Vec::new();
+    File::open(path)?.read_to_end(&mut bytes)?;
+    replay_bytes(&bytes)
+}
+
+fn replay_bytes(bytes: &[u8]) -> io::Result<WalReplay> {
+    let mut batches = Vec::new();
+    let mut pos = 0usize;
+    loop {
+        let rest = &bytes[pos..];
+        if rest.len() < 4 {
+            break;
+        }
+        let len = u32::from_le_bytes(rest[..4].try_into().unwrap());
+        if len > MAX_PAYLOAD {
+            break; // corrupt length field
+        }
+        let frame_len = 4 + 8 + len as usize + 4;
+        if rest.len() < frame_len {
+            break; // torn tail
+        }
+        let seq = u64::from_le_bytes(rest[4..12].try_into().unwrap());
+        let crc_input = &rest[4..12 + len as usize];
+        let stored_crc = u32::from_le_bytes(rest[12 + len as usize..frame_len].try_into().unwrap());
+        if crc32(crc_input) != stored_crc {
+            break; // bit rot or torn write inside the frame
+        }
+        // A frame that passes its CRC but fails to decode is a real
+        // format error, not a torn tail — surface it.
+        let batch = decode_batch(&rest[12..12 + len as usize])?;
+        batches.push((seq, batch));
+        pos += frame_len;
+    }
+    Ok(WalReplay {
+        batches,
+        valid_len: pos as u64,
+        torn: pos < bytes.len(),
+    })
+}
+
+/// An open write-ahead log file.
+pub struct Wal {
+    file: File,
+    path: PathBuf,
+    next_seq: u64,
+}
+
+impl Wal {
+    /// Create a fresh (empty) log whose first frame will carry `first_seq`.
+    pub fn create(path: impl AsRef<Path>, first_seq: u64) -> io::Result<Wal> {
+        let path = path.as_ref().to_path_buf();
+        let file = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(&path)?;
+        Ok(Wal {
+            file,
+            path,
+            next_seq: first_seq,
+        })
+    }
+
+    /// Open an existing log for appending: scan it, truncate any torn
+    /// tail, and continue the sequence after the last valid frame (or at
+    /// `first_seq_if_empty` when no valid frame exists).
+    pub fn open_append(path: impl AsRef<Path>, first_seq_if_empty: u64) -> io::Result<Wal> {
+        let path = path.as_ref().to_path_buf();
+        let scan = replay(&path)?;
+        let file = OpenOptions::new().write(true).open(&path)?;
+        file.set_len(scan.valid_len)?;
+        let mut file = file;
+        file.seek(SeekFrom::End(0))?;
+        let next_seq = scan
+            .batches
+            .last()
+            .map(|(seq, _)| seq + 1)
+            .unwrap_or(first_seq_if_empty);
+        Ok(Wal {
+            file,
+            path,
+            next_seq,
+        })
+    }
+
+    /// The log's path on disk.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Sequence number the next append will carry.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Append one batch as a framed record and fsync it. Returns the
+    /// frame's sequence number.
+    ///
+    /// Passes the `"wal.append"` fault site: an injected error leaves
+    /// the file untouched; an injected short write leaves a torn tail
+    /// exactly as a crash mid-write would.
+    pub fn append(&mut self, batch: &UpdateBatch) -> io::Result<u64> {
+        let frame = frame_bytes(self.next_seq, &encode_batch(batch));
+        match faults::intercept("wal.append") {
+            faults::Intercept::Proceed => {}
+            faults::Intercept::Error => return Err(faults::injected("wal.append")),
+            faults::Intercept::ShortWrite(k) => {
+                let k = k.min(frame.len());
+                self.file.write_all(&frame[..k])?;
+                self.file.sync_data()?;
+                return Err(faults::injected("wal.append"));
+            }
+        }
+        self.file.write_all(&frame)?;
+        self.file.sync_data()?;
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        Ok(seq)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::update::{into_batches, rmat_edge_stream};
+    use ga_graph::faults::{self, FaultMode};
+    use std::sync::Mutex;
+
+    // Fault registry is process-global; serialize tests that arm it.
+    static LOCK: Mutex<()> = Mutex::new(());
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("ga_wal_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    fn sample_batches() -> Vec<UpdateBatch> {
+        let mut batches = into_batches(rmat_edge_stream(6, 60, 0.2, 11), 16, 100);
+        batches[0].updates.push(Update::PropertySet {
+            vertex: 3,
+            name: "score".into(),
+            value: 2.25,
+        });
+        batches
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        for b in sample_batches() {
+            let payload = encode_batch(&b);
+            let back = decode_batch(&payload).unwrap();
+            assert_eq!(back.time, b.time);
+            assert_eq!(back.updates, b.updates);
+        }
+    }
+
+    #[test]
+    fn decode_rejects_any_truncation() {
+        let payload = encode_batch(&sample_batches()[0]);
+        for cut in 0..payload.len() {
+            assert!(decode_batch(&payload[..cut]).is_err(), "prefix {cut}");
+        }
+        let mut extra = payload.clone();
+        extra.push(0);
+        assert!(decode_batch(&extra).is_err());
+    }
+
+    #[test]
+    fn append_replay_round_trip() {
+        let _g = LOCK.lock().unwrap();
+        faults::clear_all();
+        let p = tmp("round_trip.log");
+        let batches = sample_batches();
+        let mut wal = Wal::create(&p, 1).unwrap();
+        for b in &batches {
+            wal.append(b).unwrap();
+        }
+        let scan = replay(&p).unwrap();
+        assert!(!scan.torn);
+        assert_eq!(scan.batches.len(), batches.len());
+        for (i, (seq, b)) in scan.batches.iter().enumerate() {
+            assert_eq!(*seq, i as u64 + 1);
+            assert_eq!(b.updates, batches[i].updates);
+        }
+    }
+
+    #[test]
+    fn torn_tail_is_ignored_and_truncated_on_open() {
+        let _g = LOCK.lock().unwrap();
+        faults::clear_all();
+        let p = tmp("torn.log");
+        let batches = sample_batches();
+        let mut wal = Wal::create(&p, 1).unwrap();
+        for b in &batches {
+            wal.append(b).unwrap();
+        }
+        drop(wal);
+        let clean_len = std::fs::metadata(&p).unwrap().len();
+        // Simulate a crash mid-append: write half of another frame.
+        let frame = frame_bytes(99, &encode_batch(&batches[0]));
+        use std::io::Write as _;
+        let mut f = OpenOptions::new().append(true).open(&p).unwrap();
+        f.write_all(&frame[..frame.len() / 2]).unwrap();
+        drop(f);
+
+        let scan = replay(&p).unwrap();
+        assert!(scan.torn);
+        assert_eq!(scan.batches.len(), batches.len());
+        assert_eq!(scan.valid_len, clean_len);
+
+        // Reopening truncates the tail and resumes the sequence.
+        let wal = Wal::open_append(&p, 1).unwrap();
+        assert_eq!(wal.next_seq(), batches.len() as u64 + 1);
+        assert_eq!(std::fs::metadata(&p).unwrap().len(), clean_len);
+    }
+
+    #[test]
+    fn corrupt_frame_stops_replay_at_last_good_one() {
+        let _g = LOCK.lock().unwrap();
+        faults::clear_all();
+        let p = tmp("bitrot.log");
+        let batches = sample_batches();
+        let mut wal = Wal::create(&p, 1).unwrap();
+        for b in &batches {
+            wal.append(b).unwrap();
+        }
+        drop(wal);
+        // Flip a byte inside the second frame's payload.
+        let mut bytes = std::fs::read(&p).unwrap();
+        let first_len = u32::from_le_bytes(bytes[..4].try_into().unwrap()) as usize + 16;
+        bytes[first_len + 20] ^= 0xFF;
+        std::fs::write(&p, &bytes).unwrap();
+        let scan = replay(&p).unwrap();
+        assert!(scan.torn);
+        assert_eq!(scan.batches.len(), 1);
+    }
+
+    #[test]
+    fn injected_fault_blocks_append() {
+        let _g = LOCK.lock().unwrap();
+        faults::clear_all();
+        let p = tmp("fault.log");
+        let batches = sample_batches();
+        let mut wal = Wal::create(&p, 1).unwrap();
+        wal.append(&batches[0]).unwrap();
+
+        faults::arm("wal.append", FaultMode::FailOnce);
+        let err = wal.append(&batches[1]).unwrap_err();
+        assert!(faults::is_injected(&err));
+        // Nothing was written; the log still has exactly one frame.
+        assert_eq!(replay(&p).unwrap().batches.len(), 1);
+
+        faults::arm("wal.append", FaultMode::ShortWrite(7));
+        let err = wal.append(&batches[1]).unwrap_err();
+        assert!(faults::is_injected(&err));
+        let scan = replay(&p).unwrap();
+        assert_eq!(scan.batches.len(), 1);
+        assert!(scan.torn);
+        faults::clear_all();
+
+        // Recovery-style reopen truncates the torn bytes and appends fine.
+        let mut wal = Wal::open_append(&p, 1).unwrap();
+        assert_eq!(wal.next_seq(), 2);
+        wal.append(&batches[1]).unwrap();
+        assert_eq!(replay(&p).unwrap().batches.len(), 2);
+    }
+}

@@ -341,7 +341,7 @@ mod tests {
             time: 1,
             updates: vec![Update::PropertySet {
                 vertex: 3,
-                name: "x",
+                name: "x".into(),
                 value: 1.0,
             }],
         });

@@ -118,6 +118,7 @@ fn calibration_is_deterministic_and_priceable() {
             records_ingested: 1_000,
             entities_created: 300,
             updates_applied: 5_000,
+            updates_quarantined: 0,
             events_observed: 200,
             vertices_extracted: 400,
             edges_extracted: 9_000,

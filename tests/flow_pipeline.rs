@@ -128,7 +128,7 @@ fn streaming_property_updates_become_selection_criteria() {
     for (v, score) in [(7u32, 0.9), (21, 0.8), (40, 0.2)] {
         updates.push(Update::PropertySet {
             vertex: v,
-            name: "risk",
+            name: "risk".into(),
             value: score,
         });
     }
