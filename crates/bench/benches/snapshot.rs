@@ -1,0 +1,103 @@
+//! Criterion benches for the incremental snapshot pipeline (E12).
+//!
+//! Two questions, matching the issue's acceptance criteria:
+//!
+//! * `snapshot_full` — is the row-wise freeze (counting-sort offsets +
+//!   per-row sorts) at least as fast as the legacy tuple-materializing
+//!   global-sort `CsrBuilder` path on a full rebuild?
+//! * `snapshot_delta` — how much does the dirty-row delta rebuild save
+//!   at 0.1% / 1% / 10% dirty rows on an R-MAT stream? (The ≥5x-at-≤1%
+//!   criterion; `bench_snapshot` emits the machine-readable numbers.)
+//!
+//! Scale defaults to 16; override with `GA_BENCH_SCALE` (CI smoke uses
+//! 10).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use ga_graph::gen;
+use ga_graph::snapshot::{freeze, SnapshotCache};
+use ga_graph::{DynamicGraph, Parallelism};
+use std::hint::black_box;
+
+fn scale() -> u32 {
+    std::env::var("GA_BENCH_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(16)
+}
+
+fn rmat_dynamic(scale: u32, edges_per_v: usize, seed: u64) -> DynamicGraph {
+    let n = 1usize << scale;
+    let edges = gen::rmat(scale, edges_per_v * n, gen::RmatParams::GRAPH500, seed);
+    let mut g = DynamicGraph::new(n);
+    for (i, &(u, v)) in edges.iter().enumerate() {
+        g.insert_edge(u, v, 1.0, i as u64);
+    }
+    g
+}
+
+/// Dirty roughly `frac` of the rows by refreshing one edge per chosen
+/// row (timestamps move, content stays sorted-compatible).
+fn dirty_rows(g: &mut DynamicGraph, frac: f64, ts: u64) -> usize {
+    let n = g.num_vertices();
+    let k = ((n as f64 * frac) as usize).max(1);
+    let stride = (n / k).max(1);
+    let mut touched = 0;
+    for u in (0..n).step_by(stride).take(k) {
+        let u = u as u32;
+        g.insert_edge(u, (u + 1) % n as u32, 2.0, ts);
+        touched += 1;
+    }
+    touched
+}
+
+fn bench_full_freeze(c: &mut Criterion) {
+    let g = rmat_dynamic(scale(), 8, 3);
+    let mut group = c.benchmark_group("snapshot_full");
+    group.throughput(Throughput::Elements(g.num_live_edges() as u64));
+    group.bench_function("legacy_global_sort", |b| {
+        b.iter(|| black_box(g.snapshot_legacy()))
+    });
+    group.bench_function("rowwise_serial", |b| {
+        b.iter(|| black_box(freeze(&g, Parallelism::Serial)))
+    });
+    group.bench_function("rowwise_parallel", |b| {
+        b.iter(|| black_box(freeze(&g, Parallelism::Parallel)))
+    });
+    group.finish();
+}
+
+fn bench_delta_rebuild(c: &mut Criterion) {
+    let mut group = c.benchmark_group("snapshot_delta");
+    for (label, frac) in [
+        ("dirty_0.1pct", 0.001),
+        ("dirty_1pct", 0.01),
+        ("dirty_10pct", 0.1),
+    ] {
+        // A warm cache over the base graph, then `frac` of rows dirtied:
+        // every iteration clones the warm cache and pays only the delta.
+        let mut g = rmat_dynamic(scale(), 8, 3);
+        let mut cache = SnapshotCache::new();
+        cache.snapshot(&g, Parallelism::Auto);
+        dirty_rows(&mut g, frac, u64::MAX);
+        group.bench_function(label, |b| {
+            b.iter_batched(
+                || cache.clone(),
+                |mut cache| black_box(cache.snapshot(&g, Parallelism::Auto)),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    // Bounded measurement so `cargo bench --workspace` finishes in
+    // minutes; raise for publication-grade confidence intervals.
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(10);
+    targets = bench_full_freeze, bench_delta_rebuild
+);
+criterion_main!(benches);

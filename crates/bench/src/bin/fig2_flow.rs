@@ -214,5 +214,8 @@ fn main() {
     println!("kernel_cpu_ops        {}", s.kernel_cpu_ops);
     println!("kernel_mem_bytes      {}", s.kernel_mem_bytes);
     println!("kernel_edges_touched  {}", s.kernel_edges_touched);
+    println!("snapshot_rebuilds     {}", s.snapshot_rebuilds);
+    println!("snapshot_rows_reused  {}", s.snapshot_rows_reused);
+    println!("snapshot_mem_bytes    {}", s.snapshot_mem_bytes);
     println!("\ntotal wall time {:?}", t0.elapsed());
 }

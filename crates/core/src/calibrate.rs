@@ -79,7 +79,11 @@ pub struct MeasuredRun {
 /// 3. shuffle/sort    ← updates crossing the network
 /// 4. dedup/link      ← comparisons again (the union/merge pass)
 /// 5. join/merge      ← entity materialization (disk + memory)
-/// 6. graph build     ← edges extracted/inserted (memory)
+/// 6. graph build     ← edges extracted/inserted (memory) **plus the
+///    measured snapshot-freeze traffic**
+///    ([`FlowStats::snapshot_mem_bytes`]) — the Fig. 2 "copy subgraph
+///    into faster memory" step priced from what the snapshot cache
+///    actually wrote, not an estimate
 /// 7. NORA search     ← pair candidates scanned **plus the measured
 ///    batch-kernel counters** ([`FlowStats::kernel_cpu_ops`],
 ///    [`FlowStats::kernel_mem_bytes`]) drained from the kernels'
@@ -98,6 +102,7 @@ pub fn calibrate(run: &MeasuredRun, c: &CostCoefficients) -> Vec<StepDemand> {
     let rels = n.relationships as f64;
     let events = f.events_observed as f64;
     let writebacks = f.props_written_back as f64;
+    let snap_bytes = f.snapshot_mem_bytes as f64;
 
     let d = |name, cpu, mem, disk, net| StepDemand {
         name,
@@ -145,8 +150,10 @@ pub fn calibrate(run: &MeasuredRun, c: &CostCoefficients) -> Vec<StepDemand> {
         ),
         d(
             "6 graph build     ",
-            edges * 20.0 + updates * c.ops_per_update,
-            edges * c.mem_bytes_per_edge + updates * 48.0,
+            // Snapshot freezes are bandwidth-bound streaming writes:
+            // ~1 op per 8 bytes moved (index arithmetic + store).
+            edges * 20.0 + updates * c.ops_per_update + snap_bytes / 8.0,
+            edges * c.mem_bytes_per_edge + updates * 48.0 + snap_bytes,
             0.0,
             0.0,
         ),
@@ -228,6 +235,9 @@ mod tests {
                 kernel_cpu_ops: 400_000,
                 kernel_mem_bytes: 3_200_000,
                 kernel_edges_touched: 200_000,
+                snapshot_rebuilds: 10,
+                snapshot_rows_reused: 45_000,
+                snapshot_mem_bytes: 2_400_000,
             },
             nora: NoraStats {
                 pair_candidates: 150_000,
@@ -302,6 +312,23 @@ mod tests {
     }
 
     #[test]
+    fn snapshot_counters_shift_only_graph_build_step() {
+        let base = sample_run();
+        let mut hot = base;
+        hot.flow.snapshot_mem_bytes *= 100;
+        let c = CostCoefficients::default();
+        let a = calibrate(&base, &c);
+        let b = calibrate(&hot, &c);
+        assert!(b[5].cpu_ops > a[5].cpu_ops);
+        assert!(b[5].mem_bytes > a[5].mem_bytes);
+        // Only step 6 prices the snapshot copy.
+        for i in (0..9).filter(|&i| i != 5) {
+            assert_eq!(a[i].cpu_ops, b[i].cpu_ops, "step {i}");
+            assert_eq!(a[i].mem_bytes, b[i].mem_bytes, "step {i}");
+        }
+    }
+
+    #[test]
     fn measured_flow_run_calibrates() {
         // End-to-end: a real FlowEngine batch run drains nonzero kernel
         // counters into FlowStats, and calibrate prices them.
@@ -317,6 +344,8 @@ mod tests {
         assert!(stats.kernel_cpu_ops > 0, "no kernel cpu ops measured");
         assert!(stats.kernel_mem_bytes > 0, "no kernel mem traffic measured");
         assert!(stats.kernel_edges_touched > 0, "no kernel edges measured");
+        assert!(stats.snapshot_rebuilds > 0, "no snapshot freeze measured");
+        assert!(stats.snapshot_mem_bytes > 0, "no snapshot traffic measured");
 
         let run = MeasuredRun {
             flow: stats,
@@ -325,6 +354,7 @@ mod tests {
         let steps = calibrate(&run, &CostCoefficients::default());
         assert!(steps[6].cpu_ops >= stats.kernel_cpu_ops as f64);
         assert!(steps[6].mem_bytes >= stats.kernel_mem_bytes as f64);
+        assert!(steps[5].mem_bytes >= stats.snapshot_mem_bytes as f64);
     }
 
     #[test]

@@ -86,6 +86,9 @@ fn push_flow_stats(out: &mut Vec<u8>, s: &FlowStats) {
         s.kernel_cpu_ops,
         s.kernel_mem_bytes,
         s.kernel_edges_touched,
+        s.snapshot_rebuilds,
+        s.snapshot_rows_reused,
+        s.snapshot_mem_bytes,
     ];
     out.extend_from_slice(&(fields.len() as u32).to_le_bytes());
     for f in fields {
@@ -211,7 +214,7 @@ pub fn decode_checkpoint(bytes: &[u8]) -> io::Result<Checkpoint> {
     let (props_bytes, rest) = r.split_at(props_len);
     r = rest;
     let props = gio::read_props(props_bytes)?;
-    let f = take_stats(&mut r, 17, "FlowStats")?;
+    let f = take_stats(&mut r, 20, "FlowStats")?;
     let flow = FlowStats {
         records_ingested: f[0],
         entities_created: f[1],
@@ -230,6 +233,9 @@ pub fn decode_checkpoint(bytes: &[u8]) -> io::Result<Checkpoint> {
         kernel_cpu_ops: f[14],
         kernel_mem_bytes: f[15],
         kernel_edges_touched: f[16],
+        snapshot_rebuilds: f[17],
+        snapshot_rows_reused: f[18],
+        snapshot_mem_bytes: f[19],
     };
     let s = take_stats(&mut r, 8, "StreamStats")?;
     let stream = StreamStats {
@@ -540,6 +546,9 @@ mod tests {
                 updates_applied: 40,
                 updates_quarantined: 2,
                 events_observed: 7,
+                snapshot_rebuilds: 3,
+                snapshot_rows_reused: 11,
+                snapshot_mem_bytes: 1234,
                 ..FlowStats::default()
             },
             stream: StreamStats {

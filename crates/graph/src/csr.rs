@@ -171,14 +171,43 @@ impl CsrGraph {
     }
 
     /// The graph with every edge reversed (weights carried along).
+    ///
+    /// One O(V+E) counting-sort pass over the existing arrays — the same
+    /// trick the reverse-index build uses — instead of round-tripping
+    /// every edge through a fresh [`CsrBuilder`] global sort. Because
+    /// `targets` is sorted by `(src, dst)`, emitting edges in storage
+    /// order through per-destination cursors yields rows that are
+    /// already sorted by new destination.
     pub fn transpose(&self) -> CsrGraph {
-        let mut b = CsrBuilder::new(self.num_vertices());
-        if self.is_weighted() {
-            b = b.weighted_edges(self.weighted_edges().map(|(u, v, w)| (v, u, w)));
-        } else {
-            b = b.edges(self.edges().map(|(u, v)| (v, u)));
+        let n = self.num_vertices();
+        let mut offsets = vec![0u64; n + 1];
+        for &v in &self.targets {
+            offsets[v as usize + 1] += 1;
         }
-        b.build()
+        for i in 0..n {
+            offsets[i + 1] += offsets[i];
+        }
+        let mut cursor = offsets.clone();
+        let mut targets = vec![0 as VertexId; self.targets.len()];
+        let mut weights = self.weights.as_ref().map(|w| vec![0.0 as Weight; w.len()]);
+        for u in 0..n {
+            let (s, e) = (self.offsets[u] as usize, self.offsets[u + 1] as usize);
+            for i in s..e {
+                let v = self.targets[i] as usize;
+                let c = cursor[v] as usize;
+                targets[c] = u as VertexId;
+                if let (Some(out), Some(src)) = (weights.as_mut(), self.weights.as_ref()) {
+                    out[c] = src[i];
+                }
+                cursor[v] += 1;
+            }
+        }
+        CsrGraph {
+            offsets,
+            targets,
+            weights,
+            rev: None,
+        }
     }
 
     /// Raw offsets array (`num_vertices + 1` entries). Exposed for the
@@ -192,6 +221,39 @@ impl CsrGraph {
     #[inline]
     pub fn raw_targets(&self) -> &[VertexId] {
         &self.targets
+    }
+
+    /// Raw weights array parallel to [`Self::raw_targets`], if weighted.
+    /// Exposed for the snapshot pipeline's bit-identity checks.
+    #[inline]
+    pub fn raw_weights(&self) -> Option<&[Weight]> {
+        self.weights.as_deref()
+    }
+
+    /// Assemble a graph directly from CSR arrays (no sort, no checks
+    /// beyond shape) — the row-wise snapshot freeze produces these
+    /// arrays itself. Callers must pass offsets of length
+    /// `num_vertices + 1` with `offsets[n] == targets.len()` and rows
+    /// sorted by target.
+    pub(crate) fn from_parts(
+        offsets: Vec<u64>,
+        targets: Vec<VertexId>,
+        weights: Option<Vec<Weight>>,
+    ) -> CsrGraph {
+        debug_assert!(!offsets.is_empty());
+        debug_assert_eq!(*offsets.last().unwrap() as usize, targets.len());
+        CsrGraph {
+            offsets,
+            targets,
+            weights,
+            rev: None,
+        }
+    }
+
+    /// Disassemble into raw arrays — lets the snapshot cache recycle
+    /// allocations from a retired snapshot.
+    pub(crate) fn into_parts(self) -> (Vec<u64>, Vec<VertexId>, Option<Vec<Weight>>) {
+        (self.offsets, self.targets, self.weights)
     }
 
     /// Total degree histogram: `hist[d]` = number of vertices with

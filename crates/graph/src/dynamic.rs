@@ -46,12 +46,32 @@ pub struct EdgeRecord {
 /// assert_eq!(g.num_live_edges(), 1);
 /// assert!(!g.has_edge(0, 1));
 /// ```
-#[derive(Clone, Debug, Default, PartialEq)]
+#[derive(Clone, Debug, Default)]
 pub struct DynamicGraph {
     adj: Vec<Vec<EdgeRecord>>,
     live_edges: usize,
     tombstones: usize,
     last_update: Timestamp,
+    /// Monotone structural-change counter; bumped by every mutation that
+    /// can alter a row's snapshot content.
+    version: u64,
+    /// `row_version[u]` = [`Self::version`] value when row `u` last
+    /// changed — the dirty-row index [`crate::snapshot::SnapshotCache`]
+    /// consults to rebuild only what moved since the previous freeze.
+    row_version: Vec<u64>,
+}
+
+/// Equality is over graph *content* (slots, tombstones, timestamps,
+/// counters) — the version counters are snapshot-cache metadata and two
+/// graphs that hold identical content compare equal regardless of the
+/// mutation history that produced them (recovery relies on this).
+impl PartialEq for DynamicGraph {
+    fn eq(&self, other: &Self) -> bool {
+        self.adj == other.adj
+            && self.live_edges == other.live_edges
+            && self.tombstones == other.tombstones
+            && self.last_update == other.last_update
+    }
 }
 
 /// Result of applying a single edge update.
@@ -75,6 +95,8 @@ impl DynamicGraph {
             live_edges: 0,
             tombstones: 0,
             last_update: 0,
+            version: 0,
+            row_version: vec![0; num_vertices],
         }
     }
 
@@ -113,11 +135,50 @@ impl DynamicGraph {
         self.last_update
     }
 
+    /// Current value of the structural-change counter. Strictly
+    /// increases with every content mutation; equal versions mean the
+    /// graph (and therefore any snapshot of it) is unchanged.
+    #[inline]
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// True iff row `u`'s content may have changed after the moment the
+    /// graph's [`Self::version`] was `since` (out-of-range rows report
+    /// `false` — they did not exist, the caller handles growth).
+    #[inline]
+    pub fn row_changed_since(&self, u: VertexId, since: u64) -> bool {
+        self.row_version
+            .get(u as usize)
+            .is_some_and(|&rv| rv > since)
+    }
+
+    /// Number of rows whose content changed after version `since` — the
+    /// delta size a snapshot rebuild will face.
+    pub fn dirty_rows_since(&self, since: u64) -> usize {
+        self.row_version.iter().filter(|&&rv| rv > since).count()
+    }
+
+    /// Bump the change counter and stamp row `u` with it.
+    #[inline]
+    fn touch_row(&mut self, u: VertexId) {
+        self.version += 1;
+        self.row_version[u as usize] = self.version;
+    }
+
+    /// Grow the row space to `new_len`, stamping the fresh rows dirty so
+    /// delta rebuilds notice the graph widened.
+    fn grow_rows(&mut self, new_len: usize) {
+        self.version += 1;
+        self.adj.resize_with(new_len, Vec::new);
+        self.row_version.resize(new_len, self.version);
+    }
+
     /// Append `count` fresh isolated vertices, returning the id of the
     /// first one. Covers the paper's "less frequently new vertices" case.
     pub fn add_vertices(&mut self, count: usize) -> VertexId {
         let first = self.adj.len() as VertexId;
-        self.adj.resize_with(self.adj.len() + count, Vec::new);
+        self.grow_rows(self.adj.len() + count);
         first
     }
 
@@ -140,8 +201,9 @@ impl DynamicGraph {
         self.last_update = self.last_update.max(ts);
         let hi = u.max(v) as usize;
         if hi >= self.adj.len() {
-            self.adj.resize_with(hi + 1, Vec::new);
+            self.grow_rows(hi + 1);
         }
+        self.touch_row(u);
         let row = &mut self.adj[u as usize];
         let mut free: Option<usize> = None;
         for (i, rec) in row.iter_mut().enumerate() {
@@ -186,12 +248,14 @@ impl DynamicGraph {
         if u as usize >= self.adj.len() {
             return ApplyResult::Missing;
         }
-        for rec in &mut self.adj[u as usize] {
+        for i in 0..self.adj[u as usize].len() {
+            let rec = &mut self.adj[u as usize][i];
             if rec.dst == v && !rec.deleted {
                 rec.deleted = true;
                 rec.timestamp = ts;
                 self.live_edges -= 1;
                 self.tombstones += 1;
+                self.touch_row(u);
                 return ApplyResult::Deleted;
             }
         }
@@ -259,10 +323,15 @@ impl DynamicGraph {
     /// Physically remove tombstones. Returns slots reclaimed.
     pub fn compact(&mut self) -> usize {
         let mut reclaimed = 0;
-        for row in &mut self.adj {
+        for u in 0..self.adj.len() {
+            let row = &mut self.adj[u];
             let before = row.len();
             row.retain(|r| !r.deleted);
-            reclaimed += before - row.len();
+            let removed = before - row.len();
+            if removed > 0 {
+                reclaimed += removed;
+                self.touch_row(u as VertexId);
+            }
         }
         self.tombstones = 0;
         reclaimed
@@ -271,15 +340,37 @@ impl DynamicGraph {
     /// Freeze the live edges into an immutable weighted [`CsrGraph`]
     /// snapshot — the hand-off from the streaming side of Fig. 2 to the
     /// batch side.
+    ///
+    /// Runs the row-wise freeze ([`crate::snapshot::freeze`]): offsets
+    /// come from a counting pass over per-row live counts and each row
+    /// is sorted independently (in parallel for large graphs), so no
+    /// `(u, v, w)` tuple vector is materialized and no global
+    /// `O(E log E)` sort runs. Output is bit-identical to the legacy
+    /// [`CsrBuilder`] path ([`Self::snapshot_legacy`]).
     pub fn snapshot(&self) -> CsrGraph {
+        crate::snapshot::freeze(self, crate::par::Parallelism::Auto)
+    }
+
+    /// Freeze only edges with `timestamp >= since` — a temporal window
+    /// view for "what changed recently" analytics. Routed through the
+    /// same row-wise freeze as [`Self::snapshot`].
+    pub fn snapshot_since(&self, since: Timestamp) -> CsrGraph {
+        crate::snapshot::freeze_since(self, since, crate::par::Parallelism::Auto)
+    }
+
+    /// The original tuple-materializing, globally-sorting snapshot path.
+    /// Kept as the reference implementation the proptest suite and the
+    /// snapshot benchmarks compare the row-wise and delta paths against;
+    /// prefer [`Self::snapshot`].
+    pub fn snapshot_legacy(&self) -> CsrGraph {
         CsrBuilder::new(self.num_vertices())
             .weighted_edges(self.edges().map(|(u, v, w, _)| (u, v, w)))
             .build()
     }
 
-    /// Freeze only edges with `timestamp >= since` — a temporal window
-    /// view for "what changed recently" analytics.
-    pub fn snapshot_since(&self, since: Timestamp) -> CsrGraph {
+    /// Legacy-path counterpart of [`Self::snapshot_since`] (reference
+    /// for equivalence tests).
+    pub fn snapshot_since_legacy(&self, since: Timestamp) -> CsrGraph {
         CsrBuilder::new(self.num_vertices())
             .weighted_edges(
                 self.edges()
@@ -319,11 +410,14 @@ impl DynamicGraph {
                 }
             }
         }
+        let rows = adj.len();
         DynamicGraph {
             adj,
             live_edges,
             tombstones,
             last_update,
+            version: 0,
+            row_version: vec![0; rows],
         }
     }
 }

@@ -42,13 +42,16 @@ pub mod gen;
 pub mod io;
 pub mod par;
 pub mod props;
+pub mod snapshot;
 pub mod stats;
 pub mod sub;
 
 pub use counters::{OpCounters, OpSnapshot};
 pub use csr::{CsrBuilder, CsrGraph};
 pub use dynamic::{DynamicGraph, EdgeRecord};
+pub use par::Parallelism;
 pub use props::{PropValue, PropertyStore};
+pub use snapshot::{SnapshotCache, SnapshotStats};
 pub use sub::{ExtractOptions, Subgraph};
 
 /// Dense vertex identifier.

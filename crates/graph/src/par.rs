@@ -11,6 +11,41 @@ use crate::csr::CsrGraph;
 use crate::VertexId;
 use rayon::prelude::*;
 
+/// How a parallelizable operation (kernel invocation, snapshot freeze)
+/// should execute.
+///
+/// Defined here, in the storage crate, so both the batch kernels
+/// (`ga-kernels` re-exports it) and the snapshot pipeline share one
+/// knob.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Parallelism {
+    /// Always the sequential engine.
+    Serial,
+    /// Always the rayon-parallel engine.
+    Parallel,
+    /// Parallel when the thread pool has more than one thread and the
+    /// input is large enough to amortize coordination (the default).
+    #[default]
+    Auto,
+}
+
+/// Inputs smaller than this stay serial under [`Parallelism::Auto`]:
+/// below ~32k edges of work, thread spawn and chunk coordination cost
+/// more than they recover.
+pub const AUTO_WORK_CUTOFF: usize = 32_768;
+
+impl Parallelism {
+    /// Decide whether an operation facing roughly `work` units (edges)
+    /// of work should take its parallel path.
+    pub fn use_parallel(self, work: usize) -> bool {
+        match self {
+            Parallelism::Serial => false,
+            Parallelism::Parallel => true,
+            Parallelism::Auto => rayon::current_num_threads() > 1 && work >= AUTO_WORK_CUTOFF,
+        }
+    }
+}
+
 /// Map `f` over vertices `0..n` in parallel, collecting results in
 /// vertex order (identical to the sequential `(0..n).map(f).collect()`).
 pub fn par_vertex_map<T, F>(n: usize, f: F) -> Vec<T>

@@ -99,8 +99,10 @@ pub fn bfs_bottom_up(g: &CsrGraph, src: VertexId) -> BfsResult {
     in_frontier[src as usize] = true;
     let mut reached = 1;
     let mut level = 0u32;
+    // Two bitmaps swapped between levels; `next` is cleared (O(n) memset,
+    // no allocation) instead of re-allocated each level.
+    let mut next = vec![false; n];
     loop {
-        let mut next = vec![false; n];
         let mut any = false;
         for v in 0..n as VertexId {
             if depth[v as usize] != UNREACHED {
@@ -125,7 +127,8 @@ pub fn bfs_bottom_up(g: &CsrGraph, src: VertexId) -> BfsResult {
         if !any {
             break;
         }
-        in_frontier = next;
+        std::mem::swap(&mut in_frontier, &mut next);
+        next.fill(false);
         level += 1;
     }
     BfsResult {
@@ -150,12 +153,18 @@ pub fn bfs_direction_optimizing(g: &CsrGraph, src: VertexId, alpha: usize) -> Bf
     let mut reached = 1;
     let mut frontier: Vec<VertexId> = vec![src];
     let mut level = 0u32;
+    // Lazily-allocated frontier bitmap reused across bottom-up levels;
+    // after each sweep only the frontier's bits are cleared (O(frontier),
+    // not O(n)) so repeated switches stay allocation-free.
+    let mut in_frontier: Vec<bool> = Vec::new();
     while !frontier.is_empty() {
         let frontier_edges = frontier_degree_sum(g, &frontier);
         let bottom_up = frontier_edges * alpha > m && g.has_reverse();
         let mut next = Vec::new();
         if bottom_up {
-            let mut in_frontier = vec![false; n];
+            if in_frontier.is_empty() {
+                in_frontier = vec![false; n];
+            }
             for &v in &frontier {
                 in_frontier[v as usize] = true;
             }
@@ -172,6 +181,9 @@ pub fn bfs_direction_optimizing(g: &CsrGraph, src: VertexId, alpha: usize) -> Bf
                         break;
                     }
                 }
+            }
+            for &v in &frontier {
+                in_frontier[v as usize] = false;
             }
         } else {
             for &u in &frontier {

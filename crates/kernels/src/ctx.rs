@@ -16,35 +16,10 @@
 
 use ga_graph::counters::{OpCounters, OpSnapshot};
 
-/// How a kernel invocation should execute.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub enum Parallelism {
-    /// Always the sequential engine.
-    Serial,
-    /// Always the rayon-parallel engine.
-    Parallel,
-    /// Parallel when the thread pool has more than one thread and the
-    /// input is large enough to amortize coordination (the default).
-    #[default]
-    Auto,
-}
-
-/// Inputs smaller than this stay serial under [`Parallelism::Auto`]:
-/// below ~32k edges of work, thread spawn and chunk coordination cost
-/// more than they recover.
-pub const AUTO_WORK_CUTOFF: usize = 32_768;
-
-impl Parallelism {
-    /// Decide whether a kernel facing roughly `work` units (edges) of
-    /// work should take its parallel path.
-    pub fn use_parallel(self, work: usize) -> bool {
-        match self {
-            Parallelism::Serial => false,
-            Parallelism::Parallel => true,
-            Parallelism::Auto => rayon::current_num_threads() > 1 && work >= AUTO_WORK_CUTOFF,
-        }
-    }
-}
+// The knob now lives in the storage crate so the snapshot pipeline can
+// share it; re-exported here so existing `ga_kernels::Parallelism`
+// callers keep compiling unchanged.
+pub use ga_graph::par::{Parallelism, AUTO_WORK_CUTOFF};
 
 /// Execution context threaded through instrumented kernel calls.
 #[derive(Debug, Default)]

@@ -132,6 +132,9 @@ fn calibration_is_deterministic_and_priceable() {
             kernel_cpu_ops: 60_000,
             kernel_mem_bytes: 480_000,
             kernel_edges_touched: 27_000,
+            snapshot_rebuilds: 3,
+            snapshot_rows_reused: 1_200,
+            snapshot_mem_bytes: 150_000,
         },
         nora: NoraStats {
             pair_candidates: 20_000,

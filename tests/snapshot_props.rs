@@ -1,0 +1,159 @@
+//! Property-based equivalence suite for the incremental snapshot
+//! pipeline: across random insert/delete/compact sequences, the row-wise
+//! freeze and the cached delta rebuild must be **bit-identical**
+//! (`raw_offsets` / `raw_targets` / `raw_weights`) to the legacy
+//! tuple-materializing `CsrBuilder` snapshot — including tombstone-heavy
+//! histories, all-rows-dirty batches, temporal windows, and vertex
+//! growth mid-stream.
+
+use graph_analytics::graph::snapshot::{freeze, freeze_since};
+use graph_analytics::graph::{CsrGraph, DynamicGraph, Parallelism, SnapshotCache};
+use proptest::prelude::*;
+
+/// One step of a random mutation history.
+#[derive(Clone, Debug)]
+enum Op {
+    Insert(u32, u32, u32),
+    Delete(u32, u32),
+    Compact,
+}
+
+/// Strategy: a graph size and a mutation sequence. Ids range slightly
+/// past `n` so vertex-growth paths get exercised; weights are small ints
+/// so float equality is exact. Roughly 60% inserts, 30% deletes, 10%
+/// compactions.
+fn history() -> impl Strategy<Value = (usize, Vec<Op>)> {
+    (2usize..24).prop_flat_map(|n| {
+        let hi = n as u32 + 4;
+        let op = (0u32..10, 0..hi, 0..hi, 0u32..16).prop_map(|(kind, u, v, w)| match kind {
+            0..=5 => Op::Insert(u, v, w),
+            6..=8 => Op::Delete(u, v),
+            _ => Op::Compact,
+        });
+        (Just(n), prop::collection::vec(op, 0..120))
+    })
+}
+
+fn apply(g: &mut DynamicGraph, ops: &[Op], t0: u64) {
+    for (i, op) in ops.iter().enumerate() {
+        let ts = t0 + i as u64;
+        match *op {
+            Op::Insert(u, v, w) => {
+                g.insert_edge(u, v, w as f32 + 0.5, ts);
+            }
+            Op::Delete(u, v) => {
+                g.delete_edge(u, v, ts);
+            }
+            Op::Compact => {
+                g.compact();
+            }
+        }
+    }
+}
+
+fn assert_identical(a: &CsrGraph, b: &CsrGraph) {
+    assert_eq!(a.raw_offsets(), b.raw_offsets(), "offsets differ");
+    assert_eq!(a.raw_targets(), b.raw_targets(), "targets differ");
+    assert_eq!(a.raw_weights(), b.raw_weights(), "weights differ");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Row-wise freeze (serial and parallel) == legacy builder output.
+    #[test]
+    fn rowwise_freeze_matches_legacy((n, ops) in history()) {
+        let mut g = DynamicGraph::new(n);
+        apply(&mut g, &ops, 0);
+        let legacy = g.snapshot_legacy();
+        assert_identical(&freeze(&g, Parallelism::Serial), &legacy);
+        assert_identical(&freeze(&g, Parallelism::Parallel), &legacy);
+        // The default entry point routes through the same path.
+        assert_identical(&g.snapshot(), &legacy);
+    }
+
+    /// Temporal-window snapshots through the row-wise path == legacy.
+    #[test]
+    fn since_freeze_matches_legacy(((n, ops), cut) in (history(), 0u64..120)) {
+        let mut g = DynamicGraph::new(n);
+        apply(&mut g, &ops, 0);
+        let legacy = g.snapshot_since_legacy(cut);
+        assert_identical(&freeze_since(&g, cut, Parallelism::Serial), &legacy);
+        assert_identical(&g.snapshot_since(cut), &legacy);
+    }
+
+    /// Delta rebuilds stay bit-identical across an arbitrary split of
+    /// the history into "before first snapshot" and "after" — whatever
+    /// mix of clean and dirty rows that split produces.
+    #[test]
+    fn delta_rebuild_matches_legacy(((n, ops), split) in (history(), 0usize..120)) {
+        let split = split.min(ops.len());
+        let (before, after) = ops.split_at(split);
+        let mut g = DynamicGraph::new(n);
+        apply(&mut g, before, 0);
+        let mut cache = SnapshotCache::new();
+        let first = cache.snapshot(&g, Parallelism::Serial);
+        assert_identical(&first, &g.snapshot_legacy());
+        apply(&mut g, after, split as u64);
+        let second = cache.snapshot(&g, Parallelism::Serial);
+        assert_identical(&second, &g.snapshot_legacy());
+        // And a third snapshot with no intervening change is the same Arc.
+        let third = cache.snapshot(&g, Parallelism::Serial);
+        prop_assert!(std::sync::Arc::ptr_eq(&second, &third));
+    }
+
+    /// Chained delta rebuilds: snapshot after every few ops, each one
+    /// reusing the last — errors would compound if any rebuild drifted.
+    #[test]
+    fn chained_deltas_never_drift((n, ops) in history()) {
+        let mut g = DynamicGraph::new(n);
+        let mut cache = SnapshotCache::new();
+        for (i, chunk) in ops.chunks(7).enumerate() {
+            apply(&mut g, chunk, (i * 7) as u64);
+            let snap = cache.snapshot(&g, Parallelism::Serial);
+            assert_identical(&snap, &g.snapshot_legacy());
+        }
+        let s = cache.stats();
+        prop_assert_eq!(
+            s.snapshots_served,
+            s.cache_hits + s.full_rebuilds + s.delta_rebuilds
+        );
+    }
+
+    /// Tombstone-heavy histories: after a first snapshot, every live
+    /// edge is deleted (rows become tombstone-only), optionally
+    /// compacted, and the delta rebuild must still match.
+    #[test]
+    fn tombstone_heavy_matches_legacy(((n, ops), compact_at_end) in (history(), 0u32..2)) {
+        let mut g = DynamicGraph::new(n);
+        let mut cache = SnapshotCache::new();
+        apply(&mut g, &ops, 0);
+        cache.snapshot(&g, Parallelism::Serial);
+        let live: Vec<(u32, u32)> = g.edges().map(|(u, v, _, _)| (u, v)).collect();
+        for (i, &(u, v)) in live.iter().enumerate() {
+            g.delete_edge(u, v, 1_000 + i as u64);
+        }
+        if compact_at_end == 1 {
+            g.compact();
+        }
+        let snap = cache.snapshot(&g, Parallelism::Serial);
+        assert_identical(&snap, &g.snapshot_legacy());
+        prop_assert_eq!(snap.num_edges(), 0);
+    }
+
+    /// All rows dirty between snapshots (a ring pass touches every
+    /// row): the delta path must still be exact.
+    #[test]
+    fn all_rows_dirty_matches_legacy((n, ops) in history()) {
+        let mut g = DynamicGraph::new(n);
+        apply(&mut g, &ops, 0);
+        let mut cache = SnapshotCache::new();
+        cache.snapshot(&g, Parallelism::Serial);
+        let rows = g.num_vertices() as u32;
+        for u in 0..rows {
+            g.insert_edge(u, (u + 1) % rows, 2.5, 5_000 + u as u64);
+        }
+        let snap = cache.snapshot(&g, Parallelism::Parallel);
+        assert_identical(&snap, &g.snapshot_legacy());
+    }
+}
