@@ -217,5 +217,10 @@ fn main() {
     println!("snapshot_rebuilds     {}", s.snapshot_rebuilds);
     println!("snapshot_rows_reused  {}", s.snapshot_rows_reused);
     println!("snapshot_mem_bytes    {}", s.snapshot_mem_bytes);
+    println!("updates_shed          {}", s.updates_shed);
+    println!("deadline_partials     {}", s.deadline_partials);
+    println!("analytics_skipped     {}", s.analytics_skipped);
+    println!("durability_retries    {}", s.durability_retries);
+    println!("breaker_trips         {}", s.breaker_trips);
     println!("\ntotal wall time {:?}", t0.elapsed());
 }

@@ -74,7 +74,10 @@ pub struct MeasuredRun {
 /// [`crate::model::nora_steps`] (same step names, measured magnitudes).
 ///
 /// The step mapping:
-/// 1. ingest          ← records read from "disk"
+/// 1. ingest          ← records read from "disk", **plus the admission
+///    cost of shed updates** ([`FlowStats::updates_shed`]) — an update
+///    dropped at the watermark still crossed the wire and was
+///    classified before being refused
 /// 2. clean/spell     ← dedup comparisons (CPU)
 /// 3. shuffle/sort    ← updates crossing the network
 /// 4. dedup/link      ← comparisons again (the union/merge pass)
@@ -83,7 +86,9 @@ pub struct MeasuredRun {
 ///    measured snapshot-freeze traffic**
 ///    ([`FlowStats::snapshot_mem_bytes`]) — the Fig. 2 "copy subgraph
 ///    into faster memory" step priced from what the snapshot cache
-///    actually wrote, not an estimate
+///    actually wrote, not an estimate — **plus WAL retry disk traffic**
+///    ([`FlowStats::durability_retries`]): each retried append
+///    re-writes a frame to the persistent graph's log
 /// 7. NORA search     ← pair candidates scanned **plus the measured
 ///    batch-kernel counters** ([`FlowStats::kernel_cpu_ops`],
 ///    [`FlowStats::kernel_mem_bytes`]) drained from the kernels'
@@ -103,6 +108,8 @@ pub fn calibrate(run: &MeasuredRun, c: &CostCoefficients) -> Vec<StepDemand> {
     let events = f.events_observed as f64;
     let writebacks = f.props_written_back as f64;
     let snap_bytes = f.snapshot_mem_bytes as f64;
+    let shed = f.updates_shed as f64;
+    let retries = f.durability_retries as f64;
 
     let d = |name, cpu, mem, disk, net| StepDemand {
         name,
@@ -115,10 +122,12 @@ pub fn calibrate(run: &MeasuredRun, c: &CostCoefficients) -> Vec<StepDemand> {
     vec![
         d(
             "1 ingest raw data ",
-            records * 50.0,
+            // Shed updates still cost their admission decision: parse,
+            // classify, compare against the watermark (~25 ops each).
+            records * 50.0 + shed * 25.0,
             records * c.disk_bytes_per_record, // every byte read touches memory
             records * c.disk_bytes_per_record,
-            records * c.net_bytes_per_update * 0.5,
+            records * c.net_bytes_per_update * 0.5 + shed * c.net_bytes_per_update,
         ),
         d(
             "2 clean / spell   ",
@@ -154,7 +163,9 @@ pub fn calibrate(run: &MeasuredRun, c: &CostCoefficients) -> Vec<StepDemand> {
             // ~1 op per 8 bytes moved (index arithmetic + store).
             edges * 20.0 + updates * c.ops_per_update + snap_bytes / 8.0,
             edges * c.mem_bytes_per_edge + updates * 48.0 + snap_bytes,
-            0.0,
+            // Each durability retry re-writes roughly one record-sized
+            // WAL frame to the persistent graph's log.
+            retries * c.disk_bytes_per_record,
             0.0,
         ),
         d(
@@ -238,6 +249,11 @@ mod tests {
                 snapshot_rebuilds: 10,
                 snapshot_rows_reused: 45_000,
                 snapshot_mem_bytes: 2_400_000,
+                updates_shed: 1_500,
+                deadline_partials: 3,
+                analytics_skipped: 2,
+                durability_retries: 4,
+                breaker_trips: 0,
             },
             nora: NoraStats {
                 pair_candidates: 150_000,
@@ -325,6 +341,31 @@ mod tests {
         for i in (0..9).filter(|&i| i != 5) {
             assert_eq!(a[i].cpu_ops, b[i].cpu_ops, "step {i}");
             assert_eq!(a[i].mem_bytes, b[i].mem_bytes, "step {i}");
+        }
+    }
+
+    #[test]
+    fn overload_counters_price_admission_and_retry_cost() {
+        let base = sample_run();
+        let mut hot = base;
+        hot.flow.updates_shed *= 100;
+        hot.flow.durability_retries *= 100;
+        let c = CostCoefficients::default();
+        let a = calibrate(&base, &c);
+        let b = calibrate(&hot, &c);
+        // Shed updates are priced at ingest: classification CPU plus the
+        // wire bytes they consumed before being refused.
+        assert!(b[0].cpu_ops > a[0].cpu_ops);
+        assert!(b[0].net_bytes > a[0].net_bytes);
+        // WAL retries re-write frames: disk traffic on graph build.
+        assert!(b[5].disk_bytes > a[5].disk_bytes);
+        // Nothing else moves.
+        for i in 1..9 {
+            assert_eq!(a[i].cpu_ops, b[i].cpu_ops, "step {i}");
+            assert_eq!(a[i].net_bytes, b[i].net_bytes, "step {i}");
+        }
+        for i in (0..9).filter(|&i| i != 5) {
+            assert_eq!(a[i].disk_bytes, b[i].disk_bytes, "step {i}");
         }
     }
 

@@ -89,6 +89,11 @@ fn push_flow_stats(out: &mut Vec<u8>, s: &FlowStats) {
         s.snapshot_rebuilds,
         s.snapshot_rows_reused,
         s.snapshot_mem_bytes,
+        s.updates_shed,
+        s.deadline_partials,
+        s.analytics_skipped,
+        s.durability_retries,
+        s.breaker_trips,
     ];
     out.extend_from_slice(&(fields.len() as u32).to_le_bytes());
     for f in fields {
@@ -214,7 +219,7 @@ pub fn decode_checkpoint(bytes: &[u8]) -> io::Result<Checkpoint> {
     let (props_bytes, rest) = r.split_at(props_len);
     r = rest;
     let props = gio::read_props(props_bytes)?;
-    let f = take_stats(&mut r, 20, "FlowStats")?;
+    let f = take_stats(&mut r, 25, "FlowStats")?;
     let flow = FlowStats {
         records_ingested: f[0],
         entities_created: f[1],
@@ -236,6 +241,11 @@ pub fn decode_checkpoint(bytes: &[u8]) -> io::Result<Checkpoint> {
         snapshot_rebuilds: f[17],
         snapshot_rows_reused: f[18],
         snapshot_mem_bytes: f[19],
+        updates_shed: f[20],
+        deadline_partials: f[21],
+        analytics_skipped: f[22],
+        durability_retries: f[23],
+        breaker_trips: f[24],
     };
     let s = take_stats(&mut r, 8, "StreamStats")?;
     let stream = StreamStats {
@@ -349,6 +359,14 @@ impl Durability {
     /// Append a batch to the WAL (fsynced). Returns its sequence.
     pub fn append(&mut self, batch: &UpdateBatch) -> io::Result<u64> {
         self.wal.append(batch)
+    }
+
+    /// Truncate any torn tail a failed append left in the open WAL
+    /// segment (see [`ga_stream::wal::Wal::repair`]). Must run before an
+    /// in-process *retry* of a failed append, or the retried frame lands
+    /// after the torn bytes and is unreadable at replay.
+    pub fn repair_wal(&mut self) -> io::Result<()> {
+        self.wal.repair()
     }
 
     /// Write `ckpt` durably, rotate the WAL, and prune per retention.
@@ -549,6 +567,9 @@ mod tests {
                 snapshot_rebuilds: 3,
                 snapshot_rows_reused: 11,
                 snapshot_mem_bytes: 1234,
+                updates_shed: 17,
+                deadline_partials: 2,
+                durability_retries: 4,
                 ..FlowStats::default()
             },
             stream: StreamStats {

@@ -29,11 +29,16 @@ pub struct FaultPlan {
     /// recovery from a just-written checkpoint and checkpoint-time
     /// faults).
     pub checkpoint_before_crash: bool,
+    /// Durability retry budget the run should configure
+    /// ([`crate::retry::RetryPolicy::max_retries`]). Zero for the
+    /// classic points 0–7, preserving their fail-fast semantics; the
+    /// transient points 8–9 set it high enough to ride out the fault.
+    pub retries: u32,
 }
 
 /// Number of distinct scenarios [`FaultPlan::from_seed`] generates
 /// before wrapping (CI loops `GA_FAULT_SEED` over `0..MATRIX_SIZE`).
-pub const MATRIX_SIZE: u64 = 8;
+pub const MATRIX_SIZE: u64 = 10;
 
 impl FaultPlan {
     /// Deterministically map a seed to a fault scenario. Seeds beyond
@@ -51,6 +56,7 @@ impl FaultPlan {
                 mode: Some(FaultMode::FailOnce),
                 crash_after_batches: 3 + wave,
                 checkpoint_before_crash: false,
+                retries: 0,
             },
             // Crash mid-WAL-append: a torn frame of 5 bytes.
             1 => FaultPlan {
@@ -59,6 +65,7 @@ impl FaultPlan {
                 mode: Some(FaultMode::ShortWrite(5)),
                 crash_after_batches: 4 + wave,
                 checkpoint_before_crash: false,
+                retries: 0,
             },
             // Torn frame that cuts inside the payload, not the header.
             2 => FaultPlan {
@@ -67,6 +74,7 @@ impl FaultPlan {
                 mode: Some(FaultMode::ShortWrite(21)),
                 crash_after_batches: 6 + wave,
                 checkpoint_before_crash: false,
+                retries: 0,
             },
             // Checkpoint write fails outright; WAL must carry recovery.
             3 => FaultPlan {
@@ -75,6 +83,7 @@ impl FaultPlan {
                 mode: Some(FaultMode::FailOnce),
                 crash_after_batches: 5 + wave,
                 checkpoint_before_crash: true,
+                retries: 0,
             },
             // Checkpoint write is torn at the final path; recovery must
             // skip the corrupt file and fall back.
@@ -84,6 +93,7 @@ impl FaultPlan {
                 mode: Some(FaultMode::ShortWrite(64)),
                 crash_after_batches: 5 + wave,
                 checkpoint_before_crash: true,
+                retries: 0,
             },
             // Loading the newest checkpoint fails; recovery falls back
             // to an older one and replays more WAL.
@@ -93,6 +103,28 @@ impl FaultPlan {
                 mode: Some(FaultMode::FailOnce),
                 crash_after_batches: 5 + wave,
                 checkpoint_before_crash: true,
+                retries: 0,
+            },
+            // Transient WAL fault: the append fails twice, then the
+            // retried write succeeds. With retries configured, no batch
+            // is lost and no quarantine happens.
+            8 => FaultPlan {
+                seed,
+                site: Some("wal.append"),
+                mode: Some(FaultMode::FailTimes(2)),
+                crash_after_batches: 5 + wave,
+                checkpoint_before_crash: false,
+                retries: 3,
+            },
+            // Transient checkpoint fault: two failed writes, then the
+            // retry lands the checkpoint.
+            9 => FaultPlan {
+                seed,
+                site: Some("checkpoint.write"),
+                mode: Some(FaultMode::FailTimes(2)),
+                crash_after_batches: 5 + wave,
+                checkpoint_before_crash: true,
+                retries: 3,
             },
             // Clean crash between batches, no injected fault.
             6 => FaultPlan {
@@ -101,6 +133,7 @@ impl FaultPlan {
                 mode: None,
                 crash_after_batches: 4 + wave,
                 checkpoint_before_crash: false,
+                retries: 0,
             },
             // Crash immediately after a successful checkpoint.
             _ => FaultPlan {
@@ -109,6 +142,7 @@ impl FaultPlan {
                 mode: None,
                 crash_after_batches: 4 + wave,
                 checkpoint_before_crash: true,
+                retries: 0,
             },
         }
     }
@@ -152,6 +186,22 @@ mod tests {
         assert!(sites.contains("checkpoint.load"));
         // And at least one clean-crash point.
         assert!(plans.iter().any(|p| p.site.is_none()));
+    }
+
+    #[test]
+    fn transient_points_carry_a_retry_budget() {
+        for p in (0..MATRIX_SIZE).map(FaultPlan::from_seed) {
+            let transient = matches!(p.mode, Some(FaultMode::FailTimes(_)));
+            assert_eq!(transient, p.retries > 0, "point {}", p.seed);
+            if let Some(FaultMode::FailTimes(k)) = p.mode {
+                // The budget must be able to outlast the fault.
+                assert!(p.retries as u64 >= k, "point {}", p.seed);
+            }
+        }
+        // Both transient points exist: one per durable write site.
+        assert_eq!(FaultPlan::from_seed(8).mode, Some(FaultMode::FailTimes(2)));
+        assert_eq!(FaultPlan::from_seed(8).site, Some("wal.append"));
+        assert_eq!(FaultPlan::from_seed(9).site, Some("checkpoint.write"));
     }
 
     #[test]

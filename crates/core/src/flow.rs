@@ -22,14 +22,19 @@
 //! NORA model (`crate::model`) prices.
 
 use crate::durability::{Checkpoint, Durability};
+use crate::retry::{CircuitBreaker, RetryPolicy};
 use ga_graph::sub::{extract_ball, Subgraph};
 use ga_graph::{DynamicGraph, ExtractOptions, PropertyStore, VertexId};
-use ga_kernels::{topk, KernelCtx, Parallelism};
+use ga_kernels::{topk, Budget, KernelCtx, Parallelism};
+use ga_stream::admission::{
+    AdmissionConfig, AdmissionDecision, AdmissionQueue, AdmissionStats, Ewma, Priority,
+};
 use ga_stream::engine::QuarantinedUpdate;
 use ga_stream::update::UpdateBatch;
-use ga_stream::{Event, StreamEngine};
+use ga_stream::{Event, EventKind, StreamEngine};
 use std::io;
 use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
 
 /// How the batch path picks its seed vertices (Fig. 2's "selection
 /// criteria" box).
@@ -129,6 +134,99 @@ pub struct FlowStats {
     /// Bytes written into snapshot arrays — the measured cost of Fig. 2's
     /// "copy subgraph into faster memory" step the model prices.
     pub snapshot_mem_bytes: usize,
+    /// Updates refused or evicted by admission control under overload
+    /// (they never reached the graph).
+    pub updates_shed: usize,
+    /// Analytic runs that hit their op/deadline budget and returned a
+    /// typed partial result instead of a complete one.
+    pub deadline_partials: usize,
+    /// Triggered analytic runs skipped outright at the `SeedsOnly`
+    /// degradation level (seeds were still selected).
+    pub analytics_skipped: usize,
+    /// Durable-write attempts that failed transiently and were retried
+    /// (WAL appends + checkpoint writes).
+    pub durability_retries: usize,
+    /// Times the durability circuit breaker tripped open (each trip also
+    /// raises an alert).
+    pub breaker_trips: usize,
+}
+
+/// Rung of the overload degradation ladder, least to most degraded.
+/// `Ord` follows declaration order, so `max(depth_level, latency_level)`
+/// picks the more degraded of the two signals.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord)]
+pub enum DegradationLevel {
+    /// Normal operation: full analytics on every trigger.
+    #[default]
+    Full,
+    /// Analytics run under a reduced op/deadline budget and may return
+    /// typed partial results.
+    PartialDeadline,
+    /// Seeds are still selected (cheap) but triggered analytics are
+    /// skipped entirely.
+    SeedsOnly,
+    /// Updates are applied unmonitored — no events, no triggers, no
+    /// analytics — keeping the graph current at minimal cost.
+    Shed,
+}
+
+impl DegradationLevel {
+    /// Stable name (event payloads, JSON reports).
+    pub fn name(self) -> &'static str {
+        match self {
+            DegradationLevel::Full => "full",
+            DegradationLevel::PartialDeadline => "partial-deadline",
+            DegradationLevel::SeedsOnly => "seeds-only",
+            DegradationLevel::Shed => "shed",
+        }
+    }
+}
+
+/// Thresholds driving the degradation ladder. Depth thresholds are in
+/// queued *updates* (the [`AdmissionQueue::depth`] quantity) and are the
+/// deterministic signal; the latency thresholds consume a wall-clock
+/// EWMA of per-batch processing time and default to *off* so tests and
+/// reproducible runs are depth-driven only.
+#[derive(Clone, Copy, Debug)]
+pub struct OverloadConfig {
+    /// Queue depth at or above which analytics run under the degraded
+    /// budget.
+    pub partial_at: usize,
+    /// Queue depth at or above which triggered analytics are skipped.
+    pub seeds_only_at: usize,
+    /// Queue depth at or above which updates are applied unmonitored.
+    pub shed_at: usize,
+    /// Op budget for analytic runs at `PartialDeadline` (see
+    /// [`ga_kernels::Budget::ops`]).
+    pub degraded_budget_ops: u64,
+    /// Optional wall-clock deadline composed into the degraded budget.
+    pub degraded_deadline: Option<Duration>,
+    /// Smoothing factor of the recent-latency EWMA.
+    pub latency_alpha: f64,
+    /// Mean batch latency above which to enter `PartialDeadline`
+    /// (`None` = latency never drives this rung).
+    pub latency_partial: Option<Duration>,
+    /// Mean batch latency above which to enter `SeedsOnly`.
+    pub latency_seeds_only: Option<Duration>,
+    /// Mean batch latency above which to enter `Shed`.
+    pub latency_shed: Option<Duration>,
+}
+
+impl Default for OverloadConfig {
+    fn default() -> Self {
+        let adm = AdmissionConfig::default();
+        OverloadConfig {
+            partial_at: adm.bulk_watermark / 2,
+            seeds_only_at: adm.normal_watermark,
+            shed_at: adm.capacity,
+            degraded_budget_ops: 1 << 20,
+            degraded_deadline: None,
+            latency_alpha: 0.2,
+            latency_partial: None,
+            latency_seeds_only: None,
+            latency_shed: None,
+        }
+    }
 }
 
 /// Report of one batch run.
@@ -152,12 +250,30 @@ pub struct FlowEngine {
     analytics: Vec<Box<dyn BatchAnalytic>>,
     stats: FlowStats,
     durability: Option<Durability>,
+    /// Bounded priority-classed ingest queue (the overload front door).
+    admission: AdmissionQueue,
+    /// Retry policy for durable writes (WAL appends, checkpoints).
+    retry: RetryPolicy,
+    /// Trips after consecutive exhausted-retry durability failures.
+    breaker: CircuitBreaker,
+    /// True once the breaker tripped: the engine runs non-durably.
+    durability_suspended: bool,
+    /// Recent per-batch processing latency (seconds).
+    batch_latency: Ewma,
+    /// Current rung of the degradation ladder (for change events).
+    level: DegradationLevel,
+    /// Overload events (LoadShed / Degraded / CircuitBreaker) pending
+    /// collection via [`Self::take_overload_events`].
+    overload_events: Vec<Event>,
+    /// Degradation-ladder thresholds.
+    pub overload: OverloadConfig,
     /// Extraction settings used by both paths.
     pub extract: ExtractOptions,
     /// Property columns projected into extracted subgraphs.
     pub project_columns: Vec<String>,
     /// Kernel execution context handed to every analytic run; set its
-    /// `parallelism` to steer serial/parallel kernel dispatch.
+    /// `parallelism` to steer serial/parallel kernel dispatch and its
+    /// `budget` to impose a standing op/deadline budget on analytics.
     pub kernel_ctx: KernelCtx,
 }
 
@@ -172,11 +288,20 @@ impl FlowEngine {
 
     /// Engine over an existing persistent graph.
     pub fn with_graph(graph: DynamicGraph, props: PropertyStore) -> Self {
+        let overload = OverloadConfig::default();
         FlowEngine {
             stream: StreamEngine::with_graph(graph, props),
             analytics: Vec::new(),
             stats: FlowStats::default(),
             durability: None,
+            admission: AdmissionQueue::new(AdmissionConfig::default()),
+            retry: RetryPolicy::none(),
+            breaker: CircuitBreaker::new(3),
+            durability_suspended: false,
+            batch_latency: Ewma::new(overload.latency_alpha),
+            level: DegradationLevel::Full,
+            overload_events: Vec::new(),
+            overload,
             extract: ExtractOptions {
                 depth: 2,
                 max_vertices: 4096,
@@ -294,6 +419,12 @@ impl FlowEngine {
         self.stats.kernel_cpu_ops += ops.cpu_ops as usize;
         self.stats.kernel_mem_bytes += ops.mem_bytes as usize;
         self.stats.kernel_edges_touched += ops.edges_touched as usize;
+        // A budgeted run that tripped its op/deadline bound produced a
+        // typed partial result (see the Completion fields on kernel
+        // results) — count it.
+        if self.kernel_ctx.budget.take_hits() > 0 {
+            self.stats.deadline_partials += 1;
+        }
         self.stats.batch_runs += 1;
         self.stats.globals_produced += out.globals.len();
         self.stats.alerts_raised += out.alerts.len();
@@ -388,21 +519,80 @@ impl FlowEngine {
     /// to the write-ahead log (fsynced) *before* it touches the engine,
     /// so a crash at any later point replays it on recovery.
     ///
-    /// On a WAL error the engine state is untouched and the batch is
-    /// NOT applied — the caller decides whether to retry or crash.
+    /// Transient append failures are retried per the configured
+    /// [`Self::set_retry_policy`] (the torn tail is repaired between
+    /// attempts). With the default no-retry policy this is the PR 2
+    /// fail-fast contract: on a WAL error the engine state is untouched
+    /// and the batch is NOT applied. Once the circuit breaker trips, the
+    /// engine degrades to non-durable operation — the batch IS applied
+    /// and `Ok` is returned, with the trip surfaced as an alert, a
+    /// `CircuitBreaker` event, and the `breaker_trips` counter.
     pub fn process_stream_durable(
         &mut self,
         batch: &UpdateBatch,
         trigger: impl Fn(&Event) -> Option<Vec<VertexId>>,
         analytic_idx: Option<usize>,
     ) -> io::Result<Vec<BatchRunReport>> {
-        let Some(d) = self.durability.as_mut() else {
+        if self.durability.is_none() {
             return Err(io::Error::other(
                 "durability not enabled; call enable_durability or recover first",
             ));
-        };
-        d.append(batch)?;
+        }
+        self.append_with_retry(batch)?;
         Ok(self.process_stream(batch, trigger, analytic_idx))
+    }
+
+    /// Append `batch` to the WAL, retrying transient failures with the
+    /// configured backoff. Exhausted retries feed the circuit breaker;
+    /// when it trips the engine suspends durability (returning `Ok` so
+    /// the caller proceeds non-durably) instead of erroring forever.
+    fn append_with_retry(&mut self, batch: &UpdateBatch) -> io::Result<()> {
+        if self.durability_suspended || self.durability.is_none() {
+            return Ok(());
+        }
+        let mut attempt = 0u32;
+        let err = loop {
+            let d = self.durability.as_mut().unwrap();
+            match d.append(batch) {
+                Ok(_) => {
+                    self.breaker.record_success();
+                    return Ok(());
+                }
+                Err(_) if attempt < self.retry.max_retries => {
+                    // A failed append may have torn the log; truncate the
+                    // tail so the retried frame lands on a clean boundary.
+                    d.repair_wal()?;
+                    std::thread::sleep(self.retry.delay(attempt));
+                    attempt += 1;
+                    self.stats.durability_retries += 1;
+                }
+                Err(e) => {
+                    d.repair_wal()?;
+                    break e;
+                }
+            }
+        };
+        if self.breaker.record_failure() {
+            self.trip_breaker();
+            return Ok(());
+        }
+        Err(err)
+    }
+
+    /// Record a breaker trip: suspend durable writes, raise an alert,
+    /// and emit a `CircuitBreaker` event.
+    fn trip_breaker(&mut self) {
+        self.durability_suspended = true;
+        self.stats.breaker_trips += 1;
+        self.stats.alerts_raised += 1;
+        self.overload_events.push(Event {
+            time: self.stream.last_batch_time(),
+            source: "flow",
+            kind: EventKind::CircuitBreaker {
+                site: "durability",
+                open: true,
+            },
+        });
     }
 
     /// Snapshot current state as a checkpoint with the given cursor.
@@ -421,23 +611,54 @@ impl FlowEngine {
 
     /// Write a checkpoint of the current state, rotate the WAL, and
     /// prune old files. Returns the checkpoint's path.
+    ///
+    /// Transient write failures are retried like WAL appends (the
+    /// tmp-file + rename protocol makes a retried write safe), feeding
+    /// the same circuit breaker. Fails fast when durability is already
+    /// suspended — a checkpoint is an explicit durability request the
+    /// engine cannot silently skip.
     pub fn checkpoint(&mut self) -> io::Result<PathBuf> {
-        let Some(d) = self.durability.as_mut() else {
+        if self.durability.is_none() {
             return Err(io::Error::other(
                 "durability not enabled; call enable_durability or recover first",
             ));
+        }
+        if self.durability_suspended {
+            return Err(io::Error::other(
+                "durability suspended by the circuit breaker; call resume_durability",
+            ));
+        }
+        let seq = self.durability.as_ref().unwrap().next_wal_seq();
+        let ckpt = self.snapshot(seq);
+        // Retries of this very write cannot be part of the image being
+        // written; the live counter is folded up after the write lands
+        // (recovered counters lag by exactly those retries, which the
+        // equivalence suite normalizes).
+        let mut attempt = 0u32;
+        let result = loop {
+            let d = self.durability.as_mut().unwrap();
+            match d.checkpoint(&ckpt) {
+                Ok(path) => break Ok(path),
+                Err(_) if attempt < self.retry.max_retries => {
+                    std::thread::sleep(self.retry.delay(attempt));
+                    attempt += 1;
+                }
+                Err(e) => break Err(e),
+            }
         };
-        let ckpt = Checkpoint {
-            graph: self.stream.graph().clone(),
-            props: self.stream.props().clone(),
-            flow: self.stats,
-            stream: self.stream.stats(),
-            symmetrize: self.stream.symmetrize,
-            vertex_limit: self.stream.vertex_limit() as u64,
-            last_batch_time: self.stream.last_batch_time(),
-            next_wal_seq: d.next_wal_seq(),
-        };
-        d.checkpoint(&ckpt)
+        self.stats.durability_retries += attempt as usize;
+        match result {
+            Ok(path) => {
+                self.breaker.record_success();
+                Ok(path)
+            }
+            Err(e) => {
+                if self.breaker.record_failure() {
+                    self.trip_breaker();
+                }
+                Err(e)
+            }
+        }
     }
 
     /// Rebuild an engine from a durability directory: load the newest
@@ -481,6 +702,242 @@ impl FlowEngine {
     /// match across crash/recovery for replay to reproduce state.
     pub fn set_symmetrize(&mut self, symmetrize: bool) {
         self.stream.symmetrize = symmetrize;
+    }
+
+    // -----------------------------------------------------------------
+    // Overload resilience: admission control, degradation ladder,
+    // retry/backoff + circuit breaker, dead-letter replay.
+    // -----------------------------------------------------------------
+
+    /// Replace the admission queue's watermarks. Panics if batches are
+    /// still queued (drain with [`Self::pump`] first) — resizing a
+    /// non-empty queue would silently reclassify already-admitted work.
+    pub fn set_admission_config(&mut self, cfg: AdmissionConfig) {
+        assert!(
+            self.admission.is_empty(),
+            "drain the admission queue before reconfiguring it"
+        );
+        self.admission = AdmissionQueue::new(cfg);
+    }
+
+    /// Set the retry policy for durable writes. The default is
+    /// [`RetryPolicy::none`] — the PR 2 fail-fast contract.
+    pub fn set_retry_policy(&mut self, policy: RetryPolicy) {
+        self.retry = policy;
+    }
+
+    /// The configured retry policy.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.retry
+    }
+
+    /// Replace the durability circuit breaker (sets its trip threshold).
+    pub fn set_breaker(&mut self, breaker: CircuitBreaker) {
+        self.breaker = breaker;
+    }
+
+    /// True once the circuit breaker has suspended durable writes.
+    pub fn durability_suspended(&self) -> bool {
+        self.durability_suspended
+    }
+
+    /// Operator action after the storage fault is fixed: close the
+    /// breaker, repair the WAL tail, and resume durable operation.
+    /// Batches applied while suspended were never logged — take a
+    /// [`Self::checkpoint`] right after resuming to re-base recovery.
+    pub fn resume_durability(&mut self) -> io::Result<()> {
+        if let Some(d) = self.durability.as_mut() {
+            d.repair_wal()?;
+        }
+        self.breaker.reset();
+        if self.durability_suspended {
+            self.durability_suspended = false;
+            self.overload_events.push(Event {
+                time: self.stream.last_batch_time(),
+                source: "flow",
+                kind: EventKind::CircuitBreaker {
+                    site: "durability",
+                    open: false,
+                },
+            });
+        }
+        Ok(())
+    }
+
+    /// Offer a batch to the admission queue under `class`. Refused or
+    /// evicted updates are counted in `updates_shed` and surfaced as
+    /// [`EventKind::LoadShed`] events; nothing here touches the graph —
+    /// call [`Self::pump`] to drain admitted work.
+    pub fn offer(&mut self, class: Priority, batch: UpdateBatch) -> AdmissionDecision {
+        let lost_before = self.admission.stats().total_lost();
+        let decision = self.admission.offer(class, batch);
+        self.stats.updates_shed += self.admission.stats().total_lost() - lost_before;
+        self.overload_events.extend(self.admission.take_events());
+        decision
+    }
+
+    /// Queued updates awaiting [`Self::pump`].
+    pub fn queue_depth(&self) -> usize {
+        self.admission.depth()
+    }
+
+    /// Admission counters (offered/admitted/shed/evicted per class).
+    pub fn admission_stats(&self) -> AdmissionStats {
+        self.admission.stats()
+    }
+
+    /// Overload events (load shedding, ladder moves, breaker trips)
+    /// accumulated since the last take.
+    pub fn take_overload_events(&mut self) -> Vec<Event> {
+        std::mem::take(&mut self.overload_events)
+    }
+
+    /// The rung of the degradation ladder the next pumped batch will be
+    /// processed at: the more degraded of the queue-depth signal
+    /// (deterministic) and the recent-latency EWMA signal (off unless
+    /// latency thresholds are configured).
+    pub fn degradation_level(&self) -> DegradationLevel {
+        let depth = self.admission.depth();
+        let o = &self.overload;
+        let by_depth = if depth >= o.shed_at {
+            DegradationLevel::Shed
+        } else if depth >= o.seeds_only_at {
+            DegradationLevel::SeedsOnly
+        } else if depth >= o.partial_at {
+            DegradationLevel::PartialDeadline
+        } else {
+            DegradationLevel::Full
+        };
+        let by_latency = match self.batch_latency.value() {
+            None => DegradationLevel::Full,
+            Some(secs) => {
+                let over = |t: Option<Duration>| t.is_some_and(|t| secs > t.as_secs_f64());
+                if over(o.latency_shed) {
+                    DegradationLevel::Shed
+                } else if over(o.latency_seeds_only) {
+                    DegradationLevel::SeedsOnly
+                } else if over(o.latency_partial) {
+                    DegradationLevel::PartialDeadline
+                } else {
+                    DegradationLevel::Full
+                }
+            }
+        };
+        by_depth.max(by_latency)
+    }
+
+    /// Emit a `Degraded` event when the ladder rung changed since the
+    /// last pump (recovery back toward `Full` is reported the same way).
+    fn note_level(&mut self, level: DegradationLevel) {
+        if level != self.level {
+            self.overload_events.push(Event {
+                time: self.stream.last_batch_time(),
+                source: "flow",
+                kind: EventKind::Degraded {
+                    from: self.level.name(),
+                    to: level.name(),
+                    queue_depth: self.admission.depth(),
+                },
+            });
+            self.level = level;
+        }
+    }
+
+    /// Drain up to `max_batches` admitted batches through the streaming
+    /// path, each at the degradation level in force when it is popped
+    /// (high-priority batches first):
+    ///
+    /// * `Full` — the normal [`Self::process_stream`] path.
+    /// * `PartialDeadline` — analytics run under
+    ///   [`OverloadConfig::degraded_budget_ops`] (+ optional deadline)
+    ///   and may return typed partial results (`deadline_partials`).
+    /// * `SeedsOnly` — triggers still fire and seeds are selected, but
+    ///   analytic runs are skipped (`analytics_skipped`).
+    /// * `Shed` — updates are applied unmonitored: no events, no
+    ///   triggers, minimal cost.
+    ///
+    /// Durable engines append every pumped batch (with retry) before it
+    /// touches the graph, at every level — degradation sacrifices
+    /// analytics, never durability. Returns the reports of analytic runs
+    /// that did execute.
+    pub fn pump(
+        &mut self,
+        max_batches: usize,
+        trigger: impl Fn(&Event) -> Option<Vec<VertexId>>,
+        analytic_idx: Option<usize>,
+    ) -> io::Result<Vec<BatchRunReport>> {
+        let mut reports = Vec::new();
+        for _ in 0..max_batches {
+            let level = self.degradation_level();
+            self.note_level(level);
+            let Some((_class, batch)) = self.admission.pop() else {
+                break;
+            };
+            let t0 = Instant::now();
+            self.append_with_retry(&batch)?;
+            match level {
+                DegradationLevel::Full => {
+                    reports.extend(self.process_stream(&batch, &trigger, analytic_idx));
+                }
+                DegradationLevel::PartialDeadline => {
+                    let saved = std::mem::replace(
+                        &mut self.kernel_ctx.budget,
+                        match self.overload.degraded_deadline {
+                            Some(d) => {
+                                Budget::ops_and_deadline(self.overload.degraded_budget_ops, d)
+                            }
+                            None => Budget::ops(self.overload.degraded_budget_ops),
+                        },
+                    );
+                    reports.extend(self.process_stream(&batch, &trigger, analytic_idx));
+                    self.kernel_ctx.budget = saved;
+                }
+                DegradationLevel::SeedsOnly => {
+                    let before = self.stats.triggers_fired;
+                    self.process_stream(&batch, &trigger, None);
+                    // Every fired trigger would have run the analytic.
+                    if analytic_idx.is_some() {
+                        self.stats.analytics_skipped += self.stats.triggers_fired - before;
+                    }
+                }
+                DegradationLevel::Shed => {
+                    let quarantined = self.stream.apply_batch_unmonitored(&batch);
+                    self.stats.updates_applied += batch.updates.len() - quarantined;
+                    self.stats.updates_quarantined += quarantined;
+                }
+            }
+            self.batch_latency.observe(t0.elapsed().as_secs_f64());
+        }
+        // Re-evaluate after draining so recovery back to Full is visible
+        // without waiting for the next pump.
+        let level = self.degradation_level();
+        self.note_level(level);
+        Ok(reports)
+    }
+
+    /// Drain the dead-letter queue and re-admit every quarantined update
+    /// through the normal ingest path (after the operator fixed the
+    /// cause — e.g. [`Self::set_vertex_limit`]). The replay batch is
+    /// WAL-logged first on durable engines, so recovery reproduces it.
+    /// Still-invalid updates are re-quarantined.
+    ///
+    /// Returns `(applied, requarantined)`.
+    pub fn replay_dead_letters(&mut self) -> io::Result<(usize, usize)> {
+        let letters: Vec<QuarantinedUpdate> = self.stream.drain_dead_letters();
+        if letters.is_empty() {
+            return Ok((0, 0));
+        }
+        let batch = UpdateBatch {
+            time: self.stream.last_batch_time(),
+            updates: letters.into_iter().map(|l| l.update).collect(),
+        };
+        let before = self.stats.updates_quarantined;
+        if self.durability.is_some() {
+            self.append_with_retry(&batch)?;
+        }
+        self.process_stream(&batch, |_| None, None);
+        let requarantined = self.stats.updates_quarantined - before;
+        Ok((batch.updates.len() - requarantined, requarantined))
     }
 }
 
@@ -808,6 +1265,197 @@ mod tests {
         e.note_ingest(100, 37);
         assert_eq!(e.stats().records_ingested, 100);
         assert_eq!(e.stats().entities_created, 37);
+    }
+
+    /// Emits one O(1) event per batch end — a deterministic trigger
+    /// source for ladder tests.
+    struct PulseMonitor;
+
+    impl ga_stream::Monitor for PulseMonitor {
+        fn name(&self) -> &'static str {
+            "pulse"
+        }
+        fn on_update(
+            &mut self,
+            _g: &DynamicGraph,
+            _u: &ga_stream::Update,
+            _r: ga_graph::dynamic::ApplyResult,
+            _t: u64,
+            _out: &mut Vec<Event>,
+        ) {
+        }
+        fn on_batch_end(&mut self, _g: &DynamicGraph, time: u64, out: &mut Vec<Event>) {
+            out.push(Event {
+                time,
+                source: "pulse",
+                kind: EventKind::GlobalValue {
+                    metric: "pulse",
+                    value: 1.0,
+                },
+            });
+        }
+    }
+
+    fn ring_batch(n: usize, time: u64, len: usize) -> UpdateBatch {
+        UpdateBatch {
+            time,
+            updates: (0..len)
+                .map(|i| Update::EdgeInsert {
+                    src: (i % n) as u32,
+                    dst: ((i + 1) % n) as u32,
+                    weight: 1.0,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn zero_budget_run_counts_deadline_partial() {
+        let mut e = engine_with_ring(20);
+        let idx = e.register_analytic(Box::new(ComponentsAnalytic));
+        e.kernel_ctx.budget = Budget::ops(0);
+        e.run_batch(&SelectionCriteria::Explicit(vec![0]), idx);
+        assert_eq!(e.stats().deadline_partials, 1);
+        // An unlimited run does not count one.
+        e.kernel_ctx.budget = Budget::unlimited();
+        e.run_batch(&SelectionCriteria::Explicit(vec![5]), idx);
+        assert_eq!(e.stats().deadline_partials, 1);
+    }
+
+    #[test]
+    fn offer_sheds_over_watermark_and_counts() {
+        let mut e = FlowEngine::new(8);
+        e.set_admission_config(AdmissionConfig {
+            capacity: 100,
+            normal_watermark: 80,
+            bulk_watermark: 40,
+        });
+        assert!(e.offer(Priority::Bulk, ring_batch(8, 1, 40)).admitted());
+        let d = e.offer(Priority::Bulk, ring_batch(8, 2, 10));
+        assert!(!d.admitted());
+        assert_eq!(e.stats().updates_shed, 10);
+        assert_eq!(e.queue_depth(), 40);
+        let evs = e.take_overload_events();
+        assert_eq!(evs.len(), 1);
+        assert!(matches!(
+            evs[0].kind,
+            EventKind::LoadShed {
+                class: "bulk",
+                updates: 10,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn pump_walks_the_degradation_ladder() {
+        let mut e = FlowEngine::new(16);
+        e.extract.depth = 1;
+        e.register_monitor(Box::new(PulseMonitor));
+        let idx = e.register_analytic(Box::new(ComponentsAnalytic));
+        e.set_admission_config(AdmissionConfig {
+            capacity: 1000,
+            normal_watermark: 800,
+            bulk_watermark: 500,
+        });
+        e.overload.partial_at = 100;
+        e.overload.seeds_only_at = 200;
+        e.overload.shed_at = 300;
+        e.overload.degraded_budget_ops = 0; // any analytic run is partial
+        let trigger = |ev: &Event| match ev.kind {
+            EventKind::GlobalValue { .. } => Some(vec![0]),
+            _ => None,
+        };
+
+        // Depth 50 → Full: the analytic runs to completion.
+        e.offer(Priority::Normal, ring_batch(16, 1, 50));
+        assert_eq!(e.degradation_level(), DegradationLevel::Full);
+        let r = e.pump(1, trigger, Some(idx)).unwrap();
+        assert_eq!(r.len(), 1);
+        assert_eq!(e.stats().deadline_partials, 0);
+
+        // Depth 150 → PartialDeadline: runs happen but trip the budget.
+        for t in 2..5 {
+            e.offer(Priority::Normal, ring_batch(16, t, 50));
+        }
+        assert_eq!(e.degradation_level(), DegradationLevel::PartialDeadline);
+        e.pump(1, trigger, Some(idx)).unwrap();
+        assert_eq!(e.stats().deadline_partials, 1);
+        assert_eq!(e.stats().batch_runs, 2);
+        // The standing budget was restored afterwards.
+        assert!(!e.kernel_ctx.budget.is_limited());
+
+        // Depth 250 → SeedsOnly: trigger fires, analytic skipped.
+        for t in 5..8 {
+            e.offer(Priority::Normal, ring_batch(16, t, 50));
+        }
+        assert_eq!(e.degradation_level(), DegradationLevel::SeedsOnly);
+        e.pump(1, trigger, Some(idx)).unwrap();
+        assert_eq!(e.stats().analytics_skipped, 1);
+        assert_eq!(e.stats().batch_runs, 2, "no analytic ran");
+
+        // Depth 300 → Shed: updates applied, no events observed.
+        for t in 8..10 {
+            e.offer(Priority::Normal, ring_batch(16, t, 50));
+        }
+        assert_eq!(e.degradation_level(), DegradationLevel::Shed);
+        let observed = e.stats().events_observed;
+        e.pump(1, trigger, Some(idx)).unwrap();
+        assert_eq!(e.stats().events_observed, observed, "shed batch is silent");
+
+        // Drain the rest: the ladder recovers to Full and said so.
+        e.pump(100, trigger, Some(idx)).unwrap();
+        assert_eq!(e.queue_depth(), 0);
+        assert_eq!(e.degradation_level(), DegradationLevel::Full);
+        let evs = e.take_overload_events();
+        let moves: Vec<(&str, &str)> = evs
+            .iter()
+            .filter_map(|ev| match ev.kind {
+                EventKind::Degraded { from, to, .. } => Some((from, to)),
+                _ => None,
+            })
+            .collect();
+        assert!(moves.contains(&("full", "partial-deadline")), "{moves:?}");
+        // Recovery is stepwise as the queue drains, but it ends at full
+        // and the shed level was both entered and left.
+        assert_eq!(moves.last().map(|m| m.1), Some("full"), "{moves:?}");
+        assert!(moves.iter().any(|m| m.0 == "shed"), "{moves:?}");
+        // Every update was accounted: applied, nothing lost.
+        assert_eq!(e.stats().updates_applied, 450);
+        assert_eq!(e.stats().updates_shed, 0);
+    }
+
+    #[test]
+    fn flow_replay_dead_letters_after_raising_limit() {
+        let mut e = FlowEngine::new(4);
+        e.set_vertex_limit(10);
+        e.process_stream(
+            &UpdateBatch {
+                time: 1,
+                updates: vec![
+                    Update::EdgeInsert {
+                        src: 0,
+                        dst: 50,
+                        weight: 1.0,
+                    },
+                    Update::EdgeInsert {
+                        src: 0,
+                        dst: 1,
+                        weight: 1.0,
+                    },
+                ],
+            },
+            |_| None,
+            None,
+        );
+        assert_eq!(e.stats().updates_quarantined, 1);
+        e.set_vertex_limit(100);
+        let (applied, requarantined) = e.replay_dead_letters().unwrap();
+        assert_eq!((applied, requarantined), (1, 0));
+        assert!(e.graph().has_edge(0, 50));
+        assert_eq!(e.stats().updates_applied, 2);
+        // Queue is empty now; a second replay is a no-op.
+        assert_eq!(e.replay_dead_letters().unwrap(), (0, 0));
     }
 
     #[test]

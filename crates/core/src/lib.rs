@@ -40,4 +40,5 @@ pub mod faults;
 pub mod flow;
 pub mod model;
 pub mod nora;
+pub mod retry;
 pub mod taxonomy;

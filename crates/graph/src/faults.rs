@@ -33,6 +33,10 @@ pub enum FaultMode {
     /// Fail every `n`-th hit (1-based: `FailEveryNth(3)` fails hits
     /// 3, 6, 9, ...). Stays armed until [`clear_all`].
     FailEveryNth(u64),
+    /// Fail the first `k` hits, then succeed forever — a *transient*
+    /// fault, the shape retry/backoff logic is built for. `FailTimes(0)`
+    /// never fires.
+    FailTimes(u64),
     /// On the next hit, write only the first `n` bytes of the payload,
     /// report an injected error, then disarm — a torn/truncated write.
     ShortWrite(usize),
@@ -117,6 +121,17 @@ pub fn intercept(site: &str) -> Intercept {
                 Intercept::Proceed
             }
         }
+        FaultMode::FailTimes(k) => {
+            if state.hits <= k {
+                state.fired += 1;
+                if state.hits == k {
+                    state.disarmed = true;
+                }
+                Intercept::Error
+            } else {
+                Intercept::Proceed
+            }
+        }
         FaultMode::ShortWrite(k) => {
             state.fired += 1;
             state.disarmed = true;
@@ -186,6 +201,25 @@ mod tests {
             .map(|_| intercept("checkpoint.load") == Intercept::Error)
             .collect();
         assert_eq!(pattern, [false, false, true, false, false, true, false]);
+        clear_all();
+    }
+
+    #[test]
+    fn fail_times_is_transient() {
+        let _g = LOCK.lock().unwrap();
+        clear_all();
+        arm("wal.append", FaultMode::FailTimes(2));
+        assert_eq!(intercept("wal.append"), Intercept::Error);
+        assert_eq!(intercept("wal.append"), Intercept::Error);
+        // Third and later hits succeed — the fault has passed.
+        assert_eq!(intercept("wal.append"), Intercept::Proceed);
+        assert_eq!(intercept("wal.append"), Intercept::Proceed);
+        assert_eq!(fired_count("wal.append"), 2);
+        clear_all();
+        // Zero-count transient never fires.
+        arm("wal.append", FaultMode::FailTimes(0));
+        assert_eq!(intercept("wal.append"), Intercept::Proceed);
+        assert_eq!(fired_count("wal.append"), 0);
         clear_all();
     }
 

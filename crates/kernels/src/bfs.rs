@@ -13,11 +13,14 @@
 //! streaming O(1)-event variant in Fig. 1 corresponds to inspecting
 //! `depth[target]` after the sweep.
 
-use crate::ctx::KernelCtx;
+use crate::ctx::{Budget, Completion, KernelCtx};
 use crate::UNREACHED;
 use ga_graph::par::{frontier_degree_sum, par_frontier_expand};
 use ga_graph::{CsrGraph, VertexId};
 use std::collections::VecDeque;
+
+/// Queue pops between budget consults in the serial engine.
+const BUDGET_CHECK_POPS: usize = 1024;
 
 /// Output of a BFS sweep.
 #[derive(Clone, Debug, PartialEq)]
@@ -29,6 +32,11 @@ pub struct BfsResult {
     pub parent: Vec<VertexId>,
     /// Vertices reached (including the source).
     pub reached: usize,
+    /// Whether the sweep covered everything reachable or stopped at the
+    /// context's budget. A partial result reports the frontier covered
+    /// so far: every vertex with a finite depth has a valid BFS-tree
+    /// parent, but `UNREACHED` vertices may merely be not-yet-visited.
+    pub completion: Completion,
 }
 
 impl BfsResult {
@@ -61,6 +69,12 @@ impl BfsResult {
 
 /// Top-down queue BFS from `src`.
 pub fn bfs(g: &CsrGraph, src: VertexId) -> BfsResult {
+    bfs_budgeted(g, src, &Budget::unlimited())
+}
+
+/// Top-down queue BFS that consults `budget` every ~1k pops and stops
+/// with a typed partial result (covered frontier so far) on exhaustion.
+pub fn bfs_budgeted(g: &CsrGraph, src: VertexId, budget: &Budget) -> BfsResult {
     let n = g.num_vertices();
     let mut depth = vec![UNREACHED; n];
     let mut parent = vec![UNREACHED as VertexId; n];
@@ -68,8 +82,20 @@ pub fn bfs(g: &CsrGraph, src: VertexId) -> BfsResult {
     depth[src as usize] = 0;
     parent[src as usize] = src;
     q.push_back(src);
-    let mut reached = 1;
+    let mut reached = 1usize;
+    let mut completion = Completion::Complete;
+    let mut pops = 0usize;
+    let mut edges = 0u64;
     while let Some(u) = q.pop_front() {
+        pops += 1;
+        if pops.is_multiple_of(BUDGET_CHECK_POPS) {
+            // Same cost formula bfs_with flushes into the counters.
+            completion = budget.check(2 * edges + 3 * reached as u64);
+            if completion.is_partial() {
+                break;
+            }
+        }
+        edges += g.degree(u) as u64;
         for &v in g.neighbors(u) {
             if depth[v as usize] == UNREACHED {
                 depth[v as usize] = depth[u as usize] + 1;
@@ -83,6 +109,7 @@ pub fn bfs(g: &CsrGraph, src: VertexId) -> BfsResult {
         depth,
         parent,
         reached,
+        completion,
     }
 }
 
@@ -135,6 +162,7 @@ pub fn bfs_bottom_up(g: &CsrGraph, src: VertexId) -> BfsResult {
         depth,
         parent,
         reached,
+        completion: Completion::Complete,
     }
 }
 
@@ -204,6 +232,7 @@ pub fn bfs_direction_optimizing(g: &CsrGraph, src: VertexId, alpha: usize) -> Bf
         depth,
         parent,
         reached,
+        completion: Completion::Complete,
     }
 }
 
@@ -222,6 +251,14 @@ pub fn bfs_depths(g: &CsrGraph, src: VertexId) -> Vec<u32> {
 /// parent array (the standard shared-memory formulation; parents may
 /// differ from the sequential engines but depths are identical).
 pub fn bfs_parallel(g: &CsrGraph, src: VertexId) -> BfsResult {
+    bfs_parallel_budgeted(g, src, &Budget::unlimited())
+}
+
+/// [`bfs_parallel`] with a cooperative budget consulted at each level
+/// boundary (the natural cancellation point of a level-synchronous
+/// engine); on exhaustion the covered levels are returned as a partial
+/// result.
+pub fn bfs_parallel_budgeted(g: &CsrGraph, src: VertexId, budget: &Budget) -> BfsResult {
     use std::sync::atomic::{AtomicU32, Ordering};
     let n = g.num_vertices();
     let parent: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(UNREACHED)).collect();
@@ -230,7 +267,17 @@ pub fn bfs_parallel(g: &CsrGraph, src: VertexId) -> BfsResult {
     depth_atomic[src as usize].store(0, Ordering::Relaxed);
     let mut frontier = vec![src];
     let mut level = 0u32;
+    let mut completion = Completion::Complete;
+    let mut edges = 0u64;
+    let mut claimed_total = 1u64;
     while !frontier.is_empty() {
+        if budget.is_limited() {
+            completion = budget.check(2 * edges + 3 * claimed_total);
+            if completion.is_partial() {
+                break;
+            }
+            edges += frontier_degree_sum(g, &frontier) as u64;
+        }
         level += 1;
         frontier = par_frontier_expand(g, &frontier, |u, v| {
             // Claim v exactly once across threads.
@@ -242,6 +289,7 @@ pub fn bfs_parallel(g: &CsrGraph, src: VertexId) -> BfsResult {
             }
             claimed
         });
+        claimed_total += frontier.len() as u64;
     }
     let depth: Vec<u32> = depth_atomic.into_iter().map(|d| d.into_inner()).collect();
     let parent: Vec<VertexId> = parent.into_iter().map(|p| p.into_inner()).collect();
@@ -250,6 +298,7 @@ pub fn bfs_parallel(g: &CsrGraph, src: VertexId) -> BfsResult {
         depth,
         parent,
         reached,
+        completion,
     }
 }
 
@@ -261,9 +310,9 @@ pub fn bfs_parallel(g: &CsrGraph, src: VertexId) -> BfsResult {
 /// parent pointers may pick a different (equally valid) BFS tree.
 pub fn bfs_with(g: &CsrGraph, src: VertexId, ctx: &KernelCtx) -> BfsResult {
     let r = if ctx.parallelism.use_parallel(g.num_edges()) {
-        bfs_parallel(g, src)
+        bfs_parallel_budgeted(g, src, &ctx.budget)
     } else {
-        bfs(g, src)
+        bfs_budgeted(g, src, &ctx.budget)
     };
     // Top-down BFS scans every out-edge of every reached vertex once.
     let edges: u64 = r
@@ -360,6 +409,36 @@ mod tests {
         let mut r = bfs(&g, 0);
         r.depth[3] = 9;
         assert!(r.validate(&g, 0).is_err());
+    }
+
+    #[test]
+    fn op_budget_yields_covered_frontier() {
+        let g = rmat_graph(11);
+        let full = bfs(&g, 0);
+        assert_eq!(full.completion, Completion::Complete);
+        // A tiny op budget trips at the first consult (1024 pops in).
+        let b = Budget::ops(1);
+        let partial = bfs_budgeted(&g, 0, &b);
+        assert_eq!(partial.completion, Completion::OpBudgetExhausted);
+        assert!(partial.reached < full.reached, "budget must cut coverage");
+        assert!(partial.reached >= 1024, "covered frontier before the stop");
+        // The covered portion is still a valid BFS tree.
+        partial.validate(&g, 0).unwrap();
+        // Determinism: the serial engine stops at the same place.
+        let again = bfs_budgeted(&g, 0, &Budget::ops(1));
+        assert_eq!(partial.depth, again.depth);
+        assert_eq!(partial.reached, again.reached);
+    }
+
+    #[test]
+    fn parallel_budget_stops_at_level_boundary() {
+        let g = rmat_graph(10);
+        let b = Budget::ops(1);
+        let partial = bfs_parallel_budgeted(&g, 0, &b);
+        assert_eq!(partial.completion, Completion::OpBudgetExhausted);
+        // Level-synchronous stop: only the source's level is covered.
+        assert_eq!(partial.reached, 1);
+        partial.validate(&g, 0).unwrap();
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! labels are normalized to the minimum vertex id in the component so
 //! independent algorithms can be compared bit-for-bit.
 
-use crate::ctx::KernelCtx;
+use crate::ctx::{Budget, KernelCtx};
 use crate::UnionFind;
 use ga_graph::par::par_vertex_map;
 use ga_graph::{CsrGraph, VertexId};
@@ -87,17 +87,30 @@ pub fn wcc_union_find(g: &CsrGraph) -> Components {
 /// converge to true WCC on directed inputs; pass an undirected snapshot
 /// or a graph with a reverse index).
 pub fn wcc_label_prop(g: &CsrGraph) -> Components {
-    normalize(label_prop_serial(g).0)
+    normalize(label_prop_serial(g, &Budget::unlimited()).0)
+}
+
+/// Per-sweep cost of label propagation — the formula `wcc_with` flushes
+/// into the counters and the budget checks consult.
+fn sweep_cost(g: &CsrGraph) -> u64 {
+    let m = g.num_edges() as u64 * if g.has_reverse() { 2 } else { 1 };
+    2 * m + g.num_vertices() as u64
 }
 
 /// Serial Gauss–Seidel min-label sweeps; returns raw labels and sweep
-/// count.
-fn label_prop_serial(g: &CsrGraph) -> (Vec<VertexId>, usize) {
+/// count. Consults `budget` at sweep boundaries: a budget stop leaves a
+/// valid coarser partition (labels propagated as far as the completed
+/// sweeps reached).
+fn label_prop_serial(g: &CsrGraph, budget: &Budget) -> (Vec<VertexId>, usize) {
     let n = g.num_vertices();
+    let cost = sweep_cost(g);
     let mut label: Vec<VertexId> = (0..n as VertexId).collect();
     let mut sweeps = 0;
     let mut changed = true;
     while changed {
+        if budget.check(sweeps as u64 * cost).is_partial() {
+            break;
+        }
         changed = false;
         sweeps += 1;
         for u in g.vertices() {
@@ -126,15 +139,20 @@ fn label_prop_serial(g: &CsrGraph) -> (Vec<VertexId>, usize) {
 /// id in v's component — so after [`normalize`] the labels are
 /// bit-identical to [`wcc_label_prop`]'s.
 pub fn wcc_label_prop_parallel(g: &CsrGraph) -> Components {
-    normalize(label_prop_parallel(g).0)
+    normalize(label_prop_parallel(g, &Budget::unlimited()).0)
 }
 
 /// Parallel Jacobi min-label sweeps; returns raw labels and sweep count.
-fn label_prop_parallel(g: &CsrGraph) -> (Vec<VertexId>, usize) {
+/// Budget handling mirrors [`label_prop_serial`].
+fn label_prop_parallel(g: &CsrGraph, budget: &Budget) -> (Vec<VertexId>, usize) {
     let n = g.num_vertices();
+    let cost = sweep_cost(g);
     let mut label: Vec<VertexId> = (0..n as VertexId).collect();
     let mut sweeps = 0;
     loop {
+        if budget.check(sweeps as u64 * cost).is_partial() {
+            return (label, sweeps);
+        }
         sweeps += 1;
         let prev = &label;
         let next = par_vertex_map(n, |u| {
@@ -163,9 +181,9 @@ fn label_prop_parallel(g: &CsrGraph) -> (Vec<VertexId>, usize) {
 /// symmetric graphs).
 pub fn wcc_with(g: &CsrGraph, ctx: &KernelCtx) -> Components {
     let (label, sweeps) = if ctx.parallelism.use_parallel(g.num_edges()) {
-        label_prop_parallel(g)
+        label_prop_parallel(g, &ctx.budget)
     } else {
-        label_prop_serial(g)
+        label_prop_serial(g, &ctx.budget)
     };
     // Each sweep scans every out-edge (both directions when a reverse
     // index exists): one label load + min (~2 ops, 8 bytes) per edge,
@@ -387,6 +405,32 @@ mod tests {
         let g = CsrGraph::from_edges(n, &gen::path(n));
         let c = scc_tarjan(&g);
         assert_eq!(c.count, n);
+    }
+
+    #[test]
+    fn zero_budget_stops_label_prop_before_any_sweep() {
+        let g = CsrGraph::from_edges_undirected(50, &gen::path(50));
+        let mut ctx = KernelCtx::serial();
+        ctx.budget = Budget::ops(0);
+        let partial = wcc_with(&g, &ctx);
+        // No sweeps ran: every vertex still carries its own label — a
+        // valid (maximally coarse) partition refinement, just unmerged.
+        assert_eq!(partial.count, 50);
+        assert!(ctx.budget.hits() >= 1, "exhaustion must be tallied");
+        // And the same graph collapses fully without a budget.
+        assert_eq!(wcc_with(&g, &KernelCtx::serial()).count, 1);
+    }
+
+    #[test]
+    fn budget_cuts_parallel_jacobi_sweeps() {
+        // A path needs ~n Jacobi sweeps; one sweep only merges pairs.
+        let g = CsrGraph::from_edges_undirected(64, &gen::path(64));
+        let mut ctx = KernelCtx::parallel();
+        ctx.budget = Budget::ops(1); // one sweep affordable
+        let partial = wcc_with(&g, &ctx);
+        let full = wcc_with(&g, &KernelCtx::parallel());
+        assert!(ctx.budget.hits() >= 1);
+        assert!(partial.count > full.count, "partial must be coarser");
     }
 
     #[test]

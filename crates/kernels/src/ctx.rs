@@ -15,11 +15,131 @@
 //! this).
 
 use ga_graph::counters::{OpCounters, OpSnapshot};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
 
 // The knob now lives in the storage crate so the snapshot pipeline can
 // share it; re-exported here so existing `ga_kernels::Parallelism`
 // callers keep compiling unchanged.
 pub use ga_graph::par::{Parallelism, AUTO_WORK_CUTOFF};
+
+/// How a budgeted kernel run ended.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Completion {
+    /// The kernel ran to its natural fixed point / traversal end.
+    #[default]
+    Complete,
+    /// The kernel stopped cooperatively at the context's op budget and
+    /// returned a typed partial result.
+    OpBudgetExhausted,
+    /// The kernel stopped cooperatively at the context's wall-clock
+    /// deadline and returned a typed partial result.
+    DeadlineExpired,
+}
+
+impl Completion {
+    /// True for every outcome other than [`Completion::Complete`].
+    pub fn is_partial(self) -> bool {
+        !matches!(self, Completion::Complete)
+    }
+}
+
+/// A cooperative time/op budget for batch kernels.
+///
+/// Budgeted kernels consult [`Budget::check`] at iteration boundaries
+/// (per sweep, per level, every ~1k queue pops) with their running op
+/// estimate — the same estimate they flush into [`OpCounters`] — and
+/// stop early with a typed partial result when either bound is hit.
+/// Exhaustions are tallied so the flow layer can count
+/// deadline-partial analytics without threading return values through
+/// every analytic trait.
+///
+/// The default budget is unlimited: `check` is a no-op and kernels run
+/// exactly as before.
+#[derive(Debug, Default)]
+pub struct Budget {
+    op_limit: Option<u64>,
+    deadline: Option<Instant>,
+    hits: AtomicU64,
+}
+
+impl Clone for Budget {
+    fn clone(&self) -> Self {
+        Budget {
+            op_limit: self.op_limit,
+            deadline: self.deadline,
+            hits: AtomicU64::new(self.hits.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+impl Budget {
+    /// No limits (the default): kernels run to completion.
+    pub fn unlimited() -> Self {
+        Budget::default()
+    }
+
+    /// Stop once the kernel's op estimate reaches `limit`.
+    pub fn ops(limit: u64) -> Self {
+        Budget {
+            op_limit: Some(limit),
+            ..Budget::default()
+        }
+    }
+
+    /// Stop once `dur` wall-clock time has elapsed (from now).
+    pub fn deadline_in(dur: Duration) -> Self {
+        Budget {
+            deadline: Some(Instant::now() + dur),
+            ..Budget::default()
+        }
+    }
+
+    /// Both bounds; whichever trips first wins. Deterministic tests
+    /// should use the op bound only (wall-clock varies run to run).
+    pub fn ops_and_deadline(limit: u64, dur: Duration) -> Self {
+        Budget {
+            op_limit: Some(limit),
+            deadline: Some(Instant::now() + dur),
+            hits: AtomicU64::new(0),
+        }
+    }
+
+    /// Whether any bound is set (kernels skip checks entirely if not).
+    pub fn is_limited(&self) -> bool {
+        self.op_limit.is_some() || self.deadline.is_some()
+    }
+
+    /// Consult the budget with the kernel's running op estimate.
+    /// Returns the non-`Complete` variant (and tallies a hit) when a
+    /// bound is exhausted. The op bound is checked before the deadline
+    /// so op-only budgets are fully deterministic.
+    pub fn check(&self, ops_spent: u64) -> Completion {
+        if let Some(limit) = self.op_limit {
+            if ops_spent >= limit {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Completion::OpBudgetExhausted;
+            }
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Completion::DeadlineExpired;
+            }
+        }
+        Completion::Complete
+    }
+
+    /// Exhaustions recorded so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Drain the exhaustion tally (read then reset).
+    pub fn take_hits(&self) -> u64 {
+        self.hits.swap(0, Ordering::Relaxed)
+    }
+}
 
 /// Execution context threaded through instrumented kernel calls.
 #[derive(Debug, Default)]
@@ -28,6 +148,8 @@ pub struct KernelCtx {
     pub parallelism: Parallelism,
     /// Operation tally the kernels flush into.
     pub counters: OpCounters,
+    /// Cooperative cancellation budget; unlimited by default.
+    pub budget: Budget,
 }
 
 impl KernelCtx {
@@ -36,6 +158,7 @@ impl KernelCtx {
         KernelCtx {
             parallelism,
             counters: OpCounters::new(),
+            budget: Budget::default(),
         }
     }
 
@@ -81,5 +204,38 @@ mod tests {
         ctx.counters.flush(1, 2, 3);
         assert_eq!(ctx.take().edges_touched, 3);
         assert!(ctx.snapshot().is_zero());
+    }
+
+    #[test]
+    fn unlimited_budget_never_trips() {
+        let b = Budget::unlimited();
+        assert!(!b.is_limited());
+        assert_eq!(b.check(u64::MAX), Completion::Complete);
+        assert_eq!(b.hits(), 0);
+    }
+
+    #[test]
+    fn op_budget_trips_at_limit_and_tallies() {
+        let b = Budget::ops(100);
+        assert!(b.is_limited());
+        assert_eq!(b.check(99), Completion::Complete);
+        assert_eq!(b.check(100), Completion::OpBudgetExhausted);
+        assert_eq!(b.check(500), Completion::OpBudgetExhausted);
+        assert_eq!(b.take_hits(), 2);
+        assert_eq!(b.hits(), 0);
+    }
+
+    #[test]
+    fn expired_deadline_trips() {
+        let b = Budget::deadline_in(Duration::from_secs(0));
+        assert_eq!(b.check(0), Completion::DeadlineExpired);
+        assert!(b.hits() >= 1);
+    }
+
+    #[test]
+    fn op_bound_wins_over_deadline() {
+        // Both exhausted: the deterministic op bound is reported.
+        let b = Budget::ops_and_deadline(10, Duration::from_secs(0));
+        assert_eq!(b.check(10), Completion::OpBudgetExhausted);
     }
 }

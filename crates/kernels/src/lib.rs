@@ -54,7 +54,7 @@ pub mod topk;
 pub mod triangles;
 pub mod union_find;
 
-pub use ctx::{KernelCtx, Parallelism};
+pub use ctx::{Budget, Completion, KernelCtx, Parallelism};
 pub use union_find::UnionFind;
 
 /// Distance value used by SSSP results; `f32::INFINITY` marks unreachable.

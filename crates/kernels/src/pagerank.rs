@@ -9,9 +9,12 @@
 //!   asynchronous formulation the streaming variant (`ga-stream`)
 //!   shares its update rule with.
 
-use crate::ctx::KernelCtx;
+use crate::ctx::{Completion, KernelCtx};
 use ga_graph::par::par_vertex_map;
 use ga_graph::{CsrGraph, VertexId};
+
+/// Pushes between budget consults in the delta engine.
+const BUDGET_CHECK_PUSHES: usize = 1024;
 
 /// Convergence/result record.
 #[derive(Clone, Debug)]
@@ -22,6 +25,11 @@ pub struct PageRankResult {
     pub work: usize,
     /// Final residual (L1 change of last sweep, or max residual).
     pub residual: f64,
+    /// Whether the run converged or stopped at the context's budget.
+    /// A partial result is the rank vector after the last *completed*
+    /// sweep (power method) or push (delta) — always a valid
+    /// distribution, just less converged.
+    pub completion: Completion,
 }
 
 impl PageRankResult {
@@ -69,15 +77,24 @@ pub fn pagerank_with(
             rank: vec![],
             work: 0,
             residual: 0.0,
+            completion: Completion::Complete,
         };
     }
     let parallel = ctx.parallelism.use_parallel(g.num_edges());
+    let (m, nv) = (g.num_edges() as u64, n as u64);
     let inv_n = 1.0 / n as f64;
     let mut rank = vec![inv_n; n];
     let out_deg: Vec<f64> = (0..n as VertexId).map(|v| g.degree(v) as f64).collect();
     let mut iters = 0;
     let mut residual = f64::INFINITY;
+    let mut completion = Completion::Complete;
     while iters < max_iters && residual > tol {
+        // Budget check at the sweep boundary: stop at the last
+        // completed iteration, never mid-sweep.
+        completion = ctx.budget.check(iters as u64 * (2 * m + 4 * nv));
+        if completion.is_partial() {
+            break;
+        }
         // Dangling vertices spread their rank uniformly.
         let dangling: f64 = (0..n).filter(|&v| out_deg[v] == 0.0).map(|v| rank[v]).sum();
         let base = (1.0 - damping) * inv_n + damping * dangling * inv_n;
@@ -100,7 +117,6 @@ pub fn pagerank_with(
     // Per sweep: every in-edge pulled once (one div + one add, ~16 bytes
     // read), every vertex read + written (~24 bytes, ~4 ops).
     let sweeps = iters as u64;
-    let (m, nv) = (g.num_edges() as u64, n as u64);
     ctx.counters.flush(
         sweeps * (2 * m + 4 * nv),
         sweeps * (16 * m + 24 * nv),
@@ -110,6 +126,7 @@ pub fn pagerank_with(
         rank,
         work: iters,
         residual,
+        completion,
     }
 }
 
@@ -137,6 +154,7 @@ pub fn pagerank_delta_with(
             rank: vec![],
             work: 0,
             residual: 0.0,
+            completion: Completion::Complete,
         };
     }
     let inv_n = 1.0 / n as f64;
@@ -150,7 +168,17 @@ pub fn pagerank_delta_with(
     let mut queued = vec![true; n];
     let mut pushes = 0usize;
     let mut edges_scanned = 0u64;
+    let mut completion = Completion::Complete;
+    // Budget checks are amortized: one consult per ~1k pushes.
+    let mut next_check = BUDGET_CHECK_PUSHES;
     while let Some(v) = queue.pop_front() {
+        if pushes >= next_check {
+            next_check = pushes + BUDGET_CHECK_PUSHES;
+            completion = ctx.budget.check(4 * pushes as u64 + 3 * edges_scanned);
+            if completion.is_partial() {
+                break;
+            }
+        }
         queued[v as usize] = false;
         let r = residual[v as usize];
         if r < threshold {
@@ -191,6 +219,7 @@ pub fn pagerank_delta_with(
         rank,
         work: pushes,
         residual: max_res,
+        completion,
     }
 }
 
@@ -273,8 +302,51 @@ mod tests {
             rank: vec![0.1, 0.4, 0.4, 0.1],
             work: 0,
             residual: 0.0,
+            completion: Completion::Complete,
         };
         assert_eq!(r.top_k(3), vec![(1, 0.4), (2, 0.4), (0, 0.1)]);
+    }
+
+    #[test]
+    fn op_budget_stops_power_iteration_at_completed_sweep() {
+        use crate::ctx::Budget;
+        let edges = gen::erdos_renyi(200, 1200, 7);
+        let g = with_reverse(200, &edges);
+        let free = pagerank(&g, 0.85, 1e-12, 200);
+        assert_eq!(free.completion, Completion::Complete);
+        // Budget allows exactly two sweeps' worth of ops.
+        let per_sweep = 2 * g.num_edges() as u64 + 4 * 200;
+        let mut ctx = KernelCtx::serial();
+        ctx.budget = Budget::ops(2 * per_sweep);
+        let partial = pagerank_with(&g, 0.85, 1e-12, 200, &ctx);
+        assert_eq!(partial.completion, Completion::OpBudgetExhausted);
+        assert_eq!(partial.work, 2, "stops after the last affordable sweep");
+        assert!(partial.work < free.work, "budget must cut iterations");
+        let sum: f64 = partial.rank.iter().sum();
+        assert!(
+            (sum - 1.0).abs() < 1e-6,
+            "partial ranks still a distribution"
+        );
+        assert!(ctx.budget.hits() >= 1);
+        // Counters reflect the sweeps actually executed, not max_iters.
+        let snap = ctx.snapshot();
+        assert!(snap.cpu_ops > 0 && snap.cpu_ops < 400 * per_sweep);
+    }
+
+    #[test]
+    fn zero_op_budget_runs_no_sweeps() {
+        use crate::ctx::Budget;
+        let g = with_reverse(10, &gen::ring(10));
+        let mut ctx = KernelCtx::serial();
+        ctx.budget = Budget::ops(0);
+        let r = pagerank_with(&g, 0.85, 1e-12, 100, &ctx);
+        // check() runs before each sweep with ops-spent-so-far = 0,
+        // which already meets a zero limit: no sweeps run, uniform rank.
+        assert_eq!(r.work, 0);
+        assert_eq!(r.completion, Completion::OpBudgetExhausted);
+        for &x in &r.rank {
+            assert!((x - 0.1).abs() < 1e-12);
+        }
     }
 
     #[test]

@@ -6,12 +6,15 @@
 //! [`delta_stepping`] (bucketed relaxation — the algorithm of choice on
 //! the parallel machines the paper surveys).
 
-use crate::ctx::KernelCtx;
+use crate::ctx::{Budget, Completion, KernelCtx};
 use crate::INF;
 use ga_graph::{CsrGraph, VertexId, Weight};
 use rayon::prelude::*;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+
+/// Heap pops between budget consults in the Dijkstra engine.
+const BUDGET_CHECK_POPS: usize = 1024;
 
 /// Output of an SSSP run.
 #[derive(Clone, Debug, PartialEq)]
@@ -22,6 +25,13 @@ pub struct SsspResult {
     /// Shortest-path-tree parent; source maps to itself, unreachable to
     /// `u32::MAX`.
     pub parent: Vec<VertexId>,
+    /// Whether relaxation ran to a fixed point or stopped at the
+    /// context's budget. A partial result reports the covered frontier:
+    /// distances settled before the stop are final (Dijkstra pops /
+    /// delta buckets settle in nondecreasing order), later finite
+    /// entries are tentative upper bounds, and [`INF`] may merely mean
+    /// not-yet-relaxed.
+    pub completion: Completion,
 }
 
 impl SsspResult {
@@ -88,6 +98,13 @@ impl PartialOrd for HeapItem {
 /// Dijkstra with a lazy-deletion binary heap. Weights must be
 /// non-negative.
 pub fn dijkstra(g: &CsrGraph, src: VertexId) -> SsspResult {
+    dijkstra_budgeted(g, src, &Budget::unlimited())
+}
+
+/// Dijkstra that consults `budget` every ~1k heap pops; on exhaustion
+/// the distances settled so far (a distance-ball around the source) are
+/// returned as a typed partial result.
+pub fn dijkstra_budgeted(g: &CsrGraph, src: VertexId, budget: &Budget) -> SsspResult {
     let n = g.num_vertices();
     let mut dist = vec![INF; n];
     let mut parent = vec![u32::MAX as VertexId; n];
@@ -95,10 +112,21 @@ pub fn dijkstra(g: &CsrGraph, src: VertexId) -> SsspResult {
     dist[src as usize] = 0.0;
     parent[src as usize] = src;
     heap.push(HeapItem { dist: 0.0, v: src });
+    let mut completion = Completion::Complete;
+    let mut pops = 0usize;
+    let mut edges = 0u64;
     while let Some(HeapItem { dist: d, v: u }) = heap.pop() {
         if d > dist[u as usize] {
             continue; // stale entry
         }
+        pops += 1;
+        if pops.is_multiple_of(BUDGET_CHECK_POPS) {
+            completion = budget.check(2 * edges + 4 * pops as u64);
+            if completion.is_partial() {
+                break;
+            }
+        }
+        edges += g.degree(u) as u64;
         for (v, w) in g.weighted_neighbors(u) {
             debug_assert!(w >= 0.0, "dijkstra requires non-negative weights");
             let nd = d + w;
@@ -109,7 +137,11 @@ pub fn dijkstra(g: &CsrGraph, src: VertexId) -> SsspResult {
             }
         }
     }
-    SsspResult { dist, parent }
+    SsspResult {
+        dist,
+        parent,
+        completion,
+    }
 }
 
 /// Bellman–Ford. Returns `Err(())` if a negative cycle is reachable from
@@ -138,19 +170,39 @@ pub fn bellman_ford(g: &CsrGraph, src: VertexId) -> Result<SsspResult, ()> {
             }
         }
         if !changed {
-            return Ok(SsspResult { dist, parent });
+            return Ok(SsspResult {
+                dist,
+                parent,
+                completion: Completion::Complete,
+            });
         }
         if round == n - 1 {
             return Err(()); // still relaxing after n-1 full passes
         }
     }
-    Ok(SsspResult { dist, parent })
+    Ok(SsspResult {
+        dist,
+        parent,
+        completion: Completion::Complete,
+    })
 }
 
 /// Delta-stepping: relax edges in distance buckets of width `delta`.
 /// Light edges (w < delta) are re-relaxed within a bucket; heavy edges
 /// are deferred — Meyer & Sanders' algorithm, sequential realization.
 pub fn delta_stepping(g: &CsrGraph, src: VertexId, delta: Weight) -> SsspResult {
+    delta_stepping_budgeted(g, src, delta, &Budget::unlimited())
+}
+
+/// [`delta_stepping`] with a cooperative budget consulted at each bucket
+/// boundary (every distance settled in earlier buckets is final); on
+/// exhaustion the settled buckets are returned as a partial result.
+pub fn delta_stepping_budgeted(
+    g: &CsrGraph,
+    src: VertexId,
+    delta: Weight,
+    budget: &Budget,
+) -> SsspResult {
     assert!(delta > 0.0, "delta must be positive");
     let n = g.num_vertices();
     let mut dist = vec![INF; n];
@@ -170,8 +222,15 @@ pub fn delta_stepping(g: &CsrGraph, src: VertexId, delta: Weight) -> SsspResult 
     parent[src as usize] = src;
     push(&mut buckets, src, 0.0);
 
+    let mut completion = Completion::Complete;
+    let mut edges_scanned = 0u64;
+    let mut settled_total = 0u64;
     let mut i = 0;
     while i < buckets.len() {
+        completion = budget.check(2 * edges_scanned + 4 * settled_total);
+        if completion.is_partial() {
+            break;
+        }
         // Settle bucket i: repeatedly relax light edges of its members.
         let mut settled: Vec<VertexId> = Vec::new();
         while let Some(batch) = {
@@ -187,6 +246,8 @@ pub fn delta_stepping(g: &CsrGraph, src: VertexId, delta: Weight) -> SsspResult 
                     continue; // moved to an earlier bucket already
                 }
                 settled.push(u);
+                settled_total += 1;
+                edges_scanned += g.degree(u) as u64;
                 let du = dist[u as usize];
                 for (v, w) in g.weighted_neighbors(u) {
                     if w < delta {
@@ -202,6 +263,7 @@ pub fn delta_stepping(g: &CsrGraph, src: VertexId, delta: Weight) -> SsspResult 
         }
         // Heavy edges once per settled vertex.
         for u in settled {
+            edges_scanned += g.degree(u) as u64;
             let du = dist[u as usize];
             for (v, w) in g.weighted_neighbors(u) {
                 if w >= delta {
@@ -216,7 +278,11 @@ pub fn delta_stepping(g: &CsrGraph, src: VertexId, delta: Weight) -> SsspResult 
         }
         i += 1;
     }
-    SsspResult { dist, parent }
+    SsspResult {
+        dist,
+        parent,
+        completion,
+    }
 }
 
 /// Parallel delta-stepping: the same bucketed relaxation as
@@ -226,6 +292,17 @@ pub fn delta_stepping(g: &CsrGraph, src: VertexId, delta: Weight) -> SsspResult 
 /// deterministic frontier order — so distances AND parents are exact and
 /// reproducible, not just the distances.
 pub fn delta_stepping_parallel(g: &CsrGraph, src: VertexId, delta: Weight) -> SsspResult {
+    delta_stepping_parallel_budgeted(g, src, delta, &Budget::unlimited())
+}
+
+/// [`delta_stepping_parallel`] with a cooperative budget consulted at
+/// each bucket boundary, mirroring [`delta_stepping_budgeted`].
+pub fn delta_stepping_parallel_budgeted(
+    g: &CsrGraph,
+    src: VertexId,
+    delta: Weight,
+    budget: &Budget,
+) -> SsspResult {
     assert!(delta > 0.0, "delta must be positive");
     let n = g.num_vertices();
     let mut dist = vec![INF; n];
@@ -262,8 +339,15 @@ pub fn delta_stepping_parallel(g: &CsrGraph, src: VertexId, delta: Weight) -> Ss
     parent[src as usize] = src;
     push(&mut buckets, src, 0.0);
 
+    let mut completion = Completion::Complete;
+    let mut edges_scanned = 0u64;
+    let mut settled_total = 0u64;
     let mut i = 0;
     while i < buckets.len() {
+        completion = budget.check(2 * edges_scanned + 4 * settled_total);
+        if completion.is_partial() {
+            break;
+        }
         let mut settled: Vec<VertexId> = Vec::new();
         loop {
             let batch: Vec<VertexId> = std::mem::take(&mut buckets[i])
@@ -272,6 +356,10 @@ pub fn delta_stepping_parallel(g: &CsrGraph, src: VertexId, delta: Weight) -> Ss
                 .collect();
             if batch.is_empty() {
                 break;
+            }
+            settled_total += batch.len() as u64;
+            if budget.is_limited() {
+                edges_scanned += 2 * batch.iter().map(|&u| g.degree(u) as u64).sum::<u64>();
             }
             settled.extend_from_slice(&batch);
             for (v, nd, u) in gather(&batch, &dist, true) {
@@ -291,7 +379,11 @@ pub fn delta_stepping_parallel(g: &CsrGraph, src: VertexId, delta: Weight) -> Ss
         }
         i += 1;
     }
-    SsspResult { dist, parent }
+    SsspResult {
+        dist,
+        parent,
+        completion,
+    }
 }
 
 /// Instrumented, dispatching SSSP: runs [`delta_stepping`] or
@@ -300,9 +392,9 @@ pub fn delta_stepping_parallel(g: &CsrGraph, src: VertexId, delta: Weight) -> Ss
 /// Distances are exact (identical path-weight sums) in both modes.
 pub fn sssp_with(g: &CsrGraph, src: VertexId, delta: Weight, ctx: &KernelCtx) -> SsspResult {
     let r = if ctx.parallelism.use_parallel(g.num_edges()) {
-        delta_stepping_parallel(g, src, delta)
+        delta_stepping_parallel_budgeted(g, src, delta, &ctx.budget)
     } else {
-        delta_stepping(g, src, delta)
+        delta_stepping_budgeted(g, src, delta, &ctx.budget)
     };
     // Every settled vertex scans its out-edges twice (light phase +
     // heavy phase); re-relaxations within a bucket add more, so this is
@@ -410,6 +502,51 @@ mod tests {
         for v in g.vertices() {
             assert_eq!(d.dist[v as usize] as u32, b.depth[v as usize]);
         }
+    }
+
+    #[test]
+    fn budget_stops_delta_stepping_at_bucket_boundary() {
+        let g = weighted_random(9, 5);
+        let full = delta_stepping(&g, 0, 0.7);
+        assert_eq!(full.completion, Completion::Complete);
+        // Trips at the first boundary with nonzero spend: bucket 0
+        // settles, everything later is cut.
+        let partial = delta_stepping_budgeted(&g, 0, 0.7, &Budget::ops(1));
+        assert_eq!(partial.completion, Completion::OpBudgetExhausted);
+        let settled = |r: &SsspResult| r.dist.iter().filter(|&&d| d != INF).count();
+        assert!(settled(&partial) < settled(&full));
+        // Distances inside the settled bucket are final, not tentative.
+        for v in g.vertices() {
+            let d = partial.dist[v as usize];
+            if d < 0.7 {
+                assert!((d - full.dist[v as usize]).abs() < 1e-12, "vertex {v}");
+            }
+        }
+        // Parallel engine stops at the same boundary with the same
+        // settled-bucket distances.
+        let par = delta_stepping_parallel_budgeted(&g, 0, 0.7, &Budget::ops(1));
+        assert_eq!(par.completion, Completion::OpBudgetExhausted);
+        for v in g.vertices() {
+            let d = par.dist[v as usize];
+            if d < 0.7 {
+                assert!((d - full.dist[v as usize]).abs() < 1e-12, "vertex {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn budget_stops_dijkstra_deterministically() {
+        let g = weighted_random(13, 9);
+        let full = dijkstra(&g, 0);
+        let partial = dijkstra_budgeted(&g, 0, &Budget::ops(1));
+        assert_eq!(partial.completion, Completion::OpBudgetExhausted);
+        let settled = |r: &SsspResult| r.dist.iter().filter(|&&d| d != INF).count();
+        assert!(
+            settled(&partial) < settled(&full),
+            "budget must cut coverage"
+        );
+        let again = dijkstra_budgeted(&g, 0, &Budget::ops(1));
+        assert_eq!(partial.dist, again.dist);
     }
 
     #[test]

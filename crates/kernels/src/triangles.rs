@@ -103,11 +103,25 @@ pub fn count_global_with(g: &CsrGraph, ctx: &KernelCtx) -> u64 {
         (c, ops)
     };
     let n = g.num_vertices();
-    let (count, ops) = if ctx.parallelism.use_parallel(g.num_edges()) {
+    // A limited budget forces the serial engine: per-vertex early exit
+    // needs a sequential scan, and a partial count is only meaningful
+    // with a deterministic vertex order.
+    let (count, ops) = if ctx.parallelism.use_parallel(g.num_edges()) && !ctx.budget.is_limited() {
         (0..n)
             .into_par_iter()
             .map(body)
             .reduce(|| (0, 0), |a, b| (a.0 + b.0, a.1 + b.1))
+    } else if ctx.budget.is_limited() {
+        let (mut count, mut ops) = (0u64, 0u64);
+        for u in 0..n {
+            if u % 256 == 0 && ctx.budget.check(ops).is_partial() {
+                break;
+            }
+            let (c, o) = body(u);
+            count += c;
+            ops += o;
+        }
+        (count, ops)
     } else {
         (0..n).map(body).fold((0, 0), |a, b| (a.0 + b.0, a.1 + b.1))
     };
@@ -246,6 +260,18 @@ mod tests {
         let mut dedup = list.clone();
         dedup.dedup();
         assert_eq!(dedup.len(), list.len());
+    }
+
+    #[test]
+    fn zero_budget_counts_nothing_but_tallies_hit() {
+        use crate::ctx::{Budget, KernelCtx};
+        let g = und(10, &gen::complete(10));
+        let mut ctx = KernelCtx::serial();
+        ctx.budget = Budget::ops(0);
+        assert_eq!(count_global_with(&g, &ctx), 0);
+        assert!(ctx.budget.hits() >= 1);
+        // Unlimited context still gets the exact count.
+        assert_eq!(count_global_with(&g, &KernelCtx::serial()), 120);
     }
 
     #[test]

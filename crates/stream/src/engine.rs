@@ -234,6 +234,20 @@ impl StreamEngine {
     ///
     /// Returns how many of the batch's updates were quarantined.
     pub fn apply_batch(&mut self, batch: &UpdateBatch) -> usize {
+        self.apply_batch_inner(batch, true)
+    }
+
+    /// Apply one batch *without* the monitor fan-out (neither per-update
+    /// nor batch-end hooks run, so no events are emitted). The deepest
+    /// rung of the degradation ladder short of shedding: the graph stays
+    /// current at minimal cost while analytics are suspended. Validation,
+    /// quarantine, and all apply counters behave exactly as in
+    /// [`Self::apply_batch`].
+    pub fn apply_batch_unmonitored(&mut self, batch: &UpdateBatch) -> usize {
+        self.apply_batch_inner(batch, false)
+    }
+
+    fn apply_batch_inner(&mut self, batch: &UpdateBatch, notify: bool) -> usize {
         let before = self.stats.updates_quarantined;
         if batch.time < self.last_batch_time {
             // Time went backwards: the whole batch is suspect.
@@ -243,17 +257,44 @@ impl StreamEngine {
         } else {
             self.last_batch_time = batch.time;
             for u in &batch.updates {
-                self.apply_one(u, batch.time);
+                self.apply_one(u, batch.time, notify);
             }
         }
-        let mut out = Vec::new();
-        for m in &mut self.monitors {
-            m.on_batch_end(&self.graph, batch.time, &mut out);
+        if notify {
+            let mut out = Vec::new();
+            for m in &mut self.monitors {
+                m.on_batch_end(&self.graph, batch.time, &mut out);
+            }
+            self.stats.events_emitted += out.len();
+            self.events.extend(out);
         }
-        self.stats.events_emitted += out.len();
-        self.events.extend(out);
         self.stats.batches += 1;
         self.stats.updates_quarantined - before
+    }
+
+    /// Remove and return every dead-lettered update, oldest first. The
+    /// `updates_quarantined` counter is left untouched — it records
+    /// arrivals, not queue occupancy.
+    pub fn drain_dead_letters(&mut self) -> Vec<QuarantinedUpdate> {
+        self.dead_letters.drain(..).collect()
+    }
+
+    /// Re-admit previously dead-lettered updates (after the operator
+    /// fixed the cause — e.g. raised the vertex limit). Each update is
+    /// re-validated at the current batch-time watermark, so entries that
+    /// were quarantined for `NonMonotonicTime` become admissible and
+    /// still-invalid entries are quarantined again.
+    ///
+    /// Returns `(applied, requarantined)`.
+    pub fn replay_dead_letters(&mut self, letters: Vec<QuarantinedUpdate>) -> (usize, usize) {
+        let before = self.stats.updates_quarantined;
+        let total = letters.len();
+        let time = self.last_batch_time;
+        for l in letters {
+            self.apply_one(&l.update, time, true);
+        }
+        let requarantined = self.stats.updates_quarantined - before;
+        (total - requarantined, requarantined)
     }
 
     fn quarantine(&mut self, update: Update, time: Timestamp, reason: QuarantineReason) {
@@ -308,7 +349,7 @@ impl StreamEngine {
         }
     }
 
-    fn apply_one(&mut self, u: &Update, time: Timestamp) {
+    fn apply_one(&mut self, u: &Update, time: Timestamp, notify: bool) {
         if let Some(reason) = self.validate(u) {
             self.quarantine(u.clone(), time, reason);
             return;
@@ -356,12 +397,14 @@ impl StreamEngine {
                 ApplyResult::Updated
             }
         };
-        let mut out = Vec::new();
-        for m in &mut self.monitors {
-            m.on_update(&self.graph, u, result, time, &mut out);
+        if notify {
+            let mut out = Vec::new();
+            for m in &mut self.monitors {
+                m.on_update(&self.graph, u, result, time, &mut out);
+            }
+            self.stats.events_emitted += out.len();
+            self.events.extend(out);
         }
-        self.stats.events_emitted += out.len();
-        self.events.extend(out);
     }
 }
 
@@ -587,6 +630,107 @@ mod tests {
         assert_eq!(e.stats().updates_quarantined, DEAD_LETTER_CAP + 10);
         // Oldest entries were dropped.
         assert_eq!(e.dead_letters().next().unwrap().time, 10);
+    }
+
+    #[test]
+    fn unmonitored_apply_skips_fanout_but_keeps_counters() {
+        let mut e = StreamEngine::new(4);
+        e.register(Box::new(CountingMonitor { seen: 0 }));
+        e.apply_batch_unmonitored(&UpdateBatch {
+            time: 1,
+            updates: vec![
+                Update::EdgeInsert {
+                    src: 0,
+                    dst: 1,
+                    weight: 1.0,
+                },
+                Update::EdgeInsert {
+                    src: 1,
+                    dst: 2,
+                    weight: f32::NAN, // still validated + quarantined
+                },
+            ],
+        });
+        assert!(e.events().is_empty());
+        assert_eq!(e.stats().events_emitted, 0);
+        assert_eq!(e.stats().edges_inserted, 1);
+        assert_eq!(e.stats().updates_quarantined, 1);
+        assert_eq!(e.stats().batches, 1);
+        assert!(e.graph().has_edge(0, 1));
+        // Monitored apply afterwards still fans out.
+        e.apply_batch(&UpdateBatch {
+            time: 2,
+            updates: vec![Update::EdgeInsert {
+                src: 2,
+                dst: 3,
+                weight: 1.0,
+            }],
+        });
+        assert_eq!(e.events().len(), 1);
+    }
+
+    #[test]
+    fn dead_letters_drain_and_replay_after_fix() {
+        let mut e = StreamEngine::new(4);
+        e.set_vertex_limit(10);
+        e.apply_batch(&UpdateBatch {
+            time: 5,
+            updates: vec![
+                Update::EdgeInsert {
+                    src: 0,
+                    dst: 50, // beyond the (too-low) limit
+                    weight: 1.0,
+                },
+                Update::EdgeInsert {
+                    src: 1,
+                    dst: 2,
+                    weight: f32::NAN, // unfixable
+                },
+            ],
+        });
+        assert_eq!(e.stats().updates_quarantined, 2);
+        let letters = e.drain_dead_letters();
+        assert_eq!(letters.len(), 2);
+        assert_eq!(e.dead_letters().count(), 0);
+        // Operator fixes the cause, then replays.
+        e.set_vertex_limit(100);
+        let (applied, requarantined) = e.replay_dead_letters(letters);
+        assert_eq!((applied, requarantined), (1, 1));
+        assert!(e.graph().has_edge(0, 50));
+        // The NaN update is back in the dead-letter queue.
+        assert_eq!(e.dead_letters().count(), 1);
+        assert_eq!(
+            e.dead_letters().next().unwrap().reason,
+            QuarantineReason::NonFiniteWeight
+        );
+        assert_eq!(e.stats().updates_quarantined, 3);
+    }
+
+    #[test]
+    fn replay_readmits_nonmonotonic_updates_at_watermark() {
+        let mut e = StreamEngine::new(4);
+        e.apply_batch(&UpdateBatch {
+            time: 10,
+            updates: vec![Update::EdgeInsert {
+                src: 0,
+                dst: 1,
+                weight: 1.0,
+            }],
+        });
+        // Stale batch: whole thing dead-lettered.
+        e.apply_batch(&UpdateBatch {
+            time: 3,
+            updates: vec![Update::EdgeInsert {
+                src: 1,
+                dst: 2,
+                weight: 1.0,
+            }],
+        });
+        let letters = e.drain_dead_letters();
+        let (applied, requarantined) = e.replay_dead_letters(letters);
+        assert_eq!((applied, requarantined), (1, 0));
+        assert!(e.graph().has_edge(1, 2));
+        assert_eq!(e.last_batch_time(), 10);
     }
 
     #[test]

@@ -68,6 +68,35 @@ pub enum EventKind {
         /// Current value.
         value: f64,
     },
+    /// Admission control shed or evicted updates under overload (O(1)
+    /// payload) — the explicit backpressure signal for the external
+    /// system feeding the stream.
+    LoadShed {
+        /// Priority class of the lost updates ("high"/"normal"/"bulk").
+        class: &'static str,
+        /// Updates lost by this decision.
+        updates: usize,
+        /// Queue depth (in updates) when the decision was made.
+        queue_depth: usize,
+    },
+    /// The flow engine moved on its degradation ladder (O(1) payload).
+    Degraded {
+        /// Ladder level before the move.
+        from: &'static str,
+        /// Ladder level after the move (may be less degraded — recovery
+        /// is reported the same way).
+        to: &'static str,
+        /// Queue depth (in updates) driving the decision.
+        queue_depth: usize,
+    },
+    /// A durability circuit breaker changed state (O(1) payload).
+    CircuitBreaker {
+        /// The protected site ("durability").
+        site: &'static str,
+        /// True when the breaker tripped open (writes suspended), false
+        /// when it was reset.
+        open: bool,
+    },
 }
 
 /// A timestamped event emitted by a monitor.
@@ -101,7 +130,10 @@ impl EventKind {
             | EventKind::ComponentMerge { .. }
             | EventKind::RecomputeTriggered { .. }
             | EventKind::Anomaly { .. }
-            | EventKind::GlobalValue { .. } => OutputClass::O1,
+            | EventKind::GlobalValue { .. }
+            | EventKind::LoadShed { .. }
+            | EventKind::Degraded { .. }
+            | EventKind::CircuitBreaker { .. } => OutputClass::O1,
             EventKind::TopKChange { .. } => OutputClass::OV,
         }
     }

@@ -41,9 +41,13 @@
 //!   unbounded key, two-level key.
 //! * [`wal`] — CRC32-framed write-ahead log making the update stream
 //!   durable (torn-tail-tolerant replay for crash recovery).
+//! * [`admission`] — bounded, priority-classed admission queue: the
+//!   overload front door that sheds bulk traffic first and never grows
+//!   past its configured capacity.
 
 #![warn(missing_docs)]
 
+pub mod admission;
 pub mod bc_topk;
 pub mod cc_inc;
 pub mod correlate;
@@ -58,6 +62,7 @@ pub mod update;
 pub mod wal;
 pub mod window;
 
+pub use admission::{AdmissionConfig, AdmissionDecision, AdmissionQueue, Priority};
 pub use engine::{Monitor, StreamEngine};
 pub use events::{Event, EventKind};
 pub use update::Update;

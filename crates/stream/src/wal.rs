@@ -214,6 +214,9 @@ pub struct Wal {
     file: File,
     path: PathBuf,
     next_seq: u64,
+    /// Bytes of intact frames on disk — everything past this offset is a
+    /// torn tail from a failed append.
+    valid_len: u64,
 }
 
 impl Wal {
@@ -229,6 +232,7 @@ impl Wal {
             file,
             path,
             next_seq: first_seq,
+            valid_len: 0,
         })
     }
 
@@ -251,6 +255,7 @@ impl Wal {
             file,
             path,
             next_seq,
+            valid_len: scan.valid_len,
         })
     }
 
@@ -284,9 +289,26 @@ impl Wal {
         }
         self.file.write_all(&frame)?;
         self.file.sync_data()?;
+        self.valid_len += frame.len() as u64;
         let seq = self.next_seq;
         self.next_seq += 1;
         Ok(seq)
+    }
+
+    /// Bytes of intact frames on disk.
+    pub fn valid_len(&self) -> u64 {
+        self.valid_len
+    }
+
+    /// Truncate any torn tail left by a failed append and reposition at
+    /// the end of the last intact frame. Safe to call unconditionally; a
+    /// no-op on a clean log. This is what makes in-process *retry* of a
+    /// failed append sound: without it a retried frame would land after
+    /// the torn bytes and be unreadable at replay.
+    pub fn repair(&mut self) -> io::Result<()> {
+        self.file.set_len(self.valid_len)?;
+        self.file.seek(SeekFrom::Start(self.valid_len))?;
+        Ok(())
     }
 }
 
@@ -434,6 +456,37 @@ mod tests {
         let mut wal = Wal::open_append(&p, 1).unwrap();
         assert_eq!(wal.next_seq(), 2);
         wal.append(&batches[1]).unwrap();
+        assert_eq!(replay(&p).unwrap().batches.len(), 2);
+    }
+
+    #[test]
+    fn repair_enables_in_process_retry_after_short_write() {
+        let _g = LOCK.lock().unwrap();
+        faults::clear_all();
+        let p = tmp("repair.log");
+        let batches = sample_batches();
+        let mut wal = Wal::create(&p, 1).unwrap();
+        wal.append(&batches[0]).unwrap();
+        let clean = wal.valid_len();
+        assert_eq!(clean, std::fs::metadata(&p).unwrap().len());
+
+        // Torn append: the file grows past valid_len.
+        faults::arm("wal.append", FaultMode::ShortWrite(9));
+        assert!(wal.append(&batches[1]).is_err());
+        faults::clear_all();
+        assert!(std::fs::metadata(&p).unwrap().len() > clean);
+        assert_eq!(wal.valid_len(), clean);
+
+        // Repair + retry on the SAME handle (no reopen) yields a clean log.
+        wal.repair().unwrap();
+        assert_eq!(std::fs::metadata(&p).unwrap().len(), clean);
+        let seq = wal.append(&batches[1]).unwrap();
+        assert_eq!(seq, 2);
+        let scan = replay(&p).unwrap();
+        assert!(!scan.torn);
+        assert_eq!(scan.batches.len(), 2);
+        // Repair on a clean log is a no-op.
+        wal.repair().unwrap();
         assert_eq!(replay(&p).unwrap().batches.len(), 2);
     }
 }

@@ -135,6 +135,11 @@ fn calibration_is_deterministic_and_priceable() {
             snapshot_rebuilds: 3,
             snapshot_rows_reused: 1_200,
             snapshot_mem_bytes: 150_000,
+            updates_shed: 250,
+            deadline_partials: 1,
+            analytics_skipped: 2,
+            durability_retries: 3,
+            breaker_trips: 0,
         },
         nora: NoraStats {
             pair_candidates: 20_000,

@@ -1,0 +1,314 @@
+//! Overload resilience, end to end: a firehose offered at 10× the drain
+//! rate must leave the engine standing — queue bounded by the admission
+//! capacity, zero high-priority loss, deterministic shed counts — while
+//! transient durability faults are ridden out on retries and persistent
+//! ones trip the breaker into explicit non-durable degradation.
+
+use ga_core::faults::{self, FaultMode};
+use ga_core::flow::{DegradationLevel, FlowEngine, FlowStats};
+use ga_core::retry::{CircuitBreaker, RetryPolicy};
+use ga_stream::admission::{AdmissionConfig, AdmissionStats, Priority};
+use ga_stream::update::{rmat_edge_stream, Update, UpdateBatch};
+use ga_stream::EventKind;
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::Mutex;
+use std::time::Duration;
+
+// The fault registry is process-global: serialize the faulted tests.
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join("ga_overload")
+        .join(format!("{name}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+/// A firehose: `rounds` rounds of 10 batches (2 high, 5 normal, 3 bulk)
+/// of `batch_len` updates each. All batches share one timestamp so
+/// priority reordering cannot make admitted work stale.
+fn firehose(rounds: usize, batch_len: usize, seed: u64) -> Vec<(Priority, UpdateBatch)> {
+    let updates = rmat_edge_stream(7, rounds * 10 * batch_len, 0.1, seed);
+    updates
+        .chunks(batch_len)
+        .enumerate()
+        .map(|(i, chunk)| {
+            let class = match i % 10 {
+                0 | 5 => Priority::High,
+                1 | 4 | 6 => Priority::Bulk,
+                _ => Priority::Normal,
+            };
+            (
+                class,
+                UpdateBatch {
+                    time: 1,
+                    updates: chunk.to_vec(),
+                },
+            )
+        })
+        .collect()
+}
+
+const CFG: AdmissionConfig = AdmissionConfig {
+    capacity: 1500,
+    normal_watermark: 1200,
+    bulk_watermark: 800,
+};
+
+/// Offer 10 batches per single pumped batch — a 10× overload — then
+/// drain; return the counters the determinism check compares.
+fn soak(seed: u64) -> (AdmissionStats, FlowStats, usize) {
+    let mut e = FlowEngine::new(128);
+    e.set_admission_config(CFG);
+    e.overload.partial_at = 500;
+    e.overload.seeds_only_at = 1000;
+    e.overload.shed_at = 1400;
+    let mut max_depth = 0;
+    for round in firehose(20, 20, seed).chunks(10) {
+        for (class, batch) in round {
+            e.offer(*class, batch.clone());
+            assert!(
+                e.queue_depth() <= CFG.capacity,
+                "queue exceeded its capacity bound"
+            );
+        }
+        max_depth = max_depth.max(e.queue_depth());
+        e.pump(1, |_| None, None).unwrap();
+    }
+    while e.queue_depth() > 0 {
+        e.pump(64, |_| None, None).unwrap();
+    }
+    assert_eq!(e.degradation_level(), DegradationLevel::Full);
+    (e.admission_stats(), e.stats(), max_depth)
+}
+
+#[test]
+fn firehose_sheds_bulk_first_never_high() {
+    let (adm, flow, max_depth) = soak(99);
+    let offered_total: usize = adm.offered.iter().sum();
+    assert_eq!(offered_total, 20 * 10 * 20);
+
+    // Overload really happened and the queue really filled.
+    assert!(flow.updates_shed > 0, "10× firehose did not shed anything");
+    assert!(max_depth >= CFG.normal_watermark, "queue never saturated");
+
+    // High-priority traffic is never lost: not shed, not evicted.
+    assert_eq!(adm.lost(Priority::High), 0, "high-priority updates lost");
+    assert_eq!(
+        adm.admitted[Priority::High.idx()],
+        adm.offered[Priority::High.idx()]
+    );
+
+    // Bulk pays first: its watermark is lowest, so it loses a larger
+    // fraction of its own offers than normal does of its.
+    assert!(adm.shed[Priority::Bulk.idx()] > 0);
+    let loss_rate = |p: Priority| adm.lost(p) as f64 / adm.offered[p.idx()] as f64;
+    assert!(
+        loss_rate(Priority::Bulk) >= loss_rate(Priority::Normal),
+        "bulk {:.3} vs normal {:.3}",
+        loss_rate(Priority::Bulk),
+        loss_rate(Priority::Normal)
+    );
+
+    // Conservation: every offered update was admitted or shed, and
+    // every admitted-minus-evicted update reached the stream engine.
+    for p in Priority::ALL {
+        let i = p.idx();
+        assert_eq!(adm.offered[i], adm.admitted[i] + adm.shed[i], "{p:?}");
+    }
+    let admitted: usize = adm.admitted.iter().sum();
+    let evicted: usize = adm.evicted.iter().sum();
+    assert_eq!(
+        flow.updates_applied + flow.updates_quarantined,
+        admitted - evicted,
+        "updates leaked between admission and the stream engine"
+    );
+    assert_eq!(flow.updates_shed, adm.total_lost());
+}
+
+#[test]
+fn soak_is_deterministic() {
+    // Shed/evict decisions are clock-free: two identical soaks must
+    // produce identical counters, batch for batch.
+    assert_eq!(soak(7), soak(7));
+}
+
+#[test]
+fn transient_wal_fault_is_ridden_out_by_retries() {
+    let _g = LOCK.lock().unwrap();
+    faults::clear_all();
+    let dir = tmpdir("transient");
+    let mut e = FlowEngine::new(64);
+    e.enable_durability(&dir).unwrap();
+    e.set_retry_policy(RetryPolicy::retries(3, 42));
+    faults::arm("wal.append", FaultMode::FailTimes(2));
+
+    let updates = rmat_edge_stream(6, 60, 0.0, 11);
+    let batches = ga_stream::update::into_batches(updates, 20, 1);
+    for b in &batches {
+        e.process_stream_durable(b, |_| None, None).unwrap();
+    }
+    faults::clear_all();
+
+    assert_eq!(
+        e.stats().durability_retries,
+        2,
+        "fail-twice costs 2 retries"
+    );
+    assert_eq!(e.stats().updates_quarantined, 0, "no batch was quarantined");
+    assert_eq!(e.stats().updates_applied, 60);
+    assert_eq!(e.stats().breaker_trips, 0);
+    assert!(!e.durability_suspended());
+
+    // The retried frame is durable: recovery replays all three batches.
+    let live_graph = e.graph().clone();
+    drop(e);
+    let r = FlowEngine::recover(&dir).unwrap();
+    assert_eq!(*r.graph(), live_graph);
+    assert_eq!(r.stats().updates_applied, 60);
+    assert_eq!(r.stats().updates_quarantined, 0);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn persistent_fault_trips_breaker_into_non_durable_mode() {
+    let _g = LOCK.lock().unwrap();
+    faults::clear_all();
+    let dir = tmpdir("breaker");
+    let mut e = FlowEngine::new(64);
+    e.enable_durability(&dir).unwrap();
+    e.set_breaker(CircuitBreaker::new(2));
+    faults::arm("wal.append", FaultMode::FailEveryNth(1)); // every append fails
+
+    let updates = rmat_edge_stream(6, 60, 0.0, 5);
+    let batches = ga_stream::update::into_batches(updates, 20, 1);
+
+    // First failure: surfaced as an error, batch not applied.
+    assert!(e
+        .process_stream_durable(&batches[0], |_| None, None)
+        .is_err());
+    assert!(!e.durability_suspended());
+    assert_eq!(e.stats().updates_applied, 0);
+
+    // Second consecutive failure trips the breaker: the engine degrades
+    // to non-durable operation, applies the batch, and raises an alert.
+    e.process_stream_durable(&batches[0], |_| None, None)
+        .unwrap();
+    assert!(e.durability_suspended());
+    assert_eq!(e.stats().breaker_trips, 1);
+    assert_eq!(e.stats().alerts_raised, 1);
+    assert_eq!(e.stats().updates_applied, 20);
+    let evs = e.take_overload_events();
+    assert!(evs.iter().any(|ev| matches!(
+        ev.kind,
+        EventKind::CircuitBreaker {
+            site: "durability",
+            open: true
+        }
+    )));
+
+    // While suspended: batches flow (non-durably), checkpoints refuse.
+    e.process_stream_durable(&batches[1], |_| None, None)
+        .unwrap();
+    assert_eq!(e.stats().updates_applied, 40);
+    assert!(e.checkpoint().is_err());
+
+    // Operator fixes the disk: resume, re-base with a checkpoint, and
+    // recovery sees the full state again — including the batches that
+    // were applied while the WAL was down.
+    faults::clear_all();
+    e.resume_durability().unwrap();
+    assert!(!e.durability_suspended());
+    e.checkpoint().unwrap();
+    e.process_stream_durable(&batches[2], |_| None, None)
+        .unwrap();
+    let evs = e.take_overload_events();
+    assert!(evs.iter().any(|ev| matches!(
+        ev.kind,
+        EventKind::CircuitBreaker {
+            site: "durability",
+            open: false
+        }
+    )));
+
+    let live_graph = e.graph().clone();
+    let live_applied = e.stats().updates_applied;
+    drop(e);
+    let r = FlowEngine::recover(&dir).unwrap();
+    assert_eq!(*r.graph(), live_graph);
+    assert_eq!(r.stats().updates_applied, live_applied);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn dead_letters_replay_through_the_durable_path() {
+    let _g = LOCK.lock().unwrap();
+    faults::clear_all();
+    let dir = tmpdir("dead-letters");
+    let mut e = FlowEngine::new(16);
+    // Limit first, then enable: the base checkpoint records the limit
+    // that quarantines, so recovery re-quarantines deterministically.
+    e.set_vertex_limit(8);
+    e.enable_durability(&dir).unwrap();
+    let batch = UpdateBatch {
+        time: 1,
+        updates: vec![
+            Update::EdgeInsert {
+                src: 0,
+                dst: 12, // over the limit: quarantined
+                weight: 1.0,
+            },
+            Update::EdgeInsert {
+                src: 0,
+                dst: 1,
+                weight: 1.0,
+            },
+        ],
+    };
+    e.process_stream_durable(&batch, |_| None, None).unwrap();
+    assert_eq!(e.stats().updates_quarantined, 1);
+
+    e.set_vertex_limit(16);
+    assert_eq!(e.replay_dead_letters().unwrap(), (1, 0));
+    assert!(e.graph().has_edge(0, 12));
+    // Raising the limit is a config change the WAL cannot replay —
+    // checkpoint to re-base recovery on the new configuration.
+    e.checkpoint().unwrap();
+
+    // The replay went through the durable path: recovery reproduces it
+    // without any operator re-intervention.
+    let live_graph = e.graph().clone();
+    drop(e);
+    let r = FlowEngine::recover(&dir).unwrap();
+    assert_eq!(*r.graph(), live_graph);
+    assert_eq!(r.stats().updates_applied, 2);
+    assert_eq!(r.dead_letters().count(), 0);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+proptest! {
+    /// Backoff delays are always inside [base, cap], for any policy
+    /// shape, seed, and attempt number (including shift-overflow
+    /// territory).
+    #[test]
+    fn backoff_delays_bounded_by_base_and_cap(
+        (base_ms, cap_ms, seed, attempt) in
+            (1u64..50, 1u64..200, 0..u64::MAX, 0u32..100)
+    ) {
+        let p = RetryPolicy {
+            max_retries: 8,
+            base: Duration::from_millis(base_ms),
+            cap: Duration::from_millis(cap_ms),
+            seed,
+        };
+        let d = p.delay(attempt);
+        let lo = p.base.min(p.cap);
+        let hi = p.base.max(p.cap);
+        prop_assert!(d >= lo, "delay {d:?} below base {lo:?}");
+        prop_assert!(d <= hi, "delay {d:?} above cap {hi:?}");
+        // And it is a pure function of (policy, attempt).
+        prop_assert_eq!(d, p.delay(attempt));
+    }
+}
