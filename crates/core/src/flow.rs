@@ -460,6 +460,20 @@ impl FlowEngine {
         trigger: impl Fn(&Event) -> Option<Vec<VertexId>>,
         analytic_idx: Option<usize>,
     ) -> Vec<BatchRunReport> {
+        self.process_stream_inner(batch, trigger, analytic_idx, true)
+    }
+
+    /// Shared streaming path. With `run_analytics` false (the
+    /// `SeedsOnly` degradation rung) triggers still fire and seeds are
+    /// still selected/counted, but each would-be analytic run is skipped
+    /// and counted in `analytics_skipped` instead.
+    fn process_stream_inner(
+        &mut self,
+        batch: &UpdateBatch,
+        trigger: impl Fn(&Event) -> Option<Vec<VertexId>>,
+        analytic_idx: Option<usize>,
+        run_analytics: bool,
+    ) -> Vec<BatchRunReport> {
         let quarantined = self.stream.apply_batch(batch);
         self.stats.updates_applied += batch.updates.len() - quarantined;
         self.stats.updates_quarantined += quarantined;
@@ -471,7 +485,11 @@ impl FlowEngine {
                 self.stats.triggers_fired += 1;
                 if let Some(idx) = analytic_idx {
                     self.stats.seeds_selected += seeds.len();
-                    reports.push(self.run_batch_on_seeds(&seeds, idx));
+                    if run_analytics {
+                        reports.push(self.run_batch_on_seeds(&seeds, idx));
+                    } else {
+                        self.stats.analytics_skipped += 1;
+                    }
                 }
             }
         }
@@ -558,17 +576,23 @@ impl FlowEngine {
                     self.breaker.record_success();
                     return Ok(());
                 }
-                Err(_) if attempt < self.retry.max_retries => {
+                Err(e) => {
                     // A failed append may have torn the log; truncate the
                     // tail so the retried frame lands on a clean boundary.
-                    d.repair_wal()?;
-                    std::thread::sleep(self.retry.delay(attempt));
-                    attempt += 1;
-                    self.stats.durability_retries += 1;
-                }
-                Err(e) => {
-                    d.repair_wal()?;
-                    break e;
+                    // A repair failure is itself a durability failure —
+                    // and on a hard storage fault the most likely
+                    // correlated one — so it must feed the breaker below
+                    // rather than bypass it.
+                    if let Err(re) = d.repair_wal() {
+                        break re;
+                    }
+                    if attempt < self.retry.max_retries {
+                        std::thread::sleep(self.retry.delay(attempt));
+                        attempt += 1;
+                        self.stats.durability_retries += 1;
+                    } else {
+                        break e;
+                    }
                 }
             }
         };
@@ -858,8 +882,11 @@ impl FlowEngine {
     ///
     /// Durable engines append every pumped batch (with retry) before it
     /// touches the graph, at every level — degradation sacrifices
-    /// analytics, never durability. Returns the reports of analytic runs
-    /// that did execute.
+    /// analytics, never durability. If an append fails without tripping
+    /// the breaker, the popped batch is re-queued at the front of its
+    /// class before the error is returned, so a durability error never
+    /// silently loses an admitted batch. Returns the reports of analytic
+    /// runs that did execute.
     pub fn pump(
         &mut self,
         max_batches: usize,
@@ -870,11 +897,17 @@ impl FlowEngine {
         for _ in 0..max_batches {
             let level = self.degradation_level();
             self.note_level(level);
-            let Some((_class, batch)) = self.admission.pop() else {
+            let Some((class, batch)) = self.admission.pop() else {
                 break;
             };
             let t0 = Instant::now();
-            self.append_with_retry(&batch)?;
+            if let Err(e) = self.append_with_retry(&batch) {
+                // The batch never touched the graph; put it back at the
+                // front of its class so nothing admitted is lost to a
+                // durability error.
+                self.admission.requeue_front(class, batch);
+                return Err(e);
+            }
             match level {
                 DegradationLevel::Full => {
                     reports.extend(self.process_stream(&batch, &trigger, analytic_idx));
@@ -893,12 +926,7 @@ impl FlowEngine {
                     self.kernel_ctx.budget = saved;
                 }
                 DegradationLevel::SeedsOnly => {
-                    let before = self.stats.triggers_fired;
-                    self.process_stream(&batch, &trigger, None);
-                    // Every fired trigger would have run the analytic.
-                    if analytic_idx.is_some() {
-                        self.stats.analytics_skipped += self.stats.triggers_fired - before;
-                    }
+                    self.process_stream_inner(&batch, &trigger, analytic_idx, false);
                 }
                 DegradationLevel::Shed => {
                     let quarantined = self.stream.apply_batch_unmonitored(&batch);
@@ -923,18 +951,27 @@ impl FlowEngine {
     ///
     /// Returns `(applied, requarantined)`.
     pub fn replay_dead_letters(&mut self) -> io::Result<(usize, usize)> {
-        let letters: Vec<QuarantinedUpdate> = self.stream.drain_dead_letters();
-        if letters.is_empty() {
+        // Build the replay batch from a *copy* of the queue and append
+        // it to the WAL before draining: if the append fails, the
+        // quarantined updates stay safely retained in the dead-letter
+        // queue instead of being destroyed with the error.
+        let updates: Vec<_> = self
+            .stream
+            .dead_letters()
+            .map(|l| l.update.clone())
+            .collect();
+        if updates.is_empty() {
             return Ok((0, 0));
         }
         let batch = UpdateBatch {
             time: self.stream.last_batch_time(),
-            updates: letters.into_iter().map(|l| l.update).collect(),
+            updates,
         };
-        let before = self.stats.updates_quarantined;
         if self.durability.is_some() {
             self.append_with_retry(&batch)?;
         }
+        self.stream.drain_dead_letters();
+        let before = self.stats.updates_quarantined;
         self.process_stream(&batch, |_| None, None);
         let requarantined = self.stats.updates_quarantined - before;
         Ok((batch.updates.len() - requarantined, requarantined))

@@ -17,6 +17,7 @@
 //! | site               | where it fires                                  |
 //! |--------------------|-------------------------------------------------|
 //! | `wal.append`       | before/while appending a WAL frame              |
+//! | `wal.repair`       | before truncating a torn WAL tail               |
 //! | `checkpoint.write` | before/while writing a checkpoint file          |
 //! | `checkpoint.load`  | before reading a checkpoint file during recovery |
 

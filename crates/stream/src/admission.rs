@@ -273,6 +273,18 @@ impl AdmissionQueue {
         })
     }
 
+    /// Put a popped batch back at the front of its class — used when
+    /// processing aborted after the pop (e.g. a durability error) and
+    /// the batch must not be lost. Watermarks are not re-checked: the
+    /// batch was already admitted, and restoring it merely returns the
+    /// queue to its pre-pop depth. No counters change — the batch was
+    /// neither offered again nor shed.
+    pub fn requeue_front(&mut self, class: Priority, batch: UpdateBatch) {
+        self.depth += batch.updates.len();
+        self.stats.high_water = self.stats.high_water.max(self.depth);
+        self.queues[class.idx()].push_front(batch);
+    }
+
     /// Pop the next batch to process: high first, then normal, then
     /// bulk; FIFO within a class.
     pub fn pop(&mut self) -> Option<(Priority, UpdateBatch)> {

@@ -21,7 +21,9 @@
 //!
 //! Fault injection: appends pass through the `"wal.append"` site of
 //! [`ga_graph::faults`], which can veto the write entirely or tear it
-//! after a chosen number of bytes.
+//! after a chosen number of bytes; tail repair passes through
+//! `"wal.repair"`, modelling the correlated hard-storage case where the
+//! truncate fails too.
 
 use crate::update::{Update, UpdateBatch};
 use ga_graph::io::crc32;
@@ -306,6 +308,11 @@ impl Wal {
     /// failed append sound: without it a retried frame would land after
     /// the torn bytes and be unreadable at replay.
     pub fn repair(&mut self) -> io::Result<()> {
+        // `"wal.repair"` fault site: any armed mode vetoes the truncate
+        // (a short write makes no sense for set_len).
+        if !matches!(faults::intercept("wal.repair"), faults::Intercept::Proceed) {
+            return Err(faults::injected("wal.repair"));
+        }
         self.file.set_len(self.valid_len)?;
         self.file.seek(SeekFrom::Start(self.valid_len))?;
         Ok(())

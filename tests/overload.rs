@@ -243,6 +243,120 @@ fn persistent_fault_trips_breaker_into_non_durable_mode() {
 }
 
 #[test]
+fn pump_requeues_batch_on_durable_append_error() {
+    let _g = LOCK.lock().unwrap();
+    faults::clear_all();
+    let dir = tmpdir("pump-requeue");
+    let mut e = FlowEngine::new(16);
+    e.enable_durability(&dir).unwrap();
+    e.set_retry_policy(RetryPolicy::none());
+    e.set_breaker(CircuitBreaker::new(10)); // far from tripping
+    let batch = UpdateBatch {
+        time: 1,
+        updates: vec![Update::EdgeInsert {
+            src: 0,
+            dst: 1,
+            weight: 1.0,
+        }],
+    };
+    assert!(e.offer(Priority::High, batch).admitted());
+    faults::arm("wal.append", FaultMode::FailOnce);
+
+    // The append fails without tripping the breaker: the error is
+    // surfaced and the popped batch goes back to the front of its class
+    // — not applied, not counted shed, not silently dropped.
+    assert!(e.pump(8, |_| None, None).is_err());
+    assert_eq!(e.queue_depth(), 1, "failed batch must be re-queued");
+    assert_eq!(e.stats().updates_applied, 0);
+    assert_eq!(e.stats().updates_shed, 0);
+    assert_eq!(e.admission_stats().total_lost(), 0);
+
+    // The fault cleared (FailOnce): the very same batch drains durably.
+    e.pump(8, |_| None, None).unwrap();
+    assert_eq!(e.queue_depth(), 0);
+    assert_eq!(e.stats().updates_applied, 1);
+    faults::clear_all();
+
+    let live_graph = e.graph().clone();
+    drop(e);
+    let r = FlowEngine::recover(&dir).unwrap();
+    assert_eq!(*r.graph(), live_graph);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn dead_letters_survive_replay_append_error() {
+    let _g = LOCK.lock().unwrap();
+    faults::clear_all();
+    let dir = tmpdir("dead-letter-retain");
+    let mut e = FlowEngine::new(16);
+    e.set_vertex_limit(8);
+    e.enable_durability(&dir).unwrap();
+    e.set_retry_policy(RetryPolicy::none());
+    e.set_breaker(CircuitBreaker::new(10));
+    let batch = UpdateBatch {
+        time: 1,
+        updates: vec![Update::EdgeInsert {
+            src: 0,
+            dst: 12, // over the limit: quarantined
+            weight: 1.0,
+        }],
+    };
+    e.process_stream_durable(&batch, |_| None, None).unwrap();
+    assert_eq!(e.dead_letters().count(), 1);
+
+    // A replay whose WAL append fails must leave the quarantined update
+    // safely in the dead-letter queue, not destroy it with the error.
+    e.set_vertex_limit(16);
+    faults::arm("wal.append", FaultMode::FailOnce);
+    assert!(e.replay_dead_letters().is_err());
+    assert_eq!(e.dead_letters().count(), 1, "letters destroyed on error");
+
+    // After the fault clears, the same letters replay cleanly.
+    assert_eq!(e.replay_dead_letters().unwrap(), (1, 0));
+    assert!(e.graph().has_edge(0, 12));
+    assert_eq!(e.dead_letters().count(), 0);
+    faults::clear_all();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn correlated_repair_failure_still_trips_breaker() {
+    let _g = LOCK.lock().unwrap();
+    faults::clear_all();
+    let dir = tmpdir("repair-breaker");
+    let mut e = FlowEngine::new(16);
+    e.enable_durability(&dir).unwrap();
+    e.set_retry_policy(RetryPolicy::none());
+    e.set_breaker(CircuitBreaker::new(2));
+    // Hard storage fault: every append fails AND every tail repair
+    // fails too — the correlated case that must feed the breaker rather
+    // than bypass it into an unbounded error stream.
+    faults::arm("wal.append", FaultMode::FailEveryNth(1));
+    faults::arm("wal.repair", FaultMode::FailEveryNth(1));
+
+    let batch = UpdateBatch {
+        time: 1,
+        updates: vec![Update::EdgeInsert {
+            src: 0,
+            dst: 1,
+            weight: 1.0,
+        }],
+    };
+    assert!(e.process_stream_durable(&batch, |_| None, None).is_err());
+    assert!(!e.durability_suspended());
+
+    // The second consecutive repair failure trips the breaker into
+    // explicit non-durable operation instead of erroring forever.
+    e.process_stream_durable(&batch, |_| None, None).unwrap();
+    assert!(e.durability_suspended());
+    assert_eq!(e.stats().breaker_trips, 1);
+    assert_eq!(e.stats().updates_applied, 1);
+    faults::clear_all();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn dead_letters_replay_through_the_durable_path() {
     let _g = LOCK.lock().unwrap();
     faults::clear_all();
