@@ -17,7 +17,7 @@
 //! ```
 
 use ga_bench::header;
-use ga_core::flow::{DegradationLevel, FlowEngine, PageRankAnalytic};
+use ga_core::flow::{DegradationLevel, FlowEngine, OverloadConfig, PageRankAnalytic};
 use ga_graph::dynamic::ApplyResult;
 use ga_graph::DynamicGraph;
 use ga_stream::admission::{AdmissionConfig, Priority};
@@ -81,13 +81,18 @@ struct RatePoint {
 }
 
 fn run_rate(multiplier: usize, batches: &[(Priority, UpdateBatch)], scale: u32) -> RatePoint {
-    let mut e = FlowEngine::new(1usize << scale);
+    let mut e = FlowEngine::builder()
+        .admission(CFG)
+        .overload(OverloadConfig {
+            partial_at: CFG.bulk_watermark / 2,
+            seeds_only_at: CFG.bulk_watermark,
+            shed_at: CFG.normal_watermark,
+            ..OverloadConfig::default()
+        })
+        .build(1usize << scale)
+        .expect("in-memory engine");
     e.register_monitor(Box::new(Pulse));
     let idx = e.register_analytic(Box::new(PageRankAnalytic { damping: 0.85 }));
-    e.set_admission_config(CFG);
-    e.overload.partial_at = CFG.bulk_watermark / 2;
-    e.overload.seeds_only_at = CFG.bulk_watermark;
-    e.overload.shed_at = CFG.normal_watermark;
     let trigger = |ev: &Event| match ev.kind {
         EventKind::GlobalValue {
             metric: "pulse", ..
@@ -124,14 +129,14 @@ fn run_rate(multiplier: usize, batches: &[(Priority, UpdateBatch)], scale: u32) 
         multiplier,
         wall_ms,
         max_depth,
-        shed_fraction: stats.updates_shed as f64 / offered as f64,
+        shed_fraction: stats.overload.updates_shed as f64 / offered as f64,
         bulk_loss_rate: loss_rate(Priority::Bulk),
         normal_loss_rate: loss_rate(Priority::Normal),
         high_lost: adm.lost(Priority::High),
-        deadline_partials: stats.deadline_partials,
-        analytics_skipped: stats.analytics_skipped,
-        batch_runs: stats.batch_runs,
-        updates_applied: stats.updates_applied,
+        deadline_partials: stats.overload.deadline_partials,
+        analytics_skipped: stats.overload.analytics_skipped,
+        batch_runs: stats.analytics.batch_runs,
+        updates_applied: stats.ingest.updates_applied,
         final_level: e.degradation_level().name(),
     }
 }

@@ -7,10 +7,16 @@
 //!
 //! ```sh
 //! cargo run --release -p ga-bench --bin calibrated_model
+//! # measured mode: price configs from recorded ga-obs span totals
+//! calibrated_model --measured              # instrument this run
+//! calibrated_model --measured metrics.jsonl # consume a recorded trace
 //! ```
 
 use ga_bench::header;
-use ga_core::calibrate::{calibrate_with_comparisons, CostCoefficients, MeasuredRun};
+use ga_core::calibrate::{
+    calibrate_with_comparisons, measured_demands, measured_vs_projected_table,
+    projected_step_demands, CostCoefficients, MeasuredRun,
+};
 use ga_core::dedup::{dedup_batch, generate_records};
 use ga_core::flow::{FlowEngine, SelectionCriteria, TriangleAnalytic};
 use ga_core::model::{
@@ -18,18 +24,82 @@ use ga_core::model::{
     stack_only_3d, xcaliber,
 };
 use ga_core::nora::{relationships, NoraParams, NoraWorld};
+use ga_graph::ExtractOptions;
+use ga_obs::{MetricsSnapshot, Recorder, Step};
 use ga_stream::jaccard_stream::JaccardMonitor;
 use ga_stream::update::{into_batches, rmat_edge_stream};
 use ga_stream::EventKind;
+use std::time::Instant;
+
+/// `--measured [PATH]`: price configurations from recorded span totals.
+/// With a PATH, the trace is read from a `ga-obs/v1` JSON-lines file
+/// (last line wins); without one, this very run is instrumented.
+struct Args {
+    measured: bool,
+    trace: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        measured: false,
+        trace: None,
+    };
+    let mut it = std::env::args().skip(1).peekable();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--measured" => {
+                args.measured = true;
+                if it.peek().is_some_and(|n| !n.starts_with("--")) {
+                    args.trace = it.next();
+                }
+            }
+            other => {
+                eprintln!("unknown flag {other}; flags: --measured [PATH]");
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+fn load_trace(path: &str) -> MetricsSnapshot {
+    let text = std::fs::read_to_string(path).expect("read metrics JSONL");
+    let line = text
+        .lines()
+        .rfind(|l| !l.trim().is_empty())
+        .expect("metrics file has no snapshot lines");
+    MetricsSnapshot::from_json(line).expect("parse ga-obs snapshot")
+}
 
 fn main() {
+    let args = parse_args();
     header("Step 1 — run the instrumented combined benchmark");
     let records = generate_records(2_000, 10_000, 0.15, 11);
+    let t_dedup = Instant::now();
     let dedup = dedup_batch(&records, 0.78);
+    let dedup_nanos = t_dedup.elapsed().as_nanos() as u64;
 
-    let mut flow = FlowEngine::new(1 << 12);
+    let mut flow = FlowEngine::builder()
+        .extract(ExtractOptions {
+            max_vertices: 512,
+            ..ExtractOptions::default()
+        })
+        .recorder(Recorder::enabled())
+        .build(1 << 12)
+        .expect("in-memory engine");
     flow.note_ingest(records.len(), dedup.num_entities);
-    flow.extract.max_vertices = 512;
+    // The dedup pass ran outside the engine: charge its measured wall
+    // time and modeled traffic to the `dedup` span by hand.
+    flow.recorder().record(
+        Step::Dedup,
+        dedup_nanos,
+        [
+            dedup.comparisons as u64 * 2_000,
+            dedup.comparisons as u64 * 256,
+            records.len() as u64 * 2_048,
+            0,
+        ],
+    );
     let tri = flow.register_analytic(Box::new(TriangleAnalytic {
         alert_transitivity: 0.4,
     }));
@@ -106,4 +176,25 @@ fn main() {
          columns even though the measured workload (a laptop-scale run) has\n\
          a different resource mix than the 2013 production pipeline."
     );
+
+    if args.measured {
+        header("Step 4 — measured vs projected, per NORA step (ga-obs spans)");
+        let snap = match args.trace.as_deref() {
+            Some(path) => {
+                println!("trace: {path}");
+                load_trace(path)
+            }
+            None => {
+                println!("trace: this run's recorder");
+                flow.metrics()
+            }
+        };
+        let measured = measured_demands(&snap);
+        let projected = projected_step_demands(&run.flow, &CostCoefficients::default());
+        let configs = [baseline2012(), all_upgrades(), lightweight(), emu3()];
+        print!(
+            "{}",
+            measured_vs_projected_table(&measured, &projected, &configs, ga_bench::eng)
+        );
+    }
 }

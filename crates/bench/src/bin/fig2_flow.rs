@@ -23,12 +23,20 @@
 //! # Pick up where the crash left off (checkpoint + WAL replay):
 //! fig2_flow --checkpoint-dir /tmp/fig2 --recover
 //! ```
+//!
+//! Observability export (`ga-obs` JSON-lines, one snapshot per line):
+//!
+//! ```sh
+//! fig2_flow --metrics-out metrics.jsonl
+//! ```
 
 use ga_bench::header;
 use ga_core::dedup::{dedup_batch, generate_records};
 use ga_core::flow::{
     ComponentsAnalytic, FlowEngine, PageRankAnalytic, SelectionCriteria, TriangleAnalytic,
 };
+use ga_graph::ExtractOptions;
+use ga_obs::{Recorder, Step};
 use ga_stream::jaccard_stream::JaccardMonitor;
 use ga_stream::tri_inc::IncrementalTriangles;
 use ga_stream::update::{into_batches, rmat_edge_stream};
@@ -41,6 +49,7 @@ struct Args {
     checkpoint_dir: Option<String>,
     crash_after: Option<usize>,
     recover: bool,
+    metrics_out: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -48,6 +57,7 @@ fn parse_args() -> Args {
         checkpoint_dir: None,
         crash_after: None,
         recover: false,
+        metrics_out: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -57,9 +67,11 @@ fn parse_args() -> Args {
                 args.crash_after = it.next().and_then(|v| v.parse().ok());
             }
             "--recover" => args.recover = true,
+            "--metrics-out" => args.metrics_out = it.next(),
             other => {
                 eprintln!(
-                    "unknown flag {other}; flags: --checkpoint-dir DIR --crash-after N --recover"
+                    "unknown flag {other}; flags: --checkpoint-dir DIR --crash-after N \
+                     --recover --metrics-out PATH"
                 );
                 std::process::exit(2);
             }
@@ -96,28 +108,51 @@ fn main() {
     // person-address build.
     let n = 1usize << 12;
     let mut resume_from = 0usize;
+    // One config describes the whole run: extraction limits plus an
+    // *enabled* recorder so every NORA step leaves a span behind.
+    let config = FlowEngine::builder()
+        .extract(ExtractOptions {
+            depth: 2,
+            max_vertices: 1024,
+            ..ExtractOptions::default()
+        })
+        .recorder(Recorder::enabled());
     let mut flow = if args.recover {
         let dir = args.checkpoint_dir.as_deref().unwrap();
-        let flow = FlowEngine::recover(dir).expect("recover from checkpoint dir");
+        let flow = config.recover(dir).expect("recover from checkpoint dir");
         // WAL frame i (1-based) carries stream batch i-1.
         resume_from = (flow.next_wal_seq().unwrap() - 1) as usize;
         println!(
             "recovered from {dir}: {} updates already applied, {} quarantined; resuming at stream batch {resume_from}",
-            flow.stats().updates_applied,
-            flow.stats().updates_quarantined,
+            flow.stats().ingest.updates_applied,
+            flow.stats().ingest.updates_quarantined,
         );
         flow
     } else {
-        let mut flow = FlowEngine::new(n);
+        let config = match args.checkpoint_dir.as_deref() {
+            Some(dir) => {
+                println!("durability on: WAL + checkpoints under {dir}");
+                config.durability_dir(dir)
+            }
+            None => config,
+        };
+        let mut flow = config.build(n).expect("build flow engine");
         flow.note_ingest(records.len(), dedup.num_entities);
-        if let Some(dir) = args.checkpoint_dir.as_deref() {
-            flow.enable_durability(dir).expect("enable durability");
-            println!("durability on: WAL + checkpoints under {dir}");
-        }
         flow
     };
-    flow.extract.depth = 2;
-    flow.extract.max_vertices = 1024;
+    // The dedup pass ran before the engine existed; charge its measured
+    // wall time and modeled resource traffic to the `dedup` span so the
+    // exported snapshot covers the full Fig. 2 flow.
+    flow.recorder().record(
+        Step::Dedup,
+        t_dedup.elapsed().as_nanos() as u64,
+        [
+            dedup.comparisons as u64 * 2_000,
+            dedup.comparisons as u64 * 256,
+            records.len() as u64 * 2_048,
+            0,
+        ],
+    );
 
     let pr = flow.register_analytic(Box::new(PageRankAnalytic { damping: 0.85 }));
     let tri = flow.register_analytic(Box::new(TriangleAnalytic {
@@ -169,7 +204,7 @@ fn main() {
     }
     println!(
         "streaming: {} updates applied, {} triggered analytic runs in {:?}",
-        flow.stats().updates_applied,
+        flow.stats().ingest.updates_applied,
         triggered_runs,
         t_stream.elapsed()
     );
@@ -197,30 +232,76 @@ fn main() {
     // ---- 4. The instrumentation record ----------------------------
     header("FlowStats (the calibration counters)");
     let s = flow.stats();
-    println!("records_ingested      {}", s.records_ingested);
-    println!("entities_created      {}", s.entities_created);
-    println!("updates_applied       {}", s.updates_applied);
-    println!("updates_quarantined   {}", s.updates_quarantined);
-    println!("events_observed       {}", s.events_observed);
-    println!("triggers_fired        {}", s.triggers_fired);
-    println!("batch_runs            {}", s.batch_runs);
-    println!("seeds_selected        {}", s.seeds_selected);
-    println!("subgraphs_extracted   {}", s.subgraphs_extracted);
-    println!("vertices_extracted    {}", s.vertices_extracted);
-    println!("edges_extracted       {}", s.edges_extracted);
-    println!("props_written_back    {}", s.props_written_back);
-    println!("globals_produced      {}", s.globals_produced);
-    println!("alerts_raised         {}", s.alerts_raised);
-    println!("kernel_cpu_ops        {}", s.kernel_cpu_ops);
-    println!("kernel_mem_bytes      {}", s.kernel_mem_bytes);
-    println!("kernel_edges_touched  {}", s.kernel_edges_touched);
-    println!("snapshot_rebuilds     {}", s.snapshot_rebuilds);
-    println!("snapshot_rows_reused  {}", s.snapshot_rows_reused);
-    println!("snapshot_mem_bytes    {}", s.snapshot_mem_bytes);
-    println!("updates_shed          {}", s.updates_shed);
-    println!("deadline_partials     {}", s.deadline_partials);
-    println!("analytics_skipped     {}", s.analytics_skipped);
-    println!("durability_retries    {}", s.durability_retries);
-    println!("breaker_trips         {}", s.breaker_trips);
+    println!("ingest:");
+    println!("  records_ingested      {}", s.ingest.records_ingested);
+    println!("  entities_created      {}", s.ingest.entities_created);
+    println!("  updates_applied       {}", s.ingest.updates_applied);
+    println!("  updates_quarantined   {}", s.ingest.updates_quarantined);
+    println!("  events_observed       {}", s.ingest.events_observed);
+    println!("  triggers_fired        {}", s.ingest.triggers_fired);
+    println!("analytics:");
+    println!("  batch_runs            {}", s.analytics.batch_runs);
+    println!("  seeds_selected        {}", s.analytics.seeds_selected);
+    println!(
+        "  subgraphs_extracted   {}",
+        s.analytics.subgraphs_extracted
+    );
+    println!("  vertices_extracted    {}", s.analytics.vertices_extracted);
+    println!("  edges_extracted       {}", s.analytics.edges_extracted);
+    println!("  props_written_back    {}", s.analytics.props_written_back);
+    println!("  globals_produced      {}", s.analytics.globals_produced);
+    println!("  alerts_raised         {}", s.analytics.alerts_raised);
+    println!("  kernel_cpu_ops        {}", s.analytics.kernel_cpu_ops);
+    println!("  kernel_mem_bytes      {}", s.analytics.kernel_mem_bytes);
+    println!(
+        "  kernel_edges_touched  {}",
+        s.analytics.kernel_edges_touched
+    );
+    println!("snapshots:");
+    println!("  rebuilds              {}", s.snapshots.rebuilds);
+    println!("  rows_reused           {}", s.snapshots.rows_reused);
+    println!("  mem_bytes             {}", s.snapshots.mem_bytes);
+    println!("overload:");
+    println!("  updates_shed          {}", s.overload.updates_shed);
+    println!("  deadline_partials     {}", s.overload.deadline_partials);
+    println!("  analytics_skipped     {}", s.overload.analytics_skipped);
+    println!("durability:");
+    println!("  retries               {}", s.durability.retries);
+    println!("  breaker_trips         {}", s.durability.breaker_trips);
+
+    // ---- 5. The observability export ------------------------------
+    let snap = flow.metrics();
+    header("ga-obs spans (measured four-resource totals per NORA step)");
+    println!(
+        "{:<16} {:>8} {:>14} {:>14} {:>12} {:>12} {:>10}",
+        "step", "count", "cpu_ops", "mem_bytes", "disk_bytes", "net_bytes", "wall_ms"
+    );
+    for m in &snap.steps {
+        if m.count == 0 {
+            continue;
+        }
+        println!(
+            "{:<16} {:>8} {:>14} {:>14} {:>12} {:>12} {:>10.2}",
+            m.step.name(),
+            m.count,
+            m.cpu_ops,
+            m.mem_bytes,
+            m.disk_bytes,
+            m.net_bytes,
+            m.wall_nanos as f64 / 1e6,
+        );
+    }
+    println!(
+        "steps covered: {} / {}; journal events: {}",
+        snap.steps_covered(),
+        Step::ALL.len(),
+        snap.events.len()
+    );
+    if let Some(path) = args.metrics_out.as_deref() {
+        let mut line = snap.to_json();
+        line.push('\n');
+        std::fs::write(path, line).expect("write metrics JSONL");
+        println!("wrote {path} ({} schema)", ga_obs::SCHEMA);
+    }
     println!("\ntotal wall time {:?}", t0.elapsed());
 }

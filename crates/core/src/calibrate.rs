@@ -13,8 +13,10 @@
 //! documented per-operation cost coefficients ([`CostCoefficients`]).
 
 use crate::flow::FlowStats;
-use crate::model::StepDemand;
+use crate::model::{evaluate, StepDemand, SystemConfig};
 use crate::nora::NoraStats;
+use ga_obs::{MetricsSnapshot, Step};
+use std::fmt::Write as _;
 
 /// Per-operation resource costs used to convert counters into demands.
 ///
@@ -75,7 +77,7 @@ pub struct MeasuredRun {
 ///
 /// The step mapping:
 /// 1. ingest          ← records read from "disk", **plus the admission
-///    cost of shed updates** ([`FlowStats::updates_shed`]) — an update
+///    cost of shed updates** ([`crate::flow::OverloadStats::updates_shed`]) — an update
 ///    dropped at the watermark still crossed the wire and was
 ///    classified before being refused
 /// 2. clean/spell     ← dedup comparisons (CPU)
@@ -84,14 +86,14 @@ pub struct MeasuredRun {
 /// 5. join/merge      ← entity materialization (disk + memory)
 /// 6. graph build     ← edges extracted/inserted (memory) **plus the
 ///    measured snapshot-freeze traffic**
-///    ([`FlowStats::snapshot_mem_bytes`]) — the Fig. 2 "copy subgraph
+///    ([`crate::flow::SnapshotStats::mem_bytes`]) — the Fig. 2 "copy subgraph
 ///    into faster memory" step priced from what the snapshot cache
 ///    actually wrote, not an estimate — **plus WAL retry disk traffic**
-///    ([`FlowStats::durability_retries`]): each retried append
+///    ([`crate::flow::DurabilityStats::retries`]): each retried append
 ///    re-writes a frame to the persistent graph's log
 /// 7. NORA search     ← pair candidates scanned **plus the measured
-///    batch-kernel counters** ([`FlowStats::kernel_cpu_ops`],
-///    [`FlowStats::kernel_mem_bytes`]) drained from the kernels'
+///    batch-kernel counters** ([`crate::flow::AnalyticsStats::kernel_cpu_ops`],
+///    [`crate::flow::AnalyticsStats::kernel_mem_bytes`]) drained from the kernels'
 ///    [`ga_graph::OpCounters`] — the analytic step now prices what the
 ///    instrumented kernels actually did, not an estimate
 /// 8. index build     ← relationships written (disk)
@@ -99,17 +101,17 @@ pub struct MeasuredRun {
 pub fn calibrate(run: &MeasuredRun, c: &CostCoefficients) -> Vec<StepDemand> {
     let f = &run.flow;
     let n = &run.nora;
-    let records = f.records_ingested as f64;
-    let comparisons = f.records_ingested as f64 * 0.0 + dedup_comparisons(f);
-    let updates = f.updates_applied as f64;
-    let edges = f.edges_extracted as f64;
+    let records = f.ingest.records_ingested as f64;
+    let comparisons = f.ingest.records_ingested as f64 * 0.0 + dedup_comparisons(f);
+    let updates = f.ingest.updates_applied as f64;
+    let edges = f.analytics.edges_extracted as f64;
     let pairs = n.pair_candidates as f64;
     let rels = n.relationships as f64;
-    let events = f.events_observed as f64;
-    let writebacks = f.props_written_back as f64;
-    let snap_bytes = f.snapshot_mem_bytes as f64;
-    let shed = f.updates_shed as f64;
-    let retries = f.durability_retries as f64;
+    let events = f.ingest.events_observed as f64;
+    let writebacks = f.analytics.props_written_back as f64;
+    let snap_bytes = f.snapshots.mem_bytes as f64;
+    let shed = f.overload.updates_shed as f64;
+    let retries = f.durability.retries as f64;
 
     let d = |name, cpu, mem, disk, net| StepDemand {
         name,
@@ -152,9 +154,9 @@ pub fn calibrate(run: &MeasuredRun, c: &CostCoefficients) -> Vec<StepDemand> {
         ),
         d(
             "5 join / merge    ",
-            f.entities_created as f64 * 500.0,
-            f.entities_created as f64 * 1_024.0,
-            f.entities_created as f64 * c.disk_bytes_per_record,
+            f.ingest.entities_created as f64 * 500.0,
+            f.ingest.entities_created as f64 * 1_024.0,
+            f.ingest.entities_created as f64 * c.disk_bytes_per_record,
             0.0,
         ),
         d(
@@ -171,9 +173,9 @@ pub fn calibrate(run: &MeasuredRun, c: &CostCoefficients) -> Vec<StepDemand> {
         d(
             "7 NORA search     ",
             pairs * c.ops_per_pair_candidate
-                + f.vertices_extracted as f64 * c.ops_per_extracted_vertex
-                + f.kernel_cpu_ops as f64,
-            pairs * 32.0 + edges * c.mem_bytes_per_edge + f.kernel_mem_bytes as f64,
+                + f.analytics.vertices_extracted as f64 * c.ops_per_extracted_vertex
+                + f.analytics.kernel_cpu_ops as f64,
+            pairs * 32.0 + edges * c.mem_bytes_per_edge + f.analytics.kernel_mem_bytes as f64,
             0.0,
             0.0,
         ),
@@ -199,7 +201,138 @@ fn dedup_comparisons(f: &FlowStats) -> f64 {
     // DedupResult); approximate from the blocking model when absent:
     // records * ~50 within-block comparisons. Callers with the exact
     // count should prefer `calibrate_with_comparisons`.
-    f.records_ingested as f64 * 50.0
+    f.ingest.records_ingested as f64 * 50.0
+}
+
+// ---------------------------------------------------------------------
+// Measured mode: per-step demands read straight from a recorded trace.
+// ---------------------------------------------------------------------
+
+/// Demands *measured* by the instrumentation layer: one row per
+/// [`ga_obs::Step`], four resources each, taken verbatim from the span
+/// totals an enabled [`ga_obs::Recorder`] accumulated during a real
+/// run. No cost coefficients are involved — this is the ground truth
+/// the projected table is checked against.
+pub fn measured_demands(snap: &MetricsSnapshot) -> Vec<StepDemand> {
+    Step::ALL
+        .iter()
+        .map(|&step| {
+            let m = snap.step(step);
+            StepDemand {
+                name: step.name(),
+                cpu_ops: m.cpu_ops as f64,
+                mem_bytes: m.mem_bytes as f64,
+                disk_bytes: m.disk_bytes as f64,
+                net_bytes: m.net_bytes as f64,
+            }
+        })
+        .collect()
+}
+
+/// Demands *projected* onto the same per-[`Step`] rows from the grouped
+/// [`FlowStats`] counters and the documented cost coefficients — the
+/// model side of the measured-vs-projected comparison. Rows the
+/// counters cannot see (checkpoint count, for one) project as zero and
+/// show up as measurement-only rows in the table; that asymmetry is the
+/// point of having both columns.
+pub fn projected_step_demands(f: &FlowStats, c: &CostCoefficients) -> Vec<StepDemand> {
+    let comparisons = dedup_comparisons(f);
+    let records = f.ingest.records_ingested as f64;
+    let updates = f.ingest.updates_applied as f64;
+    let seeds = f.analytics.seeds_selected as f64;
+    let nv = f.analytics.vertices_extracted as f64;
+    let ne = f.analytics.edges_extracted as f64;
+    let writes = f.analytics.props_written_back as f64;
+    let snap_bytes = f.snapshots.mem_bytes as f64;
+    let d = |step: Step, cpu, mem, disk, net| StepDemand {
+        name: step.name(),
+        cpu_ops: cpu,
+        mem_bytes: mem,
+        disk_bytes: disk,
+        net_bytes: net,
+    };
+    vec![
+        d(
+            Step::Dedup,
+            comparisons * c.ops_per_comparison,
+            comparisons * 256.0,
+            records * c.disk_bytes_per_record,
+            0.0,
+        ),
+        d(Step::Ingest, updates, updates * 16.0, 0.0, updates * 13.0),
+        d(Step::Selection, seeds * 100.0, seeds * 800.0, 0.0, 0.0),
+        d(
+            Step::Extraction,
+            nv + ne,
+            nv * 8.0 + ne * c.mem_bytes_per_edge,
+            0.0,
+            0.0,
+        ),
+        d(
+            Step::BatchAnalytic,
+            f.analytics.kernel_cpu_ops as f64,
+            f.analytics.kernel_mem_bytes as f64,
+            0.0,
+            0.0,
+        ),
+        d(Step::WriteBack, writes, writes * 8.0, 0.0, writes * 8.0),
+        d(Step::Wal, 0.0, 0.0, updates * 16.0, 0.0),
+        d(Step::Checkpoint, 0.0, 0.0, 0.0, 0.0),
+        d(Step::Snapshot, 0.0, snap_bytes, 0.0, 0.0),
+    ]
+}
+
+/// Render the measured-vs-projected comparison: a per-step
+/// four-resource table (measured `m` next to projected `p`), followed
+/// by the total step time both demand tables imply on each system
+/// configuration. `fmt` formats one magnitude (pass an engineering
+/// formatter for readable output).
+pub fn measured_vs_projected_table(
+    measured: &[StepDemand],
+    projected: &[StepDemand],
+    configs: &[SystemConfig],
+    fmt: impl Fn(f64) -> String,
+) -> String {
+    assert_eq!(measured.len(), projected.len());
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<15} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "step", "cpu m", "cpu p", "mem m", "mem p", "disk m", "disk p", "net m", "net p"
+    );
+    for (m, p) in measured.iter().zip(projected) {
+        let _ = writeln!(
+            out,
+            "{:<15} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}",
+            m.name,
+            fmt(m.cpu_ops),
+            fmt(p.cpu_ops),
+            fmt(m.mem_bytes),
+            fmt(p.mem_bytes),
+            fmt(m.disk_bytes),
+            fmt(p.disk_bytes),
+            fmt(m.net_bytes),
+            fmt(p.net_bytes),
+        );
+    }
+    if !configs.is_empty() {
+        let _ = writeln!(
+            out,
+            "\n{:<38} {:>14} {:>14} {:>8}",
+            "configuration", "measured (s)", "projected (s)", "ratio"
+        );
+        for cfg in configs {
+            let tm = evaluate(cfg, measured).total_seconds;
+            let tp = evaluate(cfg, projected).total_seconds;
+            let ratio = if tm > 0.0 { tp / tm } else { f64::NAN };
+            let _ = writeln!(
+                out,
+                "{:<38} {:>14.3e} {:>14.3e} {:>8.2}",
+                cfg.name, tm, tp, ratio
+            );
+        }
+    }
+    out
 }
 
 /// As [`calibrate`], with the exact dedup comparison count from
@@ -224,36 +357,47 @@ pub fn calibrate_with_comparisons(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::model::{baseline2012, evaluate, Resource};
+    use crate::flow::{AnalyticsStats, DurabilityStats, IngestStats, OverloadStats, SnapshotStats};
+    use crate::model::{baseline2012, Resource};
 
     fn sample_run() -> MeasuredRun {
         MeasuredRun {
             flow: FlowStats {
-                records_ingested: 10_000,
-                entities_created: 2_200,
-                batch_runs: 10,
-                seeds_selected: 20,
-                subgraphs_extracted: 10,
-                vertices_extracted: 5_000,
-                edges_extracted: 100_000,
-                props_written_back: 5_000,
-                globals_produced: 20,
-                alerts_raised: 3,
-                updates_applied: 60_000,
-                updates_quarantined: 0,
-                events_observed: 9_000,
-                triggers_fired: 50,
-                kernel_cpu_ops: 400_000,
-                kernel_mem_bytes: 3_200_000,
-                kernel_edges_touched: 200_000,
-                snapshot_rebuilds: 10,
-                snapshot_rows_reused: 45_000,
-                snapshot_mem_bytes: 2_400_000,
-                updates_shed: 1_500,
-                deadline_partials: 3,
-                analytics_skipped: 2,
-                durability_retries: 4,
-                breaker_trips: 0,
+                ingest: IngestStats {
+                    records_ingested: 10_000,
+                    entities_created: 2_200,
+                    updates_applied: 60_000,
+                    updates_quarantined: 0,
+                    events_observed: 9_000,
+                    triggers_fired: 50,
+                },
+                analytics: AnalyticsStats {
+                    batch_runs: 10,
+                    seeds_selected: 20,
+                    subgraphs_extracted: 10,
+                    vertices_extracted: 5_000,
+                    edges_extracted: 100_000,
+                    props_written_back: 5_000,
+                    globals_produced: 20,
+                    alerts_raised: 3,
+                    kernel_cpu_ops: 400_000,
+                    kernel_mem_bytes: 3_200_000,
+                    kernel_edges_touched: 200_000,
+                },
+                snapshots: SnapshotStats {
+                    rebuilds: 10,
+                    rows_reused: 45_000,
+                    mem_bytes: 2_400_000,
+                },
+                durability: DurabilityStats {
+                    retries: 4,
+                    breaker_trips: 0,
+                },
+                overload: OverloadStats {
+                    updates_shed: 1_500,
+                    deadline_partials: 3,
+                    analytics_skipped: 2,
+                },
             },
             nora: NoraStats {
                 pair_candidates: 150_000,
@@ -314,8 +458,8 @@ mod tests {
     fn kernel_counters_shift_nora_step() {
         let base = sample_run();
         let mut hot = base;
-        hot.flow.kernel_cpu_ops *= 100;
-        hot.flow.kernel_mem_bytes *= 100;
+        hot.flow.analytics.kernel_cpu_ops *= 100;
+        hot.flow.analytics.kernel_mem_bytes *= 100;
         let c = CostCoefficients::default();
         let a = calibrate(&base, &c);
         let b = calibrate(&hot, &c);
@@ -331,7 +475,7 @@ mod tests {
     fn snapshot_counters_shift_only_graph_build_step() {
         let base = sample_run();
         let mut hot = base;
-        hot.flow.snapshot_mem_bytes *= 100;
+        hot.flow.snapshots.mem_bytes *= 100;
         let c = CostCoefficients::default();
         let a = calibrate(&base, &c);
         let b = calibrate(&hot, &c);
@@ -348,8 +492,8 @@ mod tests {
     fn overload_counters_price_admission_and_retry_cost() {
         let base = sample_run();
         let mut hot = base;
-        hot.flow.updates_shed *= 100;
-        hot.flow.durability_retries *= 100;
+        hot.flow.overload.updates_shed *= 100;
+        hot.flow.durability.retries *= 100;
         let c = CostCoefficients::default();
         let a = calibrate(&base, &c);
         let b = calibrate(&hot, &c);
@@ -382,27 +526,105 @@ mod tests {
         let idx = eng.register_analytic(Box::new(PageRankAnalytic { damping: 0.85 }));
         eng.run_batch(&SelectionCriteria::Explicit(vec![0, 16, 32]), idx);
         let stats = eng.stats();
-        assert!(stats.kernel_cpu_ops > 0, "no kernel cpu ops measured");
-        assert!(stats.kernel_mem_bytes > 0, "no kernel mem traffic measured");
-        assert!(stats.kernel_edges_touched > 0, "no kernel edges measured");
-        assert!(stats.snapshot_rebuilds > 0, "no snapshot freeze measured");
-        assert!(stats.snapshot_mem_bytes > 0, "no snapshot traffic measured");
+        assert!(
+            stats.analytics.kernel_cpu_ops > 0,
+            "no kernel cpu ops measured"
+        );
+        assert!(
+            stats.analytics.kernel_mem_bytes > 0,
+            "no kernel mem traffic measured"
+        );
+        assert!(
+            stats.analytics.kernel_edges_touched > 0,
+            "no kernel edges measured"
+        );
+        assert!(stats.snapshots.rebuilds > 0, "no snapshot freeze measured");
+        assert!(
+            stats.snapshots.mem_bytes > 0,
+            "no snapshot traffic measured"
+        );
 
         let run = MeasuredRun {
             flow: stats,
             nora: NoraStats::default(),
         };
         let steps = calibrate(&run, &CostCoefficients::default());
-        assert!(steps[6].cpu_ops >= stats.kernel_cpu_ops as f64);
-        assert!(steps[6].mem_bytes >= stats.kernel_mem_bytes as f64);
-        assert!(steps[5].mem_bytes >= stats.snapshot_mem_bytes as f64);
+        assert!(steps[6].cpu_ops >= stats.analytics.kernel_cpu_ops as f64);
+        assert!(steps[6].mem_bytes >= stats.analytics.kernel_mem_bytes as f64);
+        assert!(steps[5].mem_bytes >= stats.snapshots.mem_bytes as f64);
+    }
+
+    #[test]
+    fn measured_demands_read_span_totals_verbatim() {
+        let rec = ga_obs::Recorder::enabled();
+        {
+            let mut span = rec.span(Step::Extraction);
+            span.add(10, 20, 30, 40);
+        }
+        let m = measured_demands(&rec.snapshot());
+        assert_eq!(m.len(), 9);
+        let ex = m.iter().find(|s| s.name == "extraction").unwrap();
+        assert_eq!(
+            (ex.cpu_ops, ex.mem_bytes, ex.disk_bytes, ex.net_bytes),
+            (10.0, 20.0, 30.0, 40.0)
+        );
+        // Untouched steps are present with zero demand.
+        assert!(m.iter().all(|s| s.name != "wal" || s.cpu_ops == 0.0));
+    }
+
+    #[test]
+    fn projected_rows_align_with_measured_rows() {
+        let run = sample_run();
+        let p = projected_step_demands(&run.flow, &CostCoefficients::default());
+        let m = measured_demands(&MetricsSnapshot::empty());
+        assert_eq!(p.len(), m.len());
+        for (a, b) in p.iter().zip(&m) {
+            assert_eq!(a.name, b.name, "step rows must line up");
+        }
+        // The analytic row projects the kernels' own counters exactly.
+        let ba = p.iter().find(|s| s.name == "batch_analytic").unwrap();
+        assert_eq!(ba.cpu_ops, run.flow.analytics.kernel_cpu_ops as f64);
+        let table = measured_vs_projected_table(&m, &p, &[baseline2012()], |v| format!("{v:.0}"));
+        assert!(table.contains("batch_analytic"));
+        assert!(table.contains("configuration"));
+        assert!(table.contains("Baseline 2012"));
+    }
+
+    #[test]
+    fn instrumented_run_feeds_measured_mode() {
+        // End-to-end: an engine built with a recorder produces a trace
+        // whose measured batch-analytic demand matches the drained
+        // kernel counters in FlowStats.
+        use crate::flow::{FlowEngine, PageRankAnalytic, SelectionCriteria};
+        use ga_graph::{gen, DynamicGraph, PropertyStore};
+
+        let mut g = DynamicGraph::new(64);
+        g.insert_undirected(&gen::ring(64), 1);
+        let mut eng = FlowEngine::builder()
+            .recorder(ga_obs::Recorder::enabled())
+            .build_with_graph(g, PropertyStore::new(64))
+            .unwrap();
+        let idx = eng.register_analytic(Box::new(PageRankAnalytic { damping: 0.85 }));
+        eng.run_batch(&SelectionCriteria::Explicit(vec![0, 16, 32]), idx);
+        let m = measured_demands(&eng.metrics());
+        let stats = eng.stats();
+        let ba = m.iter().find(|s| s.name == "batch_analytic").unwrap();
+        assert_eq!(ba.cpu_ops, stats.analytics.kernel_cpu_ops as f64);
+        assert_eq!(ba.mem_bytes, stats.analytics.kernel_mem_bytes as f64);
+        let sn = m.iter().find(|s| s.name == "snapshot").unwrap();
+        assert_eq!(sn.mem_bytes, stats.snapshots.mem_bytes as f64);
+        // Selection, extraction, write-back all saw work too.
+        for name in ["selection", "extraction", "write_back"] {
+            let s = m.iter().find(|s| s.name == name).unwrap();
+            assert!(s.cpu_ops > 0.0, "{name} span recorded nothing");
+        }
     }
 
     #[test]
     fn scaling_counters_scales_demands_linearly() {
         let run = sample_run();
         let mut big = run;
-        big.flow.updates_applied *= 10;
+        big.flow.ingest.updates_applied *= 10;
         let c = CostCoefficients::default();
         let a = calibrate(&run, &c);
         let b = calibrate(&big, &c);

@@ -28,9 +28,12 @@
 //! carry their own `"wal.append"` site.
 
 use crate::faults;
-use crate::flow::FlowStats;
+use crate::flow::{
+    AnalyticsStats, DurabilityStats, FlowStats, IngestStats, OverloadStats, SnapshotStats,
+};
 use ga_graph::io::{self as gio, crc32};
 use ga_graph::{DynamicGraph, PropertyStore, Timestamp};
+use ga_obs::{Recorder, Step};
 use ga_stream::engine::StreamStats;
 use ga_stream::update::UpdateBatch;
 use ga_stream::wal::{self, Wal};
@@ -39,7 +42,10 @@ use std::io::{self, Write};
 use std::path::{Path, PathBuf};
 
 const MAGIC: &[u8; 4] = b"GAC1";
-const VERSION: u16 = 1;
+/// Current checkpoint format. Version 2 serialises [`FlowStats`] as one
+/// length-prefixed section per group; version 1 (the flat 25-field
+/// layout) is still decoded for checkpoints written by older builds.
+const VERSION: u16 = 2;
 
 /// A complete, self-contained snapshot of engine state.
 #[derive(Clone, Debug, PartialEq)]
@@ -67,38 +73,142 @@ fn corrupt(what: impl std::fmt::Display) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, format!("GAC1: {what}"))
 }
 
-fn push_flow_stats(out: &mut Vec<u8>, s: &FlowStats) {
-    let fields = [
-        s.records_ingested,
-        s.entities_created,
-        s.batch_runs,
-        s.seeds_selected,
-        s.subgraphs_extracted,
-        s.vertices_extracted,
-        s.edges_extracted,
-        s.props_written_back,
-        s.globals_produced,
-        s.alerts_raised,
-        s.updates_applied,
-        s.updates_quarantined,
-        s.events_observed,
-        s.triggers_fired,
-        s.kernel_cpu_ops,
-        s.kernel_mem_bytes,
-        s.kernel_edges_touched,
-        s.snapshot_rebuilds,
-        s.snapshot_rows_reused,
-        s.snapshot_mem_bytes,
-        s.updates_shed,
-        s.deadline_partials,
-        s.analytics_skipped,
-        s.durability_retries,
-        s.breaker_trips,
-    ];
+fn push_group(out: &mut Vec<u8>, fields: &[usize]) {
     out.extend_from_slice(&(fields.len() as u32).to_le_bytes());
-    for f in fields {
+    for &f in fields {
         out.extend_from_slice(&(f as u64).to_le_bytes());
     }
+}
+
+/// Stats version 2: one length-prefixed section per group, in fixed
+/// group order (ingest, analytics, snapshots, durability, overload).
+fn push_flow_stats(out: &mut Vec<u8>, s: &FlowStats) {
+    let i = &s.ingest;
+    push_group(
+        out,
+        &[
+            i.records_ingested,
+            i.entities_created,
+            i.updates_applied,
+            i.updates_quarantined,
+            i.events_observed,
+            i.triggers_fired,
+        ],
+    );
+    let a = &s.analytics;
+    push_group(
+        out,
+        &[
+            a.batch_runs,
+            a.seeds_selected,
+            a.subgraphs_extracted,
+            a.vertices_extracted,
+            a.edges_extracted,
+            a.props_written_back,
+            a.globals_produced,
+            a.alerts_raised,
+            a.kernel_cpu_ops,
+            a.kernel_mem_bytes,
+            a.kernel_edges_touched,
+        ],
+    );
+    let sn = &s.snapshots;
+    push_group(out, &[sn.rebuilds, sn.rows_reused, sn.mem_bytes]);
+    let d = &s.durability;
+    push_group(out, &[d.retries, d.breaker_trips]);
+    let o = &s.overload;
+    push_group(
+        out,
+        &[o.updates_shed, o.deadline_partials, o.analytics_skipped],
+    );
+}
+
+/// Decode the version-1 flat 25-field layout into the grouped struct.
+fn take_flow_stats_v1(r: &mut &[u8]) -> io::Result<FlowStats> {
+    let f = take_stats(r, 25, "FlowStats")?;
+    Ok(FlowStats {
+        ingest: IngestStats {
+            records_ingested: f[0],
+            entities_created: f[1],
+            updates_applied: f[10],
+            updates_quarantined: f[11],
+            events_observed: f[12],
+            triggers_fired: f[13],
+        },
+        analytics: AnalyticsStats {
+            batch_runs: f[2],
+            seeds_selected: f[3],
+            subgraphs_extracted: f[4],
+            vertices_extracted: f[5],
+            edges_extracted: f[6],
+            props_written_back: f[7],
+            globals_produced: f[8],
+            alerts_raised: f[9],
+            kernel_cpu_ops: f[14],
+            kernel_mem_bytes: f[15],
+            kernel_edges_touched: f[16],
+        },
+        snapshots: SnapshotStats {
+            rebuilds: f[17],
+            rows_reused: f[18],
+            mem_bytes: f[19],
+        },
+        durability: DurabilityStats {
+            retries: f[23],
+            breaker_trips: f[24],
+        },
+        overload: OverloadStats {
+            updates_shed: f[20],
+            deadline_partials: f[21],
+            analytics_skipped: f[22],
+        },
+    })
+}
+
+/// Decode the version-2 grouped layout.
+fn take_flow_stats_v2(r: &mut &[u8]) -> io::Result<FlowStats> {
+    let i = take_stats(r, 6, "IngestStats")?;
+    let a = take_stats(r, 11, "AnalyticsStats")?;
+    let sn = take_stats(r, 3, "SnapshotStats")?;
+    let d = take_stats(r, 2, "DurabilityStats")?;
+    let o = take_stats(r, 3, "OverloadStats")?;
+    Ok(FlowStats {
+        ingest: IngestStats {
+            records_ingested: i[0],
+            entities_created: i[1],
+            updates_applied: i[2],
+            updates_quarantined: i[3],
+            events_observed: i[4],
+            triggers_fired: i[5],
+        },
+        analytics: AnalyticsStats {
+            batch_runs: a[0],
+            seeds_selected: a[1],
+            subgraphs_extracted: a[2],
+            vertices_extracted: a[3],
+            edges_extracted: a[4],
+            props_written_back: a[5],
+            globals_produced: a[6],
+            alerts_raised: a[7],
+            kernel_cpu_ops: a[8],
+            kernel_mem_bytes: a[9],
+            kernel_edges_touched: a[10],
+        },
+        snapshots: SnapshotStats {
+            rebuilds: sn[0],
+            rows_reused: sn[1],
+            mem_bytes: sn[2],
+        },
+        durability: DurabilityStats {
+            retries: d[0],
+            breaker_trips: d[1],
+        },
+        overload: OverloadStats {
+            updates_shed: o[0],
+            deadline_partials: o[1],
+            analytics_skipped: o[2],
+        },
+    })
 }
 
 fn push_stream_stats(out: &mut Vec<u8>, s: &StreamStats) {
@@ -191,9 +301,9 @@ pub fn decode_checkpoint(bytes: &[u8]) -> io::Result<Checkpoint> {
         )));
     }
     let version = u16::from_le_bytes(take_array(&mut r, "version")?);
-    if version != VERSION {
+    if version == 0 || version > VERSION {
         return Err(corrupt(format!(
-            "unsupported version {version} (this build reads version {VERSION})"
+            "unsupported version {version} (this build reads versions 1..={VERSION})"
         )));
     }
     let _reserved = u16::from_le_bytes(take_array::<2>(&mut r, "header")?);
@@ -219,33 +329,10 @@ pub fn decode_checkpoint(bytes: &[u8]) -> io::Result<Checkpoint> {
     let (props_bytes, rest) = r.split_at(props_len);
     r = rest;
     let props = gio::read_props(props_bytes)?;
-    let f = take_stats(&mut r, 25, "FlowStats")?;
-    let flow = FlowStats {
-        records_ingested: f[0],
-        entities_created: f[1],
-        batch_runs: f[2],
-        seeds_selected: f[3],
-        subgraphs_extracted: f[4],
-        vertices_extracted: f[5],
-        edges_extracted: f[6],
-        props_written_back: f[7],
-        globals_produced: f[8],
-        alerts_raised: f[9],
-        updates_applied: f[10],
-        updates_quarantined: f[11],
-        events_observed: f[12],
-        triggers_fired: f[13],
-        kernel_cpu_ops: f[14],
-        kernel_mem_bytes: f[15],
-        kernel_edges_touched: f[16],
-        snapshot_rebuilds: f[17],
-        snapshot_rows_reused: f[18],
-        snapshot_mem_bytes: f[19],
-        updates_shed: f[20],
-        deadline_partials: f[21],
-        analytics_skipped: f[22],
-        durability_retries: f[23],
-        breaker_trips: f[24],
+    let flow = if version == 1 {
+        take_flow_stats_v1(&mut r)?
+    } else {
+        take_flow_stats_v2(&mut r)?
     };
     let s = take_stats(&mut r, 8, "StreamStats")?;
     let stream = StreamStats {
@@ -311,6 +398,9 @@ pub struct Durability {
     wal: Wal,
     /// Sequence of the newest successfully written checkpoint.
     last_checkpoint_seq: u64,
+    /// Observability sink: checkpoint spans here, WAL spans in the open
+    /// segment (re-attached after every rotation).
+    recorder: Recorder,
 }
 
 impl Durability {
@@ -338,7 +428,16 @@ impl Durability {
             dir,
             wal,
             last_checkpoint_seq: seq,
+            recorder: Recorder::disabled(),
         })
+    }
+
+    /// Attach the observability recorder: checkpoint writes are recorded
+    /// here and the open WAL segment gets its own copy (kept across
+    /// rotations).
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.wal.set_recorder(recorder.clone());
+        self.recorder = recorder;
     }
 
     /// The directory this manager owns.
@@ -373,12 +472,20 @@ impl Durability {
     /// On success returns the checkpoint's path.
     pub fn checkpoint(&mut self, ckpt: &Checkpoint) -> io::Result<PathBuf> {
         let seq = ckpt.next_wal_seq;
+        // The span counts attempts: a failed write still records its
+        // wall time, with zero disk bytes.
+        let mut span = self.recorder.span(Step::Checkpoint);
         let path = write_checkpoint_file(&self.dir, ckpt)?;
+        if span.is_recording() {
+            span.add_disk_bytes(fs::metadata(&path).map(|m| m.len()).unwrap_or(0));
+        }
+        drop(span);
         // Rotate: new appends land in a fresh segment starting at the
         // checkpoint cursor (no-op rename-over when seq already has a
         // segment, i.e. a checkpoint with no intervening batches).
         if wal_path(&self.dir, seq) != *self.wal.path() {
             self.wal = Wal::create(wal_path(&self.dir, seq), seq)?;
+            self.wal.set_recorder(self.recorder.clone());
         }
         self.last_checkpoint_seq = seq;
         self.prune()?;
@@ -499,6 +606,7 @@ impl Durability {
                 dir,
                 wal,
                 last_checkpoint_seq,
+                recorder: Recorder::disabled(),
             },
             ckpt,
             replayable,
@@ -561,15 +669,26 @@ mod tests {
             graph,
             props,
             flow: FlowStats {
-                updates_applied: 40,
-                updates_quarantined: 2,
-                events_observed: 7,
-                snapshot_rebuilds: 3,
-                snapshot_rows_reused: 11,
-                snapshot_mem_bytes: 1234,
-                updates_shed: 17,
-                deadline_partials: 2,
-                durability_retries: 4,
+                ingest: IngestStats {
+                    updates_applied: 40,
+                    updates_quarantined: 2,
+                    events_observed: 7,
+                    ..IngestStats::default()
+                },
+                snapshots: SnapshotStats {
+                    rebuilds: 3,
+                    rows_reused: 11,
+                    mem_bytes: 1234,
+                },
+                durability: DurabilityStats {
+                    retries: 4,
+                    ..DurabilityStats::default()
+                },
+                overload: OverloadStats {
+                    updates_shed: 17,
+                    deadline_partials: 2,
+                    ..OverloadStats::default()
+                },
                 ..FlowStats::default()
             },
             stream: StreamStats {
@@ -592,6 +711,76 @@ mod tests {
         let bytes = encode_checkpoint(&c).unwrap();
         let back = decode_checkpoint(&bytes).unwrap();
         assert_eq!(c, back);
+    }
+
+    /// Re-encode `c` exactly as the version-1 (flat 25-field) writer
+    /// did, byte for byte, so the legacy decode path is pinned against
+    /// the historical layout rather than against this build's encoder.
+    fn encode_checkpoint_v1(c: &Checkpoint) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&1u16.to_le_bytes());
+        out.extend_from_slice(&0u16.to_le_bytes()); // reserved
+        out.push(c.symmetrize as u8);
+        out.extend_from_slice(&c.vertex_limit.to_le_bytes());
+        out.extend_from_slice(&c.last_batch_time.to_le_bytes());
+        out.extend_from_slice(&c.next_wal_seq.to_le_bytes());
+        let mut graph_buf = Vec::new();
+        gio::write_dynamic(&c.graph, &mut graph_buf).unwrap();
+        out.extend_from_slice(&(graph_buf.len() as u64).to_le_bytes());
+        out.extend_from_slice(&graph_buf);
+        let mut props_buf = Vec::new();
+        gio::write_props(&c.props, &mut props_buf).unwrap();
+        out.extend_from_slice(&(props_buf.len() as u64).to_le_bytes());
+        out.extend_from_slice(&props_buf);
+        let (i, a) = (&c.flow.ingest, &c.flow.analytics);
+        let (sn, d, o) = (&c.flow.snapshots, &c.flow.durability, &c.flow.overload);
+        let flat = [
+            i.records_ingested,
+            i.entities_created,
+            a.batch_runs,
+            a.seeds_selected,
+            a.subgraphs_extracted,
+            a.vertices_extracted,
+            a.edges_extracted,
+            a.props_written_back,
+            a.globals_produced,
+            a.alerts_raised,
+            i.updates_applied,
+            i.updates_quarantined,
+            i.events_observed,
+            i.triggers_fired,
+            a.kernel_cpu_ops,
+            a.kernel_mem_bytes,
+            a.kernel_edges_touched,
+            sn.rebuilds,
+            sn.rows_reused,
+            sn.mem_bytes,
+            o.updates_shed,
+            o.deadline_partials,
+            o.analytics_skipped,
+            d.retries,
+            d.breaker_trips,
+        ];
+        push_group(&mut out, &flat);
+        push_stream_stats(&mut out, &c.stream);
+        let crc = crc32(&out);
+        out.extend_from_slice(&crc.to_le_bytes());
+        out
+    }
+
+    #[test]
+    fn legacy_v1_checkpoint_decodes_into_grouped_stats() {
+        let c = sample_checkpoint();
+        let v1 = encode_checkpoint_v1(&c);
+        let v2 = encode_checkpoint(&c).unwrap();
+        assert_ne!(v1, v2, "v2 must actually change the wire format");
+        let back = decode_checkpoint(&v1).unwrap();
+        assert_eq!(back, c, "v1 flat fields must land in the right groups");
+        assert_eq!(back.flow.ingest.updates_applied, 40);
+        assert_eq!(back.flow.snapshots.mem_bytes, 1234);
+        assert_eq!(back.flow.durability.retries, 4);
+        assert_eq!(back.flow.overload.updates_shed, 17);
     }
 
     #[test]

@@ -26,6 +26,7 @@ use crate::retry::{CircuitBreaker, RetryPolicy};
 use ga_graph::sub::{extract_ball, Subgraph};
 use ga_graph::{DynamicGraph, ExtractOptions, PropertyStore, VertexId};
 use ga_kernels::{topk, Budget, KernelCtx, Parallelism};
+use ga_obs::{MetricsSnapshot, Recorder, Step};
 use ga_stream::admission::{
     AdmissionConfig, AdmissionDecision, AdmissionQueue, AdmissionStats, Ewma, Priority,
 };
@@ -88,13 +89,28 @@ pub trait BatchAnalytic {
     fn run(&self, sub: &Subgraph, ctx: &KernelCtx) -> AnalyticOutput;
 }
 
-/// The instrumentation record (the paper's "explicit instrumentation").
-#[derive(Clone, Copy, Debug, Default, PartialEq)]
-pub struct FlowStats {
+/// Ingest-side counters: bulk dedup plus the streaming path.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IngestStats {
     /// Raw records deduped into the graph.
     pub records_ingested: usize,
     /// Entities created by dedup.
     pub entities_created: usize,
+    /// Streaming updates applied.
+    pub updates_applied: usize,
+    /// Malformed streaming updates quarantined to the dead-letter queue
+    /// instead of applied.
+    pub updates_quarantined: usize,
+    /// Streaming events observed.
+    pub events_observed: usize,
+    /// Streaming events that triggered a batch analytic.
+    pub triggers_fired: usize,
+}
+
+/// Batch-path counters: selection → extraction → analytic → write-back,
+/// plus the kernels' own operation tallies.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AnalyticsStats {
     /// Batch runs executed.
     pub batch_runs: usize,
     /// Seeds selected across runs.
@@ -111,29 +127,41 @@ pub struct FlowStats {
     pub globals_produced: usize,
     /// Alerts raised.
     pub alerts_raised: usize,
-    /// Streaming updates applied.
-    pub updates_applied: usize,
-    /// Malformed streaming updates quarantined to the dead-letter queue
-    /// instead of applied.
-    pub updates_quarantined: usize,
-    /// Streaming events observed.
-    pub events_observed: usize,
-    /// Streaming events that triggered a batch analytic.
-    pub triggers_fired: usize,
     /// CPU operations the batch kernels reported ([`ga_graph::OpCounters`]).
     pub kernel_cpu_ops: usize,
     /// Memory traffic (bytes) the batch kernels reported.
     pub kernel_mem_bytes: usize,
     /// Edges the batch kernels touched.
     pub kernel_edges_touched: usize,
+}
+
+/// CSR snapshot-pipeline counters (the "copy subgraph into faster
+/// memory" step of Fig. 2 the model prices).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SnapshotStats {
     /// CSR snapshot rebuilds (full + delta) the batch path performed.
-    pub snapshot_rebuilds: usize,
+    pub rebuilds: usize,
     /// Rows whose CSR slices were reused from the previous snapshot
     /// instead of re-sorted (the delta path's savings).
-    pub snapshot_rows_reused: usize,
-    /// Bytes written into snapshot arrays — the measured cost of Fig. 2's
-    /// "copy subgraph into faster memory" step the model prices.
-    pub snapshot_mem_bytes: usize,
+    pub rows_reused: usize,
+    /// Bytes written into snapshot arrays.
+    pub mem_bytes: usize,
+}
+
+/// Durability counters (WAL + checkpoint retry machinery).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DurabilityStats {
+    /// Durable-write attempts that failed transiently and were retried
+    /// (WAL appends + checkpoint writes).
+    pub retries: usize,
+    /// Times the durability circuit breaker tripped open (each trip also
+    /// raises an alert).
+    pub breaker_trips: usize,
+}
+
+/// Overload counters (admission control + degradation ladder).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OverloadStats {
     /// Updates refused or evicted by admission control under overload
     /// (they never reached the graph).
     pub updates_shed: usize,
@@ -143,12 +171,24 @@ pub struct FlowStats {
     /// Triggered analytic runs skipped outright at the `SeedsOnly`
     /// degradation level (seeds were still selected).
     pub analytics_skipped: usize,
-    /// Durable-write attempts that failed transiently and were retried
-    /// (WAL appends + checkpoint writes).
-    pub durability_retries: usize,
-    /// Times the durability circuit breaker tripped open (each trip also
-    /// raises an alert).
-    pub breaker_trips: usize,
+}
+
+/// The instrumentation record (the paper's "explicit instrumentation"),
+/// grouped by pipeline concern. The GAC1 checkpoint codec serialises
+/// these groups as stats version 2 and still decodes the flat 25-field
+/// version-1 layout older checkpoints carry.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FlowStats {
+    /// Bulk + streaming ingest.
+    pub ingest: IngestStats,
+    /// The batch analytic path.
+    pub analytics: AnalyticsStats,
+    /// CSR snapshot pipeline.
+    pub snapshots: SnapshotStats,
+    /// WAL/checkpoint retry machinery.
+    pub durability: DurabilityStats,
+    /// Admission control + degradation ladder.
+    pub overload: OverloadStats,
 }
 
 /// Rung of the overload degradation ladder, least to most degraded.
@@ -244,6 +284,199 @@ pub struct BatchRunReport {
     pub alerts: Vec<String>,
 }
 
+/// Construction-time configuration for a [`FlowEngine`]: one coherent
+/// builder replacing the scattered setters of earlier revisions
+/// (`enable_durability`, `set_admission_config`, `set_retry_policy`,
+/// `set_breaker` — all kept as deprecated shims).
+///
+/// ```
+/// # use ga_core::flow::FlowEngine;
+/// # use ga_core::retry::RetryPolicy;
+/// # use ga_kernels::Parallelism;
+/// let engine = FlowEngine::builder()
+///     .parallelism(Parallelism::Serial)
+///     .retry(RetryPolicy::retries(3, 42))
+///     .build(1 << 10)
+///     .unwrap();
+/// ```
+#[derive(Debug)]
+pub struct FlowConfig {
+    parallelism: Parallelism,
+    budget: Budget,
+    retry: RetryPolicy,
+    breaker_threshold: u32,
+    admission: AdmissionConfig,
+    overload: OverloadConfig,
+    extract: ExtractOptions,
+    project_columns: Vec<String>,
+    vertex_limit: Option<usize>,
+    symmetrize: bool,
+    durability_dir: Option<PathBuf>,
+    recorder: Recorder,
+}
+
+impl Default for FlowConfig {
+    fn default() -> Self {
+        FlowConfig {
+            parallelism: Parallelism::Auto,
+            budget: Budget::unlimited(),
+            retry: RetryPolicy::none(),
+            breaker_threshold: 3,
+            admission: AdmissionConfig::default(),
+            overload: OverloadConfig::default(),
+            extract: ExtractOptions {
+                depth: 2,
+                max_vertices: 4096,
+                undirected_expand: false,
+            },
+            project_columns: Vec::new(),
+            vertex_limit: None,
+            symmetrize: true,
+            durability_dir: None,
+            recorder: Recorder::disabled(),
+        }
+    }
+}
+
+impl FlowConfig {
+    /// Serial/parallel kernel dispatch policy (default `Auto`).
+    pub fn parallelism(mut self, p: Parallelism) -> Self {
+        self.parallelism = p;
+        self
+    }
+
+    /// Standing op/deadline budget for analytic runs (default
+    /// unlimited).
+    pub fn budget(mut self, b: Budget) -> Self {
+        self.budget = b;
+        self
+    }
+
+    /// Retry policy for durable writes (default
+    /// [`RetryPolicy::none`]).
+    pub fn retry(mut self, r: RetryPolicy) -> Self {
+        self.retry = r;
+        self
+    }
+
+    /// Consecutive durable-write failures before the circuit breaker
+    /// trips (default 3).
+    pub fn breaker_threshold(mut self, consecutive_failures: u32) -> Self {
+        self.breaker_threshold = consecutive_failures;
+        self
+    }
+
+    /// Admission-queue watermarks for the overload front door.
+    pub fn admission(mut self, cfg: AdmissionConfig) -> Self {
+        self.admission = cfg;
+        self
+    }
+
+    /// Degradation-ladder thresholds.
+    pub fn overload(mut self, cfg: OverloadConfig) -> Self {
+        self.overload = cfg;
+        self
+    }
+
+    /// Subgraph-extraction settings for both paths (default depth 2,
+    /// 4096 vertices).
+    pub fn extract(mut self, opts: ExtractOptions) -> Self {
+        self.extract = opts;
+        self
+    }
+
+    /// Property columns projected into extracted subgraphs.
+    pub fn project_columns(mut self, cols: Vec<String>) -> Self {
+        self.project_columns = cols;
+        self
+    }
+
+    /// Vertex-id bound above which updates are quarantined (default
+    /// [`ga_stream::engine::DEFAULT_VERTEX_LIMIT`]).
+    pub fn vertex_limit(mut self, limit: usize) -> Self {
+        self.vertex_limit = Some(limit);
+        self
+    }
+
+    /// Mirror edge updates in both directions (default true).
+    pub fn symmetrize(mut self, symmetrize: bool) -> Self {
+        self.symmetrize = symmetrize;
+        self
+    }
+
+    /// Enable durability (WAL + checkpoints) under `dir`. The directory
+    /// must not already hold engine state; use [`FlowEngine::recover`]
+    /// for that. `build` writes the initial checkpoint.
+    pub fn durability_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.durability_dir = Some(dir.into());
+        self
+    }
+
+    /// Attach an observability recorder; it is threaded through the
+    /// kernel context, stream engine, WAL, and checkpoint writer so
+    /// [`FlowEngine::metrics`] reports the whole stack.
+    pub fn recorder(mut self, recorder: Recorder) -> Self {
+        self.recorder = recorder;
+        self
+    }
+
+    /// Build an engine over an empty persistent graph of
+    /// `num_vertices`.
+    pub fn build(self, num_vertices: usize) -> io::Result<FlowEngine> {
+        self.build_with_graph(
+            DynamicGraph::new(num_vertices),
+            PropertyStore::new(num_vertices),
+        )
+    }
+
+    /// Build an engine over an existing persistent graph.
+    pub fn build_with_graph(
+        self,
+        graph: DynamicGraph,
+        props: PropertyStore,
+    ) -> io::Result<FlowEngine> {
+        let mut engine = FlowEngine::with_graph(graph, props);
+        if let Some(limit) = self.vertex_limit {
+            engine.stream.set_vertex_limit(limit);
+        }
+        engine.stream.symmetrize = self.symmetrize;
+        let durability_dir = self.apply_runtime(&mut engine);
+        // Durability last: the initial checkpoint must capture the
+        // configured symmetrize/vertex-limit state.
+        if let Some(dir) = durability_dir {
+            engine.enable_durability_impl(&dir)?;
+        }
+        Ok(engine)
+    }
+
+    /// Recover an engine from a durability directory (see
+    /// [`FlowEngine::recover`]) and apply this configuration's runtime
+    /// settings to it. The persisted state knobs — `vertex_limit`,
+    /// `symmetrize`, and the durability directory itself — come from the
+    /// checkpoint, not from the builder, so replay stays deterministic.
+    pub fn recover(self, dir: impl AsRef<Path>) -> io::Result<FlowEngine> {
+        let mut engine = FlowEngine::recover(dir)?;
+        self.apply_runtime(&mut engine);
+        Ok(engine)
+    }
+
+    /// Apply every non-persisted setting to `engine`; returns the
+    /// durability directory for the caller to act on (or ignore).
+    fn apply_runtime(self, engine: &mut FlowEngine) -> Option<PathBuf> {
+        engine.kernel_ctx.parallelism = self.parallelism;
+        engine.kernel_ctx.budget = self.budget;
+        engine.retry = self.retry;
+        engine.breaker = CircuitBreaker::new(self.breaker_threshold);
+        engine.admission = AdmissionQueue::new(self.admission);
+        engine.batch_latency = Ewma::new(self.overload.latency_alpha);
+        engine.overload = self.overload;
+        engine.extract = self.extract;
+        engine.project_columns = self.project_columns;
+        engine.set_recorder(self.recorder);
+        self.durability_dir
+    }
+}
+
 /// The Fig. 2 engine: a persistent graph with batch and streaming paths.
 pub struct FlowEngine {
     stream: StreamEngine,
@@ -265,6 +498,10 @@ pub struct FlowEngine {
     /// Overload events (LoadShed / Degraded / CircuitBreaker) pending
     /// collection via [`Self::take_overload_events`].
     overload_events: Vec<Event>,
+    /// Observability sink: span totals, latency histograms, and the
+    /// unified event journal. Disabled (free) unless configured through
+    /// [`FlowConfig::recorder`] or [`Self::set_recorder`].
+    recorder: Recorder,
     /// Degradation-ladder thresholds.
     pub overload: OverloadConfig,
     /// Extraction settings used by both paths.
@@ -286,6 +523,14 @@ impl FlowEngine {
         )
     }
 
+    /// Start a [`FlowConfig`] builder — the one coherent way to
+    /// configure parallelism, budgets, retry/breaker, admission,
+    /// overload thresholds, durability, and observability at
+    /// construction time.
+    pub fn builder() -> FlowConfig {
+        FlowConfig::default()
+    }
+
     /// Engine over an existing persistent graph.
     pub fn with_graph(graph: DynamicGraph, props: PropertyStore) -> Self {
         let overload = OverloadConfig::default();
@@ -301,6 +546,7 @@ impl FlowEngine {
             batch_latency: Ewma::new(overload.latency_alpha),
             level: DegradationLevel::Full,
             overload_events: Vec::new(),
+            recorder: Recorder::disabled(),
             overload,
             extract: ExtractOptions {
                 depth: 2,
@@ -349,12 +595,39 @@ impl FlowEngine {
         self.stream.stats()
     }
 
+    /// Attach (or replace) the observability recorder, threading it
+    /// through the kernel context, stream engine, WAL, and checkpoint
+    /// writer. Pass [`Recorder::disabled`] to turn instrumentation off.
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.kernel_ctx.recorder = recorder.clone();
+        self.stream.set_recorder(recorder.clone());
+        if let Some(d) = self.durability.as_mut() {
+            d.set_recorder(recorder.clone());
+        }
+        self.recorder = recorder;
+    }
+
+    /// The attached recorder (disabled by default). Callers owning flow
+    /// stages the engine cannot see — e.g. the dedup pass feeding
+    /// [`Self::note_ingest`] — open their own spans on this.
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
+    }
+
+    /// Point-in-time export of everything the recorder has seen: span
+    /// totals and wall-time histograms for every [`Step`], plus the
+    /// journal of overload events. Empty (but schema-valid) when the
+    /// recorder is disabled.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.recorder.snapshot()
+    }
+
     /// Record that `records → entities` dedup ingest happened (the
     /// caller builds graph edges from the deduped entities; see the
     /// NORA example for the full path).
     pub fn note_ingest(&mut self, records: usize, entities: usize) {
-        self.stats.records_ingested += records;
-        self.stats.entities_created += entities;
+        self.stats.ingest.records_ingested += records;
+        self.stats.ingest.entities_created += entities;
     }
 
     /// Resolve selection criteria into seed vertices.
@@ -389,8 +662,19 @@ impl FlowEngine {
         criteria: &SelectionCriteria,
         analytic_idx: usize,
     ) -> BatchRunReport {
+        let mut span = self.recorder.span(Step::Selection);
         let seeds = self.select_seeds(criteria);
-        self.stats.seeds_selected += seeds.len();
+        if span.is_recording() {
+            // Explicit selection touches only its own list; every other
+            // criterion scans the full vertex set.
+            let scanned = match criteria {
+                SelectionCriteria::Explicit(v) => v.len() as u64,
+                _ => self.stream.graph().num_vertices() as u64,
+            };
+            span.add(scanned, scanned * 8, 0, 0);
+        }
+        drop(span);
+        self.stats.analytics.seeds_selected += seeds.len();
         self.run_batch_on_seeds(&seeds, analytic_idx)
     }
 
@@ -400,46 +684,69 @@ impl FlowEngine {
         // after an update batch only the dirtied rows are rebuilt.
         let snap = self.stream.csr_snapshot(self.kernel_ctx.parallelism);
         let snap_stats = self.stream.take_snapshot_stats();
-        self.stats.snapshot_rebuilds += snap_stats.rebuilds() as usize;
-        self.stats.snapshot_rows_reused += snap_stats.rows_reused as usize;
-        self.stats.snapshot_mem_bytes += snap_stats.mem_bytes as usize;
+        self.stats.snapshots.rebuilds += snap_stats.rebuilds() as usize;
+        self.stats.snapshots.rows_reused += snap_stats.rows_reused as usize;
+        self.stats.snapshots.mem_bytes += snap_stats.mem_bytes as usize;
+        let mut span = self.recorder.span(Step::Extraction);
         let cols: Vec<&str> = self.project_columns.iter().map(|s| s.as_str()).collect();
         let props_ref = (!cols.is_empty()).then(|| (self.stream.props(), cols.as_slice()));
         let sub = extract_ball(&snap, seeds, &self.extract, props_ref);
-        self.stats.subgraphs_extracted += 1;
-        self.stats.vertices_extracted += sub.num_vertices();
-        self.stats.edges_extracted += sub.graph.num_edges();
+        if span.is_recording() {
+            let (nv, ne) = (sub.num_vertices() as u64, sub.graph.num_edges() as u64);
+            // One visit per vertex + edge; ids and CSR copies dominate
+            // the memory traffic.
+            span.add(nv + ne, nv * 8 + ne * 16, 0, 0);
+        }
+        drop(span);
+        self.stats.analytics.subgraphs_extracted += 1;
+        self.stats.analytics.vertices_extracted += sub.num_vertices();
+        self.stats.analytics.edges_extracted += sub.graph.num_edges();
 
         let analytic = &self.analytics[analytic_idx];
         let name = analytic.name();
+        let mut span = self.recorder.span(Step::BatchAnalytic);
         let out = analytic.run(&sub, &self.kernel_ctx);
         // Drain the kernels' operation counters into the run stats — the
-        // measured inputs model calibration consumes.
+        // measured inputs model calibration consumes — and attribute the
+        // same work to the analytic's span.
         let ops = self.kernel_ctx.take();
-        self.stats.kernel_cpu_ops += ops.cpu_ops as usize;
-        self.stats.kernel_mem_bytes += ops.mem_bytes as usize;
-        self.stats.kernel_edges_touched += ops.edges_touched as usize;
+        span.add(ops.cpu_ops, ops.mem_bytes, 0, 0);
+        drop(span);
+        self.stats.analytics.kernel_cpu_ops += ops.cpu_ops as usize;
+        self.stats.analytics.kernel_mem_bytes += ops.mem_bytes as usize;
+        self.stats.analytics.kernel_edges_touched += ops.edges_touched as usize;
         // A budgeted run that tripped its op/deadline bound produced a
         // typed partial result (see the Completion fields on kernel
         // results) — count it.
         if self.kernel_ctx.budget.take_hits() > 0 {
-            self.stats.deadline_partials += 1;
+            self.stats.overload.deadline_partials += 1;
         }
-        self.stats.batch_runs += 1;
-        self.stats.globals_produced += out.globals.len();
-        self.stats.alerts_raised += out.alerts.len();
+        self.stats.analytics.batch_runs += 1;
+        self.stats.analytics.globals_produced += out.globals.len();
+        self.stats.analytics.alerts_raised += out.alerts.len();
 
         // Write back per-vertex results through the back-map ("use of
         // the analytic to compute/update properties of vertices ... sent
         // back to update the original persistent graph").
+        let mut span = self.recorder.span(Step::WriteBack);
+        let mut written = 0usize;
         for (prop_name, values) in &out.vertex_props {
             assert_eq!(values.len(), sub.num_vertices());
             for (local, &value) in values.iter().enumerate() {
                 let global = sub.back_map[local];
                 self.stream.props_mut().set(prop_name, global, value);
-                self.stats.props_written_back += 1;
+                written += 1;
             }
         }
+        if span.is_recording() {
+            // Each write-back is a property-store update shipped to the
+            // persistent side: name lookup + one f64 slot, modeled as a
+            // network transfer in the distributed configurations.
+            let w = written as u64;
+            span.add(w, w * 8, 0, w * 8);
+        }
+        drop(span);
+        self.stats.analytics.props_written_back += written;
         BatchRunReport {
             analytic: name,
             seeds: seeds.to_vec(),
@@ -475,20 +782,20 @@ impl FlowEngine {
         run_analytics: bool,
     ) -> Vec<BatchRunReport> {
         let quarantined = self.stream.apply_batch(batch);
-        self.stats.updates_applied += batch.updates.len() - quarantined;
-        self.stats.updates_quarantined += quarantined;
+        self.stats.ingest.updates_applied += batch.updates.len() - quarantined;
+        self.stats.ingest.updates_quarantined += quarantined;
         let events = self.stream.take_events();
-        self.stats.events_observed += events.len();
+        self.stats.ingest.events_observed += events.len();
         let mut reports = Vec::new();
         for ev in &events {
             if let Some(seeds) = trigger(ev) {
-                self.stats.triggers_fired += 1;
+                self.stats.ingest.triggers_fired += 1;
                 if let Some(idx) = analytic_idx {
-                    self.stats.seeds_selected += seeds.len();
+                    self.stats.analytics.seeds_selected += seeds.len();
                     if run_analytics {
                         reports.push(self.run_batch_on_seeds(&seeds, idx));
                     } else {
-                        self.stats.analytics_skipped += 1;
+                        self.stats.overload.analytics_skipped += 1;
                     }
                 }
             }
@@ -509,9 +816,19 @@ impl FlowEngine {
     /// analytic write-backs that predate durability (those are not in
     /// the WAL and are only durable via checkpoints). Fails if `dir`
     /// already holds engine state; use [`Self::recover`] for that.
+    #[deprecated(
+        since = "0.5.0",
+        note = "use FlowEngine::builder().durability_dir(dir).build(..)"
+    )]
     pub fn enable_durability(&mut self, dir: impl AsRef<Path>) -> io::Result<()> {
+        self.enable_durability_impl(dir.as_ref())
+    }
+
+    fn enable_durability_impl(&mut self, dir: &Path) -> io::Result<()> {
         let ckpt = self.snapshot(1);
-        self.durability = Some(Durability::create(dir, &ckpt)?);
+        let mut d = Durability::create(dir, &ckpt)?;
+        d.set_recorder(self.recorder.clone());
+        self.durability = Some(d);
         Ok(())
     }
 
@@ -589,7 +906,7 @@ impl FlowEngine {
                     if attempt < self.retry.max_retries {
                         std::thread::sleep(self.retry.delay(attempt));
                         attempt += 1;
-                        self.stats.durability_retries += 1;
+                        self.stats.durability.retries += 1;
                     } else {
                         break e;
                     }
@@ -607,10 +924,13 @@ impl FlowEngine {
     /// and emit a `CircuitBreaker` event.
     fn trip_breaker(&mut self) {
         self.durability_suspended = true;
-        self.stats.breaker_trips += 1;
-        self.stats.alerts_raised += 1;
+        self.stats.durability.breaker_trips += 1;
+        self.stats.analytics.alerts_raised += 1;
+        let time = self.stream.last_batch_time();
+        self.recorder
+            .journal(time, "circuit_breaker", "durability open".into());
         self.overload_events.push(Event {
-            time: self.stream.last_batch_time(),
+            time,
             source: "flow",
             kind: EventKind::CircuitBreaker {
                 site: "durability",
@@ -670,7 +990,7 @@ impl FlowEngine {
                 Err(e) => break Err(e),
             }
         };
-        self.stats.durability_retries += attempt as usize;
+        self.stats.durability.retries += attempt as usize;
         match result {
             Ok(path) => {
                 self.breaker.record_success();
@@ -736,6 +1056,7 @@ impl FlowEngine {
     /// Replace the admission queue's watermarks. Panics if batches are
     /// still queued (drain with [`Self::pump`] first) — resizing a
     /// non-empty queue would silently reclassify already-admitted work.
+    #[deprecated(since = "0.5.0", note = "use FlowEngine::builder().admission(cfg)")]
     pub fn set_admission_config(&mut self, cfg: AdmissionConfig) {
         assert!(
             self.admission.is_empty(),
@@ -746,6 +1067,7 @@ impl FlowEngine {
 
     /// Set the retry policy for durable writes. The default is
     /// [`RetryPolicy::none`] — the PR 2 fail-fast contract.
+    #[deprecated(since = "0.5.0", note = "use FlowEngine::builder().retry(policy)")]
     pub fn set_retry_policy(&mut self, policy: RetryPolicy) {
         self.retry = policy;
     }
@@ -756,6 +1078,10 @@ impl FlowEngine {
     }
 
     /// Replace the durability circuit breaker (sets its trip threshold).
+    #[deprecated(
+        since = "0.5.0",
+        note = "use FlowEngine::builder().breaker_threshold(n)"
+    )]
     pub fn set_breaker(&mut self, breaker: CircuitBreaker) {
         self.breaker = breaker;
     }
@@ -776,8 +1102,11 @@ impl FlowEngine {
         self.breaker.reset();
         if self.durability_suspended {
             self.durability_suspended = false;
+            let time = self.stream.last_batch_time();
+            self.recorder
+                .journal(time, "circuit_breaker", "durability closed".into());
             self.overload_events.push(Event {
-                time: self.stream.last_batch_time(),
+                time,
                 source: "flow",
                 kind: EventKind::CircuitBreaker {
                     site: "durability",
@@ -795,8 +1124,25 @@ impl FlowEngine {
     pub fn offer(&mut self, class: Priority, batch: UpdateBatch) -> AdmissionDecision {
         let lost_before = self.admission.stats().total_lost();
         let decision = self.admission.offer(class, batch);
-        self.stats.updates_shed += self.admission.stats().total_lost() - lost_before;
-        self.overload_events.extend(self.admission.take_events());
+        self.stats.overload.updates_shed += self.admission.stats().total_lost() - lost_before;
+        let events = self.admission.take_events();
+        if self.recorder.is_enabled() {
+            for ev in &events {
+                if let EventKind::LoadShed {
+                    class,
+                    updates,
+                    queue_depth,
+                } = ev.kind
+                {
+                    self.recorder.journal(
+                        ev.time,
+                        "load_shed",
+                        format!("{class}: {updates} updates at depth {queue_depth}"),
+                    );
+                }
+            }
+        }
+        self.overload_events.extend(events);
         decision
     }
 
@@ -854,8 +1200,21 @@ impl FlowEngine {
     /// last pump (recovery back toward `Full` is reported the same way).
     fn note_level(&mut self, level: DegradationLevel) {
         if level != self.level {
+            let time = self.stream.last_batch_time();
+            if self.recorder.is_enabled() {
+                self.recorder.journal(
+                    time,
+                    "degraded",
+                    format!(
+                        "{} -> {} at depth {}",
+                        self.level.name(),
+                        level.name(),
+                        self.admission.depth()
+                    ),
+                );
+            }
             self.overload_events.push(Event {
-                time: self.stream.last_batch_time(),
+                time,
                 source: "flow",
                 kind: EventKind::Degraded {
                     from: self.level.name(),
@@ -930,8 +1289,8 @@ impl FlowEngine {
                 }
                 DegradationLevel::Shed => {
                     let quarantined = self.stream.apply_batch_unmonitored(&batch);
-                    self.stats.updates_applied += batch.updates.len() - quarantined;
-                    self.stats.updates_quarantined += quarantined;
+                    self.stats.ingest.updates_applied += batch.updates.len() - quarantined;
+                    self.stats.ingest.updates_quarantined += quarantined;
                 }
             }
             self.batch_latency.observe(t0.elapsed().as_secs_f64());
@@ -971,9 +1330,9 @@ impl FlowEngine {
             self.append_with_retry(&batch)?;
         }
         self.stream.drain_dead_letters();
-        let before = self.stats.updates_quarantined;
+        let before = self.stats.ingest.updates_quarantined;
         self.process_stream(&batch, |_| None, None);
-        let requarantined = self.stats.updates_quarantined - before;
+        let requarantined = self.stats.ingest.updates_quarantined - before;
         Ok((batch.updates.len() - requarantined, requarantined))
     }
 }
@@ -1125,8 +1484,8 @@ mod tests {
         assert!(e.props().get_f64("component", 19).is_some());
         assert!(e.props().get_f64("component", 10).is_none());
         let s = e.stats();
-        assert_eq!(s.batch_runs, 1);
-        assert_eq!(s.props_written_back, 5);
+        assert_eq!(s.analytics.batch_runs, 1);
+        assert_eq!(s.analytics.props_written_back, 5);
     }
 
     #[test]
@@ -1189,7 +1548,7 @@ mod tests {
         let r = e.run_batch(&SelectionCriteria::Explicit(vec![0]), idx);
         assert_eq!(r.alerts.len(), 1);
         assert_eq!(r.globals[0].1, 10.0); // C(5,3)
-        assert_eq!(e.stats().alerts_raised, 1);
+        assert_eq!(e.stats().analytics.alerts_raised, 1);
     }
 
     #[test]
@@ -1238,9 +1597,9 @@ mod tests {
         }
         assert!(!reports.is_empty(), "no triggered analytic runs");
         let s = e.stats();
-        assert!(s.triggers_fired >= 1);
-        assert_eq!(s.updates_applied, 4);
-        assert!(s.events_observed >= 1);
+        assert!(s.ingest.triggers_fired >= 1);
+        assert_eq!(s.ingest.updates_applied, 4);
+        assert!(s.ingest.events_observed >= 1);
         // Triggered run extracted the pair's neighborhood.
         assert!(reports[0].subgraph_size.0 >= 3);
     }
@@ -1274,10 +1633,10 @@ mod tests {
         e.run_batch(&SelectionCriteria::Explicit(vec![0]), idx);
         e.run_batch(&SelectionCriteria::Explicit(vec![15]), idx);
         let s = e.stats();
-        assert_eq!(s.batch_runs, 2);
-        assert_eq!(s.subgraphs_extracted, 2);
-        assert_eq!(s.seeds_selected, 2);
-        assert_eq!(s.vertices_extracted, 10);
+        assert_eq!(s.analytics.batch_runs, 2);
+        assert_eq!(s.analytics.subgraphs_extracted, 2);
+        assert_eq!(s.analytics.seeds_selected, 2);
+        assert_eq!(s.analytics.vertices_extracted, 10);
     }
 
     #[test]
@@ -1286,22 +1645,22 @@ mod tests {
         let idx = e.register_analytic(Box::new(ComponentsAnalytic));
         e.run_batch(&SelectionCriteria::Explicit(vec![0]), idx);
         let s = e.stats();
-        assert!(s.kernel_cpu_ops > 0);
-        assert!(s.kernel_mem_bytes > 0);
-        assert!(s.kernel_edges_touched > 0);
+        assert!(s.analytics.kernel_cpu_ops > 0);
+        assert!(s.analytics.kernel_mem_bytes > 0);
+        assert!(s.analytics.kernel_edges_touched > 0);
         // The engine-held counters were drained, not left accumulating.
         assert!(e.kernel_ctx.snapshot().is_zero());
         // A second run accumulates further.
         e.run_batch(&SelectionCriteria::Explicit(vec![20]), idx);
-        assert!(e.stats().kernel_edges_touched > s.kernel_edges_touched);
+        assert!(e.stats().analytics.kernel_edges_touched > s.analytics.kernel_edges_touched);
     }
 
     #[test]
     fn note_ingest_counts() {
         let mut e = FlowEngine::new(4);
         e.note_ingest(100, 37);
-        assert_eq!(e.stats().records_ingested, 100);
-        assert_eq!(e.stats().entities_created, 37);
+        assert_eq!(e.stats().ingest.records_ingested, 100);
+        assert_eq!(e.stats().ingest.entities_created, 37);
     }
 
     /// Emits one O(1) event per batch end — a deterministic trigger
@@ -1352,25 +1711,27 @@ mod tests {
         let idx = e.register_analytic(Box::new(ComponentsAnalytic));
         e.kernel_ctx.budget = Budget::ops(0);
         e.run_batch(&SelectionCriteria::Explicit(vec![0]), idx);
-        assert_eq!(e.stats().deadline_partials, 1);
+        assert_eq!(e.stats().overload.deadline_partials, 1);
         // An unlimited run does not count one.
         e.kernel_ctx.budget = Budget::unlimited();
         e.run_batch(&SelectionCriteria::Explicit(vec![5]), idx);
-        assert_eq!(e.stats().deadline_partials, 1);
+        assert_eq!(e.stats().overload.deadline_partials, 1);
     }
 
     #[test]
     fn offer_sheds_over_watermark_and_counts() {
-        let mut e = FlowEngine::new(8);
-        e.set_admission_config(AdmissionConfig {
-            capacity: 100,
-            normal_watermark: 80,
-            bulk_watermark: 40,
-        });
+        let mut e = FlowEngine::builder()
+            .admission(AdmissionConfig {
+                capacity: 100,
+                normal_watermark: 80,
+                bulk_watermark: 40,
+            })
+            .build(8)
+            .unwrap();
         assert!(e.offer(Priority::Bulk, ring_batch(8, 1, 40)).admitted());
         let d = e.offer(Priority::Bulk, ring_batch(8, 2, 10));
         assert!(!d.admitted());
-        assert_eq!(e.stats().updates_shed, 10);
+        assert_eq!(e.stats().overload.updates_shed, 10);
         assert_eq!(e.queue_depth(), 40);
         let evs = e.take_overload_events();
         assert_eq!(evs.len(), 1);
@@ -1386,15 +1747,17 @@ mod tests {
 
     #[test]
     fn pump_walks_the_degradation_ladder() {
-        let mut e = FlowEngine::new(16);
+        let mut e = FlowEngine::builder()
+            .admission(AdmissionConfig {
+                capacity: 1000,
+                normal_watermark: 800,
+                bulk_watermark: 500,
+            })
+            .build(16)
+            .unwrap();
         e.extract.depth = 1;
         e.register_monitor(Box::new(PulseMonitor));
         let idx = e.register_analytic(Box::new(ComponentsAnalytic));
-        e.set_admission_config(AdmissionConfig {
-            capacity: 1000,
-            normal_watermark: 800,
-            bulk_watermark: 500,
-        });
         e.overload.partial_at = 100;
         e.overload.seeds_only_at = 200;
         e.overload.shed_at = 300;
@@ -1409,7 +1772,7 @@ mod tests {
         assert_eq!(e.degradation_level(), DegradationLevel::Full);
         let r = e.pump(1, trigger, Some(idx)).unwrap();
         assert_eq!(r.len(), 1);
-        assert_eq!(e.stats().deadline_partials, 0);
+        assert_eq!(e.stats().overload.deadline_partials, 0);
 
         // Depth 150 → PartialDeadline: runs happen but trip the budget.
         for t in 2..5 {
@@ -1417,8 +1780,8 @@ mod tests {
         }
         assert_eq!(e.degradation_level(), DegradationLevel::PartialDeadline);
         e.pump(1, trigger, Some(idx)).unwrap();
-        assert_eq!(e.stats().deadline_partials, 1);
-        assert_eq!(e.stats().batch_runs, 2);
+        assert_eq!(e.stats().overload.deadline_partials, 1);
+        assert_eq!(e.stats().analytics.batch_runs, 2);
         // The standing budget was restored afterwards.
         assert!(!e.kernel_ctx.budget.is_limited());
 
@@ -1428,17 +1791,21 @@ mod tests {
         }
         assert_eq!(e.degradation_level(), DegradationLevel::SeedsOnly);
         e.pump(1, trigger, Some(idx)).unwrap();
-        assert_eq!(e.stats().analytics_skipped, 1);
-        assert_eq!(e.stats().batch_runs, 2, "no analytic ran");
+        assert_eq!(e.stats().overload.analytics_skipped, 1);
+        assert_eq!(e.stats().analytics.batch_runs, 2, "no analytic ran");
 
         // Depth 300 → Shed: updates applied, no events observed.
         for t in 8..10 {
             e.offer(Priority::Normal, ring_batch(16, t, 50));
         }
         assert_eq!(e.degradation_level(), DegradationLevel::Shed);
-        let observed = e.stats().events_observed;
+        let observed = e.stats().ingest.events_observed;
         e.pump(1, trigger, Some(idx)).unwrap();
-        assert_eq!(e.stats().events_observed, observed, "shed batch is silent");
+        assert_eq!(
+            e.stats().ingest.events_observed,
+            observed,
+            "shed batch is silent"
+        );
 
         // Drain the rest: the ladder recovers to Full and said so.
         e.pump(100, trigger, Some(idx)).unwrap();
@@ -1458,8 +1825,8 @@ mod tests {
         assert_eq!(moves.last().map(|m| m.1), Some("full"), "{moves:?}");
         assert!(moves.iter().any(|m| m.0 == "shed"), "{moves:?}");
         // Every update was accounted: applied, nothing lost.
-        assert_eq!(e.stats().updates_applied, 450);
-        assert_eq!(e.stats().updates_shed, 0);
+        assert_eq!(e.stats().ingest.updates_applied, 450);
+        assert_eq!(e.stats().overload.updates_shed, 0);
     }
 
     #[test]
@@ -1485,12 +1852,12 @@ mod tests {
             |_| None,
             None,
         );
-        assert_eq!(e.stats().updates_quarantined, 1);
+        assert_eq!(e.stats().ingest.updates_quarantined, 1);
         e.set_vertex_limit(100);
         let (applied, requarantined) = e.replay_dead_letters().unwrap();
         assert_eq!((applied, requarantined), (1, 0));
         assert!(e.graph().has_edge(0, 50));
-        assert_eq!(e.stats().updates_applied, 2);
+        assert_eq!(e.stats().ingest.updates_applied, 2);
         // Queue is empty now; a second replay is a no-op.
         assert_eq!(e.replay_dead_letters().unwrap(), (0, 0));
     }
@@ -1501,13 +1868,13 @@ mod tests {
         let idx = e.register_analytic(Box::new(ComponentsAnalytic));
         e.run_batch(&SelectionCriteria::Explicit(vec![0]), idx);
         let s1 = e.stats();
-        assert_eq!(s1.snapshot_rebuilds, 1, "first run freezes the graph");
-        assert!(s1.snapshot_mem_bytes > 0);
+        assert_eq!(s1.snapshots.rebuilds, 1, "first run freezes the graph");
+        assert!(s1.snapshots.mem_bytes > 0);
         // Second run against the unchanged graph: cache hit, no rebuild.
         e.run_batch(&SelectionCriteria::Explicit(vec![20]), idx);
         let s2 = e.stats();
-        assert_eq!(s2.snapshot_rebuilds, 1, "unchanged graph must not rebuild");
-        assert_eq!(s2.snapshot_mem_bytes, s1.snapshot_mem_bytes);
+        assert_eq!(s2.snapshots.rebuilds, 1, "unchanged graph must not rebuild");
+        assert_eq!(s2.snapshots.mem_bytes, s1.snapshots.mem_bytes);
         // An update dirties two rows (symmetrized insert); the next run
         // takes the delta path and reuses every clean row.
         e.process_stream(
@@ -1524,7 +1891,7 @@ mod tests {
         );
         e.run_batch(&SelectionCriteria::Explicit(vec![0]), idx);
         let s3 = e.stats();
-        assert_eq!(s3.snapshot_rebuilds, 2);
-        assert_eq!(s3.snapshot_rows_reused, 38, "40 rows - 2 dirty");
+        assert_eq!(s3.snapshots.rebuilds, 2);
+        assert_eq!(s3.snapshots.rows_reused, 38, "40 rows - 2 dirty");
     }
 }

@@ -150,6 +150,10 @@ pub struct KernelCtx {
     pub counters: OpCounters,
     /// Cooperative cancellation budget; unlimited by default.
     pub budget: Budget,
+    /// Observability sink: callers that drain [`OpCounters`] attribute
+    /// the drained work to a [`ga_obs::Step`] span here. Disabled (a
+    /// no-op) by default.
+    pub recorder: ga_obs::Recorder,
 }
 
 impl KernelCtx {
@@ -159,6 +163,7 @@ impl KernelCtx {
             parallelism,
             counters: OpCounters::new(),
             budget: Budget::default(),
+            recorder: ga_obs::Recorder::disabled(),
         }
     }
 

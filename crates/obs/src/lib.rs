@@ -1,0 +1,36 @@
+//! `ga-obs` — the explicit instrumentation layer the paper's conclusion
+//! calls for: "a reference implementation, with explicit
+//! instrumentation, of a combined [batch+streaming] benchmark [to]
+//! allow calibration of the model".
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Zero dependencies.** The workspace builds offline; this crate
+//!    uses only `std` (atomics, `Instant`, one rarely-taken `Mutex`).
+//! 2. **Free when disabled.** A [`Recorder`] is a nullable handle; a
+//!    disabled recorder hands out spans that never read the clock and
+//!    whose drop is a branch-predicted no-op, so production paths pay
+//!    one `Option` test per span.
+//! 3. **Lock-free when enabled.** Span flushes are relaxed atomic adds
+//!    into per-step cells and fixed log2-bucket histograms; only the
+//!    bounded event journal takes a lock, and journal pushes are rare
+//!    (sheds, degradations, breaker trips — not per-update).
+//! 4. **Versioned export.** [`MetricsSnapshot`] serialises to a single
+//!    JSON line (`ga-obs/v1` schema) with a hand-rolled writer/parser
+//!    so traces round-trip without a serde dependency.
+//!
+//! The step taxonomy ([`Step`]) follows the paper's Fig. 2/Fig. 3 NORA
+//! flow so measured traces line up one-to-one with the analytic cost
+//! model in `ga-core::calibrate`.
+
+mod hist;
+mod json;
+mod recorder;
+mod snapshot;
+mod step;
+
+pub use hist::{HistogramSnapshot, Log2Histogram};
+pub use json::Json;
+pub use recorder::{ObsEvent, Recorder, Span, DEFAULT_JOURNAL_CAP};
+pub use snapshot::{EventRecord, MetricsSnapshot, StepMetrics, SCHEMA};
+pub use step::Step;

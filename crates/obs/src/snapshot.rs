@@ -1,0 +1,284 @@
+//! [`MetricsSnapshot`]: the versioned, plain-data export of a
+//! [`crate::Recorder`] — one JSON line per snapshot, parse-strict on
+//! read so schema drift fails loudly instead of silently miscounting.
+
+use crate::hist::HistogramSnapshot;
+use crate::json::{obj, Json};
+use crate::step::Step;
+
+/// Schema identifier stamped into every exported line. Any
+/// incompatible change to the field set must bump this.
+pub const SCHEMA: &str = "ga-obs/v1";
+
+/// Totals for one step: the paper's four resources plus wall time and
+/// a sparse log2 latency histogram of per-span wall times.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StepMetrics {
+    /// Which pipeline step this row describes.
+    pub step: Step,
+    /// Number of spans recorded.
+    pub count: u64,
+    /// CPU operations attributed to this step.
+    pub cpu_ops: u64,
+    /// Memory-traffic bytes attributed to this step.
+    pub mem_bytes: u64,
+    /// Disk bytes attributed to this step.
+    pub disk_bytes: u64,
+    /// Network bytes attributed to this step.
+    pub net_bytes: u64,
+    /// Total wall time across spans, nanoseconds.
+    pub wall_nanos: u64,
+    /// Sparse `(log2-bucket, count)` histogram of span wall times.
+    pub hist: Vec<(u8, u64)>,
+}
+
+impl StepMetrics {
+    fn zero(step: Step) -> StepMetrics {
+        StepMetrics {
+            step,
+            count: 0,
+            cpu_ops: 0,
+            mem_bytes: 0,
+            disk_bytes: 0,
+            net_bytes: 0,
+            wall_nanos: 0,
+            hist: Vec::new(),
+        }
+    }
+
+    /// The four resources as an array in the paper's order
+    /// `[cpu_ops, mem_bytes, disk_bytes, net_bytes]`.
+    pub fn resources(&self) -> [u64; 4] {
+        [
+            self.cpu_ops,
+            self.mem_bytes,
+            self.disk_bytes,
+            self.net_bytes,
+        ]
+    }
+
+    /// Rehydrate the dense histogram for quantile queries.
+    pub fn histogram(&self) -> Option<HistogramSnapshot> {
+        HistogramSnapshot::from_nonzero(&self.hist)
+    }
+}
+
+/// One journal entry in export form (owned category string).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EventRecord {
+    /// Monotone sequence number.
+    pub seq: u64,
+    /// Producer-supplied logical time.
+    pub time: u64,
+    /// Stable event category.
+    pub category: String,
+    /// Human-readable detail.
+    pub detail: String,
+}
+
+/// A complete point-in-time metrics export: all nine steps (always
+/// present, zeroed if unused — consumers never need existence checks)
+/// plus the event journal.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// One row per [`Step`], in [`Step::ALL`] order.
+    pub steps: Vec<StepMetrics>,
+    /// Journal contents at snapshot time (bounded; oldest evicted).
+    pub events: Vec<EventRecord>,
+}
+
+impl MetricsSnapshot {
+    /// An all-zero snapshot (what a disabled recorder exports).
+    pub fn empty() -> MetricsSnapshot {
+        MetricsSnapshot {
+            steps: Step::ALL.into_iter().map(StepMetrics::zero).collect(),
+            events: Vec::new(),
+        }
+    }
+
+    /// Row for one step (steps are always dense, so this is a direct
+    /// index).
+    pub fn step(&self, step: Step) -> &StepMetrics {
+        &self.steps[step.idx()]
+    }
+
+    /// Number of steps that actually recorded at least one span.
+    pub fn steps_covered(&self) -> usize {
+        self.steps.iter().filter(|s| s.count > 0).count()
+    }
+
+    /// Serialise to one compact JSON line (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let steps = self
+            .steps
+            .iter()
+            .map(|s| {
+                obj(vec![
+                    ("step", Json::Str(s.step.name().to_string())),
+                    ("count", Json::UInt(s.count)),
+                    ("cpu_ops", Json::UInt(s.cpu_ops)),
+                    ("mem_bytes", Json::UInt(s.mem_bytes)),
+                    ("disk_bytes", Json::UInt(s.disk_bytes)),
+                    ("net_bytes", Json::UInt(s.net_bytes)),
+                    ("wall_nanos", Json::UInt(s.wall_nanos)),
+                    (
+                        "hist",
+                        Json::Arr(
+                            s.hist
+                                .iter()
+                                .map(|&(b, c)| Json::Arr(vec![Json::UInt(b as u64), Json::UInt(c)]))
+                                .collect(),
+                        ),
+                    ),
+                ])
+            })
+            .collect();
+        let events = self
+            .events
+            .iter()
+            .map(|e| {
+                obj(vec![
+                    ("seq", Json::UInt(e.seq)),
+                    ("time", Json::UInt(e.time)),
+                    ("category", Json::Str(e.category.clone())),
+                    ("detail", Json::Str(e.detail.clone())),
+                ])
+            })
+            .collect();
+        obj(vec![
+            ("schema", Json::Str(SCHEMA.to_string())),
+            ("steps", Json::Arr(steps)),
+            ("events", Json::Arr(events)),
+        ])
+        .to_string_compact()
+    }
+
+    /// Parse one exported line. Strict: wrong schema tag, missing
+    /// fields, unknown step names or type mismatches are all errors.
+    pub fn from_json(line: &str) -> Result<MetricsSnapshot, String> {
+        let v = Json::parse(line)?;
+        let schema = v
+            .get("schema")
+            .and_then(Json::as_str)
+            .ok_or("missing schema tag")?;
+        if schema != SCHEMA {
+            return Err(format!(
+                "unsupported schema {schema:?}, expected {SCHEMA:?}"
+            ));
+        }
+        let mut snap = MetricsSnapshot::empty();
+        let steps = v
+            .get("steps")
+            .and_then(Json::as_arr)
+            .ok_or("missing steps array")?;
+        let mut seen = [false; Step::COUNT];
+        for row in steps {
+            let name = row
+                .get("step")
+                .and_then(Json::as_str)
+                .ok_or("step row missing name")?;
+            let step = Step::from_name(name).ok_or_else(|| format!("unknown step {name:?}"))?;
+            if seen[step.idx()] {
+                return Err(format!("duplicate step {name:?}"));
+            }
+            seen[step.idx()] = true;
+            let field = |key: &str| {
+                row.get(key)
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| format!("step {name:?} missing u64 field {key:?}"))
+            };
+            let mut hist = Vec::new();
+            for pair in row
+                .get("hist")
+                .and_then(Json::as_arr)
+                .ok_or_else(|| format!("step {name:?} missing hist"))?
+            {
+                match pair.as_arr() {
+                    Some([b, c]) => {
+                        let b = b.as_u64().filter(|&b| b < 64).ok_or("bad hist bucket")?;
+                        hist.push((b as u8, c.as_u64().ok_or("bad hist count")?));
+                    }
+                    _ => return Err("hist entries must be [bucket, count] pairs".into()),
+                }
+            }
+            snap.steps[step.idx()] = StepMetrics {
+                step,
+                count: field("count")?,
+                cpu_ops: field("cpu_ops")?,
+                mem_bytes: field("mem_bytes")?,
+                disk_bytes: field("disk_bytes")?,
+                net_bytes: field("net_bytes")?,
+                wall_nanos: field("wall_nanos")?,
+                hist,
+            };
+        }
+        if let Some(missing) = Step::ALL.into_iter().find(|s| !seen[s.idx()]) {
+            return Err(format!("missing step {:?}", missing.name()));
+        }
+        for ev in v
+            .get("events")
+            .and_then(Json::as_arr)
+            .ok_or("missing events array")?
+        {
+            let u = |key: &str| {
+                ev.get(key)
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| format!("event missing u64 field {key:?}"))
+            };
+            let s = |key: &str| {
+                ev.get(key)
+                    .and_then(Json::as_str)
+                    .map(str::to_string)
+                    .ok_or_else(|| format!("event missing string field {key:?}"))
+            };
+            snap.events.push(EventRecord {
+                seq: u("seq")?,
+                time: u("time")?,
+                category: s("category")?,
+                detail: s("detail")?,
+            });
+        }
+        Ok(snap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let mut snap = MetricsSnapshot::empty();
+        snap.steps[Step::Wal.idx()] = StepMetrics {
+            step: Step::Wal,
+            count: 3,
+            cpu_ops: 1,
+            mem_bytes: 2,
+            disk_bytes: u64::MAX,
+            net_bytes: 4,
+            wall_nanos: 5,
+            hist: vec![(0, 1), (13, 2)],
+        };
+        snap.events.push(EventRecord {
+            seq: 9,
+            time: 77,
+            category: "load_shed".into(),
+            detail: "class=bulk updates=100 \"quoted\"".into(),
+        });
+        let line = snap.to_json();
+        assert!(!line.contains('\n'));
+        assert_eq!(MetricsSnapshot::from_json(&line).unwrap(), snap);
+    }
+
+    #[test]
+    fn rejects_schema_drift() {
+        let snap = MetricsSnapshot::empty();
+        let line = snap.to_json();
+        let wrong = line.replace("ga-obs/v1", "ga-obs/v999");
+        assert!(MetricsSnapshot::from_json(&wrong)
+            .unwrap_err()
+            .contains("unsupported schema"));
+        let missing = line.replace("\"dedup\"", "\"not_a_step\"");
+        assert!(MetricsSnapshot::from_json(&missing).is_err());
+    }
+}

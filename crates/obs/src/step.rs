@@ -1,0 +1,101 @@
+//! The instrumented step taxonomy: the paper's Fig. 2 canonical flow
+//! stages plus the durability machinery added around them.
+
+/// One instrumented stage of the combined batch + streaming flow.
+///
+/// The first six variants are the Fig. 2 pipeline read left to right
+/// (bulk dedup, streaming ingest, seed selection, subgraph extraction,
+/// batch analytic, property write-back); the last three are the
+/// persistence machinery (WAL append, checkpoint write, CSR snapshot
+/// freeze) that the durability PRs added underneath it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Step {
+    /// Batch entity resolution: noisy records → deduplicated entities.
+    Dedup,
+    /// Streaming update ingest into the dynamic graph (per batch).
+    Ingest,
+    /// Seed selection over the persistent graph.
+    Selection,
+    /// Ball/subgraph extraction around the seeds.
+    Extraction,
+    /// The heavyweight batch analytic on the extracted subgraph.
+    BatchAnalytic,
+    /// Property write-back from analytic results to the graph store.
+    WriteBack,
+    /// Write-ahead-log append (durable ingest path).
+    Wal,
+    /// Checkpoint serialisation + atomic rename.
+    Checkpoint,
+    /// CSR snapshot freeze (full or delta rebuild).
+    Snapshot,
+}
+
+impl Step {
+    /// Every step, in pipeline order. The export schema lists steps in
+    /// exactly this order.
+    pub const ALL: [Step; 9] = [
+        Step::Dedup,
+        Step::Ingest,
+        Step::Selection,
+        Step::Extraction,
+        Step::BatchAnalytic,
+        Step::WriteBack,
+        Step::Wal,
+        Step::Checkpoint,
+        Step::Snapshot,
+    ];
+
+    /// Number of steps (size of per-step arrays).
+    pub const COUNT: usize = Self::ALL.len();
+
+    /// Dense index for per-step arrays; inverse of [`Step::ALL`].
+    pub fn idx(self) -> usize {
+        match self {
+            Step::Dedup => 0,
+            Step::Ingest => 1,
+            Step::Selection => 2,
+            Step::Extraction => 3,
+            Step::BatchAnalytic => 4,
+            Step::WriteBack => 5,
+            Step::Wal => 6,
+            Step::Checkpoint => 7,
+            Step::Snapshot => 8,
+        }
+    }
+
+    /// Stable lowercase name used in the JSON export schema. Renaming
+    /// one is a schema break and requires a version bump.
+    pub fn name(self) -> &'static str {
+        match self {
+            Step::Dedup => "dedup",
+            Step::Ingest => "ingest",
+            Step::Selection => "selection",
+            Step::Extraction => "extraction",
+            Step::BatchAnalytic => "batch_analytic",
+            Step::WriteBack => "write_back",
+            Step::Wal => "wal",
+            Step::Checkpoint => "checkpoint",
+            Step::Snapshot => "snapshot",
+        }
+    }
+
+    /// Parse a schema name back to a step (strict; used by the trace
+    /// reader so malformed exports fail loudly).
+    pub fn from_name(name: &str) -> Option<Step> {
+        Step::ALL.into_iter().find(|s| s.name() == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idx_is_inverse_of_all() {
+        for (i, s) in Step::ALL.into_iter().enumerate() {
+            assert_eq!(s.idx(), i);
+            assert_eq!(Step::from_name(s.name()), Some(s));
+        }
+        assert_eq!(Step::from_name("bogus"), None);
+    }
+}

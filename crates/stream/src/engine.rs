@@ -105,6 +105,9 @@ pub struct StreamEngine {
     /// previous CSR's clean rows and rebuild only rows the stream
     /// dirtied since (see [`ga_graph::snapshot`]).
     snapshots: SnapshotCache,
+    /// Observability sink: ingest batches and snapshot freezes record
+    /// spans here. Disabled (free) by default.
+    recorder: ga_obs::Recorder,
     /// Vertex ids at or beyond this bound are quarantined, not grown.
     vertex_limit: usize,
     /// Highest batch timestamp applied so far (0 before any batch).
@@ -134,6 +137,7 @@ impl StreamEngine {
             stats: StreamStats::default(),
             dead_letters: VecDeque::new(),
             snapshots: SnapshotCache::new(),
+            recorder: ga_obs::Recorder::disabled(),
             vertex_limit: DEFAULT_VERTEX_LIMIT,
             last_batch_time: 0,
             symmetrize: true,
@@ -143,6 +147,11 @@ impl StreamEngine {
     /// Attach a monitor.
     pub fn register(&mut self, m: Box<dyn Monitor>) {
         self.monitors.push(m);
+    }
+
+    /// Attach an observability recorder (ingest + snapshot spans).
+    pub fn set_recorder(&mut self, recorder: ga_obs::Recorder) {
+        self.recorder = recorder;
     }
 
     /// The live graph.
@@ -166,7 +175,11 @@ impl StreamEngine {
     /// are copied from the previous snapshot. Bit-identical to
     /// `self.graph().snapshot()`.
     pub fn csr_snapshot(&mut self, par: Parallelism) -> Arc<CsrGraph> {
-        self.snapshots.snapshot(&self.graph, par)
+        let mut span = self.recorder.span(ga_obs::Step::Snapshot);
+        let mem_before = self.snapshots.stats().mem_bytes;
+        let csr = self.snapshots.snapshot(&self.graph, par);
+        span.add_mem_bytes(self.snapshots.stats().mem_bytes - mem_before);
+        csr
     }
 
     /// Snapshot-cache counters since the last drain.
@@ -248,6 +261,14 @@ impl StreamEngine {
     }
 
     fn apply_batch_inner(&mut self, batch: &UpdateBatch, notify: bool) -> usize {
+        // One ingest span per batch (not per update): CPU ≈ one op per
+        // update, memory ≈ the touched adjacency entries, network ≈ the
+        // wire encoding (~13 bytes/update, cf. `wal::encode_batch`).
+        let mut span = self.recorder.span(ga_obs::Step::Ingest);
+        if span.is_recording() {
+            let n = batch.updates.len() as u64;
+            span.add(n, n * std::mem::size_of::<Update>() as u64, 0, 16 + n * 13);
+        }
         let before = self.stats.updates_quarantined;
         if batch.time < self.last_batch_time {
             // Time went backwards: the whole batch is suspect.

@@ -219,6 +219,9 @@ pub struct Wal {
     /// Bytes of intact frames on disk — everything past this offset is a
     /// torn tail from a failed append.
     valid_len: u64,
+    /// Observability sink; appends record a [`ga_obs::Step::Wal`] span
+    /// with the frame's disk bytes. Disabled (free) by default.
+    recorder: ga_obs::Recorder,
 }
 
 impl Wal {
@@ -235,6 +238,7 @@ impl Wal {
             path,
             next_seq: first_seq,
             valid_len: 0,
+            recorder: ga_obs::Recorder::disabled(),
         })
     }
 
@@ -258,7 +262,14 @@ impl Wal {
             path,
             next_seq,
             valid_len: scan.valid_len,
+            recorder: ga_obs::Recorder::disabled(),
         })
+    }
+
+    /// Attach an observability recorder (call again after log
+    /// rotation — a fresh [`Wal::create`] starts disabled).
+    pub fn set_recorder(&mut self, recorder: ga_obs::Recorder) {
+        self.recorder = recorder;
     }
 
     /// The log's path on disk.
@@ -278,6 +289,9 @@ impl Wal {
     /// the file untouched; an injected short write leaves a torn tail
     /// exactly as a crash mid-write would.
     pub fn append(&mut self, batch: &UpdateBatch) -> io::Result<u64> {
+        // Spans count *attempts*: a failed append records wall time with
+        // zero disk bytes, so retry storms are visible in the trace.
+        let mut span = self.recorder.span(ga_obs::Step::Wal);
         let frame = frame_bytes(self.next_seq, &encode_batch(batch));
         match faults::intercept("wal.append") {
             faults::Intercept::Proceed => {}
@@ -291,6 +305,7 @@ impl Wal {
         }
         self.file.write_all(&frame)?;
         self.file.sync_data()?;
+        span.add_disk_bytes(frame.len() as u64);
         self.valid_len += frame.len() as u64;
         let seq = self.next_seq;
         self.next_seq += 1;

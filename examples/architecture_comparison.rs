@@ -15,8 +15,9 @@ use graph_analytics::archsim::sparse::{
 use graph_analytics::core::model::{
     all_upgrades, baseline2012, emu3, evaluate, nora_steps, stack_only_3d,
 };
-use graph_analytics::graph::{gen, CsrGraph};
+use graph_analytics::graph::gen;
 use graph_analytics::linalg::CooMatrix;
+use graph_analytics::prelude::*;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 

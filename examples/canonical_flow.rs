@@ -7,17 +7,18 @@
 //! cargo run --release --example canonical_flow
 //! ```
 
-use graph_analytics::core::flow::{
-    ComponentsAnalytic, FlowEngine, PageRankAnalytic, SelectionCriteria, TriangleAnalytic,
-};
+use graph_analytics::prelude::*;
 use graph_analytics::stream::jaccard_stream::JaccardMonitor;
-use graph_analytics::stream::update::{into_batches, rmat_edge_stream};
-use graph_analytics::stream::EventKind;
 
 fn main() {
-    let mut flow = FlowEngine::new(1 << 12);
-    flow.extract.depth = 2;
-    flow.extract.max_vertices = 512;
+    let mut flow = FlowEngine::builder()
+        .extract(ExtractOptions {
+            depth: 2,
+            max_vertices: 512,
+            ..ExtractOptions::default()
+        })
+        .build(1 << 12)
+        .unwrap();
 
     let pagerank = flow.register_analytic(Box::new(PageRankAnalytic { damping: 0.85 }));
     let triangles = flow.register_analytic(Box::new(TriangleAnalytic {
@@ -47,9 +48,9 @@ fn main() {
     }
     println!(
         "stream processed: {} updates, {} events, {} triggered runs, {} dense-region alerts",
-        flow.stats().updates_applied,
-        flow.stats().events_observed,
-        flow.stats().triggers_fired,
+        flow.stats().ingest.updates_applied,
+        flow.stats().ingest.events_observed,
+        flow.stats().ingest.triggers_fired,
         alerts.len()
     );
 
@@ -59,7 +60,7 @@ fn main() {
         "pagerank over {}v/{}e hub neighborhood; wrote {} property values back",
         hubs.subgraph_size.0,
         hubs.subgraph_size.1,
-        flow.stats().props_written_back
+        flow.stats().analytics.props_written_back
     );
 
     // ...then seed the *next* analytic from the property just written —

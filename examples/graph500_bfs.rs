@@ -8,8 +8,8 @@
 //! cargo run --release --example graph500_bfs [scale]
 //! ```
 
-use graph_analytics::graph::{gen, CsrBuilder};
-use graph_analytics::kernels::bfs;
+use graph_analytics::graph::gen;
+use graph_analytics::prelude::*;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use std::time::Instant;

@@ -7,12 +7,12 @@
 //! cargo run --release --example linalg_semirings
 //! ```
 
-use graph_analytics::graph::{gen, CsrBuilder};
-use graph_analytics::kernels::{bfs, pagerank, sssp, triangles};
+use graph_analytics::graph::gen;
 use graph_analytics::linalg::algos;
 use graph_analytics::linalg::kron::kron_power;
 use graph_analytics::linalg::semiring::OrAnd;
 use graph_analytics::linalg::CooMatrix;
+use graph_analytics::prelude::*;
 
 fn main() {
     let scale = 10u32;

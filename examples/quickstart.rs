@@ -5,10 +5,8 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use graph_analytics::graph::{gen, CsrBuilder};
-use graph_analytics::kernels::{bfs, cc, pagerank, triangles};
-use graph_analytics::stream::update::{into_batches, rmat_edge_stream};
-use graph_analytics::stream::StreamEngine;
+use graph_analytics::graph::gen;
+use graph_analytics::prelude::*;
 
 fn main() {
     // --- batch: a Graph500-style R-MAT graph --------------------------

@@ -5,13 +5,11 @@
 //! cargo run --release --example streaming_firehose
 //! ```
 
+use graph_analytics::prelude::*;
 use graph_analytics::stream::firehose::{FixedKeyDetector, TwoLevelDetector, UnboundedKeyDetector};
 use graph_analytics::stream::jaccard_stream::JaccardQueryEngine;
 use graph_analytics::stream::tri_inc::IncrementalTriangles;
-use graph_analytics::stream::update::{
-    firehose_stream, into_batches, rmat_edge_stream, two_level_stream,
-};
-use graph_analytics::stream::StreamEngine;
+use graph_analytics::stream::update::{firehose_stream, two_level_stream};
 use std::time::Instant;
 
 fn main() {

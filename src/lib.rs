@@ -28,4 +28,43 @@ pub use ga_core as core;
 pub use ga_graph as graph;
 pub use ga_kernels as kernels;
 pub use ga_linalg as linalg;
+pub use ga_obs as obs;
 pub use ga_stream as stream;
+
+/// The one-true-path import for applications built on this workspace.
+///
+/// Re-exports the types a Fig. 2-style deployment touches: the flow
+/// engine and its builder ([`core::flow::FlowEngine`],
+/// [`core::flow::FlowConfig`]), the graph substrate, the streaming
+/// front door, the batch kernel entry points, and the `ga-obs`
+/// observability surface ([`obs::Recorder`], [`obs::MetricsSnapshot`]).
+///
+/// ```
+/// use graph_analytics::prelude::*;
+///
+/// let mut flow = FlowEngine::builder()
+///     .recorder(Recorder::enabled())
+///     .build(1 << 8)
+///     .unwrap();
+/// let idx = flow.register_analytic(Box::new(PageRankAnalytic { damping: 0.85 }));
+/// let _report = flow.run_batch(&SelectionCriteria::TopKDegree { k: 2 }, idx);
+/// assert!(flow.metrics().steps_covered() > 0);
+/// ```
+pub mod prelude {
+    pub use ga_core::flow::{
+        BatchRunReport, ComponentsAnalytic, DegradationLevel, FlowConfig, FlowEngine, FlowStats,
+        OverloadConfig, PageRankAnalytic, SelectionCriteria, TriangleAnalytic,
+    };
+    pub use ga_core::retry::RetryPolicy;
+    pub use ga_graph::{
+        CsrBuilder, CsrGraph, DynamicGraph, ExtractOptions, Parallelism, PropValue, PropertyStore,
+        Subgraph, VertexId,
+    };
+    pub use ga_kernels::{bfs, cc, pagerank, sssp, triangles};
+    pub use ga_kernels::{Budget, Completion, KernelCtx};
+    pub use ga_obs::{MetricsSnapshot, Recorder, Step};
+    pub use ga_stream::update::{into_batches, rmat_edge_stream, UpdateBatch};
+    pub use ga_stream::{
+        AdmissionConfig, Event, EventKind, Monitor, Priority, StreamEngine, Update,
+    };
+}

@@ -73,9 +73,7 @@ fn workload(seed: u64) -> Vec<UpdateBatch> {
 }
 
 fn fresh_engine(dir: &PathBuf) -> FlowEngine {
-    let mut e = FlowEngine::new(16);
-    e.enable_durability(dir).unwrap();
-    e
+    FlowEngine::builder().durability_dir(dir).build(16).unwrap()
 }
 
 struct FinalState {
@@ -92,7 +90,7 @@ fn state_of(e: &FlowEngine) -> FinalState {
         props: e.props().clone(),
         flow: e.stats(),
         stream: e.stream_stats(),
-        quarantined: e.stats().updates_quarantined,
+        quarantined: e.stats().ingest.updates_quarantined,
     }
 }
 
@@ -110,10 +108,13 @@ fn reference_run(dir: &PathBuf, batches: &[UpdateBatch]) -> FinalState {
 
 /// Drive a faulted run per `plan`; returns the abandoned directory.
 fn faulted_run(dir: &PathBuf, batches: &[UpdateBatch], plan: &FaultPlan) {
-    let mut e = fresh_engine(dir);
     // Classic points carry retries = 0 (fail-fast, as in PR 2); the
     // transient points get a seeded budget that outlasts the fault.
-    e.set_retry_policy(RetryPolicy::retries(plan.retries, plan.seed));
+    let mut e = FlowEngine::builder()
+        .durability_dir(dir)
+        .retry(RetryPolicy::retries(plan.retries, plan.seed))
+        .build(16)
+        .unwrap();
     plan.arm();
     for (i, b) in batches.iter().enumerate() {
         if i == plan.crash_after_batches {
@@ -149,8 +150,10 @@ fn recover_and_resume(dir: &PathBuf, batches: &[UpdateBatch], plan: &FaultPlan) 
     if plan.site == Some("checkpoint.load") {
         plan.arm();
     }
-    let mut e = FlowEngine::recover(dir).unwrap();
+    let e_recovered = FlowEngine::recover(dir).unwrap();
     faults::clear_all();
+    let mut e = e_recovered;
+    #[allow(deprecated)]
     e.set_retry_policy(RetryPolicy::retries(plan.retries, plan.seed));
     // Frame i (1-based) carries batch i-1, so the first missing batch
     // index is next_wal_seq - 1.
@@ -179,11 +182,11 @@ fn assert_equivalent(seed_tag: &str, reference: &FinalState, recovered: &FinalSt
     // still match exactly.
     let mut ref_flow = reference.flow;
     let mut rec_flow = recovered.flow;
-    ref_flow.durability_retries = 0;
-    rec_flow.durability_retries = 0;
+    ref_flow.durability.retries = 0;
+    rec_flow.durability.retries = 0;
     assert_eq!(ref_flow, rec_flow, "{seed_tag}: FlowStats diverged");
     assert_eq!(
-        recovered.flow.breaker_trips, 0,
+        recovered.flow.durability.breaker_trips, 0,
         "{seed_tag}: the breaker must never trip inside the matrix"
     );
     assert_eq!(
@@ -214,7 +217,7 @@ fn check_matrix_point(seed: u64) {
         // state carries exactly k retries and not one extra quarantined
         // update relative to the clean reference (checked above).
         assert_eq!(
-            recovered.flow.durability_retries, k as usize,
+            recovered.flow.durability.retries, k as usize,
             "{tag}: transient fault should cost exactly {k} retries"
         );
     }
@@ -296,8 +299,8 @@ fn poisoned_updates_never_panic_and_are_counted() {
         ],
     };
     e.process_stream_durable(&poison, |_| None, None).unwrap();
-    assert_eq!(e.stats().updates_quarantined, 4);
-    assert_eq!(e.stats().updates_applied, 1);
+    assert_eq!(e.stats().ingest.updates_quarantined, 4);
+    assert_eq!(e.stats().ingest.updates_applied, 1);
     assert_eq!(e.dead_letters().count(), 4);
     // A batch older than the watermark is quarantined whole.
     let stale = UpdateBatch {
@@ -309,13 +312,13 @@ fn poisoned_updates_never_panic_and_are_counted() {
         }],
     };
     e.process_stream_durable(&stale, |_| None, None).unwrap();
-    assert_eq!(e.stats().updates_quarantined, 5);
+    assert_eq!(e.stats().ingest.updates_quarantined, 5);
     assert!(!e.graph().has_edge(4, 5));
     // Recovery replays the poison identically.
     drop(e);
     let r = FlowEngine::recover(&dir).unwrap();
-    assert_eq!(r.stats().updates_quarantined, 5);
-    assert_eq!(r.stats().updates_applied, 1);
+    assert_eq!(r.stats().ingest.updates_quarantined, 5);
+    assert_eq!(r.stats().ingest.updates_applied, 1);
     assert!(r.graph().has_edge(0, 1));
     std::fs::remove_dir_all(&dir).ok();
 }
@@ -337,7 +340,7 @@ fn monitors_reattach_after_recovery() {
     for b in &batches[6..8] {
         r.process_stream_durable(b, |_| None, None).unwrap();
     }
-    assert!(r.stats().events_observed > 0 || r.stats().updates_applied > 0);
+    assert!(r.stats().ingest.events_observed > 0 || r.stats().ingest.updates_applied > 0);
     std::fs::remove_dir_all(&dir).ok();
 }
 

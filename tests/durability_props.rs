@@ -3,7 +3,7 @@
 //! checkpoint envelope, and WAL append→replay under random truncation.
 
 use ga_core::durability::{decode_checkpoint, encode_checkpoint, Checkpoint};
-use ga_core::flow::FlowStats;
+use ga_core::flow::{FlowStats, IngestStats};
 use ga_graph::io::{read_dynamic, read_props, write_dynamic, write_props};
 use ga_graph::{DynamicGraph, PropertyStore};
 use ga_stream::engine::StreamStats;
@@ -134,8 +134,11 @@ proptest! {
             graph: build_graph(&script),
             props: build_props(&script),
             flow: FlowStats {
-                updates_applied: script.len(),
-                updates_quarantined: script.len() / 7,
+                ingest: IngestStats {
+                    updates_applied: script.len(),
+                    updates_quarantined: script.len() / 7,
+                    ..IngestStats::default()
+                },
                 ..FlowStats::default()
             },
             stream: StreamStats {

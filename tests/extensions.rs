@@ -4,7 +4,9 @@
 //! exercised through the public facade, together.
 
 use graph_analytics::core::calibrate::{calibrate, CostCoefficients, MeasuredRun};
-use graph_analytics::core::flow::FlowStats;
+use graph_analytics::core::flow::{
+    AnalyticsStats, DurabilityStats, FlowStats, IngestStats, OverloadStats, SnapshotStats,
+};
 use graph_analytics::core::model::{baseline2012, evaluate, lightweight, nora_steps_scaled};
 use graph_analytics::core::nora::NoraStats;
 use graph_analytics::graph::{gen, CsrGraph, PropertyStore};
@@ -115,31 +117,41 @@ fn problem_size_scaling_changes_architecture_ranking_sensibly() {
 fn calibration_is_deterministic_and_priceable() {
     let run = MeasuredRun {
         flow: FlowStats {
-            records_ingested: 1_000,
-            entities_created: 300,
-            updates_applied: 5_000,
-            updates_quarantined: 0,
-            events_observed: 200,
-            vertices_extracted: 400,
-            edges_extracted: 9_000,
-            props_written_back: 400,
-            batch_runs: 3,
-            seeds_selected: 6,
-            subgraphs_extracted: 3,
-            globals_produced: 6,
-            alerts_raised: 1,
-            triggers_fired: 2,
-            kernel_cpu_ops: 60_000,
-            kernel_mem_bytes: 480_000,
-            kernel_edges_touched: 27_000,
-            snapshot_rebuilds: 3,
-            snapshot_rows_reused: 1_200,
-            snapshot_mem_bytes: 150_000,
-            updates_shed: 250,
-            deadline_partials: 1,
-            analytics_skipped: 2,
-            durability_retries: 3,
-            breaker_trips: 0,
+            ingest: IngestStats {
+                records_ingested: 1_000,
+                entities_created: 300,
+                updates_applied: 5_000,
+                updates_quarantined: 0,
+                events_observed: 200,
+                triggers_fired: 2,
+            },
+            analytics: AnalyticsStats {
+                batch_runs: 3,
+                seeds_selected: 6,
+                subgraphs_extracted: 3,
+                vertices_extracted: 400,
+                edges_extracted: 9_000,
+                props_written_back: 400,
+                globals_produced: 6,
+                alerts_raised: 1,
+                kernel_cpu_ops: 60_000,
+                kernel_mem_bytes: 480_000,
+                kernel_edges_touched: 27_000,
+            },
+            snapshots: SnapshotStats {
+                rebuilds: 3,
+                rows_reused: 1_200,
+                mem_bytes: 150_000,
+            },
+            durability: DurabilityStats {
+                retries: 3,
+                breaker_trips: 0,
+            },
+            overload: OverloadStats {
+                updates_shed: 250,
+                deadline_partials: 1,
+                analytics_skipped: 2,
+            },
         },
         nora: NoraStats {
             pair_candidates: 20_000,

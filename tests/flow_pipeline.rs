@@ -51,12 +51,12 @@ fn full_combined_batch_and_streaming_run() {
     assert_eq!(follow.seeds.len(), 2);
 
     let s = flow.stats();
-    assert_eq!(s.updates_applied, 8_000);
-    assert_eq!(s.triggers_fired, triggered);
-    assert_eq!(s.batch_runs, triggered + 2);
-    assert_eq!(s.subgraphs_extracted, s.batch_runs);
-    assert!(s.props_written_back > 0);
-    assert!(s.vertices_extracted >= s.subgraphs_extracted);
+    assert_eq!(s.ingest.updates_applied, 8_000);
+    assert_eq!(s.ingest.triggers_fired, triggered);
+    assert_eq!(s.analytics.batch_runs, triggered + 2);
+    assert_eq!(s.analytics.subgraphs_extracted, s.analytics.batch_runs);
+    assert!(s.analytics.props_written_back > 0);
+    assert!(s.analytics.vertices_extracted >= s.analytics.subgraphs_extracted);
 }
 
 #[test]
@@ -65,8 +65,8 @@ fn dedup_feeds_flow_counters() {
     let dd = dedup_batch(&records, 0.78);
     let mut flow = FlowEngine::new(dd.num_entities);
     flow.note_ingest(records.len(), dd.num_entities);
-    assert_eq!(flow.stats().records_ingested, 500);
-    assert_eq!(flow.stats().entities_created, dd.num_entities);
+    assert_eq!(flow.stats().ingest.records_ingested, 500);
+    assert_eq!(flow.stats().ingest.entities_created, dd.num_entities);
     // Inline dedup over the same stream lands near the batch count.
     let mut inline = InlineDeduper::new(0.78);
     for r in &records {

@@ -5,8 +5,8 @@
 //! ones trip the breaker into explicit non-durable degradation.
 
 use ga_core::faults::{self, FaultMode};
-use ga_core::flow::{DegradationLevel, FlowEngine, FlowStats};
-use ga_core::retry::{CircuitBreaker, RetryPolicy};
+use ga_core::flow::{DegradationLevel, FlowEngine, FlowStats, OverloadConfig};
+use ga_core::retry::RetryPolicy;
 use ga_stream::admission::{AdmissionConfig, AdmissionStats, Priority};
 use ga_stream::update::{rmat_edge_stream, Update, UpdateBatch};
 use ga_stream::EventKind;
@@ -60,11 +60,16 @@ const CFG: AdmissionConfig = AdmissionConfig {
 /// Offer 10 batches per single pumped batch — a 10× overload — then
 /// drain; return the counters the determinism check compares.
 fn soak(seed: u64) -> (AdmissionStats, FlowStats, usize) {
-    let mut e = FlowEngine::new(128);
-    e.set_admission_config(CFG);
-    e.overload.partial_at = 500;
-    e.overload.seeds_only_at = 1000;
-    e.overload.shed_at = 1400;
+    let mut e = FlowEngine::builder()
+        .admission(CFG)
+        .overload(OverloadConfig {
+            partial_at: 500,
+            seeds_only_at: 1000,
+            shed_at: 1400,
+            ..OverloadConfig::default()
+        })
+        .build(128)
+        .unwrap();
     let mut max_depth = 0;
     for round in firehose(20, 20, seed).chunks(10) {
         for (class, batch) in round {
@@ -91,7 +96,10 @@ fn firehose_sheds_bulk_first_never_high() {
     assert_eq!(offered_total, 20 * 10 * 20);
 
     // Overload really happened and the queue really filled.
-    assert!(flow.updates_shed > 0, "10× firehose did not shed anything");
+    assert!(
+        flow.overload.updates_shed > 0,
+        "10× firehose did not shed anything"
+    );
     assert!(max_depth >= CFG.normal_watermark, "queue never saturated");
 
     // High-priority traffic is never lost: not shed, not evicted.
@@ -121,11 +129,11 @@ fn firehose_sheds_bulk_first_never_high() {
     let admitted: usize = adm.admitted.iter().sum();
     let evicted: usize = adm.evicted.iter().sum();
     assert_eq!(
-        flow.updates_applied + flow.updates_quarantined,
+        flow.ingest.updates_applied + flow.ingest.updates_quarantined,
         admitted - evicted,
         "updates leaked between admission and the stream engine"
     );
-    assert_eq!(flow.updates_shed, adm.total_lost());
+    assert_eq!(flow.overload.updates_shed, adm.total_lost());
 }
 
 #[test]
@@ -140,9 +148,11 @@ fn transient_wal_fault_is_ridden_out_by_retries() {
     let _g = LOCK.lock().unwrap();
     faults::clear_all();
     let dir = tmpdir("transient");
-    let mut e = FlowEngine::new(64);
-    e.enable_durability(&dir).unwrap();
-    e.set_retry_policy(RetryPolicy::retries(3, 42));
+    let mut e = FlowEngine::builder()
+        .durability_dir(&dir)
+        .retry(RetryPolicy::retries(3, 42))
+        .build(64)
+        .unwrap();
     faults::arm("wal.append", FaultMode::FailTimes(2));
 
     let updates = rmat_edge_stream(6, 60, 0.0, 11);
@@ -153,13 +163,17 @@ fn transient_wal_fault_is_ridden_out_by_retries() {
     faults::clear_all();
 
     assert_eq!(
-        e.stats().durability_retries,
+        e.stats().durability.retries,
         2,
         "fail-twice costs 2 retries"
     );
-    assert_eq!(e.stats().updates_quarantined, 0, "no batch was quarantined");
-    assert_eq!(e.stats().updates_applied, 60);
-    assert_eq!(e.stats().breaker_trips, 0);
+    assert_eq!(
+        e.stats().ingest.updates_quarantined,
+        0,
+        "no batch was quarantined"
+    );
+    assert_eq!(e.stats().ingest.updates_applied, 60);
+    assert_eq!(e.stats().durability.breaker_trips, 0);
     assert!(!e.durability_suspended());
 
     // The retried frame is durable: recovery replays all three batches.
@@ -167,8 +181,8 @@ fn transient_wal_fault_is_ridden_out_by_retries() {
     drop(e);
     let r = FlowEngine::recover(&dir).unwrap();
     assert_eq!(*r.graph(), live_graph);
-    assert_eq!(r.stats().updates_applied, 60);
-    assert_eq!(r.stats().updates_quarantined, 0);
+    assert_eq!(r.stats().ingest.updates_applied, 60);
+    assert_eq!(r.stats().ingest.updates_quarantined, 0);
     std::fs::remove_dir_all(&dir).ok();
 }
 
@@ -177,9 +191,11 @@ fn persistent_fault_trips_breaker_into_non_durable_mode() {
     let _g = LOCK.lock().unwrap();
     faults::clear_all();
     let dir = tmpdir("breaker");
-    let mut e = FlowEngine::new(64);
-    e.enable_durability(&dir).unwrap();
-    e.set_breaker(CircuitBreaker::new(2));
+    let mut e = FlowEngine::builder()
+        .durability_dir(&dir)
+        .breaker_threshold(2)
+        .build(64)
+        .unwrap();
     faults::arm("wal.append", FaultMode::FailEveryNth(1)); // every append fails
 
     let updates = rmat_edge_stream(6, 60, 0.0, 5);
@@ -190,16 +206,16 @@ fn persistent_fault_trips_breaker_into_non_durable_mode() {
         .process_stream_durable(&batches[0], |_| None, None)
         .is_err());
     assert!(!e.durability_suspended());
-    assert_eq!(e.stats().updates_applied, 0);
+    assert_eq!(e.stats().ingest.updates_applied, 0);
 
     // Second consecutive failure trips the breaker: the engine degrades
     // to non-durable operation, applies the batch, and raises an alert.
     e.process_stream_durable(&batches[0], |_| None, None)
         .unwrap();
     assert!(e.durability_suspended());
-    assert_eq!(e.stats().breaker_trips, 1);
-    assert_eq!(e.stats().alerts_raised, 1);
-    assert_eq!(e.stats().updates_applied, 20);
+    assert_eq!(e.stats().durability.breaker_trips, 1);
+    assert_eq!(e.stats().analytics.alerts_raised, 1);
+    assert_eq!(e.stats().ingest.updates_applied, 20);
     let evs = e.take_overload_events();
     assert!(evs.iter().any(|ev| matches!(
         ev.kind,
@@ -212,7 +228,7 @@ fn persistent_fault_trips_breaker_into_non_durable_mode() {
     // While suspended: batches flow (non-durably), checkpoints refuse.
     e.process_stream_durable(&batches[1], |_| None, None)
         .unwrap();
-    assert_eq!(e.stats().updates_applied, 40);
+    assert_eq!(e.stats().ingest.updates_applied, 40);
     assert!(e.checkpoint().is_err());
 
     // Operator fixes the disk: resume, re-base with a checkpoint, and
@@ -234,11 +250,11 @@ fn persistent_fault_trips_breaker_into_non_durable_mode() {
     )));
 
     let live_graph = e.graph().clone();
-    let live_applied = e.stats().updates_applied;
+    let live_applied = e.stats().ingest.updates_applied;
     drop(e);
     let r = FlowEngine::recover(&dir).unwrap();
     assert_eq!(*r.graph(), live_graph);
-    assert_eq!(r.stats().updates_applied, live_applied);
+    assert_eq!(r.stats().ingest.updates_applied, live_applied);
     std::fs::remove_dir_all(&dir).ok();
 }
 
@@ -247,10 +263,12 @@ fn pump_requeues_batch_on_durable_append_error() {
     let _g = LOCK.lock().unwrap();
     faults::clear_all();
     let dir = tmpdir("pump-requeue");
-    let mut e = FlowEngine::new(16);
-    e.enable_durability(&dir).unwrap();
-    e.set_retry_policy(RetryPolicy::none());
-    e.set_breaker(CircuitBreaker::new(10)); // far from tripping
+    let mut e = FlowEngine::builder()
+        .durability_dir(&dir)
+        .retry(RetryPolicy::none())
+        .breaker_threshold(10) // far from tripping
+        .build(16)
+        .unwrap();
     let batch = UpdateBatch {
         time: 1,
         updates: vec![Update::EdgeInsert {
@@ -267,14 +285,14 @@ fn pump_requeues_batch_on_durable_append_error() {
     // — not applied, not counted shed, not silently dropped.
     assert!(e.pump(8, |_| None, None).is_err());
     assert_eq!(e.queue_depth(), 1, "failed batch must be re-queued");
-    assert_eq!(e.stats().updates_applied, 0);
-    assert_eq!(e.stats().updates_shed, 0);
+    assert_eq!(e.stats().ingest.updates_applied, 0);
+    assert_eq!(e.stats().overload.updates_shed, 0);
     assert_eq!(e.admission_stats().total_lost(), 0);
 
     // The fault cleared (FailOnce): the very same batch drains durably.
     e.pump(8, |_| None, None).unwrap();
     assert_eq!(e.queue_depth(), 0);
-    assert_eq!(e.stats().updates_applied, 1);
+    assert_eq!(e.stats().ingest.updates_applied, 1);
     faults::clear_all();
 
     let live_graph = e.graph().clone();
@@ -289,11 +307,13 @@ fn dead_letters_survive_replay_append_error() {
     let _g = LOCK.lock().unwrap();
     faults::clear_all();
     let dir = tmpdir("dead-letter-retain");
-    let mut e = FlowEngine::new(16);
-    e.set_vertex_limit(8);
-    e.enable_durability(&dir).unwrap();
-    e.set_retry_policy(RetryPolicy::none());
-    e.set_breaker(CircuitBreaker::new(10));
+    let mut e = FlowEngine::builder()
+        .vertex_limit(8)
+        .durability_dir(&dir)
+        .retry(RetryPolicy::none())
+        .breaker_threshold(10)
+        .build(16)
+        .unwrap();
     let batch = UpdateBatch {
         time: 1,
         updates: vec![Update::EdgeInsert {
@@ -325,10 +345,12 @@ fn correlated_repair_failure_still_trips_breaker() {
     let _g = LOCK.lock().unwrap();
     faults::clear_all();
     let dir = tmpdir("repair-breaker");
-    let mut e = FlowEngine::new(16);
-    e.enable_durability(&dir).unwrap();
-    e.set_retry_policy(RetryPolicy::none());
-    e.set_breaker(CircuitBreaker::new(2));
+    let mut e = FlowEngine::builder()
+        .durability_dir(&dir)
+        .retry(RetryPolicy::none())
+        .breaker_threshold(2)
+        .build(16)
+        .unwrap();
     // Hard storage fault: every append fails AND every tail repair
     // fails too — the correlated case that must feed the breaker rather
     // than bypass it into an unbounded error stream.
@@ -350,8 +372,8 @@ fn correlated_repair_failure_still_trips_breaker() {
     // explicit non-durable operation instead of erroring forever.
     e.process_stream_durable(&batch, |_| None, None).unwrap();
     assert!(e.durability_suspended());
-    assert_eq!(e.stats().breaker_trips, 1);
-    assert_eq!(e.stats().updates_applied, 1);
+    assert_eq!(e.stats().durability.breaker_trips, 1);
+    assert_eq!(e.stats().ingest.updates_applied, 1);
     faults::clear_all();
     std::fs::remove_dir_all(&dir).ok();
 }
@@ -361,11 +383,13 @@ fn dead_letters_replay_through_the_durable_path() {
     let _g = LOCK.lock().unwrap();
     faults::clear_all();
     let dir = tmpdir("dead-letters");
-    let mut e = FlowEngine::new(16);
-    // Limit first, then enable: the base checkpoint records the limit
+    // Limit before durability: the base checkpoint records the limit
     // that quarantines, so recovery re-quarantines deterministically.
-    e.set_vertex_limit(8);
-    e.enable_durability(&dir).unwrap();
+    let mut e = FlowEngine::builder()
+        .vertex_limit(8)
+        .durability_dir(&dir)
+        .build(16)
+        .unwrap();
     let batch = UpdateBatch {
         time: 1,
         updates: vec![
@@ -382,7 +406,7 @@ fn dead_letters_replay_through_the_durable_path() {
         ],
     };
     e.process_stream_durable(&batch, |_| None, None).unwrap();
-    assert_eq!(e.stats().updates_quarantined, 1);
+    assert_eq!(e.stats().ingest.updates_quarantined, 1);
 
     e.set_vertex_limit(16);
     assert_eq!(e.replay_dead_letters().unwrap(), (1, 0));
@@ -397,7 +421,7 @@ fn dead_letters_replay_through_the_durable_path() {
     drop(e);
     let r = FlowEngine::recover(&dir).unwrap();
     assert_eq!(*r.graph(), live_graph);
-    assert_eq!(r.stats().updates_applied, 2);
+    assert_eq!(r.stats().ingest.updates_applied, 2);
     assert_eq!(r.dead_letters().count(), 0);
     std::fs::remove_dir_all(&dir).ok();
 }
