@@ -73,6 +73,17 @@ fn corrupt(what: impl std::fmt::Display) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, format!("GAC1: {what}"))
 }
 
+/// Prefix an error with a deployment label (`[shard-03] ...`) so that
+/// in a multi-engine deployment a recovery failure names the engine it
+/// came from. Empty labels pass errors through untouched.
+fn annotate(label: &str, e: io::Error) -> io::Error {
+    if label.is_empty() {
+        e
+    } else {
+        io::Error::new(e.kind(), format!("[{label}] {e}"))
+    }
+}
+
 fn push_group(out: &mut Vec<u8>, fields: &[usize]) {
     out.extend_from_slice(&(fields.len() as u32).to_le_bytes());
     for &f in fields {
@@ -528,13 +539,26 @@ impl Durability {
     pub fn recover(
         dir: impl AsRef<Path>,
     ) -> io::Result<(Durability, Checkpoint, Vec<(u64, UpdateBatch)>)> {
+        Self::recover_labeled(dir, "")
+    }
+
+    /// [`Self::recover`] with a deployment label (e.g. `"shard-03"`)
+    /// prefixed onto every error, and file paths attached to candidate
+    /// load failures — so a sharded recovery failure read from a CI log
+    /// names both the shard and the checkpoint file that sank it.
+    #[allow(clippy::type_complexity)]
+    pub fn recover_labeled(
+        dir: impl AsRef<Path>,
+        label: &str,
+    ) -> io::Result<(Durability, Checkpoint, Vec<(u64, UpdateBatch)>)> {
         let dir = dir.as_ref().to_path_buf();
-        let ckpts = list_numbered(&dir, "ckpt-", ".gac")?;
+        let tag = |e: io::Error| annotate(label, e);
+        let ckpts = list_numbered(&dir, "ckpt-", ".gac").map_err(tag)?;
         if ckpts.is_empty() {
-            return Err(io::Error::new(
+            return Err(tag(io::Error::new(
                 io::ErrorKind::NotFound,
                 format!("{}: no checkpoint files", dir.display()),
-            ));
+            )));
         }
         let mut ckpt = None;
         let mut last_err = None;
@@ -543,7 +567,8 @@ impl Durability {
             // older checkpoint; the WAL suffix covers the difference.
             let attempt = faults::check("checkpoint.load")
                 .and_then(|()| fs::read(path))
-                .and_then(|bytes| decode_checkpoint(&bytes));
+                .and_then(|bytes| decode_checkpoint(&bytes))
+                .map_err(|e| io::Error::new(e.kind(), format!("{}: {e}", path.display())));
             match attempt {
                 Ok(c) => {
                     if c.next_wal_seq != *seq {
@@ -561,7 +586,9 @@ impl Durability {
             }
         }
         let Some(ckpt) = ckpt else {
-            return Err(last_err.unwrap_or_else(|| corrupt("no usable checkpoint")));
+            return Err(tag(last_err.unwrap_or_else(|| {
+                corrupt(format!("{}: no usable checkpoint", dir.display()))
+            })));
         };
 
         // Replay every intact frame at or past the cursor, in order,
@@ -569,7 +596,8 @@ impl Durability {
         let wals = list_numbered(&dir, "wal-", ".log")?;
         let mut frames: Vec<(u64, UpdateBatch)> = Vec::new();
         for (_, path) in &wals {
-            let scan = wal::replay(path)?;
+            let scan = wal::replay(path)
+                .map_err(|e| tag(io::Error::new(e.kind(), format!("{}: {e}", path.display()))))?;
             frames.extend(scan.batches);
         }
         frames.sort_by_key(|(seq, _)| *seq);
@@ -590,15 +618,15 @@ impl Durability {
         // tail); `expect` is where the durable history actually ends.
         let wal = match wals.last() {
             Some((start, path)) => {
-                let mut w = Wal::open_append(path, *start)?;
+                let mut w = Wal::open_append(path, *start).map_err(tag)?;
                 if w.next_seq() > expect {
                     // The tail of this segment sits after a gap; a fresh
                     // segment at the true cursor supersedes it.
-                    w = Wal::create(wal_path(&dir, expect), expect)?;
+                    w = Wal::create(wal_path(&dir, expect), expect).map_err(tag)?;
                 }
                 w
             }
-            None => Wal::create(wal_path(&dir, expect), expect)?,
+            None => Wal::create(wal_path(&dir, expect), expect).map_err(tag)?,
         };
         let last_checkpoint_seq = ckpt.next_wal_seq;
         Ok((

@@ -191,6 +191,76 @@ pub struct FlowStats {
     pub overload: OverloadStats,
 }
 
+impl IngestStats {
+    /// Add another shard's counters into this one.
+    pub fn merge(&mut self, o: &IngestStats) {
+        self.records_ingested += o.records_ingested;
+        self.entities_created += o.entities_created;
+        self.updates_applied += o.updates_applied;
+        self.updates_quarantined += o.updates_quarantined;
+        self.events_observed += o.events_observed;
+        self.triggers_fired += o.triggers_fired;
+    }
+}
+
+impl AnalyticsStats {
+    /// Add another shard's counters into this one.
+    pub fn merge(&mut self, o: &AnalyticsStats) {
+        self.batch_runs += o.batch_runs;
+        self.seeds_selected += o.seeds_selected;
+        self.subgraphs_extracted += o.subgraphs_extracted;
+        self.vertices_extracted += o.vertices_extracted;
+        self.edges_extracted += o.edges_extracted;
+        self.props_written_back += o.props_written_back;
+        self.globals_produced += o.globals_produced;
+        self.alerts_raised += o.alerts_raised;
+        self.kernel_cpu_ops += o.kernel_cpu_ops;
+        self.kernel_mem_bytes += o.kernel_mem_bytes;
+        self.kernel_edges_touched += o.kernel_edges_touched;
+    }
+}
+
+impl SnapshotStats {
+    /// Add another shard's counters into this one.
+    pub fn merge(&mut self, o: &SnapshotStats) {
+        self.rebuilds += o.rebuilds;
+        self.rows_reused += o.rows_reused;
+        self.mem_bytes += o.mem_bytes;
+    }
+}
+
+impl DurabilityStats {
+    /// Add another shard's counters into this one.
+    pub fn merge(&mut self, o: &DurabilityStats) {
+        self.retries += o.retries;
+        self.breaker_trips += o.breaker_trips;
+    }
+}
+
+impl OverloadStats {
+    /// Add another shard's counters into this one.
+    pub fn merge(&mut self, o: &OverloadStats) {
+        self.updates_shed += o.updates_shed;
+        self.deadline_partials += o.deadline_partials;
+        self.analytics_skipped += o.analytics_skipped;
+    }
+}
+
+impl FlowStats {
+    /// Add another engine's counters into this one, group by group —
+    /// how a sharded deployment reports one grouped record across its
+    /// shard-local engines. Ghost (replicated) work is counted on every
+    /// shard that performed it, so merged sums can exceed an unsharded
+    /// run's by exactly the replicated cross-shard work.
+    pub fn merge(&mut self, o: &FlowStats) {
+        self.ingest.merge(&o.ingest);
+        self.analytics.merge(&o.analytics);
+        self.snapshots.merge(&o.snapshots);
+        self.durability.merge(&o.durability);
+        self.overload.merge(&o.overload);
+    }
+}
+
 /// Rung of the overload degradation ladder, least to most degraded.
 /// `Ord` follows declaration order, so `max(depth_level, latency_level)`
 /// picks the more degraded of the two signals.
@@ -313,6 +383,7 @@ pub struct FlowConfig {
     symmetrize: bool,
     durability_dir: Option<PathBuf>,
     recorder: Recorder,
+    shard_label: String,
 }
 
 impl Default for FlowConfig {
@@ -334,6 +405,7 @@ impl Default for FlowConfig {
             symmetrize: true,
             durability_dir: None,
             recorder: Recorder::disabled(),
+            shard_label: String::new(),
         }
     }
 }
@@ -420,6 +492,16 @@ impl FlowConfig {
         self
     }
 
+    /// Label this engine as one shard of a multi-engine deployment
+    /// (e.g. `"shard-03"`). The label is prefixed onto durability
+    /// errors raised during [`FlowConfig::recover`], so a failed
+    /// shard-local recovery names the shard and checkpoint path in CI
+    /// logs instead of an anonymous `io::Error`.
+    pub fn shard_label(mut self, label: impl Into<String>) -> Self {
+        self.shard_label = label.into();
+        self
+    }
+
     /// Build an engine over an empty persistent graph of
     /// `num_vertices`.
     pub fn build(self, num_vertices: usize) -> io::Result<FlowEngine> {
@@ -455,7 +537,7 @@ impl FlowConfig {
     /// `symmetrize`, and the durability directory itself — come from the
     /// checkpoint, not from the builder, so replay stays deterministic.
     pub fn recover(self, dir: impl AsRef<Path>) -> io::Result<FlowEngine> {
-        let mut engine = FlowEngine::recover(dir)?;
+        let mut engine = FlowEngine::recover_labeled(dir, &self.shard_label)?;
         self.apply_runtime(&mut engine);
         Ok(engine)
     }
@@ -1016,7 +1098,15 @@ impl FlowEngine {
     /// (registered analytics, monitors, extraction options, kernel
     /// context) is NOT persisted; re-register after recovery.
     pub fn recover(dir: impl AsRef<Path>) -> io::Result<FlowEngine> {
-        let (durability, ckpt, replay) = Durability::recover(dir)?;
+        Self::recover_labeled(dir, "")
+    }
+
+    /// [`Self::recover`] for one shard of a multi-engine deployment:
+    /// `label` (e.g. `"shard-03"`) is prefixed onto every durability
+    /// error so a failed recovery names the shard and the offending
+    /// checkpoint/WAL path.
+    pub fn recover_labeled(dir: impl AsRef<Path>, label: &str) -> io::Result<FlowEngine> {
+        let (durability, ckpt, replay) = Durability::recover_labeled(dir, label)?;
         let mut engine = FlowEngine::with_graph(ckpt.graph, ckpt.props);
         engine.stats = ckpt.flow;
         engine.stream.set_stats(ckpt.stream);
@@ -1046,6 +1136,12 @@ impl FlowEngine {
     /// match across crash/recovery for replay to reproduce state.
     pub fn set_symmetrize(&mut self, symmetrize: bool) {
         self.stream.symmetrize = symmetrize;
+    }
+
+    /// Whether edge updates are mirrored in both directions (persisted
+    /// in checkpoints, so valid right after recovery too).
+    pub fn symmetrize(&self) -> bool {
+        self.stream.symmetrize
     }
 
     // -----------------------------------------------------------------

@@ -25,6 +25,12 @@
 //!   record dedup/linkage, the person–address graph, the "shared an
 //!   address 2+ times, especially with a shared last name" relationship
 //!   search, batch ("weekly boil") and streaming (live quote) forms.
+//! * [`sharded`] — scale-out: the property graph hash-partitioned
+//!   across N shard-local flow engines with ghost (halo) edges,
+//!   scatter-gather batch analytics whose merged results are
+//!   bit-identical for any shard count, shard-local recovery, and a
+//!   measured cross-shard traffic model (the §V network-bound
+//!   scale-out argument, made testable).
 //! * [`model`] — **Figs. 3 & 6**: the four-resource (CPU, memory, disk,
 //!   network) parameterized performance model of the 9-step NORA
 //!   pipeline, with the paper's system configurations (2012 baseline,
@@ -41,4 +47,5 @@ pub mod flow;
 pub mod model;
 pub mod nora;
 pub mod retry;
+pub mod sharded;
 pub mod taxonomy;

@@ -1,0 +1,587 @@
+//! Sharded multi-engine scale-out: N shard-local [`FlowEngine`]s
+//! behind one hash-partition router, with scatter-gather batch
+//! analytics whose merged results are **bit-identical** for every
+//! shard count.
+//!
+//! This is the flow-level half of the sharded architecture; update
+//! routing and the partition itself live in `ga_stream::sharded`
+//! ([`ShardPlan`]). The division of labor per concern:
+//!
+//! * **Ingest** — [`ShardedFlow::process_batch`] routes each update to
+//!   its endpoints' owner shards. A cross-shard edge is delivered to
+//!   both owners; the second delivery materializes a *ghost* (halo)
+//!   entry and is priced at [`UPDATE_WIRE_BYTES`] in the cross-shard
+//!   traffic model.
+//! * **Batch analytics** — scatter-gather: each shard computes a
+//!   partial over the vertices it owns ([`ga_kernels::scatter`]), the
+//!   router merges. PageRank keeps every floating-point reduction in
+//!   global vertex order (mirroring `pagerank_with`'s determinism
+//!   argument), BFS exchanges integer frontiers level-synchronously,
+//!   and components union shard-local spanning forests through a
+//!   min-id-normalizing union-find — so each merged answer is
+//!   bit-identical to the unsharded kernel on the merged graph.
+//! * **Durability** — each shard owns its WAL + checkpoint directory
+//!   (`base/shard-00`, `base/shard-01`, …), so recovery is
+//!   shard-local and a shard's recovery failure names the shard (its
+//!   errors are prefixed `[shard-NN]` via
+//!   [`FlowEngine::recover_labeled`]).
+//! * **Observability** — one labeled [`Recorder`] per shard plus a
+//!   `"router"` recorder that books cross-shard network bytes, so a
+//!   merged metrics export stays attributable per shard.
+//!
+//! The paper's scale-out argument (§V: network injection bandwidth
+//! bounds sharded graph analytics long before per-node compute does)
+//! is what the traffic model makes measurable: see `bench_shard`.
+
+use crate::flow::{FlowEngine, FlowStats};
+use ga_graph::{DynamicGraph, PropertyStore, VertexId};
+use ga_kernels::cc::Components;
+use ga_kernels::pagerank::PageRankResult;
+use ga_kernels::scatter::{
+    bfs_owned_expand, cc_local_forest, cc_merge_forests, owned_in_adjacency, pagerank_owned_sweep,
+};
+use ga_kernels::{Completion, UNREACHED};
+use ga_obs::{MetricsSnapshot, Recorder, Step};
+use ga_stream::sharded::{merge_owned_props, merge_owned_rows, ShardPlan, UPDATE_WIRE_BYTES};
+use ga_stream::update::UpdateBatch;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Bytes per exchanged PageRank rank value (one `f64`).
+const RANK_WIRE_BYTES: u64 = 8;
+/// Bytes per exchanged BFS frontier candidate (one `u32` vertex id).
+const FRONTIER_WIRE_BYTES: u64 = 4;
+/// Bytes per exchanged components forest pair (two `u32` vertex ids).
+const FOREST_PAIR_WIRE_BYTES: u64 = 8;
+
+/// A shard's durability directory under `base`.
+pub fn shard_dir(base: &Path, shard: usize) -> PathBuf {
+    base.join(shard_label(shard))
+}
+
+/// The canonical shard label (`"shard-03"`), used for durability
+/// subdirectories, recorder labels, and error prefixes alike.
+pub fn shard_label(shard: usize) -> String {
+    format!("shard-{shard:02}")
+}
+
+/// Cross-shard network bytes, per protocol, under the wire model the
+/// module docs describe. All zero in a 1-shard deployment — traffic
+/// only counts bytes that actually cross a shard boundary.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CrossShardTraffic {
+    /// Ghost (second-copy) update deliveries during ingest.
+    pub ingest_bytes: u64,
+    /// Rank values pulled from non-owner shards, summed over PageRank
+    /// iterations.
+    pub pagerank_bytes: u64,
+    /// Frontier candidates handed to a different owner shard during
+    /// BFS level exchanges.
+    pub bfs_bytes: u64,
+    /// Spanning-forest pairs shipped to the router for the components
+    /// merge.
+    pub components_bytes: u64,
+}
+
+impl CrossShardTraffic {
+    /// Total cross-shard bytes across all protocols.
+    pub fn total(&self) -> u64 {
+        self.ingest_bytes + self.pagerank_bytes + self.bfs_bytes + self.components_bytes
+    }
+}
+
+/// Builder for a [`ShardedFlow`]. Mirrors the knobs of
+/// [`crate::flow::FlowConfig`] that make sense across a fleet of
+/// engines.
+#[derive(Debug)]
+pub struct ShardedConfig {
+    num_shards: usize,
+    symmetrize: bool,
+    vertex_limit: Option<usize>,
+    durability_base: Option<PathBuf>,
+    record_metrics: bool,
+}
+
+impl ShardedConfig {
+    /// A config for `num_shards` shards (must be ≥ 1). Defaults match
+    /// `FlowConfig`: symmetrize on, no durability, metrics off.
+    pub fn new(num_shards: usize) -> ShardedConfig {
+        ShardedConfig {
+            num_shards,
+            symmetrize: true,
+            vertex_limit: None,
+            durability_base: None,
+            record_metrics: false,
+        }
+    }
+
+    /// Mirror edge updates in both directions on every shard (default
+    /// true). Must be uniform across shards — a mixed fleet would break
+    /// the owned-row invariant.
+    pub fn symmetrize(mut self, symmetrize: bool) -> Self {
+        self.symmetrize = symmetrize;
+        self
+    }
+
+    /// Vertex-id quarantine bound applied to every shard.
+    pub fn vertex_limit(mut self, limit: usize) -> Self {
+        self.vertex_limit = Some(limit);
+        self
+    }
+
+    /// Enable per-shard durability under `base`: shard `i` logs and
+    /// checkpoints in `base/shard-0i`, so recovery stays shard-local.
+    pub fn durability_base(mut self, base: impl Into<PathBuf>) -> Self {
+        self.durability_base = Some(base.into());
+        self
+    }
+
+    /// Attach labeled recorders: one per shard (`"shard-00"`, …) plus
+    /// a `"router"` recorder for cross-shard traffic.
+    pub fn record_metrics(mut self, on: bool) -> Self {
+        self.record_metrics = on;
+        self
+    }
+
+    /// Build the fleet over an empty global graph of `num_vertices`.
+    pub fn build(self, num_vertices: usize) -> io::Result<ShardedFlow> {
+        let plan = ShardPlan::new(self.num_shards);
+        let mut shards = Vec::with_capacity(self.num_shards);
+        for i in 0..self.num_shards {
+            let label = shard_label(i);
+            let mut cfg = FlowEngine::builder()
+                .symmetrize(self.symmetrize)
+                .shard_label(label.clone());
+            if let Some(limit) = self.vertex_limit {
+                cfg = cfg.vertex_limit(limit);
+            }
+            if self.record_metrics {
+                cfg = cfg.recorder(Recorder::labeled(label));
+            }
+            if let Some(base) = &self.durability_base {
+                cfg = cfg.durability_dir(shard_dir(base, i));
+            }
+            shards.push(cfg.build(num_vertices)?);
+        }
+        Ok(ShardedFlow {
+            plan,
+            shards,
+            symmetrize: self.symmetrize,
+            durable: self.durability_base.is_some(),
+            ghost_updates: 0,
+            traffic: CrossShardTraffic::default(),
+            recorder: if self.record_metrics {
+                Recorder::labeled("router")
+            } else {
+                Recorder::disabled()
+            },
+        })
+    }
+
+    /// Recover the whole fleet from per-shard durability directories
+    /// under `base` (see [`ShardedConfig::durability_base`]). Each
+    /// shard recovers independently from `base/shard-0i`; a failure is
+    /// reported with its `[shard-0i]` prefix and offending file path,
+    /// so one bad shard is diagnosable from the error alone. The
+    /// persisted state knobs (symmetrize, vertex limit) come from each
+    /// shard's checkpoint.
+    pub fn recover(self, base: impl AsRef<Path>) -> io::Result<ShardedFlow> {
+        let base = base.as_ref();
+        let plan = ShardPlan::new(self.num_shards);
+        let mut shards = Vec::with_capacity(self.num_shards);
+        for i in 0..self.num_shards {
+            let label = shard_label(i);
+            let mut engine = FlowEngine::recover_labeled(shard_dir(base, i), &label)?;
+            if self.record_metrics {
+                engine.set_recorder(Recorder::labeled(label));
+            }
+            shards.push(engine);
+        }
+        let symmetrize = shards.first().map(|s| s.symmetrize()).unwrap_or(true);
+        Ok(ShardedFlow {
+            plan,
+            shards,
+            symmetrize,
+            durable: true,
+            ghost_updates: 0,
+            traffic: CrossShardTraffic::default(),
+            recorder: if self.record_metrics {
+                Recorder::labeled("router")
+            } else {
+                Recorder::disabled()
+            },
+        })
+    }
+}
+
+/// N shard-local [`FlowEngine`]s behind one hash-partition router.
+/// See the module docs for the architecture and invariants.
+pub struct ShardedFlow {
+    plan: ShardPlan,
+    shards: Vec<FlowEngine>,
+    symmetrize: bool,
+    durable: bool,
+    ghost_updates: u64,
+    traffic: CrossShardTraffic,
+    recorder: Recorder,
+}
+
+impl ShardedFlow {
+    /// Start a [`ShardedConfig`] builder.
+    pub fn builder(num_shards: usize) -> ShardedConfig {
+        ShardedConfig::new(num_shards)
+    }
+
+    /// The partition in force.
+    pub fn plan(&self) -> &ShardPlan {
+        &self.plan
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard-local engines (index = shard id).
+    pub fn shards(&self) -> &[FlowEngine] {
+        &self.shards
+    }
+
+    /// Mutable access to one shard's engine.
+    pub fn shard_mut(&mut self, i: usize) -> &mut FlowEngine {
+        &mut self.shards[i]
+    }
+
+    /// Ghost (second-copy) update deliveries so far.
+    pub fn ghost_updates(&self) -> u64 {
+        self.ghost_updates
+    }
+
+    /// Cross-shard bytes per protocol so far.
+    pub fn traffic(&self) -> CrossShardTraffic {
+        self.traffic
+    }
+
+    /// Global vertex width: the widest shard graph (shards grow
+    /// independently as updates arrive, so widths can differ).
+    pub fn global_width(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.graph().num_vertices())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Route one batch to every shard and apply it (durably when the
+    /// fleet was built with a durability base). Every shard sees a
+    /// batch with the same `time`, so watermarks advance uniformly.
+    /// Returns the total updates quarantined across shards.
+    pub fn process_batch(&mut self, batch: &UpdateBatch) -> io::Result<usize> {
+        let (sub, ghosts) = self.plan.route_batch(batch);
+        self.ghost_updates += ghosts;
+        let bytes = ghosts * UPDATE_WIRE_BYTES;
+        self.traffic.ingest_bytes += bytes;
+        self.recorder.span(Step::Ingest).add_net_bytes(bytes);
+        let mut quarantined = 0;
+        for (b, engine) in sub.iter().zip(self.shards.iter_mut()) {
+            let before = engine.stats().ingest.updates_quarantined;
+            if self.durable {
+                engine.process_stream_durable(b, |_| None, None)?;
+            } else {
+                engine.process_stream(b, |_| None, None);
+            }
+            quarantined += engine.stats().ingest.updates_quarantined - before;
+        }
+        Ok(quarantined)
+    }
+
+    /// Checkpoint every shard; returns the per-shard checkpoint paths.
+    pub fn checkpoint(&mut self) -> io::Result<Vec<PathBuf>> {
+        self.shards.iter_mut().map(|e| e.checkpoint()).collect()
+    }
+
+    /// Resolve ghosts into one global graph: each vertex's row comes
+    /// verbatim from its owner shard, so the result is bit-identical
+    /// to an unsharded engine's graph after the same batches.
+    pub fn merged_graph(&self) -> DynamicGraph {
+        let width = self.global_width();
+        let last = self
+            .shards
+            .iter()
+            .map(|s| s.graph().last_update())
+            .max()
+            .unwrap_or(0);
+        merge_owned_rows(
+            width,
+            last,
+            |v| self.plan.owner(v),
+            |shard, v| self.shards[shard].graph().row_slots(v),
+        )
+    }
+
+    /// Merge per-shard property stores by vertex ownership.
+    pub fn merged_props(&self) -> PropertyStore {
+        merge_owned_props(
+            |v| self.plan.owner(v),
+            self.shards.iter().map(|s| s.props()),
+        )
+    }
+
+    /// One grouped stats record for the whole fleet (per-shard counters
+    /// summed; ghost work is counted on every shard that performed it).
+    pub fn merged_stats(&self) -> FlowStats {
+        let mut total = FlowStats::default();
+        for s in &self.shards {
+            total.merge(&s.stats());
+        }
+        total
+    }
+
+    /// Per-shard stats records (index = shard id).
+    pub fn shard_stats(&self) -> Vec<FlowStats> {
+        self.shards.iter().map(|s| s.stats()).collect()
+    }
+
+    /// Labeled metrics exports: the router's snapshot (cross-shard
+    /// traffic) followed by each shard's. With metrics off these are
+    /// empty-but-valid snapshots.
+    pub fn metrics(&self) -> Vec<MetricsSnapshot> {
+        let mut out = vec![self.recorder.snapshot()];
+        out.extend(self.shards.iter().map(|s| s.metrics()));
+        out
+    }
+
+    /// Scatter-gather PageRank over the merged graph, bit-identical to
+    /// `pagerank_with` on an unsharded engine for any shard count: each
+    /// shard pulls over the complete in-adjacency of its owned
+    /// vertices (ascending source order), while the dangling-mass and
+    /// residual reductions run at the router in global vertex order.
+    pub fn pagerank(&mut self, damping: f64, tol: f64, max_iters: usize) -> PageRankResult {
+        let n = self.global_width();
+        if n == 0 {
+            return PageRankResult {
+                rank: vec![],
+                work: 0,
+                residual: 0.0,
+                completion: Completion::Complete,
+            };
+        }
+        let mut span = self.recorder.span(Step::BatchAnalytic);
+        // Scatter phase setup: per-shard owned vertex lists and
+        // in-adjacencies, plus global out-degrees from the owner rows.
+        let mut owned: Vec<Vec<VertexId>> = vec![Vec::new(); self.shards.len()];
+        for v in 0..n as VertexId {
+            owned[self.plan.owner(v)].push(v);
+        }
+        let in_adj: Vec<Vec<Vec<VertexId>>> = self
+            .shards
+            .iter()
+            .enumerate()
+            .map(|(i, s)| owned_in_adjacency(s.graph(), n, |v| self.plan.owner(v) == i))
+            .collect();
+        // Rank values pulled across a shard boundary, per iteration.
+        let cross_in: u64 = in_adj
+            .iter()
+            .enumerate()
+            .map(|(i, adj)| {
+                adj.iter()
+                    .flatten()
+                    .filter(|&&u| self.plan.owner(u) != i)
+                    .count() as u64
+            })
+            .sum();
+        // The owner holds each vertex's exact out-row, so its live
+        // degree *is* the global out-degree.
+        let out_deg: Vec<f64> = (0..n as VertexId)
+            .map(|v| self.shards[self.plan.owner(v)].graph().degree(v) as f64)
+            .collect();
+        let inv_n = 1.0 / n as f64;
+        let mut rank = vec![inv_n; n];
+        let mut iters = 0;
+        let mut residual = f64::INFINITY;
+        while iters < max_iters && residual > tol {
+            // Router-side serial reductions in global vertex order —
+            // the same summation order as the unsharded kernel.
+            let dangling: f64 = (0..n).filter(|&v| out_deg[v] == 0.0).map(|v| rank[v]).sum();
+            let base = (1.0 - damping) * inv_n + damping * dangling * inv_n;
+            let mut next = rank.clone();
+            for i in 0..self.shards.len() {
+                for (v, r) in
+                    pagerank_owned_sweep(&in_adj[i], &owned[i], &rank, &out_deg, base, damping)
+                {
+                    next[v as usize] = r;
+                }
+            }
+            residual = (0..n).map(|v| (next[v] - rank[v]).abs()).sum();
+            rank = next;
+            iters += 1;
+        }
+        let bytes = iters as u64 * RANK_WIRE_BYTES * cross_in;
+        self.traffic.pagerank_bytes += bytes;
+        span.add_net_bytes(bytes);
+        PageRankResult {
+            rank,
+            work: iters,
+            residual,
+            completion: Completion::Complete,
+        }
+    }
+
+    /// Scatter-gather BFS: level-synchronous frontier exchange. Depths
+    /// are integers, so the result is exact for any shard count —
+    /// identical to `bfs_depths` on the merged graph.
+    pub fn bfs(&mut self, src: VertexId) -> Vec<u32> {
+        let n = self.global_width();
+        let mut depth = vec![UNREACHED; n];
+        if (src as usize) >= n {
+            return depth;
+        }
+        let mut span = self.recorder.span(Step::BatchAnalytic);
+        depth[src as usize] = 0;
+        let mut frontier = vec![src];
+        let mut d = 0u32;
+        let mut cross = 0u64;
+        while !frontier.is_empty() {
+            let mut per_shard: Vec<Vec<VertexId>> = vec![Vec::new(); self.shards.len()];
+            for &v in &frontier {
+                per_shard[self.plan.owner(v)].push(v);
+            }
+            let mut next = Vec::new();
+            for (i, f) in per_shard.iter().enumerate() {
+                for c in bfs_owned_expand(self.shards[i].graph(), f) {
+                    if self.plan.owner(c) != i {
+                        cross += 1;
+                    }
+                    if (c as usize) < n && depth[c as usize] == UNREACHED {
+                        depth[c as usize] = d + 1;
+                        next.push(c);
+                    }
+                }
+            }
+            d += 1;
+            frontier = next;
+        }
+        let bytes = FRONTIER_WIRE_BYTES * cross;
+        self.traffic.bfs_bytes += bytes;
+        span.add_net_bytes(bytes);
+        depth
+    }
+
+    /// Scatter-gather connected components: each shard reduces its
+    /// local edges to a spanning forest, the router unions the forests.
+    /// Min-id label normalization makes the result independent of shard
+    /// count — identical to `wcc_union_find` on the merged graph.
+    pub fn components(&mut self) -> Components {
+        let n = self.global_width();
+        let mut span = self.recorder.span(Step::BatchAnalytic);
+        let mut pairs = Vec::new();
+        for engine in &self.shards {
+            let csr = engine.graph().snapshot();
+            pairs.extend(cc_local_forest(&csr, self.symmetrize));
+        }
+        if self.shards.len() > 1 {
+            let bytes = FOREST_PAIR_WIRE_BYTES * pairs.len() as u64;
+            self.traffic.components_bytes += bytes;
+            span.add_net_bytes(bytes);
+        }
+        cc_merge_forests(n, pairs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ga_graph::CsrBuilder;
+    use ga_kernels::bfs::bfs_depths;
+    use ga_kernels::cc::wcc_union_find;
+    use ga_kernels::pagerank::pagerank_with;
+    use ga_kernels::KernelCtx;
+    use ga_stream::update::{into_batches, rmat_edge_stream};
+
+    fn drive(flow: &mut ShardedFlow, scale: u32, total: usize, seed: u64) {
+        for batch in into_batches(rmat_edge_stream(scale, total, 0.2, seed), 128, 1) {
+            flow.process_batch(&batch).unwrap();
+        }
+    }
+
+    #[test]
+    fn scatter_gather_matches_unsharded_kernels() {
+        let mut one = ShardedFlow::builder(1).build(64).unwrap();
+        drive(&mut one, 6, 1200, 11);
+        let reference_pr = one.pagerank(0.85, 1e-10, 60);
+
+        for shards in [1usize, 2, 4] {
+            let mut flow = ShardedFlow::builder(shards).build(64).unwrap();
+            drive(&mut flow, 6, 1200, 11);
+            let merged = flow.merged_graph();
+            assert_eq!(merged, one.merged_graph(), "{shards}-shard merge");
+
+            // PageRank: bit-identical to the unsharded kernel AND to
+            // the 1-shard run.
+            let snap = merged.snapshot();
+            let csr = CsrBuilder::new(merged.num_vertices())
+                .edges(snap.edges())
+                .reverse(true)
+                .build();
+            let kernel = pagerank_with(&csr, 0.85, 1e-10, 60, &KernelCtx::serial());
+            let pr = flow.pagerank(0.85, 1e-10, 60);
+            assert_eq!(pr.work, kernel.work, "{shards}-shard pagerank iters");
+            assert_eq!(pr.rank, kernel.rank, "{shards}-shard pagerank ranks");
+            assert_eq!(pr.rank, reference_pr.rank, "{shards}-shard vs 1-shard");
+
+            // BFS depths and components labels are exact integers.
+            assert_eq!(flow.bfs(0), bfs_depths(&snap, 0), "{shards}-shard bfs");
+            let cc = flow.components();
+            let direct = wcc_union_find(&snap);
+            assert_eq!(cc.label, direct.label, "{shards}-shard cc labels");
+            assert_eq!(cc.count, direct.count, "{shards}-shard cc count");
+        }
+    }
+
+    #[test]
+    fn traffic_is_zero_single_shard_and_positive_sharded() {
+        let mut one = ShardedFlow::builder(1).build(64).unwrap();
+        drive(&mut one, 6, 800, 3);
+        one.pagerank(0.85, 1e-9, 30);
+        one.bfs(0);
+        one.components();
+        assert_eq!(one.traffic(), CrossShardTraffic::default());
+
+        let mut four = ShardedFlow::builder(4).build(64).unwrap();
+        drive(&mut four, 6, 800, 3);
+        four.pagerank(0.85, 1e-9, 30);
+        four.bfs(0);
+        four.components();
+        let t = four.traffic();
+        assert!(t.ingest_bytes > 0, "{t:?}");
+        assert!(t.pagerank_bytes > 0, "{t:?}");
+        assert!(t.bfs_bytes > 0, "{t:?}");
+        assert!(t.components_bytes > 0, "{t:?}");
+        assert_eq!(t.ingest_bytes, four.ghost_updates() * UPDATE_WIRE_BYTES);
+    }
+
+    #[test]
+    fn router_recorder_books_cross_shard_bytes() {
+        let mut flow = ShardedFlow::builder(2)
+            .record_metrics(true)
+            .build(64)
+            .unwrap();
+        drive(&mut flow, 6, 600, 5);
+        flow.pagerank(0.85, 1e-9, 20);
+        let snaps = flow.metrics();
+        assert_eq!(snaps.len(), 3);
+        assert_eq!(snaps[0].label, "router");
+        assert_eq!(snaps[1].label, "shard-00");
+        let t = flow.traffic();
+        assert_eq!(
+            snaps[0].step(Step::Ingest).net_bytes,
+            t.ingest_bytes,
+            "router ingest bytes"
+        );
+        assert_eq!(
+            snaps[0].step(Step::BatchAnalytic).net_bytes,
+            t.pagerank_bytes,
+            "router analytic bytes"
+        );
+    }
+}

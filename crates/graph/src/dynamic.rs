@@ -396,6 +396,22 @@ impl DynamicGraph {
         &self.adj
     }
 
+    /// The raw slot row of vertex `v` *including tombstones*, in slot
+    /// order. Sharded routers use this to lift owned rows out of a shard
+    /// verbatim, so a merged graph can be compared slot-for-slot against
+    /// an unsharded run. Empty for out-of-range ids (a shard that never
+    /// saw an edge near `v` simply has no row for it).
+    pub fn row_slots(&self, v: VertexId) -> &[EdgeRecord] {
+        self.row(v)
+    }
+
+    /// Assemble a graph from raw slot rows (tombstones included);
+    /// live/tombstone counts are recomputed, versions reset to zero.
+    /// Inverse of reading every row via [`Self::row_slots`].
+    pub fn from_rows(adj: Vec<Vec<EdgeRecord>>, last_update: Timestamp) -> Self {
+        Self::from_raw_parts(adj, last_update)
+    }
+
     /// Rebuild a graph from checkpointed rows; live/tombstone counts are
     /// recomputed from the records.
     pub(crate) fn from_raw_parts(adj: Vec<Vec<EdgeRecord>>, last_update: Timestamp) -> Self {

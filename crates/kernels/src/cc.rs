@@ -136,7 +136,7 @@ fn label_prop_serial(g: &CsrGraph, budget: &Budget) -> (Vec<VertexId>, usize) {
 /// vertex reads the previous sweep's labels, all vertices update
 /// concurrently). Takes more sweeps than the Gauss–Seidel serial engine
 /// but converges to the same unique fixpoint — `label[v]` = min vertex
-/// id in v's component — so after [`normalize`] the labels are
+/// id in v's component — so after `normalize` the labels are
 /// bit-identical to [`wcc_label_prop`]'s.
 pub fn wcc_label_prop_parallel(g: &CsrGraph) -> Components {
     normalize(label_prop_parallel(g, &Budget::unlimited()).0)
@@ -194,6 +194,87 @@ pub fn wcc_with(g: &CsrGraph, ctx: &KernelCtx) -> Components {
     ctx.counters
         .flush(s * (2 * m + nv), s * (8 * m + 16 * nv), s * m);
     normalize(label)
+}
+
+/// Number of initial out-neighbors each vertex links to during the
+/// cheap subgraph-sampling phase of [`wcc_afforest`].
+const AFFOREST_NEIGHBOR_ROUNDS: usize = 2;
+
+/// Upper bound on the fixed-stride component samples taken to identify
+/// the (probable) largest intermediate component in [`wcc_afforest`].
+const AFFOREST_SAMPLES: usize = 1024;
+
+/// WCC in the Afforest / Shiloach–Vishkin family: union-find with
+/// subgraph sampling (Sutton et al., IPDPS'18). Phase 1 links every
+/// vertex to its first `AFFOREST_NEIGHBOR_ROUNDS` out-neighbors —
+/// on skewed graphs this already assembles most of the giant
+/// component. Phase 2 samples component roots at a fixed stride and
+/// picks the most frequent one. Phase 3 finishes only the vertices
+/// *outside* that component, skipping the giant component's (already
+/// connected) internal edges entirely.
+///
+/// Fully deterministic: sampling is fixed-stride, not randomized, and
+/// labels come from [`UnionFind::labels`] (min vertex id per set), so
+/// the result is bit-identical to [`wcc_union_find`].
+///
+/// Same contract as [`wcc_label_prop`]: finds true weak components
+/// only when edges are symmetric or a reverse index is present
+/// (skipped giant-component vertices rely on the other endpoint
+/// seeing the edge from its side).
+pub fn wcc_afforest(g: &CsrGraph) -> Components {
+    let n = g.num_vertices();
+    let mut uf = UnionFind::new(n);
+
+    // Phase 1: cheap partial linking.
+    for r in 0..AFFOREST_NEIGHBOR_ROUNDS {
+        for u in 0..n as VertexId {
+            if let Some(&v) = g.neighbors(u).get(r) {
+                uf.union(u, v);
+            }
+        }
+    }
+
+    // Phase 2: find the most frequent root among fixed-stride samples
+    // (ties break toward the smaller root, keeping this deterministic).
+    let skip_root = if n > 0 {
+        let stride = (n / AFFOREST_SAMPLES.min(n)).max(1);
+        let mut counts: std::collections::BTreeMap<VertexId, usize> = Default::default();
+        let mut v = 0usize;
+        while v < n {
+            *counts.entry(uf.find(v as VertexId)).or_default() += 1;
+            v += stride;
+        }
+        counts
+            .into_iter()
+            .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)))
+            .map(|(root, _)| root)
+    } else {
+        None
+    };
+
+    // Phase 3: finish everything outside the sampled giant component.
+    // An edge {u,v} with u inside and v outside is still honored: v is
+    // not skipped and sees the edge via symmetric adjacency or the
+    // reverse index.
+    for u in 0..n as VertexId {
+        if skip_root == Some(uf.find(u)) {
+            continue;
+        }
+        for &v in g.neighbors(u).iter().skip(AFFOREST_NEIGHBOR_ROUNDS) {
+            uf.union(u, v);
+        }
+        if g.has_reverse() {
+            for &v in g.in_neighbors(u) {
+                uf.union(u, v);
+            }
+        }
+    }
+
+    let count = uf.num_sets();
+    Components {
+        label: uf.labels(),
+        count,
+    }
 }
 
 /// Tarjan's SCC, iterative formulation (explicit stack; no recursion).

@@ -48,6 +48,7 @@ pub mod kcore;
 pub mod mis;
 pub mod pagerank;
 pub mod partition;
+pub mod scatter;
 pub mod sssp;
 pub mod subiso;
 pub mod topk;

@@ -61,7 +61,7 @@ impl Log2Histogram {
 /// percentile estimation.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct HistogramSnapshot {
-    /// Raw bucket counts; see [`BUCKETS`] for boundaries.
+    /// Raw bucket counts; see `BUCKETS` for boundaries.
     pub buckets: [u64; BUCKETS],
 }
 

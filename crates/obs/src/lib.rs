@@ -1,6 +1,6 @@
 //! `ga-obs` — the explicit instrumentation layer the paper's conclusion
 //! calls for: "a reference implementation, with explicit
-//! instrumentation, of a combined [batch+streaming] benchmark [to]
+//! instrumentation, of a combined \[batch+streaming\] benchmark \[to\]
 //! allow calibration of the model".
 //!
 //! Design constraints, in order:

@@ -63,6 +63,9 @@ struct Inner {
     steps: [StepCell; Step::COUNT],
     hists: [Log2Histogram; Step::COUNT],
     journal: Mutex<Journal>,
+    /// Instance label stamped into exported snapshots (e.g.
+    /// `"shard-03"` in a sharded deployment). Empty = unlabeled.
+    label: String,
 }
 
 /// A clonable handle to shared instrumentation state; see the module
@@ -83,6 +86,18 @@ impl Recorder {
 
     /// A live recorder with an explicit journal bound.
     pub fn with_journal_capacity(cap: usize) -> Recorder {
+        Recorder::with_journal_capacity_labeled(cap, String::new())
+    }
+
+    /// A live recorder whose exported snapshots carry `label` — how a
+    /// multi-engine deployment (e.g. one recorder per shard) keeps its
+    /// metric streams distinguishable after they are written to one
+    /// place.
+    pub fn labeled(label: impl Into<String>) -> Recorder {
+        Recorder::with_journal_capacity_labeled(DEFAULT_JOURNAL_CAP, label.into())
+    }
+
+    fn with_journal_capacity_labeled(cap: usize, label: String) -> Recorder {
         Recorder(Some(Arc::new(Inner {
             steps: Default::default(),
             hists: Default::default(),
@@ -91,12 +106,18 @@ impl Recorder {
                 next_seq: 0,
                 cap,
             }),
+            label,
         })))
     }
 
     /// Whether this handle records anything.
     pub fn is_enabled(&self) -> bool {
         self.0.is_some()
+    }
+
+    /// The instance label (empty for unlabeled or disabled recorders).
+    pub fn label(&self) -> &str {
+        self.0.as_ref().map_or("", |i| i.label.as_str())
     }
 
     /// Open a span for `step`. The guard accumulates resources locally
@@ -150,6 +171,7 @@ impl Recorder {
     pub fn snapshot(&self) -> MetricsSnapshot {
         let mut snap = MetricsSnapshot::empty();
         if let Some(inner) = &self.0 {
+            snap.label = inner.label.clone();
             for step in Step::ALL {
                 let cell = &inner.steps[step.idx()];
                 snap.steps[step.idx()] = StepMetrics {

@@ -85,6 +85,11 @@ pub struct MetricsSnapshot {
     pub steps: Vec<StepMetrics>,
     /// Journal contents at snapshot time (bounded; oldest evicted).
     pub events: Vec<EventRecord>,
+    /// Recorder instance label (e.g. `"shard-03"`); empty for
+    /// unlabeled recorders. Serialised only when non-empty, so
+    /// unlabeled exports are byte-identical to pre-label versions of
+    /// the schema and old lines still parse.
+    pub label: String,
 }
 
 impl MetricsSnapshot {
@@ -93,6 +98,7 @@ impl MetricsSnapshot {
         MetricsSnapshot {
             steps: Step::ALL.into_iter().map(StepMetrics::zero).collect(),
             events: Vec::new(),
+            label: String::new(),
         }
     }
 
@@ -145,12 +151,13 @@ impl MetricsSnapshot {
                 ])
             })
             .collect();
-        obj(vec![
-            ("schema", Json::Str(SCHEMA.to_string())),
-            ("steps", Json::Arr(steps)),
-            ("events", Json::Arr(events)),
-        ])
-        .to_string_compact()
+        let mut fields = vec![("schema", Json::Str(SCHEMA.to_string()))];
+        if !self.label.is_empty() {
+            fields.push(("label", Json::Str(self.label.clone())));
+        }
+        fields.push(("steps", Json::Arr(steps)));
+        fields.push(("events", Json::Arr(events)));
+        obj(fields).to_string_compact()
     }
 
     /// Parse one exported line. Strict: wrong schema tag, missing
@@ -167,6 +174,15 @@ impl MetricsSnapshot {
             ));
         }
         let mut snap = MetricsSnapshot::empty();
+        // `label` is optional (absent on unlabeled exports and on lines
+        // written before labels existed); when present it must be a
+        // string.
+        if let Some(label) = v.get("label") {
+            snap.label = label
+                .as_str()
+                .map(str::to_string)
+                .ok_or("label must be a string")?;
+        }
         let steps = v
             .get("steps")
             .and_then(Json::as_arr)
@@ -267,6 +283,17 @@ mod tests {
         });
         let line = snap.to_json();
         assert!(!line.contains('\n'));
+        assert_eq!(MetricsSnapshot::from_json(&line).unwrap(), snap);
+    }
+
+    #[test]
+    fn label_roundtrips_and_is_optional() {
+        let mut snap = MetricsSnapshot::empty();
+        let unlabeled = snap.to_json();
+        assert!(!unlabeled.contains("label"), "unlabeled exports unchanged");
+        assert_eq!(MetricsSnapshot::from_json(&unlabeled).unwrap(), snap);
+        snap.label = "shard-03".into();
+        let line = snap.to_json();
         assert_eq!(MetricsSnapshot::from_json(&line).unwrap(), snap);
     }
 

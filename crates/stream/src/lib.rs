@@ -44,6 +44,9 @@
 //! * [`admission`] — bounded, priority-classed admission queue: the
 //!   overload front door that sheds bulk traffic first and never grows
 //!   past its configured capacity.
+//! * [`sharded`] — hash-partitioned update routing across N shard-local
+//!   engines with ghost (halo) edges, the stream half of the sharded
+//!   scale-out architecture (the flow-level driver lives in `ga-core`).
 
 #![warn(missing_docs)]
 
@@ -57,6 +60,7 @@ pub mod firehose;
 pub mod jaccard_stream;
 pub mod pr_inc;
 pub mod queries;
+pub mod sharded;
 pub mod tri_inc;
 pub mod update;
 pub mod wal;
@@ -65,4 +69,5 @@ pub mod window;
 pub use admission::{AdmissionConfig, AdmissionDecision, AdmissionQueue, Priority};
 pub use engine::{Monitor, StreamEngine};
 pub use events::{Event, EventKind};
+pub use sharded::{ShardPlan, ShardRouter};
 pub use update::Update;

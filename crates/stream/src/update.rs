@@ -87,6 +87,50 @@ pub fn rmat_edge_stream(scale: u32, total: usize, delete_fraction: f64, seed: u6
     out
 }
 
+/// Deterministic uniform (Erdős–Rényi-style) edge-update stream: like
+/// [`rmat_edge_stream`] but endpoints are drawn uniformly from
+/// `0..2^scale`, giving a flat degree distribution — the
+/// low-skew counterpart used to separate partition-balance effects from
+/// hub-replication effects in sharding experiments.
+pub fn uniform_edge_stream(
+    scale: u32,
+    total: usize,
+    delete_fraction: f64,
+    seed: u64,
+) -> Vec<Update> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let n = 1u64 << scale;
+    let mut inserted: Vec<(VertexId, VertexId)> = Vec::new();
+    let mut live: std::collections::HashSet<(VertexId, VertexId)> = Default::default();
+    let mut out = Vec::with_capacity(total);
+    for _ in 0..total {
+        let do_delete = !inserted.is_empty() && rng.gen::<f64>() < delete_fraction;
+        if do_delete {
+            let i = rng.gen_range(0..inserted.len());
+            let (src, dst) = inserted.swap_remove(i);
+            live.remove(&(src, dst));
+            out.push(Update::EdgeDelete { src, dst });
+        } else {
+            let (src, dst) = loop {
+                let u = rng.gen_range(0..n) as VertexId;
+                let v = rng.gen_range(0..n) as VertexId;
+                if u != v {
+                    break (u, v);
+                }
+            };
+            if live.insert((src, dst)) {
+                inserted.push((src, dst));
+            }
+            out.push(Update::EdgeInsert {
+                src,
+                dst,
+                weight: 1.0,
+            });
+        }
+    }
+    out
+}
+
 fn rmat_one(scale: u32, p: RmatParams, rng: &mut impl Rng) -> (VertexId, VertexId) {
     let (mut u, mut v) = (0u64, 0u64);
     for _ in 0..scale {

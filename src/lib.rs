@@ -15,8 +15,9 @@
 //!   migrating-thread machine (Fig. 5).
 //! * [`core`] — the paper's contribution itself: the Fig. 1 taxonomy,
 //!   the Fig. 2 canonical batch+streaming processing flow with
-//!   instrumentation, the NORA application, and the four-resource
-//!   performance model behind Figs. 3 and 6.
+//!   instrumentation, the NORA application, the four-resource
+//!   performance model behind Figs. 3 and 6, and the sharded
+//!   multi-engine scale-out layer (§V made measurable).
 //!
 //! See `README.md` for a tour, `DESIGN.md` for the system inventory, and
 //! `EXPERIMENTS.md` for the paper-vs-measured record of every figure.
@@ -56,6 +57,7 @@ pub mod prelude {
         OverloadConfig, PageRankAnalytic, SelectionCriteria, TriangleAnalytic,
     };
     pub use ga_core::retry::RetryPolicy;
+    pub use ga_core::sharded::{CrossShardTraffic, ShardedConfig, ShardedFlow};
     pub use ga_graph::{
         CsrBuilder, CsrGraph, DynamicGraph, ExtractOptions, Parallelism, PropValue, PropertyStore,
         Subgraph, VertexId,
@@ -63,8 +65,9 @@ pub mod prelude {
     pub use ga_kernels::{bfs, cc, pagerank, sssp, triangles};
     pub use ga_kernels::{Budget, Completion, KernelCtx};
     pub use ga_obs::{MetricsSnapshot, Recorder, Step};
-    pub use ga_stream::update::{into_batches, rmat_edge_stream, UpdateBatch};
+    pub use ga_stream::update::{into_batches, rmat_edge_stream, uniform_edge_stream, UpdateBatch};
     pub use ga_stream::{
-        AdmissionConfig, Event, EventKind, Monitor, Priority, StreamEngine, Update,
+        AdmissionConfig, Event, EventKind, Monitor, Priority, ShardPlan, ShardRouter, StreamEngine,
+        Update,
     };
 }

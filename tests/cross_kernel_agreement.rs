@@ -125,6 +125,21 @@ fn pagerank_direct_vs_matrix_language() {
 }
 
 #[test]
+fn afforest_matches_union_find_on_random_graphs() {
+    // Dedicated Afforest agreement across densities: giant-component
+    // skipping (the sampling phase) must never change the answer, from
+    // forests of islands up to one giant component.
+    for (n, m, seed) in [(200, 60, 1u64), (200, 220, 2), (300, 1200, 3)] {
+        let edges = gen::erdos_renyi(n, m, seed);
+        let g = CsrGraph::from_edges_undirected(n, &edges);
+        let direct = cc::wcc_union_find(&g);
+        let afforest = cc::wcc_afforest(&g);
+        assert_eq!(direct.label, afforest.label, "n={n} m={m} seed={seed}");
+        assert_eq!(direct.count, afforest.count, "n={n} m={m} seed={seed}");
+    }
+}
+
+#[test]
 fn components_match_reachability_closure() {
     // On an undirected graph, u and v share a WCC iff v is reachable
     // from u in the boolean closure.
@@ -165,6 +180,12 @@ fn assert_serial_parallel_agree(g: &CsrGraph, tag: &str) {
     let cp = cc::wcc_with(g, &p);
     assert_eq!(cs.label, cp.label, "{tag}: CC labels differ");
     assert_eq!(cs.count, cp.count, "{tag}: CC counts differ");
+
+    // The Afforest/Shiloach-Vishkin variant must agree label-for-label
+    // with the union-find dispatch on the same (symmetric) graph.
+    let ca = cc::wcc_afforest(g);
+    assert_eq!(cs.label, ca.label, "{tag}: Afforest CC labels differ");
+    assert_eq!(cs.count, ca.count, "{tag}: Afforest CC counts differ");
 
     assert_eq!(
         triangles::count_global_with(g, &s),

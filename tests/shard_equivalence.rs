@@ -1,0 +1,207 @@
+//! Sharded scale-out equivalence suite — the CI `shard-matrix` job's
+//! workload.
+//!
+//! Three contracts, each checked across shard counts and seeds:
+//!
+//! 1. **Scatter-gather agreement**: merged PageRank / BFS / components
+//!    results from an N-shard [`ShardedFlow`] are *bit-identical* to
+//!    the unsharded kernels on the merged graph — and to the 1-shard
+//!    run, so the whole scaling curve computes one answer.
+//! 2. **Sharded recovery equivalence**: crash-and-recover on per-shard
+//!    durability directories reproduces graph, properties, and stats
+//!    exactly (recovery is shard-local).
+//! 3. **Labeled recovery errors**: a corrupted shard checkpoint fails
+//!    recovery with an error naming the shard (`[shard-01]`) and the
+//!    offending file path — diagnosable straight from a CI log.
+//!
+//! With `GA_SHARDS` set (the CI matrix), only that shard count runs;
+//! unset, counts 1/2/4 all run in-process.
+
+use ga_core::flow::FlowEngine;
+use ga_core::sharded::{shard_dir, shard_label, ShardedConfig, ShardedFlow};
+use ga_graph::CsrBuilder;
+use ga_kernels::bfs::bfs_depths;
+use ga_kernels::cc::wcc_union_find;
+use ga_kernels::pagerank::pagerank_with;
+use ga_kernels::KernelCtx;
+use ga_stream::update::{into_batches, rmat_edge_stream, uniform_edge_stream, UpdateBatch};
+use std::path::PathBuf;
+
+const SCALE: u32 = 6;
+const UPDATES: usize = 1400;
+const BATCH: usize = 120;
+const SEEDS: std::ops::Range<u64> = 0..5;
+
+fn shard_counts() -> Vec<usize> {
+    match std::env::var("GA_SHARDS") {
+        Ok(s) => vec![s.parse().expect("GA_SHARDS must be a shard count")],
+        Err(_) => vec![1, 2, 4],
+    }
+}
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join("ga_shard_equivalence")
+        .join(format!("{name}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+fn workload(seed: u64, uniform: bool) -> Vec<UpdateBatch> {
+    let stream = if uniform {
+        uniform_edge_stream(SCALE, UPDATES, 0.2, seed)
+    } else {
+        rmat_edge_stream(SCALE, UPDATES, 0.2, seed)
+    };
+    into_batches(stream, BATCH, 1)
+}
+
+/// Drive a sharded fleet and an unsharded reference engine through the
+/// same batches (both on the default symmetrize=true contract).
+fn drive_pair(shards: usize, seed: u64, uniform: bool) -> (ShardedFlow, FlowEngine) {
+    let mut flow = ShardedFlow::builder(shards).build(1 << SCALE).unwrap();
+    let mut reference = FlowEngine::new(1 << SCALE);
+    for batch in workload(seed, uniform) {
+        flow.process_batch(&batch).unwrap();
+        reference.process_stream(&batch, |_| None, None);
+    }
+    (flow, reference)
+}
+
+#[test]
+fn scatter_gather_agrees_with_unsharded_kernels() {
+    for seed in SEEDS {
+        for uniform in [false, true] {
+            // Ground truth: the 1-shard run's PageRank.
+            let (mut one, _) = drive_pair(1, seed, uniform);
+            let pr_one = one.pagerank(0.85, 1e-10, 50);
+
+            for shards in shard_counts() {
+                let (mut flow, reference) = drive_pair(shards, seed, uniform);
+                let merged = flow.merged_graph();
+                assert_eq!(
+                    &merged,
+                    reference.graph(),
+                    "merged graph diverged (shards={shards} seed={seed} uniform={uniform})"
+                );
+
+                let snap = merged.snapshot();
+                let rev = CsrBuilder::new(merged.num_vertices())
+                    .edges(snap.edges())
+                    .reverse(true)
+                    .build();
+                let kernel = pagerank_with(&rev, 0.85, 1e-10, 50, &KernelCtx::serial());
+                let pr = flow.pagerank(0.85, 1e-10, 50);
+                assert_eq!(pr.work, kernel.work, "pagerank iters (shards={shards})");
+                assert_eq!(
+                    pr.rank, kernel.rank,
+                    "pagerank ranks not bit-identical (shards={shards} seed={seed})"
+                );
+                assert_eq!(
+                    pr.rank, pr_one.rank,
+                    "N-shard vs 1-shard pagerank (shards={shards} seed={seed})"
+                );
+
+                assert_eq!(
+                    flow.bfs(0),
+                    bfs_depths(&snap, 0),
+                    "bfs depths (shards={shards} seed={seed})"
+                );
+
+                let cc = flow.components();
+                let direct = wcc_union_find(&snap);
+                assert_eq!(cc.label, direct.label, "cc labels (shards={shards})");
+                assert_eq!(cc.count, direct.count, "cc count (shards={shards})");
+            }
+        }
+    }
+}
+
+#[test]
+fn sharded_recovery_reproduces_state_exactly() {
+    for shards in shard_counts() {
+        for seed in SEEDS {
+            let base = tmpdir(&format!("recover-{shards}-{seed}"));
+            let mut flow = ShardedFlow::builder(shards)
+                .durability_base(&base)
+                .build(1 << SCALE)
+                .unwrap();
+            let batches = workload(seed, false);
+            let mid = batches.len() / 2;
+            for b in &batches[..mid] {
+                flow.process_batch(b).unwrap();
+            }
+            // Checkpoint mid-history so recovery exercises both the
+            // checkpoint load and the WAL-suffix replay on every shard.
+            flow.checkpoint().unwrap();
+            for b in &batches[mid..] {
+                flow.process_batch(b).unwrap();
+            }
+            let want_graph = flow.merged_graph();
+            let want_props = flow.merged_props();
+            let want_stats = flow.shard_stats();
+            drop(flow); // crash
+
+            let recovered = ShardedConfig::new(shards).recover(&base).unwrap();
+            assert_eq!(
+                recovered.merged_graph(),
+                want_graph,
+                "recovered graph (shards={shards} seed={seed})"
+            );
+            assert_eq!(
+                recovered.merged_props(),
+                want_props,
+                "recovered props (shards={shards} seed={seed})"
+            );
+            assert_eq!(
+                recovered.shard_stats(),
+                want_stats,
+                "recovered per-shard stats (shards={shards} seed={seed})"
+            );
+            std::fs::remove_dir_all(&base).ok();
+        }
+    }
+}
+
+#[test]
+fn corrupted_shard_checkpoint_error_names_the_shard() {
+    let shards = 3;
+    let base = tmpdir("labeled-error");
+    let mut flow = ShardedFlow::builder(shards)
+        .durability_base(&base)
+        .build(1 << SCALE)
+        .unwrap();
+    for b in workload(9, false).iter().take(4) {
+        flow.process_batch(b).unwrap();
+    }
+    flow.checkpoint().unwrap();
+    drop(flow);
+
+    // Scribble over every checkpoint in shard 1's directory so its
+    // recovery has no usable fallback.
+    let victim = shard_dir(&base, 1);
+    let mut corrupted = 0;
+    for entry in std::fs::read_dir(&victim).unwrap() {
+        let path = entry.unwrap().path();
+        if path.extension().is_some_and(|e| e == "gac") {
+            std::fs::write(&path, b"not a checkpoint").unwrap();
+            corrupted += 1;
+        }
+    }
+    assert!(corrupted > 0, "no checkpoint files found to corrupt");
+
+    let err = match ShardedConfig::new(shards).recover(&base) {
+        Ok(_) => panic!("recovery must fail with a corrupted shard checkpoint"),
+        Err(e) => e,
+    };
+    let msg = err.to_string();
+    assert!(
+        msg.contains(&format!("[{}]", shard_label(1))),
+        "error must name the failing shard: {msg}"
+    );
+    assert!(
+        msg.contains("ckpt-") || msg.contains(victim.to_str().unwrap()),
+        "error must name the offending path: {msg}"
+    );
+    std::fs::remove_dir_all(&base).ok();
+}
