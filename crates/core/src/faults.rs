@@ -8,7 +8,8 @@
 //! `GA_FAULT_SEED` environment variable in CI.
 
 pub use ga_graph::faults::{
-    arm, check, clear_all, fired_count, injected, intercept, is_injected, FaultMode, Intercept,
+    arm, check, clear_all, fired_count, injected, intercept, is_injected, with_scope, FaultMode,
+    Intercept,
 };
 
 /// One point of the crash-recovery fault matrix: which site misbehaves,
@@ -167,6 +168,176 @@ pub fn plan_from_env() -> Option<FaultPlan> {
         .map(FaultPlan::from_seed)
 }
 
+/// One point of the **shard** chaos matrix: which shard of a fleet is
+/// faulted, at which shard-scoped site, and when. Unlike [`FaultPlan`]
+/// (one engine, process-death crashes), these scenarios fault one
+/// member of a live fleet and expect the fleet to classify the error,
+/// fail over, and rebuild the member online — see
+/// [`crate::sharded::ShardSupervisor`].
+///
+/// Site names are fully scoped (`"shard-01/wal.append"`), matching the
+/// scoped-intercept support in [`ga_graph::faults::with_scope`]; the
+/// sharded router wraps each shard's durable I/O in its label's scope,
+/// so arming a scoped site faults exactly one shard.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShardFaultPlan {
+    /// Seed this plan was derived from.
+    pub seed: u64,
+    /// The targeted shard (derived from the seed, wrapped to the fleet
+    /// size so every seed is valid for every shard count).
+    pub shard: usize,
+    /// Shard-scoped fault site to arm at the fault point (`None` for
+    /// the explicit-kill points).
+    pub site: Option<String>,
+    /// How the armed site misbehaves.
+    pub mode: Option<FaultMode>,
+    /// Whether the driver kills the shard outright at the fault point
+    /// (simulating member death rather than an I/O fault).
+    pub kill: bool,
+    /// Arm the fault (and/or kill) after this many batches.
+    pub fault_after_batches: usize,
+    /// Force a fleet checkpoint right before the fault point, so
+    /// rebuild exercises a fresh checkpoint + short WAL suffix.
+    pub checkpoint_at_fault: bool,
+}
+
+/// Number of distinct scenarios [`ShardFaultPlan::from_seed`]
+/// generates before wrapping (CI loops `GA_FAULT_SEED` over
+/// `0..SHARD_MATRIX_SIZE` × `GA_SHARDS` ∈ {2, 4}).
+pub const SHARD_MATRIX_SIZE: u64 = 10;
+
+impl ShardFaultPlan {
+    /// Deterministically map a seed to a shard fault scenario for a
+    /// fleet of `num_shards`. Seeds beyond [`SHARD_MATRIX_SIZE`] wrap
+    /// with a varied fault point, like [`FaultPlan::from_seed`].
+    pub fn from_seed(seed: u64, num_shards: usize) -> ShardFaultPlan {
+        assert!(num_shards >= 1);
+        let point = seed % SHARD_MATRIX_SIZE;
+        let wave = (seed / SHARD_MATRIX_SIZE) as usize % 3;
+        let shard = (seed as usize) % num_shards;
+        let label = crate::sharded::shard_label(shard);
+        let base = ShardFaultPlan {
+            seed,
+            shard,
+            site: None,
+            mode: None,
+            kill: false,
+            fault_after_batches: 3 + wave,
+            checkpoint_at_fault: false,
+        };
+        match point {
+            // Hard WAL fault: three consecutive append vetoes exhaust
+            // the supervisor's strike budget — Suspect → Dead → online
+            // rebuild from checkpoint + WAL + redelivered backlog.
+            0 => ShardFaultPlan {
+                site: Some(format!("{label}/wal.append")),
+                mode: Some(FaultMode::FailTimes(3)),
+                ..base
+            },
+            // One vetoed append: Suspect, the batch is queued, and the
+            // next round's redelivery heals the shard.
+            1 => ShardFaultPlan {
+                site: Some(format!("{label}/wal.append")),
+                mode: Some(FaultMode::FailOnce),
+                ..base
+            },
+            // Torn WAL frame: the engine repairs the tail, the router
+            // redelivers, the shard self-heals.
+            2 => ShardFaultPlan {
+                site: Some(format!("{label}/wal.append")),
+                mode: Some(FaultMode::ShortWrite(5)),
+                ..base
+            },
+            // Checkpoint write fails on one shard mid-fleet-checkpoint:
+            // Suspect, then healed by the next successful delivery.
+            3 => ShardFaultPlan {
+                site: Some(format!("{label}/checkpoint.write")),
+                mode: Some(FaultMode::FailOnce),
+                checkpoint_at_fault: true,
+                ..base
+            },
+            // In-band crash: the shard's delivery path dies — immediate
+            // Dead, WAL rebuild.
+            4 => ShardFaultPlan {
+                site: Some(format!("{label}/crash")),
+                mode: Some(FaultMode::FailOnce),
+                ..base
+            },
+            // Crash immediately after a fleet checkpoint (short WAL
+            // suffix on rebuild).
+            5 => ShardFaultPlan {
+                site: Some(format!("{label}/crash")),
+                mode: Some(FaultMode::FailOnce),
+                checkpoint_at_fault: true,
+                ..base
+            },
+            // Router delivery drop (network loss): two sub-batches are
+            // dropped on the wire, queued, and redelivered — the shard
+            // never leaves Healthy and no update is lost.
+            6 => ShardFaultPlan {
+                site: Some(format!("{label}/route.drop")),
+                mode: Some(FaultMode::FailTimes(2)),
+                ..base
+            },
+            // Transient WAL fault below the strike budget: two vetoes
+            // → Suspect, third attempt lands, healed.
+            7 => ShardFaultPlan {
+                site: Some(format!("{label}/wal.append")),
+                mode: Some(FaultMode::FailTimes(2)),
+                ..base
+            },
+            // Member death plus a corrupt-newest-checkpoint rebuild:
+            // recovery must fall back to the previous checkpoint and
+            // replay a longer WAL suffix.
+            8 => ShardFaultPlan {
+                site: Some(format!("{label}/checkpoint.load")),
+                mode: Some(FaultMode::FailOnce),
+                kill: true,
+                checkpoint_at_fault: true,
+                ..base
+            },
+            // Clean member death mid-stream, plain WAL rebuild.
+            _ => ShardFaultPlan { kill: true, ..base },
+        }
+    }
+
+    /// Arm this plan's fault site (if any) in the global registry.
+    pub fn arm(&self) {
+        if let (Some(site), Some(mode)) = (&self.site, self.mode) {
+            arm(site, mode);
+        }
+    }
+
+    /// Whether this scenario is expected to take the shard to `Dead`
+    /// (and therefore require a rebuild), given the default supervisor
+    /// strike budget of [`crate::sharded::DEFAULT_SUSPECT_STRIKES`].
+    pub fn expects_death(&self) -> bool {
+        if self.kill {
+            return true;
+        }
+        let Some(site) = &self.site else {
+            return false;
+        };
+        if site.ends_with("/crash") {
+            return true;
+        }
+        matches!(self.mode, Some(FaultMode::FailTimes(k))
+            if k >= crate::sharded::DEFAULT_SUSPECT_STRIKES as u64
+                && site.ends_with("/wal.append"))
+    }
+}
+
+/// The shard plan selected by `GA_FAULT_SEED` for a fleet of
+/// `num_shards`, or `None` when the variable is unset/unparsable.
+pub fn shard_plan_from_env(num_shards: usize) -> Option<ShardFaultPlan> {
+    std::env::var("GA_FAULT_SEED")
+        .ok()?
+        .trim()
+        .parse::<u64>()
+        .ok()
+        .map(|s| ShardFaultPlan::from_seed(s, num_shards))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -210,5 +381,61 @@ mod tests {
         let b = FaultPlan::from_seed(MATRIX_SIZE);
         assert_eq!(a.site, b.site);
         assert_ne!(a.crash_after_batches, b.crash_after_batches);
+    }
+
+    #[test]
+    fn shard_matrix_is_deterministic_and_scoped_to_the_target() {
+        for num_shards in [2usize, 4] {
+            let plans: Vec<ShardFaultPlan> = (0..SHARD_MATRIX_SIZE)
+                .map(|s| ShardFaultPlan::from_seed(s, num_shards))
+                .collect();
+            assert_eq!(
+                plans,
+                (0..SHARD_MATRIX_SIZE)
+                    .map(|s| ShardFaultPlan::from_seed(s, num_shards))
+                    .collect::<Vec<_>>()
+            );
+            for p in &plans {
+                assert!(p.shard < num_shards);
+                if let Some(site) = &p.site {
+                    let label = crate::sharded::shard_label(p.shard);
+                    assert!(
+                        site.starts_with(&format!("{label}/")),
+                        "site must be scoped to the target shard: {site}"
+                    );
+                }
+            }
+            // All four shard-scoped site kinds appear in the matrix.
+            let suffixes = [
+                "/wal.append",
+                "/checkpoint.write",
+                "/checkpoint.load",
+                "/crash",
+            ];
+            for suffix in suffixes {
+                assert!(
+                    plans
+                        .iter()
+                        .any(|p| p.site.as_deref().is_some_and(|s| s.ends_with(suffix))),
+                    "matrix must cover {suffix}"
+                );
+            }
+            assert!(plans.iter().any(|p| p
+                .site
+                .as_deref()
+                .is_some_and(|s| s.ends_with("/route.drop"))));
+            // Both death modes (I/O-driven and explicit kill) and both
+            // survivable modes exist.
+            assert!(plans.iter().any(|p| p.kill));
+            assert!(plans.iter().any(|p| p.expects_death() && !p.kill));
+            assert!(plans.iter().any(|p| !p.expects_death()));
+        }
+    }
+
+    #[test]
+    fn shard_matrix_wraps_with_varied_fault_points() {
+        let a = ShardFaultPlan::from_seed(0, 4);
+        let b = ShardFaultPlan::from_seed(SHARD_MATRIX_SIZE, 4);
+        assert_ne!(a.fault_after_batches, b.fault_after_batches);
     }
 }

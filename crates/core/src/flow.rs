@@ -1127,6 +1127,21 @@ impl FlowEngine {
         self.stream.dead_letters()
     }
 
+    /// Remove and return every quarantined update (oldest first),
+    /// leaving the dead-letter queue empty. For re-admission through
+    /// the normal ingest path use [`Self::replay_dead_letters`], which
+    /// WAL-logs the replay on durable engines.
+    pub fn drain_dead_letters(&mut self) -> Vec<QuarantinedUpdate> {
+        self.stream.drain_dead_letters()
+    }
+
+    /// Align the batch-time watermark without ingesting (used when a
+    /// shard engine is rebuilt from replica rows: the copied rows carry
+    /// the fleet's timestamps, so the clock must match the fleet's).
+    pub(crate) fn set_last_batch_time(&mut self, t: ga_graph::Timestamp) {
+        self.stream.set_last_batch_time(t);
+    }
+
     /// Set the vertex-id bound above which updates are quarantined.
     pub fn set_vertex_limit(&mut self, limit: usize) {
         self.stream.set_vertex_limit(limit);

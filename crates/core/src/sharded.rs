@@ -1,7 +1,7 @@
 //! Sharded multi-engine scale-out: N shard-local [`FlowEngine`]s
 //! behind one hash-partition router, with scatter-gather batch
 //! analytics whose merged results are **bit-identical** for every
-//! shard count.
+//! shard count — now self-healing under shard failure.
 //!
 //! This is the flow-level half of the sharded architecture; update
 //! routing and the partition itself live in `ga_stream::sharded`
@@ -25,16 +25,48 @@
 //!   shard-local and a shard's recovery failure names the shard (its
 //!   errors are prefixed `[shard-NN]` via
 //!   [`FlowEngine::recover_labeled`]).
+//! * **Replication** — with [`ShardedConfig::replicate`], every
+//!   delivery to a shard is mirrored to that shard's ring successor
+//!   (K=2 chain replication over the same router). The successor of
+//!   `owner(v)` therefore receives *every* update that touches `v`'s
+//!   row, making replica rows slot-exact copies of owner rows. The
+//!   mirror copies are priced at [`UPDATE_WIRE_BYTES`] under
+//!   [`CrossShardTraffic::replication_bytes`].
+//! * **Health supervision** — a [`ShardSupervisor`] classifies each
+//!   shard's delivery/checkpoint errors into a health state machine
+//!   (Healthy → Suspect → Dead → Rebuilding → Healthy). A shard dies
+//!   after [`DEFAULT_SUSPECT_STRIKES`] consecutive failures (or an
+//!   injected/announced crash); a success while Suspect heals it.
+//!   Every transition is journaled through the router recorder.
+//! * **Failover** — while a shard is down, merged views and
+//!   scatter-gather analytics serve that shard's vertices from the
+//!   ring-successor replica: values stay exact, and results carry a
+//!   typed [`Completion::Degraded`] instead of panicking or silently
+//!   dropping rows. Without replication the down shard's rows are
+//!   simply missing — still `Degraded`, with the gap reported in
+//!   [`ShardedRun::uncovered`].
+//! * **Online rebuild** — [`ShardedFlow::rebuild_shard`] restores a
+//!   dead shard while the fleet keeps ingesting: durable fleets
+//!   recover checkpoint + WAL and then redeliver the backlog queued
+//!   while the shard was down; replicated fleets reconstruct the
+//!   shard's rows exactly from its ring neighbors. No acknowledged
+//!   update is lost in either mode ([`ShardedFlow::lost_updates`]
+//!   counts the only loss channel: a dead shard on a fleet with
+//!   neither durability nor replication).
 //! * **Observability** — one labeled [`Recorder`] per shard plus a
-//!   `"router"` recorder that books cross-shard network bytes, so a
-//!   merged metrics export stays attributable per shard.
+//!   `"router"` recorder that books cross-shard network bytes and
+//!   journals Failover/Rebuild events, so a merged metrics export
+//!   stays attributable per shard.
 //!
 //! The paper's scale-out argument (§V: network injection bandwidth
 //! bounds sharded graph analytics long before per-node compute does)
-//! is what the traffic model makes measurable: see `bench_shard`.
+//! is what the traffic model makes measurable: see `bench_shard` for
+//! the scaling curve and `bench_failover` for recovery time and the
+//! degraded window under the shard fault matrix.
 
+use crate::faults::{check, with_scope};
 use crate::flow::{FlowEngine, FlowStats};
-use ga_graph::{DynamicGraph, PropertyStore, VertexId};
+use ga_graph::{DynamicGraph, EdgeRecord, PropertyStore, Timestamp, VertexId};
 use ga_kernels::cc::Components;
 use ga_kernels::pagerank::PageRankResult;
 use ga_kernels::scatter::{
@@ -42,10 +74,13 @@ use ga_kernels::scatter::{
 };
 use ga_kernels::{Completion, UNREACHED};
 use ga_obs::{MetricsSnapshot, Recorder, Step};
-use ga_stream::sharded::{merge_owned_props, merge_owned_rows, ShardPlan, UPDATE_WIRE_BYTES};
+use ga_stream::engine::QuarantinedUpdate;
+use ga_stream::sharded::{ShardPlan, UPDATE_WIRE_BYTES};
 use ga_stream::update::UpdateBatch;
+use std::collections::VecDeque;
 use std::io;
 use std::path::{Path, PathBuf};
+use std::time::Instant;
 
 /// Bytes per exchanged PageRank rank value (one `f64`).
 const RANK_WIRE_BYTES: u64 = 8;
@@ -54,13 +89,22 @@ const FRONTIER_WIRE_BYTES: u64 = 4;
 /// Bytes per exchanged components forest pair (two `u32` vertex ids).
 const FOREST_PAIR_WIRE_BYTES: u64 = 8;
 
+/// Consecutive delivery/checkpoint failures before the supervisor
+/// declares a shard Dead (the Suspect → Dead edge). One failure marks
+/// the shard Suspect; a success while Suspect heals it back.
+pub const DEFAULT_SUSPECT_STRIKES: u32 = 3;
+
+/// Cap on retained [`HealthEvent`]s; the oldest are dropped beyond it.
+const HEALTH_EVENT_CAP: usize = 1024;
+
 /// A shard's durability directory under `base`.
 pub fn shard_dir(base: &Path, shard: usize) -> PathBuf {
     base.join(shard_label(shard))
 }
 
 /// The canonical shard label (`"shard-03"`), used for durability
-/// subdirectories, recorder labels, and error prefixes alike.
+/// subdirectories, recorder labels, scoped fault sites, and error
+/// prefixes alike.
 pub fn shard_label(shard: usize) -> String {
     format!("shard-{shard:02}")
 }
@@ -72,6 +116,9 @@ pub fn shard_label(shard: usize) -> String {
 pub struct CrossShardTraffic {
     /// Ghost (second-copy) update deliveries during ingest.
     pub ingest_bytes: u64,
+    /// Replica (ring-successor) update deliveries during ingest; zero
+    /// unless the fleet was built with [`ShardedConfig::replicate`].
+    pub replication_bytes: u64,
     /// Rank values pulled from non-owner shards, summed over PageRank
     /// iterations.
     pub pagerank_bytes: u64,
@@ -86,13 +133,282 @@ pub struct CrossShardTraffic {
 impl CrossShardTraffic {
     /// Total cross-shard bytes across all protocols.
     pub fn total(&self) -> u64 {
-        self.ingest_bytes + self.pagerank_bytes + self.bfs_bytes + self.components_bytes
+        self.ingest_bytes
+            + self.replication_bytes
+            + self.pagerank_bytes
+            + self.bfs_bytes
+            + self.components_bytes
     }
+}
+
+/// Health of one shard, as judged by the [`ShardSupervisor`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ShardHealth {
+    /// Serving normally.
+    Healthy,
+    /// At least one recent failure; still serving, one success heals.
+    Suspect,
+    /// Crashed or struck out; not serving, awaiting rebuild.
+    Dead,
+    /// A rebuild is in flight; not serving yet.
+    Rebuilding,
+}
+
+impl ShardHealth {
+    /// Lower-case display name (`"healthy"`, `"suspect"`, …).
+    pub fn name(self) -> &'static str {
+        match self {
+            ShardHealth::Healthy => "healthy",
+            ShardHealth::Suspect => "suspect",
+            ShardHealth::Dead => "dead",
+            ShardHealth::Rebuilding => "rebuilding",
+        }
+    }
+
+    /// Whether a shard in this state serves reads and accepts
+    /// deliveries (Healthy or Suspect).
+    pub fn is_serving(self) -> bool {
+        matches!(self, ShardHealth::Healthy | ShardHealth::Suspect)
+    }
+}
+
+/// One health transition, recorded by the supervisor and journaled
+/// through the router recorder.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HealthEvent {
+    /// Fleet clock (last routed batch time) when the transition fired.
+    pub time: Timestamp,
+    /// The shard that changed state.
+    pub shard: usize,
+    /// State before.
+    pub from: ShardHealth,
+    /// State after.
+    pub to: ShardHealth,
+    /// Why (the classified error, or the administrative action).
+    pub reason: String,
+}
+
+/// Per-shard health state machine: Healthy → Suspect → Dead →
+/// Rebuilding → Healthy, driven by classified delivery and checkpoint
+/// errors. See [`DEFAULT_SUSPECT_STRIKES`] for the death threshold.
+#[derive(Clone, Debug)]
+pub struct ShardSupervisor {
+    health: Vec<ShardHealth>,
+    strikes: Vec<u32>,
+    suspect_strikes: u32,
+    events: Vec<HealthEvent>,
+}
+
+impl ShardSupervisor {
+    /// A supervisor over `num_shards` initially-healthy shards that
+    /// declares death after `suspect_strikes` consecutive failures
+    /// (clamped to at least 1).
+    pub fn new(num_shards: usize, suspect_strikes: u32) -> ShardSupervisor {
+        ShardSupervisor {
+            health: vec![ShardHealth::Healthy; num_shards],
+            strikes: vec![0; num_shards],
+            suspect_strikes: suspect_strikes.max(1),
+            events: Vec::new(),
+        }
+    }
+
+    /// Current health of `shard`.
+    pub fn health(&self, shard: usize) -> ShardHealth {
+        self.health[shard]
+    }
+
+    /// Whether `shard` currently serves reads and deliveries.
+    pub fn is_serving(&self, shard: usize) -> bool {
+        self.health[shard].is_serving()
+    }
+
+    /// Whether every shard is Healthy.
+    pub fn all_healthy(&self) -> bool {
+        self.health.iter().all(|&h| h == ShardHealth::Healthy)
+    }
+
+    /// Shards currently Dead or Rebuilding.
+    pub fn down_shards(&self) -> Vec<usize> {
+        (0..self.health.len())
+            .filter(|&i| !self.health[i].is_serving())
+            .collect()
+    }
+
+    /// Consecutive-failure strikes currently held against `shard`.
+    pub fn strikes(&self, shard: usize) -> u32 {
+        self.strikes[shard]
+    }
+
+    /// The death threshold in force.
+    pub fn suspect_strikes(&self) -> u32 {
+        self.suspect_strikes
+    }
+
+    /// Transitions recorded so far (oldest first, capped at 1024;
+    /// oldest entries are dropped past the cap).
+    pub fn events(&self) -> &[HealthEvent] {
+        &self.events
+    }
+
+    /// Drain the recorded transitions.
+    pub fn take_events(&mut self) -> Vec<HealthEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    fn transition(
+        &mut self,
+        time: Timestamp,
+        shard: usize,
+        to: ShardHealth,
+        reason: &str,
+    ) -> Option<(ShardHealth, ShardHealth)> {
+        let from = self.health[shard];
+        if from == to {
+            return None;
+        }
+        self.health[shard] = to;
+        if self.events.len() == HEALTH_EVENT_CAP {
+            self.events.remove(0);
+        }
+        self.events.push(HealthEvent {
+            time,
+            shard,
+            from,
+            to,
+            reason: reason.to_string(),
+        });
+        Some((from, to))
+    }
+
+    /// Classify one failure against `shard`: Healthy/Suspect shards
+    /// take a strike and become Suspect, then Dead at the threshold.
+    /// Errors against Dead/Rebuilding shards are not strikes (the
+    /// shard is already down). Returns the transition, if any.
+    pub fn record_error(
+        &mut self,
+        time: Timestamp,
+        shard: usize,
+        reason: &str,
+    ) -> Option<(ShardHealth, ShardHealth)> {
+        if !self.health[shard].is_serving() {
+            return None;
+        }
+        self.strikes[shard] += 1;
+        let to = if self.strikes[shard] >= self.suspect_strikes {
+            ShardHealth::Dead
+        } else {
+            ShardHealth::Suspect
+        };
+        self.transition(time, shard, to, reason)
+    }
+
+    /// Record one success: clears strikes and heals a Suspect shard.
+    pub fn record_success(
+        &mut self,
+        time: Timestamp,
+        shard: usize,
+    ) -> Option<(ShardHealth, ShardHealth)> {
+        if !self.health[shard].is_serving() {
+            return None;
+        }
+        self.strikes[shard] = 0;
+        self.transition(time, shard, ShardHealth::Healthy, "recovered")
+    }
+
+    /// Declare `shard` Dead unconditionally (crash announcement or
+    /// administrative kill).
+    pub fn mark_dead(
+        &mut self,
+        time: Timestamp,
+        shard: usize,
+        reason: &str,
+    ) -> Option<(ShardHealth, ShardHealth)> {
+        self.transition(time, shard, ShardHealth::Dead, reason)
+    }
+
+    /// Dead → Rebuilding. No-op unless the shard is Dead.
+    pub fn begin_rebuild(
+        &mut self,
+        time: Timestamp,
+        shard: usize,
+    ) -> Option<(ShardHealth, ShardHealth)> {
+        if self.health[shard] != ShardHealth::Dead {
+            return None;
+        }
+        self.transition(time, shard, ShardHealth::Rebuilding, "rebuild started")
+    }
+
+    /// Rebuilding → Healthy; clears strikes.
+    pub fn complete_rebuild(
+        &mut self,
+        time: Timestamp,
+        shard: usize,
+    ) -> Option<(ShardHealth, ShardHealth)> {
+        if self.health[shard] != ShardHealth::Rebuilding {
+            return None;
+        }
+        self.strikes[shard] = 0;
+        self.transition(time, shard, ShardHealth::Healthy, "rebuild complete")
+    }
+}
+
+/// Where [`ShardedFlow::rebuild_shard`] sourced the restored state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RebuildSource {
+    /// Checkpoint + WAL replay from the shard's durability directory,
+    /// followed by redelivery of the backlog queued while dead.
+    WalReplay,
+    /// Exact row/property reconstruction from the ring neighbors'
+    /// replica state (non-durable replicated fleets).
+    Replica,
+}
+
+impl RebuildSource {
+    /// Lower-case display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            RebuildSource::WalReplay => "wal-replay",
+            RebuildSource::Replica => "replica-copy",
+        }
+    }
+}
+
+/// Outcome of one [`ShardedFlow::rebuild_shard`] call.
+#[derive(Clone, Debug)]
+pub struct RebuildReport {
+    /// The rebuilt shard.
+    pub shard: usize,
+    /// Where the state came from.
+    pub source: RebuildSource,
+    /// Backlog batches redelivered after recovery (WAL mode only).
+    pub redelivered_batches: usize,
+    /// Updates inside those batches.
+    pub redelivered_updates: usize,
+    /// Wall-clock rebuild time in milliseconds.
+    pub millis: f64,
+}
+
+/// A scatter-gather result plus the fleet-coverage verdict it was
+/// computed under. `completion` is [`Completion::Complete`] only when
+/// every shard was serving; otherwise [`Completion::Degraded`], with
+/// the gap itemized: `failed_over` shards were served exactly from
+/// their ring-successor replicas, `uncovered` shards had no serving
+/// copy at all (their rows were absent from the computation).
+#[derive(Clone, Debug)]
+pub struct ShardedRun<T> {
+    /// The merged analytic result.
+    pub value: T,
+    /// [`Completion::Complete`] or [`Completion::Degraded`].
+    pub completion: Completion,
+    /// Down shards whose rows were served from replicas (exact).
+    pub failed_over: Vec<usize>,
+    /// Down shards with no serving copy (partial result).
+    pub uncovered: Vec<usize>,
 }
 
 /// Builder for a [`ShardedFlow`]. Mirrors the knobs of
 /// [`crate::flow::FlowConfig`] that make sense across a fleet of
-/// engines.
+/// engines, plus the fleet-only replication and health knobs.
 #[derive(Debug)]
 pub struct ShardedConfig {
     num_shards: usize,
@@ -100,11 +416,15 @@ pub struct ShardedConfig {
     vertex_limit: Option<usize>,
     durability_base: Option<PathBuf>,
     record_metrics: bool,
+    replicate: bool,
+    suspect_strikes: u32,
 }
 
 impl ShardedConfig {
     /// A config for `num_shards` shards (must be ≥ 1). Defaults match
-    /// `FlowConfig`: symmetrize on, no durability, metrics off.
+    /// `FlowConfig`: symmetrize on, no durability, metrics off,
+    /// replication off, death after [`DEFAULT_SUSPECT_STRIKES`]
+    /// consecutive failures.
     pub fn new(num_shards: usize) -> ShardedConfig {
         ShardedConfig {
             num_shards,
@@ -112,6 +432,8 @@ impl ShardedConfig {
             vertex_limit: None,
             durability_base: None,
             record_metrics: false,
+            replicate: false,
+            suspect_strikes: DEFAULT_SUSPECT_STRIKES,
         }
     }
 
@@ -137,9 +459,28 @@ impl ShardedConfig {
     }
 
     /// Attach labeled recorders: one per shard (`"shard-00"`, …) plus
-    /// a `"router"` recorder for cross-shard traffic.
+    /// a `"router"` recorder for cross-shard traffic and the
+    /// failover/rebuild journal.
     pub fn record_metrics(mut self, on: bool) -> Self {
         self.record_metrics = on;
+        self
+    }
+
+    /// Mirror every delivery to the owner's ring successor (K=2 chain
+    /// replication, default off). Replica rows are slot-exact copies
+    /// of owner rows, so merged views and analytics can fail over to
+    /// them when a shard dies; the mirror copies are priced under
+    /// [`CrossShardTraffic::replication_bytes`]. A no-op with one
+    /// shard.
+    pub fn replicate(mut self, on: bool) -> Self {
+        self.replicate = on;
+        self
+    }
+
+    /// Consecutive failures before the supervisor declares a shard
+    /// Dead (default [`DEFAULT_SUSPECT_STRIKES`]; clamped to ≥ 1).
+    pub fn suspect_strikes(mut self, strikes: u32) -> Self {
+        self.suspect_strikes = strikes.max(1);
         self
     }
 
@@ -151,7 +492,11 @@ impl ShardedConfig {
             let label = shard_label(i);
             let mut cfg = FlowEngine::builder()
                 .symmetrize(self.symmetrize)
-                .shard_label(label.clone());
+                .shard_label(label.clone())
+                // The supervisor owns shard-failure policy: it must
+                // classify a shard Dead before the engine-level
+                // breaker suspends durability underneath it.
+                .breaker_threshold(self.suspect_strikes.saturating_add(1));
             if let Some(limit) = self.vertex_limit {
                 cfg = cfg.vertex_limit(limit);
             }
@@ -163,54 +508,76 @@ impl ShardedConfig {
             }
             shards.push(cfg.build(num_vertices)?);
         }
-        Ok(ShardedFlow {
-            plan,
-            shards,
-            symmetrize: self.symmetrize,
-            durable: self.durability_base.is_some(),
-            ghost_updates: 0,
-            traffic: CrossShardTraffic::default(),
-            recorder: if self.record_metrics {
-                Recorder::labeled("router")
-            } else {
-                Recorder::disabled()
-            },
-        })
+        Ok(self.assemble(plan, shards, self.symmetrize))
     }
 
     /// Recover the whole fleet from per-shard durability directories
-    /// under `base` (see [`ShardedConfig::durability_base`]). Each
-    /// shard recovers independently from `base/shard-0i`; a failure is
-    /// reported with its `[shard-0i]` prefix and offending file path,
-    /// so one bad shard is diagnosable from the error alone. The
-    /// persisted state knobs (symmetrize, vertex limit) come from each
-    /// shard's checkpoint.
+    /// under `base` (see [`ShardedConfig::durability_base`]). Every
+    /// shard recovers independently from `base/shard-0i`, and **all**
+    /// failures are collected before reporting: one bad fleet restart
+    /// names every corrupted shard (its `[shard-0i]` prefix and
+    /// offending file path) in a single error instead of stopping at
+    /// the first. The persisted state knobs (symmetrize, vertex
+    /// limit) come from each shard's checkpoint.
     pub fn recover(self, base: impl AsRef<Path>) -> io::Result<ShardedFlow> {
         let base = base.as_ref();
         let plan = ShardPlan::new(self.num_shards);
         let mut shards = Vec::with_capacity(self.num_shards);
+        let mut failures: Vec<String> = Vec::new();
         for i in 0..self.num_shards {
             let label = shard_label(i);
-            let mut engine = FlowEngine::recover_labeled(shard_dir(base, i), &label)?;
-            if self.record_metrics {
-                engine.set_recorder(Recorder::labeled(label));
+            let result = with_scope(&label, || {
+                let mut cfg = FlowEngine::builder()
+                    .shard_label(label.clone())
+                    .breaker_threshold(self.suspect_strikes.saturating_add(1));
+                if self.record_metrics {
+                    cfg = cfg.recorder(Recorder::labeled(label.clone()));
+                }
+                cfg.recover(shard_dir(base, i))
+            });
+            match result {
+                Ok(engine) => shards.push(engine),
+                Err(e) => failures.push(e.to_string()),
             }
-            shards.push(engine);
+        }
+        if !failures.is_empty() {
+            return Err(io::Error::other(format!(
+                "fleet recovery failed on {}/{} shards: {}",
+                failures.len(),
+                self.num_shards,
+                failures.join("; ")
+            )));
         }
         let symmetrize = shards.first().map(|s| s.symmetrize()).unwrap_or(true);
-        Ok(ShardedFlow {
+        Ok(self.assemble(plan, shards, symmetrize))
+    }
+
+    fn assemble(&self, plan: ShardPlan, shards: Vec<FlowEngine>, symmetrize: bool) -> ShardedFlow {
+        let n = shards.len();
+        ShardedFlow {
             plan,
+            supervisor: ShardSupervisor::new(n, self.suspect_strikes),
+            labels: (0..n).map(shard_label).collect(),
+            pending: (0..n).map(|_| VecDeque::new()).collect(),
             shards,
             symmetrize,
-            durable: true,
+            durable: self.durability_base.is_some(),
+            replicate: self.replicate,
+            vertex_limit: self.vertex_limit,
+            record_metrics: self.record_metrics,
+            suspect_strikes: self.suspect_strikes,
+            base: self.durability_base.clone(),
+            clock: 0,
             ghost_updates: 0,
+            lost_updates: 0,
+            dropped_deliveries: 0,
             traffic: CrossShardTraffic::default(),
             recorder: if self.record_metrics {
                 Recorder::labeled("router")
             } else {
                 Recorder::disabled()
             },
-        })
+        }
     }
 }
 
@@ -219,9 +586,25 @@ impl ShardedConfig {
 pub struct ShardedFlow {
     plan: ShardPlan,
     shards: Vec<FlowEngine>,
+    supervisor: ShardSupervisor,
+    labels: Vec<String>,
+    /// Per-shard redelivery queues: failed deliveries awaiting retry,
+    /// dropped router deliveries, and (durable fleets) the backlog of
+    /// a dead shard awaiting its rebuild.
+    pending: Vec<VecDeque<UpdateBatch>>,
     symmetrize: bool,
     durable: bool,
+    replicate: bool,
+    vertex_limit: Option<usize>,
+    record_metrics: bool,
+    suspect_strikes: u32,
+    base: Option<PathBuf>,
+    /// Fleet clock: the time of the last routed batch, used to stamp
+    /// health events and journal lines.
+    clock: Timestamp,
     ghost_updates: u64,
+    lost_updates: u64,
+    dropped_deliveries: u64,
     traffic: CrossShardTraffic,
     recorder: Recorder,
 }
@@ -242,7 +625,8 @@ impl ShardedFlow {
         self.shards.len()
     }
 
-    /// The shard-local engines (index = shard id).
+    /// The shard-local engines (index = shard id). A dead shard's
+    /// slot holds an empty placeholder engine until it is rebuilt.
     pub fn shards(&self) -> &[FlowEngine] {
         &self.shards
     }
@@ -252,9 +636,47 @@ impl ShardedFlow {
         &mut self.shards[i]
     }
 
+    /// The health supervisor (per-shard state and transition log).
+    pub fn supervisor(&self) -> &ShardSupervisor {
+        &self.supervisor
+    }
+
+    /// Current health of shard `i`.
+    pub fn health(&self, i: usize) -> ShardHealth {
+        self.supervisor.health(i)
+    }
+
+    /// Drain the supervisor's recorded health transitions.
+    pub fn take_health_events(&mut self) -> Vec<HealthEvent> {
+        self.supervisor.take_events()
+    }
+
+    /// Whether deliveries are mirrored to ring-successor replicas.
+    pub fn replicated(&self) -> bool {
+        self.replicate
+    }
+
     /// Ghost (second-copy) update deliveries so far.
     pub fn ghost_updates(&self) -> u64 {
         self.ghost_updates
+    }
+
+    /// Updates irrecoverably lost to dead shards. Stays zero whenever
+    /// the fleet has durability (the backlog queues for redelivery)
+    /// or replication (the replica already holds a copy).
+    pub fn lost_updates(&self) -> u64 {
+        self.lost_updates
+    }
+
+    /// Router deliveries dropped by an injected `route.drop` fault and
+    /// queued for redelivery.
+    pub fn dropped_deliveries(&self) -> u64 {
+        self.dropped_deliveries
+    }
+
+    /// Per-shard redelivery backlog lengths (index = shard id).
+    pub fn pending_backlog(&self) -> Vec<usize> {
+        self.pending.iter().map(|q| q.len()).collect()
     }
 
     /// Cross-shard bytes per protocol so far.
@@ -272,37 +694,426 @@ impl ShardedFlow {
             .unwrap_or(0)
     }
 
+    /// [`Completion::Complete`] when every shard is serving, else
+    /// [`Completion::Degraded`].
+    pub fn fleet_completion(&self) -> Completion {
+        if (0..self.shards.len()).all(|i| self.supervisor.is_serving(i)) {
+            Completion::Complete
+        } else {
+            Completion::Degraded
+        }
+    }
+
+    /// Down shards currently served exactly from their ring-successor
+    /// replica, and down shards with no serving copy at all.
+    pub fn coverage(&self) -> (Vec<usize>, Vec<usize>) {
+        let n = self.shards.len();
+        let mut failed_over = Vec::new();
+        let mut uncovered = Vec::new();
+        for i in 0..n {
+            if self.supervisor.is_serving(i) {
+                continue;
+            }
+            let succ = self.plan.successor(i);
+            if self.replicate && succ != i && self.supervisor.is_serving(succ) {
+                failed_over.push(i);
+            } else {
+                uncovered.push(i);
+            }
+        }
+        (failed_over, uncovered)
+    }
+
+    /// The shard that serves vertex `v`'s row right now: the owner
+    /// when it is alive, else (replicated fleets) the ring successor,
+    /// else `None` — the row is unreachable until a rebuild.
+    pub fn row_source(&self, v: VertexId) -> Option<usize> {
+        let owner = self.plan.owner(v);
+        if self.supervisor.is_serving(owner) {
+            return Some(owner);
+        }
+        if self.replicate {
+            let succ = self.plan.successor(owner);
+            if succ != owner && self.supervisor.is_serving(succ) {
+                return Some(succ);
+            }
+        }
+        None
+    }
+
+    fn serve_map(&self, n: usize) -> Vec<Option<usize>> {
+        (0..n as VertexId).map(|v| self.row_source(v)).collect()
+    }
+
+    fn journal_transition(
+        &self,
+        shard: usize,
+        tr: Option<(ShardHealth, ShardHealth)>,
+        reason: &str,
+    ) {
+        let Some((from, to)) = tr else { return };
+        let category: &'static str = if to == ShardHealth::Dead {
+            "failover"
+        } else if to == ShardHealth::Rebuilding || from == ShardHealth::Rebuilding {
+            "rebuild"
+        } else {
+            "health"
+        };
+        self.recorder.journal(
+            self.clock,
+            category,
+            format!(
+                "{}: {} -> {} ({reason})",
+                shard_label(shard),
+                from.name(),
+                to.name()
+            ),
+        );
+    }
+
+    /// Replace a dead shard's engine with an empty placeholder. The
+    /// in-memory state is gone (that is what "dead" means); on-disk
+    /// durability state survives for [`ShardedFlow::rebuild_shard`].
+    fn decommission(&mut self, i: usize) {
+        self.shards[i] = FlowEngine::new(0);
+    }
+
+    /// Declare shard `i` dead (crash announcement or administrative
+    /// kill): its in-memory state is discarded, reads fail over to the
+    /// replica (when available), and deliveries queue (durable) or
+    /// rely on the replica copy until [`ShardedFlow::rebuild_shard`].
+    pub fn kill_shard(&mut self, i: usize, reason: &str) {
+        if self.supervisor.health(i) == ShardHealth::Dead {
+            return;
+        }
+        let tr = self.supervisor.mark_dead(self.clock, i, reason);
+        self.journal_transition(i, tr, reason);
+        self.decommission(i);
+    }
+
     /// Route one batch to every shard and apply it (durably when the
     /// fleet was built with a durability base). Every shard sees a
     /// batch with the same `time`, so watermarks advance uniformly.
-    /// Returns the total updates quarantined across shards.
+    ///
+    /// Shard failures are absorbed, not propagated: a failed delivery
+    /// stays queued for redelivery and takes a health strike against
+    /// the shard (see [`ShardSupervisor`]); deliveries to a dead shard
+    /// queue for its rebuild (durable fleets) or rely on the replica
+    /// copy (replicated fleets). Returns the total updates quarantined
+    /// across shards.
     pub fn process_batch(&mut self, batch: &UpdateBatch) -> io::Result<usize> {
-        let (sub, ghosts) = self.plan.route_batch(batch);
+        self.clock = batch.time;
+        let (sub, ghosts, replicas) = self.plan.route_batch_replicated(batch, self.replicate);
         self.ghost_updates += ghosts;
-        let bytes = ghosts * UPDATE_WIRE_BYTES;
-        self.traffic.ingest_bytes += bytes;
-        self.recorder.span(Step::Ingest).add_net_bytes(bytes);
+        let ghost_bytes = ghosts * UPDATE_WIRE_BYTES;
+        let replica_bytes = replicas * UPDATE_WIRE_BYTES;
+        self.traffic.ingest_bytes += ghost_bytes;
+        self.traffic.replication_bytes += replica_bytes;
+        self.recorder
+            .span(Step::Ingest)
+            .add_net_bytes(ghost_bytes + replica_bytes);
         let mut quarantined = 0;
-        for (b, engine) in sub.iter().zip(self.shards.iter_mut()) {
-            let before = engine.stats().ingest.updates_quarantined;
-            if self.durable {
-                engine.process_stream_durable(b, |_| None, None)?;
-            } else {
-                engine.process_stream(b, |_| None, None);
-            }
-            quarantined += engine.stats().ingest.updates_quarantined - before;
+        for (i, b) in sub.into_iter().enumerate() {
+            quarantined += self.offer_shard(i, b);
         }
         Ok(quarantined)
     }
 
-    /// Checkpoint every shard; returns the per-shard checkpoint paths.
+    /// Hand one routed sub-batch to shard `i`, honoring its health and
+    /// the injected crash/drop sites. Returns updates quarantined.
+    fn offer_shard(&mut self, i: usize, b: UpdateBatch) -> usize {
+        // In-band crash announcement: the shard process dies the
+        // moment this delivery reaches it.
+        if check(&format!("{}/crash", self.labels[i])).is_err() {
+            self.kill_shard(i, "injected crash");
+        }
+        if !self.supervisor.is_serving(i) {
+            if self.durable {
+                // The rebuild will recover the WAL and then drain this
+                // backlog, so nothing is lost.
+                self.pending[i].push_back(b);
+            } else if !self.replicate {
+                // No durability, no replica: this is the one genuine
+                // loss channel, and it is counted.
+                self.lost_updates += b.updates.len() as u64;
+            }
+            // Replicated fleets drop the copy: the ring successor
+            // received its own delivery of every update in `b` that
+            // shard `i` will need, and the rebuild copies it back.
+            return 0;
+        }
+        // Router delivery drop (reliable-delivery model: the router
+        // notices the lost delivery and requeues it).
+        if check(&format!("{}/route.drop", self.labels[i])).is_err() {
+            self.dropped_deliveries += 1;
+            self.recorder.journal(
+                self.clock,
+                "route",
+                format!(
+                    "{}: delivery dropped, queued for redelivery",
+                    self.labels[i]
+                ),
+            );
+            self.pending[i].push_back(b);
+            return 0;
+        }
+        self.pending[i].push_back(b);
+        self.drain_pending(i)
+    }
+
+    /// Deliver shard `i`'s queued sub-batches in order, stopping at
+    /// the first failure (which takes a strike and leaves the batch
+    /// queued for the next attempt). Returns updates quarantined.
+    fn drain_pending(&mut self, i: usize) -> usize {
+        let mut quarantined = 0;
+        while let Some(batch) = self.pending[i].pop_front() {
+            let before = self.shards[i].stats().ingest.updates_quarantined;
+            let durable = self.durable;
+            let label = &self.labels[i];
+            let engine = &mut self.shards[i];
+            let result = with_scope(label, || {
+                if durable {
+                    engine
+                        .process_stream_durable(&batch, |_| None, None)
+                        .map(|_| ())
+                } else {
+                    engine.process_stream(&batch, |_| None, None);
+                    Ok(())
+                }
+            });
+            match result {
+                Ok(()) => {
+                    quarantined += self.shards[i].stats().ingest.updates_quarantined - before;
+                    let tr = self.supervisor.record_success(self.clock, i);
+                    self.journal_transition(i, tr, "delivery succeeded");
+                }
+                Err(e) => {
+                    // The engine applies nothing on a failed durable
+                    // append, so requeuing the whole batch is exact.
+                    self.pending[i].push_front(batch);
+                    let msg = e.to_string();
+                    let tr = self.supervisor.record_error(self.clock, i, &msg);
+                    self.journal_transition(i, tr, &msg);
+                    if self.supervisor.health(i) == ShardHealth::Dead {
+                        self.decommission(i);
+                    }
+                    break;
+                }
+            }
+        }
+        quarantined
+    }
+
+    /// Checkpoint every serving shard; returns the per-shard
+    /// checkpoint paths. A shard's checkpoint failure is absorbed as a
+    /// health strike (the fleet keeps running on the other shards'
+    /// checkpoints); the call errors only if every serving shard
+    /// fails.
     pub fn checkpoint(&mut self) -> io::Result<Vec<PathBuf>> {
-        self.shards.iter_mut().map(|e| e.checkpoint()).collect()
+        let mut paths = Vec::new();
+        let mut failures: Vec<String> = Vec::new();
+        for i in 0..self.shards.len() {
+            if !self.supervisor.is_serving(i) {
+                continue;
+            }
+            let label = &self.labels[i];
+            let engine = &mut self.shards[i];
+            let result = with_scope(label, || engine.checkpoint());
+            match result {
+                Ok(p) => {
+                    let tr = self.supervisor.record_success(self.clock, i);
+                    self.journal_transition(i, tr, "checkpoint succeeded");
+                    paths.push(p);
+                }
+                Err(e) => {
+                    let msg = e.to_string();
+                    let tr = self.supervisor.record_error(self.clock, i, &msg);
+                    self.journal_transition(i, tr, &msg);
+                    if self.supervisor.health(i) == ShardHealth::Dead {
+                        self.decommission(i);
+                    }
+                    failures.push(format!("[{}] {msg}", shard_label(i)));
+                }
+            }
+        }
+        if paths.is_empty() && !failures.is_empty() {
+            return Err(io::Error::other(format!(
+                "every serving shard failed to checkpoint: {}",
+                failures.join("; ")
+            )));
+        }
+        Ok(paths)
+    }
+
+    /// Rebuild a Dead shard online — the fleet keeps ingesting and
+    /// serving throughout. Durable fleets recover checkpoint + WAL
+    /// from the shard's directory and then redeliver the backlog that
+    /// queued while it was down; non-durable replicated fleets
+    /// reconstruct the shard's rows and properties exactly from its
+    /// ring neighbors. Errors if the shard is not Dead or the fleet
+    /// has neither durability nor replication.
+    pub fn rebuild_shard(&mut self, i: usize) -> io::Result<RebuildReport> {
+        if self.supervisor.health(i) != ShardHealth::Dead {
+            return Err(io::Error::other(format!(
+                "{} is {}, not dead; only dead shards can be rebuilt",
+                shard_label(i),
+                self.supervisor.health(i).name()
+            )));
+        }
+        let started = Instant::now();
+        let tr = self.supervisor.begin_rebuild(self.clock, i);
+        self.journal_transition(i, tr, "rebuild started");
+        let result = if self.durable {
+            self.rebuild_from_wal(i)
+        } else if self.replicate && self.num_shards() >= 2 {
+            self.rebuild_from_replica(i)
+        } else {
+            Err(io::Error::other(format!(
+                "{}: no rebuild source — fleet has neither durability nor replication",
+                shard_label(i)
+            )))
+        };
+        match result {
+            Ok((source, redelivered_batches, redelivered_updates)) => {
+                let tr = self.supervisor.complete_rebuild(self.clock, i);
+                self.journal_transition(i, tr, source.name());
+                Ok(RebuildReport {
+                    shard: i,
+                    source,
+                    redelivered_batches,
+                    redelivered_updates,
+                    millis: started.elapsed().as_secs_f64() * 1e3,
+                })
+            }
+            Err(e) => {
+                let tr = self.supervisor.mark_dead(self.clock, i, "rebuild failed");
+                self.journal_transition(i, tr, &e.to_string());
+                self.decommission(i);
+                Err(e)
+            }
+        }
+    }
+
+    fn rebuild_from_wal(&mut self, i: usize) -> io::Result<(RebuildSource, usize, usize)> {
+        let base = self
+            .base
+            .clone()
+            .ok_or_else(|| io::Error::other("durable fleet missing its base directory"))?;
+        let label = shard_label(i);
+        let engine = with_scope(&label, || {
+            let mut cfg = FlowEngine::builder()
+                .shard_label(label.clone())
+                .breaker_threshold(self.suspect_strikes.saturating_add(1));
+            if self.record_metrics {
+                cfg = cfg.recorder(Recorder::labeled(label.clone()));
+            }
+            cfg.recover(shard_dir(&base, i))
+        })?;
+        self.shards[i] = engine;
+        // Redeliver the backlog that queued while the shard was dead.
+        let mut batches = 0;
+        let mut updates = 0;
+        while let Some(batch) = self.pending[i].pop_front() {
+            let engine = &mut self.shards[i];
+            let res = with_scope(&label, || {
+                engine.process_stream_durable(&batch, |_| None, None)
+            });
+            if let Err(e) = res {
+                self.pending[i].push_front(batch);
+                return Err(e);
+            }
+            batches += 1;
+            updates += batch.updates.len();
+        }
+        Ok((RebuildSource::WalReplay, batches, updates))
+    }
+
+    /// Exact reconstruction from ring neighbors. Shard `i` holds
+    /// three kinds of rows: its owned rows (full copies live on
+    /// `succ(i)` — the replica), the rows it replicates for `pred(i)`
+    /// (full copies live on `pred(i)` itself), and ghost rows, which
+    /// contain exactly the slots whose destination is owned by `i` or
+    /// `pred(i)` — a delivery reaches `i` iff one of the update's
+    /// endpoints is owned by `i` or `pred(i)`, so filtering the
+    /// owner's full row to those destinations reproduces the live
+    /// edge set shard `i` would hold.
+    fn rebuild_from_replica(&mut self, i: usize) -> io::Result<(RebuildSource, usize, usize)> {
+        let succ = self.plan.successor(i);
+        let pred = self.plan.predecessor(i);
+        let width = self.global_width();
+        let last = self
+            .shards
+            .iter()
+            .map(|s| s.graph().last_update())
+            .max()
+            .unwrap_or(0);
+        let mut rows: Vec<Vec<EdgeRecord>> = Vec::with_capacity(width);
+        for v in 0..width as VertexId {
+            let owner = self.plan.owner(v);
+            let Some(src) = self.row_source(v) else {
+                return Err(io::Error::other(format!(
+                    "cannot rebuild {} from replicas: no serving copy of vertex {v}'s row",
+                    shard_label(i)
+                )));
+            };
+            let slots = self.shards[src].graph().row_slots(v);
+            if owner == i || owner == pred {
+                rows.push(slots.to_vec());
+            } else {
+                rows.push(
+                    slots
+                        .iter()
+                        .filter(|r| {
+                            let d = self.plan.owner(r.dst);
+                            d == i || d == pred
+                        })
+                        .cloned()
+                        .collect(),
+                );
+            }
+        }
+        let graph = DynamicGraph::from_rows(rows, last);
+        // Properties: shard `i` holds its owned columns (replicated on
+        // `succ`) and the replica copies of `pred`'s (live on `pred`).
+        let mut props = PropertyStore::new(0);
+        for (src_shard, owned_by) in [(succ, i), (pred, pred)] {
+            let store = self.shards[src_shard].props();
+            props.grow(store.num_vertices());
+            for name in store.column_names() {
+                for v in 0..store.num_vertices() as VertexId {
+                    if self.plan.owner(v) == owned_by {
+                        if let Some(val) = store.get(name, v) {
+                            props.set(name, v, val);
+                        }
+                    }
+                }
+            }
+        }
+        let label = shard_label(i);
+        let mut cfg = FlowEngine::builder()
+            .symmetrize(self.symmetrize)
+            .shard_label(label.clone())
+            .breaker_threshold(self.suspect_strikes.saturating_add(1));
+        if let Some(limit) = self.vertex_limit {
+            cfg = cfg.vertex_limit(limit);
+        }
+        if self.record_metrics {
+            cfg = cfg.recorder(Recorder::labeled(label));
+        }
+        let mut engine = cfg.build_with_graph(graph, props)?;
+        engine.set_last_batch_time(self.clock);
+        self.shards[i] = engine;
+        self.pending[i].clear();
+        Ok((RebuildSource::Replica, 0, 0))
     }
 
     /// Resolve ghosts into one global graph: each vertex's row comes
-    /// verbatim from its owner shard, so the result is bit-identical
-    /// to an unsharded engine's graph after the same batches.
+    /// verbatim from the shard serving it — its owner, or (while the
+    /// owner is down, on replicated fleets) the ring-successor
+    /// replica, whose rows are slot-exact copies. With every shard
+    /// serving, the result is bit-identical to an unsharded engine's
+    /// graph after the same batches; under single-shard failure with
+    /// replication it still is. Rows with no serving copy are empty.
     pub fn merged_graph(&self) -> DynamicGraph {
         let width = self.global_width();
         let last = self
@@ -311,24 +1122,38 @@ impl ShardedFlow {
             .map(|s| s.graph().last_update())
             .max()
             .unwrap_or(0);
-        merge_owned_rows(
-            width,
-            last,
-            |v| self.plan.owner(v),
-            |shard, v| self.shards[shard].graph().row_slots(v),
-        )
+        let rows: Vec<Vec<EdgeRecord>> = (0..width as VertexId)
+            .map(|v| match self.row_source(v) {
+                Some(s) => self.shards[s].graph().row_slots(v).to_vec(),
+                None => Vec::new(),
+            })
+            .collect();
+        DynamicGraph::from_rows(rows, last)
     }
 
-    /// Merge per-shard property stores by vertex ownership.
+    /// Merge per-shard property stores by vertex ownership, following
+    /// the same failover rule as [`ShardedFlow::merged_graph`].
     pub fn merged_props(&self) -> PropertyStore {
-        merge_owned_props(
-            |v| self.plan.owner(v),
-            self.shards.iter().map(|s| s.props()),
-        )
+        let mut out = PropertyStore::new(0);
+        for (shard, engine) in self.shards.iter().enumerate() {
+            let store = engine.props();
+            out.grow(store.num_vertices());
+            for name in store.column_names() {
+                for v in 0..store.num_vertices() as VertexId {
+                    if self.row_source(v) == Some(shard) {
+                        if let Some(val) = store.get(name, v) {
+                            out.set(name, v, val);
+                        }
+                    }
+                }
+            }
+        }
+        out
     }
 
     /// One grouped stats record for the whole fleet (per-shard counters
     /// summed; ghost work is counted on every shard that performed it).
+    /// A rebuilt shard's counters restart at its rebuild.
     pub fn merged_stats(&self) -> FlowStats {
         let mut total = FlowStats::default();
         for s in &self.shards {
@@ -343,41 +1168,83 @@ impl ShardedFlow {
     }
 
     /// Labeled metrics exports: the router's snapshot (cross-shard
-    /// traffic) followed by each shard's. With metrics off these are
-    /// empty-but-valid snapshots.
+    /// traffic plus the failover/rebuild journal) followed by each
+    /// shard's. With metrics off these are empty-but-valid snapshots.
     pub fn metrics(&self) -> Vec<MetricsSnapshot> {
         let mut out = vec![self.recorder.snapshot()];
         out.extend(self.shards.iter().map(|s| s.metrics()));
         out
     }
 
+    /// Quarantined (dead-letter) updates across the fleet.
+    pub fn dead_letter_count(&self) -> usize {
+        self.shards.iter().map(|s| s.dead_letters().count()).sum()
+    }
+
+    /// Drain every shard's dead-letter queue into one merged list,
+    /// tagged with the shard that quarantined each update.
+    pub fn drain_dead_letters(&mut self) -> Vec<(usize, QuarantinedUpdate)> {
+        let mut out = Vec::new();
+        for (i, engine) in self.shards.iter_mut().enumerate() {
+            out.extend(engine.drain_dead_letters().into_iter().map(move |q| (i, q)));
+        }
+        out
+    }
+
+    /// Re-validate and re-apply quarantined updates on every serving
+    /// shard (see [`FlowEngine::replay_dead_letters`]). Returns the
+    /// fleet totals `(replayed, requeued)`.
+    pub fn replay_dead_letters(&mut self) -> io::Result<(usize, usize)> {
+        let mut replayed = 0;
+        let mut requeued = 0;
+        for i in 0..self.shards.len() {
+            if !self.supervisor.is_serving(i) {
+                continue;
+            }
+            let label = &self.labels[i];
+            let engine = &mut self.shards[i];
+            let (r, q) = with_scope(label, || engine.replay_dead_letters())?;
+            replayed += r;
+            requeued += q;
+        }
+        Ok((replayed, requeued))
+    }
+
     /// Scatter-gather PageRank over the merged graph, bit-identical to
     /// `pagerank_with` on an unsharded engine for any shard count: each
-    /// shard pulls over the complete in-adjacency of its owned
-    /// vertices (ascending source order), while the dangling-mass and
+    /// shard pulls over the complete in-adjacency of the vertices it
+    /// serves (ascending source order), while the dangling-mass and
     /// residual reductions run at the router in global vertex order.
+    /// Under failover the replica serves its dead predecessor's
+    /// vertices with exact rows; the result's `completion` is then
+    /// [`Completion::Degraded`].
     pub fn pagerank(&mut self, damping: f64, tol: f64, max_iters: usize) -> PageRankResult {
         let n = self.global_width();
+        let completion = self.fleet_completion();
         if n == 0 {
             return PageRankResult {
                 rank: vec![],
                 work: 0,
                 residual: 0.0,
-                completion: Completion::Complete,
+                completion,
             };
         }
         let mut span = self.recorder.span(Step::BatchAnalytic);
-        // Scatter phase setup: per-shard owned vertex lists and
-        // in-adjacencies, plus global out-degrees from the owner rows.
+        // Scatter phase setup: per-shard served vertex lists and
+        // in-adjacencies, plus global out-degrees from the serving
+        // rows (the owner's, or its replica's exact copy).
+        let serve = self.serve_map(n);
         let mut owned: Vec<Vec<VertexId>> = vec![Vec::new(); self.shards.len()];
         for v in 0..n as VertexId {
-            owned[self.plan.owner(v)].push(v);
+            if let Some(s) = serve[v as usize] {
+                owned[s].push(v);
+            }
         }
         let in_adj: Vec<Vec<Vec<VertexId>>> = self
             .shards
             .iter()
             .enumerate()
-            .map(|(i, s)| owned_in_adjacency(s.graph(), n, |v| self.plan.owner(v) == i))
+            .map(|(i, s)| owned_in_adjacency(s.graph(), n, |v| serve[v as usize] == Some(i)))
             .collect();
         // Rank values pulled across a shard boundary, per iteration.
         let cross_in: u64 = in_adj
@@ -386,14 +1253,17 @@ impl ShardedFlow {
             .map(|(i, adj)| {
                 adj.iter()
                     .flatten()
-                    .filter(|&&u| self.plan.owner(u) != i)
+                    .filter(|&&u| serve[u as usize] != Some(i))
                     .count() as u64
             })
             .sum();
-        // The owner holds each vertex's exact out-row, so its live
-        // degree *is* the global out-degree.
+        // The serving shard holds each vertex's exact out-row, so its
+        // live degree *is* the global out-degree.
         let out_deg: Vec<f64> = (0..n as VertexId)
-            .map(|v| self.shards[self.plan.owner(v)].graph().degree(v) as f64)
+            .map(|v| match serve[v as usize] {
+                Some(s) => self.shards[s].graph().degree(v) as f64,
+                None => 0.0,
+            })
             .collect();
         let inv_n = 1.0 / n as f64;
         let mut rank = vec![inv_n; n];
@@ -423,20 +1293,35 @@ impl ShardedFlow {
             rank,
             work: iters,
             residual,
-            completion: Completion::Complete,
+            completion,
         }
     }
 
     /// Scatter-gather BFS: level-synchronous frontier exchange. Depths
     /// are integers, so the result is exact for any shard count —
-    /// identical to `bfs_depths` on the merged graph.
+    /// identical to `bfs_depths` on the merged graph, including under
+    /// replica failover.
     pub fn bfs(&mut self, src: VertexId) -> Vec<u32> {
+        self.bfs_checked(src).value
+    }
+
+    /// [`ShardedFlow::bfs`] plus the fleet-coverage verdict it ran
+    /// under (see [`ShardedRun`]).
+    pub fn bfs_checked(&mut self, src: VertexId) -> ShardedRun<Vec<u32>> {
         let n = self.global_width();
+        let (failed_over, uncovered) = self.coverage();
+        let completion = self.fleet_completion();
         let mut depth = vec![UNREACHED; n];
         if (src as usize) >= n {
-            return depth;
+            return ShardedRun {
+                value: depth,
+                completion,
+                failed_over,
+                uncovered,
+            };
         }
         let mut span = self.recorder.span(Step::BatchAnalytic);
+        let serve = self.serve_map(n);
         depth[src as usize] = 0;
         let mut frontier = vec![src];
         let mut d = 0u32;
@@ -444,12 +1329,14 @@ impl ShardedFlow {
         while !frontier.is_empty() {
             let mut per_shard: Vec<Vec<VertexId>> = vec![Vec::new(); self.shards.len()];
             for &v in &frontier {
-                per_shard[self.plan.owner(v)].push(v);
+                if let Some(s) = serve[v as usize] {
+                    per_shard[s].push(v);
+                }
             }
             let mut next = Vec::new();
             for (i, f) in per_shard.iter().enumerate() {
                 for c in bfs_owned_expand(self.shards[i].graph(), f) {
-                    if self.plan.owner(c) != i {
+                    if serve[c as usize] != Some(i) {
                         cross += 1;
                     }
                     if (c as usize) < n && depth[c as usize] == UNREACHED {
@@ -464,27 +1351,52 @@ impl ShardedFlow {
         let bytes = FRONTIER_WIRE_BYTES * cross;
         self.traffic.bfs_bytes += bytes;
         span.add_net_bytes(bytes);
-        depth
+        ShardedRun {
+            value: depth,
+            completion,
+            failed_over,
+            uncovered,
+        }
     }
 
-    /// Scatter-gather connected components: each shard reduces its
-    /// local edges to a spanning forest, the router unions the forests.
-    /// Min-id label normalization makes the result independent of shard
-    /// count — identical to `wcc_union_find` on the merged graph.
+    /// Scatter-gather connected components: each serving shard reduces
+    /// its local edges to a spanning forest, the router unions the
+    /// forests. Min-id label normalization makes the result
+    /// independent of shard count — identical to `wcc_union_find` on
+    /// the merged graph. A dead shard's edges are covered by its
+    /// ring-successor replica's local graph on replicated fleets.
     pub fn components(&mut self) -> Components {
+        self.components_checked().value
+    }
+
+    /// [`ShardedFlow::components`] plus the fleet-coverage verdict it
+    /// ran under (see [`ShardedRun`]).
+    pub fn components_checked(&mut self) -> ShardedRun<Components> {
         let n = self.global_width();
+        let (failed_over, uncovered) = self.coverage();
+        let completion = self.fleet_completion();
         let mut span = self.recorder.span(Step::BatchAnalytic);
         let mut pairs = Vec::new();
-        for engine in &self.shards {
+        let mut serving = 0usize;
+        for (i, engine) in self.shards.iter().enumerate() {
+            if !self.supervisor.is_serving(i) {
+                continue;
+            }
+            serving += 1;
             let csr = engine.graph().snapshot();
             pairs.extend(cc_local_forest(&csr, self.symmetrize));
         }
-        if self.shards.len() > 1 {
+        if serving > 1 {
             let bytes = FOREST_PAIR_WIRE_BYTES * pairs.len() as u64;
             self.traffic.components_bytes += bytes;
             span.add_net_bytes(bytes);
         }
-        cc_merge_forests(n, pairs)
+        ShardedRun {
+            value: cc_merge_forests(n, pairs),
+            completion,
+            failed_over,
+            uncovered,
+        }
     }
 }
 
@@ -557,6 +1469,7 @@ mod tests {
         assert!(t.pagerank_bytes > 0, "{t:?}");
         assert!(t.bfs_bytes > 0, "{t:?}");
         assert!(t.components_bytes > 0, "{t:?}");
+        assert_eq!(t.replication_bytes, 0, "replication off by default");
         assert_eq!(t.ingest_bytes, four.ghost_updates() * UPDATE_WIRE_BYTES);
     }
 
@@ -582,6 +1495,150 @@ mod tests {
             snaps[0].step(Step::BatchAnalytic).net_bytes,
             t.pagerank_bytes,
             "router analytic bytes"
+        );
+    }
+
+    #[test]
+    fn supervisor_walks_the_health_state_machine() {
+        let mut sup = ShardSupervisor::new(2, 3);
+        assert!(sup.all_healthy());
+
+        // One failure: Suspect. A success heals and clears strikes.
+        assert_eq!(
+            sup.record_error(1, 0, "boom"),
+            Some((ShardHealth::Healthy, ShardHealth::Suspect))
+        );
+        assert_eq!(sup.strikes(0), 1);
+        assert_eq!(
+            sup.record_success(2, 0),
+            Some((ShardHealth::Suspect, ShardHealth::Healthy))
+        );
+        assert_eq!(sup.strikes(0), 0);
+
+        // Three consecutive failures: Dead. Further errors are not
+        // strikes, and success does not resurrect a dead shard.
+        sup.record_error(3, 0, "a");
+        assert_eq!(sup.record_error(4, 0, "b"), None, "suspect stays suspect");
+        assert_eq!(
+            sup.record_error(5, 0, "c"),
+            Some((ShardHealth::Suspect, ShardHealth::Dead))
+        );
+        assert!(!sup.is_serving(0));
+        assert_eq!(sup.record_error(6, 0, "d"), None);
+        assert_eq!(sup.record_success(6, 0), None);
+        assert_eq!(sup.down_shards(), vec![0]);
+
+        // Dead -> Rebuilding -> Healthy; rebuild ops gate on state.
+        assert_eq!(sup.begin_rebuild(7, 1), None, "healthy shard: no rebuild");
+        assert_eq!(
+            sup.begin_rebuild(7, 0),
+            Some((ShardHealth::Dead, ShardHealth::Rebuilding))
+        );
+        assert_eq!(
+            sup.complete_rebuild(8, 0),
+            Some((ShardHealth::Rebuilding, ShardHealth::Healthy))
+        );
+        assert!(sup.all_healthy());
+
+        let events = sup.take_events();
+        assert_eq!(events.len(), 6, "{events:?}");
+        assert_eq!(events[0].reason, "boom");
+        assert!(sup.events().is_empty(), "drained");
+    }
+
+    #[test]
+    fn replication_books_traffic_and_keeps_analytics_identical() {
+        let mut plain = ShardedFlow::builder(3).build(64).unwrap();
+        let mut repl = ShardedFlow::builder(3).replicate(true).build(64).unwrap();
+        drive(&mut plain, 6, 1000, 7);
+        drive(&mut repl, 6, 1000, 7);
+
+        assert_eq!(repl.merged_graph(), plain.merged_graph());
+        assert_eq!(repl.ghost_updates(), plain.ghost_updates());
+        assert!(repl.traffic().replication_bytes > 0);
+        assert_eq!(plain.traffic().replication_bytes, 0);
+
+        let a = plain.pagerank(0.85, 1e-10, 50);
+        let b = repl.pagerank(0.85, 1e-10, 50);
+        assert_eq!(a.rank, b.rank, "replication must not perturb pagerank");
+        assert_eq!(plain.bfs(0), repl.bfs(0));
+        assert_eq!(plain.components().label, repl.components().label);
+    }
+
+    #[test]
+    fn killed_shard_fails_over_to_replica_and_rebuilds_exactly() {
+        let mut reference = ShardedFlow::builder(1).build(64).unwrap();
+        let mut fleet = ShardedFlow::builder(3).replicate(true).build(64).unwrap();
+        let batches = into_batches(rmat_edge_stream(6, 1400, 0.2, 13), 120, 1);
+        let (head, tail) = batches.split_at(batches.len() / 2);
+        for b in head {
+            reference.process_batch(b).unwrap();
+            fleet.process_batch(b).unwrap();
+        }
+
+        fleet.kill_shard(1, "test kill");
+        assert_eq!(fleet.health(1), ShardHealth::Dead);
+        assert_eq!(fleet.fleet_completion(), Completion::Degraded);
+
+        // The fleet keeps ingesting while shard 1 is down; merged
+        // views and analytics fail over to the replica and stay exact.
+        for b in tail {
+            reference.process_batch(b).unwrap();
+            fleet.process_batch(b).unwrap();
+        }
+        assert_eq!(fleet.lost_updates(), 0, "replica holds every update");
+        assert_eq!(fleet.merged_graph(), reference.merged_graph());
+        let run = fleet.bfs_checked(0);
+        assert_eq!(run.completion, Completion::Degraded);
+        assert_eq!(run.failed_over, vec![1]);
+        assert!(run.uncovered.is_empty());
+        assert_eq!(run.value, reference.bfs(0));
+        let cc = fleet.components_checked();
+        assert_eq!(cc.completion, Completion::Degraded);
+        assert_eq!(cc.value.label, reference.components().label);
+        let pr = fleet.pagerank(0.85, 1e-10, 50);
+        assert_eq!(pr.completion, Completion::Degraded);
+        assert_eq!(pr.rank, reference.pagerank(0.85, 1e-10, 50).rank);
+
+        // Online rebuild from the ring neighbors, then full health and
+        // bit-identical state — including shard 1's replica duty.
+        let report = fleet.rebuild_shard(1).unwrap();
+        assert_eq!(report.source, RebuildSource::Replica);
+        assert!(fleet.supervisor().all_healthy());
+        assert_eq!(fleet.fleet_completion(), Completion::Complete);
+        assert_eq!(fleet.merged_graph(), reference.merged_graph());
+        let events = fleet.take_health_events();
+        assert!(events.iter().any(|e| e.to == ShardHealth::Dead));
+        assert!(events.iter().any(|e| e.to == ShardHealth::Healthy));
+
+        // The rebuilt shard serves: kill its successor and the fleet
+        // must now serve shard 2's vertices from shard 0... and shard
+        // 1's own rows from itself.
+        fleet.kill_shard(2, "second kill");
+        assert_eq!(fleet.merged_graph(), reference.merged_graph());
+    }
+
+    #[test]
+    fn dead_shard_without_replication_degrades_and_counts_loss() {
+        let mut fleet = ShardedFlow::builder(2).build(64).unwrap();
+        let batches = into_batches(rmat_edge_stream(6, 600, 0.2, 21), 100, 1);
+        let (head, tail) = batches.split_at(3);
+        for b in head {
+            fleet.process_batch(b).unwrap();
+        }
+        fleet.kill_shard(0, "no safety net");
+        for b in tail {
+            fleet.process_batch(b).unwrap();
+        }
+        assert!(fleet.lost_updates() > 0, "loss is counted, not hidden");
+        let run = fleet.bfs_checked(0);
+        assert_eq!(run.completion, Completion::Degraded);
+        assert_eq!(run.uncovered, vec![0]);
+        assert!(run.failed_over.is_empty());
+        let err = fleet.rebuild_shard(0).unwrap_err();
+        assert!(
+            err.to_string().contains("no rebuild source"),
+            "unexpected: {err}"
         );
     }
 }

@@ -20,7 +20,17 @@
 //! | `wal.repair`       | before truncating a torn WAL tail               |
 //! | `checkpoint.write` | before/while writing a checkpoint file          |
 //! | `checkpoint.load`  | before reading a checkpoint file during recovery |
+//!
+//! **Scoped sites.** Multi-engine deployments (the sharded fleet) need
+//! to fault *one* engine's durability path while its siblings run
+//! clean. Rather than threading shard labels through the WAL and
+//! checkpoint writers, callers wrap an engine's I/O in
+//! [`with_scope`]`("shard-01", ...)`; every intercept inside first
+//! consults the scoped site (`"shard-01/wal.append"`), then the bare
+//! one. Arming a scoped name therefore targets exactly one engine, and
+//! arming the bare name keeps targeting all of them.
 
+use std::cell::RefCell;
 use std::collections::HashMap;
 use std::io;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -64,6 +74,34 @@ struct FaultState {
 /// Count of armed sites; zero means every [`intercept`] is a no-op.
 static ARMED: AtomicUsize = AtomicUsize::new(0);
 
+thread_local! {
+    /// The thread's active fault scope (see [`with_scope`]). Empty =
+    /// no scope; intercepts consult bare site names only.
+    static SCOPE: RefCell<String> = const { RefCell::new(String::new()) };
+}
+
+/// Run `f` with this thread's fault *scope* set to `scope`. While the
+/// scope is active, every [`intercept`]/[`check`] for site `s` first
+/// consults the scoped site `"{scope}/{s}"` and only falls back to the
+/// bare `s` — so a test can arm `"shard-01/wal.append"` and fault one
+/// shard of a fleet while the shared WAL code stays unmodified. Scopes
+/// nest (the previous scope is restored on return) and are per-thread.
+pub fn with_scope<T>(scope: &str, f: impl FnOnce() -> T) -> T {
+    let prev = SCOPE.with(|s| std::mem::replace(&mut *s.borrow_mut(), scope.to_string()));
+    let out = f();
+    SCOPE.with(|s| *s.borrow_mut() = prev);
+    out
+}
+
+/// The effective (possibly scope-prefixed) name `site` resolves to on
+/// this thread right now — what an injected error will be labeled with.
+fn scoped_name(site: &str) -> Option<String> {
+    SCOPE.with(|s| {
+        let s = s.borrow();
+        (!s.is_empty()).then(|| format!("{}/{site}", *s))
+    })
+}
+
 fn registry() -> &'static Mutex<HashMap<String, FaultState>> {
     static REGISTRY: OnceLock<Mutex<HashMap<String, FaultState>>> = OnceLock::new();
     REGISTRY.get_or_init(|| Mutex::new(HashMap::new()))
@@ -96,13 +134,19 @@ pub fn clear_all() {
 }
 
 /// Ask whether `site` should misbehave on this hit. Counts the hit.
+/// Under an active [`with_scope`], the scoped name is consulted first
+/// and — when armed — shadows any arming of the bare name.
 pub fn intercept(site: &str) -> Intercept {
     if ARMED.load(Ordering::Relaxed) == 0 {
         return Intercept::Proceed;
     }
     let mut reg = registry().lock().unwrap();
-    let Some(state) = reg.get_mut(site) else {
-        return Intercept::Proceed;
+    let state = match scoped_name(site) {
+        Some(key) if reg.contains_key(&key) => reg.get_mut(&key).unwrap(),
+        _ => match reg.get_mut(site) {
+            Some(s) => s,
+            None => return Intercept::Proceed,
+        },
     };
     if state.disarmed {
         return Intercept::Proceed;
@@ -142,11 +186,16 @@ pub fn intercept(site: &str) -> Intercept {
 }
 
 /// Convenience for sites with no payload to tear: `Err` when the site
-/// fires (a [`FaultMode::ShortWrite`] arming also maps to an error here).
+/// fires (a [`FaultMode::ShortWrite`] arming also maps to an error
+/// here). Under an active scope the error names the scoped site, so a
+/// fleet-level failure report says *which* engine was faulted.
 pub fn check(site: &str) -> io::Result<()> {
     match intercept(site) {
         Intercept::Proceed => Ok(()),
-        Intercept::Error | Intercept::ShortWrite(_) => Err(injected(site)),
+        Intercept::Error | Intercept::ShortWrite(_) => match scoped_name(site) {
+            Some(name) => Err(injected(&name)),
+            None => Err(injected(site)),
+        },
     }
 }
 
@@ -231,6 +280,54 @@ mod tests {
         arm("wal.append", FaultMode::ShortWrite(5));
         assert_eq!(intercept("wal.append"), Intercept::ShortWrite(5));
         assert_eq!(intercept("wal.append"), Intercept::Proceed);
+        clear_all();
+    }
+
+    #[test]
+    fn scoped_arming_targets_one_scope_only() {
+        let _g = LOCK.lock().unwrap();
+        clear_all();
+        arm("shard-01/wal.append", FaultMode::FailOnce);
+        // Other scopes — and the bare site — proceed untouched.
+        assert_eq!(
+            with_scope("shard-00", || intercept("wal.append")),
+            Intercept::Proceed
+        );
+        assert_eq!(intercept("wal.append"), Intercept::Proceed);
+        // The targeted scope fires, and the error names the scoped site.
+        let err = with_scope("shard-01", || check("wal.append")).unwrap_err();
+        assert!(is_injected(&err));
+        assert!(err.to_string().contains("shard-01/wal.append"), "{err}");
+        assert_eq!(fired_count("shard-01/wal.append"), 1);
+        // FailOnce disarmed: the scope proceeds afterwards.
+        assert_eq!(
+            with_scope("shard-01", || intercept("wal.append")),
+            Intercept::Proceed
+        );
+        clear_all();
+    }
+
+    #[test]
+    fn scoped_arming_shadows_bare_site_and_scopes_nest() {
+        let _g = LOCK.lock().unwrap();
+        clear_all();
+        arm("wal.append", FaultMode::FailOnce);
+        arm("shard-02/wal.append", FaultMode::FailTimes(2));
+        // Inside the scope the scoped arming shadows the bare one.
+        assert_eq!(
+            with_scope("shard-02", || intercept("wal.append")),
+            Intercept::Error
+        );
+        assert_eq!(fired_count("wal.append"), 0, "bare site must not fire");
+        // Nested scope restores the outer one on return.
+        with_scope("shard-02", || {
+            with_scope("shard-03", || {
+                assert_eq!(intercept("wal.append"), Intercept::Error); // bare fires
+            });
+            assert_eq!(intercept("wal.append"), Intercept::Error); // scoped again
+        });
+        assert_eq!(fired_count("shard-02/wal.append"), 2);
+        assert_eq!(fired_count("wal.append"), 1);
         clear_all();
     }
 

@@ -35,6 +35,12 @@ pub enum Completion {
     /// The kernel stopped cooperatively at the context's wall-clock
     /// deadline and returned a typed partial result.
     DeadlineExpired,
+    /// The result was computed with reduced redundancy or reduced
+    /// input: in a sharded deployment, at least one shard was dead or
+    /// rebuilding, so rows were served from replicas (exact values,
+    /// lost redundancy) or were missing entirely (partial values).
+    /// Callers distinguish the two via the fleet's coverage report.
+    Degraded,
 }
 
 impl Completion {

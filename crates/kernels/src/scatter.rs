@@ -21,6 +21,13 @@
 //!   spanning forest ([`cc_local_forest`]), the router unions the
 //!   forests ([`cc_merge_forests`]); `UnionFind::labels` normalizes to
 //!   the min vertex id per set regardless of union order.
+//!
+//! Nothing here assumes the serving shard is the *owner*: the
+//! `is_owned` predicates take any serving assignment. The sharded
+//! driver exploits that for failover — when a shard is dead, its
+//! ring-successor replica (whose rows are slot-exact copies of the
+//! owner's) serves the same predicates, and every bit-identity
+//! argument above carries over unchanged.
 
 use crate::cc::{wcc_afforest, wcc_union_find, Components};
 use crate::UnionFind;

@@ -72,6 +72,24 @@ impl ShardPlan {
         (splitmix64(v as u64) % self.num_shards as u64) as usize
     }
 
+    /// The ring successor of `shard` — the shard that holds `shard`'s
+    /// replica under K=2 chain replication.
+    pub fn successor(&self, shard: usize) -> usize {
+        (shard + 1) % self.num_shards
+    }
+
+    /// The ring predecessor of `shard` — the shard whose rows `shard`
+    /// replicates under K=2 chain replication.
+    pub fn predecessor(&self, shard: usize) -> usize {
+        (shard + self.num_shards - 1) % self.num_shards
+    }
+
+    /// The shard holding vertex `v`'s replica rows (the owner's ring
+    /// successor). Equal to the owner itself in a 1-shard plan.
+    pub fn replica(&self, v: VertexId) -> usize {
+        self.successor(self.owner(v))
+    }
+
     /// Route one batch into per-shard sub-batches. Every shard receives
     /// a batch with the same `time` — possibly with zero updates — so
     /// the batch-time watermark (and its monotonicity validation)
@@ -83,13 +101,39 @@ impl ShardPlan {
     /// second copy of a cross-shard edge update) — the router's
     /// cross-shard ingest traffic in updates.
     pub fn route_batch(&self, batch: &UpdateBatch) -> (Vec<UpdateBatch>, u64) {
+        let (shards, ghosts, _) = self.route_batch_replicated(batch, false);
+        (shards, ghosts)
+    }
+
+    /// [`Self::route_batch`] with optional K=2 chain replication: with
+    /// `replicate` true (and ≥ 2 shards), every delivery to shard `s`
+    /// is mirrored to `s`'s ring successor, so the successor holds a
+    /// slot-exact copy of every row `s` owns and the fleet can fail
+    /// over to it when `s` dies.
+    ///
+    /// Replica deliveries are *additional* fan-out, booked separately
+    /// from ghosts: the return is `(sub_batches, ghosts, replicas)`
+    /// where `replicas` counts deliveries made only because of the
+    /// successor rule (each priced at [`UPDATE_WIRE_BYTES`] by the
+    /// flow-level router). Because the successor of `v`'s owner sees
+    /// precisely every update the owner sees for `v`'s row — in the
+    /// same order — replica rows inherit invariant 1 of the module
+    /// docs: they are slot-identical to the owner's, tombstones,
+    /// timestamps, and all.
+    pub fn route_batch_replicated(
+        &self,
+        batch: &UpdateBatch,
+        replicate: bool,
+    ) -> (Vec<UpdateBatch>, u64, u64) {
         let mut shards: Vec<UpdateBatch> = (0..self.num_shards)
             .map(|_| UpdateBatch {
                 time: batch.time,
                 updates: Vec::new(),
             })
             .collect();
+        let replicate = replicate && self.num_shards >= 2;
         let mut ghosts = 0u64;
+        let mut replicas = 0u64;
         for u in &batch.updates {
             match u {
                 Update::EdgeInsert { src, dst, .. } | Update::EdgeDelete { src, dst } => {
@@ -100,13 +144,33 @@ impl ShardPlan {
                         shards[b].updates.push(u.clone());
                         ghosts += 1;
                     }
+                    if replicate {
+                        // Mirror to both owners' successors, minus any
+                        // shard already covered by the owner deliveries
+                        // (each shard receives an update at most once).
+                        let sa = self.successor(a);
+                        let sb = self.successor(b);
+                        if sa != a && sa != b {
+                            shards[sa].updates.push(u.clone());
+                            replicas += 1;
+                        }
+                        if sb != sa && sb != a && sb != b {
+                            shards[sb].updates.push(u.clone());
+                            replicas += 1;
+                        }
+                    }
                 }
                 Update::PropertySet { vertex, .. } => {
-                    shards[self.owner(*vertex)].updates.push(u.clone());
+                    let o = self.owner(*vertex);
+                    shards[o].updates.push(u.clone());
+                    if replicate {
+                        shards[self.successor(o)].updates.push(u.clone());
+                        replicas += 1;
+                    }
                 }
             }
         }
-        (shards, ghosts)
+        (shards, ghosts, replicas)
     }
 }
 
@@ -278,6 +342,113 @@ mod tests {
             let o = plan.owner(v);
             assert!(o < 4);
             assert_eq!(o, plan.owner(v));
+        }
+    }
+
+    /// Golden pin of the splitmix64 vertex→shard assignment. The owner
+    /// map is *persistent state*: per-shard durability directories are
+    /// named `base/shard-NN` by owner, so a hash tweak that remaps
+    /// vertices would silently orphan every existing fleet directory
+    /// (and replica placement with it). If this test fails, you changed
+    /// the partition function — that needs an explicit migration story,
+    /// not a new set of golden values.
+    #[test]
+    fn owner_assignment_is_golden_pinned() {
+        let expect_2: [usize; 32] = [
+            1, 1, 0, 1, 0, 0, 0, 1, 0, 0, 0, 1, 1, 1, 0, 1, 1, 1, 0, 0, 0, 1, 0, 0, 0, 1, 0, 0, 0,
+            0, 0, 0,
+        ];
+        let expect_4: [usize; 32] = [
+            3, 1, 2, 1, 2, 2, 0, 3, 2, 0, 2, 1, 3, 3, 2, 1, 3, 3, 2, 0, 0, 3, 2, 2, 0, 1, 2, 2, 0,
+            0, 2, 2,
+        ];
+        let expect_8: [usize; 32] = [
+            7, 1, 6, 5, 2, 2, 0, 7, 6, 4, 2, 5, 3, 7, 6, 5, 7, 3, 2, 4, 4, 7, 2, 6, 4, 1, 2, 2, 4,
+            0, 6, 2,
+        ];
+        for (n, expect) in [(2, &expect_2[..]), (4, &expect_4[..]), (8, &expect_8[..])] {
+            let plan = ShardPlan::new(n);
+            let got: Vec<usize> = (0..32u32).map(|v| plan.owner(v)).collect();
+            assert_eq!(got, expect, "splitmix64 owner map changed for {n} shards");
+        }
+        // Pin the raw finalizer too, so a partial change (e.g. a new
+        // multiplier) can't cancel out over the small id range above.
+        assert_eq!(splitmix64(0), 16294208416658607535);
+        assert_eq!(splitmix64(1), 10451216379200822465);
+        assert_eq!(splitmix64(2), 10905525725756348110);
+        assert_eq!(splitmix64(3), 2092789425003139053);
+    }
+
+    #[test]
+    fn replica_placement_follows_the_ring() {
+        let plan = ShardPlan::new(4);
+        for s in 0..4 {
+            assert_eq!(plan.successor(s), (s + 1) % 4);
+            assert_eq!(plan.predecessor(plan.successor(s)), s);
+        }
+        for v in 0..64u32 {
+            assert_eq!(plan.replica(v), plan.successor(plan.owner(v)));
+            assert_ne!(plan.replica(v), plan.owner(v), "replica must be remote");
+        }
+        // Degenerate 1-shard plan: the replica *is* the owner.
+        let one = ShardPlan::new(1);
+        assert_eq!(one.replica(7), one.owner(7));
+    }
+
+    #[test]
+    fn replicated_routing_adds_successor_deliveries_once() {
+        let plan = ShardPlan::new(3);
+        let batch = UpdateBatch {
+            time: 42,
+            updates: rmat_edge_stream(6, 300, 0.1, 2),
+        };
+        let (plain, ghosts0) = plan.route_batch(&batch);
+        let (sub, ghosts, replicas) = plan.route_batch_replicated(&batch, true);
+        assert_eq!(ghosts, ghosts0, "replication must not change ghost count");
+        assert!(replicas > 0);
+        let total: usize = sub.iter().map(|b| b.updates.len()).sum();
+        let plain_total: usize = plain.iter().map(|b| b.updates.len()).sum();
+        assert_eq!(total as u64, plain_total as u64 + replicas);
+        // Each shard's replicated sub-batch embeds its plain sub-batch
+        // as a subsequence and never receives an update twice; with a
+        // replica on every owner's successor, each update fans out to
+        // at most 4 distinct shards.
+        for b in &sub {
+            assert_eq!(b.time, 42);
+        }
+        // 1-shard and replicate=false degenerate to the plain routing.
+        let (sub1, g1, r1) = ShardPlan::new(1).route_batch_replicated(&batch, true);
+        assert_eq!(g1, 0);
+        assert_eq!(r1, 0);
+        assert_eq!(sub1[0].updates.len(), batch.updates.len());
+        let (_, _, r0) = plan.route_batch_replicated(&batch, false);
+        assert_eq!(r0, 0);
+    }
+
+    /// The failover contract at the stream level: the successor of
+    /// `v`'s owner holds a row for `v` that is slot-identical to the
+    /// owner's, so the fleet can serve `v` from the replica verbatim.
+    #[test]
+    fn replica_rows_are_slot_exact_copies_of_owner_rows() {
+        for shards in [2usize, 3, 4] {
+            let plan = ShardPlan::new(shards);
+            let mut engines: Vec<StreamEngine> =
+                (0..shards).map(|_| StreamEngine::new(64)).collect();
+            for batch in into_batches(rmat_edge_stream(6, 1500, 0.25, 13), 100, 5) {
+                let (sub, _, _) = plan.route_batch_replicated(&batch, true);
+                for (b, e) in sub.iter().zip(engines.iter_mut()) {
+                    e.apply_batch(b);
+                }
+            }
+            for v in 0..64u32 {
+                let owner = &engines[plan.owner(v)];
+                let replica = &engines[plan.replica(v)];
+                assert_eq!(
+                    owner.graph().row_slots(v),
+                    replica.graph().row_slots(v),
+                    "replica row diverged (v={v} shards={shards})"
+                );
+            }
         }
     }
 

@@ -52,12 +52,16 @@ pub use ga_stream as stream;
 /// assert!(flow.metrics().steps_covered() > 0);
 /// ```
 pub mod prelude {
+    pub use ga_core::faults::{ShardFaultPlan, SHARD_MATRIX_SIZE};
     pub use ga_core::flow::{
         BatchRunReport, ComponentsAnalytic, DegradationLevel, FlowConfig, FlowEngine, FlowStats,
         OverloadConfig, PageRankAnalytic, SelectionCriteria, TriangleAnalytic,
     };
     pub use ga_core::retry::RetryPolicy;
-    pub use ga_core::sharded::{CrossShardTraffic, ShardedConfig, ShardedFlow};
+    pub use ga_core::sharded::{
+        CrossShardTraffic, HealthEvent, RebuildReport, RebuildSource, ShardHealth, ShardSupervisor,
+        ShardedConfig, ShardedFlow, ShardedRun, DEFAULT_SUSPECT_STRIKES,
+    };
     pub use ga_graph::{
         CsrBuilder, CsrGraph, DynamicGraph, ExtractOptions, Parallelism, PropValue, PropertyStore,
         Subgraph, VertexId,

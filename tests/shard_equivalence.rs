@@ -10,9 +10,10 @@
 //! 2. **Sharded recovery equivalence**: crash-and-recover on per-shard
 //!    durability directories reproduces graph, properties, and stats
 //!    exactly (recovery is shard-local).
-//! 3. **Labeled recovery errors**: a corrupted shard checkpoint fails
-//!    recovery with an error naming the shard (`[shard-01]`) and the
-//!    offending file path — diagnosable straight from a CI log.
+//! 3. **Labeled recovery errors**: corrupted shard checkpoints fail
+//!    recovery with one error naming *every* bad shard (`[shard-01]`,
+//!    `[shard-02]`, …) and the offending file paths — the whole blast
+//!    radius is diagnosable from a single CI log line.
 //!
 //! With `GA_SHARDS` set (the CI matrix), only that shard count runs;
 //! unset, counts 1/2/4 all run in-process.
@@ -164,7 +165,7 @@ fn sharded_recovery_reproduces_state_exactly() {
 }
 
 #[test]
-fn corrupted_shard_checkpoint_error_names_the_shard() {
+fn corrupted_shard_checkpoints_error_names_every_bad_shard() {
     let shards = 3;
     let base = tmpdir("labeled-error");
     let mut flow = ShardedFlow::builder(shards)
@@ -177,30 +178,43 @@ fn corrupted_shard_checkpoint_error_names_the_shard() {
     flow.checkpoint().unwrap();
     drop(flow);
 
-    // Scribble over every checkpoint in shard 1's directory so its
-    // recovery has no usable fallback.
-    let victim = shard_dir(&base, 1);
-    let mut corrupted = 0;
-    for entry in std::fs::read_dir(&victim).unwrap() {
-        let path = entry.unwrap().path();
-        if path.extension().is_some_and(|e| e == "gac") {
-            std::fs::write(&path, b"not a checkpoint").unwrap();
-            corrupted += 1;
+    // Scribble over every checkpoint in shard 1's AND shard 2's
+    // directories so neither recovery has a usable fallback. The fleet
+    // error must collect both, not stop at the first.
+    let victims = [shard_dir(&base, 1), shard_dir(&base, 2)];
+    for victim in &victims {
+        let mut corrupted = 0;
+        for entry in std::fs::read_dir(victim).unwrap() {
+            let path = entry.unwrap().path();
+            if path.extension().is_some_and(|e| e == "gac") {
+                std::fs::write(&path, b"not a checkpoint").unwrap();
+                corrupted += 1;
+            }
         }
+        assert!(corrupted > 0, "no checkpoint files found to corrupt");
     }
-    assert!(corrupted > 0, "no checkpoint files found to corrupt");
 
     let err = match ShardedConfig::new(shards).recover(&base) {
-        Ok(_) => panic!("recovery must fail with a corrupted shard checkpoint"),
+        Ok(_) => panic!("recovery must fail with corrupted shard checkpoints"),
         Err(e) => e,
     };
     let msg = err.to_string();
+    for bad in [1, 2] {
+        assert!(
+            msg.contains(&format!("[{}]", shard_label(bad))),
+            "error must name failing shard {bad}: {msg}"
+        );
+    }
     assert!(
-        msg.contains(&format!("[{}]", shard_label(1))),
-        "error must name the failing shard: {msg}"
+        !msg.contains(&format!("[{}]", shard_label(0))),
+        "healthy shard 0 must not be blamed: {msg}"
     );
     assert!(
-        msg.contains("ckpt-") || msg.contains(victim.to_str().unwrap()),
+        msg.contains("2/3 shards"),
+        "error must summarize the failure count: {msg}"
+    );
+    assert!(
+        msg.contains("ckpt-") || msg.contains(victims[0].to_str().unwrap()),
         "error must name the offending path: {msg}"
     );
     std::fs::remove_dir_all(&base).ok();
