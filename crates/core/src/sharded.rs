@@ -196,7 +196,7 @@ pub struct ShardSupervisor {
     health: Vec<ShardHealth>,
     strikes: Vec<u32>,
     suspect_strikes: u32,
-    events: Vec<HealthEvent>,
+    events: VecDeque<HealthEvent>,
 }
 
 impl ShardSupervisor {
@@ -208,7 +208,7 @@ impl ShardSupervisor {
             health: vec![ShardHealth::Healthy; num_shards],
             strikes: vec![0; num_shards],
             suspect_strikes: suspect_strikes.max(1),
-            events: Vec::new(),
+            events: VecDeque::new(),
         }
     }
 
@@ -246,13 +246,13 @@ impl ShardSupervisor {
 
     /// Transitions recorded so far (oldest first, capped at 1024;
     /// oldest entries are dropped past the cap).
-    pub fn events(&self) -> &[HealthEvent] {
+    pub fn events(&self) -> &VecDeque<HealthEvent> {
         &self.events
     }
 
     /// Drain the recorded transitions.
     pub fn take_events(&mut self) -> Vec<HealthEvent> {
-        std::mem::take(&mut self.events)
+        std::mem::take(&mut self.events).into()
     }
 
     fn transition(
@@ -268,9 +268,9 @@ impl ShardSupervisor {
         }
         self.health[shard] = to;
         if self.events.len() == HEALTH_EVENT_CAP {
-            self.events.remove(0);
+            self.events.pop_front();
         }
-        self.events.push(HealthEvent {
+        self.events.push_back(HealthEvent {
             time,
             shard,
             from,
@@ -386,6 +386,29 @@ pub struct RebuildReport {
     pub redelivered_updates: usize,
     /// Wall-clock rebuild time in milliseconds.
     pub millis: f64,
+}
+
+/// Outcome of one fleet-wide [`ShardedFlow::checkpoint`] sweep.
+/// Partial failure is a first-class, per-shard signal: a caller that
+/// prunes old checkpoints after a sweep must consult [`Self::failed`]
+/// (and [`Self::skipped`]) before discarding what may be a failed
+/// shard's only good recovery source.
+#[derive(Clone, Debug)]
+pub struct CheckpointReport {
+    /// `(shard id, checkpoint path)` per shard that checkpointed.
+    pub paths: Vec<(usize, PathBuf)>,
+    /// `(shard id, error)` per serving shard whose checkpoint failed;
+    /// each failure was absorbed as a health strike.
+    pub failed: Vec<(usize, String)>,
+    /// Shards skipped because they were not serving (Dead/Rebuilding).
+    pub skipped: Vec<usize>,
+}
+
+impl CheckpointReport {
+    /// True when every shard in the fleet wrote a fresh checkpoint.
+    pub fn is_complete(&self) -> bool {
+        self.failed.is_empty() && self.skipped.is_empty()
+    }
 }
 
 /// A scatter-gather result plus the fleet-coverage verdict it was
@@ -519,8 +542,12 @@ impl ShardedConfig {
     /// offending file path) in a single error instead of stopping at
     /// the first. The persisted state knobs (symmetrize, vertex
     /// limit) come from each shard's checkpoint.
-    pub fn recover(self, base: impl AsRef<Path>) -> io::Result<ShardedFlow> {
+    pub fn recover(mut self, base: impl AsRef<Path>) -> io::Result<ShardedFlow> {
         let base = base.as_ref();
+        // Recovery implies durability: the recovered fleet keeps
+        // logging under the same base, so assemble() must see it —
+        // otherwise post-recovery ingest would silently bypass the WAL.
+        self.durability_base = Some(base.to_path_buf());
         let plan = ShardPlan::new(self.num_shards);
         let mut shards = Vec::with_capacity(self.num_shards);
         let mut failures: Vec<String> = Vec::new();
@@ -823,8 +850,11 @@ impl ShardedFlow {
     /// the injected crash/drop sites. Returns updates quarantined.
     fn offer_shard(&mut self, i: usize, b: UpdateBatch) -> usize {
         // In-band crash announcement: the shard process dies the
-        // moment this delivery reaches it.
-        if check(&format!("{}/crash", self.labels[i])).is_err() {
+        // moment this delivery reaches it. A Dead/Rebuilding shard
+        // takes no delivery, so the site is not evaluated then — an
+        // armed FailOnce crash stays armed for the rebuilt shard
+        // instead of being consumed by a no-op kill.
+        if self.supervisor.is_serving(i) && check(&format!("{}/crash", self.labels[i])).is_err() {
             self.kill_shard(i, "injected crash");
         }
         if !self.supervisor.is_serving(i) {
@@ -904,16 +934,20 @@ impl ShardedFlow {
         quarantined
     }
 
-    /// Checkpoint every serving shard; returns the per-shard
-    /// checkpoint paths. A shard's checkpoint failure is absorbed as a
-    /// health strike (the fleet keeps running on the other shards'
-    /// checkpoints); the call errors only if every serving shard
-    /// fails.
-    pub fn checkpoint(&mut self) -> io::Result<Vec<PathBuf>> {
-        let mut paths = Vec::new();
-        let mut failures: Vec<String> = Vec::new();
+    /// Checkpoint every serving shard. A shard's checkpoint failure is
+    /// absorbed as a health strike (the fleet keeps running on the
+    /// other shards' checkpoints) and reported per-shard in the
+    /// returned [`CheckpointReport`]; the call errors only if every
+    /// serving shard fails.
+    pub fn checkpoint(&mut self) -> io::Result<CheckpointReport> {
+        let mut report = CheckpointReport {
+            paths: Vec::new(),
+            failed: Vec::new(),
+            skipped: Vec::new(),
+        };
         for i in 0..self.shards.len() {
             if !self.supervisor.is_serving(i) {
+                report.skipped.push(i);
                 continue;
             }
             let label = &self.labels[i];
@@ -923,7 +957,7 @@ impl ShardedFlow {
                 Ok(p) => {
                     let tr = self.supervisor.record_success(self.clock, i);
                     self.journal_transition(i, tr, "checkpoint succeeded");
-                    paths.push(p);
+                    report.paths.push((i, p));
                 }
                 Err(e) => {
                     let msg = e.to_string();
@@ -932,17 +966,22 @@ impl ShardedFlow {
                     if self.supervisor.health(i) == ShardHealth::Dead {
                         self.decommission(i);
                     }
-                    failures.push(format!("[{}] {msg}", shard_label(i)));
+                    report.failed.push((i, msg));
                 }
             }
         }
-        if paths.is_empty() && !failures.is_empty() {
+        if report.paths.is_empty() && !report.failed.is_empty() {
             return Err(io::Error::other(format!(
                 "every serving shard failed to checkpoint: {}",
-                failures.join("; ")
+                report
+                    .failed
+                    .iter()
+                    .map(|(i, msg)| format!("[{}] {msg}", shard_label(*i)))
+                    .collect::<Vec<_>>()
+                    .join("; ")
             )));
         }
-        Ok(paths)
+        Ok(report)
     }
 
     /// Rebuild a Dead shard online — the fleet keeps ingesting and

@@ -23,7 +23,7 @@
 //! runs; unset, the whole matrix runs in-process. `GA_SHARDS` pins the
 //! fleet size (default: 2 and 4 both run).
 
-use ga_core::faults::{self, ShardFaultPlan, SHARD_MATRIX_SIZE};
+use ga_core::faults::{self, FaultMode, ShardFaultPlan, SHARD_MATRIX_SIZE};
 use ga_core::flow::FlowEngine;
 use ga_core::sharded::{RebuildSource, ShardHealth, ShardedFlow};
 use ga_graph::CsrBuilder;
@@ -300,6 +300,95 @@ fn unprotected_outage_reports_degraded_and_loss() {
     let cc = fleet.components_checked();
     assert_eq!(cc.completion, Completion::Degraded);
     assert!(fleet.rebuild_shard(1).is_err());
+}
+
+/// A fleet checkpoint sweep reports partial failure per shard: the
+/// caller sees exactly which shards wrote a fresh checkpoint, which
+/// failed (and why), and which were skipped as not serving — instead
+/// of a bare path list that hides the gap.
+#[test]
+fn checkpoint_reports_partial_failure_per_shard() {
+    let _g = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    faults::clear_all();
+    let base = tmpdir("ckpt-report");
+    let mut fleet = ShardedFlow::builder(3)
+        .durability_base(&base)
+        .build(1 << SCALE)
+        .unwrap();
+    for b in workload(59).iter().take(4) {
+        fleet.process_batch(b).unwrap();
+    }
+
+    faults::arm("shard-01/checkpoint.write", FaultMode::FailOnce);
+    let report = fleet.checkpoint().unwrap();
+    assert!(!report.is_complete());
+    assert_eq!(
+        report.paths.iter().map(|(i, _)| *i).collect::<Vec<_>>(),
+        vec![0, 2],
+        "paths must carry shard ids"
+    );
+    assert_eq!(report.failed.len(), 1, "{:?}", report.failed);
+    assert_eq!(report.failed[0].0, 1);
+    assert!(report.skipped.is_empty());
+    assert_eq!(fleet.health(1), ShardHealth::Suspect);
+
+    // The fault was one-shot: the next sweep succeeds everywhere and
+    // heals the shard.
+    let report = fleet.checkpoint().unwrap();
+    assert!(report.is_complete(), "{report:?}");
+    assert!(fleet.supervisor().all_healthy());
+
+    // A dead shard is skipped, not silently absent.
+    fleet.kill_shard(2, "skip check");
+    let report = fleet.checkpoint().unwrap();
+    assert!(!report.is_complete());
+    assert_eq!(report.skipped, vec![2]);
+    assert!(report.failed.is_empty());
+    std::fs::remove_dir_all(&base).ok();
+    faults::clear_all();
+}
+
+/// A one-shot crash fault armed while its target shard is already down
+/// must not be consumed by deliveries to the dead shard — it stays
+/// armed and fires against the rebuilt shard's first delivery.
+#[test]
+fn crash_armed_during_outage_fires_on_the_rebuilt_shard() {
+    let _g = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    faults::clear_all();
+    let victim = 1;
+    let mut fleet = ShardedFlow::builder(3)
+        .replicate(true)
+        .build(1 << SCALE)
+        .unwrap();
+    let batches = workload(61);
+    for b in &batches[..4] {
+        fleet.process_batch(b).unwrap();
+    }
+    fleet.kill_shard(victim, "outage");
+    faults::arm("shard-01/crash", FaultMode::FailOnce);
+    // Deliveries while dead must not evaluate (and so not consume) the
+    // crash site.
+    for b in &batches[4..8] {
+        fleet.process_batch(b).unwrap();
+    }
+    assert_eq!(fleet.health(victim), ShardHealth::Dead);
+
+    let report = fleet.rebuild_shard(victim).unwrap();
+    assert_eq!(report.source, RebuildSource::Replica);
+    assert!(fleet.supervisor().all_healthy());
+
+    // The armed crash is still live: the first delivery to the rebuilt
+    // shard kills it again.
+    for b in &batches[8..] {
+        fleet.process_batch(b).unwrap();
+    }
+    assert_eq!(
+        fleet.health(victim),
+        ShardHealth::Dead,
+        "the crash armed during the outage must fire on the rebuilt shard"
+    );
+    assert_eq!(fleet.lost_updates(), 0, "the replica still covers it");
+    faults::clear_all();
 }
 
 /// Satellite: the merged dead-letter surface aggregates quarantined

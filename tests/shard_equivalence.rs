@@ -19,7 +19,7 @@
 //! unset, counts 1/2/4 all run in-process.
 
 use ga_core::flow::FlowEngine;
-use ga_core::sharded::{shard_dir, shard_label, ShardedConfig, ShardedFlow};
+use ga_core::sharded::{shard_dir, shard_label, RebuildSource, ShardedConfig, ShardedFlow};
 use ga_graph::CsrBuilder;
 use ga_kernels::bfs::bfs_depths;
 use ga_kernels::cc::wcc_union_find;
@@ -162,6 +162,66 @@ fn sharded_recovery_reproduces_state_exactly() {
             std::fs::remove_dir_all(&base).ok();
         }
     }
+}
+
+/// A recovered fleet must stay durable: batches ingested *after* a
+/// recovery keep flowing through the WAL, dead-shard deliveries queue
+/// for rebuild instead of counting as loss, and a second crash +
+/// recovery still reproduces every batch ever acknowledged.
+#[test]
+fn recovered_fleet_stays_durable_across_restarts() {
+    let shards = 3;
+    let base = tmpdir("re-recover");
+    let batches = workload(17, false);
+    let third = batches.len() / 3;
+
+    let mut flow = ShardedFlow::builder(shards)
+        .durability_base(&base)
+        .build(1 << SCALE)
+        .unwrap();
+    for b in &batches[..third] {
+        flow.process_batch(b).unwrap();
+    }
+    drop(flow); // crash #1
+
+    // Recover and keep ingesting — durably, even though this handle
+    // came from recover() rather than build().
+    let mut flow = ShardedConfig::new(shards).recover(&base).unwrap();
+    for b in &batches[third..2 * third] {
+        flow.process_batch(b).unwrap();
+    }
+    // A dead shard on a recovered fleet queues its backlog for rebuild
+    // (durable semantics) rather than counting the updates as lost.
+    flow.kill_shard(1, "mid-life kill");
+    for b in &batches[2 * third..] {
+        flow.process_batch(b).unwrap();
+    }
+    assert_eq!(flow.lost_updates(), 0, "durable fleet must not lose updates");
+    assert!(
+        flow.pending_backlog()[1] > 0,
+        "dead shard's deliveries must queue for the rebuild"
+    );
+    let report = flow.rebuild_shard(1).expect("checkpoint+WAL must be a rebuild source");
+    assert_eq!(report.source, RebuildSource::WalReplay);
+    let want_graph = flow.merged_graph();
+    let want_props = flow.merged_props();
+    drop(flow); // crash #2, no checkpoint: the WAL alone must carry it
+
+    let recovered = ShardedConfig::new(shards).recover(&base).unwrap();
+    assert_eq!(
+        recovered.merged_graph(),
+        want_graph,
+        "post-recovery ingest must survive the second restart"
+    );
+    assert_eq!(recovered.merged_props(), want_props);
+
+    // And the whole history matches an unsharded reference.
+    let mut reference = FlowEngine::new(1 << SCALE);
+    for b in &batches {
+        reference.process_stream(b, |_| None, None);
+    }
+    assert_eq!(&recovered.merged_graph(), reference.graph());
+    std::fs::remove_dir_all(&base).ok();
 }
 
 #[test]
