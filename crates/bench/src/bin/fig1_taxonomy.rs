@@ -19,6 +19,10 @@ fn main() {
         "implemented here:   {}",
         all.iter().filter(|k| !k.impl_path.is_empty()).count()
     );
+    println!(
+        "with variants:      {}",
+        all.iter().filter(|k| !k.variants.is_empty()).count()
+    );
     println!();
     println!("Take-away (paper §II): no one kernel is universal, and");
     println!("streaming and batch kernel sets differ significantly.");

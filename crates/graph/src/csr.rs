@@ -256,6 +256,15 @@ impl CsrGraph {
         (self.offsets, self.targets, self.weights)
     }
 
+    /// Attach a pre-built reverse index (offsets + sources in the same
+    /// shape `CsrBuilder::reverse` produces). Used by the compressed
+    /// adjacency round-trip, which decodes both directions itself.
+    pub(crate) fn attach_reverse(&mut self, offsets: Vec<u64>, sources: Vec<VertexId>) {
+        debug_assert_eq!(offsets.len(), self.offsets.len());
+        debug_assert_eq!(*offsets.last().unwrap() as usize, sources.len());
+        self.rev = Some(Box::new(ReverseIndex { offsets, sources }));
+    }
+
     /// Total degree histogram: `hist[d]` = number of vertices with
     /// out-degree `d` (capped at `max_bucket`, overflow in last bucket).
     pub fn degree_histogram(&self, max_bucket: usize) -> Vec<usize> {

@@ -34,10 +34,13 @@
 
 #![warn(missing_docs)]
 
+pub mod adjacency;
+pub mod compress;
 pub mod counters;
 pub mod csr;
 pub mod dynamic;
 pub mod faults;
+pub mod frontier;
 pub mod gen;
 pub mod io;
 pub mod par;
@@ -46,9 +49,12 @@ pub mod snapshot;
 pub mod stats;
 pub mod sub;
 
+pub use adjacency::Adjacency;
+pub use compress::CompressedCsr;
 pub use counters::{OpCounters, OpSnapshot};
 pub use csr::{CsrBuilder, CsrGraph};
 pub use dynamic::{DynamicGraph, EdgeRecord};
+pub use frontier::Frontier;
 pub use par::Parallelism;
 pub use props::{PropValue, PropertyStore};
 pub use snapshot::{SnapshotCache, SnapshotStats};

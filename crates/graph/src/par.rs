@@ -1,13 +1,13 @@
 //! Parallel CSR iteration helpers.
 //!
 //! The batch kernels share three data-parallel access patterns over a
-//! [`CsrGraph`] snapshot: map a function over every vertex, expand a
+//! [`CsrGraph`](crate::CsrGraph) snapshot: map a function over every vertex, expand a
 //! frontier by claiming undiscovered neighbors, and sum a per-vertex
 //! quantity (typically degrees). Centralizing them here keeps each
 //! kernel's parallel variant small and makes the work-partitioning
 //! strategy uniform across kernels.
 
-use crate::csr::CsrGraph;
+use crate::adjacency::Adjacency;
 use crate::VertexId;
 use rayon::prelude::*;
 
@@ -61,25 +61,62 @@ where
 /// caller's state) whether this thread discovered `v`; claimed vertices
 /// form the next frontier. Discovery order within the frontier is
 /// preserved, so runs are deterministic up to claim races.
-pub fn par_frontier_expand<F>(g: &CsrGraph, frontier: &[VertexId], claim: F) -> Vec<VertexId>
+///
+/// Work is partitioned by *degree sum*, not vertex count: the frontier
+/// is pre-split into contiguous ranges of roughly equal total degree so
+/// one hub vertex cannot serialize a whole rayon chunk (the
+/// degree-aware partitioning half of the GAP frontier treatment).
+pub fn par_frontier_expand<G, F>(g: &G, frontier: &[VertexId], claim: F) -> Vec<VertexId>
 where
+    G: Adjacency,
     F: Fn(VertexId, VertexId) -> bool + Send + Sync,
 {
-    frontier
+    let chunks = degree_chunks(g, frontier, rayon::current_num_threads() * 4);
+    chunks
         .par_iter()
-        .flat_map_iter(|&u| {
+        .flat_map_iter(|&(s, e)| {
             let claim = &claim;
-            g.neighbors(u)
+            frontier[s..e]
                 .iter()
-                .filter_map(move |&v| claim(u, v).then_some(v))
+                .flat_map(move |&u| g.neighbors(u).filter(move |&v| claim(u, v)))
         })
         .collect()
+}
+
+/// Split `frontier` into at most `max_chunks` contiguous index ranges of
+/// roughly equal total out-degree. Ranges tile the slice in order, so
+/// chunked parallel iteration preserves sequential output order.
+pub fn degree_chunks<G: Adjacency>(
+    g: &G,
+    frontier: &[VertexId],
+    max_chunks: usize,
+) -> Vec<(usize, usize)> {
+    let max_chunks = max_chunks.max(1);
+    if frontier.is_empty() {
+        return Vec::new();
+    }
+    let total: u64 = frontier.iter().map(|&v| g.degree(v) as u64 + 1).sum();
+    let per_chunk = total.div_ceil(max_chunks as u64).max(1);
+    let mut chunks = Vec::with_capacity(max_chunks);
+    let (mut start, mut acc) = (0usize, 0u64);
+    for (i, &v) in frontier.iter().enumerate() {
+        acc += g.degree(v) as u64 + 1;
+        if acc >= per_chunk {
+            chunks.push((start, i + 1));
+            start = i + 1;
+            acc = 0;
+        }
+    }
+    if start < frontier.len() {
+        chunks.push((start, frontier.len()));
+    }
+    chunks
 }
 
 /// Sum of out-degrees over `frontier`, in parallel — the number of edges
 /// one expansion level will examine (used both for direction switching
 /// and for edge-traffic accounting).
-pub fn frontier_degree_sum(g: &CsrGraph, frontier: &[VertexId]) -> usize {
+pub fn frontier_degree_sum<G: Adjacency>(g: &G, frontier: &[VertexId]) -> usize {
     frontier.par_iter().map(|&v| g.degree(v)).sum()
 }
 
@@ -95,6 +132,7 @@ where
 mod tests {
     use super::*;
     use crate::gen;
+    use crate::CsrGraph;
 
     #[test]
     fn vertex_map_matches_sequential() {

@@ -24,6 +24,7 @@
 //! evolving-graph workloads are dominated by snapshot/rebuild overhead,
 //! not the kernels themselves.
 
+use crate::compress::CompressedCsr;
 use crate::dynamic::EdgeRecord;
 use crate::par::Parallelism;
 use crate::{CsrGraph, DynamicGraph, Timestamp, VertexId, Weight};
@@ -253,6 +254,7 @@ type SparePartsPool = Option<(Vec<u64>, Vec<VertexId>, Vec<Weight>)>;
 #[derive(Clone, Debug, Default)]
 pub struct SnapshotCache {
     prev: Option<CachedSnapshot>,
+    prev_compressed: Option<CachedCompressed>,
     spare: SparePartsPool,
     stats: SnapshotStats,
 }
@@ -263,6 +265,13 @@ struct CachedSnapshot {
     /// Graph version the snapshot reflects.
     version: u64,
     /// Vertex count at freeze time (rows at or past this are new).
+    num_vertices: usize,
+}
+
+#[derive(Clone, Debug)]
+struct CachedCompressed {
+    csr: Arc<CompressedCsr>,
+    version: u64,
     num_vertices: usize,
 }
 
@@ -287,7 +296,41 @@ impl SnapshotCache {
     /// Drop the cached snapshot; the next request is a full rebuild.
     pub fn invalidate(&mut self) {
         self.prev = None;
+        self.prev_compressed = None;
         self.spare = None;
+    }
+
+    /// Serve a delta-varint compressed snapshot of `g` (see
+    /// [`CompressedCsr`]). The plain CSR is produced (or delta-rebuilt)
+    /// through [`Self::snapshot`] first — reusing the row-wise freeze
+    /// path — then re-encoded; the compressed form is cached under the
+    /// same `(version, vertex-count)` key, so repeat requests at an
+    /// unchanged version cost nothing.
+    pub fn compressed_snapshot(
+        &mut self,
+        g: &DynamicGraph,
+        par: Parallelism,
+    ) -> Arc<CompressedCsr> {
+        let version = g.version();
+        let n = g.num_vertices();
+        if let Some(prev) = &self.prev_compressed {
+            if prev.version == version && prev.num_vertices == n {
+                self.stats.snapshots_served += 1;
+                self.stats.cache_hits += 1;
+                return Arc::clone(&prev.csr);
+            }
+        }
+        let csr = self.snapshot(g, par);
+        let compressed = Arc::new(CompressedCsr::from_csr(&csr));
+        // The re-encode writes the compressed arrays once — bandwidth
+        // the calibration prices alongside the plain copy step.
+        self.stats.mem_bytes += compressed.mem_bytes();
+        self.prev_compressed = Some(CachedCompressed {
+            csr: Arc::clone(&compressed),
+            version,
+            num_vertices: n,
+        });
+        compressed
     }
 
     /// Serve a snapshot of `g`, reusing the previous CSR's clean rows.
@@ -568,6 +611,22 @@ mod tests {
         g.insert_edge(1, 2, 1.5, 1000);
         let snap = c.snapshot(&g, Parallelism::Serial);
         assert_identical(&snap, &g.snapshot_legacy());
+    }
+
+    #[test]
+    fn compressed_snapshot_is_cached_and_exact() {
+        let mut g = rmat_dynamic(7, 6, 37);
+        let mut c = SnapshotCache::new();
+        let a = c.compressed_snapshot(&g, Parallelism::Serial);
+        let b = c.compressed_snapshot(&g, Parallelism::Serial);
+        assert!(Arc::ptr_eq(&a, &b), "unchanged version served from cache");
+        assert_identical(&a.to_csr(), &g.snapshot_legacy());
+        g.insert_edge(1, 2, 3.0, 888_888);
+        let d = c.compressed_snapshot(&g, Parallelism::Serial);
+        assert!(!Arc::ptr_eq(&a, &d), "version bump must re-encode");
+        assert_identical(&d.to_csr(), &g.snapshot_legacy());
+        // Re-encoding went through the plain cache's delta path.
+        assert_eq!(c.stats().delta_rebuilds, 1);
     }
 
     #[test]

@@ -7,7 +7,12 @@
 //!   unvisited vertex scans its in-neighbors for a frontier member),
 //! * [`bfs_direction_optimizing`] — Beamer-style hybrid that switches
 //!   bottom-up when the frontier grows past a fraction of the edges, the
-//!   strategy GRAPH500 winners use on skewed (R-MAT) graphs.
+//!   strategy GRAPH500 winners use on skewed (R-MAT) graphs. Frontiers
+//!   live in the shared [`Frontier`] bitmap + sparse-list structure.
+//!
+//! Every engine is generic over [`Adjacency`], so it runs unchanged —
+//! and bit-identically — over a plain [`CsrGraph`] or a delta-varint
+//! [`ga_graph::CompressedCsr`].
 //!
 //! All return a [`BfsResult`] with parent pointers and depths; the
 //! streaming O(1)-event variant in Fig. 1 corresponds to inspecting
@@ -16,7 +21,7 @@
 use crate::ctx::{Budget, Completion, KernelCtx};
 use crate::UNREACHED;
 use ga_graph::par::{frontier_degree_sum, par_frontier_expand};
-use ga_graph::{CsrGraph, VertexId};
+use ga_graph::{Adjacency, CsrGraph, Frontier, VertexId};
 use std::collections::VecDeque;
 
 /// Queue pops between budget consults in the serial engine.
@@ -68,13 +73,13 @@ impl BfsResult {
 }
 
 /// Top-down queue BFS from `src`.
-pub fn bfs(g: &CsrGraph, src: VertexId) -> BfsResult {
+pub fn bfs<G: Adjacency>(g: &G, src: VertexId) -> BfsResult {
     bfs_budgeted(g, src, &Budget::unlimited())
 }
 
 /// Top-down queue BFS that consults `budget` every ~1k pops and stops
 /// with a typed partial result (covered frontier so far) on exhaustion.
-pub fn bfs_budgeted(g: &CsrGraph, src: VertexId, budget: &Budget) -> BfsResult {
+pub fn bfs_budgeted<G: Adjacency>(g: &G, src: VertexId, budget: &Budget) -> BfsResult {
     let n = g.num_vertices();
     let mut depth = vec![UNREACHED; n];
     let mut parent = vec![UNREACHED as VertexId; n];
@@ -96,7 +101,7 @@ pub fn bfs_budgeted(g: &CsrGraph, src: VertexId, budget: &Budget) -> BfsResult {
             }
         }
         edges += g.degree(u) as u64;
-        for &v in g.neighbors(u) {
+        for v in g.neighbors(u) {
             if depth[v as usize] == UNREACHED {
                 depth[v as usize] = depth[u as usize] + 1;
                 parent[v as usize] = u;
@@ -116,46 +121,41 @@ pub fn bfs_budgeted(g: &CsrGraph, src: VertexId, budget: &Budget) -> BfsResult {
 /// Level-synchronous bottom-up BFS. Requires the reverse index (or an
 /// undirected graph, where out-neighbors suffice); falls back to
 /// out-neighbors when no reverse index is present.
-pub fn bfs_bottom_up(g: &CsrGraph, src: VertexId) -> BfsResult {
+pub fn bfs_bottom_up<G: Adjacency>(g: &G, src: VertexId) -> BfsResult {
     let n = g.num_vertices();
     let mut depth = vec![UNREACHED; n];
     let mut parent = vec![UNREACHED as VertexId; n];
-    let mut in_frontier = vec![false; n];
+    let mut frontier = Frontier::new(n);
     depth[src as usize] = 0;
     parent[src as usize] = src;
-    in_frontier[src as usize] = true;
+    frontier.insert(src);
     let mut reached = 1;
     let mut level = 0u32;
-    // Two bitmaps swapped between levels; `next` is cleared (O(n) memset,
-    // no allocation) instead of re-allocated each level.
-    let mut next = vec![false; n];
+    // Two frontiers swapped between levels; `next` is cleared in
+    // O(frontier) instead of re-allocated each level.
+    let mut next = Frontier::new(n);
     loop {
-        let mut any = false;
         for v in 0..n as VertexId {
             if depth[v as usize] != UNREACHED {
                 continue;
             }
-            let preds: &[VertexId] = if g.has_reverse() {
-                g.in_neighbors(v)
+            let found = if g.has_reverse() {
+                bottom_up_scan(g.in_neighbors(v), &frontier)
             } else {
-                g.neighbors(v)
+                bottom_up_scan(g.neighbors(v), &frontier)
             };
-            for &u in preds {
-                if in_frontier[u as usize] {
-                    depth[v as usize] = level + 1;
-                    parent[v as usize] = u;
-                    next[v as usize] = true;
-                    reached += 1;
-                    any = true;
-                    break;
-                }
+            if let Some(u) = found {
+                depth[v as usize] = level + 1;
+                parent[v as usize] = u;
+                next.insert(v);
+                reached += 1;
             }
         }
-        if !any {
+        if next.is_empty() {
             break;
         }
-        std::mem::swap(&mut in_frontier, &mut next);
-        next.fill(false);
+        std::mem::swap(&mut frontier, &mut next);
+        next.clear();
         level += 1;
     }
     BfsResult {
@@ -166,12 +166,26 @@ pub fn bfs_bottom_up(g: &CsrGraph, src: VertexId) -> BfsResult {
     }
 }
 
+/// First predecessor of a bottom-up candidate found in the frontier.
+#[inline]
+fn bottom_up_scan(
+    mut preds: impl Iterator<Item = VertexId>,
+    frontier: &Frontier,
+) -> Option<VertexId> {
+    preds.find(|&u| frontier.contains(u))
+}
+
 /// Direction-optimizing BFS (Beamer): top-down while the frontier is
 /// small, bottom-up once `frontier_edges > total_edges / alpha`.
 ///
+/// The frontier's dual [`Frontier`] representation serves both modes:
+/// the sparse list drives top-down expansion in discovery order, the
+/// bitmap answers the bottom-up membership probes in O(1), and
+/// [`Frontier::edge_sum`] feeds the switch heuristic.
+///
 /// `alpha` controls the switch threshold; 15 matches the GAP benchmark
 /// suite default.
-pub fn bfs_direction_optimizing(g: &CsrGraph, src: VertexId, alpha: usize) -> BfsResult {
+pub fn bfs_direction_optimizing<G: Adjacency>(g: &G, src: VertexId, alpha: usize) -> BfsResult {
     let n = g.num_vertices();
     let m = g.num_edges().max(1);
     let mut depth = vec![UNREACHED; n];
@@ -179,53 +193,39 @@ pub fn bfs_direction_optimizing(g: &CsrGraph, src: VertexId, alpha: usize) -> Bf
     depth[src as usize] = 0;
     parent[src as usize] = src;
     let mut reached = 1;
-    let mut frontier: Vec<VertexId> = vec![src];
+    let mut frontier = Frontier::new(n);
+    frontier.insert(src);
+    let mut next = Frontier::new(n);
     let mut level = 0u32;
-    // Lazily-allocated frontier bitmap reused across bottom-up levels;
-    // after each sweep only the frontier's bits are cleared (O(frontier),
-    // not O(n)) so repeated switches stay allocation-free.
-    let mut in_frontier: Vec<bool> = Vec::new();
     while !frontier.is_empty() {
-        let frontier_edges = frontier_degree_sum(g, &frontier);
+        let frontier_edges = frontier.edge_sum(g) as usize;
         let bottom_up = frontier_edges * alpha > m && g.has_reverse();
-        let mut next = Vec::new();
         if bottom_up {
-            if in_frontier.is_empty() {
-                in_frontier = vec![false; n];
-            }
-            for &v in &frontier {
-                in_frontier[v as usize] = true;
-            }
             for v in 0..n as VertexId {
                 if depth[v as usize] != UNREACHED {
                     continue;
                 }
-                for &u in g.in_neighbors(v) {
-                    if in_frontier[u as usize] {
-                        depth[v as usize] = level + 1;
-                        parent[v as usize] = u;
-                        next.push(v);
-                        reached += 1;
-                        break;
-                    }
+                if let Some(u) = bottom_up_scan(g.in_neighbors(v), &frontier) {
+                    depth[v as usize] = level + 1;
+                    parent[v as usize] = u;
+                    next.insert(v);
+                    reached += 1;
                 }
             }
-            for &v in &frontier {
-                in_frontier[v as usize] = false;
-            }
         } else {
-            for &u in &frontier {
-                for &v in g.neighbors(u) {
+            for u in frontier.iter() {
+                for v in g.neighbors(u) {
                     if depth[v as usize] == UNREACHED {
                         depth[v as usize] = level + 1;
                         parent[v as usize] = u;
-                        next.push(v);
+                        next.insert(v);
                         reached += 1;
                     }
                 }
             }
         }
-        frontier = next;
+        std::mem::swap(&mut frontier, &mut next);
+        next.clear();
         level += 1;
     }
     BfsResult {
@@ -238,7 +238,7 @@ pub fn bfs_direction_optimizing(g: &CsrGraph, src: VertexId, alpha: usize) -> Bf
 
 /// Depths only, via the engine best suited to the graph (hybrid when a
 /// reverse index exists, top-down otherwise).
-pub fn bfs_depths(g: &CsrGraph, src: VertexId) -> Vec<u32> {
+pub fn bfs_depths<G: Adjacency>(g: &G, src: VertexId) -> Vec<u32> {
     if g.has_reverse() {
         bfs_direction_optimizing(g, src, 15).depth
     } else {
@@ -250,7 +250,7 @@ pub fn bfs_depths(g: &CsrGraph, src: VertexId) -> Vec<u32> {
 /// with rayon, vertices claimed by atomic compare-exchange on the
 /// parent array (the standard shared-memory formulation; parents may
 /// differ from the sequential engines but depths are identical).
-pub fn bfs_parallel(g: &CsrGraph, src: VertexId) -> BfsResult {
+pub fn bfs_parallel<G: Adjacency>(g: &G, src: VertexId) -> BfsResult {
     bfs_parallel_budgeted(g, src, &Budget::unlimited())
 }
 
@@ -258,7 +258,7 @@ pub fn bfs_parallel(g: &CsrGraph, src: VertexId) -> BfsResult {
 /// boundary (the natural cancellation point of a level-synchronous
 /// engine); on exhaustion the covered levels are returned as a partial
 /// result.
-pub fn bfs_parallel_budgeted(g: &CsrGraph, src: VertexId, budget: &Budget) -> BfsResult {
+pub fn bfs_parallel_budgeted<G: Adjacency>(g: &G, src: VertexId, budget: &Budget) -> BfsResult {
     use std::sync::atomic::{AtomicU32, Ordering};
     let n = g.num_vertices();
     let parent: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(UNREACHED)).collect();
@@ -308,32 +308,35 @@ pub fn bfs_parallel_budgeted(g: &CsrGraph, src: VertexId, budget: &Budget) -> Bf
 ///
 /// Depths and reach counts are identical across both engines; parallel
 /// parent pointers may pick a different (equally valid) BFS tree.
-pub fn bfs_with(g: &CsrGraph, src: VertexId, ctx: &KernelCtx) -> BfsResult {
+pub fn bfs_with<G: Adjacency>(g: &G, src: VertexId, ctx: &KernelCtx) -> BfsResult {
     let r = if ctx.parallelism.use_parallel(g.num_edges()) {
         bfs_parallel_budgeted(g, src, &ctx.budget)
     } else {
         bfs_budgeted(g, src, &ctx.budget)
     };
     // Top-down BFS scans every out-edge of every reached vertex once.
-    let edges: u64 = r
-        .depth
-        .iter()
-        .enumerate()
-        .filter(|&(_, &d)| d != UNREACHED)
-        .map(|(v, _)| g.degree(v as VertexId) as u64)
-        .sum();
+    let (mut edges, mut adj_bytes) = (0u64, 0u64);
+    for (v, _) in r.depth.iter().enumerate().filter(|&(_, &d)| d != UNREACHED) {
+        edges += g.degree(v as VertexId) as u64;
+        adj_bytes += g.row_bytes(v as VertexId);
+    }
     let reached = r.reached as u64;
-    // Per edge: one id load + one depth check (~12 bytes, ~2 ops); per
-    // claimed vertex: depth+parent+queue writes (~16 bytes, ~3 ops).
-    ctx.counters
-        .flush(2 * edges + 3 * reached, 12 * edges + 16 * reached, edges);
+    // Per edge: one id load (the adjacency bytes actually streamed —
+    // 4/entry on plain CSR, the encoded row length on compressed) plus
+    // one depth check (~8 bytes, ~2 ops); per claimed vertex:
+    // depth+parent+queue writes (~16 bytes, ~3 ops).
+    ctx.counters.flush(
+        2 * edges + 3 * reached,
+        adj_bytes + 8 * edges + 16 * reached,
+        edges,
+    );
     r
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ga_graph::{gen, CsrBuilder};
+    use ga_graph::{gen, CompressedCsr, CsrBuilder};
 
     fn rmat_graph(scale: u32) -> CsrGraph {
         let edges = gen::rmat(scale, (1usize << scale) * 8, gen::RmatParams::GRAPH500, 5);
@@ -386,6 +389,19 @@ mod tests {
             a.validate(&g, src).unwrap();
             b.validate(&g, src).unwrap();
             c.validate(&g, src).unwrap();
+        }
+    }
+
+    #[test]
+    fn compressed_adjacency_is_bit_identical() {
+        let g = rmat_graph(9);
+        let c = CompressedCsr::from_csr(&g);
+        for &src in &[0u32, 7, 100] {
+            let plain = bfs_direction_optimizing(&g, src, 15);
+            let comp = bfs_direction_optimizing(&c, src, 15);
+            assert_eq!(plain.depth, comp.depth, "src={src}");
+            assert_eq!(plain.parent, comp.parent, "src={src}");
+            assert_eq!(bfs(&g, src).parent, bfs(&c, src).parent);
         }
     }
 

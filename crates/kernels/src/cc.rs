@@ -12,8 +12,8 @@
 
 use crate::ctx::{Budget, KernelCtx};
 use crate::UnionFind;
-use ga_graph::par::par_vertex_map;
-use ga_graph::{CsrGraph, VertexId};
+use ga_graph::{Adjacency, CsrGraph, Frontier, VertexId};
+use rayon::prelude::*;
 
 /// Component labelling.
 #[derive(Clone, Debug, PartialEq)]
@@ -73,10 +73,13 @@ fn normalize(mut label: Vec<VertexId>) -> Components {
 }
 
 /// WCC by union-find; edge direction ignored.
-pub fn wcc_union_find(g: &CsrGraph) -> Components {
-    let mut uf = UnionFind::new(g.num_vertices());
-    for (u, v) in g.edges() {
-        uf.union(u, v);
+pub fn wcc_union_find<G: Adjacency>(g: &G) -> Components {
+    let n = g.num_vertices();
+    let mut uf = UnionFind::new(n);
+    for u in 0..n as VertexId {
+        for v in g.neighbors(u) {
+            uf.union(u, v);
+        }
     }
     let label = uf.labels();
     let count = uf.num_sets();
@@ -86,48 +89,70 @@ pub fn wcc_union_find(g: &CsrGraph) -> Components {
 /// WCC by iterative min-label propagation (needs symmetric edges to
 /// converge to true WCC on directed inputs; pass an undirected snapshot
 /// or a graph with a reverse index).
-pub fn wcc_label_prop(g: &CsrGraph) -> Components {
+pub fn wcc_label_prop<G: Adjacency>(g: &G) -> Components {
     normalize(label_prop_serial(g, &Budget::unlimited()).0)
 }
 
 /// Per-sweep cost of label propagation — the formula `wcc_with` flushes
 /// into the counters and the budget checks consult.
-fn sweep_cost(g: &CsrGraph) -> u64 {
+fn sweep_cost<G: Adjacency>(g: &G) -> u64 {
     let m = g.num_edges() as u64 * if g.has_reverse() { 2 } else { 1 };
     2 * m + g.num_vertices() as u64
+}
+
+/// Activate everyone who reads `u`'s label next sweep: out-neighbors
+/// plus in-neighbors (when a reverse index exists; without one, label
+/// propagation already requires symmetric edges, so out covers both).
+fn activate_readers<G: Adjacency>(g: &G, u: VertexId, next: &mut Frontier) {
+    for v in g.neighbors(u) {
+        next.insert(v);
+    }
+    if g.has_reverse() {
+        for v in g.in_neighbors(u) {
+            next.insert(v);
+        }
+    }
 }
 
 /// Serial Gauss–Seidel min-label sweeps; returns raw labels and sweep
 /// count. Consults `budget` at sweep boundaries: a budget stop leaves a
 /// valid coarser partition (labels propagated as far as the completed
-/// sweeps reached).
-fn label_prop_serial(g: &CsrGraph, budget: &Budget) -> (Vec<VertexId>, usize) {
+/// sweeps reached). Sweeps after the first run over a [`Frontier`] of
+/// *affected* vertices — those adjacent to a label that changed last
+/// sweep — instead of rescanning the whole graph; vertices outside the
+/// set provably cannot improve, so the fixpoint is unchanged.
+fn label_prop_serial<G: Adjacency>(g: &G, budget: &Budget) -> (Vec<VertexId>, usize) {
     let n = g.num_vertices();
     let cost = sweep_cost(g);
     let mut label: Vec<VertexId> = (0..n as VertexId).collect();
     let mut sweeps = 0;
-    let mut changed = true;
-    while changed {
+    let mut active = Frontier::new(n);
+    let mut next_active = Frontier::new(n);
+    for v in 0..n as VertexId {
+        active.insert(v);
+    }
+    while !active.is_empty() {
         if budget.check(sweeps as u64 * cost).is_partial() {
             break;
         }
-        changed = false;
         sweeps += 1;
-        for u in g.vertices() {
+        next_active.clear();
+        for u in active.iter_ascending() {
             let mut best = label[u as usize];
-            for &v in g.neighbors(u) {
+            for v in g.neighbors(u) {
                 best = best.min(label[v as usize]);
             }
             if g.has_reverse() {
-                for &v in g.in_neighbors(u) {
+                for v in g.in_neighbors(u) {
                     best = best.min(label[v as usize]);
                 }
             }
             if best < label[u as usize] {
                 label[u as usize] = best;
-                changed = true;
+                activate_readers(g, u, &mut next_active);
             }
         }
+        std::mem::swap(&mut active, &mut next_active);
     }
     (label, sweeps)
 }
@@ -138,40 +163,63 @@ fn label_prop_serial(g: &CsrGraph, budget: &Budget) -> (Vec<VertexId>, usize) {
 /// but converges to the same unique fixpoint — `label[v]` = min vertex
 /// id in v's component — so after `normalize` the labels are
 /// bit-identical to [`wcc_label_prop`]'s.
-pub fn wcc_label_prop_parallel(g: &CsrGraph) -> Components {
+pub fn wcc_label_prop_parallel<G: Adjacency>(g: &G) -> Components {
     normalize(label_prop_parallel(g, &Budget::unlimited()).0)
 }
 
 /// Parallel Jacobi min-label sweeps; returns raw labels and sweep count.
 /// Budget handling mirrors [`label_prop_serial`].
-fn label_prop_parallel(g: &CsrGraph, budget: &Budget) -> (Vec<VertexId>, usize) {
+///
+/// Sweeps after the first scan only the [`Frontier`] of affected
+/// vertices, split by degree sum across the pool. An inactive vertex's
+/// neighborhood is unchanged since it last settled, so its full-Jacobi
+/// update would be a no-op: per-sweep labels — and therefore the sweep
+/// count — are identical to the dense formulation's.
+fn label_prop_parallel<G: Adjacency>(g: &G, budget: &Budget) -> (Vec<VertexId>, usize) {
     let n = g.num_vertices();
     let cost = sweep_cost(g);
     let mut label: Vec<VertexId> = (0..n as VertexId).collect();
     let mut sweeps = 0;
-    loop {
+    let mut active = Frontier::new(n);
+    let mut next_active = Frontier::new(n);
+    for v in 0..n as VertexId {
+        active.insert(v);
+    }
+    while !active.is_empty() {
         if budget.check(sweeps as u64 * cost).is_partial() {
-            return (label, sweeps);
+            break;
         }
         sweeps += 1;
-        let prev = &label;
-        let next = par_vertex_map(n, |u| {
-            let mut best = prev[u as usize];
-            for &v in g.neighbors(u) {
-                best = best.min(prev[v as usize]);
-            }
-            if g.has_reverse() {
-                for &v in g.in_neighbors(u) {
-                    best = best.min(prev[v as usize]);
-                }
-            }
-            best
-        });
-        if next == label {
-            return (label, sweeps);
+        // Gather improving updates against the previous sweep's labels
+        // (reads only), then commit serially.
+        let chunks = active.degree_chunks(g, rayon::current_num_threads() * 4);
+        let updates: Vec<(VertexId, VertexId)> = chunks
+            .par_iter()
+            .flat_map_iter(|&(s, e)| {
+                active.as_slice()[s..e].iter().filter_map(|&u| {
+                    let mut best = label[u as usize];
+                    for v in g.neighbors(u) {
+                        best = best.min(label[v as usize]);
+                    }
+                    if g.has_reverse() {
+                        for v in g.in_neighbors(u) {
+                            best = best.min(label[v as usize]);
+                        }
+                    }
+                    (best < label[u as usize]).then_some((u, best))
+                })
+            })
+            .collect();
+        next_active.clear();
+        for &(u, l) in &updates {
+            label[u as usize] = l;
         }
-        label = next;
+        for &(u, _) in &updates {
+            activate_readers(g, u, &mut next_active);
+        }
+        std::mem::swap(&mut active, &mut next_active);
     }
+    (label, sweeps)
 }
 
 /// Instrumented, dispatching WCC: runs [`wcc_label_prop`] or
@@ -179,20 +227,32 @@ fn label_prop_parallel(g: &CsrGraph, budget: &Budget) -> (Vec<VertexId>, usize) 
 /// and flushes the propagation's cost into the context counters. Labels
 /// are identical across both engines (and match [`wcc_union_find`] on
 /// symmetric graphs).
-pub fn wcc_with(g: &CsrGraph, ctx: &KernelCtx) -> Components {
+pub fn wcc_with<G: Adjacency>(g: &G, ctx: &KernelCtx) -> Components {
     let (label, sweeps) = if ctx.parallelism.use_parallel(g.num_edges()) {
         label_prop_parallel(g, &ctx.budget)
     } else {
         label_prop_serial(g, &ctx.budget)
     };
-    // Each sweep scans every out-edge (both directions when a reverse
-    // index exists): one label load + min (~2 ops, 8 bytes) per edge,
-    // plus a label read/write (~16 bytes) per vertex.
-    let m = g.num_edges() as u64 * if g.has_reverse() { 2 } else { 1 };
+    // Each sweep scans every out-row (both directions when a reverse
+    // index exists) — charged at the representation's actual adjacency
+    // bytes — plus one label load + min (~2 ops, 4 bytes) per edge and a
+    // label read/write (~16 bytes) per vertex. Dense-sweep upper bound:
+    // frontier'd sweeps touch a subset.
     let nv = g.num_vertices() as u64;
+    let m = g.num_edges() as u64 * if g.has_reverse() { 2 } else { 1 };
+    let adj_bytes: u64 = (0..nv as VertexId)
+        .map(|v| {
+            g.row_bytes(v)
+                + if g.has_reverse() {
+                    g.in_row_bytes(v)
+                } else {
+                    0
+                }
+        })
+        .sum();
     let s = sweeps as u64;
     ctx.counters
-        .flush(s * (2 * m + nv), s * (8 * m + 16 * nv), s * m);
+        .flush(s * (2 * m + nv), s * (adj_bytes + 4 * m + 16 * nv), s * m);
     normalize(label)
 }
 
@@ -221,14 +281,14 @@ const AFFOREST_SAMPLES: usize = 1024;
 /// only when edges are symmetric or a reverse index is present
 /// (skipped giant-component vertices rely on the other endpoint
 /// seeing the edge from its side).
-pub fn wcc_afforest(g: &CsrGraph) -> Components {
+pub fn wcc_afforest<G: Adjacency>(g: &G) -> Components {
     let n = g.num_vertices();
     let mut uf = UnionFind::new(n);
 
     // Phase 1: cheap partial linking.
     for r in 0..AFFOREST_NEIGHBOR_ROUNDS {
         for u in 0..n as VertexId {
-            if let Some(&v) = g.neighbors(u).get(r) {
+            if let Some(v) = g.neighbors(u).nth(r) {
                 uf.union(u, v);
             }
         }
@@ -255,16 +315,22 @@ pub fn wcc_afforest(g: &CsrGraph) -> Components {
     // Phase 3: finish everything outside the sampled giant component.
     // An edge {u,v} with u inside and v outside is still honored: v is
     // not skipped and sees the edge via symmetric adjacency or the
-    // reverse index.
+    // reverse index. The working set lives in a [`Frontier`] so the
+    // membership snapshot and the scan are separate passes (extra
+    // vertices merged into the giant component mid-scan only re-union
+    // already-connected pairs, which is a no-op).
+    let mut rest = Frontier::new(n);
     for u in 0..n as VertexId {
-        if skip_root == Some(uf.find(u)) {
-            continue;
+        if skip_root != Some(uf.find(u)) {
+            rest.insert(u);
         }
-        for &v in g.neighbors(u).iter().skip(AFFOREST_NEIGHBOR_ROUNDS) {
+    }
+    for u in rest.iter() {
+        for v in g.neighbors(u).skip(AFFOREST_NEIGHBOR_ROUNDS) {
             uf.union(u, v);
         }
         if g.has_reverse() {
-            for &v in g.in_neighbors(u) {
+            for v in g.in_neighbors(u) {
                 uf.union(u, v);
             }
         }
@@ -512,6 +578,35 @@ mod tests {
         let full = wcc_with(&g, &KernelCtx::parallel());
         assert!(ctx.budget.hits() >= 1);
         assert!(partial.count > full.count, "partial must be coarser");
+    }
+
+    #[test]
+    fn compressed_adjacency_is_bit_identical() {
+        let edges = gen::erdos_renyi(512, 1200, 3);
+        let g = CsrGraph::from_edges_undirected(512, &edges);
+        let c = ga_graph::CompressedCsr::from_csr(&g);
+        let a = wcc_with(&g, &KernelCtx::serial());
+        let b = wcc_with(&c, &KernelCtx::serial());
+        assert_eq!(a.label, b.label);
+        assert_eq!(a.count, b.count);
+        let ap = wcc_with(&g, &KernelCtx::parallel());
+        let bp = wcc_with(&c, &KernelCtx::parallel());
+        assert_eq!(ap.label, bp.label);
+        assert_eq!(a.label, ap.label, "serial and parallel engines agree");
+        assert_eq!(wcc_afforest(&g).label, wcc_afforest(&c).label);
+        assert_eq!(wcc_union_find(&g).label, wcc_afforest(&g).label);
+        // Compressed runs book fewer adjacency bytes, same op count.
+        let (pc, cc) = (KernelCtx::serial(), KernelCtx::serial());
+        wcc_with(&g, &pc);
+        wcc_with(&c, &cc);
+        let (ps, cs) = (pc.snapshot(), cc.snapshot());
+        assert_eq!(ps.cpu_ops, cs.cpu_ops);
+        assert!(
+            cs.mem_bytes < ps.mem_bytes,
+            "compressed books fewer bytes: {} vs {}",
+            cs.mem_bytes,
+            ps.mem_bytes
+        );
     }
 
     #[test]

@@ -1,20 +1,38 @@
 //! PageRank (Fig. 1 row "PR") — the canonical "compute a new property
 //! for each vertex" centrality kernel.
 //!
-//! Two engines:
+//! Three engines:
 //! * [`pagerank`] — synchronous pull-based power iteration,
 //!   rayon-parallel over vertices, with proper dangling-mass
-//!   redistribution so ranks always sum to 1;
+//!   redistribution so ranks always sum to 1; generic over
+//!   [`Adjacency`] so it runs bit-identically on plain or compressed
+//!   rows;
+//! * [`pagerank_blocked`] — the same power iteration cache-blocked the
+//!   GAP way: contributions are hoisted to one division per vertex and
+//!   the in-edges are laid out in (destination-block, source-block)
+//!   segments so each segment's reads and writes both fit in L2. Ranks
+//!   are **bit-identical** to [`pagerank`] at equal iteration counts;
 //! * [`pagerank_delta`] — Gauss–Southwell residual pushing, the
 //!   asynchronous formulation the streaming variant (`ga-stream`)
 //!   shares its update rule with.
 
 use crate::ctx::{Completion, KernelCtx};
 use ga_graph::par::par_vertex_map;
-use ga_graph::{CsrGraph, VertexId};
+use ga_graph::{Adjacency, CsrGraph, VertexId};
+use rayon::prelude::*;
 
 /// Pushes between budget consults in the delta engine.
 const BUDGET_CHECK_PUSHES: usize = 1024;
+
+/// Destination-block width for [`pagerank_blocked`]: 2^12 f64
+/// accumulators = 32 KiB, resident in L1d. Must stay ≤ 2^16 so a
+/// block-local destination index fits in a `u16` segment entry.
+const DST_BLOCK: usize = 1 << 12;
+
+/// Source-block width: the contribution slice a segment reads stays
+/// L2-resident (2^14 f64 = 128 KiB). Must stay ≤ 2^16 so a block-local
+/// source index fits in a `u16` segment entry.
+const SRC_BLOCK: usize = 1 << 14;
 
 /// Convergence/result record.
 #[derive(Clone, Debug)]
@@ -52,7 +70,7 @@ impl PageRankResult {
 ///
 /// Converges when the L1 change of a sweep drops below `tol`, or after
 /// `max_iters` sweeps.
-pub fn pagerank(g: &CsrGraph, damping: f64, tol: f64, max_iters: usize) -> PageRankResult {
+pub fn pagerank<G: Adjacency>(g: &G, damping: f64, tol: f64, max_iters: usize) -> PageRankResult {
     pagerank_with(g, damping, tol, max_iters, &KernelCtx::default())
 }
 
@@ -63,8 +81,8 @@ pub fn pagerank(g: &CsrGraph, damping: f64, tol: f64, max_iters: usize) -> PageR
 /// parallelized, while the dangling-mass and residual reductions — whose
 /// floating-point result depends on summation order — are computed
 /// serially in both modes.
-pub fn pagerank_with(
-    g: &CsrGraph,
+pub fn pagerank_with<G: Adjacency>(
+    g: &G,
     damping: f64,
     tol: f64,
     max_iters: usize,
@@ -100,7 +118,7 @@ pub fn pagerank_with(
         let base = (1.0 - damping) * inv_n + damping * dangling * inv_n;
         let pull = |v: VertexId| {
             let mut acc = 0.0;
-            for &u in g.in_neighbors(v) {
+            for u in g.in_neighbors(v) {
                 acc += rank[u as usize] / out_deg[u as usize];
             }
             base + damping * acc
@@ -114,14 +132,199 @@ pub fn pagerank_with(
         rank = new_rank;
         iters += 1;
     }
-    // Per sweep: every in-edge pulled once (one div + one add, ~16 bytes
-    // read), every vertex read + written (~24 bytes, ~4 ops).
-    let sweeps = iters as u64;
+    flush_power_iteration(g, ctx, iters as u64, m, nv);
+    PageRankResult {
+        rank,
+        work: iters,
+        residual,
+        completion,
+    }
+}
+
+/// Counter flush shared by the pull engines. Per sweep: every in-edge
+/// pulled once — the in-row adjacency bytes actually streamed (4/entry
+/// plain, the encoded length compressed) plus ~12 bytes of rank math —
+/// and every vertex read + written (~24 bytes, ~4 ops).
+fn flush_power_iteration<G: Adjacency>(g: &G, ctx: &KernelCtx, sweeps: u64, m: u64, nv: u64) {
+    let in_adj_bytes: u64 = (0..nv as VertexId).map(|v| g.in_row_bytes(v)).sum();
     ctx.counters.flush(
         sweeps * (2 * m + 4 * nv),
-        sweeps * (16 * m + 24 * nv),
+        sweeps * (in_adj_bytes + 12 * m + 24 * nv),
         sweeps * m,
     );
+}
+
+/// Cache-blocked pull PageRank (see [`pagerank_blocked_with`]).
+pub fn pagerank_blocked(g: &CsrGraph, damping: f64, tol: f64, max_iters: usize) -> PageRankResult {
+    pagerank_blocked_with(g, damping, tol, max_iters, &KernelCtx::default())
+}
+
+/// Cache-blocked pull power iteration over the row-wise CSR — the GAP
+/// PageRank formulation.
+///
+/// Two changes over [`pagerank_with`], neither of which alters a single
+/// bit of the result:
+///
+/// 1. **Hoisted contributions**: `rank[u] / out_deg[u]` is computed once
+///    per vertex per sweep instead of once per edge (same operands →
+///    the same IEEE value), halving the random bytes each edge reads
+///    (one f64 instead of rank + out-degree).
+/// 2. **L2 blocking**: in-edges are laid out once per call into
+///    (destination-block × source-block) segments of block-local
+///    `(u16, u16)` index pairs — 4 bytes per edge, the same stream
+///    width as a plain CSR row. A sweep walks each destination block's
+///    segments in ascending source order, so every edge's read lands
+///    in an L2-resident contribution slice and its write in an
+///    L1-resident accumulator block. Per destination the additions
+///    happen in ascending source order — exactly the order
+///    [`pagerank_with`] pulls `in_neighbors` — so sums are bit-identical.
+///
+/// Dangling-mass and residual reductions stay serial and identical, and
+/// the sweep-boundary budget formula matches [`pagerank_with`], so at
+/// equal iteration counts the two engines return identical results in
+/// less wall time here.
+pub fn pagerank_blocked_with(
+    g: &CsrGraph,
+    damping: f64,
+    tol: f64,
+    max_iters: usize,
+    ctx: &KernelCtx,
+) -> PageRankResult {
+    assert!(g.has_reverse(), "pull PageRank needs a reverse index");
+    let n = g.num_vertices();
+    if n == 0 {
+        return PageRankResult {
+            rank: vec![],
+            work: 0,
+            residual: 0.0,
+            completion: Completion::Complete,
+        };
+    }
+    let parallel = ctx.parallelism.use_parallel(g.num_edges());
+    let (m, nv) = (g.num_edges() as u64, n as u64);
+    let inv_n = 1.0 / n as f64;
+    let mut rank = vec![inv_n; n];
+    let out_deg: Vec<f64> = (0..n as VertexId).map(|v| g.degree(v) as f64).collect();
+
+    // One-time blocked edge layout. segs[s] of a destination block
+    // holds (local dst, local src) pairs whose source falls in source
+    // block s; appending in (dst, in-row) order keeps each
+    // destination's sources ascending within and across segments.
+    // Block-local u16 indices keep the edge stream at 4 B/edge.
+    let num_src_blocks = n.div_ceil(SRC_BLOCK).max(1);
+    let dst_ranges: Vec<(usize, usize)> = (0..n)
+        .step_by(DST_BLOCK)
+        .map(|lo| (lo, (lo + DST_BLOCK).min(n)))
+        .collect();
+    let build = |&(lo, hi): &(usize, usize)| -> Vec<Vec<(u16, u16)>> {
+        let mut segs = vec![Vec::new(); num_src_blocks];
+        for v in lo..hi {
+            let local = (v - lo) as u16;
+            for &u in g.in_neighbors(v as VertexId) {
+                segs[u as usize / SRC_BLOCK].push((local, (u as usize % SRC_BLOCK) as u16));
+            }
+        }
+        segs
+    };
+    let blocks: Vec<Vec<Vec<(u16, u16)>>> = if parallel {
+        dst_ranges.par_iter().map(build).collect()
+    } else {
+        dst_ranges.iter().map(build).collect()
+    };
+
+    // Two bit-identical inner loops (the summation order is the same
+    // either way): on skewed graphs a hub destination's additions form
+    // a long store-forwarding chain, so runs of one destination are
+    // accumulated in a register; on flat graphs runs are short and the
+    // run-end branch mispredicts cost more than the stores save.
+    let hub_runs = (0..n as VertexId).map(|v| g.in_degree(v)).max() >= Some(128);
+
+    let mut contrib = vec![0.0f64; n];
+    let mut iters = 0;
+    let mut residual = f64::INFINITY;
+    let mut completion = Completion::Complete;
+    while iters < max_iters && residual > tol {
+        completion = ctx.budget.check(iters as u64 * (2 * m + 4 * nv));
+        if completion.is_partial() {
+            break;
+        }
+        let dangling: f64 = (0..n).filter(|&v| out_deg[v] == 0.0).map(|v| rank[v]).sum();
+        let base = (1.0 - damping) * inv_n + damping * dangling * inv_n;
+        for u in 0..n {
+            // Dangling vertices get an infinite quotient here, but they
+            // never appear as anyone's in-neighbor, so it is never read.
+            contrib[u] = rank[u] / out_deg[u];
+        }
+        let mut new_rank = vec![0.0f64; n];
+        // Recursive join over destination blocks: each level splits the
+        // (rank chunk, segments, range) triples in half so disjoint
+        // `&mut` rank slices fan out across the pool.
+        fn sweep<F>(
+            out: &mut [f64],
+            blocks: &[Vec<Vec<(u16, u16)>>],
+            ranges: &[(usize, usize)],
+            parallel: bool,
+            f: &F,
+        ) where
+            F: Fn(&mut [f64], &[Vec<(u16, u16)>], (usize, usize)) + Sync,
+        {
+            match blocks.len() {
+                0 => {}
+                1 => f(out, &blocks[0], ranges[0]),
+                k => {
+                    let mid = k / 2;
+                    let (lo_out, hi_out) = out.split_at_mut(ranges[mid].0 - ranges[0].0);
+                    let (lb, hb) = blocks.split_at(mid);
+                    let (lr, hr) = ranges.split_at(mid);
+                    if parallel {
+                        rayon::join(
+                            || sweep(lo_out, lb, lr, parallel, f),
+                            || sweep(hi_out, hb, hr, parallel, f),
+                        );
+                    } else {
+                        sweep(lo_out, lb, lr, parallel, f);
+                        sweep(hi_out, hb, hr, parallel, f);
+                    }
+                }
+            }
+        }
+        let sweep_block = |out: &mut [f64], segs: &[Vec<(u16, u16)>], (lo, hi): (usize, usize)| {
+            let mut acc = vec![0.0f64; hi - lo];
+            for (s, seg) in segs.iter().enumerate() {
+                let window = &contrib[s * SRC_BLOCK..((s + 1) * SRC_BLOCK).min(contrib.len())];
+                if hub_runs {
+                    // Entries for one destination are consecutive, so
+                    // each run accumulates in a register (seeded from
+                    // the partial sum so the addition chain — and
+                    // therefore every bit — matches the plain pull
+                    // order) instead of bouncing through an
+                    // accumulator store per edge.
+                    let mut i = 0;
+                    while i < seg.len() {
+                        let local = seg[i].0 as usize;
+                        let mut a = acc[local];
+                        while i < seg.len() && seg[i].0 as usize == local {
+                            a += window[seg[i].1 as usize];
+                            i += 1;
+                        }
+                        acc[local] = a;
+                    }
+                } else {
+                    for &(local, u) in seg {
+                        acc[local as usize] += window[u as usize];
+                    }
+                }
+            }
+            for (o, a) in out.iter_mut().zip(acc) {
+                *o = base + damping * a;
+            }
+        };
+        sweep(&mut new_rank, &blocks, &dst_ranges, parallel, &sweep_block);
+        residual = (0..n).map(|v| (new_rank[v] - rank[v]).abs()).sum();
+        rank = new_rank;
+        iters += 1;
+    }
+    flush_power_iteration(g, ctx, iters as u64, m, nv);
     PageRankResult {
         rank,
         work: iters,
@@ -134,7 +337,7 @@ pub fn pagerank_with(
 /// push any residual above `tol * (1/n)` to out-neighbors. Works on
 /// forward edges only (no reverse index needed). Ranks are normalized to
 /// sum to 1 on return.
-pub fn pagerank_delta(g: &CsrGraph, damping: f64, tol: f64) -> PageRankResult {
+pub fn pagerank_delta<G: Adjacency>(g: &G, damping: f64, tol: f64) -> PageRankResult {
     pagerank_delta_with(g, damping, tol, &KernelCtx::serial())
 }
 
@@ -142,8 +345,8 @@ pub fn pagerank_delta(g: &CsrGraph, damping: f64, tol: f64) -> PageRankResult {
 /// inherently sequential (each push depends on the residuals left by the
 /// previous one), so the context's parallelism knob is ignored; its
 /// counters still receive the exact push/edge traffic.
-pub fn pagerank_delta_with(
-    g: &CsrGraph,
+pub fn pagerank_delta_with<G: Adjacency>(
+    g: &G,
     damping: f64,
     tol: f64,
     ctx: &KernelCtx,
@@ -168,6 +371,7 @@ pub fn pagerank_delta_with(
     let mut queued = vec![true; n];
     let mut pushes = 0usize;
     let mut edges_scanned = 0u64;
+    let mut adj_bytes = 0u64;
     let mut completion = Completion::Complete;
     // Budget checks are amortized: one consult per ~1k pushes.
     let mut next_check = BUDGET_CHECK_PUSHES;
@@ -192,8 +396,9 @@ pub fn pagerank_delta_with(
             continue; // dangling mass handled by final normalization
         }
         edges_scanned += deg as u64;
+        adj_bytes += g.row_bytes(v);
         let share = damping * r / deg as f64;
-        for &u in g.neighbors(v) {
+        for u in g.neighbors(v) {
             residual[u as usize] += share;
             if residual[u as usize] >= threshold && !queued[u as usize] {
                 queued[u as usize] = true;
@@ -209,10 +414,11 @@ pub fn pagerank_delta_with(
     }
     let max_res = residual.iter().cloned().fold(0.0, f64::max);
     // Per push: residual/rank updates (~4 ops, 32 bytes); per edge
-    // scanned: one residual add + threshold check (~3 ops, 20 bytes).
+    // scanned: the adjacency bytes actually streamed plus one residual
+    // add + threshold check (~3 ops, 16 bytes of residual traffic).
     ctx.counters.flush(
         4 * pushes as u64 + 3 * edges_scanned,
-        32 * pushes as u64 + 20 * edges_scanned,
+        32 * pushes as u64 + adj_bytes + 16 * edges_scanned,
         edges_scanned,
     );
     PageRankResult {
@@ -226,7 +432,7 @@ pub fn pagerank_delta_with(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ga_graph::{gen, CsrBuilder};
+    use ga_graph::{gen, CompressedCsr, CsrBuilder};
 
     fn with_reverse(n: usize, edges: &[(u32, u32)]) -> CsrGraph {
         CsrBuilder::new(n)
@@ -297,6 +503,63 @@ mod tests {
     }
 
     #[test]
+    fn blocked_is_bit_identical_to_pull() {
+        let edges = gen::rmat(11, 10 << 11, gen::RmatParams::GRAPH500, 9);
+        let g = CsrBuilder::new(1 << 11)
+            .edges(edges.iter().copied())
+            .symmetrize(true)
+            .dedup(true)
+            .drop_self_loops(true)
+            .reverse(true)
+            .build();
+        // Fixed iteration count (tol 0 so neither engine converges
+        // early) — the protocol the bench harness uses.
+        for ctx in [KernelCtx::serial(), KernelCtx::parallel()] {
+            let plain = pagerank_with(&g, 0.85, 0.0, 20, &ctx);
+            let blocked = pagerank_blocked_with(&g, 0.85, 0.0, 20, &ctx);
+            assert_eq!(plain.work, blocked.work);
+            assert_eq!(plain.rank, blocked.rank, "blocked ranks must be exact");
+            assert_eq!(plain.residual, blocked.residual);
+        }
+        // And under normal convergence, including dangling vertices.
+        let dedges = gen::erdos_renyi(300, 900, 5);
+        let dg = with_reverse(300, &dedges);
+        let a = pagerank_with(&dg, 0.85, 1e-10, 300, &KernelCtx::serial());
+        let b = pagerank_blocked_with(&dg, 0.85, 1e-10, 300, &KernelCtx::serial());
+        assert_eq!(a.work, b.work);
+        assert_eq!(a.rank, b.rank);
+    }
+
+    #[test]
+    fn compressed_adjacency_is_bit_identical() {
+        let edges = gen::rmat(10, 10 << 10, gen::RmatParams::GRAPH500, 4);
+        let g = CsrBuilder::new(1 << 10)
+            .edges(edges.iter().copied())
+            .symmetrize(true)
+            .dedup(true)
+            .drop_self_loops(true)
+            .reverse(true)
+            .build();
+        let c = CompressedCsr::from_csr(&g);
+        let plain = pagerank(&g, 0.85, 1e-10, 100);
+        let comp = pagerank(&c, 0.85, 1e-10, 100);
+        assert_eq!(plain.work, comp.work);
+        assert_eq!(plain.rank, comp.rank);
+        // Compressed runs book fewer mem bytes for the same sweeps.
+        let (pc, cc) = (KernelCtx::serial(), KernelCtx::serial());
+        pagerank_with(&g, 0.85, 1e-10, 100, &pc);
+        pagerank_with(&c, 0.85, 1e-10, 100, &cc);
+        let (ps, cs) = (pc.snapshot(), cc.snapshot());
+        assert_eq!(ps.cpu_ops, cs.cpu_ops);
+        assert!(
+            cs.mem_bytes < ps.mem_bytes,
+            "compressed must book fewer bytes: {} vs {}",
+            cs.mem_bytes,
+            ps.mem_bytes
+        );
+    }
+
+    #[test]
     fn top_k_ordering() {
         let r = PageRankResult {
             rank: vec![0.1, 0.4, 0.4, 0.1],
@@ -356,5 +619,7 @@ mod tests {
         assert!(r.rank.is_empty());
         let d = pagerank_delta(&g, 0.85, 1e-6);
         assert!(d.rank.is_empty());
+        let b = pagerank_blocked(&g, 0.85, 1e-6, 10);
+        assert!(b.rank.is_empty());
     }
 }

@@ -4,11 +4,16 @@
 //! [`dijkstra`] (binary heap, non-negative weights), [`bellman_ford`]
 //! (handles negative edges, detects negative cycles), and
 //! [`delta_stepping`] (bucketed relaxation — the algorithm of choice on
-//! the parallel machines the paper surveys).
+//! the parallel machines the paper surveys). The delta engines run
+//! their bucket scans over [`Frontier`] sets, so a vertex relaxed
+//! through several edges in one phase is scanned once, not once per
+//! discovery; [`auto_delta`] picks the GAP-style bucket width when the
+//! caller has no better estimate. All engines are generic over
+//! [`Adjacency`] (plain or compressed rows, bit-identical results).
 
 use crate::ctx::{Budget, Completion, KernelCtx};
 use crate::INF;
-use ga_graph::{CsrGraph, VertexId, Weight};
+use ga_graph::{Adjacency, CsrGraph, Frontier, VertexId, Weight};
 use rayon::prelude::*;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -97,14 +102,14 @@ impl PartialOrd for HeapItem {
 
 /// Dijkstra with a lazy-deletion binary heap. Weights must be
 /// non-negative.
-pub fn dijkstra(g: &CsrGraph, src: VertexId) -> SsspResult {
+pub fn dijkstra<G: Adjacency>(g: &G, src: VertexId) -> SsspResult {
     dijkstra_budgeted(g, src, &Budget::unlimited())
 }
 
 /// Dijkstra that consults `budget` every ~1k heap pops; on exhaustion
 /// the distances settled so far (a distance-ball around the source) are
 /// returned as a typed partial result.
-pub fn dijkstra_budgeted(g: &CsrGraph, src: VertexId, budget: &Budget) -> SsspResult {
+pub fn dijkstra_budgeted<G: Adjacency>(g: &G, src: VertexId, budget: &Budget) -> SsspResult {
     let n = g.num_vertices();
     let mut dist = vec![INF; n];
     let mut parent = vec![u32::MAX as VertexId; n];
@@ -148,7 +153,7 @@ pub fn dijkstra_budgeted(g: &CsrGraph, src: VertexId, budget: &Budget) -> SsspRe
 /// `src` (the error carries no payload — the cycle itself is rarely
 /// wanted; callers that need it run a dedicated extraction).
 #[allow(clippy::result_unit_err)]
-pub fn bellman_ford(g: &CsrGraph, src: VertexId) -> Result<SsspResult, ()> {
+pub fn bellman_ford<G: Adjacency>(g: &G, src: VertexId) -> Result<SsspResult, ()> {
     let n = g.num_vertices();
     let mut dist = vec![INF; n];
     let mut parent = vec![u32::MAX as VertexId; n];
@@ -156,7 +161,7 @@ pub fn bellman_ford(g: &CsrGraph, src: VertexId) -> Result<SsspResult, ()> {
     parent[src as usize] = src;
     for round in 0..n {
         let mut changed = false;
-        for u in g.vertices() {
+        for u in 0..n as VertexId {
             let du = dist[u as usize];
             if du == INF {
                 continue;
@@ -190,15 +195,21 @@ pub fn bellman_ford(g: &CsrGraph, src: VertexId) -> Result<SsspResult, ()> {
 /// Delta-stepping: relax edges in distance buckets of width `delta`.
 /// Light edges (w < delta) are re-relaxed within a bucket; heavy edges
 /// are deferred — Meyer & Sanders' algorithm, sequential realization.
-pub fn delta_stepping(g: &CsrGraph, src: VertexId, delta: Weight) -> SsspResult {
+///
+/// Bucket scans run over [`Frontier`] sets: a vertex pushed into the
+/// bucket through several improving edges is scanned once per phase,
+/// and the heavy pass visits each settled vertex exactly once per
+/// bucket. The serial and parallel engines apply the same dedup at the
+/// same phase boundaries, so their results stay mutually bit-identical.
+pub fn delta_stepping<G: Adjacency>(g: &G, src: VertexId, delta: Weight) -> SsspResult {
     delta_stepping_budgeted(g, src, delta, &Budget::unlimited())
 }
 
 /// [`delta_stepping`] with a cooperative budget consulted at each bucket
 /// boundary (every distance settled in earlier buckets is final); on
 /// exhaustion the settled buckets are returned as a partial result.
-pub fn delta_stepping_budgeted(
-    g: &CsrGraph,
+pub fn delta_stepping_budgeted<G: Adjacency>(
+    g: &G,
     src: VertexId,
     delta: Weight,
     budget: &Budget,
@@ -225,6 +236,12 @@ pub fn delta_stepping_budgeted(
     let mut completion = Completion::Complete;
     let mut edges_scanned = 0u64;
     let mut settled_total = 0u64;
+    // `batch` dedups one light-phase scan; `settled` dedups the heavy
+    // pass across the whole bucket. With non-negative weights no member
+    // can migrate to an earlier bucket mid-phase, so filtering at batch
+    // build (not at processing) is exact.
+    let mut batch = Frontier::new(n);
+    let mut settled = Frontier::new(n);
     let mut i = 0;
     while i < buckets.len() {
         completion = budget.check(2 * edges_scanned + 4 * settled_total);
@@ -232,21 +249,21 @@ pub fn delta_stepping_budgeted(
             break;
         }
         // Settle bucket i: repeatedly relax light edges of its members.
-        let mut settled: Vec<VertexId> = Vec::new();
-        while let Some(batch) = {
-            let b = std::mem::take(&mut buckets[i]);
-            if b.is_empty() {
-                None
-            } else {
-                Some(b)
-            }
-        } {
-            for u in batch {
-                if bucket_of(dist[u as usize]) != i {
-                    continue; // moved to an earlier bucket already
+        settled.clear();
+        loop {
+            batch.clear();
+            for u in std::mem::take(&mut buckets[i]) {
+                if bucket_of(dist[u as usize]) == i {
+                    batch.insert(u);
                 }
-                settled.push(u);
-                settled_total += 1;
+            }
+            if batch.is_empty() {
+                break;
+            }
+            for u in batch.iter() {
+                if settled.insert(u) {
+                    settled_total += 1;
+                }
                 edges_scanned += g.degree(u) as u64;
                 let du = dist[u as usize];
                 for (v, w) in g.weighted_neighbors(u) {
@@ -262,7 +279,7 @@ pub fn delta_stepping_budgeted(
             }
         }
         // Heavy edges once per settled vertex.
-        for u in settled {
+        for u in settled.iter() {
             edges_scanned += g.degree(u) as u64;
             let du = dist[u as usize];
             for (v, w) in g.weighted_neighbors(u) {
@@ -291,14 +308,14 @@ pub fn delta_stepping_budgeted(
 /// gathered in parallel (reads only), then committed serially in
 /// deterministic frontier order — so distances AND parents are exact and
 /// reproducible, not just the distances.
-pub fn delta_stepping_parallel(g: &CsrGraph, src: VertexId, delta: Weight) -> SsspResult {
+pub fn delta_stepping_parallel<G: Adjacency>(g: &G, src: VertexId, delta: Weight) -> SsspResult {
     delta_stepping_parallel_budgeted(g, src, delta, &Budget::unlimited())
 }
 
 /// [`delta_stepping_parallel`] with a cooperative budget consulted at
 /// each bucket boundary, mirroring [`delta_stepping_budgeted`].
-pub fn delta_stepping_parallel_budgeted(
-    g: &CsrGraph,
+pub fn delta_stepping_parallel_budgeted<G: Adjacency>(
+    g: &G,
     src: VertexId,
     delta: Weight,
     budget: &Budget,
@@ -318,18 +335,23 @@ pub fn delta_stepping_parallel_budgeted(
         buckets[b].push(v);
     };
 
-    // Gather improving relaxations of `batch`'s (light|heavy) edges in
-    // parallel; `dist` is only read here, mutation happens at the
-    // caller's serial commit.
+    // Gather improving relaxations of the frontier's (light|heavy) edges
+    // in parallel; `dist` is only read here, mutation happens at the
+    // caller's serial commit. Work is split by degree sum so one hub
+    // cannot serialize a chunk; chunks tile the frontier in order, so
+    // the gathered request order matches a sequential scan.
     let gather =
-        |batch: &[VertexId], dist: &[Weight], light: bool| -> Vec<(VertexId, Weight, VertexId)> {
-            batch
+        |batch: &Frontier, dist: &[Weight], light: bool| -> Vec<(VertexId, Weight, VertexId)> {
+            let chunks = batch.degree_chunks(g, rayon::current_num_threads() * 4);
+            chunks
                 .par_iter()
-                .flat_map_iter(|&u| {
-                    let du = dist[u as usize];
-                    g.weighted_neighbors(u).filter_map(move |(v, w)| {
-                        let nd = du + w;
-                        ((w < delta) == light && nd < dist[v as usize]).then_some((v, nd, u))
+                .flat_map_iter(|&(s, e)| {
+                    batch.as_slice()[s..e].iter().flat_map(move |&u| {
+                        let du = dist[u as usize];
+                        g.weighted_neighbors(u).filter_map(move |(v, w)| {
+                            let nd = du + w;
+                            ((w < delta) == light && nd < dist[v as usize]).then_some((v, nd, u))
+                        })
                     })
                 })
                 .collect()
@@ -342,26 +364,33 @@ pub fn delta_stepping_parallel_budgeted(
     let mut completion = Completion::Complete;
     let mut edges_scanned = 0u64;
     let mut settled_total = 0u64;
+    let mut batch = Frontier::new(n);
+    let mut settled = Frontier::new(n);
     let mut i = 0;
     while i < buckets.len() {
         completion = budget.check(2 * edges_scanned + 4 * settled_total);
         if completion.is_partial() {
             break;
         }
-        let mut settled: Vec<VertexId> = Vec::new();
+        settled.clear();
         loop {
-            let batch: Vec<VertexId> = std::mem::take(&mut buckets[i])
-                .into_iter()
-                .filter(|&u| bucket_of(dist[u as usize]) == i)
-                .collect();
+            batch.clear();
+            for u in std::mem::take(&mut buckets[i]) {
+                if bucket_of(dist[u as usize]) == i {
+                    batch.insert(u);
+                }
+            }
             if batch.is_empty() {
                 break;
             }
-            settled_total += batch.len() as u64;
-            if budget.is_limited() {
-                edges_scanned += 2 * batch.iter().map(|&u| g.degree(u) as u64).sum::<u64>();
+            for u in batch.iter() {
+                if settled.insert(u) {
+                    settled_total += 1;
+                }
             }
-            settled.extend_from_slice(&batch);
+            if budget.is_limited() {
+                edges_scanned += batch.iter().map(|u| g.degree(u) as u64).sum::<u64>();
+            }
             for (v, nd, u) in gather(&batch, &dist, true) {
                 if nd < dist[v as usize] {
                     dist[v as usize] = nd;
@@ -369,6 +398,9 @@ pub fn delta_stepping_parallel_budgeted(
                     push(&mut buckets, v, nd);
                 }
             }
+        }
+        if budget.is_limited() {
+            edges_scanned += settled.iter().map(|u| g.degree(u) as u64).sum::<u64>();
         }
         for (v, nd, u) in gather(&settled, &dist, false) {
             if nd < dist[v as usize] {
@@ -386,32 +418,70 @@ pub fn delta_stepping_parallel_budgeted(
     }
 }
 
+/// GAP-style bucket width for [`delta_stepping`]: average edge weight ×
+/// average out-degree. Intuition: a bucket should hold roughly one
+/// expected hop's worth of distance so the light phase finds real
+/// parallelism without re-relaxing long chains. Unweighted graphs (unit
+/// weights) reduce to edges-per-vertex. Always positive and finite;
+/// degenerate inputs (empty graph, zero total weight) fall back to 1.
+pub fn auto_delta<G: Adjacency>(g: &G) -> Weight {
+    let n = g.num_vertices();
+    let m = g.num_edges();
+    if n == 0 || m == 0 {
+        return 1.0;
+    }
+    let total_w: f64 = if g.is_weighted() {
+        (0..n as VertexId)
+            .map(|u| g.weighted_neighbors(u).map(|(_, w)| w as f64).sum::<f64>())
+            .sum()
+    } else {
+        m as f64
+    };
+    // avg_weight * avg_degree = (Σw / m) * (m / n) = Σw / n.
+    let d = (total_w / n as f64) as Weight;
+    if d.is_finite() && d > 0.0 {
+        d
+    } else {
+        1.0
+    }
+}
+
 /// Instrumented, dispatching SSSP: runs [`delta_stepping`] or
 /// [`delta_stepping_parallel`] per the context's [`crate::Parallelism`]
 /// and flushes the relaxation traffic into the context counters.
 /// Distances are exact (identical path-weight sums) in both modes.
-pub fn sssp_with(g: &CsrGraph, src: VertexId, delta: Weight, ctx: &KernelCtx) -> SsspResult {
+pub fn sssp_with<G: Adjacency>(g: &G, src: VertexId, delta: Weight, ctx: &KernelCtx) -> SsspResult {
     let r = if ctx.parallelism.use_parallel(g.num_edges()) {
         delta_stepping_parallel_budgeted(g, src, delta, &ctx.budget)
     } else {
         delta_stepping_budgeted(g, src, delta, &ctx.budget)
     };
-    // Every settled vertex scans its out-edges twice (light phase +
-    // heavy phase); re-relaxations within a bucket add more, so this is
-    // a lower-bound estimate.
-    let edges: u64 = 2 * r
-        .dist
-        .iter()
-        .enumerate()
-        .filter(|&(_, &d)| d != INF)
-        .map(|(v, _)| g.degree(v as VertexId) as u64)
-        .sum::<u64>();
+    // Every settled vertex scans its out-row twice (light phase + heavy
+    // phase); re-relaxations within a bucket add more, so this is a
+    // lower-bound estimate. Adjacency traffic is charged at the
+    // representation's actual row bytes (varint rows on a compressed
+    // graph); weight + dist operands at 8 bytes per scanned edge.
+    let (mut deg_sum, mut row_sum) = (0u64, 0u64);
+    for (v, _) in r.dist.iter().enumerate().filter(|&(_, &d)| d != INF) {
+        deg_sum += g.degree(v as VertexId) as u64;
+        row_sum += g.row_bytes(v as VertexId);
+    }
+    let (edges, adj_bytes) = (2 * deg_sum, 2 * row_sum);
     let reached = r.dist.iter().filter(|&&d| d != INF).count() as u64;
-    // Per edge: add + compare (~2 ops, 8-byte weighted-edge read + 4-byte
-    // dist read); per settled vertex: dist/parent/bucket writes.
-    ctx.counters
-        .flush(2 * edges + 4 * reached, 12 * edges + 24 * reached, edges);
+    // Per edge: add + compare (~2 ops); per settled vertex: dist,
+    // parent, and bucket writes.
+    ctx.counters.flush(
+        2 * edges + 4 * reached,
+        adj_bytes + 8 * edges + 24 * reached,
+        edges,
+    );
     r
+}
+
+/// [`sssp_with`] with the bucket width chosen by [`auto_delta`] — the
+/// right default when the caller has no weight-distribution knowledge.
+pub fn sssp_auto_with<G: Adjacency>(g: &G, src: VertexId, ctx: &KernelCtx) -> SsspResult {
+    sssp_with(g, src, auto_delta(g), ctx)
 }
 
 #[cfg(test)]
@@ -547,6 +617,61 @@ mod tests {
         );
         let again = dijkstra_budgeted(&g, 0, &Budget::ops(1));
         assert_eq!(partial.dist, again.dist);
+    }
+
+    #[test]
+    fn auto_delta_is_sane_and_exact() {
+        let g = weighted_random(8, 11);
+        let d = auto_delta(&g);
+        // Uniform weights in [0.1, 4.0) at ~6 edges/vertex: Σw/n lands
+        // in a modest band around 12.
+        assert!(d > 0.5 && d < 40.0, "delta {d}");
+        let base = dijkstra(&g, 0);
+        let r = sssp_auto_with(&g, 0, &KernelCtx::default());
+        for v in g.vertices() {
+            let (x, y) = (base.dist[v as usize], r.dist[v as usize]);
+            assert!(
+                (x - y).abs() < 1e-3 || (x == INF && y == INF),
+                "auto-delta mismatch at {v}: {x} vs {y}"
+            );
+        }
+        // Unweighted graphs fall back to edges-per-vertex.
+        let ug = CsrGraph::from_edges_undirected(16, &gen::path(16));
+        let ud = auto_delta(&ug);
+        assert!(ud > 0.0 && ud.is_finite());
+        // Empty graph degenerates to 1.
+        assert_eq!(auto_delta(&CsrGraph::from_edges(4, &[])), 1.0);
+    }
+
+    #[test]
+    fn compressed_adjacency_is_bit_identical() {
+        let g = weighted_random(9, 13);
+        let c = ga_graph::CompressedCsr::from_csr(&g);
+        let plain = delta_stepping(&g, 0, 0.7);
+        let comp = delta_stepping(&c, 0, 0.7);
+        assert_eq!(plain.dist, comp.dist);
+        assert_eq!(plain.parent, comp.parent);
+        let pp = delta_stepping_parallel(&g, 0, 0.7);
+        let cp = delta_stepping_parallel(&c, 0, 0.7);
+        assert_eq!(pp.dist, cp.dist);
+        assert_eq!(pp.parent, cp.parent);
+        // Engines agree with each other, too (exact: same relaxation
+        // sequence up to gather/commit batching).
+        assert_eq!(plain.dist, pp.dist);
+        assert_eq!(plain.parent, pp.parent);
+        // The compressed run books fewer adjacency bytes for the same
+        // op count.
+        let (pc, cc) = (KernelCtx::serial(), KernelCtx::serial());
+        sssp_with(&g, 0, 0.7, &pc);
+        sssp_with(&c, 0, 0.7, &cc);
+        let (ps, cs) = (pc.snapshot(), cc.snapshot());
+        assert_eq!(ps.cpu_ops, cs.cpu_ops);
+        assert!(
+            cs.mem_bytes < ps.mem_bytes,
+            "compressed books fewer bytes: {} vs {}",
+            cs.mem_bytes,
+            ps.mem_bytes
+        );
     }
 
     #[test]

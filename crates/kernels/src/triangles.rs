@@ -7,7 +7,7 @@
 //! division and parallelizes cleanly.
 
 use crate::ctx::KernelCtx;
-use ga_graph::{CsrGraph, VertexId};
+use ga_graph::{Adjacency, CsrGraph, VertexId};
 use rayon::prelude::*;
 
 /// Sorted-slice intersection size.
@@ -49,7 +49,7 @@ pub fn intersect(a: &[VertexId], b: &[VertexId]) -> Vec<VertexId> {
 /// Rank vertices by (degree, id); orienting edges low-rank -> high-rank
 /// turns the undirected graph into a DAG whose out-wedges are exactly
 /// the triangles, counted once each.
-fn rank_order(g: &CsrGraph) -> Vec<u32> {
+fn rank_order<G: Adjacency>(g: &G) -> Vec<u32> {
     let n = g.num_vertices();
     let mut by_deg: Vec<VertexId> = (0..n as VertexId).collect();
     by_deg.sort_by_key(|&v| (g.degree(v), v));
@@ -61,11 +61,11 @@ fn rank_order(g: &CsrGraph) -> Vec<u32> {
 }
 
 /// Build the rank-oriented forward adjacency (sorted by rank then id).
-fn oriented(g: &CsrGraph, rank: &[u32]) -> Vec<Vec<VertexId>> {
+fn oriented<G: Adjacency>(g: &G, rank: &[u32]) -> Vec<Vec<VertexId>> {
     let n = g.num_vertices();
     let mut fwd: Vec<Vec<VertexId>> = vec![Vec::new(); n];
-    for u in g.vertices() {
-        for &v in g.neighbors(u) {
+    for u in 0..n as VertexId {
+        for v in g.neighbors(u) {
             if rank[v as usize] > rank[u as usize] {
                 fwd[u as usize].push(v);
             }
@@ -78,7 +78,7 @@ fn oriented(g: &CsrGraph, rank: &[u32]) -> Vec<Vec<VertexId>> {
 }
 
 /// Global triangle count via rank-ordered intersection (parallel).
-pub fn count_global(g: &CsrGraph) -> u64 {
+pub fn count_global<G: Adjacency>(g: &G) -> u64 {
     count_global_with(g, &KernelCtx::parallel())
 }
 
@@ -86,7 +86,7 @@ pub fn count_global(g: &CsrGraph) -> u64 {
 /// rank-ordered intersection per the context's [`crate::Parallelism`].
 /// The count is an exact integer sum, so both engines return the
 /// identical value.
-pub fn count_global_with(g: &CsrGraph, ctx: &KernelCtx) -> u64 {
+pub fn count_global_with<G: Adjacency>(g: &G, ctx: &KernelCtx) -> u64 {
     let rank = rank_order(g);
     let fwd = oriented(g, &rank);
     // Per oriented wedge (u, v): a merge intersection costing at most
@@ -125,8 +125,15 @@ pub fn count_global_with(g: &CsrGraph, ctx: &KernelCtx) -> u64 {
     } else {
         (0..n).map(body).fold((0, 0), |a, b| (a.0 + b.0, a.1 + b.1))
     };
-    // Each comparison reads one 4-byte id from each side.
-    ctx.counters.flush(ops, 8 * ops, g.num_edges() as u64 / 2);
+    // Each comparison reads one 4-byte id from each side; the
+    // orientation pass streams every adjacency row once, charged at the
+    // representation's actual byte cost (varint rows on a compressed
+    // graph).
+    let adj_bytes: u64 = (0..g.num_vertices() as VertexId)
+        .map(|v| g.row_bytes(v))
+        .sum();
+    ctx.counters
+        .flush(ops, adj_bytes + 8 * ops, g.num_edges() as u64 / 2);
     count
 }
 
@@ -272,6 +279,24 @@ mod tests {
         assert!(ctx.budget.hits() >= 1);
         // Unlimited context still gets the exact count.
         assert_eq!(count_global_with(&g, &KernelCtx::serial()), 120);
+    }
+
+    #[test]
+    fn compressed_adjacency_is_bit_identical() {
+        let edges = gen::erdos_renyi(200, 1400, 6);
+        let g = und(200, &edges);
+        let c = ga_graph::CompressedCsr::from_csr(&g);
+        assert_eq!(count_global(&g), count_global(&c));
+        let (pc, cc) = (KernelCtx::serial(), KernelCtx::serial());
+        assert_eq!(count_global_with(&g, &pc), count_global_with(&c, &cc));
+        let (ps, cs) = (pc.snapshot(), cc.snapshot());
+        assert_eq!(ps.cpu_ops, cs.cpu_ops);
+        assert!(
+            cs.mem_bytes < ps.mem_bytes,
+            "compressed books fewer bytes: {} vs {}",
+            cs.mem_bytes,
+            ps.mem_bytes
+        );
     }
 
     #[test]

@@ -1,0 +1,103 @@
+//! Property-based round-trip suite for the delta-varint compressed
+//! adjacency: across random edge lists — duplicates (multigraph rows),
+//! self-loops, empty rows, weighted and unweighted, with and without a
+//! reverse index — `CompressedCsr::from_csr` followed by decoding must
+//! reproduce the plain CSR exactly, row for row and bit for bit, and
+//! the byte accounting must match the encoded stream.
+
+use graph_analytics::graph::{CompressedCsr, CsrBuilder, CsrGraph, VertexId};
+use graph_analytics::kernels::cc;
+use proptest::prelude::*;
+
+/// Strategy: vertex count plus a raw edge list that deliberately keeps
+/// duplicates and self-loops; about a third of cases get weights.
+fn raw_graph() -> impl Strategy<Value = (usize, Vec<(u32, u32)>, bool, bool)> {
+    (1usize..48)
+        .prop_flat_map(|n| {
+            let hi = n as u32;
+            (
+                Just(n),
+                prop::collection::vec((0..hi, 0..hi), 0..160),
+                0u32..2,
+                0u32..2,
+            )
+        })
+        .prop_map(|(n, edges, w, r)| (n, edges, w == 1, r == 1))
+}
+
+fn build(n: usize, edges: &[(u32, u32)], weighted: bool, reverse: bool) -> CsrGraph {
+    let b = CsrBuilder::new(n).reverse(reverse);
+    if weighted {
+        // Small integer-plus-half weights so float equality is exact.
+        b.weighted_edges(
+            edges
+                .iter()
+                .enumerate()
+                .map(|(i, &(u, v))| (u, v, (i % 7) as f32 + 0.5)),
+        )
+        .build()
+    } else {
+        b.edges(edges.iter().copied()).build()
+    }
+}
+
+fn assert_identical(a: &CsrGraph, b: &CsrGraph) {
+    assert_eq!(a.raw_offsets(), b.raw_offsets(), "offsets differ");
+    assert_eq!(a.raw_targets(), b.raw_targets(), "targets differ");
+    assert_eq!(a.raw_weights(), b.raw_weights(), "weights differ");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Encode → decode reproduces the plain CSR exactly.
+    #[test]
+    fn round_trip_is_exact((n, edges, weighted, reverse) in raw_graph()) {
+        let g = build(n, &edges, weighted, reverse);
+        let c = CompressedCsr::from_csr(&g);
+        assert_identical(&c.to_csr(), &g);
+        prop_assert_eq!(c.num_vertices(), g.num_vertices());
+        prop_assert_eq!(c.num_edges(), g.num_edges());
+        prop_assert_eq!(c.is_weighted(), g.is_weighted());
+        prop_assert_eq!(c.has_reverse(), g.has_reverse());
+    }
+
+    /// Streaming decoders agree with the plain rows per vertex, in
+    /// order, including duplicate targets and self-loops; weighted
+    /// iteration pairs each target with its exact weight.
+    #[test]
+    fn row_decoders_match_plain_rows((n, edges, weighted, reverse) in raw_graph()) {
+        let g = build(n, &edges, weighted, reverse);
+        let c = CompressedCsr::from_csr(&g);
+        for v in 0..n as VertexId {
+            prop_assert_eq!(c.degree(v), g.degree(v), "degree({})", v);
+            let plain: Vec<u32> = g.neighbors(v).to_vec();
+            let decoded: Vec<u32> = c.neighbors(v).collect();
+            prop_assert_eq!(&decoded, &plain, "row {}", v);
+            let wp: Vec<(u32, f32)> = g.weighted_neighbors(v).collect();
+            let wc: Vec<(u32, f32)> = c.weighted_neighbors(v).collect();
+            prop_assert_eq!(wp, wc, "weighted row {}", v);
+            if reverse {
+                let rp: Vec<u32> = g.in_neighbors(v).to_vec();
+                let rc: Vec<u32> = c.in_neighbors(v).collect();
+                prop_assert_eq!(rp, rc, "in-row {}", v);
+            }
+        }
+    }
+
+    /// Per-row byte accounting sums to the whole encoded stream, and a
+    /// kernel sees the same graph through either representation.
+    #[test]
+    fn byte_accounting_and_kernel_agreement((n, edges, weighted, reverse) in raw_graph()) {
+        let g = build(n, &edges, weighted, reverse);
+        let c = CompressedCsr::from_csr(&g);
+        let fwd: u64 = (0..n as VertexId).map(|v| c.row_bytes(v)).sum();
+        let rev: u64 = (0..n as VertexId).map(|v| c.in_row_bytes(v)).sum();
+        prop_assert_eq!(fwd + rev, c.adjacency_bytes());
+        prop_assert_eq!(c.plain_adjacency_bytes(), 4 * (g.num_edges() as u64 + g.has_reverse() as u64 * g.num_edges() as u64));
+        let a = cc::wcc_union_find(&g);
+        let b = cc::wcc_union_find(&c);
+        prop_assert_eq!(a.label, b.label);
+        prop_assert_eq!(a.count, b.count);
+    }
+}

@@ -3,7 +3,7 @@
 //! the streaming incremental forms (`ga-stream`) must all tell the same
 //! story about the same graph.
 
-use graph_analytics::graph::{gen, CsrBuilder, CsrGraph};
+use graph_analytics::graph::{gen, CompressedCsr, CsrBuilder, CsrGraph};
 use graph_analytics::kernels::{bfs, cc, pagerank, sssp, triangles, KernelCtx, UNREACHED};
 use graph_analytics::linalg::algos;
 use graph_analytics::stream::tri_inc::IncrementalTriangles;
@@ -211,6 +211,63 @@ fn assert_serial_parallel_agree(g: &CsrGraph, tag: &str) {
     let dp = sssp::sssp_with(&wg, 0, 0.5, &p);
     assert_eq!(ds.dist, dp.dist, "{tag}: SSSP distances differ");
     assert_eq!(ds.parent, dp.parent, "{tag}: SSSP parents differ");
+
+    // Compressed-adjacency legs: every kernel must return the same
+    // bits on the delta-varint representation, under both engines.
+    let c = CompressedCsr::from_csr(g);
+    for (ctx, eng) in [(&s, "serial"), (&p, "parallel")] {
+        let bc = bfs::bfs_with(&c, 0, ctx);
+        assert_eq!(bs.depth, bc.depth, "{tag}: compressed {eng} BFS differs");
+
+        let cc2 = cc::wcc_with(&c, ctx);
+        assert_eq!(cs.label, cc2.label, "{tag}: compressed {eng} CC differs");
+        assert_eq!(
+            cs.count, cc2.count,
+            "{tag}: compressed {eng} CC count differs"
+        );
+
+        assert_eq!(
+            triangles::count_global_with(g, &s),
+            triangles::count_global_with(&c, ctx),
+            "{tag}: compressed {eng} triangle count differs"
+        );
+
+        let rc = pagerank::pagerank_with(&c, 0.85, 1e-10, 200, ctx);
+        assert_eq!(rs.work, rc.work, "{tag}: compressed {eng} PR sweeps differ");
+        for v in g.vertices() {
+            let (a, b) = (rs.rank[v as usize], rc.rank[v as usize]);
+            assert!(
+                (a - b).abs() <= 1e-9,
+                "{tag}: compressed {eng} PR rank differs at {v}: {a} vs {b}"
+            );
+        }
+    }
+    assert_eq!(
+        cc::wcc_afforest(&c).label,
+        ca.label,
+        "{tag}: compressed Afforest differs"
+    );
+
+    // Cache-blocked pull PageRank: bit-identical to plain pull at equal
+    // iteration counts.
+    let rb = pagerank::pagerank_blocked_with(g, 0.85, 1e-10, 200, &s);
+    assert_eq!(rs.rank, rb.rank, "{tag}: blocked PR ranks differ");
+    assert_eq!(rs.work, rb.work, "{tag}: blocked PR sweeps differ");
+
+    // Compressed weighted SSSP, both engines.
+    let cw = CompressedCsr::from_csr(&wg);
+    let dcs = sssp::sssp_with(&cw, 0, 0.5, &s);
+    let dcp = sssp::sssp_with(&cw, 0, 0.5, &p);
+    assert_eq!(ds.dist, dcs.dist, "{tag}: compressed serial SSSP differs");
+    assert_eq!(
+        ds.parent, dcs.parent,
+        "{tag}: compressed serial SSSP parents differ"
+    );
+    assert_eq!(ds.dist, dcp.dist, "{tag}: compressed parallel SSSP differs");
+    assert_eq!(
+        ds.parent, dcp.parent,
+        "{tag}: compressed parallel SSSP parents differ"
+    );
 }
 
 /// Recover the directed edge list of a CSR snapshot.

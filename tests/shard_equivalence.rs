@@ -20,7 +20,7 @@
 
 use ga_core::flow::FlowEngine;
 use ga_core::sharded::{shard_dir, shard_label, RebuildSource, ShardedConfig, ShardedFlow};
-use ga_graph::CsrBuilder;
+use ga_graph::{CompressedCsr, CsrBuilder};
 use ga_kernels::bfs::bfs_depths;
 use ga_kernels::cc::wcc_union_find;
 use ga_kernels::pagerank::pagerank_with;
@@ -91,7 +91,22 @@ fn scatter_gather_agrees_with_unsharded_kernels() {
                     .edges(snap.edges())
                     .reverse(true)
                     .build();
-                let kernel = pagerank_with(&rev, 0.85, 1e-10, 50, &KernelCtx::serial());
+                // With GA_COMPRESSED=1 (the CI matrix leg), the
+                // unsharded reference kernels read the delta-varint
+                // representation instead of the plain CSR — the merged
+                // results must not move by a single bit either way.
+                let compressed = std::env::var("GA_COMPRESSED").is_ok_and(|v| v == "1");
+                let kernel = if compressed {
+                    pagerank_with(
+                        &CompressedCsr::from_csr(&rev),
+                        0.85,
+                        1e-10,
+                        50,
+                        &KernelCtx::serial(),
+                    )
+                } else {
+                    pagerank_with(&rev, 0.85, 1e-10, 50, &KernelCtx::serial())
+                };
                 let pr = flow.pagerank(0.85, 1e-10, 50);
                 assert_eq!(pr.work, kernel.work, "pagerank iters (shards={shards})");
                 assert_eq!(
@@ -103,14 +118,23 @@ fn scatter_gather_agrees_with_unsharded_kernels() {
                     "N-shard vs 1-shard pagerank (shards={shards} seed={seed})"
                 );
 
+                let bfs_ref = if compressed {
+                    bfs_depths(&CompressedCsr::from_csr(&snap), 0)
+                } else {
+                    bfs_depths(&snap, 0)
+                };
                 assert_eq!(
                     flow.bfs(0),
-                    bfs_depths(&snap, 0),
+                    bfs_ref,
                     "bfs depths (shards={shards} seed={seed})"
                 );
 
                 let cc = flow.components();
-                let direct = wcc_union_find(&snap);
+                let direct = if compressed {
+                    wcc_union_find(&CompressedCsr::from_csr(&snap))
+                } else {
+                    wcc_union_find(&snap)
+                };
                 assert_eq!(cc.label, direct.label, "cc labels (shards={shards})");
                 assert_eq!(cc.count, direct.count, "cc count (shards={shards})");
             }
@@ -196,12 +220,18 @@ fn recovered_fleet_stays_durable_across_restarts() {
     for b in &batches[2 * third..] {
         flow.process_batch(b).unwrap();
     }
-    assert_eq!(flow.lost_updates(), 0, "durable fleet must not lose updates");
+    assert_eq!(
+        flow.lost_updates(),
+        0,
+        "durable fleet must not lose updates"
+    );
     assert!(
         flow.pending_backlog()[1] > 0,
         "dead shard's deliveries must queue for the rebuild"
     );
-    let report = flow.rebuild_shard(1).expect("checkpoint+WAL must be a rebuild source");
+    let report = flow
+        .rebuild_shard(1)
+        .expect("checkpoint+WAL must be a rebuild source");
     assert_eq!(report.source, RebuildSource::WalReplay);
     let want_graph = flow.merged_graph();
     let want_props = flow.merged_props();
