@@ -244,6 +244,14 @@ pub fn projected_step_demands(f: &FlowStats, c: &CostCoefficients) -> Vec<StepDe
     let ne = f.analytics.edges_extracted as f64;
     let writes = f.analytics.props_written_back as f64;
     let snap_bytes = f.snapshots.mem_bytes as f64;
+    // Tier IO projects from its own counters, split by the step that
+    // paid for it: spill (and scrub re-reads) happen while the snapshot
+    // freezes; demand misses and prefetches happen while the extraction
+    // BFS walks cold rows. This is what makes the larger-than-RAM
+    // regime measurable — E3's "disk is the tall pole" shows up as
+    // nonzero disk rows instead of vanishing into RAM.
+    let tier_spill = (f.tier.spilled_bytes + f.tier.scrub_bytes) as f64;
+    let tier_read = f.tier.read_bytes as f64;
     let d = |step: Step, cpu, mem, disk, net| StepDemand {
         name: step.name(),
         cpu_ops: cpu,
@@ -265,7 +273,7 @@ pub fn projected_step_demands(f: &FlowStats, c: &CostCoefficients) -> Vec<StepDe
             Step::Extraction,
             nv + ne,
             nv * 8.0 + ne * c.mem_bytes_per_edge,
-            0.0,
+            tier_read,
             0.0,
         ),
         d(
@@ -278,7 +286,7 @@ pub fn projected_step_demands(f: &FlowStats, c: &CostCoefficients) -> Vec<StepDe
         d(Step::WriteBack, writes, writes * 8.0, 0.0, writes * 8.0),
         d(Step::Wal, 0.0, 0.0, updates * 16.0, 0.0),
         d(Step::Checkpoint, 0.0, 0.0, 0.0, 0.0),
-        d(Step::Snapshot, 0.0, snap_bytes, 0.0, 0.0),
+        d(Step::Snapshot, 0.0, snap_bytes, tier_spill, 0.0),
     ]
 }
 
@@ -398,6 +406,7 @@ mod tests {
                     deadline_partials: 3,
                     analytics_skipped: 2,
                 },
+                tier: Default::default(),
             },
             nora: NoraStats {
                 pair_candidates: 150_000,

@@ -42,10 +42,12 @@ use std::io::{self, Write};
 use std::path::{Path, PathBuf};
 
 const MAGIC: &[u8; 4] = b"GAC1";
-/// Current checkpoint format. Version 2 serialises [`FlowStats`] as one
-/// length-prefixed section per group; version 1 (the flat 25-field
-/// layout) is still decoded for checkpoints written by older builds.
-const VERSION: u16 = 2;
+/// Current checkpoint format. Version 3 appends the tier-IO group to
+/// the version-2 per-group [`FlowStats`] layout; versions 2 (grouped,
+/// no tier) and 1 (the flat 25-field layout) are still decoded for
+/// checkpoints written by older builds, with tier counters defaulting
+/// to zero.
+const VERSION: u16 = 3;
 
 /// A complete, self-contained snapshot of engine state.
 #[derive(Clone, Debug, PartialEq)]
@@ -91,8 +93,16 @@ fn push_group(out: &mut Vec<u8>, fields: &[usize]) {
     }
 }
 
-/// Stats version 2: one length-prefixed section per group, in fixed
-/// group order (ingest, analytics, snapshots, durability, overload).
+fn push_group_u64(out: &mut Vec<u8>, fields: &[u64]) {
+    out.extend_from_slice(&(fields.len() as u32).to_le_bytes());
+    for &f in fields {
+        out.extend_from_slice(&f.to_le_bytes());
+    }
+}
+
+/// Stats version 3: one length-prefixed section per group, in fixed
+/// group order (ingest, analytics, snapshots, durability, overload,
+/// tier).
 fn push_flow_stats(out: &mut Vec<u8>, s: &FlowStats) {
     let i = &s.ingest;
     push_group(
@@ -131,6 +141,32 @@ fn push_flow_stats(out: &mut Vec<u8>, s: &FlowStats) {
     push_group(
         out,
         &[o.updates_shed, o.deadline_partials, o.analytics_skipped],
+    );
+    let t = &s.tier;
+    push_group_u64(
+        out,
+        &[
+            t.spilled_segments,
+            t.spilled_bytes,
+            t.cache_hits,
+            t.cache_misses,
+            t.read_bytes,
+            t.prefetches,
+            t.prefetch_denied,
+            t.evictions,
+            t.corrupt_segments,
+            t.scrubbed_segments,
+            t.scrub_bytes,
+            t.scrub_errors,
+            t.repaired_segments,
+            t.lost_segments,
+            t.lost_rows,
+            t.slow_ios,
+            t.pinned_fallbacks,
+            t.breaker_trips,
+            t.write_failures,
+            t.read_failures,
+        ],
     );
 }
 
@@ -173,6 +209,7 @@ fn take_flow_stats_v1(r: &mut &[u8]) -> io::Result<FlowStats> {
             deadline_partials: f[21],
             analytics_skipped: f[22],
         },
+        tier: Default::default(),
     })
 }
 
@@ -219,7 +256,37 @@ fn take_flow_stats_v2(r: &mut &[u8]) -> io::Result<FlowStats> {
             deadline_partials: o[1],
             analytics_skipped: o[2],
         },
+        tier: Default::default(),
     })
+}
+
+/// Decode the version-3 layout: version 2 plus the tier-IO group.
+fn take_flow_stats_v3(r: &mut &[u8]) -> io::Result<FlowStats> {
+    let mut flow = take_flow_stats_v2(r)?;
+    let t = take_stats(r, 20, "TierStats")?;
+    flow.tier = ga_graph::tier::TierStats {
+        spilled_segments: t[0] as u64,
+        spilled_bytes: t[1] as u64,
+        cache_hits: t[2] as u64,
+        cache_misses: t[3] as u64,
+        read_bytes: t[4] as u64,
+        prefetches: t[5] as u64,
+        prefetch_denied: t[6] as u64,
+        evictions: t[7] as u64,
+        corrupt_segments: t[8] as u64,
+        scrubbed_segments: t[9] as u64,
+        scrub_bytes: t[10] as u64,
+        scrub_errors: t[11] as u64,
+        repaired_segments: t[12] as u64,
+        lost_segments: t[13] as u64,
+        lost_rows: t[14] as u64,
+        slow_ios: t[15] as u64,
+        pinned_fallbacks: t[16] as u64,
+        breaker_trips: t[17] as u64,
+        write_failures: t[18] as u64,
+        read_failures: t[19] as u64,
+    };
+    Ok(flow)
 }
 
 fn push_stream_stats(out: &mut Vec<u8>, s: &StreamStats) {
@@ -340,10 +407,10 @@ pub fn decode_checkpoint(bytes: &[u8]) -> io::Result<Checkpoint> {
     let (props_bytes, rest) = r.split_at(props_len);
     r = rest;
     let props = gio::read_props(props_bytes)?;
-    let flow = if version == 1 {
-        take_flow_stats_v1(&mut r)?
-    } else {
-        take_flow_stats_v2(&mut r)?
+    let flow = match version {
+        1 => take_flow_stats_v1(&mut r)?,
+        2 => take_flow_stats_v2(&mut r)?,
+        _ => take_flow_stats_v3(&mut r)?,
     };
     let s = take_stats(&mut r, 8, "StreamStats")?;
     let stream = StreamStats {
@@ -651,6 +718,7 @@ fn write_checkpoint_file(dir: &Path, ckpt: &Checkpoint) -> io::Result<PathBuf> {
     let path = ckpt_path(dir, ckpt.next_wal_seq);
     match faults::intercept("checkpoint.write") {
         faults::Intercept::Proceed => {}
+        faults::Intercept::Delay(ms) => faults::apply_delay(ms),
         faults::Intercept::Error => return Err(faults::injected("checkpoint.write")),
         faults::Intercept::ShortWrite(k) => {
             let k = k.min(bytes.len());

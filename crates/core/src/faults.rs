@@ -8,8 +8,8 @@
 //! `GA_FAULT_SEED` environment variable in CI.
 
 pub use ga_graph::faults::{
-    arm, check, clear_all, fired_count, injected, intercept, is_injected, with_scope, FaultMode,
-    Intercept,
+    apply_delay, arm, check, clear_all, fired_count, injected, intercept, is_injected, with_scope,
+    FaultMode, Intercept,
 };
 
 /// One point of the crash-recovery fault matrix: which site misbehaves,
@@ -327,6 +327,94 @@ impl ShardFaultPlan {
     }
 }
 
+/// One point of the **segment-IO** chaos matrix: which tier site
+/// misbehaves and how, while a spill-forcing RAM budget keeps the
+/// segment store on the hot path. Unlike the crash/shard matrices there
+/// is no process death here — the contract under test is the tier's
+/// own ladder: retry transient errors, quarantine (never decode)
+/// corruption, repair from a source of truth, fall back to the pinned
+/// snapshot, and trip the breaker into pinned-in-RAM operation when the
+/// device keeps failing — with zero acknowledged updates lost and all
+/// kernels bit-identical after scrub + repair.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SegmentFaultPlan {
+    /// Seed this plan was derived from.
+    pub seed: u64,
+    /// Tier fault site to arm (`segment.write`, `segment.read`, or
+    /// `segment.scrub`).
+    pub site: &'static str,
+    /// How the armed site misbehaves.
+    pub mode: FaultMode,
+}
+
+/// Number of distinct scenarios [`SegmentFaultPlan::from_seed`]
+/// generates before wrapping (CI loops `GA_FAULT_SEED` over
+/// `0..SEGMENT_MATRIX_SIZE`).
+pub const SEGMENT_MATRIX_SIZE: u64 = 10;
+
+impl SegmentFaultPlan {
+    /// Deterministically map a seed to a segment-IO scenario. Seeds
+    /// beyond [`SEGMENT_MATRIX_SIZE`] wrap with a varied fault
+    /// magnitude, like the other matrices.
+    pub fn from_seed(seed: u64) -> SegmentFaultPlan {
+        let point = seed % SEGMENT_MATRIX_SIZE;
+        let wave = (seed / SEGMENT_MATRIX_SIZE) % 3;
+        let (site, mode) = match point {
+            // Spill write vetoed once; the write retry lands it.
+            0 => ("segment.write", FaultMode::FailOnce),
+            // Torn spill: a 12-byte frame fragment at the final path —
+            // exactly what a crash mid-write leaves. The next read must
+            // CRC-detect it, quarantine, and repair.
+            1 => ("segment.write", FaultMode::ShortWrite(12 + wave as usize)),
+            // Persistent write failure past the retry budget: the
+            // segment stays resident (non-evictable) rather than lost,
+            // and the breaker arms.
+            2 => ("segment.write", FaultMode::FailTimes(3 + wave)),
+            // One vetoed demand read; the read retry recovers it.
+            3 => ("segment.read", FaultMode::FailOnce),
+            // A device that fails every read: pinned fallback serves
+            // every row and the breaker trips to pinned mode.
+            4 => ("segment.read", FaultMode::FailTimes(64)),
+            // Intermittent read errors (every 3rd IO).
+            5 => ("segment.read", FaultMode::FailEveryNth(3)),
+            // A slow disk, not a broken one: every read delayed, all
+            // answers still exact, `slow_ios` counted.
+            6 => ("segment.read", FaultMode::Delay(wave)),
+            // Scrub read errors: counted as scrub errors, and the
+            // segment is NOT quarantined — an IO error is not a verdict
+            // on the bytes.
+            7 => ("segment.scrub", FaultMode::FailOnce),
+            // Slow scrub pass.
+            8 => ("segment.scrub", FaultMode::Delay(wave)),
+            // Slow spill path.
+            _ => ("segment.write", FaultMode::Delay(wave)),
+        };
+        SegmentFaultPlan { seed, site, mode }
+    }
+
+    /// Arm this plan's fault in the global registry.
+    pub fn arm(&self) {
+        arm(self.site, self.mode);
+    }
+
+    /// Whether this scenario only slows IO (a [`FaultMode::Delay`]
+    /// point): no error path should fire at all, only `slow_ios`.
+    pub fn slow_only(&self) -> bool {
+        matches!(self.mode, FaultMode::Delay(_))
+    }
+}
+
+/// The segment plan selected by `GA_FAULT_SEED`, or `None` when the
+/// variable is unset/unparsable.
+pub fn segment_plan_from_env() -> Option<SegmentFaultPlan> {
+    std::env::var("GA_FAULT_SEED")
+        .ok()?
+        .trim()
+        .parse::<u64>()
+        .ok()
+        .map(SegmentFaultPlan::from_seed)
+}
+
 /// The shard plan selected by `GA_FAULT_SEED` for a fleet of
 /// `num_shards`, or `None` when the variable is unset/unparsable.
 pub fn shard_plan_from_env(num_shards: usize) -> Option<ShardFaultPlan> {
@@ -437,5 +525,52 @@ mod tests {
         let a = ShardFaultPlan::from_seed(0, 4);
         let b = ShardFaultPlan::from_seed(SHARD_MATRIX_SIZE, 4);
         assert_ne!(a.fault_after_batches, b.fault_after_batches);
+    }
+
+    #[test]
+    fn segment_matrix_is_deterministic_and_covers_all_sites_and_modes() {
+        let plans: Vec<SegmentFaultPlan> = (0..SEGMENT_MATRIX_SIZE)
+            .map(SegmentFaultPlan::from_seed)
+            .collect();
+        assert_eq!(
+            plans,
+            (0..SEGMENT_MATRIX_SIZE)
+                .map(SegmentFaultPlan::from_seed)
+                .collect::<Vec<_>>()
+        );
+        for site in ["segment.write", "segment.read", "segment.scrub"] {
+            assert!(
+                plans.iter().any(|p| p.site == site),
+                "matrix must cover {site}"
+            );
+        }
+        // All five fault modes appear, including slow-IO Delay.
+        assert!(plans.iter().any(|p| matches!(p.mode, FaultMode::FailOnce)));
+        assert!(plans
+            .iter()
+            .any(|p| matches!(p.mode, FaultMode::FailTimes(_))));
+        assert!(plans
+            .iter()
+            .any(|p| matches!(p.mode, FaultMode::FailEveryNth(_))));
+        assert!(plans
+            .iter()
+            .any(|p| matches!(p.mode, FaultMode::ShortWrite(_))));
+        assert!(plans.iter().any(|p| p.slow_only()));
+        // Delay appears on every one of the three sites across the
+        // matrix (read, scrub, write at points 6, 8, 9).
+        for site in ["segment.write", "segment.read", "segment.scrub"] {
+            assert!(
+                plans.iter().any(|p| p.site == site && p.slow_only()),
+                "Delay must cover {site}"
+            );
+        }
+    }
+
+    #[test]
+    fn segment_matrix_wraps_with_varied_magnitudes() {
+        let a = SegmentFaultPlan::from_seed(1);
+        let b = SegmentFaultPlan::from_seed(1 + SEGMENT_MATRIX_SIZE);
+        assert_eq!(a.site, b.site);
+        assert_ne!(a.mode, b.mode);
     }
 }

@@ -175,7 +175,8 @@ pub struct OverloadStats {
 
 /// The instrumentation record (the paper's "explicit instrumentation"),
 /// grouped by pipeline concern. The GAC1 checkpoint codec serialises
-/// these groups as stats version 2 and still decodes the flat 25-field
+/// these groups as stats version 3 (version 2 plus the tier group) and
+/// still decodes the version-2 grouped layout and the flat 25-field
 /// version-1 layout older checkpoints carry.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct FlowStats {
@@ -189,6 +190,8 @@ pub struct FlowStats {
     pub durability: DurabilityStats,
     /// Admission control + degradation ladder.
     pub overload: OverloadStats,
+    /// Tiered segment-store IO (spill, page cache, scrub, repair).
+    pub tier: ga_graph::tier::TierStats,
 }
 
 impl IngestStats {
@@ -258,6 +261,7 @@ impl FlowStats {
         self.snapshots.merge(&o.snapshots);
         self.durability.merge(&o.durability);
         self.overload.merge(&o.overload);
+        self.tier.merge(&o.tier);
     }
 }
 
@@ -385,6 +389,7 @@ pub struct FlowConfig {
     recorder: Recorder,
     shard_label: String,
     compressed_adjacency: bool,
+    tier: Option<ga_graph::tier::TierConfig>,
 }
 
 impl Default for FlowConfig {
@@ -408,6 +413,7 @@ impl Default for FlowConfig {
             recorder: Recorder::disabled(),
             shard_label: String::new(),
             compressed_adjacency: false,
+            tier: None,
         }
     }
 }
@@ -505,6 +511,17 @@ impl FlowConfig {
         self
     }
 
+    /// Serve batch extraction through a tiered larger-than-RAM segment
+    /// store (default off): each batch's CSR snapshot spills to
+    /// CRC-framed segments under the tier directory and the extraction
+    /// BFS pages rows back in through a RAM-budgeted cache, so cold
+    /// rows cost real disk IO that shows up as disk demand in the
+    /// calibration model. See [`ga_graph::tier::TieredCsr`].
+    pub fn tiered(mut self, cfg: ga_graph::tier::TierConfig) -> Self {
+        self.tier = Some(cfg);
+        self
+    }
+
     /// Label this engine as one shard of a multi-engine deployment
     /// (e.g. `"shard-03"`). The label is prefixed onto durability
     /// errors raised during [`FlowConfig::recover`], so a failed
@@ -568,6 +585,7 @@ impl FlowConfig {
         engine.extract = self.extract;
         engine.project_columns = self.project_columns;
         engine.compressed_adjacency = self.compressed_adjacency;
+        engine.tier_config = self.tier;
         engine.set_recorder(self.recorder);
         self.durability_dir
     }
@@ -611,6 +629,12 @@ pub struct FlowEngine {
     /// When set ([`FlowConfig::compressed_adjacency`]), each batch run
     /// also refreshes the delta-varint compressed snapshot.
     compressed_adjacency: bool,
+    /// When set ([`FlowConfig::tiered`]), batch extraction reads
+    /// through a spilled segment tier instead of the in-RAM snapshot.
+    tier_config: Option<ga_graph::tier::TierConfig>,
+    /// The live tier, tagged with the snapshot it was spilled from so
+    /// an unchanged graph skips the respill.
+    tier: Option<(std::sync::Arc<ga_graph::CsrGraph>, ga_graph::TieredCsr)>,
 }
 
 impl FlowEngine {
@@ -655,6 +679,8 @@ impl FlowEngine {
             project_columns: Vec::new(),
             kernel_ctx: KernelCtx::new(Parallelism::Auto),
             compressed_adjacency: false,
+            tier_config: None,
+            tier: None,
         }
     }
 
@@ -673,6 +699,50 @@ impl FlowEngine {
     /// Whether batch runs maintain the compressed adjacency mirror.
     pub fn compressed_adjacency(&self) -> bool {
         self.compressed_adjacency
+    }
+
+    /// The live segment tier, if [`FlowConfig::tiered`] is on and a
+    /// batch has spilled one.
+    pub fn tier(&self) -> Option<&ga_graph::TieredCsr> {
+        self.tier.as_ref().map(|(_, t)| t)
+    }
+
+    /// Scrub the segment tier and repair what the scrub (or earlier
+    /// reads) quarantined, using the current CSR snapshot — the same
+    /// state a checkpoint+WAL recovery reproduces — as the repair
+    /// source. Corruption is detected by CRC, quarantined, rewritten
+    /// from good data, and journalled; a segment with no source left is
+    /// refused and counted lost, never fabricated. Returns `None` when
+    /// no tier is live.
+    pub fn scrub_tier(
+        &mut self,
+    ) -> Option<(ga_graph::tier::ScrubReport, ga_graph::tier::RepairReport)> {
+        let snap = self.stream.csr_snapshot(self.kernel_ctx.parallelism);
+        let time = self.stream.last_batch_time();
+        let (_, tier) = self.tier.as_ref()?;
+        let scrub = tier.scrub();
+        if !scrub.corrupt.is_empty() {
+            self.recorder.journal(
+                time,
+                "tier_quarantine",
+                format!("scrub quarantined {} segment(s)", scrub.corrupt.len()),
+            );
+        }
+        let repair = tier.repair_from(Some(&snap));
+        self.recorder.journal(
+            time,
+            "tier_scrub",
+            format!(
+                "scanned {} clean / {} corrupt / {} missing, repaired {}, unrepairable {}",
+                scrub.clean,
+                scrub.corrupt.len(),
+                scrub.missing.len(),
+                repair.repaired.len(),
+                repair.unrepairable.len()
+            ),
+        );
+        self.stats.tier.merge(&tier.take_stats());
+        Some((scrub, repair))
     }
 
     /// Register a batch analytic; returns its index.
@@ -811,10 +881,55 @@ impl FlowEngine {
         self.stats.snapshots.rebuilds += snap_stats.rebuilds() as usize;
         self.stats.snapshots.rows_reused += snap_stats.rows_reused as usize;
         self.stats.snapshots.mem_bytes += snap_stats.mem_bytes as usize;
+        if let Some(cfg) = &self.tier_config {
+            // Respill only when the snapshot actually changed; a repeat
+            // trigger on an unchanged graph keeps the warm tier. Spill
+            // bytes are disk traffic of the Snapshot step.
+            let stale = !matches!(&self.tier, Some((s, _)) if std::sync::Arc::ptr_eq(s, &snap));
+            if stale {
+                let mut span = self.recorder.span(Step::Snapshot);
+                match ga_graph::TieredCsr::spill(&snap, cfg.clone()) {
+                    Ok(tier) => {
+                        if span.is_recording() {
+                            span.add_disk_bytes(tier.stats().spilled_bytes);
+                        }
+                        self.tier = Some((std::sync::Arc::clone(&snap), tier));
+                    }
+                    Err(e) => {
+                        // Spill refused (tier directory unusable):
+                        // degrade to in-RAM extraction, on the record.
+                        self.recorder.journal(
+                            self.stream.last_batch_time(),
+                            "tier_spill_failed",
+                            format!("{e}"),
+                        );
+                        self.tier = None;
+                    }
+                }
+                drop(span);
+            }
+            if let Some((_, tier)) = &self.tier {
+                tier.begin_io_window();
+            }
+        } else {
+            self.tier = None;
+        }
         let mut span = self.recorder.span(Step::Extraction);
         let cols: Vec<&str> = self.project_columns.iter().map(|s| s.as_str()).collect();
         let props_ref = (!cols.is_empty()).then(|| (self.stream.props(), cols.as_slice()));
-        let sub = extract_ball(&snap, seeds, &self.extract, props_ref);
+        let sub = match &self.tier {
+            // The extraction BFS reads through the tier: cold rows page
+            // in from disk and the IO lands on this span's disk axis.
+            Some((_, tier)) => {
+                let before = tier.stats().read_bytes;
+                let sub = extract_ball(tier, seeds, &self.extract, props_ref);
+                if span.is_recording() {
+                    span.add_disk_bytes(tier.stats().read_bytes - before);
+                }
+                sub
+            }
+            None => extract_ball(&*snap, seeds, &self.extract, props_ref),
+        };
         if span.is_recording() {
             let (nv, ne) = (sub.num_vertices() as u64, sub.graph.num_edges() as u64);
             // One visit per vertex + edge; ids and CSR copies dominate
@@ -822,6 +937,9 @@ impl FlowEngine {
             span.add(nv + ne, nv * 8 + ne * 16, 0, 0);
         }
         drop(span);
+        if let Some((_, tier)) = &self.tier {
+            self.stats.tier.merge(&tier.take_stats());
+        }
         self.stats.analytics.subgraphs_extracted += 1;
         self.stats.analytics.vertices_extracted += sub.num_vertices();
         self.stats.analytics.edges_extracted += sub.graph.num_edges();

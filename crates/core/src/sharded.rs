@@ -441,6 +441,15 @@ pub struct ShardedConfig {
     record_metrics: bool,
     replicate: bool,
     suspect_strikes: u32,
+    tier: Option<ga_graph::tier::TierConfig>,
+}
+
+/// Derive shard `i`'s tier config from the fleet template: same knobs,
+/// shard-private segment directory (`base/shard-0i`).
+fn shard_tier_config(t: &ga_graph::tier::TierConfig, shard: usize) -> ga_graph::tier::TierConfig {
+    let mut cfg = t.clone();
+    cfg.dir = t.dir.join(shard_label(shard));
+    cfg
 }
 
 impl ShardedConfig {
@@ -457,6 +466,7 @@ impl ShardedConfig {
             record_metrics: false,
             replicate: false,
             suspect_strikes: DEFAULT_SUSPECT_STRIKES,
+            tier: None,
         }
     }
 
@@ -507,6 +517,17 @@ impl ShardedConfig {
         self
     }
 
+    /// Give every shard a tiered segment store (see
+    /// [`crate::flow::FlowConfig::tiered`]): shard `i` spills under
+    /// `cfg.dir/shard-0i`, and its segment IO runs inside the shard's
+    /// fault scope, so arming `shard-0i/segment.read` faults exactly
+    /// one member's tier. [`ShardedFlow::scrub_tiers`] sweeps the
+    /// fleet.
+    pub fn tiered(mut self, cfg: ga_graph::tier::TierConfig) -> Self {
+        self.tier = Some(cfg);
+        self
+    }
+
     /// Build the fleet over an empty global graph of `num_vertices`.
     pub fn build(self, num_vertices: usize) -> io::Result<ShardedFlow> {
         let plan = ShardPlan::new(self.num_shards);
@@ -528,6 +549,9 @@ impl ShardedConfig {
             }
             if let Some(base) = &self.durability_base {
                 cfg = cfg.durability_dir(shard_dir(base, i));
+            }
+            if let Some(t) = &self.tier {
+                cfg = cfg.tiered(shard_tier_config(t, i));
             }
             shards.push(cfg.build(num_vertices)?);
         }
@@ -559,6 +583,9 @@ impl ShardedConfig {
                     .breaker_threshold(self.suspect_strikes.saturating_add(1));
                 if self.record_metrics {
                     cfg = cfg.recorder(Recorder::labeled(label.clone()));
+                }
+                if let Some(t) = &self.tier {
+                    cfg = cfg.tiered(shard_tier_config(t, i));
                 }
                 cfg.recover(shard_dir(base, i))
             });
@@ -594,6 +621,7 @@ impl ShardedConfig {
             record_metrics: self.record_metrics,
             suspect_strikes: self.suspect_strikes,
             base: self.durability_base.clone(),
+            tier: self.tier.clone(),
             clock: 0,
             ghost_updates: 0,
             lost_updates: 0,
@@ -626,6 +654,9 @@ pub struct ShardedFlow {
     record_metrics: bool,
     suspect_strikes: u32,
     base: Option<PathBuf>,
+    /// Per-shard tier template (None = untiered fleet); reapplied when a
+    /// dead shard is rebuilt so the rebuilt member spills again.
+    tier: Option<ga_graph::tier::TierConfig>,
     /// Fleet clock: the time of the last routed batch, used to stamp
     /// health events and journal lines.
     clock: Timestamp,
@@ -984,6 +1015,47 @@ impl ShardedFlow {
         Ok(report)
     }
 
+    /// Scrub every serving shard's segment tier under its fault scope
+    /// (so an armed `shard-0i/segment.scrub` faults exactly that
+    /// member) and repair what was quarantined from the shard's own
+    /// recovered state — for a replicated fleet that state is itself
+    /// reconstructible from ring neighbors via
+    /// [`ShardedFlow::rebuild_shard`], closing the replica-sourced
+    /// repair path. Returns one `(shard, scrub, repair)` row per shard
+    /// that has a live tier.
+    pub fn scrub_tiers(
+        &mut self,
+    ) -> Vec<(
+        usize,
+        ga_graph::tier::ScrubReport,
+        ga_graph::tier::RepairReport,
+    )> {
+        let mut out = Vec::new();
+        for i in 0..self.shards.len() {
+            if !self.supervisor.is_serving(i) {
+                continue;
+            }
+            let label = self.labels[i].clone();
+            let shard = &mut self.shards[i];
+            if let Some((scrub, repair)) = with_scope(&label, || shard.scrub_tier()) {
+                if !scrub.corrupt.is_empty() || !repair.unrepairable.is_empty() {
+                    self.recorder.journal(
+                        self.clock,
+                        "tier_scrub",
+                        format!(
+                            "{label}: {} corrupt, {} repaired, {} unrepairable",
+                            scrub.corrupt.len(),
+                            repair.repaired.len(),
+                            repair.unrepairable.len()
+                        ),
+                    );
+                }
+                out.push((i, scrub, repair));
+            }
+        }
+        out
+    }
+
     /// Rebuild a Dead shard online — the fleet keeps ingesting and
     /// serving throughout. Durable fleets recover checkpoint + WAL
     /// from the shard's directory and then redeliver the backlog that
@@ -1045,6 +1117,9 @@ impl ShardedFlow {
                 .breaker_threshold(self.suspect_strikes.saturating_add(1));
             if self.record_metrics {
                 cfg = cfg.recorder(Recorder::labeled(label.clone()));
+            }
+            if let Some(t) = &self.tier {
+                cfg = cfg.tiered(shard_tier_config(t, i));
             }
             cfg.recover(shard_dir(&base, i))
         })?;

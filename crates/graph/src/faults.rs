@@ -20,6 +20,9 @@
 //! | `wal.repair`       | before truncating a torn WAL tail               |
 //! | `checkpoint.write` | before/while writing a checkpoint file          |
 //! | `checkpoint.load`  | before reading a checkpoint file during recovery |
+//! | `segment.write`    | before/while spilling a tier segment to disk    |
+//! | `segment.read`     | before reading a tier segment on a cache miss   |
+//! | `segment.scrub`    | before each segment's integrity scrub pass      |
 //!
 //! **Scoped sites.** Multi-engine deployments (the sharded fleet) need
 //! to fault *one* engine's durability path while its siblings run
@@ -51,6 +54,11 @@ pub enum FaultMode {
     /// On the next hit, write only the first `n` bytes of the payload,
     /// report an injected error, then disarm — a torn/truncated write.
     ShortWrite(usize),
+    /// Delay every hit by `n` milliseconds, then let it proceed — a
+    /// slow device rather than a broken one. The operation still
+    /// succeeds; only its latency changes, so results stay
+    /// deterministic. Stays armed until [`clear_all`].
+    Delay(u64),
 }
 
 /// What the instrumented site should do for this hit.
@@ -62,6 +70,10 @@ pub enum Intercept {
     Error,
     /// Write only this many bytes of the payload, then fail.
     ShortWrite(usize),
+    /// Sleep this many milliseconds, then perform the operation
+    /// normally (a slow-IO fault; the site should count it so tier
+    /// stats can report slow devices).
+    Delay(u64),
 }
 
 struct FaultState {
@@ -182,6 +194,19 @@ pub fn intercept(site: &str) -> Intercept {
             state.disarmed = true;
             Intercept::ShortWrite(k)
         }
+        FaultMode::Delay(ms) => {
+            state.fired += 1;
+            Intercept::Delay(ms)
+        }
+    }
+}
+
+/// Honor an [`Intercept::Delay`] by actually sleeping. Split out so
+/// sites can count the slow hit before paying it, and so tests can
+/// assert the mapping without wall-clock waits.
+pub fn apply_delay(ms: u64) {
+    if ms > 0 {
+        std::thread::sleep(std::time::Duration::from_millis(ms));
     }
 }
 
@@ -192,6 +217,10 @@ pub fn intercept(site: &str) -> Intercept {
 pub fn check(site: &str) -> io::Result<()> {
     match intercept(site) {
         Intercept::Proceed => Ok(()),
+        Intercept::Delay(ms) => {
+            apply_delay(ms);
+            Ok(())
+        }
         Intercept::Error | Intercept::ShortWrite(_) => match scoped_name(site) {
             Some(name) => Err(injected(&name)),
             None => Err(injected(site)),
@@ -281,6 +310,34 @@ mod tests {
         assert_eq!(intercept("wal.append"), Intercept::ShortWrite(5));
         assert_eq!(intercept("wal.append"), Intercept::Proceed);
         clear_all();
+    }
+
+    #[test]
+    fn delay_slows_every_hit_but_never_fails() {
+        let _g = LOCK.lock().unwrap();
+        clear_all();
+        arm("segment.read", FaultMode::Delay(0));
+        // Every hit reports the delay; the site stays armed (a slow
+        // device stays slow until the test clears it).
+        assert_eq!(intercept("segment.read"), Intercept::Delay(0));
+        assert_eq!(intercept("segment.read"), Intercept::Delay(0));
+        assert_eq!(fired_count("segment.read"), 2);
+        // check() treats a delayed hit as success, not failure.
+        assert!(check("segment.read").is_ok());
+        assert_eq!(fired_count("segment.read"), 3);
+        clear_all();
+        assert_eq!(intercept("segment.read"), Intercept::Proceed);
+    }
+
+    #[test]
+    fn delay_carries_its_millisecond_budget() {
+        let _g = LOCK.lock().unwrap();
+        clear_all();
+        arm("segment.write", FaultMode::Delay(7));
+        assert_eq!(intercept("segment.write"), Intercept::Delay(7));
+        clear_all();
+        // apply_delay(0) returns immediately — usable in tight tests.
+        apply_delay(0);
     }
 
     #[test]

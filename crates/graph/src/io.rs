@@ -76,6 +76,44 @@ pub fn crc32(data: &[u8]) -> u32 {
     !c
 }
 
+/// Incremental [`crc32`]: feed chunks as they are produced and finish
+/// at the end, without buffering the whole payload. The tier's segment
+/// writer checksums header + payload sections as it streams them;
+/// `Crc32::new().update(a).update(b).finish()` equals
+/// `crc32(&[a, b].concat())` exactly.
+#[derive(Clone, Debug)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Crc32 {
+    /// A fresh hasher (equivalent to having hashed zero bytes).
+    pub fn new() -> Crc32 {
+        Crc32 { state: !0u32 }
+    }
+
+    /// Absorb one chunk.
+    pub fn update(&mut self, data: &[u8]) -> &mut Self {
+        let mut c = self.state;
+        for &b in data {
+            c = CRC32_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+        }
+        self.state = c;
+        self
+    }
+
+    /// The checksum of everything absorbed so far.
+    pub fn finish(&self) -> u32 {
+        !self.state
+    }
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Crc32::new()
+    }
+}
+
 // ---------------------------------------------------------------------
 // Plain-text edge lists.
 // ---------------------------------------------------------------------
@@ -610,6 +648,21 @@ mod tests {
         // IEEE CRC32 of "123456789" is the classic check value.
         assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
         assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn crc32_incremental_matches_one_shot() {
+        assert_eq!(Crc32::new().finish(), crc32(b""));
+        let mut h = Crc32::new();
+        h.update(b"123").update(b"").update(b"456789");
+        assert_eq!(h.finish(), 0xCBF4_3926);
+        // Any chunking of any payload agrees with the one-shot hash.
+        let data: Vec<u8> = (0..=255u8).cycle().take(1031).collect();
+        for split in [0, 1, 7, 512, 1030, 1031] {
+            let mut h = Crc32::new();
+            h.update(&data[..split]).update(&data[split..]);
+            assert_eq!(h.finish(), crc32(&data), "split at {split}");
+        }
     }
 
     #[test]

@@ -48,6 +48,7 @@ pub mod props;
 pub mod snapshot;
 pub mod stats;
 pub mod sub;
+pub mod tier;
 
 pub use adjacency::Adjacency;
 pub use compress::CompressedCsr;
@@ -59,6 +60,7 @@ pub use par::Parallelism;
 pub use props::{PropValue, PropertyStore};
 pub use snapshot::{SnapshotCache, SnapshotStats};
 pub use sub::{ExtractOptions, Subgraph};
+pub use tier::{SegmentStore, TierConfig, TierStats, TieredCsr};
 
 /// Dense vertex identifier.
 ///

@@ -9,7 +9,7 @@
 //! [`CsrGraph`] plus a `back_map` to translate results back to the
 //! persistent graph's ids.
 
-use crate::{CsrBuilder, CsrGraph, DynamicGraph, PropertyStore, VertexId};
+use crate::{Adjacency, CsrBuilder, CsrGraph, DynamicGraph, PropertyStore, VertexId};
 use std::collections::VecDeque;
 
 /// Extraction parameters.
@@ -59,18 +59,20 @@ impl Subgraph {
     }
 }
 
-/// BFS ball extraction around `seeds` from a CSR snapshot.
-pub fn extract_ball(
-    g: &CsrGraph,
+/// BFS ball extraction around `seeds` from any [`Adjacency`] source —
+/// a plain CSR snapshot, a compressed mirror, or a [`crate::TieredCsr`]
+/// whose cold rows page in from disk as the ball expands.
+pub fn extract_ball<A: Adjacency + ?Sized>(
+    g: &A,
     seeds: &[VertexId],
     opts: &ExtractOptions,
     props: Option<(&PropertyStore, &[&str])>,
 ) -> Subgraph {
     let members = bfs_ball_members(
         |v, out: &mut Vec<VertexId>| {
-            out.extend_from_slice(g.neighbors(v));
+            out.extend(g.neighbors(v));
             if opts.undirected_expand && g.has_reverse() {
-                out.extend_from_slice(g.in_neighbors(v));
+                out.extend(g.in_neighbors(v));
             }
         },
         g.num_vertices(),
@@ -78,7 +80,7 @@ pub fn extract_ball(
         opts,
     );
     induce(g.num_vertices(), &members, props, |u, out| {
-        out.extend_from_slice(g.neighbors(u))
+        out.extend(g.neighbors(u))
     })
 }
 

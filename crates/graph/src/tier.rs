@@ -1,0 +1,1578 @@
+//! Tiered larger-than-RAM storage: cold CSR rows and property columns
+//! spill to CRC-framed disk segments behind a budgeted page cache.
+//!
+//! The paper's NORA boil works a 4–7 TB set and finds "disk is the
+//! tall pole" (E3); ROADMAP item 3 asks for that regime to be
+//! *representable* here: a graph whose row data does not fit the
+//! configured RAM budget, served through a cache whose misses are real
+//! disk reads, priced through the calibration model, and whose IO
+//! misbehavior is first-class in the fault matrix.
+//!
+//! Three layers:
+//!
+//! * **`GAS1` segment codec** — one CRC-framed file per segment
+//!   (`magic | version | kind | id | payload len | payload | crc32`),
+//!   sharing the [`crate::io::crc32`] checksum with the WAL and
+//!   checkpoint formats. Every decode error is *detected*: truncation,
+//!   bit flips, and torn writes all fail the frame check instead of
+//!   silently decoding.
+//! * **[`SegmentStore`]** — the directory of segment files plus a
+//!   `quarantine/` subdirectory corrupt segments are moved to. All IO
+//!   passes the seeded fault registry at the `segment.write`,
+//!   `segment.read`, and `segment.scrub` sites (scope-compatible, so a
+//!   sharded fleet can fault one member's tier), including the slow-IO
+//!   [`crate::faults::FaultMode::Delay`] mode.
+//! * **[`TieredCsr`]** — an [`Adjacency`] implementation over spilled
+//!   row segments: a RAM-budgeted LRU page cache, IO-cost-budgeted
+//!   sequential prefetch, CRC-verified reads that quarantine corrupt
+//!   segments, a background [`TieredCsr::scrub`] pass that detects bit
+//!   rot proactively, [`TieredCsr::repair_from`] that restores
+//!   quarantined/missing segments from a source of truth (resident
+//!   copy, or the checkpoint+WAL-recovered graph the flow hands in) —
+//!   with honest refusal and counted loss when no source exists — and
+//!   a consecutive-failure circuit breaker that degrades to
+//!   pinned-in-RAM operation when the device keeps failing.
+//!
+//! All five batch kernels run bit-identically over a `TieredCsr`
+//! because rows decode to exactly the source CSR's sorted target
+//! slices; the representation changes, the bits do not.
+
+use crate::faults::{self, Intercept};
+use crate::io::{crc32, Crc32};
+use crate::{Adjacency, CsrGraph, PropertyStore, VertexId, Weight};
+use std::collections::HashMap;
+use std::fs;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+/// Magic tag of the `GAS1` segment file format.
+pub const MAGIC_SEGMENT: &[u8; 4] = b"GAS1";
+/// Current `GAS1` codec version.
+const SEGMENT_VERSION: u16 = 1;
+/// Upper bound on any payload length read from an untrusted header.
+const MAX_PAYLOAD: u64 = 1 << 32;
+
+/// What a segment file holds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum SegmentKind {
+    /// A contiguous range of forward CSR rows.
+    Rows,
+    /// A contiguous range of reverse (in-edge) CSR rows.
+    RevRows,
+    /// One property column (GAP1-encoded single-column store).
+    PropColumn,
+}
+
+impl SegmentKind {
+    fn tag(self) -> u8 {
+        match self {
+            SegmentKind::Rows => 0,
+            SegmentKind::RevRows => 1,
+            SegmentKind::PropColumn => 2,
+        }
+    }
+
+    fn from_tag(tag: u8) -> Option<SegmentKind> {
+        match tag {
+            0 => Some(SegmentKind::Rows),
+            1 => Some(SegmentKind::RevRows),
+            2 => Some(SegmentKind::PropColumn),
+            _ => None,
+        }
+    }
+
+    /// File-name prefix for this kind (`rows-000042.gas`).
+    pub fn prefix(self) -> &'static str {
+        match self {
+            SegmentKind::Rows => "rows",
+            SegmentKind::RevRows => "rev",
+            SegmentKind::PropColumn => "prop",
+        }
+    }
+}
+
+/// Identity of one segment: kind plus index within the kind.
+pub type SegmentId = (SegmentKind, u64);
+
+// ---------------------------------------------------------------------
+// GAS1 codec.
+// ---------------------------------------------------------------------
+
+/// Frame `payload` as a `GAS1` segment file image. The CRC covers the
+/// header *and* the payload, so a flipped kind/id/length byte is as
+/// detectable as a flipped payload byte.
+pub fn encode_segment(kind: SegmentKind, id: u64, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(payload.len() + 28);
+    out.extend_from_slice(MAGIC_SEGMENT);
+    out.extend_from_slice(&SEGMENT_VERSION.to_le_bytes());
+    out.push(kind.tag());
+    out.push(0); // reserved
+    out.extend_from_slice(&id.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(payload);
+    let mut h = Crc32::new();
+    h.update(&out);
+    out.extend_from_slice(&h.finish().to_le_bytes());
+    out
+}
+
+fn corrupt(what: impl std::fmt::Display) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, format!("GAS1: {what}"))
+}
+
+/// Decode a `GAS1` segment file image into `(kind, id, payload)`.
+/// Every corruption — truncation at any byte, any single-bit flip, a
+/// torn tail — is detected and reported as `InvalidData`; a corrupt
+/// segment never silently decodes.
+pub fn decode_segment(bytes: &[u8]) -> io::Result<(SegmentKind, u64, Vec<u8>)> {
+    const HEADER: usize = 4 + 2 + 1 + 1 + 8 + 8;
+    if bytes.len() < HEADER + 4 {
+        return Err(corrupt("truncated header"));
+    }
+    if &bytes[0..4] != MAGIC_SEGMENT {
+        return Err(corrupt("bad magic"));
+    }
+    let version = u16::from_le_bytes([bytes[4], bytes[5]]);
+    if version != SEGMENT_VERSION {
+        return Err(corrupt(format!("unsupported version {version}")));
+    }
+    let kind = SegmentKind::from_tag(bytes[6]).ok_or_else(|| corrupt("unknown segment kind"))?;
+    if bytes[7] != 0 {
+        return Err(corrupt("nonzero reserved byte"));
+    }
+    let id = u64::from_le_bytes(bytes[8..16].try_into().unwrap());
+    let len = u64::from_le_bytes(bytes[16..24].try_into().unwrap());
+    if len > MAX_PAYLOAD {
+        return Err(corrupt(format!("payload length {len} exceeds bound")));
+    }
+    let expect = HEADER + len as usize + 4;
+    if bytes.len() != expect {
+        return Err(corrupt(format!(
+            "length mismatch: file {} bytes, frame says {expect}",
+            bytes.len()
+        )));
+    }
+    let stored = u32::from_le_bytes(bytes[expect - 4..].try_into().unwrap());
+    let computed = crc32(&bytes[..expect - 4]);
+    if stored != computed {
+        return Err(corrupt(format!(
+            "crc mismatch: stored {stored:#010x}, computed {computed:#010x}"
+        )));
+    }
+    Ok((kind, id, bytes[HEADER..expect - 4].to_vec()))
+}
+
+// ---------------------------------------------------------------------
+// Row-range payload codec.
+// ---------------------------------------------------------------------
+
+/// Decoded rows of one segment, resident in the page cache.
+#[derive(Clone, Debug)]
+struct ResidentSeg {
+    /// First vertex of the range.
+    start: VertexId,
+    /// Relative offsets, `count + 1` entries; row `r` of the range is
+    /// `targets[offsets[r]..offsets[r + 1]]`.
+    offsets: Vec<u64>,
+    targets: Vec<VertexId>,
+    weights: Option<Vec<Weight>>,
+    /// Decoded bytes this segment charges against the RAM budget.
+    bytes: u64,
+    /// LRU clock stamp of the last access.
+    last_used: u64,
+    /// True when this segment has no good on-disk copy (its spill
+    /// failed): it must not be evicted, or the rows would be lost.
+    no_disk_copy: bool,
+}
+
+impl ResidentSeg {
+    fn decoded_bytes(offsets: &[u64], targets: &[VertexId], weights: &Option<Vec<Weight>>) -> u64 {
+        (offsets.len() * 8 + targets.len() * 4 + weights.as_ref().map_or(0, |w| w.len() * 4)) as u64
+    }
+}
+
+/// Encode rows `[start, start + count)` of `csr` (forward or reverse)
+/// as a segment payload.
+fn encode_rows_payload(csr: &CsrGraph, rev: bool, start: VertexId, count: u32) -> Vec<u8> {
+    let weighted = !rev && csr.is_weighted();
+    let mut offsets: Vec<u64> = Vec::with_capacity(count as usize + 1);
+    let mut total: u64 = 0;
+    offsets.push(0);
+    for r in 0..count {
+        let v = start + r;
+        let deg = if rev { csr.in_degree(v) } else { csr.degree(v) };
+        total += deg as u64;
+        offsets.push(total);
+    }
+    let mut out = Vec::with_capacity(16 + offsets.len() * 8 + total as usize * 4);
+    out.extend_from_slice(&start.to_le_bytes());
+    out.extend_from_slice(&count.to_le_bytes());
+    out.push(u8::from(weighted));
+    out.extend_from_slice(&[0u8; 3]);
+    for &o in &offsets {
+        out.extend_from_slice(&o.to_le_bytes());
+    }
+    for r in 0..count {
+        let v = start + r;
+        let row = if rev {
+            csr.in_neighbors(v)
+        } else {
+            csr.neighbors(v)
+        };
+        for &t in row {
+            out.extend_from_slice(&t.to_le_bytes());
+        }
+    }
+    if weighted {
+        for r in 0..count {
+            for w in csr.edge_weights(start + r).unwrap_or(&[]) {
+                out.extend_from_slice(&w.to_le_bytes());
+            }
+        }
+    }
+    out
+}
+
+/// Re-encode a resident segment's rows (repair from the in-RAM copy).
+fn encode_resident_payload(seg: &ResidentSeg) -> Vec<u8> {
+    let count = (seg.offsets.len() - 1) as u32;
+    let weighted = seg.weights.is_some();
+    let mut out = Vec::with_capacity(16 + seg.offsets.len() * 8 + seg.targets.len() * 4);
+    out.extend_from_slice(&seg.start.to_le_bytes());
+    out.extend_from_slice(&count.to_le_bytes());
+    out.push(u8::from(weighted));
+    out.extend_from_slice(&[0u8; 3]);
+    for &o in &seg.offsets {
+        out.extend_from_slice(&o.to_le_bytes());
+    }
+    for &t in &seg.targets {
+        out.extend_from_slice(&t.to_le_bytes());
+    }
+    if let Some(w) = &seg.weights {
+        for x in w {
+            out.extend_from_slice(&x.to_le_bytes());
+        }
+    }
+    out
+}
+
+fn decode_rows_payload(payload: &[u8]) -> io::Result<ResidentSeg> {
+    if payload.len() < 12 {
+        return Err(corrupt("row payload truncated"));
+    }
+    let start = VertexId::from_le_bytes(payload[0..4].try_into().unwrap());
+    let count = u32::from_le_bytes(payload[4..8].try_into().unwrap());
+    let weighted = payload[8] != 0;
+    let off_base = 12;
+    let n_off = count as usize + 1;
+    let tgt_base = off_base + n_off * 8;
+    if payload.len() < tgt_base {
+        return Err(corrupt("row payload shorter than offsets"));
+    }
+    let mut offsets = Vec::with_capacity(n_off);
+    for i in 0..n_off {
+        let a = off_base + i * 8;
+        offsets.push(u64::from_le_bytes(payload[a..a + 8].try_into().unwrap()));
+    }
+    let m = *offsets.last().unwrap();
+    if m > MAX_PAYLOAD {
+        return Err(corrupt("row payload edge count exceeds bound"));
+    }
+    let m = m as usize;
+    let expect = tgt_base + m * 4 + if weighted { m * 4 } else { 0 };
+    if payload.len() != expect {
+        return Err(corrupt("row payload length mismatch"));
+    }
+    let mut targets = Vec::with_capacity(m);
+    for i in 0..m {
+        let a = tgt_base + i * 4;
+        targets.push(VertexId::from_le_bytes(
+            payload[a..a + 4].try_into().unwrap(),
+        ));
+    }
+    let weights = weighted.then(|| {
+        let w_base = tgt_base + m * 4;
+        (0..m)
+            .map(|i| {
+                let a = w_base + i * 4;
+                Weight::from_le_bytes(payload[a..a + 4].try_into().unwrap())
+            })
+            .collect::<Vec<Weight>>()
+    });
+    let bytes = ResidentSeg::decoded_bytes(&offsets, &targets, &weights);
+    Ok(ResidentSeg {
+        start,
+        offsets,
+        targets,
+        weights,
+        bytes,
+        last_used: 0,
+        no_disk_copy: false,
+    })
+}
+
+// ---------------------------------------------------------------------
+// Segment store: the on-disk directory, with fault sites.
+// ---------------------------------------------------------------------
+
+/// Outcome of one store IO: how many bytes moved and whether an
+/// injected [`Intercept::Delay`] slowed it.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct IoOutcome {
+    /// Bytes written or read.
+    pub bytes: u64,
+    /// True when a slow-IO fault delayed the operation.
+    pub slowed: bool,
+}
+
+/// Why a segment read failed — callers treat the arms differently:
+/// transient IO errors are retried, corrupt segments are already
+/// quarantined and need repair, missing segments need repair outright.
+#[derive(Debug)]
+pub enum SegmentReadError {
+    /// The read itself failed (injected or real IO error); the on-disk
+    /// bytes were not judged.
+    Io(io::Error),
+    /// The frame failed validation; the file has been moved to
+    /// `quarantine/`.
+    Corrupt(io::Error),
+    /// No file for this segment (never written, or quarantined by an
+    /// earlier read).
+    Missing,
+}
+
+/// A directory of `GAS1` segment files plus its `quarantine/` corner.
+#[derive(Debug)]
+pub struct SegmentStore {
+    dir: PathBuf,
+}
+
+impl SegmentStore {
+    /// Open (creating if needed) a segment directory.
+    pub fn open(dir: impl Into<PathBuf>) -> io::Result<SegmentStore> {
+        let dir = dir.into();
+        fs::create_dir_all(dir.join("quarantine"))?;
+        Ok(SegmentStore { dir })
+    }
+
+    /// The store's directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Path of segment `(kind, id)`.
+    pub fn segment_path(&self, kind: SegmentKind, id: u64) -> PathBuf {
+        self.dir.join(format!("{}-{id:06}.gas", kind.prefix()))
+    }
+
+    fn quarantine_path(&self, kind: SegmentKind, id: u64) -> PathBuf {
+        self.dir
+            .join("quarantine")
+            .join(format!("{}-{id:06}.gas", kind.prefix()))
+    }
+
+    /// Write one segment through the `segment.write` fault site. An
+    /// injected short write tears the file at its final path exactly as
+    /// a crash mid-write would; the torn frame fails CRC on read.
+    pub fn write(&self, kind: SegmentKind, id: u64, payload: &[u8]) -> io::Result<IoOutcome> {
+        let frame = encode_segment(kind, id, payload);
+        let path = self.segment_path(kind, id);
+        let mut slowed = false;
+        match faults::intercept("segment.write") {
+            Intercept::Proceed => {}
+            Intercept::Delay(ms) => {
+                faults::apply_delay(ms);
+                slowed = true;
+            }
+            Intercept::Error => return Err(faults::injected("segment.write")),
+            Intercept::ShortWrite(k) => {
+                let k = k.min(frame.len());
+                let mut f = fs::File::create(&path)?;
+                f.write_all(&frame[..k])?;
+                f.sync_data()?;
+                return Err(faults::injected("segment.write"));
+            }
+        }
+        let mut f = fs::File::create(&path)?;
+        f.write_all(&frame)?;
+        f.sync_data()?;
+        Ok(IoOutcome {
+            bytes: frame.len() as u64,
+            slowed,
+        })
+    }
+
+    /// Read and validate one segment through the `segment.read` fault
+    /// site. A frame that fails validation is moved to `quarantine/`
+    /// before the error is returned — it is never silently decoded and
+    /// never re-read as good data.
+    pub fn read(
+        &self,
+        kind: SegmentKind,
+        id: u64,
+    ) -> Result<(Vec<u8>, IoOutcome), SegmentReadError> {
+        let mut slowed = false;
+        match faults::intercept("segment.read") {
+            Intercept::Proceed => {}
+            Intercept::Delay(ms) => {
+                faults::apply_delay(ms);
+                slowed = true;
+            }
+            // A short "write" makes no sense on the read path; both
+            // injected arms are read errors.
+            Intercept::Error | Intercept::ShortWrite(_) => {
+                return Err(SegmentReadError::Io(faults::injected("segment.read")))
+            }
+        }
+        let path = self.segment_path(kind, id);
+        let bytes = match fs::read(&path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Err(SegmentReadError::Missing),
+            Err(e) => return Err(SegmentReadError::Io(e)),
+        };
+        match decode_segment(&bytes) {
+            Ok((got_kind, got_id, payload)) if got_kind == kind && got_id == id => Ok((
+                payload,
+                IoOutcome {
+                    bytes: bytes.len() as u64,
+                    slowed,
+                },
+            )),
+            Ok((got_kind, got_id, _)) => {
+                let e = corrupt(format!(
+                    "segment identity mismatch: file says {:?}/{got_id}, expected {kind:?}/{id}",
+                    got_kind
+                ));
+                let _ = self.quarantine(kind, id);
+                Err(SegmentReadError::Corrupt(e))
+            }
+            Err(e) => {
+                let _ = self.quarantine(kind, id);
+                Err(SegmentReadError::Corrupt(e))
+            }
+        }
+    }
+
+    /// Move a segment file into `quarantine/` (idempotent; missing
+    /// files are fine).
+    pub fn quarantine(&self, kind: SegmentKind, id: u64) -> io::Result<()> {
+        let from = self.segment_path(kind, id);
+        match fs::rename(&from, self.quarantine_path(kind, id)) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// True when segment `(kind, id)` has a (possibly corrupt) file at
+    /// its live path.
+    pub fn exists(&self, kind: SegmentKind, id: u64) -> bool {
+        self.segment_path(kind, id).exists()
+    }
+
+    /// Indexes of all live segments of `kind`, sorted.
+    pub fn list(&self, kind: SegmentKind) -> io::Result<Vec<u64>> {
+        let mut ids = Vec::new();
+        let prefix = format!("{}-", kind.prefix());
+        for entry in fs::read_dir(&self.dir)? {
+            let name = entry?.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if let Some(rest) = name.strip_prefix(&prefix) {
+                if let Some(idx) = rest.strip_suffix(".gas") {
+                    if let Ok(id) = idx.parse::<u64>() {
+                        ids.push(id);
+                    }
+                }
+            }
+        }
+        ids.sort_unstable();
+        Ok(ids)
+    }
+
+    /// Remove all live segment files of `kind` (fresh respill).
+    pub fn clear(&self, kind: SegmentKind) -> io::Result<()> {
+        for id in self.list(kind)? {
+            fs::remove_file(self.segment_path(kind, id))?;
+        }
+        Ok(())
+    }
+
+    /// Scrub one segment through the `segment.scrub` fault site: read
+    /// its live file and validate the frame without decoding rows into
+    /// the cache. Corrupt frames are quarantined. Returns
+    /// `Ok(Some(outcome))` for a healthy segment, `Ok(None)` when the
+    /// file is missing, and the read/validation error otherwise.
+    pub fn scrub_one(
+        &self,
+        kind: SegmentKind,
+        id: u64,
+    ) -> Result<Option<IoOutcome>, SegmentReadError> {
+        let mut slowed = false;
+        match faults::intercept("segment.scrub") {
+            Intercept::Proceed => {}
+            Intercept::Delay(ms) => {
+                faults::apply_delay(ms);
+                slowed = true;
+            }
+            Intercept::Error | Intercept::ShortWrite(_) => {
+                return Err(SegmentReadError::Io(faults::injected("segment.scrub")))
+            }
+        }
+        let path = self.segment_path(kind, id);
+        let bytes = match fs::read(&path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(SegmentReadError::Io(e)),
+        };
+        match decode_segment(&bytes) {
+            Ok((got_kind, got_id, _)) if got_kind == kind && got_id == id => Ok(Some(IoOutcome {
+                bytes: bytes.len() as u64,
+                slowed,
+            })),
+            Ok(_) | Err(_) => {
+                let _ = self.quarantine(kind, id);
+                Err(SegmentReadError::Corrupt(corrupt(format!(
+                    "scrub found corrupt segment {}/{id}",
+                    kind.prefix()
+                ))))
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Tier configuration + counters.
+// ---------------------------------------------------------------------
+
+/// Knobs for a [`TieredCsr`]. Built with struct-update syntax over
+/// [`TierConfig::new`] or the builder-style `with_*` methods.
+#[derive(Clone, Debug)]
+pub struct TierConfig {
+    /// Directory segments spill to.
+    pub dir: PathBuf,
+    /// RAM budget for resident decoded row data. The per-vertex degree
+    /// index (8 bytes/vertex, the tier's "page table") is accounted
+    /// separately and not evictable.
+    pub ram_budget_bytes: u64,
+    /// Rows per segment.
+    pub segment_rows: usize,
+    /// IO-cost budget per window ([`TieredCsr::begin_io_window`]):
+    /// prefetch only spends budget left over after demand misses, so a
+    /// tight budget degrades to demand paging instead of thrashing.
+    pub io_budget_bytes: u64,
+    /// Prefetch the next sequential segment after a demand miss when
+    /// the IO budget allows.
+    pub prefetch: bool,
+    /// Extra attempts after a failed segment read.
+    pub read_retries: u32,
+    /// Extra attempts after a failed segment write.
+    pub write_retries: u32,
+    /// Consecutive unrecovered IO failures before the breaker trips
+    /// and the tier degrades to pinned-in-RAM operation.
+    pub breaker_threshold: u32,
+    /// Keep the source snapshot `Arc` as the pinned-in-RAM fallback.
+    /// Without it, a tripped breaker (or an unrepairable segment) can
+    /// only count the loss honestly.
+    pub keep_pin: bool,
+}
+
+impl TierConfig {
+    /// Defaults: 64 MiB RAM budget, 1024-row segments, unlimited IO
+    /// budget, prefetch on, 2 read/write retries, breaker at 4.
+    pub fn new(dir: impl Into<PathBuf>) -> TierConfig {
+        TierConfig {
+            dir: dir.into(),
+            ram_budget_bytes: 64 << 20,
+            segment_rows: 1024,
+            io_budget_bytes: u64::MAX,
+            prefetch: true,
+            read_retries: 2,
+            write_retries: 2,
+            breaker_threshold: 4,
+            keep_pin: true,
+        }
+    }
+
+    /// Set the resident RAM budget.
+    pub fn ram_budget(mut self, bytes: u64) -> Self {
+        self.ram_budget_bytes = bytes;
+        self
+    }
+
+    /// Set rows per segment.
+    pub fn segment_rows(mut self, rows: usize) -> Self {
+        self.segment_rows = rows.max(1);
+        self
+    }
+
+    /// Set the per-window IO budget.
+    pub fn io_budget(mut self, bytes: u64) -> Self {
+        self.io_budget_bytes = bytes;
+        self
+    }
+
+    /// Enable/disable sequential prefetch.
+    pub fn prefetch(mut self, on: bool) -> Self {
+        self.prefetch = on;
+        self
+    }
+
+    /// Set read/write retry budgets.
+    pub fn retries(mut self, read: u32, write: u32) -> Self {
+        self.read_retries = read;
+        self.write_retries = write;
+        self
+    }
+
+    /// Set the consecutive-failure breaker threshold.
+    pub fn breaker_threshold(mut self, n: u32) -> Self {
+        self.breaker_threshold = n.max(1);
+        self
+    }
+
+    /// Keep (or drop) the pinned-in-RAM fallback snapshot.
+    pub fn keep_pin(mut self, on: bool) -> Self {
+        self.keep_pin = on;
+        self
+    }
+}
+
+/// Tier IO counters — merged into `FlowStats`, persisted in GAC1 v3
+/// checkpoints, and priced through the calibration model's disk rows.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TierStats {
+    /// Segments spilled (written) to disk.
+    pub spilled_segments: u64,
+    /// Encoded bytes written by spills and repairs.
+    pub spilled_bytes: u64,
+    /// Row reads served from the resident cache.
+    pub cache_hits: u64,
+    /// Row reads that had to fetch a segment from disk.
+    pub cache_misses: u64,
+    /// Encoded bytes read from disk (misses + prefetch).
+    pub read_bytes: u64,
+    /// Sequential prefetches issued.
+    pub prefetches: u64,
+    /// Prefetches skipped because the IO window budget was exhausted.
+    pub prefetch_denied: u64,
+    /// Segments evicted to stay inside the RAM budget.
+    pub evictions: u64,
+    /// Segments that failed frame validation and were quarantined.
+    pub corrupt_segments: u64,
+    /// Segments verified by scrub passes.
+    pub scrubbed_segments: u64,
+    /// Bytes read by scrub passes.
+    pub scrub_bytes: u64,
+    /// Scrub reads that errored without judging the on-disk bytes.
+    pub scrub_errors: u64,
+    /// Quarantined/missing segments restored from a good source.
+    pub repaired_segments: u64,
+    /// Segments lost for good: no disk copy, no resident copy, no
+    /// repair source — counted, never papered over.
+    pub lost_segments: u64,
+    /// Row reads served empty because the segment was unavailable and
+    /// no pin existed (the read-path honesty counter).
+    pub lost_rows: u64,
+    /// IOs slowed by an injected [`faults::FaultMode::Delay`].
+    pub slow_ios: u64,
+    /// Row reads served from the pinned-in-RAM snapshot after IO
+    /// failures or a tripped breaker.
+    pub pinned_fallbacks: u64,
+    /// Times the consecutive-failure breaker tripped to pinned mode.
+    pub breaker_trips: u64,
+    /// Segment writes that failed after retries (segment kept resident).
+    pub write_failures: u64,
+    /// Segment reads that failed after retries (transient IO, not
+    /// corruption).
+    pub read_failures: u64,
+}
+
+impl TierStats {
+    /// Fold another stats block into this one (sharded merge).
+    pub fn merge(&mut self, o: &TierStats) {
+        self.spilled_segments += o.spilled_segments;
+        self.spilled_bytes += o.spilled_bytes;
+        self.cache_hits += o.cache_hits;
+        self.cache_misses += o.cache_misses;
+        self.read_bytes += o.read_bytes;
+        self.prefetches += o.prefetches;
+        self.prefetch_denied += o.prefetch_denied;
+        self.evictions += o.evictions;
+        self.corrupt_segments += o.corrupt_segments;
+        self.scrubbed_segments += o.scrubbed_segments;
+        self.scrub_bytes += o.scrub_bytes;
+        self.scrub_errors += o.scrub_errors;
+        self.repaired_segments += o.repaired_segments;
+        self.lost_segments += o.lost_segments;
+        self.lost_rows += o.lost_rows;
+        self.slow_ios += o.slow_ios;
+        self.pinned_fallbacks += o.pinned_fallbacks;
+        self.breaker_trips += o.breaker_trips;
+        self.write_failures += o.write_failures;
+        self.read_failures += o.read_failures;
+    }
+
+    /// Total disk bytes this tier moved (spill, demand/prefetch reads,
+    /// scrub) — the quantity the calibration model prices as disk
+    /// demand.
+    pub fn disk_bytes(&self) -> u64 {
+        self.spilled_bytes + self.read_bytes + self.scrub_bytes
+    }
+}
+
+/// Report of one [`TieredCsr::scrub`] pass.
+#[derive(Clone, Debug, Default)]
+pub struct ScrubReport {
+    /// Segments whose frames validated.
+    pub clean: u64,
+    /// Bytes read and checksummed.
+    pub bytes: u64,
+    /// Segments found corrupt and quarantined.
+    pub corrupt: Vec<SegmentId>,
+    /// Segments already missing from disk (quarantined earlier or
+    /// never spilled).
+    pub missing: Vec<SegmentId>,
+    /// Scrub reads that errored (device trouble, not a verdict on the
+    /// bytes — the segment stays live).
+    pub errors: u64,
+}
+
+/// Report of one [`TieredCsr::repair_from`] pass.
+#[derive(Clone, Debug, Default)]
+pub struct RepairReport {
+    /// Segments rewritten from a good source.
+    pub repaired: Vec<SegmentId>,
+    /// Segments with no source left — honest refusal, counted in
+    /// [`TierStats::lost_segments`].
+    pub unrepairable: Vec<SegmentId>,
+    /// Encoded bytes rewritten.
+    pub bytes: u64,
+}
+
+// ---------------------------------------------------------------------
+// TieredCsr: the budgeted page-cache tier.
+// ---------------------------------------------------------------------
+
+struct TierState {
+    resident: HashMap<(bool, usize), ResidentSeg>,
+    resident_bytes: u64,
+    clock: u64,
+    io_window_spent: u64,
+    consecutive_failures: u32,
+    pinned_mode: bool,
+    quarantined: Vec<SegmentId>,
+    stats: TierStats,
+}
+
+/// An [`Adjacency`] served from CRC-framed disk segments behind a
+/// RAM-budgeted page cache. See the module docs for the full contract;
+/// the short version: rows decode bit-identical to the source CSR,
+/// corruption is detected and quarantined rather than decoded, repair
+/// restores from a source of truth or refuses honestly, and a device
+/// that keeps failing trips a breaker into pinned-in-RAM operation.
+pub struct TieredCsr {
+    store: SegmentStore,
+    config: TierConfig,
+    num_vertices: usize,
+    num_edges: usize,
+    weighted: bool,
+    has_reverse: bool,
+    /// Per-vertex out-degrees (the RAM-resident index).
+    degrees: Vec<u32>,
+    /// Per-vertex in-degrees when the source has a reverse index.
+    in_degrees: Vec<u32>,
+    num_fwd_segs: usize,
+    num_rev_segs: usize,
+    /// Encoded on-disk size per forward/reverse segment (prefetch
+    /// pricing).
+    fwd_seg_bytes: Vec<u64>,
+    rev_seg_bytes: Vec<u64>,
+    /// Pinned-in-RAM fallback (see [`TierConfig::keep_pin`]).
+    pin: Option<Arc<CsrGraph>>,
+    state: Mutex<TierState>,
+}
+
+impl std::fmt::Debug for TieredCsr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TieredCsr")
+            .field("num_vertices", &self.num_vertices)
+            .field("num_edges", &self.num_edges)
+            .field("segments", &(self.num_fwd_segs + self.num_rev_segs))
+            .field("dir", &self.config.dir)
+            .finish()
+    }
+}
+
+impl TieredCsr {
+    /// Spill `snap` into segments under `config.dir` and return the
+    /// tier over them. The cache starts cold (nothing resident). A
+    /// segment whose write keeps failing after retries stays resident
+    /// and non-evictable — the rows are never abandoned to a disk that
+    /// did not accept them — and counts toward the breaker.
+    pub fn spill(snap: &Arc<CsrGraph>, config: TierConfig) -> io::Result<TieredCsr> {
+        let store = SegmentStore::open(&config.dir)?;
+        store.clear(SegmentKind::Rows)?;
+        store.clear(SegmentKind::RevRows)?;
+        let n = snap.num_vertices();
+        let seg_rows = config.segment_rows.max(1);
+        let num_fwd_segs = n.div_ceil(seg_rows);
+        let num_rev_segs = if snap.has_reverse() { num_fwd_segs } else { 0 };
+        let mut tier = TieredCsr {
+            store,
+            num_vertices: n,
+            num_edges: snap.num_edges(),
+            weighted: snap.is_weighted(),
+            has_reverse: snap.has_reverse(),
+            degrees: (0..n).map(|v| snap.degree(v as VertexId) as u32).collect(),
+            in_degrees: if snap.has_reverse() {
+                (0..n)
+                    .map(|v| snap.in_degree(v as VertexId) as u32)
+                    .collect()
+            } else {
+                Vec::new()
+            },
+            num_fwd_segs,
+            num_rev_segs,
+            fwd_seg_bytes: vec![0; num_fwd_segs],
+            rev_seg_bytes: vec![0; num_rev_segs],
+            pin: config.keep_pin.then(|| Arc::clone(snap)),
+            config,
+            state: Mutex::new(TierState {
+                resident: HashMap::new(),
+                resident_bytes: 0,
+                clock: 0,
+                io_window_spent: 0,
+                consecutive_failures: 0,
+                pinned_mode: false,
+                quarantined: Vec::new(),
+                stats: TierStats::default(),
+            }),
+        };
+        for seg in 0..num_fwd_segs {
+            tier.spill_one(snap, false, seg)?;
+        }
+        for seg in 0..num_rev_segs {
+            tier.spill_one(snap, true, seg)?;
+        }
+        Ok(tier)
+    }
+
+    fn seg_range(&self, seg: usize) -> (VertexId, u32) {
+        let start = seg * self.config.segment_rows;
+        let count = self.config.segment_rows.min(self.num_vertices - start);
+        (start as VertexId, count as u32)
+    }
+
+    /// Spill one segment, retrying per config. On persistent failure
+    /// the segment is kept resident (non-evictable) instead of lost.
+    fn spill_one(&mut self, snap: &CsrGraph, rev: bool, seg: usize) -> io::Result<()> {
+        let (start, count) = self.seg_range(seg);
+        let payload = encode_rows_payload(snap, rev, start, count);
+        let kind = if rev {
+            SegmentKind::RevRows
+        } else {
+            SegmentKind::Rows
+        };
+        let state = self.state.get_mut().unwrap();
+        let mut attempt = 0;
+        loop {
+            match self.store.write(kind, seg as u64, &payload) {
+                Ok(out) => {
+                    state.stats.spilled_segments += 1;
+                    state.stats.spilled_bytes += out.bytes;
+                    state.stats.slow_ios += u64::from(out.slowed);
+                    state.consecutive_failures = 0;
+                    if rev {
+                        self.rev_seg_bytes[seg] = out.bytes;
+                    } else {
+                        self.fwd_seg_bytes[seg] = out.bytes;
+                    }
+                    return Ok(());
+                }
+                Err(e) if attempt < self.config.write_retries => {
+                    let _ = e;
+                    attempt += 1;
+                }
+                Err(_) => {
+                    // Keep the rows resident; a disk that refused the
+                    // write does not get to own the only copy.
+                    state.stats.write_failures += 1;
+                    state.consecutive_failures += 1;
+                    if state.consecutive_failures >= self.config.breaker_threshold
+                        && !state.pinned_mode
+                    {
+                        state.pinned_mode = true;
+                        state.stats.breaker_trips += 1;
+                    }
+                    let mut decoded =
+                        decode_rows_payload(&payload).expect("freshly encoded payload must decode");
+                    decoded.no_disk_copy = true;
+                    state.clock += 1;
+                    decoded.last_used = state.clock;
+                    state.resident_bytes += decoded.bytes;
+                    state.resident.insert((rev, seg), decoded);
+                    return Ok(());
+                }
+            }
+        }
+    }
+
+    /// Number of vertices per segment.
+    pub fn segment_rows(&self) -> usize {
+        self.config.segment_rows
+    }
+
+    /// Forward + reverse segment count.
+    pub fn num_segments(&self) -> usize {
+        self.num_fwd_segs + self.num_rev_segs
+    }
+
+    /// Decoded bytes currently resident in the page cache.
+    pub fn resident_bytes(&self) -> u64 {
+        self.state.lock().unwrap().resident_bytes
+    }
+
+    /// The configured resident RAM budget.
+    pub fn ram_budget_bytes(&self) -> u64 {
+        self.config.ram_budget_bytes
+    }
+
+    /// Decoded bytes of the full row working set (what 100% RAM would
+    /// hold): the basis benchmarks size their budgets against.
+    pub fn working_set_bytes(&self) -> u64 {
+        let m = self.num_edges as u64;
+        let fwd = m * 4 + (self.num_vertices as u64 + self.num_fwd_segs as u64) * 8;
+        let w = if self.weighted { m * 4 } else { 0 };
+        let rev = if self.has_reverse { fwd } else { 0 };
+        fwd + w + rev
+    }
+
+    /// True once the breaker has tripped to pinned-in-RAM operation.
+    pub fn pinned_mode(&self) -> bool {
+        self.state.lock().unwrap().pinned_mode
+    }
+
+    /// Currently quarantined segments (cleared by repair).
+    pub fn quarantined(&self) -> Vec<SegmentId> {
+        self.state.lock().unwrap().quarantined.clone()
+    }
+
+    /// Counters so far (cumulative; see [`TieredCsr::take_stats`]).
+    pub fn stats(&self) -> TierStats {
+        self.state.lock().unwrap().stats
+    }
+
+    /// Drain the counters (the flow folds them into `FlowStats` after
+    /// each batch).
+    pub fn take_stats(&self) -> TierStats {
+        std::mem::take(&mut self.state.lock().unwrap().stats)
+    }
+
+    /// Start a fresh IO-cost window: demand misses and prefetches
+    /// inside one window share [`TierConfig::io_budget_bytes`]; once
+    /// spent, prefetch is denied (demand misses always proceed — the
+    /// budget shapes speculation, not correctness).
+    pub fn begin_io_window(&self) {
+        self.state.lock().unwrap().io_window_spent = 0;
+    }
+
+    fn seg_of(&self, v: VertexId) -> usize {
+        v as usize / self.config.segment_rows
+    }
+
+    /// Fetch a segment into the cache (caller holds the lock via
+    /// `state`). Returns false when the segment could not be fetched.
+    fn fetch_locked(&self, state: &mut TierState, rev: bool, seg: usize) -> bool {
+        let kind = if rev {
+            SegmentKind::RevRows
+        } else {
+            SegmentKind::Rows
+        };
+        let mut attempt = 0;
+        loop {
+            match self.store.read(kind, seg as u64) {
+                Ok((payload, out)) => {
+                    state.stats.read_bytes += out.bytes;
+                    state.stats.slow_ios += u64::from(out.slowed);
+                    state.io_window_spent = state.io_window_spent.saturating_add(out.bytes);
+                    state.consecutive_failures = 0;
+                    match decode_rows_payload(&payload) {
+                        Ok(mut decoded) => {
+                            state.clock += 1;
+                            decoded.last_used = state.clock;
+                            state.resident_bytes += decoded.bytes;
+                            state.resident.insert((rev, seg), decoded);
+                            self.evict_over_budget(state, (rev, seg));
+                            return true;
+                        }
+                        Err(_) => {
+                            // Frame CRC passed but the payload lied —
+                            // treat as corrupt, same as the store would.
+                            let _ = self.store.quarantine(kind, seg as u64);
+                            state.stats.corrupt_segments += 1;
+                            state.quarantined.push((kind, seg as u64));
+                            return false;
+                        }
+                    }
+                }
+                Err(SegmentReadError::Io(_)) if attempt < self.config.read_retries => {
+                    attempt += 1;
+                }
+                Err(SegmentReadError::Io(_)) => {
+                    state.stats.read_failures += 1;
+                    state.consecutive_failures += 1;
+                    if state.consecutive_failures >= self.config.breaker_threshold
+                        && !state.pinned_mode
+                    {
+                        state.pinned_mode = true;
+                        state.stats.breaker_trips += 1;
+                    }
+                    return false;
+                }
+                Err(SegmentReadError::Corrupt(_)) => {
+                    state.stats.corrupt_segments += 1;
+                    state.quarantined.push((kind, seg as u64));
+                    return false;
+                }
+                Err(SegmentReadError::Missing) => {
+                    return false;
+                }
+            }
+        }
+    }
+
+    /// Evict least-recently-used segments until resident bytes fit the
+    /// budget. The just-inserted segment and segments without a disk
+    /// copy are exempt (evicting either would break correctness).
+    fn evict_over_budget(&self, state: &mut TierState, keep: (bool, usize)) {
+        while state.resident_bytes > self.config.ram_budget_bytes {
+            let victim = state
+                .resident
+                .iter()
+                .filter(|(k, s)| **k != keep && !s.no_disk_copy)
+                .min_by_key(|(_, s)| s.last_used)
+                .map(|(k, _)| *k);
+            match victim {
+                Some(k) => {
+                    let seg = state.resident.remove(&k).unwrap();
+                    state.resident_bytes -= seg.bytes;
+                    state.stats.evictions += 1;
+                }
+                None => break, // nothing evictable: tolerate overage
+            }
+        }
+    }
+
+    /// Issue a budgeted sequential prefetch of `seg + 1` after a
+    /// demand miss of `seg`.
+    fn maybe_prefetch(&self, state: &mut TierState, rev: bool, seg: usize) {
+        if !self.config.prefetch || state.pinned_mode {
+            return;
+        }
+        let next = seg + 1;
+        let count = if rev {
+            self.num_rev_segs
+        } else {
+            self.num_fwd_segs
+        };
+        if next >= count || state.resident.contains_key(&(rev, next)) {
+            return;
+        }
+        let price = if rev {
+            self.rev_seg_bytes[next]
+        } else {
+            self.fwd_seg_bytes[next]
+        };
+        if state.io_window_spent.saturating_add(price) > self.config.io_budget_bytes {
+            state.stats.prefetch_denied += 1;
+            return;
+        }
+        if self.fetch_locked(state, rev, next) {
+            state.stats.prefetches += 1;
+        }
+    }
+
+    /// Run `f` on row `v` (forward or reverse): `(targets, weights)`.
+    /// Falls back to the pin on IO failure, and to an empty row — with
+    /// `lost_rows` counted — when no pin exists.
+    fn with_row<R>(
+        &self,
+        v: VertexId,
+        rev: bool,
+        f: impl FnOnce(&[VertexId], Option<&[Weight]>) -> R,
+    ) -> R {
+        let seg = self.seg_of(v);
+        let mut state = self.state.lock().unwrap();
+        if state.pinned_mode {
+            if let Some(pin) = &self.pin {
+                state.stats.pinned_fallbacks += 1;
+                let row = if rev {
+                    pin.in_neighbors(v)
+                } else {
+                    pin.neighbors(v)
+                };
+                let w = if rev { None } else { pin.edge_weights(v) };
+                return f(row, w);
+            }
+        }
+        let mut missed = false;
+        if !state.resident.contains_key(&(rev, seg)) {
+            state.stats.cache_misses += 1;
+            missed = true;
+            if !self.fetch_locked(&mut state, rev, seg) {
+                // Unfetchable (IO failure, corrupt, or missing): serve
+                // from the pin when we have one, else count the loss.
+                if let Some(pin) = &self.pin {
+                    state.stats.pinned_fallbacks += 1;
+                    let row = if rev {
+                        pin.in_neighbors(v)
+                    } else {
+                        pin.neighbors(v)
+                    };
+                    let w = if rev { None } else { pin.edge_weights(v) };
+                    return f(row, w);
+                }
+                state.stats.lost_rows += 1;
+                return f(&[], None);
+            }
+        } else {
+            state.stats.cache_hits += 1;
+        }
+        state.clock += 1;
+        let clock = state.clock;
+        let resident = state.resident.get_mut(&(rev, seg)).unwrap();
+        resident.last_used = clock;
+        let r = (v - resident.start) as usize;
+        let (a, b) = (
+            resident.offsets[r] as usize,
+            resident.offsets[r + 1] as usize,
+        );
+        let out = f(
+            &resident.targets[a..b],
+            resident.weights.as_deref().map(|w| &w[a..b]),
+        );
+        if missed {
+            // Prefetch only after the row has been served: under a
+            // tight budget the speculative segment may evict this one.
+            self.maybe_prefetch(&mut state, rev, seg);
+        }
+        out
+    }
+
+    /// Scrub every segment this tier owns: validate frames on disk,
+    /// quarantine corruption, report missing files. Scrub never
+    /// decodes a corrupt frame into served data — the failure mode is
+    /// quarantine + repair, not a wrong answer.
+    pub fn scrub(&self) -> ScrubReport {
+        let mut report = ScrubReport::default();
+        let mut state = self.state.lock().unwrap();
+        let kinds = [
+            (SegmentKind::Rows, self.num_fwd_segs),
+            (SegmentKind::RevRows, self.num_rev_segs),
+        ];
+        for (kind, count) in kinds {
+            for seg in 0..count {
+                match self.store.scrub_one(kind, seg as u64) {
+                    Ok(Some(out)) => {
+                        report.clean += 1;
+                        report.bytes += out.bytes;
+                        state.stats.scrubbed_segments += 1;
+                        state.stats.scrub_bytes += out.bytes;
+                        state.stats.slow_ios += u64::from(out.slowed);
+                    }
+                    Ok(None) => report.missing.push((kind, seg as u64)),
+                    Err(SegmentReadError::Corrupt(_)) => {
+                        state.stats.corrupt_segments += 1;
+                        state.quarantined.push((kind, seg as u64));
+                        report.corrupt.push((kind, seg as u64));
+                    }
+                    Err(_) => {
+                        // Device error, not a verdict on the bytes: the
+                        // segment stays live, the error is counted.
+                        state.stats.scrub_errors += 1;
+                        report.errors += 1;
+                    }
+                }
+            }
+        }
+        report
+    }
+
+    /// Restore every quarantined/missing segment. Source priority: the
+    /// resident in-RAM copy (still good), then `source` (the
+    /// checkpoint+WAL-recovered graph the flow hands in, or a replica
+    /// reconstruction in the sharded fleet). With neither, the segment
+    /// is reported unrepairable and counted lost — never fabricated.
+    pub fn repair_from(&self, source: Option<&CsrGraph>) -> RepairReport {
+        let mut report = RepairReport::default();
+        let mut state = self.state.lock().unwrap();
+        let kinds = [
+            (SegmentKind::Rows, self.num_fwd_segs, false),
+            (SegmentKind::RevRows, self.num_rev_segs, true),
+        ];
+        for (kind, count, rev) in kinds {
+            for seg in 0..count {
+                if self.store.exists(kind, seg as u64) {
+                    continue;
+                }
+                let payload = if let Some(res) = state.resident.get(&(rev, seg)) {
+                    Some(encode_resident_payload(res))
+                } else if let Some(src) = source {
+                    let (start, rows) = self.seg_range(seg);
+                    Some(encode_rows_payload(src, rev, start, rows))
+                } else {
+                    self.pin.as_ref().map(|pin| {
+                        let (start, rows) = self.seg_range(seg);
+                        encode_rows_payload(pin, rev, start, rows)
+                    })
+                };
+                match payload {
+                    Some(payload) => {
+                        let mut attempt = 0;
+                        loop {
+                            match self.store.write(kind, seg as u64, &payload) {
+                                Ok(out) => {
+                                    state.stats.repaired_segments += 1;
+                                    state.stats.spilled_bytes += out.bytes;
+                                    state.stats.slow_ios += u64::from(out.slowed);
+                                    report.repaired.push((kind, seg as u64));
+                                    report.bytes += out.bytes;
+                                    // The rewritten copy is good again:
+                                    // a resident twin may evict freely.
+                                    if let Some(res) = state.resident.get_mut(&(rev, seg)) {
+                                        res.no_disk_copy = false;
+                                    }
+                                    break;
+                                }
+                                Err(_) if attempt < self.config.write_retries => attempt += 1,
+                                Err(_) => {
+                                    state.stats.write_failures += 1;
+                                    report.unrepairable.push((kind, seg as u64));
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                    None => {
+                        state.stats.lost_segments += 1;
+                        report.unrepairable.push((kind, seg as u64));
+                    }
+                }
+            }
+        }
+        state.quarantined.retain(|id| !report.repaired.contains(id));
+        report
+    }
+}
+
+impl Adjacency for TieredCsr {
+    type Neighbors<'a> = std::vec::IntoIter<VertexId>;
+    type WeightedNeighbors<'a> = std::vec::IntoIter<(VertexId, Weight)>;
+
+    fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    fn degree(&self, v: VertexId) -> usize {
+        self.degrees[v as usize] as usize
+    }
+
+    fn neighbors(&self, v: VertexId) -> Self::Neighbors<'_> {
+        self.with_row(v, false, |t, _| t.to_vec()).into_iter()
+    }
+
+    fn weighted_neighbors(&self, v: VertexId) -> Self::WeightedNeighbors<'_> {
+        self.with_row(v, false, |t, w| match w {
+            Some(w) => t.iter().copied().zip(w.iter().copied()).collect::<Vec<_>>(),
+            None => t.iter().map(|&x| (x, 1.0)).collect(),
+        })
+        .into_iter()
+    }
+
+    fn is_weighted(&self) -> bool {
+        self.weighted
+    }
+
+    fn has_reverse(&self) -> bool {
+        self.has_reverse
+    }
+
+    fn in_degree(&self, v: VertexId) -> usize {
+        assert!(self.has_reverse, "no reverse index");
+        self.in_degrees[v as usize] as usize
+    }
+
+    fn in_neighbors(&self, v: VertexId) -> Self::Neighbors<'_> {
+        assert!(self.has_reverse, "no reverse index");
+        self.with_row(v, true, |t, _| t.to_vec()).into_iter()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Property-column spill.
+// ---------------------------------------------------------------------
+
+/// Spill every property column of `props` as one `PropColumn` segment
+/// each (GAP1 single-column payloads), column index = position in the
+/// sorted name list. Returns `(segments, bytes, slow_ios)`; a write
+/// that keeps failing after `retries` attempts returns the error and
+/// the caller keeps serving the column from RAM (honest degradation,
+/// no partial truth on disk).
+pub fn spill_prop_columns(
+    store: &SegmentStore,
+    props: &PropertyStore,
+    retries: u32,
+) -> io::Result<(u64, u64, u64)> {
+    store.clear(SegmentKind::PropColumn)?;
+    let mut names = props.column_names();
+    names.sort_unstable();
+    let all: Vec<VertexId> = (0..props.num_vertices() as VertexId).collect();
+    let (mut segs, mut bytes, mut slow) = (0u64, 0u64, 0u64);
+    for (idx, name) in names.iter().enumerate() {
+        let single = props.project(&all, &[name]);
+        let mut payload = Vec::new();
+        crate::io::write_props(&single, &mut payload)?;
+        let mut attempt = 0;
+        let out = loop {
+            match store.write(SegmentKind::PropColumn, idx as u64, &payload) {
+                Ok(out) => break out,
+                Err(_) if attempt < retries => attempt += 1,
+                Err(e) => return Err(e),
+            }
+        };
+        segs += 1;
+        bytes += out.bytes;
+        slow += u64::from(out.slowed);
+    }
+    Ok((segs, bytes, slow))
+}
+
+/// Load every live `PropColumn` segment back into one store. Corrupt
+/// segments are quarantined by the read and reported in the second
+/// return value (by index) for repair; their columns are absent from
+/// the result rather than silently wrong.
+pub fn load_prop_columns(
+    store: &SegmentStore,
+    num_vertices: usize,
+) -> io::Result<(PropertyStore, Vec<u64>)> {
+    let mut merged = PropertyStore::new(num_vertices);
+    let mut corrupt = Vec::new();
+    let back_map: Vec<VertexId> = (0..num_vertices as VertexId).collect();
+    for idx in store.list(SegmentKind::PropColumn)? {
+        match store.read(SegmentKind::PropColumn, idx) {
+            Ok((payload, _)) => {
+                let single = crate::io::read_props(&payload[..])?;
+                merged.write_back(&single, &back_map);
+            }
+            Err(SegmentReadError::Corrupt(_)) => corrupt.push(idx),
+            Err(SegmentReadError::Missing) => corrupt.push(idx),
+            Err(SegmentReadError::Io(e)) => return Err(e),
+        }
+    }
+    Ok((merged, corrupt))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::faults::FaultMode;
+    use crate::gen;
+    use std::sync::Mutex as StdMutex;
+
+    // The fault registry is process-global; serialize fault tests.
+    static LOCK: StdMutex<()> = StdMutex::new(());
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("ga-tier-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    fn sample_graph() -> Arc<CsrGraph> {
+        let edges = gen::rmat(8, 8 << 8, gen::RmatParams::GRAPH500, 7);
+        Arc::new(CsrGraph::from_edges(1 << 8, &edges))
+    }
+
+    #[test]
+    fn segment_codec_round_trips() {
+        let payload = vec![7u8; 1000];
+        let frame = encode_segment(SegmentKind::Rows, 42, &payload);
+        let (kind, id, got) = decode_segment(&frame).unwrap();
+        assert_eq!((kind, id), (SegmentKind::Rows, 42));
+        assert_eq!(got, payload);
+    }
+
+    #[test]
+    fn segment_codec_detects_bit_flips_and_truncation() {
+        let frame = encode_segment(SegmentKind::PropColumn, 3, b"hello segment");
+        for i in 0..frame.len() {
+            let mut bad = frame.clone();
+            bad[i] ^= 0x40;
+            assert!(decode_segment(&bad).is_err(), "flip at byte {i} undetected");
+        }
+        for cut in 0..frame.len() {
+            assert!(
+                decode_segment(&frame[..cut]).is_err(),
+                "cut at {cut} undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn tiered_rows_match_source_and_respect_budget() {
+        let snap = sample_graph();
+        let cfg = TierConfig::new(tmpdir("rows"))
+            .segment_rows(32)
+            .ram_budget(4 << 10)
+            .keep_pin(false);
+        let tier = TieredCsr::spill(&snap, cfg).unwrap();
+        for v in snap.vertices() {
+            let got: Vec<VertexId> = Adjacency::neighbors(&tier, v).collect();
+            assert_eq!(got, snap.neighbors(v), "row {v}");
+            assert!(tier.resident_bytes() <= tier.ram_budget_bytes());
+        }
+        let s = tier.stats();
+        assert!(s.cache_misses > 0 && s.evictions > 0);
+        assert_eq!(s.lost_rows, 0);
+        let _ = fs::remove_dir_all(tier.store.dir());
+    }
+
+    #[test]
+    fn scrub_detects_corruption_and_repair_restores() {
+        let snap = sample_graph();
+        let dir = tmpdir("scrub");
+        let cfg = TierConfig::new(&dir).segment_rows(64).keep_pin(false);
+        let tier = TieredCsr::spill(&snap, cfg).unwrap();
+        // Rot one byte in segment 1 on disk.
+        let path = tier.store.segment_path(SegmentKind::Rows, 1);
+        let mut bytes = fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        fs::write(&path, &bytes).unwrap();
+        let report = tier.scrub();
+        assert_eq!(report.corrupt, vec![(SegmentKind::Rows, 1)]);
+        assert_eq!(tier.quarantined(), vec![(SegmentKind::Rows, 1)]);
+        // Repair from the source graph; rows come back bit-identical.
+        let rep = tier.repair_from(Some(&snap));
+        assert_eq!(rep.repaired, vec![(SegmentKind::Rows, 1)]);
+        assert!(rep.unrepairable.is_empty());
+        assert!(tier.quarantined().is_empty());
+        for v in snap.vertices() {
+            let got: Vec<VertexId> = Adjacency::neighbors(&tier, v).collect();
+            assert_eq!(got, snap.neighbors(v));
+        }
+        assert_eq!(tier.scrub().corrupt, vec![]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn repair_without_source_refuses_and_counts_loss() {
+        let snap = sample_graph();
+        let dir = tmpdir("refuse");
+        let cfg = TierConfig::new(&dir).segment_rows(64).keep_pin(false);
+        let tier = TieredCsr::spill(&snap, cfg).unwrap();
+        fs::remove_file(tier.store.segment_path(SegmentKind::Rows, 0)).unwrap();
+        let rep = tier.repair_from(None);
+        assert_eq!(rep.unrepairable, vec![(SegmentKind::Rows, 0)]);
+        assert!(rep.repaired.is_empty());
+        assert_eq!(tier.stats().lost_segments, 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn read_faults_fall_back_to_pin_and_trip_breaker() {
+        let _g = LOCK.lock().unwrap();
+        faults::clear_all();
+        let snap = sample_graph();
+        let dir = tmpdir("breaker");
+        let cfg = TierConfig::new(&dir)
+            .segment_rows(64)
+            .retries(0, 0)
+            .breaker_threshold(2);
+        let tier = TieredCsr::spill(&snap, cfg).unwrap();
+        faults::arm("segment.read", FaultMode::FailEveryNth(1));
+        for v in snap.vertices() {
+            let got: Vec<VertexId> = Adjacency::neighbors(&tier, v).collect();
+            assert_eq!(got, snap.neighbors(v), "pinned fallback must stay exact");
+        }
+        faults::clear_all();
+        let s = tier.stats();
+        assert!(s.pinned_fallbacks > 0);
+        assert!(s.breaker_trips >= 1);
+        assert!(tier.pinned_mode());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn delayed_io_is_counted_not_failed() {
+        let _g = LOCK.lock().unwrap();
+        faults::clear_all();
+        let snap = sample_graph();
+        let dir = tmpdir("delay");
+        faults::arm("segment.write", FaultMode::Delay(0));
+        let cfg = TierConfig::new(&dir).segment_rows(64).keep_pin(false);
+        let tier = TieredCsr::spill(&snap, cfg).unwrap();
+        faults::clear_all();
+        let s = tier.stats();
+        assert_eq!(s.slow_ios, s.spilled_segments);
+        assert_eq!(s.write_failures, 0);
+        for v in snap.vertices() {
+            let got: Vec<VertexId> = Adjacency::neighbors(&tier, v).collect();
+            assert_eq!(got, snap.neighbors(v));
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn io_budget_denies_prefetch_but_not_demand() {
+        let snap = sample_graph();
+        let dir = tmpdir("budget");
+        // A 1-byte IO window: every prefetch is denied, demand misses
+        // still stream every row correctly.
+        let cfg = TierConfig::new(&dir)
+            .segment_rows(16)
+            .io_budget(1)
+            .keep_pin(false);
+        let tier = TieredCsr::spill(&snap, cfg).unwrap();
+        tier.begin_io_window();
+        for v in snap.vertices() {
+            let got: Vec<VertexId> = Adjacency::neighbors(&tier, v).collect();
+            assert_eq!(got, snap.neighbors(v));
+        }
+        let s = tier.stats();
+        assert_eq!(s.prefetches, 0);
+        assert!(s.prefetch_denied > 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn prop_columns_round_trip_and_detect_corruption() {
+        let dir = tmpdir("props");
+        let store = SegmentStore::open(&dir).unwrap();
+        let mut props = PropertyStore::new(8);
+        props.set_column_f64("rank", &[0.5; 8]);
+        props.set_column_u64("component", &[3; 8]);
+        let (segs, bytes, _) = spill_prop_columns(&store, &props, 2).unwrap();
+        assert_eq!(segs, 2);
+        assert!(bytes > 0);
+        let (loaded, corrupt) = load_prop_columns(&store, 8).unwrap();
+        assert!(corrupt.is_empty());
+        assert_eq!(loaded.get_f64("rank", 3), Some(0.5));
+        assert_eq!(loaded.get("component", 0).map(|v| v.as_f64()), Some(3.0));
+        // Rot one column; it must be reported, not half-loaded.
+        let path = store.segment_path(SegmentKind::PropColumn, 0);
+        let mut b = fs::read(&path).unwrap();
+        let last = b.len() - 1;
+        b[last] ^= 0xFF;
+        fs::write(&path, &b).unwrap();
+        let (loaded, corrupt) = load_prop_columns(&store, 8).unwrap();
+        assert_eq!(corrupt, vec![0]);
+        assert!(!loaded.has_column("component") || !loaded.has_column("rank"));
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -295,6 +295,7 @@ impl Wal {
         let frame = frame_bytes(self.next_seq, &encode_batch(batch));
         match faults::intercept("wal.append") {
             faults::Intercept::Proceed => {}
+            faults::Intercept::Delay(ms) => faults::apply_delay(ms),
             faults::Intercept::Error => return Err(faults::injected("wal.append")),
             faults::Intercept::ShortWrite(k) => {
                 let k = k.min(frame.len());

@@ -52,7 +52,9 @@ pub use ga_stream as stream;
 /// assert!(flow.metrics().steps_covered() > 0);
 /// ```
 pub mod prelude {
-    pub use ga_core::faults::{ShardFaultPlan, SHARD_MATRIX_SIZE};
+    pub use ga_core::faults::{
+        SegmentFaultPlan, ShardFaultPlan, SEGMENT_MATRIX_SIZE, SHARD_MATRIX_SIZE,
+    };
     pub use ga_core::flow::{
         BatchRunReport, ComponentsAnalytic, DegradationLevel, FlowConfig, FlowEngine, FlowStats,
         OverloadConfig, PageRankAnalytic, SelectionCriteria, TriangleAnalytic,
@@ -64,7 +66,7 @@ pub mod prelude {
     };
     pub use ga_graph::{
         CsrBuilder, CsrGraph, DynamicGraph, ExtractOptions, Parallelism, PropValue, PropertyStore,
-        Subgraph, VertexId,
+        SegmentStore, Subgraph, TierConfig, TierStats, TieredCsr, VertexId,
     };
     pub use ga_kernels::{bfs, cc, pagerank, sssp, triangles};
     pub use ga_kernels::{Budget, Completion, KernelCtx};

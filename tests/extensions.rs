@@ -152,6 +152,7 @@ fn calibration_is_deterministic_and_priceable() {
                 deadline_partials: 1,
                 analytics_skipped: 2,
             },
+            tier: Default::default(),
         },
         nora: NoraStats {
             pair_candidates: 20_000,
