@@ -128,6 +128,7 @@ fn main() {
     let run = MeasuredRun {
         flow: flow.stats(),
         nora: nora_stats,
+        serve: Default::default(),
     };
     println!("measured: {:?}", run.flow);
     println!("          {:?}", run.nora);

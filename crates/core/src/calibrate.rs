@@ -44,6 +44,16 @@ pub struct CostCoefficients {
     pub net_bytes_per_update: f64,
     /// Bytes shipped per emitted relationship/event.
     pub net_bytes_per_event: f64,
+    /// CPU ops per answered point query (High/Normal classes: property
+    /// reads, degree, neighbor lists — the §V-B microsecond workload).
+    pub ops_per_point_query: f64,
+    /// CPU ops per answered scan query (Bulk class: top-k property
+    /// scans and other whole-column work).
+    pub ops_per_scan_query: f64,
+    /// Bytes of memory traffic per answered point query.
+    pub mem_bytes_per_point_query: f64,
+    /// Bytes of memory traffic per answered scan query.
+    pub mem_bytes_per_scan_query: f64,
 }
 
 impl Default for CostCoefficients {
@@ -58,18 +68,26 @@ impl Default for CostCoefficients {
             disk_bytes_per_record: 2_048.0,
             net_bytes_per_update: 64.0,
             net_bytes_per_event: 128.0,
+            ops_per_point_query: 400.0,
+            ops_per_scan_query: 20_000.0,
+            mem_bytes_per_point_query: 256.0,
+            mem_bytes_per_scan_query: 64_000.0,
         }
     }
 }
 
 /// A measured workload profile: the flow engine's counters plus the
-/// NORA search's own instrumentation.
+/// NORA search's own instrumentation, and (when the run served
+/// concurrent queries) the serving front end's counters.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct MeasuredRun {
     /// The flow engine counters.
     pub flow: FlowStats,
     /// The relationship-search counters.
     pub nora: NoraStats,
+    /// The query-serving counters ([`crate::serve::QueryService::stats`]);
+    /// default (all-zero) when the run served no queries.
+    pub serve: crate::serve::ServeStats,
 }
 
 /// Convert a measured run into a demand table shaped like
@@ -95,7 +113,11 @@ pub struct MeasuredRun {
 ///    batch-kernel counters** ([`crate::flow::AnalyticsStats::kernel_cpu_ops`],
 ///    [`crate::flow::AnalyticsStats::kernel_mem_bytes`]) drained from the kernels'
 ///    [`ga_graph::OpCounters`] — the analytic step now prices what the
-///    instrumented kernels actually did, not an estimate
+///    instrumented kernels actually did, not an estimate — **plus the
+///    served query load** ([`MeasuredRun::serve`]): answered
+///    High/Normal queries priced as point reads, answered Bulk queries
+///    as scans (the §II "stream of independent local queries" is graph
+///    search demand, so it lands on the search row)
 /// 8. index build     ← relationships written (disk)
 /// 9. export/boil     ← events/alerts shipped (network)
 pub fn calibrate(run: &MeasuredRun, c: &CostCoefficients) -> Vec<StepDemand> {
@@ -112,6 +134,10 @@ pub fn calibrate(run: &MeasuredRun, c: &CostCoefficients) -> Vec<StepDemand> {
     let snap_bytes = f.snapshots.mem_bytes as f64;
     let shed = f.overload.updates_shed as f64;
     let retries = f.durability.retries as f64;
+    use ga_stream::admission::Priority;
+    let point_queries = (run.serve.class(Priority::High).answered
+        + run.serve.class(Priority::Normal).answered) as f64;
+    let scan_queries = run.serve.class(Priority::Bulk).answered as f64;
 
     let d = |name, cpu, mem, disk, net| StepDemand {
         name,
@@ -174,8 +200,14 @@ pub fn calibrate(run: &MeasuredRun, c: &CostCoefficients) -> Vec<StepDemand> {
             "7 NORA search     ",
             pairs * c.ops_per_pair_candidate
                 + f.analytics.vertices_extracted as f64 * c.ops_per_extracted_vertex
-                + f.analytics.kernel_cpu_ops as f64,
-            pairs * 32.0 + edges * c.mem_bytes_per_edge + f.analytics.kernel_mem_bytes as f64,
+                + f.analytics.kernel_cpu_ops as f64
+                + point_queries * c.ops_per_point_query
+                + scan_queries * c.ops_per_scan_query,
+            pairs * 32.0
+                + edges * c.mem_bytes_per_edge
+                + f.analytics.kernel_mem_bytes as f64
+                + point_queries * c.mem_bytes_per_point_query
+                + scan_queries * c.mem_bytes_per_scan_query,
             0.0,
             0.0,
         ),
@@ -412,6 +444,7 @@ mod tests {
                 pair_candidates: 150_000,
                 relationships: 200,
             },
+            serve: Default::default(),
         }
     }
 
@@ -478,6 +511,31 @@ mod tests {
         for i in (0..9).filter(|&i| i != 6) {
             assert_eq!(a[i].cpu_ops, b[i].cpu_ops, "step {i}");
         }
+    }
+
+    #[test]
+    fn served_queries_price_only_the_search_row() {
+        use ga_stream::admission::Priority;
+        let base = sample_run();
+        let mut served = base;
+        served.serve.classes[Priority::High.idx()].answered = 100_000;
+        served.serve.classes[Priority::Bulk.idx()].answered = 1_000;
+        let c = CostCoefficients::default();
+        let a = calibrate(&base, &c);
+        let b = calibrate(&served, &c);
+        let extra_cpu = 100_000.0 * c.ops_per_point_query + 1_000.0 * c.ops_per_scan_query;
+        let extra_mem =
+            100_000.0 * c.mem_bytes_per_point_query + 1_000.0 * c.mem_bytes_per_scan_query;
+        assert!((b[6].cpu_ops - a[6].cpu_ops - extra_cpu).abs() < 1e-6);
+        assert!((b[6].mem_bytes - a[6].mem_bytes - extra_mem).abs() < 1e-6);
+        for i in (0..9).filter(|&i| i != 6) {
+            assert_eq!(a[i].cpu_ops, b[i].cpu_ops, "step {i}");
+            assert_eq!(a[i].mem_bytes, b[i].mem_bytes, "step {i}");
+        }
+        // Shed queries cost nothing here: only answered work is demand.
+        let mut shed = base;
+        shed.serve.classes[Priority::Bulk.idx()].shed = 1_000_000;
+        assert_eq!(calibrate(&shed, &c)[6].cpu_ops, a[6].cpu_ops);
     }
 
     #[test]
@@ -556,6 +614,7 @@ mod tests {
         let run = MeasuredRun {
             flow: stats,
             nora: NoraStats::default(),
+            serve: Default::default(),
         };
         let steps = calibrate(&run, &CostCoefficients::default());
         assert!(steps[6].cpu_ops >= stats.analytics.kernel_cpu_ops as f64);

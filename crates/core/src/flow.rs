@@ -24,17 +24,21 @@
 use crate::durability::{Checkpoint, Durability};
 use crate::retry::{CircuitBreaker, RetryPolicy};
 use ga_graph::sub::{extract_ball, Subgraph};
-use ga_graph::{CompressedCsr, DynamicGraph, ExtractOptions, PropertyStore, VertexId};
+use ga_graph::{
+    CompressedCsr, DynamicGraph, ExtractOptions, PropertyStore, SnapshotEpoch, VertexId,
+};
 use ga_kernels::{topk, Budget, KernelCtx, Parallelism};
 use ga_obs::{MetricsSnapshot, Recorder, Step};
 use ga_stream::admission::{
     AdmissionConfig, AdmissionDecision, AdmissionQueue, AdmissionStats, Ewma, Priority,
 };
 use ga_stream::engine::QuarantinedUpdate;
+use ga_stream::epoch::{EpochSnapshot, SnapshotHandle};
 use ga_stream::update::UpdateBatch;
 use ga_stream::{Event, EventKind, StreamEngine};
 use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// How the batch path picks its seed vertices (Fig. 2's "selection
@@ -358,10 +362,12 @@ pub struct BatchRunReport {
     pub alerts: Vec<String>,
 }
 
-/// Construction-time configuration for a [`FlowEngine`]: one coherent
-/// builder replacing the scattered setters of earlier revisions
-/// (`enable_durability`, `set_admission_config`, `set_retry_policy`,
-/// `set_breaker` — all kept as deprecated shims).
+/// Construction-time configuration for a [`FlowEngine`]: the one
+/// coherent way to set parallelism, budgets, retry/breaker, admission,
+/// overload thresholds, durability, and observability. (The scattered
+/// pre-PR-5 setters — `enable_durability`, `set_admission_config`,
+/// `set_retry_policy`, `set_breaker` — are gone; this builder is the
+/// only configuration surface.)
 ///
 /// ```
 /// # use ga_core::flow::FlowEngine;
@@ -591,6 +597,21 @@ impl FlowConfig {
     }
 }
 
+/// Publication state for the concurrent query-serving front end: the
+/// shared [`SnapshotHandle`] readers load from, plus enough caching to
+/// make a no-op republish free.
+struct ServePublisher {
+    /// The slot reader threads load from ([`FlowEngine::serve_handle`]
+    /// hands out clones).
+    handle: SnapshotHandle,
+    /// Frozen property columns keyed by [`PropertyStore::version`]: the
+    /// deep clone is taken only when the columns actually moved.
+    props: Option<(u64, Arc<PropertyStore>)>,
+    /// `(stamp, props_version)` of the last publish — an unchanged pair
+    /// skips publication entirely.
+    last: Option<(SnapshotEpoch, u64)>,
+}
+
 /// The Fig. 2 engine: a persistent graph with batch and streaming paths.
 pub struct FlowEngine {
     stream: StreamEngine,
@@ -635,6 +656,10 @@ pub struct FlowEngine {
     /// The live tier, tagged with the snapshot it was spilled from so
     /// an unchanged graph skips the respill.
     tier: Option<(std::sync::Arc<ga_graph::CsrGraph>, ga_graph::TieredCsr)>,
+    /// Epoch publication state, lazily created by
+    /// [`Self::serve_handle`]. `None` = not serving (publication hooks
+    /// are free).
+    serve: Option<ServePublisher>,
 }
 
 impl FlowEngine {
@@ -681,6 +706,7 @@ impl FlowEngine {
             compressed_adjacency: false,
             tier_config: None,
             tier: None,
+            serve: None,
         }
     }
 
@@ -699,6 +725,75 @@ impl FlowEngine {
     /// Whether batch runs maintain the compressed adjacency mirror.
     pub fn compressed_adjacency(&self) -> bool {
         self.compressed_adjacency
+    }
+
+    // -----------------------------------------------------------------
+    // Concurrent query serving: epoch-based snapshot publication.
+    // -----------------------------------------------------------------
+
+    /// Start serving: publish the current state and return the
+    /// [`SnapshotHandle`] query threads read from. Clone the handle
+    /// freely (clones share the slot); each reader thread should take
+    /// one [`ga_stream::SnapshotReader`] via `handle.reader()` — its
+    /// steady-state load is a single atomic read.
+    ///
+    /// Once serving, every ingest/batch entry point
+    /// ([`Self::process_stream`], [`Self::pump`], [`Self::run_batch`],
+    /// durable and recovery paths included) republishes automatically
+    /// when the graph or its property columns moved, so readers always
+    /// see one consistent frozen generation. Engines that never call
+    /// this pay nothing.
+    pub fn serve_handle(&mut self) -> SnapshotHandle {
+        if self.serve.is_none() {
+            self.serve = Some(ServePublisher {
+                handle: SnapshotHandle::new(),
+                props: None,
+                last: None,
+            });
+        }
+        self.publish_epoch();
+        self.serve.as_ref().unwrap().handle.clone()
+    }
+
+    /// Publish the current graph + property generation to the serving
+    /// slot, if serving is on and anything moved since the last publish.
+    /// The ingest/batch entry points call this automatically; call it
+    /// directly after out-of-band mutation (e.g. [`Self::props_mut`]
+    /// write-backs from external code).
+    pub fn publish_epoch(&mut self) {
+        if self.serve.is_none() {
+            return;
+        }
+        let par = self.kernel_ctx.parallelism;
+        let (csr, stamp) = self.stream.csr_snapshot_stamped(par);
+        let props_version = self.stream.props().version();
+        let serve = self.serve.as_mut().unwrap();
+        if serve.last == Some((stamp, props_version)) {
+            return;
+        }
+        let compressed = if self.compressed_adjacency {
+            Some(self.stream.compressed_csr_snapshot_stamped(par).0)
+        } else {
+            None
+        };
+        let serve = self.serve.as_mut().unwrap();
+        let props = match &serve.props {
+            Some((v, arc)) if *v == props_version => Arc::clone(arc),
+            _ => {
+                let arc = Arc::new(self.stream.props().clone());
+                serve.props = Some((props_version, Arc::clone(&arc)));
+                arc
+            }
+        };
+        serve.handle.publish(EpochSnapshot {
+            stamp,
+            props_version,
+            time: self.stream.last_batch_time(),
+            csr,
+            compressed,
+            props,
+        });
+        serve.last = Some((stamp, props_version));
     }
 
     /// The live segment tier, if [`FlowConfig::tiered`] is on and a
@@ -862,7 +957,9 @@ impl FlowEngine {
         }
         drop(span);
         self.stats.analytics.seeds_selected += seeds.len();
-        self.run_batch_on_seeds(&seeds, analytic_idx)
+        let report = self.run_batch_on_seeds(&seeds, analytic_idx);
+        self.publish_epoch();
+        report
     }
 
     fn run_batch_on_seeds(&mut self, seeds: &[VertexId], analytic_idx: usize) -> BatchRunReport {
@@ -1009,7 +1106,9 @@ impl FlowEngine {
         trigger: impl Fn(&Event) -> Option<Vec<VertexId>>,
         analytic_idx: Option<usize>,
     ) -> Vec<BatchRunReport> {
-        self.process_stream_inner(batch, trigger, analytic_idx, true)
+        let reports = self.process_stream_inner(batch, trigger, analytic_idx, true);
+        self.publish_epoch();
+        reports
     }
 
     /// Shared streaming path. With `run_analytics` false (the
@@ -1058,14 +1157,6 @@ impl FlowEngine {
     /// analytic write-backs that predate durability (those are not in
     /// the WAL and are only durable via checkpoints). Fails if `dir`
     /// already holds engine state; use [`Self::recover`] for that.
-    #[deprecated(
-        since = "0.5.0",
-        note = "use FlowEngine::builder().durability_dir(dir).build(..)"
-    )]
-    pub fn enable_durability(&mut self, dir: impl AsRef<Path>) -> io::Result<()> {
-        self.enable_durability_impl(dir.as_ref())
-    }
-
     fn enable_durability_impl(&mut self, dir: &Path) -> io::Result<()> {
         let ckpt = self.snapshot(1);
         let mut d = Durability::create(dir, &ckpt)?;
@@ -1074,8 +1165,8 @@ impl FlowEngine {
         Ok(())
     }
 
-    /// Whether [`Self::enable_durability`] / [`Self::recover`] attached
-    /// a durability directory.
+    /// Whether [`FlowConfig::durability_dir`] / [`Self::recover`]
+    /// attached a durability directory.
     pub fn is_durable(&self) -> bool {
         self.durability.is_some()
     }
@@ -1097,7 +1188,7 @@ impl FlowEngine {
     /// so a crash at any later point replays it on recovery.
     ///
     /// Transient append failures are retried per the configured
-    /// [`Self::set_retry_policy`] (the torn tail is repaired between
+    /// [`FlowConfig::retry`] policy (the torn tail is repaired between
     /// attempts). With the default no-retry policy this is the PR 2
     /// fail-fast contract: on a WAL error the engine state is untouched
     /// and the batch is NOT applied. Once the circuit breaker trips, the
@@ -1112,7 +1203,7 @@ impl FlowEngine {
     ) -> io::Result<Vec<BatchRunReport>> {
         if self.durability.is_none() {
             return Err(io::Error::other(
-                "durability not enabled; call enable_durability or recover first",
+                "durability not enabled; build with durability_dir or recover first",
             ));
         }
         self.append_with_retry(batch)?;
@@ -1206,7 +1297,7 @@ impl FlowEngine {
     pub fn checkpoint(&mut self) -> io::Result<PathBuf> {
         if self.durability.is_none() {
             return Err(io::Error::other(
-                "durability not enabled; call enable_durability or recover first",
+                "durability not enabled; build with durability_dir or recover first",
             ));
         }
         if self.durability_suspended {
@@ -1324,37 +1415,9 @@ impl FlowEngine {
     // retry/backoff + circuit breaker, dead-letter replay.
     // -----------------------------------------------------------------
 
-    /// Replace the admission queue's watermarks. Panics if batches are
-    /// still queued (drain with [`Self::pump`] first) — resizing a
-    /// non-empty queue would silently reclassify already-admitted work.
-    #[deprecated(since = "0.5.0", note = "use FlowEngine::builder().admission(cfg)")]
-    pub fn set_admission_config(&mut self, cfg: AdmissionConfig) {
-        assert!(
-            self.admission.is_empty(),
-            "drain the admission queue before reconfiguring it"
-        );
-        self.admission = AdmissionQueue::new(cfg);
-    }
-
-    /// Set the retry policy for durable writes. The default is
-    /// [`RetryPolicy::none`] — the PR 2 fail-fast contract.
-    #[deprecated(since = "0.5.0", note = "use FlowEngine::builder().retry(policy)")]
-    pub fn set_retry_policy(&mut self, policy: RetryPolicy) {
-        self.retry = policy;
-    }
-
-    /// The configured retry policy.
+    /// The configured retry policy (set via [`FlowConfig::retry`]).
     pub fn retry_policy(&self) -> RetryPolicy {
         self.retry
-    }
-
-    /// Replace the durability circuit breaker (sets its trip threshold).
-    #[deprecated(
-        since = "0.5.0",
-        note = "use FlowEngine::builder().breaker_threshold(n)"
-    )]
-    pub fn set_breaker(&mut self, breaker: CircuitBreaker) {
-        self.breaker = breaker;
     }
 
     /// True once the circuit breaker has suspended durable writes.
@@ -1570,6 +1633,9 @@ impl FlowEngine {
         // without waiting for the next pump.
         let level = self.degradation_level();
         self.note_level(level);
+        // Degraded rungs (SeedsOnly/Shed) bypass process_stream, so
+        // republish here — degradation sheds analytics, never freshness.
+        self.publish_epoch();
         Ok(reports)
     }
 

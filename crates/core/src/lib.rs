@@ -25,6 +25,11 @@
 //!   record dedup/linkage, the person–address graph, the "shared an
 //!   address 2+ times, especially with a shared last name" relationship
 //!   search, batch ("weekly boil") and streaming (live quote) forms.
+//! * [`serve`] — the concurrent query-serving front end: classed,
+//!   quota'd [`serve::QueryClient`]s run [`ga_stream::Query`]s against
+//!   the epoch snapshots the flow engine publishes, with per-class
+//!   latency digests (the §V-B "tens of microseconds" point-query
+//!   workload, made concurrent).
 //! * [`sharded`] — scale-out: the property graph hash-partitioned
 //!   across N shard-local flow engines with ghost (halo) edges,
 //!   scatter-gather batch analytics whose merged results are
@@ -47,5 +52,6 @@ pub mod flow;
 pub mod model;
 pub mod nora;
 pub mod retry;
+pub mod serve;
 pub mod sharded;
 pub mod taxonomy;

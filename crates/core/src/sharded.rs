@@ -77,6 +77,7 @@ use ga_obs::{MetricsSnapshot, Recorder, Step};
 use ga_stream::engine::QuarantinedUpdate;
 use ga_stream::sharded::{ShardPlan, UPDATE_WIRE_BYTES};
 use ga_stream::update::UpdateBatch;
+use ga_stream::{Query, QueryResponse, SnapshotHandle};
 use std::collections::VecDeque;
 use std::io;
 use std::path::{Path, PathBuf};
@@ -1512,6 +1513,130 @@ impl ShardedFlow {
             uncovered,
         }
     }
+
+    // -----------------------------------------------------------------
+    // Concurrent query serving: per-shard epoch publication + routing.
+    // -----------------------------------------------------------------
+
+    /// Start serving from every shard: publish each shard's current
+    /// state and return the per-shard [`SnapshotHandle`]s (index =
+    /// shard id). Subsequent [`Self::process_batch`] ingest republishes
+    /// automatically through each shard engine's publication hooks.
+    pub fn serve_handles(&mut self) -> Vec<SnapshotHandle> {
+        self.shards
+            .iter_mut()
+            .map(|engine| engine.serve_handle())
+            .collect()
+    }
+
+    /// Republish every shard's current generation (useful after
+    /// out-of-band mutation through [`Self::shard_mut`]). A no-op on
+    /// shards that never started serving.
+    pub fn publish_epochs(&mut self) {
+        for engine in &mut self.shards {
+            engine.publish_epoch();
+        }
+    }
+
+    /// A query router over this fleet's published snapshots: point
+    /// queries go to the owning shard (exact, thanks to ghost edges),
+    /// top-k scans scatter-gather. Create one per reader thread — the
+    /// router revalidates each shard's snapshot with one atomic load
+    /// and never blocks ingest.
+    pub fn query_router(&mut self) -> ShardedQueryRouter {
+        let handles = self.serve_handles();
+        ShardedQueryRouter {
+            plan: self.plan,
+            readers: handles.iter().map(|h| h.reader()).collect(),
+        }
+    }
+}
+
+/// Why [`ShardedQueryRouter::run`] refused a query.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RouteError {
+    /// The query's traversal crosses shard boundaries; run it against
+    /// a merged (unsharded) serving engine instead. Carries the query
+    /// kind's name.
+    CrossShard(&'static str),
+    /// The named shard has not published a snapshot yet.
+    NotReady(usize),
+}
+
+impl std::fmt::Display for RouteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RouteError::CrossShard(kind) => {
+                write!(f, "{kind} traverses across shards; serve it unsharded")
+            }
+            RouteError::NotReady(shard) => {
+                write!(f, "shard {shard} has not published a snapshot yet")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RouteError {}
+
+/// Routes [`Query`]s over a sharded fleet's published epoch snapshots
+/// (see [`ShardedFlow::query_router`]).
+///
+/// * **Point queries** ([`Query::GetProperty`], [`Query::Degree`],
+///   [`Query::Neighbors`]) run on the owning shard only. Because every
+///   edge incident to an owned vertex is delivered to its owner (the
+///   ghost/halo protocol), owner-local degree and neighbor lists are
+///   exact.
+/// * **[`Query::TopKByProperty`]** scatter-gathers: each shard reports
+///   its own top-k over the rows it *owns* (ghost rows are filtered so
+///   a replicated row cannot appear twice), and the router merges.
+/// * **Traversals** ([`Query::KHop`], [`Query::FilteredTraversal`],
+///   [`Query::ShortestPath`], [`Query::SimilarVertices`]) are honestly
+///   refused with [`RouteError::CrossShard`] — a shard-local answer
+///   would silently stop at partition edges.
+#[derive(Debug)]
+pub struct ShardedQueryRouter {
+    plan: ShardPlan,
+    readers: Vec<ga_stream::SnapshotReader>,
+}
+
+impl ShardedQueryRouter {
+    /// The shard that owns `v` (where point queries on `v` run).
+    pub fn owner(&self, v: VertexId) -> usize {
+        self.plan.owner(v)
+    }
+
+    /// Run one query against the fleet's published generations.
+    pub fn run(&mut self, query: &Query) -> Result<QueryResponse, RouteError> {
+        match query {
+            Query::GetProperty { vertex, .. }
+            | Query::Degree { vertex }
+            | Query::Neighbors { vertex, .. } => {
+                let shard = self.plan.owner(*vertex);
+                let snap = self.readers[shard]
+                    .snapshot()
+                    .ok_or(RouteError::NotReady(shard))?;
+                Ok(query.run(snap))
+            }
+            Query::TopKByProperty { name, k } => {
+                let plan = self.plan;
+                let mut merged: Vec<(VertexId, f64)> = Vec::new();
+                for (shard, reader) in self.readers.iter_mut().enumerate() {
+                    let snap = reader.snapshot().ok_or(RouteError::NotReady(shard))?;
+                    let local = Query::top_k_by_property(name.clone(), *k).run(snap);
+                    if let QueryResponse::Scored(rows) = local {
+                        merged.extend(rows.into_iter().filter(|(v, _)| plan.owner(*v) == shard));
+                    }
+                }
+                merged.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+                merged.truncate(*k);
+                Ok(QueryResponse::Scored(merged))
+            }
+            Query::KHop { .. } => Err(RouteError::CrossShard("k_hop")),
+            Query::FilteredTraversal { .. } => Err(RouteError::CrossShard("filtered_traversal")),
+            Query::ShortestPath { .. } => Err(RouteError::CrossShard("shortest_path")),
+            Query::SimilarVertices { .. } => Err(RouteError::CrossShard("similar_vertices")),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -1561,6 +1686,71 @@ mod tests {
             let direct = wcc_union_find(&snap);
             assert_eq!(cc.label, direct.label, "{shards}-shard cc labels");
             assert_eq!(cc.count, direct.count, "{shards}-shard cc count");
+        }
+    }
+
+    #[test]
+    fn query_router_matches_unsharded_serving() {
+        // One unsharded serving engine as ground truth.
+        let mut one = ShardedFlow::builder(1).build(64).unwrap();
+        drive(&mut one, 6, 1200, 11);
+        one.shard_mut(0).props_mut().set_column_f64(
+            "score",
+            &(0..64).map(|v| (v * 7 % 23) as f64).collect::<Vec<_>>(),
+        );
+        one.publish_epochs();
+        let mut reference = one.query_router();
+
+        for shards in [2usize, 4] {
+            let mut flow = ShardedFlow::builder(shards).build(64).unwrap();
+            drive(&mut flow, 6, 1200, 11);
+            for i in 0..shards {
+                // Property rows live on the owner; setting the full
+                // column everywhere is fine — TopK filters to owned.
+                flow.shard_mut(i).props_mut().set_column_f64(
+                    "score",
+                    &(0..64).map(|v| (v * 7 % 23) as f64).collect::<Vec<_>>(),
+                );
+            }
+            flow.publish_epochs();
+            let mut router = flow.query_router();
+
+            for v in 0..64u32 {
+                for q in [
+                    Query::Degree { vertex: v },
+                    Query::Neighbors {
+                        vertex: v,
+                        limit: 64,
+                    },
+                    Query::get_property(v, "score"),
+                ] {
+                    assert_eq!(
+                        router.run(&q).unwrap(),
+                        reference.run(&q).unwrap(),
+                        "{shards}-shard {q:?}"
+                    );
+                }
+            }
+            assert_eq!(
+                router.run(&Query::top_k_by_property("score", 10)).unwrap(),
+                reference
+                    .run(&Query::top_k_by_property("score", 10))
+                    .unwrap(),
+                "{shards}-shard top-k"
+            );
+            // Traversals are refused with the typed error, not wrong.
+            assert_eq!(
+                router.run(&Query::ShortestPath { src: 0, dst: 5 }),
+                Err(RouteError::CrossShard("shortest_path"))
+            );
+            assert_eq!(
+                router.run(&Query::KHop {
+                    vertex: 0,
+                    hops: 2,
+                    limit: 64
+                }),
+                Err(RouteError::CrossShard("k_hop"))
+            );
         }
     }
 

@@ -58,7 +58,7 @@ pub use dynamic::{DynamicGraph, EdgeRecord};
 pub use frontier::Frontier;
 pub use par::Parallelism;
 pub use props::{PropValue, PropertyStore};
-pub use snapshot::{SnapshotCache, SnapshotStats};
+pub use snapshot::{SnapshotCache, SnapshotEpoch, SnapshotStats};
 pub use sub::{ExtractOptions, Subgraph};
 pub use tier::{SegmentStore, TierConfig, TierStats, TieredCsr};
 

@@ -137,10 +137,23 @@ impl Column {
 /// let top = props.top_k_f64("pagerank", 1);
 /// assert_eq!(top, vec![(0, 0.4)]);
 /// ```
-#[derive(Clone, Debug, Default, PartialEq)]
+#[derive(Clone, Debug, Default)]
 pub struct PropertyStore {
     num_vertices: usize,
     pub(crate) columns: BTreeMap<String, Column>,
+    /// Process-local mutation stamp: bumped on every successful write,
+    /// never persisted (a recovered store restarts at 0). Snapshot
+    /// publication pairs it with the CSR epoch so concurrent readers can
+    /// prove graph and properties come from one consistent generation.
+    version: u64,
+}
+
+/// Equality compares contents only — the process-local [`Self::version`]
+/// stamp is excluded so checkpoint round-trips stay `==`.
+impl PartialEq for PropertyStore {
+    fn eq(&self, other: &Self) -> bool {
+        self.num_vertices == other.num_vertices && self.columns == other.columns
+    }
 }
 
 impl PropertyStore {
@@ -149,12 +162,21 @@ impl PropertyStore {
         PropertyStore {
             num_vertices,
             columns: BTreeMap::new(),
+            version: 0,
         }
     }
 
     /// Number of vertices this store covers.
     pub fn num_vertices(&self) -> usize {
         self.num_vertices
+    }
+
+    /// Process-local mutation stamp: moves on every successful write
+    /// (`set`, bulk column writes, `grow`, `drop_column`, `write_back`)
+    /// and is *not* persisted across checkpoints. Equal versions on the
+    /// same store instance mean no column changed in between.
+    pub fn version(&self) -> u64 {
+        self.version
     }
 
     /// Grow the vertex range (new slots have no values). Shrinking is a
@@ -164,6 +186,7 @@ impl PropertyStore {
             return;
         }
         self.num_vertices = num_vertices;
+        self.version += 1;
         for col in self.columns.values_mut() {
             col.resize(num_vertices);
         }
@@ -186,7 +209,11 @@ impl PropertyStore {
         if col.len() < n {
             col.resize(n);
         }
-        col.set(v, value)
+        let ok = col.set(v, value);
+        if ok {
+            self.version += 1;
+        }
+        ok
     }
 
     /// Bulk write-back of an entire `f64` column (the common case: a
@@ -195,6 +222,7 @@ impl PropertyStore {
         assert_eq!(values.len(), self.num_vertices);
         let col = Column::F64(values.iter().map(|&x| Some(x)).collect());
         self.columns.insert(name.to_string(), col);
+        self.version += 1;
     }
 
     /// Bulk write-back of an entire `u64` column.
@@ -202,6 +230,7 @@ impl PropertyStore {
         assert_eq!(values.len(), self.num_vertices);
         let col = Column::U64(values.iter().map(|&x| Some(x)).collect());
         self.columns.insert(name.to_string(), col);
+        self.version += 1;
     }
 
     /// Read `name[v]`.
@@ -235,7 +264,11 @@ impl PropertyStore {
 
     /// Drop a column, returning whether it existed.
     pub fn drop_column(&mut self, name: &str) -> bool {
-        self.columns.remove(name).is_some()
+        let removed = self.columns.remove(name).is_some();
+        if removed {
+            self.version += 1;
+        }
+        removed
     }
 
     /// The `k` vertices with the largest numeric value in `name`
@@ -288,6 +321,7 @@ impl PropertyStore {
         PropertyStore {
             num_vertices,
             columns,
+            version: 0,
         }
     }
 
@@ -422,6 +456,36 @@ mod tests {
         assert_eq!(finite[0].0, 2);
         assert_eq!(finite[1].0, 0);
         assert_eq!(p.select_f64("x", |x| x > 0.4), vec![0, 2]);
+    }
+
+    #[test]
+    fn version_moves_on_writes_only() {
+        let mut p = PropertyStore::new(3);
+        assert_eq!(p.version(), 0);
+        assert!(p.set("x", 0, 1.0));
+        let v1 = p.version();
+        assert!(v1 > 0);
+        // Reads and rejected writes leave the stamp alone.
+        let _ = p.get("x", 0);
+        assert!(!p.set("x", 9, 1.0));
+        assert!(!p.set("x", 1, 5u64)); // type mismatch
+        assert_eq!(p.version(), v1);
+        p.set_column_f64("y", &[0.0, 1.0, 2.0]);
+        assert!(p.version() > v1);
+        let v2 = p.version();
+        p.grow(2); // shrinking grow: no-op
+        assert_eq!(p.version(), v2);
+        p.grow(5);
+        assert!(p.version() > v2);
+        let v3 = p.version();
+        assert!(p.drop_column("y"));
+        assert!(p.version() > v3);
+        let v4 = p.version();
+        assert!(!p.drop_column("y"));
+        assert_eq!(p.version(), v4);
+        // Equality ignores the process-local stamp.
+        let q = p.clone();
+        assert_eq!(p, q);
     }
 
     #[test]

@@ -227,6 +227,23 @@ impl SnapshotStats {
 /// A retired snapshot's previous arrays, kept to recycle allocations.
 type SparePartsPool = Option<(Vec<u64>, Vec<VertexId>, Vec<Weight>)>;
 
+/// Identity stamp of one published snapshot generation.
+///
+/// `epoch` is the cache's monotonic rebuild counter: it moves exactly
+/// when the cached CSR is rebuilt, and stays put across cache hits, so
+/// two snapshots with equal epochs are the *same* frozen arrays (same
+/// `Arc`). `graph_version` records the [`DynamicGraph::version`] the
+/// snapshot reflects — the link back to the mutable store. Concurrent
+/// readers use the pair to prove they never observe a torn or
+/// mixed-generation view.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SnapshotEpoch {
+    /// Monotonic rebuild counter (1-based; 0 = never built).
+    pub epoch: u64,
+    /// [`DynamicGraph::version`] at freeze time.
+    pub graph_version: u64,
+}
+
 /// Serves repeat [`DynamicGraph`] → [`CsrGraph`] freezes incrementally.
 ///
 /// The cache remembers the CSR it produced last time together with the
@@ -257,6 +274,8 @@ pub struct SnapshotCache {
     prev_compressed: Option<CachedCompressed>,
     spare: SparePartsPool,
     stats: SnapshotStats,
+    /// Monotonic rebuild counter backing [`SnapshotEpoch::epoch`].
+    epoch: u64,
 }
 
 #[derive(Clone, Debug)]
@@ -266,6 +285,8 @@ struct CachedSnapshot {
     version: u64,
     /// Vertex count at freeze time (rows at or past this are new).
     num_vertices: usize,
+    /// Rebuild generation that produced this CSR.
+    epoch: u64,
 }
 
 #[derive(Clone, Debug)]
@@ -273,6 +294,7 @@ struct CachedCompressed {
     csr: Arc<CompressedCsr>,
     version: u64,
     num_vertices: usize,
+    epoch: u64,
 }
 
 impl SnapshotCache {
@@ -311,16 +333,30 @@ impl SnapshotCache {
         g: &DynamicGraph,
         par: Parallelism,
     ) -> Arc<CompressedCsr> {
+        self.compressed_snapshot_stamped(g, par).0
+    }
+
+    /// [`Self::compressed_snapshot`] plus the [`SnapshotEpoch`] that
+    /// identifies the served generation.
+    pub fn compressed_snapshot_stamped(
+        &mut self,
+        g: &DynamicGraph,
+        par: Parallelism,
+    ) -> (Arc<CompressedCsr>, SnapshotEpoch) {
         let version = g.version();
         let n = g.num_vertices();
         if let Some(prev) = &self.prev_compressed {
             if prev.version == version && prev.num_vertices == n {
                 self.stats.snapshots_served += 1;
                 self.stats.cache_hits += 1;
-                return Arc::clone(&prev.csr);
+                let stamp = SnapshotEpoch {
+                    epoch: prev.epoch,
+                    graph_version: version,
+                };
+                return (Arc::clone(&prev.csr), stamp);
             }
         }
-        let csr = self.snapshot(g, par);
+        let (csr, stamp) = self.snapshot_stamped(g, par);
         let compressed = Arc::new(CompressedCsr::from_csr(&csr));
         // The re-encode writes the compressed arrays once — bandwidth
         // the calibration prices alongside the plain copy step.
@@ -329,27 +365,45 @@ impl SnapshotCache {
             csr: Arc::clone(&compressed),
             version,
             num_vertices: n,
+            epoch: stamp.epoch,
         });
-        compressed
+        (compressed, stamp)
     }
 
     /// Serve a snapshot of `g`, reusing the previous CSR's clean rows.
     /// The returned graph is bit-identical to `g.snapshot()`.
     pub fn snapshot(&mut self, g: &DynamicGraph, par: Parallelism) -> Arc<CsrGraph> {
+        self.snapshot_stamped(g, par).0
+    }
+
+    /// [`Self::snapshot`] plus the [`SnapshotEpoch`] identifying the
+    /// served generation: the epoch moves exactly when the CSR is
+    /// rebuilt and repeats across cache hits (same `Arc`, same stamp).
+    pub fn snapshot_stamped(
+        &mut self,
+        g: &DynamicGraph,
+        par: Parallelism,
+    ) -> (Arc<CsrGraph>, SnapshotEpoch) {
         self.stats.snapshots_served += 1;
         let version = g.version();
         let n = g.num_vertices();
         if let Some(prev) = &self.prev {
             if prev.version == version && prev.num_vertices == n {
                 self.stats.cache_hits += 1;
-                return Arc::clone(&prev.csr);
+                let stamp = SnapshotEpoch {
+                    epoch: prev.epoch,
+                    graph_version: version,
+                };
+                return (Arc::clone(&prev.csr), stamp);
             }
         }
         let csr = Arc::new(self.rebuild(g, par));
+        self.epoch += 1;
         let retired = self.prev.replace(CachedSnapshot {
             csr: Arc::clone(&csr),
             version,
             num_vertices: n,
+            epoch: self.epoch,
         });
         // Recycle the retired arrays when no analytic still holds them.
         if let Some(old) = retired {
@@ -358,7 +412,16 @@ impl SnapshotCache {
                 self.spare = Some((o, t, w.unwrap_or_default()));
             }
         }
-        csr
+        let stamp = SnapshotEpoch {
+            epoch: self.epoch,
+            graph_version: version,
+        };
+        (csr, stamp)
+    }
+
+    /// The cache's current rebuild generation (0 = never built).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// Build the new CSR, copying clean-row slices from the previous
@@ -637,6 +700,28 @@ mod tests {
         c.invalidate();
         c.snapshot(&g, Parallelism::Serial);
         assert_eq!(c.stats().full_rebuilds, 2);
+    }
+
+    #[test]
+    fn epochs_move_only_on_rebuild() {
+        let mut g = rmat_dynamic(6, 4, 41);
+        let mut c = SnapshotCache::new();
+        let (a, ea) = c.snapshot_stamped(&g, Parallelism::Serial);
+        let (b, eb) = c.snapshot_stamped(&g, Parallelism::Serial);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(ea, eb, "cache hit repeats the stamp");
+        assert_eq!(ea.epoch, 1);
+        g.insert_edge(0, 1, 1.0, 999);
+        let (_, ec) = c.snapshot_stamped(&g, Parallelism::Serial);
+        assert!(ec.epoch > ea.epoch);
+        assert!(ec.graph_version > ea.graph_version);
+        // The compressed serve of the same version shares the stamp.
+        let (_, ed) = c.compressed_snapshot_stamped(&g, Parallelism::Serial);
+        assert_eq!(ed.epoch, ec.epoch);
+        c.invalidate();
+        let (_, ee) = c.snapshot_stamped(&g, Parallelism::Serial);
+        assert!(ee.epoch > ed.epoch, "invalidate never rewinds the epoch");
+        assert_eq!(c.epoch(), ee.epoch);
     }
 
     #[test]

@@ -102,6 +102,18 @@ impl HistogramSnapshot {
         Some(h)
     }
 
+    /// Compact tail-latency digest: the count plus the p50/p99/p999
+    /// bucket upper bounds. The one-line summary serving layers report
+    /// per admission class.
+    pub fn summary(&self) -> QuantileSummary {
+        QuantileSummary {
+            count: self.count(),
+            p50: self.quantile_upper_bound(0.50),
+            p99: self.quantile_upper_bound(0.99),
+            p999: self.quantile_upper_bound(0.999),
+        }
+    }
+
     /// Upper bound of the bucket containing the `q`-quantile
     /// (`0.0 ..= 1.0`), or 0 for an empty histogram. Log2 buckets make
     /// this exact to within a factor of 2 — enough for tail-latency
@@ -121,6 +133,21 @@ impl HistogramSnapshot {
         }
         u64::MAX
     }
+}
+
+/// The p50/p99/p999 digest of one [`HistogramSnapshot`] (see
+/// [`HistogramSnapshot::summary`]). Values are log2-bucket upper
+/// bounds, in whatever unit was recorded (typically microseconds).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct QuantileSummary {
+    /// Total recorded values.
+    pub count: u64,
+    /// Median upper bound.
+    pub p50: u64,
+    /// 99th-percentile upper bound.
+    pub p99: u64,
+    /// 99.9th-percentile upper bound.
+    pub p999: u64,
 }
 
 #[cfg(test)]
@@ -151,5 +178,10 @@ mod tests {
         let rt = HistogramSnapshot::from_nonzero(&s.nonzero()).unwrap();
         assert_eq!(rt, s);
         assert_eq!(HistogramSnapshot::from_nonzero(&[(64, 1)]), None);
+        let sum = s.summary();
+        assert_eq!(sum.count, 7);
+        assert_eq!(sum.p50, 8);
+        assert_eq!(sum.p99, 128);
+        assert_eq!(sum.p999, 128);
     }
 }

@@ -29,7 +29,7 @@ mod recorder;
 mod snapshot;
 mod step;
 
-pub use hist::{HistogramSnapshot, Log2Histogram};
+pub use hist::{HistogramSnapshot, Log2Histogram, QuantileSummary};
 pub use json::Json;
 pub use recorder::{ObsEvent, Recorder, Span, DEFAULT_JOURNAL_CAP};
 pub use snapshot::{EventRecord, MetricsSnapshot, StepMetrics, SCHEMA};

@@ -11,7 +11,7 @@ use crate::update::{Update, UpdateBatch};
 use ga_graph::dynamic::ApplyResult;
 use ga_graph::{
     CompressedCsr, CsrGraph, DynamicGraph, Parallelism, PropertyStore, SnapshotCache,
-    SnapshotStats, Timestamp, VertexId,
+    SnapshotEpoch, SnapshotStats, Timestamp, VertexId,
 };
 use std::collections::VecDeque;
 use std::sync::Arc;
@@ -175,11 +175,17 @@ impl StreamEngine {
     /// are copied from the previous snapshot. Bit-identical to
     /// `self.graph().snapshot()`.
     pub fn csr_snapshot(&mut self, par: Parallelism) -> Arc<CsrGraph> {
+        self.csr_snapshot_stamped(par).0
+    }
+
+    /// [`Self::csr_snapshot`] plus the cache's [`SnapshotEpoch`] stamp —
+    /// the input to epoch publication (see [`crate::epoch`]).
+    pub fn csr_snapshot_stamped(&mut self, par: Parallelism) -> (Arc<CsrGraph>, SnapshotEpoch) {
         let mut span = self.recorder.span(ga_obs::Step::Snapshot);
         let mem_before = self.snapshots.stats().mem_bytes;
-        let csr = self.snapshots.snapshot(&self.graph, par);
+        let out = self.snapshots.snapshot_stamped(&self.graph, par);
         span.add_mem_bytes(self.snapshots.stats().mem_bytes - mem_before);
-        csr
+        out
     }
 
     /// A delta-varint [`CompressedCsr`] snapshot of the live graph,
@@ -188,11 +194,20 @@ impl StreamEngine {
     /// delta-rebuilt first, then re-encoded. Decodes bit-identical to
     /// [`Self::csr_snapshot`].
     pub fn compressed_csr_snapshot(&mut self, par: Parallelism) -> Arc<CompressedCsr> {
+        self.compressed_csr_snapshot_stamped(par).0
+    }
+
+    /// [`Self::compressed_csr_snapshot`] plus the [`SnapshotEpoch`]
+    /// stamp (shared with the plain snapshot of the same version).
+    pub fn compressed_csr_snapshot_stamped(
+        &mut self,
+        par: Parallelism,
+    ) -> (Arc<CompressedCsr>, SnapshotEpoch) {
         let mut span = self.recorder.span(ga_obs::Step::Snapshot);
         let mem_before = self.snapshots.stats().mem_bytes;
-        let csr = self.snapshots.compressed_snapshot(&self.graph, par);
+        let out = self.snapshots.compressed_snapshot_stamped(&self.graph, par);
         span.add_mem_bytes(self.snapshots.stats().mem_bytes - mem_before);
-        csr
+        out
     }
 
     /// Snapshot-cache counters since the last drain.

@@ -29,8 +29,13 @@
 //! * [`jaccard_stream`] — both streaming Jaccard forms: edge-update
 //!   threshold monitoring and the low-latency per-vertex query engine
 //!   (the "10s of microseconds" workload of §V-B).
-//! * [`queries`] — the generic independent-local-query form: per-input
-//!   vertex + operation, with pass/fail tests that emit events.
+//! * [`epoch`] — epoch-based snapshot handoff: the ingest thread
+//!   publishes frozen CSR + property generations to a
+//!   [`epoch::SnapshotHandle`] that unbounded reader threads load
+//!   wait-free.
+//! * [`queries`] — the unified [`queries::Query`] surface: point reads,
+//!   k-hop, filtered traversal, shortest path, similarity, and top-k,
+//!   each a pure function of one published [`epoch::EpochSnapshot`].
 //! * [`bc_topk`] — top-n betweenness membership tracking (the "does the
 //!   update change the top-n" question of §II).
 //! * [`correlate`] — geo & temporal correlation (the VAST-style last
@@ -55,6 +60,7 @@ pub mod bc_topk;
 pub mod cc_inc;
 pub mod correlate;
 pub mod engine;
+pub mod epoch;
 pub mod events;
 pub mod firehose;
 pub mod jaccard_stream;
@@ -66,8 +72,10 @@ pub mod update;
 pub mod wal;
 pub mod window;
 
-pub use admission::{AdmissionConfig, AdmissionDecision, AdmissionQueue, Priority};
+pub use admission::{Admissible, AdmissionConfig, AdmissionDecision, AdmissionQueue, Priority};
 pub use engine::{Monitor, StreamEngine};
+pub use epoch::{EpochSnapshot, SnapshotHandle, SnapshotReader};
 pub use events::{Event, EventKind};
+pub use queries::{Query, QueryResponse};
 pub use sharded::{ShardPlan, ShardRouter};
 pub use update::Update;

@@ -1,19 +1,374 @@
-//! The second streaming form of §II, in full generality: "many
-//! streaming applications have for each stream input a specification of
-//! some vertex to search for, and an operation to perform to some
-//! property(ies) of that vertex, once found."
+//! The unified query surface of the concurrent read path.
 //!
-//! [`QueryServer`] answers a stream of independent [`VertexQuery`]s
-//! against the live graph + property store; each query may carry a
-//! *test* whose passing produces an [`crate::events::Event`] — the
-//! staged "basic operation, then a test that may trigger larger
-//! computations" structure.
+//! The second streaming form of §II — "for each stream input a
+//! specification of some vertex to search for, and an operation to
+//! perform to some property(ies) of that vertex" — generalized into one
+//! coherent [`Query`]/[`QueryResponse`] API that runs against a
+//! published [`EpochSnapshot`] instead of
+//! the live mutable graph. Every query is a *pure function* of the
+//! frozen snapshot: two executions over the same epoch return
+//! bit-identical responses, no matter how many reader threads run them
+//! concurrently — the property the serve layer's consistency gate and
+//! `tests/serve_props.rs` pin.
+//!
+//! The pre-PR-10 [`VertexQuery`]/`QueryServer` pair is absorbed here:
+//! the old enum survives one release as a `#[deprecated]` shell that
+//! converts [`Into`] the new [`Query`] (property names are owned
+//! `String`s now — no more `&'static str` plumbing), and the old
+//! server's scalar-alert test lives on as the serve layer's per-class
+//! threshold counters.
 
-use crate::events::{Event, EventKind};
-use crate::jaccard_stream::for_vertex_dynamic;
-use ga_graph::{DynamicGraph, PropertyStore, Timestamp, VertexId};
+use crate::epoch::EpochSnapshot;
+use ga_graph::{CsrGraph, PropertyStore, VertexId};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
 
-/// One query against the live graph.
+/// One read-only query against a published snapshot generation.
+///
+/// Property names are owned strings (`impl Into<String>` at the
+/// constructor level); vertex ids address the frozen CSR.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Query {
+    /// Read a named numeric property of a vertex.
+    GetProperty {
+        /// Target vertex.
+        vertex: VertexId,
+        /// Property column.
+        name: String,
+    },
+    /// Out-degree of a vertex in the frozen CSR.
+    Degree {
+        /// Target vertex.
+        vertex: VertexId,
+    },
+    /// Direct neighbor ids of a vertex (bounded, ascending).
+    Neighbors {
+        /// Target vertex.
+        vertex: VertexId,
+        /// Maximum neighbors to return.
+        limit: usize,
+    },
+    /// Every vertex within `hops` BFS levels of `vertex` (excluding
+    /// `vertex` itself), ascending, truncated to `limit`.
+    KHop {
+        /// BFS origin.
+        vertex: VertexId,
+        /// Maximum BFS depth.
+        hops: usize,
+        /// Maximum vertices to return.
+        limit: usize,
+    },
+    /// BFS from `vertex` that only visits (and traverses through)
+    /// vertices whose numeric `property` is at least `min`; the origin
+    /// itself must pass the filter. Ascending, truncated to `limit`.
+    FilteredTraversal {
+        /// BFS origin.
+        vertex: VertexId,
+        /// Maximum BFS depth.
+        hops: usize,
+        /// Property column the filter reads.
+        property: String,
+        /// Inclusive lower bound a vertex must meet to be visited.
+        min: f64,
+        /// Maximum vertices to return.
+        limit: usize,
+    },
+    /// Weighted shortest path `src → dst` (Dijkstra over the frozen
+    /// CSR; unweighted graphs cost 1.0 per hop).
+    ShortestPath {
+        /// Path source.
+        src: VertexId,
+        /// Path destination.
+        dst: VertexId,
+    },
+    /// All vertices with Jaccard similarity ≥ `tau` against the
+    /// target, sorted by descending coefficient (ties by id).
+    SimilarVertices {
+        /// Target vertex.
+        vertex: VertexId,
+        /// Similarity threshold.
+        tau: f64,
+    },
+    /// The `k` vertices with the largest numeric value in a property
+    /// column (descending; ties by id).
+    TopKByProperty {
+        /// Property column.
+        name: String,
+        /// Result count bound.
+        k: usize,
+    },
+}
+
+impl Query {
+    /// [`Query::GetProperty`] with an `impl Into<String>` name.
+    pub fn get_property(vertex: VertexId, name: impl Into<String>) -> Query {
+        Query::GetProperty {
+            vertex,
+            name: name.into(),
+        }
+    }
+
+    /// [`Query::FilteredTraversal`] with an `impl Into<String>` name.
+    pub fn filtered_traversal(
+        vertex: VertexId,
+        hops: usize,
+        property: impl Into<String>,
+        min: f64,
+        limit: usize,
+    ) -> Query {
+        Query::FilteredTraversal {
+            vertex,
+            hops,
+            property: property.into(),
+            min,
+            limit,
+        }
+    }
+
+    /// [`Query::TopKByProperty`] with an `impl Into<String>` name.
+    pub fn top_k_by_property(name: impl Into<String>, k: usize) -> Query {
+        Query::TopKByProperty {
+            name: name.into(),
+            k,
+        }
+    }
+
+    /// Execute against one published generation. Pure: the same query
+    /// over the same epoch returns a bit-identical response on any
+    /// thread.
+    pub fn run(&self, snap: &EpochSnapshot) -> QueryResponse {
+        run_on(&snap.csr, &snap.props, self)
+    }
+}
+
+/// The answer to one [`Query`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum QueryResponse {
+    /// A scalar (property value or degree).
+    Scalar(f64),
+    /// The property (or vertex) was absent.
+    Missing,
+    /// A vertex list (ascending unless the query defines otherwise).
+    Vertices(Vec<VertexId>),
+    /// Scored vertices (similarity / top-k results).
+    Scored(Vec<(VertexId, f64)>),
+    /// A weighted path, source and destination inclusive.
+    Path {
+        /// Sum of edge weights along the path.
+        cost: f64,
+        /// The vertices from `src` to `dst`.
+        vertices: Vec<VertexId>,
+    },
+    /// No path exists between the endpoints.
+    NoPath,
+}
+
+impl QueryResponse {
+    /// Scalar view, if this response carries one.
+    pub fn as_scalar(&self) -> Option<f64> {
+        match self {
+            QueryResponse::Scalar(x) => Some(*x),
+            _ => None,
+        }
+    }
+}
+
+/// Execute `q` against a frozen CSR + property store directly (the
+/// internal form [`Query::run`] wraps; also used by the sharded router
+/// which serves per-shard arrays).
+pub(crate) fn run_on(csr: &CsrGraph, props: &PropertyStore, q: &Query) -> QueryResponse {
+    match q {
+        Query::GetProperty { vertex, name } => match props.get_f64(name, *vertex) {
+            Some(x) => QueryResponse::Scalar(x),
+            None => QueryResponse::Missing,
+        },
+        Query::Degree { vertex } => {
+            if (*vertex as usize) < csr.num_vertices() {
+                QueryResponse::Scalar(csr.degree(*vertex) as f64)
+            } else {
+                QueryResponse::Missing
+            }
+        }
+        Query::Neighbors { vertex, limit } => {
+            if (*vertex as usize) >= csr.num_vertices() {
+                return QueryResponse::Missing;
+            }
+            QueryResponse::Vertices(
+                csr.neighbors(*vertex)
+                    .iter()
+                    .take(*limit)
+                    .copied()
+                    .collect(),
+            )
+        }
+        Query::KHop {
+            vertex,
+            hops,
+            limit,
+        } => k_hop(csr, *vertex, *hops, *limit, None),
+        Query::FilteredTraversal {
+            vertex,
+            hops,
+            property,
+            min,
+            limit,
+        } => k_hop(csr, *vertex, *hops, *limit, Some((props, property, *min))),
+        Query::ShortestPath { src, dst } => shortest_path(csr, *src, *dst),
+        Query::SimilarVertices { vertex, tau } => {
+            QueryResponse::Scored(similar_vertices(csr, *vertex, *tau))
+        }
+        Query::TopKByProperty { name, k } => QueryResponse::Scored(props.top_k_f64(name, *k)),
+    }
+}
+
+/// BFS out to `hops` levels; with a filter, only vertices passing it
+/// are visited or traversed (origin included in the result only when it
+/// passes). The origin is excluded from plain k-hop results.
+fn k_hop(
+    csr: &CsrGraph,
+    origin: VertexId,
+    hops: usize,
+    limit: usize,
+    filter: Option<(&PropertyStore, &str, f64)>,
+) -> QueryResponse {
+    let n = csr.num_vertices();
+    if (origin as usize) >= n {
+        return QueryResponse::Missing;
+    }
+    let passes = |v: VertexId| match filter {
+        None => true,
+        Some((props, name, min)) => props.get_f64(name, v).is_some_and(|x| x >= min),
+    };
+    if filter.is_some() && !passes(origin) {
+        return QueryResponse::Vertices(Vec::new());
+    }
+    let mut seen = vec![false; n];
+    seen[origin as usize] = true;
+    let mut frontier = VecDeque::from([origin]);
+    let mut out: Vec<VertexId> = Vec::new();
+    for _ in 0..hops {
+        if frontier.is_empty() {
+            break;
+        }
+        for _ in 0..frontier.len() {
+            let u = frontier.pop_front().unwrap();
+            for &v in csr.neighbors(u) {
+                let i = v as usize;
+                if i < n && !seen[i] && passes(v) {
+                    seen[i] = true;
+                    out.push(v);
+                    frontier.push_back(v);
+                }
+            }
+        }
+    }
+    if filter.is_some() {
+        out.push(origin);
+    }
+    out.sort_unstable();
+    out.truncate(limit);
+    QueryResponse::Vertices(out)
+}
+
+/// Dijkstra over the frozen CSR (weights ≥ 0 assumed; unweighted
+/// graphs cost 1.0 per hop). Deterministic: the heap orders by
+/// `(cost, vertex)` via `total_cmp`, and a predecessor only changes on
+/// a strict improvement.
+fn shortest_path(csr: &CsrGraph, src: VertexId, dst: VertexId) -> QueryResponse {
+    let n = csr.num_vertices();
+    if (src as usize) >= n || (dst as usize) >= n {
+        return QueryResponse::Missing;
+    }
+    if src == dst {
+        return QueryResponse::Path {
+            cost: 0.0,
+            vertices: vec![src],
+        };
+    }
+    let offsets = csr.raw_offsets();
+    let weights = csr.raw_weights();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut pred = vec![VertexId::MAX; n];
+    dist[src as usize] = 0.0;
+    // Reverse((cost-bits, vertex)): f64 bit patterns of non-negative
+    // finite costs order like the costs themselves.
+    let mut heap: BinaryHeap<Reverse<(u64, VertexId)>> = BinaryHeap::new();
+    heap.push(Reverse((0.0f64.to_bits(), src)));
+    while let Some(Reverse((dbits, u))) = heap.pop() {
+        let d = f64::from_bits(dbits);
+        if d > dist[u as usize] {
+            continue;
+        }
+        if u == dst {
+            break;
+        }
+        let row = offsets[u as usize] as usize..offsets[u as usize + 1] as usize;
+        for (e, &v) in csr.neighbors(u).iter().enumerate() {
+            let w = weights.map_or(1.0, |w| w[row.start + e] as f64);
+            let nd = d + w;
+            if nd < dist[v as usize] {
+                dist[v as usize] = nd;
+                pred[v as usize] = u;
+                heap.push(Reverse((nd.to_bits(), v)));
+            }
+        }
+    }
+    if dist[dst as usize].is_infinite() {
+        return QueryResponse::NoPath;
+    }
+    let mut vertices = vec![dst];
+    let mut cur = dst;
+    while cur != src {
+        cur = pred[cur as usize];
+        vertices.push(cur);
+    }
+    vertices.reverse();
+    QueryResponse::Path {
+        cost: dist[dst as usize],
+        vertices,
+    }
+}
+
+/// 2-hop Jaccard scan over the frozen CSR: all vertices with
+/// J(u, v) ≥ tau, descending coefficient, ties by id. One query costs
+/// O(Σ_{w∈N(u)} deg(w)) — the "10s of microseconds" E5/E7 workload.
+fn similar_vertices(csr: &CsrGraph, u: VertexId, tau: f64) -> Vec<(VertexId, f64)> {
+    let n = csr.num_vertices();
+    if (u as usize) >= n {
+        return Vec::new();
+    }
+    let nu = csr.neighbors(u);
+    let deg_u = nu.len();
+    let mut shared: std::collections::HashMap<VertexId, usize> = std::collections::HashMap::new();
+    for &w in nu {
+        if (w as usize) >= n {
+            continue;
+        }
+        for &x in csr.neighbors(w) {
+            if x != u {
+                *shared.entry(x).or_default() += 1;
+            }
+        }
+    }
+    let mut out: Vec<(VertexId, f64)> = shared
+        .into_iter()
+        .filter_map(|(v, inter)| {
+            let union = deg_u + csr.degree(v) - inter;
+            let j = inter as f64 / union as f64;
+            (j >= tau && j > 0.0).then_some((v, j))
+        })
+        .collect();
+    out.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+    out
+}
+
+/// The pre-PR-10 query enum, kept for one release as a conversion
+/// shell into [`Query`]. Property names are owned `String`s now — the
+/// `&'static str` plumbing is gone from the public surface.
+#[deprecated(
+    since = "0.10.0",
+    note = "build a `Query` instead (this enum converts `Into<Query>`)"
+)]
 #[derive(Clone, Debug, PartialEq)]
 pub enum VertexQuery {
     /// Read a named numeric property of a vertex.
@@ -21,22 +376,21 @@ pub enum VertexQuery {
         /// Target vertex.
         vertex: VertexId,
         /// Property column.
-        name: &'static str,
+        name: String,
     },
     /// Out-degree of a vertex.
     Degree {
         /// Target vertex.
         vertex: VertexId,
     },
-    /// Live neighbor ids of a vertex (bounded).
+    /// Neighbor ids of a vertex (bounded).
     Neighbors {
         /// Target vertex.
         vertex: VertexId,
         /// Maximum neighbors to return.
         limit: usize,
     },
-    /// All vertices with Jaccard >= tau against the target (the NORA
-    /// quote-style query).
+    /// All vertices with Jaccard ≥ tau against the target.
     SimilarVertices {
         /// Target vertex.
         vertex: VertexId,
@@ -45,250 +399,244 @@ pub enum VertexQuery {
     },
 }
 
-/// The answer to one query.
-#[derive(Clone, Debug, PartialEq)]
-pub enum QueryAnswer {
-    /// A scalar (property value or degree).
-    Scalar(f64),
-    /// The property was absent.
-    Missing,
-    /// A vertex list.
-    Vertices(Vec<VertexId>),
-    /// Scored vertices (similarity results).
-    Scored(Vec<(VertexId, f64)>),
-}
-
-/// Per-server counters.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub struct QueryStats {
-    /// Queries answered.
-    pub answered: usize,
-    /// Queries whose attached test fired an event.
-    pub tests_passed: usize,
-}
-
-/// Serves independent local queries against live state.
-pub struct QueryServer {
-    /// Optional threshold: `Scalar` answers above it emit a
-    /// [`EventKind::Threshold`] event ("a test of some sort that, if
-    /// passed, may trigger larger computations").
-    pub scalar_alert: Option<(&'static str, f64)>,
-    /// Counters.
-    pub stats: QueryStats,
-}
-
-impl QueryServer {
-    /// A server with no alerting configured.
-    pub fn new() -> Self {
-        QueryServer {
-            scalar_alert: None,
-            stats: QueryStats::default(),
+#[allow(deprecated)]
+impl From<VertexQuery> for Query {
+    fn from(q: VertexQuery) -> Query {
+        match q {
+            VertexQuery::GetProperty { vertex, name } => Query::GetProperty { vertex, name },
+            VertexQuery::Degree { vertex } => Query::Degree { vertex },
+            VertexQuery::Neighbors { vertex, limit } => Query::Neighbors { vertex, limit },
+            VertexQuery::SimilarVertices { vertex, tau } => Query::SimilarVertices { vertex, tau },
         }
-    }
-
-    /// Answer one query; any test event is appended to `out`.
-    pub fn answer(
-        &mut self,
-        g: &DynamicGraph,
-        props: &PropertyStore,
-        q: &VertexQuery,
-        time: Timestamp,
-        out: &mut Vec<Event>,
-    ) -> QueryAnswer {
-        self.stats.answered += 1;
-        let answer = match *q {
-            VertexQuery::GetProperty { vertex, name } => match props.get_f64(name, vertex) {
-                Some(x) => QueryAnswer::Scalar(x),
-                None => QueryAnswer::Missing,
-            },
-            VertexQuery::Degree { vertex } => QueryAnswer::Scalar(g.degree(vertex) as f64),
-            VertexQuery::Neighbors { vertex, limit } => {
-                QueryAnswer::Vertices(g.neighbor_ids(vertex).take(limit).collect())
-            }
-            VertexQuery::SimilarVertices { vertex, tau } => {
-                QueryAnswer::Scored(for_vertex_dynamic(g, vertex, tau))
-            }
-        };
-        if let (QueryAnswer::Scalar(x), Some((metric, tau))) = (&answer, self.scalar_alert) {
-            if *x >= tau {
-                self.stats.tests_passed += 1;
-                let vertex = match *q {
-                    VertexQuery::GetProperty { vertex, .. }
-                    | VertexQuery::Degree { vertex }
-                    | VertexQuery::Neighbors { vertex, .. }
-                    | VertexQuery::SimilarVertices { vertex, .. } => vertex,
-                };
-                out.push(Event {
-                    time,
-                    source: "query_server",
-                    kind: EventKind::Threshold {
-                        metric,
-                        vertex,
-                        value: *x,
-                    },
-                });
-            }
-        }
-        answer
-    }
-
-    /// Answer a whole query stream, collecting answers and events.
-    pub fn serve(
-        &mut self,
-        g: &DynamicGraph,
-        props: &PropertyStore,
-        queries: &[VertexQuery],
-        t0: Timestamp,
-    ) -> (Vec<QueryAnswer>, Vec<Event>) {
-        let mut events = Vec::new();
-        let answers = queries
-            .iter()
-            .enumerate()
-            .map(|(i, q)| self.answer(g, props, q, t0 + i as Timestamp, &mut events))
-            .collect();
-        (answers, events)
-    }
-}
-
-impl Default for QueryServer {
-    fn default() -> Self {
-        Self::new()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ga_graph::{DynamicGraph, Parallelism, SnapshotCache};
+    use std::sync::Arc;
 
-    fn fixture() -> (DynamicGraph, PropertyStore) {
+    /// The legacy fixture: 6 vertices, 0-1, 0-2, 3 shares both with 0,
+    /// plus the "risk" column.
+    fn fixture() -> EpochSnapshot {
         let mut g = DynamicGraph::new(6);
-        // 0-1, 0-2, 3 shares both with 0.
         for (u, v) in [(0, 1), (0, 2), (3, 1), (3, 2)] {
             g.insert_edge(u, v, 1.0, 1);
             g.insert_edge(v, u, 1.0, 1);
         }
         let mut p = PropertyStore::new(6);
         p.set_column_f64("risk", &[0.1, 0.2, 0.3, 0.95, 0.0, 0.0]);
-        (g, p)
+        let mut cache = SnapshotCache::new();
+        let (csr, stamp) = cache.snapshot_stamped(&g, Parallelism::Serial);
+        EpochSnapshot {
+            stamp,
+            props_version: p.version(),
+            time: 1,
+            csr,
+            compressed: None,
+            props: Arc::new(p),
+        }
     }
 
     #[test]
     fn scalar_queries() {
-        let (g, p) = fixture();
-        let mut s = QueryServer::new();
-        let mut out = Vec::new();
+        let snap = fixture();
         assert_eq!(
-            s.answer(&g, &p, &VertexQuery::Degree { vertex: 0 }, 0, &mut out),
-            QueryAnswer::Scalar(2.0)
+            Query::Degree { vertex: 0 }.run(&snap),
+            QueryResponse::Scalar(2.0)
         );
         assert_eq!(
-            s.answer(
-                &g,
-                &p,
-                &VertexQuery::GetProperty {
-                    vertex: 3,
-                    name: "risk"
-                },
-                0,
-                &mut out
-            ),
-            QueryAnswer::Scalar(0.95)
+            Query::get_property(3, "risk").run(&snap),
+            QueryResponse::Scalar(0.95)
         );
         assert_eq!(
-            s.answer(
-                &g,
-                &p,
-                &VertexQuery::GetProperty {
-                    vertex: 5,
-                    name: "absent"
-                },
-                0,
-                &mut out
-            ),
-            QueryAnswer::Missing
+            Query::get_property(5, "absent").run(&snap),
+            QueryResponse::Missing
         );
-        assert_eq!(s.stats.answered, 3);
-        assert!(out.is_empty());
+        assert_eq!(
+            Query::Degree { vertex: 99 }.run(&snap),
+            QueryResponse::Missing
+        );
     }
 
     #[test]
     fn neighbor_and_similarity_queries() {
-        let (g, p) = fixture();
-        let mut s = QueryServer::new();
-        let mut out = Vec::new();
-        let nbrs = s.answer(
-            &g,
-            &p,
-            &VertexQuery::Neighbors {
+        let snap = fixture();
+        assert_eq!(
+            Query::Neighbors {
                 vertex: 0,
-                limit: 10,
-            },
-            0,
-            &mut out,
-        );
-        assert_eq!(nbrs, QueryAnswer::Vertices(vec![1, 2]));
-        let sim = s.answer(
-            &g,
-            &p,
-            &VertexQuery::SimilarVertices {
-                vertex: 0,
-                tau: 0.9,
-            },
-            0,
-            &mut out,
+                limit: 10
+            }
+            .run(&snap),
+            QueryResponse::Vertices(vec![1, 2])
         );
         // Vertex 3 has identical neighborhood {1,2}: J = 1.0.
-        assert_eq!(sim, QueryAnswer::Scored(vec![(3, 1.0)]));
-    }
-
-    #[test]
-    fn threshold_test_fires_events() {
-        let (g, p) = fixture();
-        let mut s = QueryServer::new();
-        s.scalar_alert = Some(("risk", 0.9));
-        let queries = vec![
-            VertexQuery::GetProperty {
+        assert_eq!(
+            Query::SimilarVertices {
                 vertex: 0,
-                name: "risk",
-            },
-            VertexQuery::GetProperty {
-                vertex: 3,
-                name: "risk",
-            },
-        ];
-        let (answers, events) = s.serve(&g, &p, &queries, 100);
-        assert_eq!(answers.len(), 2);
-        assert_eq!(events.len(), 1);
-        assert!(matches!(
-            events[0].kind,
-            EventKind::Threshold {
-                vertex: 3,
-                metric: "risk",
-                ..
+                tau: 0.9
             }
-        ));
-        assert_eq!(s.stats.tests_passed, 1);
-        assert_eq!(events[0].time, 101);
+            .run(&snap),
+            QueryResponse::Scored(vec![(3, 1.0)])
+        );
     }
 
     #[test]
     fn neighbor_limit_respected() {
-        let (g, p) = fixture();
-        let mut s = QueryServer::new();
-        let mut out = Vec::new();
-        let a = s.answer(
-            &g,
-            &p,
-            &VertexQuery::Neighbors {
-                vertex: 0,
-                limit: 1,
-            },
-            0,
-            &mut out,
-        );
-        match a {
-            QueryAnswer::Vertices(v) => assert_eq!(v.len(), 1),
+        let snap = fixture();
+        match (Query::Neighbors {
+            vertex: 0,
+            limit: 1,
+        })
+        .run(&snap)
+        {
+            QueryResponse::Vertices(v) => assert_eq!(v.len(), 1),
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn k_hop_and_filtered_traversal() {
+        let snap = fixture();
+        // 1 hop from 0: {1, 2}; 2 hops adds 3 (through 1 or 2).
+        assert_eq!(
+            Query::KHop {
+                vertex: 0,
+                hops: 1,
+                limit: 10
+            }
+            .run(&snap),
+            QueryResponse::Vertices(vec![1, 2])
+        );
+        assert_eq!(
+            Query::KHop {
+                vertex: 0,
+                hops: 2,
+                limit: 10
+            }
+            .run(&snap),
+            QueryResponse::Vertices(vec![1, 2, 3])
+        );
+        // The limit truncates the ascending list.
+        assert_eq!(
+            Query::KHop {
+                vertex: 0,
+                hops: 2,
+                limit: 2
+            }
+            .run(&snap),
+            QueryResponse::Vertices(vec![1, 2])
+        );
+        // Filtered: risk >= 0.2 keeps {1 (0.2), 2 (0.3), 3 (0.95)} but
+        // origin 0 (0.1) fails → empty.
+        assert_eq!(
+            Query::filtered_traversal(0, 2, "risk", 0.2, 10).run(&snap),
+            QueryResponse::Vertices(vec![])
+        );
+        // From 3 (passes): reaches 1, 2 (both pass); 0 fails the filter.
+        assert_eq!(
+            Query::filtered_traversal(3, 2, "risk", 0.2, 10).run(&snap),
+            QueryResponse::Vertices(vec![1, 2, 3])
+        );
+    }
+
+    #[test]
+    fn shortest_path_and_top_k() {
+        let snap = fixture();
+        // 0 → 3 via either middle vertex: 2 hops of weight 1.0.
+        match (Query::ShortestPath { src: 0, dst: 3 }).run(&snap) {
+            QueryResponse::Path { cost, vertices } => {
+                assert_eq!(cost, 2.0);
+                assert_eq!(vertices.len(), 3);
+                assert_eq!(vertices[0], 0);
+                assert_eq!(vertices[2], 3);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(
+            Query::ShortestPath { src: 0, dst: 5 }.run(&snap),
+            QueryResponse::NoPath
+        );
+        assert_eq!(
+            Query::ShortestPath { src: 4, dst: 4 }.run(&snap),
+            QueryResponse::Path {
+                cost: 0.0,
+                vertices: vec![4]
+            }
+        );
+        assert_eq!(
+            Query::top_k_by_property("risk", 2).run(&snap),
+            QueryResponse::Scored(vec![(3, 0.95), (2, 0.3)])
+        );
+    }
+
+    #[test]
+    fn responses_are_pure_functions_of_the_epoch() {
+        let snap = fixture();
+        let queries = [
+            Query::Degree { vertex: 0 },
+            Query::get_property(3, "risk"),
+            Query::KHop {
+                vertex: 0,
+                hops: 2,
+                limit: 10,
+            },
+            Query::ShortestPath { src: 0, dst: 3 },
+            Query::SimilarVertices {
+                vertex: 0,
+                tau: 0.5,
+            },
+            Query::top_k_by_property("risk", 3),
+        ];
+        for q in &queries {
+            assert_eq!(q.run(&snap), q.run(&snap), "{q:?} not deterministic");
+        }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn legacy_enum_converts_into_query() {
+        let snap = fixture();
+        let legacy = VertexQuery::GetProperty {
+            vertex: 3,
+            name: "risk".to_string(),
+        };
+        let q: Query = legacy.into();
+        assert_eq!(q.run(&snap), QueryResponse::Scalar(0.95));
+        let q: Query = VertexQuery::Degree { vertex: 0 }.into();
+        assert_eq!(q.run(&snap), QueryResponse::Scalar(2.0));
+        let q: Query = VertexQuery::SimilarVertices {
+            vertex: 0,
+            tau: 0.9,
+        }
+        .into();
+        assert_eq!(q.run(&snap), QueryResponse::Scored(vec![(3, 1.0)]));
+    }
+
+    #[test]
+    fn dijkstra_uses_weights() {
+        // 0 →(5.0) 1; 0 →(1.0) 2 →(1.0) 1: the 2-hop route wins.
+        let mut g = DynamicGraph::new(3);
+        g.insert_edge(0, 1, 5.0, 1);
+        g.insert_edge(0, 2, 1.0, 1);
+        g.insert_edge(2, 1, 1.0, 1);
+        let mut cache = SnapshotCache::new();
+        let (csr, stamp) = cache.snapshot_stamped(&g, Parallelism::Serial);
+        let snap = EpochSnapshot {
+            stamp,
+            props_version: 0,
+            time: 1,
+            csr,
+            compressed: None,
+            props: Arc::new(PropertyStore::new(3)),
+        };
+        assert_eq!(
+            Query::ShortestPath { src: 0, dst: 1 }.run(&snap),
+            QueryResponse::Path {
+                cost: 2.0,
+                vertices: vec![0, 2, 1]
+            }
+        );
     }
 }

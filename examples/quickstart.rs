@@ -56,4 +56,21 @@ fn main() {
     // Freeze a snapshot and confirm batch kernels run on it too.
     let snap = engine.graph().snapshot();
     println!("snapshot components: {}", cc::wcc_union_find(&snap).count);
+
+    // --- serving: point queries over published epoch snapshots --------
+    let mut flow = FlowEngine::new(1 << 12);
+    for batch in into_batches(rmat_edge_stream(12, 20_000, 0.1, 7), 1_000, 0) {
+        flow.process_stream(&batch, |_| None, None);
+    }
+    let service = QueryService::new(flow.serve_handle(), ServeConfig::default());
+    let tenant = service.tenant(TenantConfig::new("quickstart", Priority::High));
+    let mut client = service.client(&tenant);
+    if let Some(QueryResponse::Scalar(d)) = client.run(&Query::Degree { vertex: 0 }).response() {
+        println!("served degree(0) = {d}");
+    }
+    println!(
+        "serving stats: {} answered, {} shed",
+        service.stats().total_answered(),
+        service.stats().total_shed()
+    );
 }

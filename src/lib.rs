@@ -60,20 +60,25 @@ pub mod prelude {
         OverloadConfig, PageRankAnalytic, SelectionCriteria, TriangleAnalytic,
     };
     pub use ga_core::retry::RetryPolicy;
+    pub use ga_core::serve::{
+        ClassServeStats, QueryClient, QueryOutcome, QueryService, ServeConfig, ServeShed,
+        ServeStats, Tenant, TenantConfig,
+    };
     pub use ga_core::sharded::{
-        CrossShardTraffic, HealthEvent, RebuildReport, RebuildSource, ShardHealth, ShardSupervisor,
-        ShardedConfig, ShardedFlow, ShardedRun, DEFAULT_SUSPECT_STRIKES,
+        CrossShardTraffic, HealthEvent, RebuildReport, RebuildSource, RouteError, ShardHealth,
+        ShardSupervisor, ShardedConfig, ShardedFlow, ShardedQueryRouter, ShardedRun,
+        DEFAULT_SUSPECT_STRIKES,
     };
     pub use ga_graph::{
         CsrBuilder, CsrGraph, DynamicGraph, ExtractOptions, Parallelism, PropValue, PropertyStore,
-        SegmentStore, Subgraph, TierConfig, TierStats, TieredCsr, VertexId,
+        SegmentStore, SnapshotEpoch, Subgraph, TierConfig, TierStats, TieredCsr, VertexId,
     };
     pub use ga_kernels::{bfs, cc, pagerank, sssp, triangles};
     pub use ga_kernels::{Budget, Completion, KernelCtx};
     pub use ga_obs::{MetricsSnapshot, Recorder, Step};
     pub use ga_stream::update::{into_batches, rmat_edge_stream, uniform_edge_stream, UpdateBatch};
     pub use ga_stream::{
-        AdmissionConfig, Event, EventKind, Monitor, Priority, ShardPlan, ShardRouter, StreamEngine,
-        Update,
+        AdmissionConfig, EpochSnapshot, Event, EventKind, Monitor, Priority, Query, QueryResponse,
+        ShardPlan, ShardRouter, SnapshotHandle, SnapshotReader, StreamEngine, Update,
     };
 }

@@ -150,11 +150,12 @@ fn recover_and_resume(dir: &PathBuf, batches: &[UpdateBatch], plan: &FaultPlan) 
     if plan.site == Some("checkpoint.load") {
         plan.arm();
     }
-    let e_recovered = FlowEngine::recover(dir).unwrap();
+    let e_recovered = FlowEngine::builder()
+        .retry(RetryPolicy::retries(plan.retries, plan.seed))
+        .recover(dir)
+        .unwrap();
     faults::clear_all();
     let mut e = e_recovered;
-    #[allow(deprecated)]
-    e.set_retry_policy(RetryPolicy::retries(plan.retries, plan.seed));
     // Frame i (1-based) carries batch i-1, so the first missing batch
     // index is next_wal_seq - 1.
     let resume_from = (e.next_wal_seq().unwrap() - 1) as usize;

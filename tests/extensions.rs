@@ -4,17 +4,20 @@
 //! exercised through the public facade, together.
 
 use graph_analytics::core::calibrate::{calibrate, CostCoefficients, MeasuredRun};
+use graph_analytics::core::flow::FlowEngine;
 use graph_analytics::core::flow::{
     AnalyticsStats, DurabilityStats, FlowStats, IngestStats, OverloadStats, SnapshotStats,
 };
 use graph_analytics::core::model::{baseline2012, evaluate, lightweight, nora_steps_scaled};
 use graph_analytics::core::nora::NoraStats;
-use graph_analytics::graph::{gen, CsrGraph, PropertyStore};
+use graph_analytics::graph::{gen, CsrGraph};
 use graph_analytics::kernels::{coloring, mis};
 use graph_analytics::linalg::kron::{kron, kron_power};
 use graph_analytics::linalg::semiring::OrAnd;
 use graph_analytics::linalg::{CooMatrix, CsrMatrix};
-use graph_analytics::stream::queries::{QueryAnswer, QueryServer, VertexQuery};
+#[allow(deprecated)]
+use graph_analytics::stream::queries::VertexQuery;
+use graph_analytics::stream::queries::{Query, QueryResponse};
 use graph_analytics::stream::update::{into_batches, rmat_edge_stream};
 use graph_analytics::stream::window::{DegreeTopK, SlidingWindow};
 use graph_analytics::stream::StreamEngine;
@@ -39,24 +42,23 @@ fn window_and_topk_monitors_ride_one_stream() {
 }
 
 #[test]
-fn query_server_over_streamed_graph() {
-    let mut e = StreamEngine::new(1 << 8);
+fn unified_queries_over_streamed_graph() {
+    let mut e = FlowEngine::new(1 << 8);
     for batch in into_batches(rmat_edge_stream(8, 3_000, 0.0, 2), 500, 0) {
-        e.apply_batch(&batch);
+        e.process_stream(&batch, |_| None, None);
     }
-    let props = PropertyStore::new(e.graph().num_vertices());
-    let mut server = QueryServer::new();
-    let queries: Vec<VertexQuery> = (0..32).map(|v| VertexQuery::Degree { vertex: v }).collect();
-    let (answers, events) = server.serve(e.graph(), &props, &queries, 0);
-    assert_eq!(answers.len(), 32);
-    assert!(events.is_empty());
+    let snap = e.serve_handle().load().expect("published snapshot");
     // Degrees agree with the live graph.
-    for (v, a) in answers.iter().enumerate() {
-        match a {
-            QueryAnswer::Scalar(d) => assert_eq!(*d, e.graph().degree(v as u32) as f64),
+    for v in 0..32u32 {
+        match (Query::Degree { vertex: v }).run(&snap) {
+            QueryResponse::Scalar(d) => assert_eq!(d, e.graph().degree(v) as f64),
             other => panic!("unexpected {other:?}"),
         }
     }
+    // The deprecated enum still converts into the unified surface.
+    #[allow(deprecated)]
+    let q: Query = VertexQuery::Degree { vertex: 3 }.into();
+    assert_eq!(q.run(&snap), (Query::Degree { vertex: 3 }).run(&snap));
 }
 
 #[test]
@@ -158,6 +160,7 @@ fn calibration_is_deterministic_and_priceable() {
             pair_candidates: 20_000,
             relationships: 40,
         },
+        serve: Default::default(),
     };
     let a = calibrate(&run, &CostCoefficients::default());
     let b = calibrate(&run, &CostCoefficients::default());

@@ -185,18 +185,41 @@ fn overload_events_land_in_the_journal() {
 }
 
 #[test]
-#[allow(deprecated)]
-fn deprecated_shims_still_steer_the_engine() {
+fn pre_pr5_setter_shims_are_gone_and_builder_covers_them() {
+    // The deprecated post-construction setters (set_retry_policy,
+    // set_admission_config, set_breaker, enable_durability) were
+    // retired: the builder is the only configuration surface. Pin
+    // that they stay gone from the public API.
+    let flow_src = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/crates/core/src/flow.rs"
+    ))
+    .unwrap();
+    for shim in [
+        "pub fn set_retry_policy",
+        "pub fn set_admission_config",
+        "pub fn set_breaker",
+        "pub fn enable_durability(",
+    ] {
+        assert!(
+            !flow_src.contains(shim),
+            "retired shim `{shim}` resurfaced on FlowEngine"
+        );
+    }
+    // And the builder covers everything the shims used to do.
     let dir = tmpdir("shims");
-    let mut e = FlowEngine::new(64);
-    e.set_retry_policy(RetryPolicy::retries(2, 7));
-    e.set_admission_config(AdmissionConfig {
-        capacity: 50,
-        normal_watermark: 40,
-        bulk_watermark: 30,
-    });
-    e.enable_durability(&dir).unwrap();
+    let mut e = FlowEngine::builder()
+        .retry(RetryPolicy::retries(2, 7))
+        .admission(AdmissionConfig {
+            capacity: 50,
+            normal_watermark: 40,
+            bulk_watermark: 30,
+        })
+        .durability_dir(&dir)
+        .build(64)
+        .unwrap();
     assert!(e.is_durable());
+    assert_eq!(e.retry_policy(), RetryPolicy::retries(2, 7));
     for b in into_batches(rmat_edge_stream(6, 100, 0.0, 2), 25, 1) {
         e.process_stream_durable(&b, |_| None, None).unwrap();
     }

@@ -1,0 +1,249 @@
+//! Concurrency suite for the query-serving front end: reader threads
+//! run point queries through [`QueryService`] while the flow engine
+//! firehoses updates and republishes epochs underneath them.
+//!
+//! Thread count is `GA_SERVE_THREADS` (default 2); CI runs the suite at
+//! 2 and 8. Invariants held throughout:
+//!
+//! * High-class queries are **never shed** while capacity is sized for
+//!   the reader pool (Bulk scans may shed — that is the design).
+//! * Every answered query carries a **monotonically non-decreasing**
+//!   epoch per reader thread.
+//! * Readers converge on the final epoch once ingest stops.
+//! * Served answers match a single-threaded replay bit-for-bit.
+
+use graph_analytics::core::flow::FlowEngine;
+use graph_analytics::core::serve::{QueryOutcome, QueryService, ServeConfig, TenantConfig};
+use graph_analytics::stream::admission::{AdmissionConfig, Priority};
+use graph_analytics::stream::queries::Query;
+use graph_analytics::stream::update::{into_batches, rmat_edge_stream, Update, UpdateBatch};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+fn reader_threads() -> usize {
+    std::env::var("GA_SERVE_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2)
+}
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn point_query(rng: &mut u64, n: u32) -> Query {
+    let v = (splitmix(rng) % n as u64) as u32;
+    match splitmix(rng) % 3 {
+        0 => Query::Degree { vertex: v },
+        1 => Query::Neighbors {
+            vertex: v,
+            limit: 8,
+        },
+        _ => Query::get_property(v, "w"),
+    }
+}
+
+/// Firehose batches: R-MAT inserts plus property writes so both the
+/// adjacency and the columns move while readers run.
+fn firehose(scale: u32, total: usize, seed: u64) -> Vec<UpdateBatch> {
+    let n = 1u32 << scale;
+    let mut batches = into_batches(rmat_edge_stream(scale, total, 0.1, seed), 32, 1);
+    for (i, b) in batches.iter_mut().enumerate() {
+        b.updates.push(Update::PropertySet {
+            vertex: (i as u32 * 13) % n,
+            name: "w".into(),
+            value: i as f64,
+        });
+    }
+    batches
+}
+
+#[test]
+fn readers_during_firehose_never_shed_high_and_see_monotonic_epochs() {
+    let threads = reader_threads();
+    let scale = 9u32;
+    let n = 1u32 << scale;
+    let per_thread = 4_000usize;
+    let batches = firehose(scale, 20_000, 7);
+
+    let mut engine = FlowEngine::new(n as usize);
+    for b in &batches[..batches.len() / 4] {
+        engine.process_stream(b, |_| None, None);
+    }
+    let handle = engine.serve_handle();
+    let service = QueryService::new(
+        handle.clone(),
+        ServeConfig {
+            admission: AdmissionConfig {
+                // Sized so the High pool always fits: Bulk is squeezed
+                // down to a single slot and sheds under pressure.
+                capacity: threads + 2,
+                normal_watermark: threads + 1,
+                bulk_watermark: 1,
+            },
+        },
+    );
+    let high = service.tenant(TenantConfig::new("points", Priority::High));
+    let bulk = service.tenant(TenantConfig::new("scans", Priority::Bulk));
+    let done = AtomicBool::new(false);
+
+    std::thread::scope(|s| {
+        let mut joins = Vec::new();
+        for t in 0..threads {
+            let mut client = service.client(&high);
+            joins.push(s.spawn(move || {
+                let mut rng = 0xfeed ^ (t as u64);
+                let mut last_epoch = 0u64;
+                let mut answered = 0u64;
+                for _ in 0..per_thread {
+                    match client.run(&point_query(&mut rng, n)) {
+                        QueryOutcome::Answered { epoch, .. } => {
+                            assert!(
+                                epoch.epoch >= last_epoch,
+                                "epoch regressed: {} < {last_epoch}",
+                                epoch.epoch
+                            );
+                            last_epoch = epoch.epoch;
+                            answered += 1;
+                        }
+                        QueryOutcome::Shed(reason) => {
+                            panic!("High-class query shed during firehose: {reason:?}")
+                        }
+                    }
+                }
+                answered
+            }));
+        }
+        // Bulk scanner riding along: allowed to shed, never to panic.
+        let done_ref = &done;
+        let mut scanner = service.client(&bulk);
+        let bulk_join = s.spawn(move || {
+            let mut seen = 0u64;
+            while !done_ref.load(Ordering::Acquire) {
+                if scanner
+                    .run(&Query::top_k_by_property("w", 4))
+                    .response()
+                    .is_some()
+                {
+                    seen += 1;
+                }
+                std::thread::yield_now();
+            }
+            seen
+        });
+        // Main thread is the firehose: keep ingesting and republishing
+        // until every reader finishes.
+        let mut i = batches.len() / 4;
+        let mut total_answered = 0u64;
+        for j in joins {
+            while !j.is_finished() {
+                engine.process_stream(&batches[i % batches.len()], |_| None, None);
+                i += 1;
+            }
+            total_answered += j.join().unwrap();
+        }
+        done.store(true, Ordering::Release);
+        bulk_join.join().unwrap();
+        assert_eq!(total_answered, (threads * per_thread) as u64);
+    });
+
+    let stats = service.stats();
+    assert_eq!(stats.class(Priority::High).shed, 0, "High-class shed > 0");
+    assert_eq!(
+        stats.class(Priority::High).answered,
+        (threads * per_thread) as u64
+    );
+
+    // Once ingest stops, a fresh reader sees the final published epoch.
+    engine.publish_epoch();
+    let final_stamp = handle.load().unwrap().stamp;
+    let mut client = service.client(&high);
+    match client.run(&Query::Degree { vertex: 0 }) {
+        QueryOutcome::Answered { epoch, .. } => assert_eq!(epoch, final_stamp),
+        QueryOutcome::Shed(r) => panic!("post-ingest query shed: {r:?}"),
+    }
+}
+
+#[test]
+fn concurrent_answers_match_single_threaded_replay() {
+    let threads = reader_threads();
+    let scale = 8u32;
+    let n = 1u32 << scale;
+    let batches = firehose(scale, 6_000, 21);
+
+    // Serve a frozen prefix while verifying against a replay of the
+    // same prefix: every concurrent answer must be bit-identical.
+    let prefix = &batches[..batches.len() / 2];
+    let mut engine = FlowEngine::new(n as usize);
+    for b in prefix {
+        engine.process_stream(b, |_| None, None);
+    }
+    let service = QueryService::new(engine.serve_handle(), ServeConfig::default());
+    let tenant = service.tenant(TenantConfig::new("check", Priority::High));
+
+    let mut replay = FlowEngine::new(n as usize);
+    for b in prefix {
+        replay.process_stream(b, |_| None, None);
+    }
+    let reference = replay.serve_handle().load().unwrap();
+
+    std::thread::scope(|s| {
+        let mut joins = Vec::new();
+        for t in 0..threads {
+            let mut client = service.client(&tenant);
+            let reference = &reference;
+            joins.push(s.spawn(move || {
+                let mut rng = 0xabcd ^ (t as u64);
+                for _ in 0..2_000 {
+                    let q = point_query(&mut rng, n);
+                    match client.run(&q) {
+                        QueryOutcome::Answered { response, .. } => {
+                            assert_eq!(response, q.run(reference), "diverged on {q:?}")
+                        }
+                        QueryOutcome::Shed(r) => panic!("shed: {r:?}"),
+                    }
+                }
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+    });
+}
+
+#[test]
+fn tenant_quotas_bound_a_greedy_tenant_without_starving_others() {
+    let n = 256usize;
+    let mut engine = FlowEngine::new(n);
+    engine.process_stream(
+        &UpdateBatch {
+            time: 1,
+            updates: (0..200u32)
+                .map(|i| Update::EdgeInsert {
+                    src: i % 64,
+                    dst: (i * 7) % 64,
+                    weight: 1.0,
+                })
+                .collect(),
+        },
+        |_| None,
+        None,
+    );
+    let service = QueryService::new(engine.serve_handle(), ServeConfig::default());
+    // A zero-quota tenant is always refused; a sibling with headroom
+    // still gets answers — quotas are per-tenant, not per-class.
+    let starved = service.tenant(TenantConfig::new("greedy", Priority::Normal).quota(0));
+    let healthy = service.tenant(TenantConfig::new("polite", Priority::Normal));
+    let mut c1 = service.client(&starved);
+    let mut c2 = service.client(&healthy);
+    for v in 0..32u32 {
+        assert!(c1.run(&Query::Degree { vertex: v }).response().is_none());
+        assert!(c2.run(&Query::Degree { vertex: v }).response().is_some());
+    }
+    let stats = service.stats();
+    assert_eq!(stats.class(Priority::Normal).answered, 32);
+    assert_eq!(stats.class(Priority::Normal).shed_quota, 32);
+}
